@@ -1,0 +1,90 @@
+#pragma once
+/// \file cost_table_common.hpp
+/// Shared implementation of the Table 3 / Table 4 cost benches: runs one
+/// task alone on each simulated server and prints paper-vs-measured
+/// per-phase unloaded costs.
+
+#include <iostream>
+
+#include "platform/calibration.hpp"
+#include "platform/testbed.hpp"
+#include "psched/machine.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/task_types.hpp"
+
+namespace casched::bench {
+
+struct PhaseTimes {
+  double input = 0.0;
+  double compute = 0.0;
+  double output = 0.0;
+};
+
+inline PhaseTimes measureUnloaded(const std::string& machineName, const workload::TaskType& type,
+                           const platform::CostModel& costs) {
+  simcore::Simulator sim;
+  psched::Machine machine(sim, platform::buildPaperMachine(machineName));
+  psched::ExecRecord record;
+  psched::ExecRequest req{1, type.inMB,
+                          costs.computeCost(machineName, type.name, type.refSeconds),
+                          type.outMB, type.memMB};
+  machine.submit(req, [&record](const psched::ExecRecord& r) { record = r; });
+  sim.run();
+  PhaseTimes t;
+  t.input = record.computeStart - record.inputStart;
+  t.compute = record.outputStart - record.computeStart;
+  t.output = record.endTime - record.outputStart;
+  return t;
+}
+
+inline int runCostTable(const util::ArgParser& args, const platform::PhaseCostTable& paper,
+                 const std::vector<workload::TaskType>& family, const char* title,
+                 const char* baseName, bool withMemory) {
+  const platform::CostModel costs = platform::paperCostModel();
+  util::TablePrinter table(title);
+  std::vector<std::string> header{"param", "phase"};
+  if (withMemory) header.insert(header.begin() + 1, "memory in/out (Mo)");
+  for (const std::string& m : paper.machines) header.push_back(m + " (paper/measured)");
+  table.setHeader(std::move(header));
+  util::CsvWriter csv({"param", "machine", "phase", "paper_s", "measured_s"});
+
+  for (std::size_t p = 0; p < paper.params.size(); ++p) {
+    const workload::TaskType& type = family[p];
+    std::vector<PhaseTimes> measured;
+    for (const std::string& m : paper.machines) {
+      measured.push_back(measureUnloaded(m, type, costs));
+    }
+    const char* phaseNames[3] = {"input data cost", "computing cost", "output data cost"};
+    for (int phase = 0; phase < 3; ++phase) {
+      std::vector<std::string> row{phase == 1 ? std::to_string(paper.params[p]) : ""};
+      if (withMemory) {
+        row.push_back(phase == 1 ? util::strformat("%.2f / %.2f", type.inMB, type.outMB)
+                                 : "");
+      }
+      row.push_back(phaseNames[phase]);
+      for (std::size_t m = 0; m < paper.machines.size(); ++m) {
+        const double paperVal = phase == 0   ? paper.inputSeconds[p][m]
+                                : phase == 1 ? paper.computeSeconds[p][m]
+                                             : paper.outputSeconds[p][m];
+        const double measuredVal = phase == 0   ? measured[m].input
+                                   : phase == 1 ? measured[m].compute
+                                                : measured[m].output;
+        row.push_back(util::strformat("%g / %.2f", paperVal, measuredVal));
+        csv.addRow({std::to_string(paper.params[p]), paper.machines[m],
+                    phaseNames[phase], util::strformat("%g", paperVal),
+                    util::strformat("%.4f", measuredVal)});
+      }
+      table.addRow(std::move(row));
+    }
+    if (p + 1 < paper.params.size()) table.addRule();
+  }
+  table.print(std::cout);
+  csv.writeFile(args.getString("out") + "/" + baseName + ".csv");
+  std::cout << "[wrote " << args.getString("out") << "/" << baseName << ".csv]\n";
+  return 0;
+}
+
+}  // namespace casched::bench

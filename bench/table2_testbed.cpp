@@ -1,0 +1,44 @@
+/// Reproduces paper Table 2: the resources of the testbed, plus the link
+/// parameters our calibration derives for each server.
+
+#include <iostream>
+
+#include "platform/calibration.hpp"
+#include "platform/machine_catalog.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("table2_testbed", "Paper Table 2: resources of the testbed");
+  args.addString("out", "bench_out", "output directory");
+  if (!args.parse(argc, argv)) return 0;
+
+  util::TablePrinter table("Table 2. Resources of the testbed");
+  table.setHeader({"type", "machine", "processor", "speed", "memory", "swap",
+                   "system", "bw in (MB/s)", "bw out (MB/s)"});
+  util::CsvWriter csv({"role", "machine", "processor", "mhz", "ram_mb", "swap_mb",
+                       "bw_in_mbps", "bw_out_mbps", "latency_in_s", "latency_out_s"});
+  for (const platform::MachineInfo& m : platform::machineCatalog()) {
+    const platform::LinkCalibration link = platform::calibrateLink(m.name);
+    const bool isServer = m.role == platform::MachineRole::kServer;
+    table.addRow({platform::roleName(m.role), m.name, m.cpuModel,
+                  util::strformat("%d MHz", m.cpuMHz),
+                  util::strformat("%.0f Mo", m.ramMB),
+                  util::strformat("%.0f Mo", m.swapMB), "linux",
+                  isServer ? util::strformat("%.2f", link.bwInMBps) : "-",
+                  isServer ? util::strformat("%.2f", link.bwOutMBps) : "-"});
+    csv.addRow({platform::roleName(m.role), m.name, m.cpuModel,
+                std::to_string(m.cpuMHz), util::strformat("%.0f", m.ramMB),
+                util::strformat("%.0f", m.swapMB), util::strformat("%.3f", link.bwInMBps),
+                util::strformat("%.3f", link.bwOutMBps),
+                util::strformat("%.3f", link.latencyIn),
+                util::strformat("%.3f", link.latencyOut)});
+  }
+  table.print(std::cout);
+  csv.writeFile(args.getString("out") + "/table2_testbed.csv");
+  std::cout << "[wrote " << args.getString("out") << "/table2_testbed.csv]\n";
+  return 0;
+}

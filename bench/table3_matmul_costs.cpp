@@ -1,0 +1,16 @@
+/// Reproduces paper Table 3: multiplication tasks' needs - memory footprint
+/// and per-phase unloaded costs on each set-1 server, paper vs measured.
+
+#include "cost_table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("table3_matmul_costs",
+                       "Paper Table 3: multiplication tasks' needs on set-1 servers");
+  args.addString("out", "bench_out", "output directory");
+  if (!args.parse(argc, argv)) return 0;
+  return bench::runCostTable(
+      args, platform::matmulCostTable(), workload::matmulFamily(),
+      "Table 3. Multiplication tasks' needs (seconds, paper / measured)",
+      "table3_matmul_costs", /*withMemory=*/true);
+}

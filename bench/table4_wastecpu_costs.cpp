@@ -1,0 +1,16 @@
+/// Reproduces paper Table 4: waste-cpu tasks' needs - per-phase unloaded
+/// costs on each set-2 server, paper vs measured.
+
+#include "cost_table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("table4_wastecpu_costs",
+                       "Paper Table 4: waste-cpu tasks' needs on set-2 servers");
+  args.addString("out", "bench_out", "output directory");
+  if (!args.parse(argc, argv)) return 0;
+  return bench::runCostTable(
+      args, platform::wasteCpuCostTable(), workload::wasteCpuFamily(),
+      "Table 4. Waste-cpu tasks' needs (seconds, paper / measured)",
+      "table4_wastecpu_costs", /*withMemory=*/false);
+}

@@ -1,0 +1,24 @@
+/// Reproduces paper Table 5: 500 matrix-multiplication tasks on server set 1
+/// (chamagne/pulney/cabestan/artimon) at the LOW arrival rate; MCT vs HMCT vs
+/// MP vs MSF on identical metatasks.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("table5_matmul_low",
+                       "Paper Table 5: multiplication tasks, low arrival rate");
+  bench::addCommonFlags(args);
+  args.addDouble("rate", bench::kMatmulLowRate, "mean inter-arrival (s)");
+  if (!args.parse(argc, argv)) return 0;
+
+  exp::ExperimentSpec spec = bench::specFromFlags(
+      args, platform::buildSet1(), workload::matmulFamily(), args.getDouble("rate"));
+  const exp::CampaignConfig cc = bench::campaignFromFlags(args);
+  return bench::runTableBench(
+      args, spec, cc,
+      util::strformat("Table 5. results for 1/lambda = %gs for multiplication tasks "
+                      "(mean of %zu runs)",
+                      args.getDouble("rate"), cc.replications),
+      "table5_matmul_low");
+}

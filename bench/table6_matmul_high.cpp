@@ -1,0 +1,25 @@
+/// Reproduces paper Table 6: 500 matrix-multiplication tasks at the HIGH
+/// arrival rate - the memory-collapse regime. NetSolve's MCT keeps its fault
+/// tolerance (re-submission); HMCT/MP/MSF run without it, as in the paper.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("table6_matmul_high",
+                       "Paper Table 6: multiplication tasks, high arrival rate "
+                       "(server memory collapses)");
+  bench::addCommonFlags(args);
+  args.addDouble("rate", bench::kMatmulHighRate, "mean inter-arrival (s)");
+  if (!args.parse(argc, argv)) return 0;
+
+  exp::ExperimentSpec spec = bench::specFromFlags(
+      args, platform::buildSet1(), workload::matmulFamily(), args.getDouble("rate"));
+  const exp::CampaignConfig cc = bench::campaignFromFlags(args);
+  return bench::runTableBench(
+      args, spec, cc,
+      util::strformat("Table 6. results for 1/lambda = %gs for multiplication tasks "
+                      "(mean of %zu runs; MCT has NetSolve fault tolerance)",
+                      args.getDouble("rate"), cc.replications),
+      "table6_matmul_high");
+}

@@ -1,0 +1,195 @@
+/// Live demonstration of the middleware protocol over real TCP loopback
+/// sockets: one agent, two computational servers and one client, each on its
+/// own thread, speaking the casched wire protocol (register / schedule /
+/// submit / complete). The agent schedules with the Historical Trace Manager
+/// and MSF, exactly like the simulated agent; servers "compute" by sleeping
+/// a scaled-down duration.
+///
+/// This is the paper's deployment story shrunk onto one machine - the
+/// simulation benches remain the reproduction vehicle (see DESIGN.md).
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/htm.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "wire/messages.hpp"
+#include "wire/tcp_transport.hpp"
+
+namespace {
+
+using namespace casched;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A computational server: registers, then executes TaskSubmit by sleeping.
+void serverMain(const std::string& name, std::uint16_t agentPort, double speedFactor,
+                std::atomic<bool>& stop) {
+  auto link = wire::TcpTransport::connect("127.0.0.1", agentPort);
+  wire::RegisterMsg reg;
+  reg.serverName = name;
+  reg.bwInMBps = 100.0;
+  reg.bwOutMBps = 100.0;
+  reg.problems = {"*"};
+  link->send(wire::MessageType::kRegister, wire::encode(reg));
+
+  while (!stop.load()) {
+    link->poll([&](wire::Frame frame) {
+      if (frame.type == wire::MessageType::kShutdown) {
+        stop.store(true);
+        return;
+      }
+      if (frame.type != wire::MessageType::kTaskSubmit) return;
+      const wire::TaskSubmitMsg task = wire::decodeTaskSubmit(frame.payload);
+      // "Compute": sleep the scaled unloaded duration.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(task.cpuSeconds / speedFactor));
+      wire::TaskCompleteMsg done;
+      done.taskId = task.taskId;
+      done.serverName = name;
+      done.unloadedDuration = task.cpuSeconds / speedFactor;
+      link->send(wire::MessageType::kTaskComplete, wire::encode(done));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  link->close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("grid_rpc_demo",
+                       "Client-agent-server demo over real TCP loopback sockets");
+  args.addInt("tasks", 6, "number of client requests");
+  args.addDouble("scale", 50.0, "speedup factor applied to task durations");
+  if (!args.parse(argc, argv)) return 0;
+  const int taskCount = static_cast<int>(args.getInt("tasks"));
+
+  wire::TcpListener listener(0);
+  std::cout << "agent listening on 127.0.0.1:" << listener.port() << "\n";
+
+  std::atomic<bool> stopServers{false};
+  std::thread s1(serverMain, "fast-server", listener.port(), 1.0,
+                 std::ref(stopServers));
+  std::thread s2(serverMain, "slow-server", listener.port(), 0.25,
+                 std::ref(stopServers));
+
+  // The agent accepts the two servers, then the client.
+  std::vector<std::shared_ptr<wire::TcpTransport>> peers;
+  for (int i = 0; i < 2; ++i) {
+    auto conn = listener.accept(3000);
+    if (!conn) {
+      std::cerr << "server failed to connect\n";
+      return 1;
+    }
+    peers.push_back(std::move(conn));
+  }
+
+  // Agent state: HTM + registry, exactly the simulated agent's brain.
+  core::HistoricalTraceManager htm;
+  std::map<std::string, std::shared_ptr<wire::TcpTransport>> serverLinks;
+  const Clock::time_point start = Clock::now();
+  const double scale = args.getDouble("scale");
+
+  // Drain registrations from both connections.
+  for (int tries = 0; tries < 3000 && serverLinks.size() < peers.size(); ++tries) {
+    for (auto& peer : peers) {
+      peer->poll([&](wire::Frame frame) {
+        if (frame.type != wire::MessageType::kRegister) return;
+        const wire::RegisterMsg reg = wire::decodeRegister(frame.payload);
+        htm.addServer(core::ServerModel{reg.serverName, reg.bwInMBps, reg.bwOutMBps, 0, 0});
+        serverLinks[reg.serverName] = peer;
+        std::cout << "agent: registered " << reg.serverName << "\n";
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (serverLinks.size() != 2) {
+    std::cerr << "registration incomplete\n";
+    stopServers.store(true);
+    s1.join();
+    s2.join();
+    return 1;
+  }
+
+  // The "client" lives in this thread: submit tasks through the agent.
+  // Unloaded durations (seconds on the fast server) in paper-like magnitudes.
+  const double durations[] = {16.0, 30.6, 45.6, 16.0, 30.6, 45.6, 16.0, 30.6};
+  std::map<std::uint64_t, std::string> placed;
+  std::map<std::uint64_t, double> doneAt;
+
+  for (int i = 0; i < taskCount; ++i) {
+    const auto id = static_cast<std::uint64_t>(i + 1);
+    const double cpuSeconds = durations[i % 8];
+    const double now = secondsSince(start) * scale;  // agent clock in task-time
+
+    // MSF over the HTM, as in the paper's fig. 4.
+    std::string best;
+    double bestScore = 0.0;
+    for (const std::string& server : htm.serverNames()) {
+      // The slow server runs at 1/4 speed: the agent knows the static costs.
+      const double cost = server == "fast-server" ? cpuSeconds : 4.0 * cpuSeconds;
+      const core::Preview p = htm.preview(server, core::TaskDims{0, cost, 0}, now);
+      const double score = p.sumPerturbation + (p.completionNew - now);
+      if (best.empty() || score < bestScore) {
+        best = server;
+        bestScore = score;
+      }
+    }
+    const double cost = best == "fast-server" ? cpuSeconds : 4.0 * cpuSeconds;
+    htm.commit(best, id, core::TaskDims{0, cost, 0}, now);
+    placed[id] = best;
+
+    wire::TaskSubmitMsg submit;
+    submit.taskId = id;
+    submit.problem = "waste-cpu";
+    // The wire carries the fast machine's unloaded duration in demo wall
+    // seconds; each server divides by its own speed factor when executing.
+    submit.cpuSeconds = cpuSeconds / scale;
+    serverLinks[best]->send(wire::MessageType::kTaskSubmit, wire::encode(submit));
+    std::cout << util::strformat("agent: task %llu (%.0fs of work) -> %s\n",
+                                 static_cast<unsigned long long>(id), cpuSeconds,
+                                 best.c_str());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+
+  // Collect completions.
+  while (doneAt.size() < static_cast<std::size_t>(taskCount)) {
+    for (auto& [name, link] : serverLinks) {
+      link->poll([&](wire::Frame frame) {
+        if (frame.type != wire::MessageType::kTaskComplete) return;
+        const wire::TaskCompleteMsg done = wire::decodeTaskComplete(frame.payload);
+        const double at = secondsSince(start);
+        doneAt[done.taskId] = at;
+        htm.onTaskCompleted(done.serverName, done.taskId, at * scale);
+        std::cout << util::strformat("agent: task %llu completed on %s at wall t=%.2fs\n",
+                                     static_cast<unsigned long long>(done.taskId),
+                                     done.serverName.c_str(), at);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (secondsSince(start) > 60.0) {
+      std::cerr << "timeout waiting for completions\n";
+      break;
+    }
+  }
+
+  for (auto& [name, link] : serverLinks) {
+    link->send(wire::MessageType::kShutdown, wire::encode(wire::ShutdownMsg{"done"}));
+  }
+  stopServers.store(true);
+  s1.join();
+  s2.join();
+  std::cout << "demo finished: " << doneAt.size() << "/" << taskCount
+            << " tasks completed over real sockets\n";
+  return doneAt.size() == static_cast<std::size_t>(taskCount) ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/// Full matrix-multiplication campaign on the paper's first server set -
+/// the workflow behind Tables 5 and 6, fully parameterized. Useful to
+/// explore regimes the paper did not publish (different rates, schedulers,
+/// fault-tolerance policies, noise levels).
+///
+///   ./matmul_campaign --rate 21 --heuristics mct,hmct,mp,msf,mni --reps 5
+
+#include <iostream>
+
+#include "exp/campaign.hpp"
+#include "exp/tables.hpp"
+#include "platform/testbed.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workload/task_types.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("matmul_campaign",
+                       "Matrix-multiplication campaign on server set 1 (Tables 5/6)");
+  args.addInt("tasks", 500, "tasks per metatask");
+  args.addDouble("rate", 30.0, "mean inter-arrival (s)");
+  args.addString("heuristics", "mct,hmct,mp,msf", "comma-separated heuristics");
+  args.addString("ft", "paper", "fault tolerance: paper | all | none");
+  args.addInt("reps", 3, "replications");
+  args.addInt("metatasks", 1, "distinct metatasks");
+  args.addInt("seed", 42, "master seed");
+  args.addDouble("cpu-noise", 0.08, "CPU noise amplitude");
+  args.addDouble("report-period", 30.0, "MCT load-report period (s)");
+  args.addString("out", "", "optional output dir for table + CSV");
+  if (!args.parse(argc, argv)) return 0;
+
+  exp::ExperimentSpec spec;
+  spec.name = "matmul-campaign";
+  spec.testbed = platform::buildSet1();
+  spec.metatask.count = static_cast<std::size_t>(args.getInt("tasks"));
+  spec.metatask.meanInterarrival = args.getDouble("rate");
+  spec.metatask.types = workload::matmulFamily();
+  spec.metatask.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  spec.system.reportPeriod = args.getDouble("report-period");
+  spec.system.cpuNoise = {args.getDouble("cpu-noise"), 5.0};
+  spec.system.linkNoise = {args.getDouble("cpu-noise"), 5.0};
+
+  exp::CampaignConfig cc;
+  cc.heuristics.clear();
+  for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
+    cc.heuristics.push_back(std::string(util::trim(h)));
+  }
+  cc.metataskCount = static_cast<std::size_t>(args.getInt("metatasks"));
+  cc.replications = static_cast<std::size_t>(args.getInt("reps"));
+  const std::string ft = args.getString("ft");
+  cc.ftPolicy = ft == "all"    ? exp::FaultTolerancePolicy::kAll
+                : ft == "none" ? exp::FaultTolerancePolicy::kNone
+                               : exp::FaultTolerancePolicy::kPaper;
+
+  const exp::CampaignResult result = exp::runCampaign(spec, cc);
+  const util::TablePrinter table =
+      cc.metataskCount > 1
+          ? exp::renderMultiMetataskTable(
+                util::strformat("matmul campaign, 1/lambda = %gs", spec.metatask.meanInterarrival),
+                result)
+          : exp::renderSingleMetataskTable(
+                util::strformat("matmul campaign, 1/lambda = %gs", spec.metatask.meanInterarrival),
+                result);
+  table.print(std::cout);
+  std::cout << "\n";
+  exp::renderServerDiagnostics("Per-server diagnostics", result).print(std::cout);
+  if (!args.getString("out").empty()) {
+    exp::emitTable(table, exp::campaignRawCsv(result), args.getString("out"),
+                   "matmul_campaign");
+  }
+  return 0;
+}

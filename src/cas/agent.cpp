@@ -1,0 +1,257 @@
+#include "cas/agent.hpp"
+
+#include <algorithm>
+
+#include "cas/server_daemon.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::cas {
+
+Agent::Agent(simcore::Simulator& sim, std::unique_ptr<core::Scheduler> scheduler,
+             platform::CostModel costs, AgentConfig config)
+    : sim_(sim),
+      scheduler_(std::move(scheduler)),
+      costs_(std::move(costs)),
+      config_(config),
+      htm_(config.htmSync) {
+  CASCHED_CHECK(scheduler_ != nullptr, "agent needs a scheduler");
+  CASCHED_CHECK(config_.controlLatency >= 0.0, "latency must be non-negative");
+}
+
+void Agent::registerServer(ServerDaemon* daemon, const core::ServerModel& model,
+                           std::vector<std::string> problems, double memSoftMB,
+                           double memCapacityMB) {
+  CASCHED_CHECK(daemon != nullptr, "null daemon registration");
+  CASCHED_CHECK(servers_.find(model.name) == servers_.end(),
+                "server '" + model.name + "' registered twice");
+  ServerState state;
+  state.daemon = daemon;
+  state.model = model;
+  state.problems = std::move(problems);
+  state.memSoftMB = memSoftMB;
+  state.memCapacityMB = memCapacityMB;
+  servers_.emplace(model.name, std::move(state));
+  serverOrder_.push_back(model.name);
+  htm_.addServer(model);
+}
+
+bool Agent::canSolve(const ServerState& s, const std::string& typeName) const {
+  for (const std::string& p : s.problems) {
+    if (p == "*" || p == typeName) return true;
+  }
+  return false;
+}
+
+double Agent::loadEstimate(const ServerState& s) const {
+  // NetSolve's two load-correction mechanisms (paper section 5.3): +1 for
+  // each task assigned since the last report (the report cannot know about
+  // them yet), -1 for each completion of a task the last report still counted.
+  double estimate = s.reportedLoad;
+  for (const auto& [taskId, assignedAt] : s.inFlight) {
+    if (assignedAt > s.lastReportTime) estimate += 1.0;
+  }
+  estimate -= static_cast<double>(s.completedOldSinceReport);
+  return std::max(0.0, estimate);
+}
+
+double Agent::loadEstimate(const std::string& server) const {
+  return loadEstimate(serverState(server));
+}
+
+Agent::ServerState& Agent::serverState(const std::string& name) {
+  auto it = servers_.find(name);
+  CASCHED_CHECK(it != servers_.end(), "unknown server '" + name + "'");
+  return it->second;
+}
+
+const Agent::ServerState& Agent::serverState(const std::string& name) const {
+  auto it = servers_.find(name);
+  CASCHED_CHECK(it != servers_.end(), "unknown server '" + name + "'");
+  return it->second;
+}
+
+void Agent::requestSchedule(const workload::TaskInstance& task) {
+  auto [it, inserted] = tasks_.try_emplace(task.index);
+  TaskState& state = it->second;
+  if (inserted) state.instance = task;
+  ++state.attempts;
+
+  // Build the candidate list in registration order (deterministic ties).
+  core::ScheduleQuery query;
+  query.taskId = task.index;
+  query.now = sim_.now();
+  // Reply to the client + client's submission to the server.
+  query.startDelay = 2.0 * config_.controlLatency;
+  query.htm = scheduler_->usesHtm() ? &htm_ : nullptr;
+  std::vector<std::string> candidateNames;
+  for (const std::string& name : serverOrder_) {
+    const ServerState& s = servers_.at(name);
+    if (!s.up || !canSolve(s, task.type.name)) continue;
+    core::CandidateServer c;
+    c.name = name;
+    c.dims.inMB = task.type.inMB;
+    c.dims.outMB = task.type.outMB;
+    c.dims.cpuSeconds = costs_.computeCost(name, task.type.name, task.type.refSeconds);
+    c.reportedLoad = loadEstimate(s);
+    double unloaded = c.dims.cpuSeconds;
+    if (c.dims.inMB > 0) unloaded += s.model.latencyIn + c.dims.inMB / s.model.bwInMBps;
+    else unloaded += s.model.latencyIn;
+    if (c.dims.outMB > 0) unloaded += s.model.latencyOut + c.dims.outMB / s.model.bwOutMBps;
+    else unloaded += s.model.latencyOut;
+    c.unloadedDuration = unloaded;
+    c.projectedResidentMB = s.projectedResidentMB;
+    c.memSoftMB = s.memSoftMB;
+    c.memCapacityMB = s.memCapacityMB;
+    c.taskMemMB = task.type.memMB;
+    query.candidates.push_back(std::move(c));
+    candidateNames.push_back(name);
+  }
+
+  if (query.candidates.empty()) {
+    // Nothing can run this task right now (every capable server is down).
+    // Same retry budget as the failure path: at most 1 + maxRetries attempts.
+    if (config_.faultTolerance && state.attempts <= config_.maxRetries) {
+      LOG_DEBUG("no server for task " << task.index << ", retrying later");
+      workload::TaskInstance retry = task;
+      sim_.scheduleAfter(config_.noServerRetryDelay,
+                         [this, retry] { requestSchedule(retry); });
+      return;
+    }
+    finishTask(state, metrics::TaskStatus::kLost);
+    return;
+  }
+
+  const core::ScheduleDecision decision = scheduler_->choose(query);
+  ++decisions_;
+  CASCHED_CHECK(decision.chosen.has_value(), "scheduler returned no choice");
+  const std::size_t chosen = *decision.chosen;
+  const core::CandidateServer& target = query.candidates[chosen];
+  ServerState& server = serverState(target.name);
+
+  state.server = target.name;
+  state.scheduledAt = sim_.now();
+  state.unloadedDuration = target.unloadedDuration;
+
+  // Paper's step 6 ("tell the HTM the task is allocated"). The trace is kept
+  // for every heuristic so prediction-accuracy statistics are always
+  // available; non-HTM schedulers simply never read it when deciding.
+  state.htmPredicted =
+      htm_.commit(target.name, task.index, target.dims, sim_.now(), query.startDelay);
+
+  server.inFlight.emplace(task.index, sim_.now());
+  server.projectedResidentMB += task.type.memMB;
+
+  psched::ExecRequest request;
+  request.taskId = task.index;
+  request.inMB = target.dims.inMB;
+  request.cpuSeconds = target.dims.cpuSeconds;
+  request.outMB = target.dims.outMB;
+  request.memMB = task.type.memMB;
+  ServerDaemon* daemon = server.daemon;
+  sim_.scheduleAfter(query.startDelay,
+                     [daemon, request] { daemon->submitTask(request.taskId, request); });
+}
+
+void Agent::onLoadReport(const std::string& server, double load,
+                         simcore::SimTime sampleTime) {
+  ServerState& s = serverState(server);
+  s.reportedLoad = load;
+  s.lastReportTime = sampleTime;
+  s.completedOldSinceReport = 0;
+  s.peakReportedLoad = std::max(s.peakReportedLoad, load);
+}
+
+void Agent::onTaskCompleted(const std::string& server, std::uint64_t taskId,
+                            simcore::SimTime completionTime, double unloadedDuration) {
+  ServerState& s = serverState(server);
+  auto itFlight = s.inFlight.find(taskId);
+  if (itFlight != s.inFlight.end()) {
+    if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
+    s.inFlight.erase(itFlight);
+  }
+  htm_.onTaskCompleted(server, taskId, completionTime);
+
+  auto it = tasks_.find(taskId);
+  CASCHED_CHECK(it != tasks_.end(), "completion notice for unknown task");
+  TaskState& task = it->second;
+  if (task.terminal) return;  // late duplicate (possible after retries)
+  s.projectedResidentMB = std::max(0.0, s.projectedResidentMB - task.instance.type.memMB);
+  task.completion = completionTime;
+  task.unloadedDuration = unloadedDuration;
+  finishTask(task, metrics::TaskStatus::kCompleted);
+}
+
+void Agent::onTaskFailed(const std::string& server, std::uint64_t taskId) {
+  ServerState& s = serverState(server);
+  auto itFlight = s.inFlight.find(taskId);
+  if (itFlight != s.inFlight.end()) {
+    if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
+    s.inFlight.erase(itFlight);
+  }
+  htm_.onTaskFailed(server, taskId, sim_.now());
+
+  auto it = tasks_.find(taskId);
+  CASCHED_CHECK(it != tasks_.end(), "failure notice for unknown task");
+  TaskState& task = it->second;
+  if (task.terminal) return;
+  s.projectedResidentMB = std::max(0.0, s.projectedResidentMB - task.instance.type.memMB);
+
+  if (config_.faultTolerance && task.attempts <= config_.maxRetries) {
+    LOG_DEBUG("task " << taskId << " failed on " << server << ", re-submitting (attempt "
+                      << task.attempts + 1 << ")");
+    requestSchedule(task.instance);
+    return;
+  }
+  finishTask(task, metrics::TaskStatus::kLost);
+}
+
+void Agent::onServerDown(const std::string& server) {
+  ServerState& s = serverState(server);
+  s.up = false;
+  s.projectedResidentMB = 0.0;
+  s.inFlight.clear();
+  s.reportedLoad = 0.0;
+  htm_.onServerCollapsed(server, sim_.now());
+}
+
+void Agent::onServerUp(const std::string& server) {
+  ServerState& s = serverState(server);
+  s.up = true;
+  s.lastReportTime = -1.0;
+  s.completedOldSinceReport = 0;
+}
+
+void Agent::finishTask(TaskState& task, metrics::TaskStatus status) {
+  CASCHED_CHECK(!task.terminal, "task finished twice");
+  task.terminal = true;
+  task.status = status;
+  ++terminal_;
+  if (expected_ != 0 && terminal_ == expected_ && allDone_) allDone_();
+}
+
+std::vector<metrics::TaskOutcome> Agent::collectOutcomes() const {
+  std::vector<metrics::TaskOutcome> out;
+  out.reserve(tasks_.size());
+  for (const auto& [taskId, state] : tasks_) {
+    metrics::TaskOutcome o;
+    o.index = taskId;
+    o.typeName = state.instance.type.name;
+    o.server = state.server;
+    o.arrival = state.instance.arrival;
+    o.scheduledAt = state.scheduledAt;
+    o.completion = state.completion;
+    o.unloadedDuration = state.unloadedDuration;
+    o.htmPredictedCompletion = state.htmPredicted;
+    o.attempts = state.attempts;
+    o.status = state.status;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+double Agent::peakReportedLoad(const std::string& server) const {
+  return serverState(server).peakReportedLoad;
+}
+
+}  // namespace casched::cas

@@ -1,0 +1,133 @@
+#pragma once
+/// \file agent.hpp
+/// The agent: central scheduler of the client-agent-server model (paper
+/// section 2.1). Keeps the server registry, the (stale) load-report view with
+/// NetSolve's two correction mechanisms (paper section 5.3), the Historical
+/// Trace Manager, per-server memory bookkeeping, and the fault-tolerant
+/// re-submission path that NetSolve's MCT has (paper section 5.1).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/htm.hpp"
+#include "core/schedulers.hpp"
+#include "metrics/record.hpp"
+#include "platform/calibration.hpp"
+#include "simcore/engine.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::cas {
+
+class ServerDaemon;
+
+struct AgentConfig {
+  /// One-way control-message latency (schedule RPCs, notifications).
+  double controlLatency = 0.005;
+  /// NetSolve MCT's re-submission of failed tasks; the authors' HMCT/MP/MSF
+  /// implementations lacked it (paper section 5.1).
+  bool faultTolerance = false;
+  int maxRetries = 5;
+  /// Delay before retrying when no server is currently available.
+  double noServerRetryDelay = 10.0;
+  core::SyncPolicy htmSync = core::SyncPolicy::kDropOnNotice;
+};
+
+class Agent {
+ public:
+  Agent(simcore::Simulator& sim, std::unique_ptr<core::Scheduler> scheduler,
+        platform::CostModel costs, AgentConfig config);
+
+  /// Server registration (paper: servers contact the agent with their problem
+  /// list and peak performances). `problems` lists solvable task-type names;
+  /// the single entry "*" means "solves everything". `memSoftMB` is physical
+  /// RAM, `memCapacityMB` is RAM+swap (used by memory-aware admission).
+  void registerServer(ServerDaemon* daemon, const core::ServerModel& model,
+                      std::vector<std::string> problems, double memSoftMB,
+                      double memCapacityMB);
+
+  /// Client request for one task, already delayed by the client->agent
+  /// latency. Picks a server, updates the HTM and bookkeeping, and forwards
+  /// the submission (after the reply + submit latencies).
+  void requestSchedule(const workload::TaskInstance& task);
+
+  // --- notifications from server daemons (already latency-delayed) ---
+  void onLoadReport(const std::string& server, double load,
+                    simcore::SimTime sampleTime);
+  void onTaskCompleted(const std::string& server, std::uint64_t taskId,
+                       simcore::SimTime completionTime, double unloadedDuration);
+  void onTaskFailed(const std::string& server, std::uint64_t taskId);
+  void onServerDown(const std::string& server);
+  void onServerUp(const std::string& server);
+
+  // --- experiment wiring ---
+  void setExpectedTasks(std::size_t n) { expected_ = n; }
+  void setAllDoneCallback(std::function<void()> fn) { allDone_ = std::move(fn); }
+
+  /// Outcomes ordered by metatask index (call after the run finishes).
+  std::vector<metrics::TaskOutcome> collectOutcomes() const;
+
+  const core::HistoricalTraceManager& htm() const { return htm_; }
+  const core::Scheduler& scheduler() const { return *scheduler_; }
+  std::size_t terminalCount() const { return terminal_; }
+  double peakReportedLoad(const std::string& server) const;
+  std::uint64_t scheduleDecisions() const { return decisions_; }
+
+  /// Current corrected load estimate for a server (MCT's view; exposed for
+  /// tests of the two NetSolve correction mechanisms).
+  double loadEstimate(const std::string& server) const;
+
+ private:
+  struct ServerState {
+    ServerDaemon* daemon = nullptr;
+    core::ServerModel model;
+    std::vector<std::string> problems;
+    bool up = true;
+    double reportedLoad = 0.0;
+    simcore::SimTime lastReportTime = -1.0;  ///< -1: never reported
+    double peakReportedLoad = 0.0;
+    std::map<std::uint64_t, simcore::SimTime> inFlight;  ///< taskId -> assign time
+    std::uint64_t completedOldSinceReport = 0;
+    double projectedResidentMB = 0.0;
+    double memSoftMB = 1e18;
+    double memCapacityMB = 1e18;
+  };
+
+  struct TaskState {
+    workload::TaskInstance instance;
+    int attempts = 0;
+    std::string server;
+    simcore::SimTime scheduledAt = -1.0;
+    simcore::SimTime completion = -1.0;
+    double unloadedDuration = 0.0;
+    simcore::SimTime htmPredicted = -1.0;
+    bool terminal = false;
+    metrics::TaskStatus status = metrics::TaskStatus::kLost;
+  };
+
+  bool canSolve(const ServerState& s, const std::string& typeName) const;
+  double loadEstimate(const ServerState& s) const;
+  void finishTask(TaskState& task, metrics::TaskStatus status);
+  ServerState& serverState(const std::string& name);
+  const ServerState& serverState(const std::string& name) const;
+
+  simcore::Simulator& sim_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  platform::CostModel costs_;
+  AgentConfig config_;
+  core::HistoricalTraceManager htm_;
+  std::map<std::string, ServerState> servers_;  // registration order not
+                                                // needed; name order is stable
+  std::vector<std::string> serverOrder_;        // registration order (determinism)
+  std::map<std::uint64_t, TaskState> tasks_;
+  std::size_t expected_ = 0;
+  std::size_t terminal_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::function<void()> allDone_;
+};
+
+}  // namespace casched::cas

@@ -1,0 +1,21 @@
+#include "cas/client.hpp"
+
+#include "util/error.hpp"
+
+namespace casched::cas {
+
+Client::Client(simcore::Simulator& sim, Agent& agent, double controlLatency)
+    : sim_(sim), agent_(agent), latency_(controlLatency) {
+  CASCHED_CHECK(latency_ >= 0.0, "latency must be non-negative");
+}
+
+void Client::submitMetatask(const workload::Metatask& metatask) {
+  for (const workload::TaskInstance& task : metatask.tasks) {
+    ++submitted_;
+    const workload::TaskInstance copy = task;
+    sim_.scheduleAt(task.arrival + latency_,
+                    [this, copy] { agent_.requestSchedule(copy); });
+  }
+}
+
+}  // namespace casched::cas

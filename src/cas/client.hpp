@@ -1,0 +1,30 @@
+#pragma once
+/// \file client.hpp
+/// The client: submits a metatask to the agent, one request per task at its
+/// arrival date (paper section 5: "an experiment is the submission of a
+/// metatask composed of independent tasks to the agent").
+
+#include "cas/agent.hpp"
+#include "simcore/engine.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::cas {
+
+class Client {
+ public:
+  Client(simcore::Simulator& sim, Agent& agent, double controlLatency);
+
+  /// Schedules all submission events. The agent receives each request one
+  /// control latency after the task's arrival date.
+  void submitMetatask(const workload::Metatask& metatask);
+
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  simcore::Simulator& sim_;
+  Agent& agent_;
+  double latency_;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace casched::cas

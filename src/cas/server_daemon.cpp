@@ -1,0 +1,124 @@
+#include "cas/server_daemon.hpp"
+
+#include "cas/agent.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::cas {
+
+ServerDaemon::ServerDaemon(simcore::Simulator& sim, const psched::MachineSpec& spec,
+                           std::vector<std::string> problems, ServerDaemonConfig config)
+    : sim_(sim),
+      config_(config),
+      problems_(std::move(problems)),
+      machine_(sim, spec),
+      noiseRng_(config.noiseSeed) {
+  CASCHED_CHECK(config_.reportPeriod > 0.0, "report period must be positive");
+  machine_.setCollapseObserver([this](const std::vector<psched::ExecRecord>& victims) {
+    if (agent_ == nullptr) return;
+    // The agent learns of the crash and of every lost task one latency later.
+    Agent* agent = agent_;
+    const std::string server = name();
+    sim_.scheduleAfter(config_.controlLatency, [agent, server] {
+      agent->onServerDown(server);
+    });
+    for (const psched::ExecRecord& rec : victims) {
+      notifyFailure(rec.request.taskId);
+    }
+  });
+  machine_.setRecoverObserver([this] {
+    if (agent_ == nullptr) return;
+    Agent* agent = agent_;
+    const std::string server = name();
+    sim_.scheduleAfter(config_.controlLatency, [agent, server] {
+      agent->onServerUp(server);
+    });
+  });
+}
+
+void ServerDaemon::connectAgent(Agent* agent) {
+  CASCHED_CHECK(agent != nullptr, "daemon needs an agent");
+  agent_ = agent;
+  if (config_.cpuNoise.amplitude > 0.0) {
+    cpuNoise_ = std::make_unique<psched::NoiseProcess>(
+        sim_, noiseRng_, config_.cpuNoise,
+        [this](double f) { machine_.setCpuNoiseFactor(f); });
+    cpuNoise_->start();
+  }
+  if (config_.linkNoise.amplitude > 0.0) {
+    linkNoise_ = std::make_unique<psched::NoiseProcess>(
+        sim_, noiseRng_, config_.linkNoise,
+        [this](double f) { machine_.setLinkNoiseFactor(f); });
+    linkNoise_->start();
+  }
+  scheduleNextReport();
+}
+
+void ServerDaemon::quiesce() {
+  quiesced_ = true;
+  if (reportTimer_.valid()) {
+    sim_.cancel(reportTimer_);
+    reportTimer_ = {};
+  }
+  if (cpuNoise_) cpuNoise_->stop();
+  if (linkNoise_) linkNoise_->stop();
+}
+
+void ServerDaemon::scheduleNextReport() {
+  if (quiesced_) return;
+  reportTimer_ = sim_.scheduleAfter(config_.reportPeriod, [this] { sendLoadReport(); });
+}
+
+void ServerDaemon::sendLoadReport() {
+  reportTimer_ = {};
+  if (agent_ != nullptr && machine_.up()) {
+    const double load = machine_.loadAverage();
+    const simcore::SimTime sampleTime = sim_.now();
+    Agent* agent = agent_;
+    const std::string server = name();
+    sim_.scheduleAfter(config_.controlLatency, [agent, server, load, sampleTime] {
+      agent->onLoadReport(server, load, sampleTime);
+    });
+  }
+  scheduleNextReport();
+}
+
+void ServerDaemon::submitTask(std::uint64_t taskId, const psched::ExecRequest& request) {
+  if (!machine_.up()) {
+    LOG_DEBUG("server " << name() << " rejects task " << taskId << " (down)");
+    notifyFailure(taskId);
+    return;
+  }
+  const bool accepted = machine_.submit(
+      request, [this](const psched::ExecRecord& record) { notifyCompletion(record); });
+  if (!accepted) {
+    // Either the machine was down or this admission collapsed it; in both
+    // cases the submitting task is lost (collapse victims are reported by the
+    // collapse observer separately).
+    notifyFailure(taskId);
+  }
+}
+
+void ServerDaemon::notifyCompletion(const psched::ExecRecord& record) {
+  if (agent_ == nullptr) return;
+  Agent* agent = agent_;
+  const std::string server = name();
+  const std::uint64_t taskId = record.request.taskId;
+  const simcore::SimTime completion = record.endTime;
+  const double unloaded = machine_.unloadedDuration(record.request);
+  sim_.scheduleAfter(config_.controlLatency,
+                     [agent, server, taskId, completion, unloaded] {
+                       agent->onTaskCompleted(server, taskId, completion, unloaded);
+                     });
+}
+
+void ServerDaemon::notifyFailure(std::uint64_t taskId) {
+  if (agent_ == nullptr) return;
+  Agent* agent = agent_;
+  const std::string server = name();
+  sim_.scheduleAfter(config_.controlLatency, [agent, server, taskId] {
+    agent->onTaskFailed(server, taskId);
+  });
+}
+
+}  // namespace casched::cas

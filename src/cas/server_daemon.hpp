@@ -1,0 +1,75 @@
+#pragma once
+/// \file server_daemon.hpp
+/// The server-side daemon: accepts task submissions, runs them on its
+/// psched::Machine, reports its load average periodically, and notifies the
+/// agent of completions, failures, collapses and recoveries - the NetSolve
+/// computational server's visible behaviour.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psched/machine.hpp"
+#include "psched/noise.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/rng.hpp"
+
+namespace casched::cas {
+
+class Agent;
+
+struct ServerDaemonConfig {
+  /// Period of load reports to the agent (NetSolve workload manager).
+  double reportPeriod = 30.0;
+  /// One-way control-message latency to the agent.
+  double controlLatency = 0.005;
+  /// Background variability of this server's CPU and links (paper's shared
+  /// laboratory environment); amplitude 0 disables.
+  psched::NoiseConfig cpuNoise;
+  psched::NoiseConfig linkNoise;
+  std::uint64_t noiseSeed = 0;
+};
+
+class ServerDaemon {
+ public:
+  ServerDaemon(simcore::Simulator& sim, const psched::MachineSpec& spec,
+               std::vector<std::string> problems, ServerDaemonConfig config);
+
+  ServerDaemon(const ServerDaemon&) = delete;
+  ServerDaemon& operator=(const ServerDaemon&) = delete;
+
+  /// Wires the agent and starts load reports + noise processes.
+  void connectAgent(Agent* agent);
+
+  /// Stops periodic activity so the simulation can drain (end of run).
+  void quiesce();
+
+  /// Incoming task submission (called at data-arrival time). Failure paths
+  /// (machine down, collapse on admission) notify the agent asynchronously.
+  void submitTask(std::uint64_t taskId, const psched::ExecRequest& request);
+
+  const std::string& name() const { return machine_.name(); }
+  psched::Machine& machine() { return machine_; }
+  const psched::Machine& machine() const { return machine_; }
+  const std::vector<std::string>& problems() const { return problems_; }
+
+ private:
+  void sendLoadReport();
+  void scheduleNextReport();
+  void notifyCompletion(const psched::ExecRecord& record);
+  void notifyFailure(std::uint64_t taskId);
+
+  simcore::Simulator& sim_;
+  ServerDaemonConfig config_;
+  std::vector<std::string> problems_;
+  psched::Machine machine_;
+  Agent* agent_ = nullptr;
+  simcore::EventHandle reportTimer_{};
+  simcore::RandomStream noiseRng_;
+  std::unique_ptr<psched::NoiseProcess> cpuNoise_;
+  std::unique_ptr<psched::NoiseProcess> linkNoise_;
+  bool quiesced_ = false;
+};
+
+}  // namespace casched::cas

@@ -1,0 +1,105 @@
+#include "cas/system.hpp"
+
+#include <algorithm>
+
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::cas {
+
+GridSystem::GridSystem(const platform::Testbed& testbed,
+                       const workload::Metatask& metatask,
+                       const std::string& schedulerName, const SystemConfig& config)
+    : metatask_(metatask), schedulerName_(schedulerName), config_(config) {
+  CASCHED_CHECK(!testbed.servers.empty(), "testbed has no servers");
+  CASCHED_CHECK(!metatask_.tasks.empty(), "metatask is empty");
+
+  const double latency =
+      config_.controlLatency >= 0.0 ? config_.controlLatency : testbed.controlLatency;
+
+  AgentConfig agentConfig;
+  agentConfig.controlLatency = latency;
+  agentConfig.faultTolerance = config_.faultTolerance;
+  agentConfig.maxRetries = config_.maxRetries;
+  agentConfig.htmSync = config_.htmSync;
+  agent_ = std::make_unique<Agent>(
+      sim_, core::makeScheduler(schedulerName, config_.schedulerSeed), testbed.costs,
+      agentConfig);
+
+  std::uint64_t machineIndex = 0;
+  for (const psched::MachineSpec& spec : testbed.servers) {
+    ServerDaemonConfig daemonConfig;
+    daemonConfig.reportPeriod = config_.reportPeriod;
+    daemonConfig.controlLatency = latency;
+    daemonConfig.cpuNoise = config_.cpuNoise;
+    daemonConfig.linkNoise = config_.linkNoise;
+    daemonConfig.noiseSeed = simcore::deriveSeed(config_.noiseSeed, machineIndex++);
+    auto daemon =
+        std::make_unique<ServerDaemon>(sim_, spec, std::vector<std::string>{"*"},
+                                       daemonConfig);
+
+    core::ServerModel model;
+    model.name = spec.name;
+    model.bwInMBps = spec.bwInMBps;
+    model.bwOutMBps = spec.bwOutMBps;
+    model.latencyIn = spec.latencyIn;
+    model.latencyOut = spec.latencyOut;
+    agent_->registerServer(daemon.get(), model, {"*"}, spec.ramMB,
+                           spec.ramMB + spec.swapMB);
+    daemon->connectAgent(agent_.get());
+    daemons_.push_back(std::move(daemon));
+  }
+
+  client_ = std::make_unique<Client>(sim_, *agent_, latency);
+}
+
+ServerDaemon& GridSystem::daemon(const std::string& name) {
+  for (auto& d : daemons_) {
+    if (d->name() == name) return *d;
+  }
+  throw util::Error("unknown daemon '" + name + "'");
+}
+
+metrics::RunResult GridSystem::run() {
+  agent_->setExpectedTasks(metatask_.size());
+  agent_->setAllDoneCallback([this] { sim_.requestStop(); });
+  client_->submitMetatask(metatask_);
+  sim_.run(config_.horizon);
+
+  if (agent_->terminalCount() < metatask_.size()) {
+    LOG_WARN("run hit the horizon with " << metatask_.size() - agent_->terminalCount()
+                                         << " unfinished tasks");
+  }
+  for (auto& d : daemons_) d->quiesce();
+
+  metrics::RunResult result;
+  result.heuristic = schedulerName_;
+  result.metataskName = metatask_.name;
+  result.tasks = agent_->collectOutcomes();
+  result.endTime = sim_.now();
+  result.simulatedEvents = sim_.executedEvents();
+  result.htmMeanRelErrorPercent = agent_->htm().stats().meanRelErrorPercent();
+  for (auto& d : daemons_) {
+    const psched::MachineStats& ms = d->machine().stats();
+    metrics::ServerSummary s;
+    s.tasksCompleted = ms.completed;
+    s.tasksFailed = ms.failed;
+    s.collapses = ms.collapses;
+    s.peakResidentMB = ms.peakResidentMB;
+    s.busySeconds = ms.busyCpuSeconds;
+    s.peakLoadReported = agent_->peakReportedLoad(d->name());
+    result.servers.emplace(d->name(), s);
+  }
+  return result;
+}
+
+metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
+                                       const workload::Metatask& metatask,
+                                       const std::string& schedulerName,
+                                       const SystemConfig& config) {
+  GridSystem system(testbed, metatask, schedulerName, config);
+  return system.run();
+}
+
+}  // namespace casched::cas

@@ -1,0 +1,72 @@
+#pragma once
+/// \file system.hpp
+/// End-to-end wiring: builds the simulator, machines, daemons, agent and
+/// client for one experiment, runs it to completion, and returns the
+/// metrics-ready RunResult. This is the single entry point the experiment
+/// harness and the benches use.
+
+#include <memory>
+#include <string>
+
+#include "cas/agent.hpp"
+#include "cas/client.hpp"
+#include "cas/server_daemon.hpp"
+#include "metrics/record.hpp"
+#include "platform/testbed.hpp"
+#include "psched/noise.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::cas {
+
+struct SystemConfig {
+  /// Load-report period (NetSolve workload manager).
+  double reportPeriod = 30.0;
+  /// One-way control-message latency; <0 means "use the testbed's value".
+  double controlLatency = -1.0;
+  /// NetSolve-MCT-style fault tolerance (re-submission of failed tasks).
+  bool faultTolerance = false;
+  int maxRetries = 5;
+  core::SyncPolicy htmSync = core::SyncPolicy::kDropOnNotice;
+  /// Ground-truth variability (paper's shared laboratory testbed).
+  psched::NoiseConfig cpuNoise;
+  psched::NoiseConfig linkNoise;
+  std::uint64_t noiseSeed = 99;
+  /// Scheduler RNG seed (random baseline only).
+  std::uint64_t schedulerSeed = 7;
+  /// Hard stop: no experiment should ever reach this.
+  double horizon = 5.0e6;
+};
+
+/// Owns every simulation object of one experiment run.
+class GridSystem {
+ public:
+  GridSystem(const platform::Testbed& testbed, const workload::Metatask& metatask,
+             const std::string& schedulerName, const SystemConfig& config);
+
+  GridSystem(const GridSystem&) = delete;
+  GridSystem& operator=(const GridSystem&) = delete;
+
+  /// Runs to completion (all tasks terminal) and builds the result.
+  metrics::RunResult run();
+
+  Agent& agent() { return *agent_; }
+  simcore::Simulator& simulator() { return sim_; }
+  ServerDaemon& daemon(const std::string& name);
+
+ private:
+  simcore::Simulator sim_;
+  const workload::Metatask metatask_;
+  std::string schedulerName_;
+  SystemConfig config_;
+  std::vector<std::unique_ptr<ServerDaemon>> daemons_;
+  std::unique_ptr<Agent> agent_;
+  std::unique_ptr<Client> client_;
+};
+
+/// Convenience one-shot: build + run.
+metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
+                                       const workload::Metatask& metatask,
+                                       const std::string& schedulerName,
+                                       const SystemConfig& config);
+
+}  // namespace casched::cas

@@ -1,0 +1,92 @@
+#include "core/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace casched::core {
+
+namespace {
+// Mirrors TracePhase without including server_trace.hpp (gantt is the lower
+// layer of the two headers).
+constexpr std::uint8_t kPhaseTransferIn = 1;
+constexpr std::uint8_t kPhaseCompute = 2;
+constexpr std::uint8_t kPhaseTransferOut = 4;
+
+char phaseGlyph(std::uint8_t phase) {
+  switch (phase) {
+    case kPhaseTransferIn: return '<';
+    case kPhaseCompute: return '=';
+    case kPhaseTransferOut: return '>';
+    default: return '.';  // latency phases
+  }
+}
+}  // namespace
+
+std::string renderGanttAscii(const GanttChart& chart, double secondsPerColumn) {
+  if (chart.empty()) return "(empty gantt for " + chart.serverName + ")\n";
+
+  const double span = std::max(1e-9, chart.horizon - chart.origin);
+  constexpr int kTargetColumns = 72;
+  double perCol = secondsPerColumn > 0.0 ? secondsPerColumn
+                                         : span / static_cast<double>(kTargetColumns);
+  const int columns = std::max(1, static_cast<int>(span / perCol + 0.999));
+
+  // Stable row order: first appearance of each task.
+  std::vector<std::uint64_t> order;
+  std::map<std::uint64_t, std::string> rows;
+  for (const GanttSegment& seg : chart.segments) {
+    if (rows.find(seg.taskId) == rows.end()) {
+      rows[seg.taskId] = std::string(static_cast<std::size_t>(columns), ' ');
+      order.push_back(seg.taskId);
+    }
+  }
+  for (const GanttSegment& seg : chart.segments) {
+    std::string& row = rows[seg.taskId];
+    const int c0 = std::clamp(
+        static_cast<int>((seg.start - chart.origin) / perCol), 0, columns - 1);
+    const int c1 = std::clamp(
+        static_cast<int>((seg.end - chart.origin) / perCol + 0.5), c0 + 1, columns);
+    for (int c = c0; c < c1; ++c) row[static_cast<std::size_t>(c)] = phaseGlyph(seg.phase);
+  }
+
+  std::ostringstream os;
+  os << "Gantt chart: server " << chart.serverName
+     << util::strformat("  [t=%.2f .. t=%.2f]  (one column = %.2fs)\n",
+                        chart.origin, chart.horizon, perCol);
+  os << "  legend: '<' input transfer, '=' compute, '>' output transfer, '.' latency\n";
+  for (std::uint64_t id : order) {
+    os << util::strformat("  task %-6llu |", static_cast<unsigned long long>(id))
+       << rows[id] << "|\n";
+  }
+  // Per-task compute-share annotations, the paper's 100% / 50% / 33.3% labels.
+  for (std::uint64_t id : order) {
+    std::string shares;
+    for (const GanttSegment& seg : chart.segments) {
+      if (seg.taskId != id || seg.phase != kPhaseCompute) continue;
+      shares += util::strformat(" [%.1f..%.1f]@%.3g%%", seg.start, seg.end,
+                                100.0 * seg.share);
+    }
+    if (!shares.empty()) {
+      os << util::strformat("  task %-6llu cpu shares:%s\n",
+                            static_cast<unsigned long long>(id), shares.c_str());
+    }
+  }
+  return os.str();
+}
+
+std::string ganttToCsv(const GanttChart& chart) {
+  util::CsvWriter csv({"server", "taskId", "phase", "start", "end", "share"});
+  for (const GanttSegment& seg : chart.segments) {
+    csv.addRow({chart.serverName, std::to_string(seg.taskId),
+                std::to_string(static_cast<int>(seg.phase)),
+                util::strformat("%.9g", seg.start), util::strformat("%.9g", seg.end),
+                util::strformat("%.9g", seg.share)});
+  }
+  return csv.render();
+}
+
+}  // namespace casched::core

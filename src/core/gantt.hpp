@@ -1,0 +1,41 @@
+#pragma once
+/// \file gantt.hpp
+/// Gantt chart extraction and ASCII rendering (paper figure 1). The HTM can
+/// dump, for any server, the simulated schedule of its remaining tasks:
+/// which phase each task is in over time and the CPU/link share it receives.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace casched::core {
+
+/// One constant-share interval of one task.
+struct GanttSegment {
+  std::uint64_t taskId = 0;
+  std::uint8_t phase = 0;  ///< TracePhase value (kept raw to avoid a cycle)
+  simcore::SimTime start = 0.0;
+  simcore::SimTime end = 0.0;
+  double share = 1.0;  ///< fraction of the resource granted (1/k)
+};
+
+struct GanttChart {
+  std::string serverName;
+  simcore::SimTime origin = 0.0;   ///< time the simulation started from
+  simcore::SimTime horizon = 0.0;  ///< completion of the last task
+  std::vector<GanttSegment> segments;
+
+  bool empty() const { return segments.empty(); }
+};
+
+/// Renders rows of `= compute / - transfer / . waiting` per task, one column
+/// per `secondsPerColumn`, with a share legend per compute segment - an ASCII
+/// analogue of the paper's figure 1.
+std::string renderGanttAscii(const GanttChart& chart, double secondsPerColumn = 0.0);
+
+/// CSV rows (taskId, phase, start, end, share) for plotting.
+std::string ganttToCsv(const GanttChart& chart);
+
+}  // namespace casched::core

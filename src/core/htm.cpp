@@ -1,0 +1,200 @@
+#include "core/htm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::core {
+
+namespace {
+constexpr double kPerturbEps = 1e-9;
+/// EWMA gain for the kRescale speed correction.
+constexpr double kRescaleAlpha = 0.2;
+}  // namespace
+
+SyncPolicy parseSyncPolicy(const std::string& name) {
+  const std::string n = util::toLower(name);
+  if (n == "predict-only" || n == "none") return SyncPolicy::kPredictOnly;
+  if (n == "drop" || n == "drop-on-notice") return SyncPolicy::kDropOnNotice;
+  if (n == "rescale") return SyncPolicy::kRescale;
+  throw util::ConfigError("unknown HTM sync policy '" + name + "'");
+}
+
+std::string syncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kPredictOnly: return "predict-only";
+    case SyncPolicy::kDropOnNotice: return "drop-on-notice";
+    case SyncPolicy::kRescale: return "rescale";
+  }
+  return "?";
+}
+
+HistoricalTraceManager::HistoricalTraceManager(SyncPolicy policy) : policy_(policy) {}
+
+void HistoricalTraceManager::addServer(const ServerModel& model) {
+  CASCHED_CHECK(servers_.find(model.name) == servers_.end(),
+                "server '" + model.name + "' already registered with the HTM");
+  servers_.emplace(model.name, Entry{ServerTrace(model), 1.0, {}});
+}
+
+bool HistoricalTraceManager::hasServer(const std::string& server) const {
+  return servers_.find(server) != servers_.end();
+}
+
+std::vector<std::string> HistoricalTraceManager::serverNames() const {
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const auto& [name, entry] : servers_) names.push_back(name);
+  return names;
+}
+
+HistoricalTraceManager::Entry& HistoricalTraceManager::entryFor(const std::string& server) {
+  auto it = servers_.find(server);
+  CASCHED_CHECK(it != servers_.end(), "unknown server '" + server + "'");
+  return it->second;
+}
+
+const HistoricalTraceManager::Entry& HistoricalTraceManager::entryFor(
+    const std::string& server) const {
+  auto it = servers_.find(server);
+  CASCHED_CHECK(it != servers_.end(), "unknown server '" + server + "'");
+  return it->second;
+}
+
+TaskDims HistoricalTraceManager::adjustedDims(const Entry& entry,
+                                              const TaskDims& dims) const {
+  if (policy_ != SyncPolicy::kRescale) return dims;
+  TaskDims adjusted = dims;
+  adjusted.cpuSeconds *= entry.speedRatio;
+  return adjusted;
+}
+
+Preview HistoricalTraceManager::preview(const std::string& server, const TaskDims& dims,
+                                        simcore::SimTime now, double startDelay) const {
+  const Entry& entry = entryFor(server);
+  ++stats_.previews;
+
+  // Work on a copy advanced to `now`; the committed trace stays untouched
+  // (it is advanced lazily on commits/notices).
+  ServerTrace base = entry.trace;
+  base.advanceTo(now);
+  const std::map<std::uint64_t, simcore::SimTime> before = base.predictCompletions();
+
+  ServerTrace with = base;
+  constexpr std::uint64_t kHypotheticalId = ~0ULL;
+  with.admit(kHypotheticalId, adjustedDims(entry, dims), now, startDelay);
+  const std::map<std::uint64_t, simcore::SimTime> after = with.predictCompletions();
+
+  Preview p;
+  p.server = server;
+  auto itNew = after.find(kHypotheticalId);
+  CASCHED_CHECK(itNew != after.end(), "hypothetical task vanished from trace");
+  p.completionNew = itNew->second;
+  for (const auto& [taskId, sigma] : before) {
+    auto itAfter = after.find(taskId);
+    CASCHED_CHECK(itAfter != after.end(), "existing task vanished from trace");
+    const double delta = itAfter->second - sigma;
+    p.perTask.push_back(Perturbation{taskId, delta});
+    p.sumPerturbation += delta;
+    if (delta > kPerturbEps) ++p.perturbedCount;
+  }
+  return p;
+}
+
+simcore::SimTime HistoricalTraceManager::commit(const std::string& server,
+                                                std::uint64_t taskId, const TaskDims& dims,
+                                                simcore::SimTime now, double startDelay) {
+  Entry& entry = entryFor(server);
+  entry.trace.admit(taskId, adjustedDims(entry, dims), now, startDelay);
+  // Refresh the prediction of EVERY task on this server: the paper's Table 1
+  // compares real completion dates against the HTM's final simulation, which
+  // accounts for all tasks mapped before each completion (the new task
+  // perturbs its neighbours' dates).
+  const auto all = entry.trace.predictCompletions();
+  simcore::SimTime predictedNew = simcore::kTimeInfinity;
+  for (const auto& [id, sigma] : all) {
+    auto it = entry.predicted.find(id);
+    if (it != entry.predicted.end()) {
+      it->second.first = sigma;
+    } else {
+      entry.predicted[id] = {sigma, now + startDelay};
+    }
+    if (id == taskId) predictedNew = sigma;
+  }
+  ++stats_.commits;
+  return predictedNew;
+}
+
+void HistoricalTraceManager::onTaskCompleted(const std::string& server,
+                                             std::uint64_t taskId,
+                                             simcore::SimTime actualCompletion) {
+  Entry& entry = entryFor(server);
+  ++stats_.completionNotices;
+
+  auto itPred = entry.predicted.find(taskId);
+  if (itPred != entry.predicted.end()) {
+    const auto [predicted, admitted] = itPred->second;
+    const double err = std::abs(actualCompletion - predicted);
+    const double actualDuration = std::max(1e-9, actualCompletion - admitted);
+    stats_.absErrorSum += err;
+    stats_.relErrorSum += err / actualDuration;
+    ++stats_.errorSamples;
+    if (policy_ == SyncPolicy::kRescale) {
+      const double predictedDuration = std::max(1e-9, predicted - admitted);
+      const double ratio = actualDuration / predictedDuration;
+      entry.speedRatio = (1.0 - kRescaleAlpha) * entry.speedRatio + kRescaleAlpha * ratio;
+      entry.speedRatio = std::clamp(entry.speedRatio, 0.2, 5.0);
+    }
+    entry.predicted.erase(itPred);
+  }
+
+  if (policy_ == SyncPolicy::kPredictOnly) return;
+  entry.trace.advanceTo(actualCompletion);
+  entry.trace.remove(taskId);  // no-op when the simulation already retired it
+}
+
+void HistoricalTraceManager::onTaskFailed(const std::string& server, std::uint64_t taskId,
+                                          simcore::SimTime now) {
+  Entry& entry = entryFor(server);
+  ++stats_.failureNotices;
+  entry.trace.advanceTo(now);
+  entry.trace.remove(taskId);
+  entry.predicted.erase(taskId);
+}
+
+void HistoricalTraceManager::onServerCollapsed(const std::string& server,
+                                               simcore::SimTime now) {
+  Entry& entry = entryFor(server);
+  entry.trace.advanceTo(now);
+  entry.trace.clear();
+  entry.predicted.clear();
+}
+
+std::map<std::uint64_t, simcore::SimTime> HistoricalTraceManager::predictedCompletions(
+    const std::string& server, simcore::SimTime now) {
+  Entry& entry = entryFor(server);
+  entry.trace.advanceTo(now);
+  return entry.trace.predictCompletions();
+}
+
+GanttChart HistoricalTraceManager::gantt(const std::string& server, simcore::SimTime now) {
+  Entry& entry = entryFor(server);
+  entry.trace.advanceTo(now);
+  return entry.trace.simulateGantt();
+}
+
+std::size_t HistoricalTraceManager::activeTasks(const std::string& server) const {
+  return entryFor(server).trace.activeTasks();
+}
+
+double HistoricalTraceManager::speedCorrection(const std::string& server) const {
+  return entryFor(server).speedRatio;
+}
+
+const ServerTrace& HistoricalTraceManager::trace(const std::string& server) const {
+  return entryFor(server).trace;
+}
+
+}  // namespace casched::core

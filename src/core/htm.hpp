@@ -1,0 +1,140 @@
+#pragma once
+/// \file htm.hpp
+/// The Historical Trace Manager (paper section 2.3): keeps one ServerTrace
+/// per registered server, answers "what happens if I map this task there?"
+/// with the predicted completion of the new task (sigma'_new), the per-task
+/// perturbations pi_j = sigma'_j - sigma_j, and their sum - the quantities
+/// driving HMCT, MP, MSF and MNI (paper figures 2-4).
+///
+/// Synchronization with reality (paper section 7's future work) is pluggable:
+/// completion notices can be ignored, used to drop tasks from the trace, or
+/// additionally used to learn a per-server speed correction.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/server_trace.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::core {
+
+/// How the HTM digests completion notices from servers.
+enum class SyncPolicy : std::uint8_t {
+  /// Pure simulation: notices are ignored (tasks leave the trace when the
+  /// simulation says so). Under noise the trace drifts - the paper's
+  /// motivation for better synchronization.
+  kPredictOnly,
+  /// A completion notice removes the task from the trace if still present
+  /// (default; mirrors NetSolve's completion messages).
+  kDropOnNotice,
+  /// kDropOnNotice plus an EWMA speed correction: observed actual/predicted
+  /// duration ratios scale the compute cost of future admissions.
+  kRescale,
+};
+
+SyncPolicy parseSyncPolicy(const std::string& name);
+std::string syncPolicyName(SyncPolicy policy);
+
+/// Perturbation of one already-mapped task (paper's pi_j).
+struct Perturbation {
+  std::uint64_t taskId = 0;
+  double delta = 0.0;
+};
+
+/// Result of previewing a hypothetical mapping.
+struct Preview {
+  std::string server;
+  simcore::SimTime completionNew = 0.0;  ///< sigma'_{n+1}: new task's completion
+  double sumPerturbation = 0.0;          ///< sum_j pi_j
+  std::size_t perturbedCount = 0;        ///< |{j : pi_j > eps}| (for MNI)
+  std::vector<Perturbation> perTask;     ///< individual pi_j, task order
+};
+
+/// Prediction bookkeeping for accuracy statistics and the rescale policy.
+struct HtmStats {
+  std::uint64_t previews = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t completionNotices = 0;
+  std::uint64_t failureNotices = 0;
+  /// Accumulated |actual - predicted| completion error and count, from
+  /// completion notices of tasks with a recorded prediction.
+  double absErrorSum = 0.0;
+  double relErrorSum = 0.0;  ///< |err| / actual duration (the paper's Table 1 %)
+  std::uint64_t errorSamples = 0;
+
+  double meanAbsError() const {
+    return errorSamples == 0 ? 0.0 : absErrorSum / static_cast<double>(errorSamples);
+  }
+  double meanRelErrorPercent() const {
+    return errorSamples == 0 ? 0.0
+                             : 100.0 * relErrorSum / static_cast<double>(errorSamples);
+  }
+};
+
+class HistoricalTraceManager {
+ public:
+  explicit HistoricalTraceManager(SyncPolicy policy = SyncPolicy::kDropOnNotice);
+
+  void addServer(const ServerModel& model);
+  bool hasServer(const std::string& server) const;
+  std::vector<std::string> serverNames() const;
+
+  /// Simulates mapping a task of `dims` on `server`: the task is admitted at
+  /// `now + startDelay` (submission path latency). Does not mutate the trace.
+  Preview preview(const std::string& server, const TaskDims& dims,
+                  simcore::SimTime now, double startDelay = 0.0) const;
+
+  /// Records that `taskId` was mapped on `server` (paper's "tell the HTM").
+  /// Returns the predicted completion date of the new task.
+  simcore::SimTime commit(const std::string& server, std::uint64_t taskId,
+                          const TaskDims& dims, simcore::SimTime now,
+                          double startDelay = 0.0);
+
+  /// Completion notice from the real system; behaviour depends on SyncPolicy.
+  void onTaskCompleted(const std::string& server, std::uint64_t taskId,
+                       simcore::SimTime actualCompletion);
+
+  /// Failure notice: the task is gone from the server (always honoured).
+  void onTaskFailed(const std::string& server, std::uint64_t taskId,
+                    simcore::SimTime now);
+
+  /// Collapse notice: the server lost every running task.
+  void onServerCollapsed(const std::string& server, simcore::SimTime now);
+
+  /// Current predicted completion dates on a server (advances the trace).
+  std::map<std::uint64_t, simcore::SimTime> predictedCompletions(
+      const std::string& server, simcore::SimTime now);
+
+  /// Gantt chart of the committed trace of a server at `now` (figure 1).
+  GanttChart gantt(const std::string& server, simcore::SimTime now);
+
+  std::size_t activeTasks(const std::string& server) const;
+  double speedCorrection(const std::string& server) const;
+  SyncPolicy policy() const { return policy_; }
+  const HtmStats& stats() const { return stats_; }
+
+  /// Read access for diagnostics/tests.
+  const ServerTrace& trace(const std::string& server) const;
+
+ private:
+  struct Entry {
+    ServerTrace trace;
+    /// EWMA of actual/predicted duration ratio (kRescale).
+    double speedRatio = 1.0;
+    /// Last committed prediction per task: completion date and admit date.
+    std::map<std::uint64_t, std::pair<simcore::SimTime, simcore::SimTime>> predicted;
+  };
+
+  Entry& entryFor(const std::string& server);
+  const Entry& entryFor(const std::string& server) const;
+  TaskDims adjustedDims(const Entry& entry, const TaskDims& dims) const;
+
+  SyncPolicy policy_;
+  std::map<std::string, Entry> servers_;
+  mutable HtmStats stats_;  // preview() is logically const but counted
+};
+
+}  // namespace casched::core

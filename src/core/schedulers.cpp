@@ -1,0 +1,201 @@
+#include "core/schedulers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::core {
+
+namespace {
+/// Scores within this tolerance are considered equal (tie-breaking).
+constexpr double kTieEps = 1e-9;
+
+/// Generic argmin over primary scores with an optional secondary tie-break.
+std::optional<std::size_t> argmin(const std::vector<double>& primary,
+                                  const std::vector<double>* secondary = nullptr) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    if (!best) {
+      best = i;
+      continue;
+    }
+    const double d = primary[i] - primary[*best];
+    if (d < -kTieEps) {
+      best = i;
+    } else if (std::abs(d) <= kTieEps && secondary != nullptr &&
+               (*secondary)[i] < (*secondary)[*best] - kTieEps) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Runs the HTM preview for every candidate.
+std::vector<Preview> previewAll(const ScheduleQuery& query) {
+  CASCHED_CHECK(query.htm != nullptr, "HTM heuristic invoked without an HTM");
+  std::vector<Preview> previews;
+  previews.reserve(query.candidates.size());
+  for (const CandidateServer& c : query.candidates) {
+    previews.push_back(query.htm->preview(c.name, c.dims, query.now, query.startDelay));
+  }
+  return previews;
+}
+}  // namespace
+
+ScheduleDecision MctScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  for (const CandidateServer& c : query.candidates) {
+    // NetSolve's estimate (paper section 2.2): communication time = size /
+    // bandwidth + latency, computation time = cost / available CPU fraction,
+    // where a load of L leaves a new task 1/(L+1) of the machine.
+    const double comm = c.unloadedDuration - c.dims.cpuSeconds;
+    const double load = std::max(0.0, c.reportedLoad);
+    d.scores.push_back(comm + c.dims.cpuSeconds * (load + 1.0));
+  }
+  d.chosen = argmin(d.scores);
+  return d;
+}
+
+ScheduleDecision HmctScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  d.previews = previewAll(query);
+  for (const Preview& p : d.previews) d.scores.push_back(p.completionNew);
+  d.chosen = argmin(d.scores);
+  return d;
+}
+
+ScheduleDecision MpScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  d.previews = previewAll(query);
+  std::vector<double> completion;
+  for (const Preview& p : d.previews) {
+    d.scores.push_back(p.sumPerturbation);
+    completion.push_back(p.completionNew);
+  }
+  // Paper fig. 3: minimum sum of perturbations; when sums tie (e.g. all zero
+  // on an idle platform), minimize the new task's completion date.
+  d.chosen = argmin(d.scores, &completion);
+  return d;
+}
+
+ScheduleDecision MsfScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  d.previews = previewAll(query);
+  for (const Preview& p : d.previews) {
+    // Increase of the system sum-flow = sum of perturbations + flow of the
+    // new task (paper fig. 4). The arrival date is a per-task constant, so
+    // (completion - now) keeps scores comparable across servers.
+    d.scores.push_back(p.sumPerturbation + (p.completionNew - query.now));
+  }
+  d.chosen = argmin(d.scores);
+  return d;
+}
+
+ScheduleDecision MniScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  d.previews = previewAll(query);
+  std::vector<double> completion;
+  for (const Preview& p : d.previews) {
+    d.scores.push_back(static_cast<double>(p.perturbedCount));
+    completion.push_back(p.completionNew);
+  }
+  d.chosen = argmin(d.scores, &completion);
+  return d;
+}
+
+ScheduleDecision MetScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  for (const CandidateServer& c : query.candidates) d.scores.push_back(c.unloadedDuration);
+  d.chosen = argmin(d.scores);
+  return d;
+}
+
+ScheduleDecision RandomScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  if (query.candidates.empty()) return d;
+  d.chosen = static_cast<std::size_t>(rng_.uniformInt(
+      0, static_cast<std::int64_t>(query.candidates.size()) - 1));
+  return d;
+}
+
+ScheduleDecision RoundRobinScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  if (query.candidates.empty()) return d;
+  d.chosen = next_ % query.candidates.size();
+  next_ = (next_ + 1) % std::max<std::size_t>(1, query.candidates.size());
+  return d;
+}
+
+MemoryAwareScheduler::MemoryAwareScheduler(std::unique_ptr<Scheduler> inner)
+    : inner_(std::move(inner)) {
+  CASCHED_CHECK(inner_ != nullptr, "memory-aware decorator needs an inner scheduler");
+}
+
+ScheduleDecision MemoryAwareScheduler::choose(const ScheduleQuery& query) {
+  ScheduleDecision d;
+  if (query.candidates.empty()) return d;
+
+  // Tier 1: no thrashing (fits in physical RAM). Tier 2: no collapse (fits
+  // in RAM+swap).
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+    const CandidateServer& c = query.candidates[i];
+    const double soft = std::min(c.memSoftMB, c.memCapacityMB);
+    if (c.projectedResidentMB + c.taskMemMB <= soft) keep.push_back(i);
+  }
+  if (keep.empty()) {
+    for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+      const CandidateServer& c = query.candidates[i];
+      if (c.projectedResidentMB + c.taskMemMB <= c.memCapacityMB) keep.push_back(i);
+    }
+  }
+  if (keep.empty()) {
+    // Nowhere fits: degrade gracefully to the roomiest server.
+    std::size_t best = 0;
+    double bestFree = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+      const CandidateServer& c = query.candidates[i];
+      const double free = c.memCapacityMB - c.projectedResidentMB;
+      if (free > bestFree) {
+        bestFree = free;
+        best = i;
+      }
+    }
+    d.chosen = best;
+    return d;
+  }
+
+  ScheduleQuery filtered = query;
+  filtered.candidates.clear();
+  for (std::size_t i : keep) filtered.candidates.push_back(query.candidates[i]);
+  ScheduleDecision inner = inner_->choose(filtered);
+  if (inner.chosen) d.chosen = keep[*inner.chosen];
+  d.scores = std::move(inner.scores);
+  d.previews = std::move(inner.previews);
+  return d;
+}
+
+std::unique_ptr<Scheduler> makeScheduler(const std::string& name, std::uint64_t seed) {
+  const std::string n = util::toLower(name);
+  if (util::startsWith(n, "ma-")) {
+    return std::make_unique<MemoryAwareScheduler>(makeScheduler(n.substr(3), seed));
+  }
+  if (n == "mct") return std::make_unique<MctScheduler>();
+  if (n == "hmct") return std::make_unique<HmctScheduler>();
+  if (n == "mp") return std::make_unique<MpScheduler>();
+  if (n == "msf" || n == "mti") return std::make_unique<MsfScheduler>();
+  if (n == "mni") return std::make_unique<MniScheduler>();
+  if (n == "met") return std::make_unique<MetScheduler>();
+  if (n == "random") return std::make_unique<RandomScheduler>(seed);
+  if (n == "round-robin" || n == "rr") return std::make_unique<RoundRobinScheduler>();
+  throw util::ConfigError("unknown scheduler '" + name + "'");
+}
+
+std::vector<std::string> schedulerNames() {
+  return {"mct", "hmct", "mp", "msf", "mni", "met", "random", "round-robin"};
+}
+
+}  // namespace casched::core

@@ -1,0 +1,158 @@
+#pragma once
+/// \file schedulers.hpp
+/// The scheduling heuristics. Baseline: NetSolve-style MCT on reported load
+/// averages (paper section 2.2). HTM-based: HMCT, MP, MSF (paper figures
+/// 2-4). Related-work and extension heuristics: MNI (Weissman), MET, random,
+/// round-robin, and a memory-aware admission decorator (paper section 7's
+/// first future-work item).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/htm.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::core {
+
+/// Everything a heuristic may know about one candidate server at decision
+/// time. The agent fills this from registration data, the cost database, load
+/// reports (+ the two NetSolve correction mechanisms) and its own memory
+/// bookkeeping; HTM-based heuristics additionally query the HTM.
+struct CandidateServer {
+  std::string name;
+  TaskDims dims;                   ///< this task's dimensions on this server
+  double reportedLoad = 0.0;       ///< corrected load estimate (MCT's view)
+  double unloadedDuration = 0.0;   ///< latencies + transfers + compute, unloaded
+  double projectedResidentMB = 0;  ///< agent's memory bookkeeping
+  double memSoftMB = 1e18;         ///< physical RAM (thrashing threshold)
+  double memCapacityMB = 1e18;     ///< RAM + swap (collapse threshold)
+  double taskMemMB = 0.0;          ///< this task's footprint
+};
+
+/// One scheduling decision's inputs.
+struct ScheduleQuery {
+  std::uint64_t taskId = 0;
+  simcore::SimTime now = 0.0;  ///< decision instant (also the flow origin)
+  double startDelay = 0.0;     ///< agent->client->server submission latency
+  std::vector<CandidateServer> candidates;
+  const HistoricalTraceManager* htm = nullptr;  ///< null for non-HTM heuristics
+};
+
+/// Diagnostic trail of a decision (benches and tests introspect this).
+struct ScheduleDecision {
+  std::optional<std::size_t> chosen;  ///< index into query.candidates
+  std::vector<double> scores;         ///< per-candidate primary score
+  std::vector<Preview> previews;      ///< filled by HTM heuristics
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  virtual bool usesHtm() const { return false; }
+  /// Picks a candidate; nullopt when the candidate list is empty (the agent
+  /// then queues/loses the task depending on fault-tolerance policy).
+  virtual ScheduleDecision choose(const ScheduleQuery& query) = 0;
+};
+
+/// NetSolve's Minimum Completion Time on (stale) load reports: estimated
+/// duration = comm time + cpu * (load + 1); pick the minimum.
+class MctScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "mct"; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Historical MCT (paper fig. 2): minimum sigma'_{n+1} from the HTM.
+class HmctScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "hmct"; }
+  bool usesHtm() const override { return true; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Minimum Perturbation (paper fig. 3): minimum sum of pi_j; equal sums are
+/// broken by the new task's completion date.
+class MpScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "mp"; }
+  bool usesHtm() const override { return true; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Minimum Sum Flow (paper fig. 4, equivalent to Weissman's MTI): minimum
+/// increase of the system sum-flow = sum of perturbations + flow of the new
+/// task.
+class MsfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "msf"; }
+  bool usesHtm() const override { return true; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Weissman's MNI: minimize the number of tasks that experience interference;
+/// ties broken by the new task's completion date.
+class MniScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "mni"; }
+  bool usesHtm() const override { return true; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Minimum Execution Time: fastest unloaded server, ignoring load entirely.
+class MetScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "met"; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+};
+
+/// Uniform random candidate (sanity baseline).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+
+ private:
+  simcore::RandomStream rng_;
+};
+
+/// Cyclic assignment (sanity baseline).
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Memory-aware admission decorator (paper section 7, future work). Two-tier
+/// filter: prefer servers that stay within physical RAM (no thrashing); if
+/// none, accept servers that at least stay within RAM+swap (no collapse);
+/// only when every server would overflow fall back to the roomiest one (the
+/// task must go somewhere). Then delegates to the wrapped heuristic.
+class MemoryAwareScheduler final : public Scheduler {
+ public:
+  explicit MemoryAwareScheduler(std::unique_ptr<Scheduler> inner);
+  std::string name() const override { return "ma-" + inner_->name(); }
+  bool usesHtm() const override { return inner_->usesHtm(); }
+  ScheduleDecision choose(const ScheduleQuery& query) override;
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+/// Factory: "mct", "hmct", "mp", "msf", "mni", "met", "random",
+/// "round-robin", or any of them prefixed with "ma-" for the memory-aware
+/// decorator. Throws ConfigError on unknown names.
+std::unique_ptr<Scheduler> makeScheduler(const std::string& name, std::uint64_t seed = 1);
+
+/// All heuristic names the factory accepts (for --help strings).
+std::vector<std::string> schedulerNames();
+
+}  // namespace casched::core

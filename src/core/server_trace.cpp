@@ -1,0 +1,206 @@
+#include "core/server_trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace casched::core {
+
+namespace {
+/// Phase amounts/remainders below this are "finished" (work units are seconds
+/// or MB, both O(1)-O(1e3)).
+constexpr double kEps = 1e-9;
+}  // namespace
+
+ServerTrace::ServerTrace(ServerModel model) : model_(std::move(model)) {
+  CASCHED_CHECK(model_.bwInMBps > 0 && model_.bwOutMBps > 0,
+                "server model bandwidths must be positive");
+}
+
+bool ServerTrace::hasTask(std::uint64_t taskId) const {
+  return std::any_of(tasks_.begin(), tasks_.end(),
+                     [taskId](const TraceTask& t) { return t.taskId == taskId; });
+}
+
+double ServerTrace::phaseAmount(const TraceTask& task, TracePhase phase) const {
+  switch (phase) {
+    case TracePhase::kLatencyIn: return model_.latencyIn;
+    case TracePhase::kTransferIn: return task.dims.inMB;
+    case TracePhase::kCompute: return task.dims.cpuSeconds;
+    case TracePhase::kLatencyOut: return model_.latencyOut;
+    case TracePhase::kTransferOut: return task.dims.outMB;
+    case TracePhase::kDone: return 0.0;
+  }
+  return 0.0;
+}
+
+void ServerTrace::enterNextPhase(TraceTask& task) const {
+  while (task.phase != TracePhase::kDone && task.remaining <= kEps) {
+    task.phase = static_cast<TracePhase>(static_cast<std::uint8_t>(task.phase) + 1);
+    task.remaining = task.phase == TracePhase::kDone ? 0.0 : phaseAmount(task, task.phase);
+  }
+}
+
+double ServerTrace::phaseRate(TracePhase phase, std::size_t inCount,
+                              std::size_t cpuCount, std::size_t outCount) const {
+  switch (phase) {
+    case TracePhase::kLatencyIn:
+    case TracePhase::kLatencyOut:
+      return 1.0;  // latencies are fixed delays, not shared
+    case TracePhase::kTransferIn:
+      return model_.bwInMBps / static_cast<double>(inCount);
+    case TracePhase::kCompute:
+      return 1.0 / static_cast<double>(cpuCount);
+    case TracePhase::kTransferOut:
+      return model_.bwOutMBps / static_cast<double>(outCount);
+    case TracePhase::kDone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void ServerTrace::step(std::vector<TraceTask>& tasks, simcore::SimTime* t,
+                       simcore::SimTime bound, const DoneFn& onDone,
+                       const SegmentFn& onSegment) const {
+  while (!tasks.empty() && *t < bound) {
+    // Count sharers per shared resource.
+    std::size_t inCount = 0, cpuCount = 0, outCount = 0;
+    for (const TraceTask& task : tasks) {
+      if (task.phase == TracePhase::kTransferIn) ++inCount;
+      else if (task.phase == TracePhase::kCompute) ++cpuCount;
+      else if (task.phase == TracePhase::kTransferOut) ++outCount;
+    }
+    // Time to the next phase completion at current rates.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const TraceTask& task : tasks) {
+      const double rate = phaseRate(task.phase, inCount, cpuCount, outCount);
+      CASCHED_CHECK(rate > 0.0, "trace task with zero progress rate");
+      dt = std::min(dt, task.remaining / rate);
+    }
+    const bool clipped = *t + dt > bound;
+    if (clipped) dt = bound - *t;
+    const simcore::SimTime t0 = *t;
+    const simcore::SimTime t1 = t0 + dt;
+    // Integrate and emit segments.
+    for (TraceTask& task : tasks) {
+      const double rate = phaseRate(task.phase, inCount, cpuCount, outCount);
+      if (onSegment && dt > kEps) {
+        double share = 1.0;
+        if (task.phase == TracePhase::kTransferIn) share = 1.0 / static_cast<double>(inCount);
+        else if (task.phase == TracePhase::kCompute) share = 1.0 / static_cast<double>(cpuCount);
+        else if (task.phase == TracePhase::kTransferOut) share = 1.0 / static_cast<double>(outCount);
+        onSegment(task, t0, t1, share);
+      }
+      task.remaining = std::max(0.0, task.remaining - rate * dt);
+    }
+    *t = t1;
+    // Phase transitions and completions.
+    for (auto it = tasks.begin(); it != tasks.end();) {
+      if (it->remaining <= kEps) {
+        enterNextPhase(*it);
+        if (it->phase == TracePhase::kDone) {
+          if (onDone) onDone(*it, *t);
+          it = tasks.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+    if (clipped) break;
+  }
+  if (*t < bound && bound != simcore::kTimeInfinity) *t = bound;
+}
+
+void ServerTrace::advanceTo(simcore::SimTime to) {
+  if (to <= now_) return;
+  step(tasks_, &now_, to, nullptr, nullptr);
+}
+
+void ServerTrace::admit(std::uint64_t taskId, const TaskDims& dims,
+                        simcore::SimTime at, double startDelay) {
+  CASCHED_CHECK(startDelay >= 0.0, "startDelay must be non-negative");
+  CASCHED_CHECK(!hasTask(taskId), "task already in trace");
+  advanceTo(at);
+  TraceTask task;
+  task.taskId = taskId;
+  task.dims = dims;
+  task.admitted = at;
+  task.phase = TracePhase::kLatencyIn;
+  task.remaining = startDelay + model_.latencyIn;
+  if (task.remaining <= kEps) enterNextPhase(task);
+  if (task.phase == TracePhase::kDone) return;  // degenerate empty task
+  tasks_.push_back(task);
+}
+
+bool ServerTrace::remove(std::uint64_t taskId) {
+  auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                         [taskId](const TraceTask& t) { return t.taskId == taskId; });
+  if (it == tasks_.end()) return false;
+  tasks_.erase(it);
+  return true;
+}
+
+void ServerTrace::clear() { tasks_.clear(); }
+
+std::map<std::uint64_t, simcore::SimTime> ServerTrace::predictCompletions() const {
+  std::map<std::uint64_t, simcore::SimTime> out;
+  std::vector<TraceTask> copy = tasks_;
+  simcore::SimTime t = now_;
+  step(copy, &t, simcore::kTimeInfinity,
+       [&out](const TraceTask& task, simcore::SimTime when) { out[task.taskId] = when; },
+       nullptr);
+  return out;
+}
+
+simcore::SimTime ServerTrace::predictCompletion(std::uint64_t taskId) const {
+  const auto all = predictCompletions();
+  auto it = all.find(taskId);
+  return it == all.end() ? simcore::kTimeInfinity : it->second;
+}
+
+GanttChart ServerTrace::simulateGantt() const {
+  GanttChart chart;
+  chart.serverName = model_.name;
+  chart.origin = now_;
+  chart.horizon = now_;
+  std::vector<TraceTask> copy = tasks_;
+  simcore::SimTime t = now_;
+  step(copy, &t, simcore::kTimeInfinity,
+       [&chart](const TraceTask&, simcore::SimTime when) {
+         chart.horizon = std::max(chart.horizon, when);
+       },
+       [&chart](const TraceTask& task, simcore::SimTime t0, simcore::SimTime t1,
+                double share) {
+         chart.segments.push_back(GanttSegment{
+             task.taskId, static_cast<std::uint8_t>(task.phase), t0, t1, share});
+       });
+  chart.horizon = std::max(chart.horizon, t);
+  return chart;
+}
+
+double ServerTrace::totalRemainingCpuSeconds() const {
+  double total = 0.0;
+  for (const TraceTask& task : tasks_) {
+    if (task.phase < TracePhase::kCompute) {
+      total += task.dims.cpuSeconds;
+    } else if (task.phase == TracePhase::kCompute) {
+      total += task.remaining;
+    }
+  }
+  return total;
+}
+
+std::string tracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kLatencyIn: return "latency-in";
+    case TracePhase::kTransferIn: return "transfer-in";
+    case TracePhase::kCompute: return "compute";
+    case TracePhase::kLatencyOut: return "latency-out";
+    case TracePhase::kTransferOut: return "transfer-out";
+    case TracePhase::kDone: return "done";
+  }
+  return "?";
+}
+
+}  // namespace casched::core

@@ -1,0 +1,125 @@
+#pragma once
+/// \file server_trace.hpp
+/// Agent-side trace simulation of one server - the core of the Historical
+/// Trace Manager (paper section 2.3). Replays the shared-resource model
+/// analytically: every admitted task moves through latency -> input transfer
+/// -> compute -> latency -> output transfer, transfers sharing the link and
+/// computes sharing the CPU in equal parts. With noise off, predictions match
+/// the ground-truth simulator to floating point (property-tested).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gantt.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::core {
+
+/// A task's dimensions on a given server: the agent's static information
+/// (data volumes from the problem descriptor, unloaded compute seconds from
+/// the cost database).
+struct TaskDims {
+  double inMB = 0.0;
+  double cpuSeconds = 0.0;
+  double outMB = 0.0;
+};
+
+/// What the agent knows about a server's hardware (peak performances sent at
+/// registration, paper section 2.1).
+struct ServerModel {
+  std::string name;
+  double bwInMBps = 10.0;
+  double bwOutMBps = 10.0;
+  double latencyIn = 0.0;
+  double latencyOut = 0.0;
+};
+
+enum class TracePhase : std::uint8_t {
+  kLatencyIn,
+  kTransferIn,
+  kCompute,
+  kLatencyOut,
+  kTransferOut,
+  kDone,
+};
+
+/// Live state of one traced task.
+struct TraceTask {
+  std::uint64_t taskId = 0;
+  TaskDims dims;
+  TracePhase phase = TracePhase::kLatencyIn;
+  double remaining = 0.0;  ///< remaining amount in the current phase
+  simcore::SimTime admitted = 0.0;
+};
+
+/// Copyable per-server trace; copies are how hypothetical mappings are
+/// evaluated without disturbing the committed state.
+class ServerTrace {
+ public:
+  explicit ServerTrace(ServerModel model);
+
+  const ServerModel& model() const { return model_; }
+  simcore::SimTime now() const { return now_; }
+  std::size_t activeTasks() const { return tasks_.size(); }
+  bool hasTask(std::uint64_t taskId) const;
+
+  /// Integrates the equal-share execution up to `to`; tasks reaching kDone
+  /// are dropped from the trace (their completion date is the simulated one).
+  void advanceTo(simcore::SimTime to);
+
+  /// Admits a task at time `at` (>= now; the trace advances first). The task
+  /// begins its input latency after `startDelay` more seconds (models the
+  /// agent->client->server submission path).
+  void admit(std::uint64_t taskId, const TaskDims& dims, simcore::SimTime at,
+             double startDelay = 0.0);
+
+  /// Removes a task regardless of progress (completion notice under the
+  /// drop-on-notice sync policy, failure notice, collapse). Returns false
+  /// when the task is not in the trace (already simulated to completion).
+  bool remove(std::uint64_t taskId);
+
+  /// Drops every task (server collapse notice).
+  void clear();
+
+  /// Simulated completion date of every task currently in the trace, without
+  /// mutating state.
+  std::map<std::uint64_t, simcore::SimTime> predictCompletions() const;
+
+  /// Completion date the trace would assign to `taskId`; infinity when the
+  /// task is not present.
+  simcore::SimTime predictCompletion(std::uint64_t taskId) const;
+
+  /// Full Gantt chart of the remaining execution (paper figure 1): one
+  /// segment per (task, constant-share interval).
+  GanttChart simulateGantt() const;
+
+  /// Remaining work summary used by schedulers' diagnostics.
+  double totalRemainingCpuSeconds() const;
+
+ private:
+  /// Advances `tasks` in place from `*t` until `bound` (or until drained),
+  /// invoking `onDone(task, when)` at completions and `onSegment` for every
+  /// constant-rate interval when non-null.
+  using DoneFn = std::function<void(const TraceTask&, simcore::SimTime)>;
+  using SegmentFn = std::function<void(const TraceTask&, simcore::SimTime,
+                                       simcore::SimTime, double)>;
+  void step(std::vector<TraceTask>& tasks, simcore::SimTime* t, simcore::SimTime bound,
+            const DoneFn& onDone, const SegmentFn& onSegment) const;
+
+  double phaseAmount(const TraceTask& task, TracePhase phase) const;
+  void enterNextPhase(TraceTask& task) const;
+  double phaseRate(TracePhase phase, std::size_t inCount, std::size_t cpuCount,
+                   std::size_t outCount) const;
+
+  ServerModel model_;
+  std::vector<TraceTask> tasks_;  // admission order (stable, deterministic)
+  simcore::SimTime now_ = 0.0;
+};
+
+/// Phase name for rendering ("latency-in", "transfer-in", ...).
+std::string tracePhaseName(TracePhase phase);
+
+}  // namespace casched::core

@@ -1,0 +1,48 @@
+#include "exp/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace casched::exp {
+
+ParallelRunner::ParallelRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void ParallelRunner::run(const std::vector<std::function<void()>>& jobs) const {
+  if (jobs.empty()) return;
+  const unsigned workers = std::min<unsigned>(threads_, static_cast<unsigned>(jobs.size()));
+  if (workers <= 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        jobs[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace casched::exp

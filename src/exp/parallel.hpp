@@ -1,0 +1,30 @@
+#pragma once
+/// \file parallel.hpp
+/// Thread pool for independent experiment replications. Each simulation is
+/// single-threaded and deterministic; the pool simply runs many of them at
+/// once. Results must be written to pre-sized slots so output order never
+/// depends on thread scheduling.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace casched::exp {
+
+class ParallelRunner {
+ public:
+  /// threads == 0 picks the hardware concurrency (at least 1).
+  explicit ParallelRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs all jobs, blocking until completion. Jobs are claimed in index
+  /// order. The first exception thrown by any job is rethrown here after all
+  /// workers finished.
+  void run(const std::vector<std::function<void()>>& jobs) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace casched::exp

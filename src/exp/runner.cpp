@@ -1,0 +1,25 @@
+#include "exp/runner.hpp"
+
+#include "util/strings.hpp"
+
+namespace casched::exp {
+
+bool grantsFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic) {
+  switch (policy) {
+    case FaultTolerancePolicy::kPaper: return util::toLower(heuristic) == "mct";
+    case FaultTolerancePolicy::kAll: return true;
+    case FaultTolerancePolicy::kNone: return false;
+  }
+  return false;
+}
+
+metrics::RunResult runOne(const ExperimentSpec& spec, const workload::Metatask& metatask,
+                          const std::string& heuristic, bool faultTolerance,
+                          std::uint64_t noiseSeed) {
+  cas::SystemConfig config = spec.system;
+  config.faultTolerance = faultTolerance;
+  config.noiseSeed = noiseSeed;
+  return cas::runExperimentSystem(spec.testbed, metatask, heuristic, config);
+}
+
+}  // namespace casched::exp

@@ -1,0 +1,37 @@
+#pragma once
+/// \file runner.hpp
+/// Single-experiment execution: one metatask, one heuristic, one system
+/// configuration -> one RunResult. The campaign layer builds on this.
+
+#include <string>
+
+#include "cas/system.hpp"
+#include "metrics/record.hpp"
+#include "platform/testbed.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::exp {
+
+/// Everything that defines an experiment except the heuristic under test.
+struct ExperimentSpec {
+  std::string name;
+  platform::Testbed testbed;
+  workload::MetataskConfig metatask;
+  cas::SystemConfig system;
+};
+
+/// How fault tolerance is granted across heuristics in a campaign.
+/// The paper's setup: NetSolve's MCT has its native re-submission mechanisms,
+/// the authors' HMCT/MP/MSF implementations do not (section 5.1).
+enum class FaultTolerancePolicy : std::uint8_t { kPaper, kAll, kNone };
+
+/// True when `heuristic` gets fault tolerance under `policy`.
+bool grantsFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic);
+
+/// Runs one heuristic on one concrete metatask. `noiseSeed` overrides the
+/// spec's system noise seed (replications vary it).
+metrics::RunResult runOne(const ExperimentSpec& spec, const workload::Metatask& metatask,
+                          const std::string& heuristic, bool faultTolerance,
+                          std::uint64_t noiseSeed);
+
+}  // namespace casched::exp

@@ -1,0 +1,139 @@
+#include "exp/tables.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::exp {
+
+namespace {
+std::string heuristicLabel(const std::string& name) {
+  if (name == "mct") return "NetSolve's MCT";
+  if (name == "hmct") return "HMCT";
+  if (name == "mp") return "MP";
+  if (name == "msf") return "MSF";
+  if (name == "mni") return "MNI";
+  if (name == "met") return "MET";
+  return name;
+}
+}  // namespace
+
+util::TablePrinter renderSingleMetataskTable(const std::string& title,
+                                             const CampaignResult& result) {
+  util::TablePrinter t(title);
+  std::vector<std::string> header{""};
+  for (const std::string& h : result.heuristics) header.push_back(heuristicLabel(h));
+  t.setHeader(std::move(header));
+
+  const auto row = [&](const std::string& label, auto getter, int prec) {
+    std::vector<std::string> cells{label};
+    for (const std::string& h : result.heuristics) {
+      cells.push_back(metrics::formatMeanSd(getter(result.cell(h, 0)), prec));
+    }
+    t.addRow(std::move(cells));
+  };
+
+  row("number of completed tasks",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.completed; }, 0);
+  row("makespan",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.makespan; }, 0);
+  row("sumflow",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.sumFlow; }, 0);
+  row("maxflow",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.maxFlow; }, 0);
+  row("maxstretch",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.maxStretch; }, 1);
+
+  std::vector<std::string> sooner{"tasks finishing sooner than MCT"};
+  for (const std::string& h : result.heuristics) {
+    const CellAggregate& c = result.cell(h, 0);
+    sooner.push_back(c.metrics.sooner.count() == 0 ? "-"
+                                                   : metrics::formatMeanSd(c.metrics.sooner, 0));
+  }
+  t.addRow(std::move(sooner));
+  return t;
+}
+
+util::TablePrinter renderMultiMetataskTable(const std::string& title,
+                                            const CampaignResult& result) {
+  util::TablePrinter t(title);
+  std::vector<std::string> header{""};
+  for (const std::string& h : result.heuristics) {
+    for (std::size_t m = 0; m < result.metataskCount; ++m) {
+      header.push_back(heuristicLabel(h) + util::strformat(" M%zu", m + 1));
+    }
+  }
+  t.setHeader(std::move(header));
+
+  const auto row = [&](const std::string& label, auto getter, int prec) {
+    std::vector<std::string> cells{label};
+    for (const std::string& h : result.heuristics) {
+      for (std::size_t m = 0; m < result.metataskCount; ++m) {
+        cells.push_back(metrics::formatMeanSd(getter(result.cell(h, m)), prec));
+      }
+    }
+    t.addRow(std::move(cells));
+  };
+
+  row("completed",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.completed; }, 0);
+  row("makespan",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.makespan; }, 0);
+  row("sumflow",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.sumFlow; }, 0);
+  row("maxflow",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.maxFlow; }, 0);
+  row("maxstretch",
+      [](const CellAggregate& c) -> const util::RunningStat& { return c.metrics.maxStretch; }, 1);
+
+  std::vector<std::string> sooner{"sooner than MCT"};
+  for (const std::string& h : result.heuristics) {
+    for (std::size_t m = 0; m < result.metataskCount; ++m) {
+      const CellAggregate& c = result.cell(h, m);
+      sooner.push_back(c.metrics.sooner.count() == 0
+                           ? "-"
+                           : metrics::formatMeanSd(c.metrics.sooner, 0));
+    }
+  }
+  t.addRow(std::move(sooner));
+  return t;
+}
+
+util::TablePrinter renderServerDiagnostics(const std::string& title,
+                                           const CampaignResult& result) {
+  util::TablePrinter t(title);
+  t.setHeader({"heuristic", "server", "completed", "failed", "collapses",
+               "peak resident MB", "peak reported load", "busy s"});
+  for (const std::string& h : result.heuristics) {
+    auto it = result.sampleRuns.find(h);
+    if (it == result.sampleRuns.end()) continue;
+    for (const auto& [server, s] : it->second.servers) {
+      t.addRow({heuristicLabel(h), server, std::to_string(s.tasksCompleted),
+                std::to_string(s.tasksFailed), std::to_string(s.collapses),
+                util::strformat("%.0f", s.peakResidentMB),
+                util::strformat("%.1f", s.peakLoadReported),
+                util::strformat("%.0f", s.busySeconds)});
+    }
+  }
+  return t;
+}
+
+void emitTable(const util::TablePrinter& table, const std::string& csv,
+               const std::string& outDir, const std::string& baseName) {
+  std::error_code ec;
+  std::filesystem::create_directories(outDir, ec);
+  {
+    std::ofstream os(outDir + "/" + baseName + ".txt", std::ios::trunc);
+    if (!os) throw util::IoError("cannot write table " + baseName);
+    table.print(os);
+  }
+  if (!csv.empty()) {
+    std::ofstream os(outDir + "/" + baseName + ".csv", std::ios::trunc);
+    if (!os) throw util::IoError("cannot write csv " + baseName);
+    os << csv;
+  }
+}
+
+}  // namespace casched::exp

@@ -1,0 +1,34 @@
+#pragma once
+/// \file tables.hpp
+/// Renders campaign results in the layout of the paper's result tables:
+/// Table 5/6 style (one metatask, one column per heuristic) and Table 7/8
+/// style (three metatasks, three sub-columns per heuristic, mean +- sd).
+
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "util/table.hpp"
+
+namespace casched::exp {
+
+/// Table 5/6 layout: rows = number of completed tasks, makespan, sumflow,
+/// maxflow, maxstretch, number of tasks that finish sooner than baseline.
+util::TablePrinter renderSingleMetataskTable(const std::string& title,
+                                             const CampaignResult& result);
+
+/// Table 7/8 layout: per heuristic, one column per metatask; mean +- sd over
+/// replications.
+util::TablePrinter renderMultiMetataskTable(const std::string& title,
+                                            const CampaignResult& result);
+
+/// Extra per-server diagnostics of the representative runs (collapses, peak
+/// resident memory, utilization) - the paper discusses these in the Table 6
+/// narrative ("load average more than 12 on pulney", "servers collapsed").
+util::TablePrinter renderServerDiagnostics(const std::string& title,
+                                           const CampaignResult& result);
+
+/// Writes a rendered table plus its CSV twin under `outDir`.
+void emitTable(const util::TablePrinter& table, const std::string& csv,
+               const std::string& outDir, const std::string& baseName);
+
+}  // namespace casched::exp

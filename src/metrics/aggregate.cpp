@@ -1,0 +1,26 @@
+#include "metrics/aggregate.hpp"
+
+#include "util/strings.hpp"
+
+namespace casched::metrics {
+
+void MetricAggregate::addRun(const RunMetrics& m) {
+  completed.add(static_cast<double>(m.completed));
+  makespan.add(m.makespan);
+  sumFlow.add(m.sumFlow);
+  maxFlow.add(m.maxFlow);
+  maxStretch.add(m.maxStretch);
+  meanStretch.add(m.meanStretch);
+}
+
+void MetricAggregate::addSooner(std::size_t count) {
+  sooner.add(static_cast<double>(count));
+}
+
+std::string formatMeanSd(const util::RunningStat& s, int prec) {
+  if (s.count() == 0) return "-";
+  if (s.count() == 1) return util::formatNumber(s.mean(), prec);
+  return util::formatNumber(s.mean(), prec) + " +-" + util::formatNumber(s.stddev(), prec);
+}
+
+}  // namespace casched::metrics

@@ -1,0 +1,33 @@
+#pragma once
+/// \file aggregate.hpp
+/// Aggregation of run metrics over replications - the paper's Tables 7-8
+/// report the mean of several executions of each metatask per heuristic.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace casched::metrics {
+
+/// Mean/stddev per metric over a set of replications of the same
+/// (metatask, heuristic) cell.
+struct MetricAggregate {
+  util::RunningStat completed;
+  util::RunningStat makespan;
+  util::RunningStat sumFlow;
+  util::RunningStat maxFlow;
+  util::RunningStat maxStretch;
+  util::RunningStat meanStretch;
+  util::RunningStat sooner;  ///< vs the baseline runs (when computed)
+
+  void addRun(const RunMetrics& m);
+  void addSooner(std::size_t count);
+};
+
+/// Formats "mean +- sd" the way the paper annotates Tables 7-8.
+std::string formatMeanSd(const util::RunningStat& s, int prec = 0);
+
+}  // namespace casched::metrics

@@ -1,0 +1,87 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::metrics {
+
+std::size_t RunResult::completedCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(tasks.begin(), tasks.end(), [](const TaskOutcome& t) {
+        return t.status == TaskStatus::kCompleted;
+      }));
+}
+
+std::size_t RunResult::lostCount() const { return tasks.size() - completedCount(); }
+
+RunMetrics computeMetrics(const RunResult& run) {
+  RunMetrics m;
+  for (const TaskOutcome& t : run.tasks) {
+    if (t.status != TaskStatus::kCompleted) {
+      ++m.lost;
+      continue;
+    }
+    CASCHED_CHECK(t.completion >= t.arrival, "completion before arrival");
+    ++m.completed;
+    const double flow = t.flow();
+    m.makespan = std::max(m.makespan, t.completion);
+    m.sumFlow += flow;
+    m.maxFlow = std::max(m.maxFlow, flow);
+    m.meanFlow += flow;
+    const double stretch = t.stretch();
+    m.maxStretch = std::max(m.maxStretch, stretch);
+    m.meanStretch += stretch;
+  }
+  if (m.completed > 0) {
+    m.meanFlow /= static_cast<double>(m.completed);
+    m.meanStretch /= static_cast<double>(m.completed);
+  }
+  return m;
+}
+
+std::size_t countSooner(const RunResult& a, const RunResult& b) {
+  CASCHED_CHECK(a.tasks.size() == b.tasks.size(),
+                "countSooner requires runs of the same metatask");
+  std::size_t sooner = 0;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const TaskOutcome& ta = a.tasks[i];
+    const TaskOutcome& tb = b.tasks[i];
+    CASCHED_CHECK(ta.index == tb.index, "task order mismatch between runs");
+    if (ta.status == TaskStatus::kCompleted && tb.status == TaskStatus::kCompleted &&
+        ta.completion < tb.completion) {
+      ++sooner;
+    }
+  }
+  return sooner;
+}
+
+double meanCompletionShiftPercent(const RunResult& a, const RunResult& b) {
+  CASCHED_CHECK(a.tasks.size() == b.tasks.size(),
+                "comparison requires runs of the same metatask");
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const TaskOutcome& ta = a.tasks[i];
+    const TaskOutcome& tb = b.tasks[i];
+    if (ta.status != TaskStatus::kCompleted || tb.status != TaskStatus::kCompleted) {
+      continue;
+    }
+    const double ref = std::max(1e-9, tb.completion - tb.arrival);
+    sum += std::abs(ta.completion - tb.completion) / ref;
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * sum / static_cast<double>(n);
+}
+
+std::string formatMetrics(const RunMetrics& m) {
+  return util::strformat(
+      "completed=%zu lost=%zu makespan=%.1f sumflow=%.1f maxflow=%.1f "
+      "maxstretch=%.2f meanstretch=%.2f",
+      m.completed, m.lost, m.makespan, m.sumFlow, m.maxFlow, m.maxStretch,
+      m.meanStretch);
+}
+
+}  // namespace casched::metrics

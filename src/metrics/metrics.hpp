@@ -1,0 +1,40 @@
+#pragma once
+/// \file metrics.hpp
+/// The paper's metrics (section 3): makespan, sum-flow, max-flow,
+/// max-stretch, plus the pairwise "number of tasks that finish sooner"
+/// comparison against a baseline run. All are computed over completed tasks.
+
+#include <cstddef>
+#include <string>
+
+#include "metrics/record.hpp"
+
+namespace casched::metrics {
+
+/// Scalar metrics of one run.
+struct RunMetrics {
+  std::size_t completed = 0;
+  std::size_t lost = 0;
+  double makespan = 0.0;     ///< max completion date
+  double sumFlow = 0.0;      ///< sum of (completion - arrival)
+  double maxFlow = 0.0;      ///< max flow
+  double meanFlow = 0.0;
+  double maxStretch = 0.0;   ///< max flow / unloaded duration
+  double meanStretch = 0.0;
+};
+
+/// Computes every section-3 metric from a run.
+RunMetrics computeMetrics(const RunResult& run);
+
+/// |{ tasks j completed in both runs : C^a_j < C^b_j }| - the paper's
+/// "number of tasks that finish sooner" with b = NetSolve's MCT.
+std::size_t countSooner(const RunResult& a, const RunResult& b);
+
+/// Mean absolute relative completion-date difference between two runs of the
+/// same metatask (diagnostic for determinism/noise studies).
+double meanCompletionShiftPercent(const RunResult& a, const RunResult& b);
+
+/// One-line human-readable rendering (examples' output).
+std::string formatMetrics(const RunMetrics& m);
+
+}  // namespace casched::metrics

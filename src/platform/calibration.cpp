@@ -1,0 +1,122 @@
+#include "platform/calibration.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace casched::platform {
+
+void CostModel::setComputeCost(const std::string& machine, const std::string& typeName,
+                               double seconds) {
+  CASCHED_CHECK(seconds > 0.0, "compute cost must be positive");
+  costs_[{machine, typeName}] = seconds;
+}
+
+std::optional<double> CostModel::lookupCost(const std::string& machine,
+                                            const std::string& typeName) const {
+  auto it = costs_.find({machine, typeName});
+  if (it == costs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CostModel::setSpeedIndex(const std::string& machine, double index) {
+  CASCHED_CHECK(index > 0.0, "speed index must be positive");
+  speed_[machine] = index;
+}
+
+double CostModel::speedIndex(const std::string& machine) const {
+  auto it = speed_.find(machine);
+  return it == speed_.end() ? 1.0 : it->second;
+}
+
+double CostModel::computeCost(const std::string& machine, const std::string& typeName,
+                              double refSeconds) const {
+  if (auto exact = lookupCost(machine, typeName)) return *exact;
+  CASCHED_CHECK(refSeconds > 0.0,
+                "no calibrated cost for '" + typeName + "' on '" + machine +
+                    "' and no reference cost to fall back on");
+  return refSeconds / speedIndex(machine);
+}
+
+const PhaseCostTable& matmulCostTable() {
+  // Paper Table 3, columns chamagne / cabestan / artimon / pulney.
+  static const PhaseCostTable table = {
+      {"chamagne", "cabestan", "artimon", "pulney"},
+      {1200, 1500, 1800},
+      {{4, 4, 3, 3}, {6, 5, 5, 5}, {8, 8, 8, 7}},
+      {{149, 70, 18, 14}, {292, 136, 33, 25}, {504, 231, 53, 40}},
+      {{1, 1, 1, 1}, {2, 2, 1, 1}, {3, 3, 2, 2}},
+  };
+  return table;
+}
+
+const PhaseCostTable& wasteCpuCostTable() {
+  // Paper Table 4, columns valette / spinnaker / cabestan / artimon.
+  static const PhaseCostTable table = {
+      {"valette", "spinnaker", "cabestan", "artimon"},
+      {200, 400, 600},
+      {{0.08, 0.09, 0.1, 0.12}, {0.08, 0.14, 0.09, 0.13}, {0.13, 0.09, 0.08, 0.14}},
+      {{91.81, 16, 74.86, 17.1}, {182.52, 30.6, 148.48, 33.2}, {273.28, 45.6, 222.26, 49.4}},
+      {{0.03, 0.05, 0.03, 0.03}, {0.03, 0.06, 0.03, 0.03}, {0.03, 0.05, 0.03, 0.03}},
+  };
+  return table;
+}
+
+double matmulInputMB(int size) {
+  return 2.0 * static_cast<double>(size) * size * 8.0 / (1024.0 * 1024.0);
+}
+
+double matmulOutputMB(int size) {
+  return static_cast<double>(size) * size * 8.0 / (1024.0 * 1024.0);
+}
+
+LinkCalibration calibrateLink(const std::string& machine) {
+  LinkCalibration cal;
+  const PhaseCostTable& mm = matmulCostTable();
+  for (std::size_t m = 0; m < mm.machines.size(); ++m) {
+    if (mm.machines[m] != machine) continue;
+    double bwIn = 0.0, bwOut = 0.0;
+    for (std::size_t p = 0; p < mm.params.size(); ++p) {
+      const int size = mm.params[p];
+      bwIn += matmulInputMB(size) / std::max(0.1, mm.inputSeconds[p][m] - cal.latencyIn);
+      bwOut += matmulOutputMB(size) / std::max(0.1, mm.outputSeconds[p][m] - cal.latencyOut);
+    }
+    cal.bwInMBps = bwIn / static_cast<double>(mm.params.size());
+    cal.bwOutMBps = bwOut / static_cast<double>(mm.params.size());
+    return cal;
+  }
+  // Machines only in the waste-cpu set (valette, spinnaker) never move large
+  // data in the paper; their sub-second transfer rows are latency-dominated,
+  // so a nominal LAN calibration is used.
+  cal.bwInMBps = 8.0;
+  cal.bwOutMBps = 8.0;
+  cal.latencyIn = 0.02;
+  cal.latencyOut = 0.01;
+  return cal;
+}
+
+CostModel paperCostModel() {
+  CostModel model;
+  const auto load = [&model](const PhaseCostTable& table, const char* prefix) {
+    for (std::size_t p = 0; p < table.params.size(); ++p) {
+      for (std::size_t m = 0; m < table.machines.size(); ++m) {
+        model.setComputeCost(table.machines[m],
+                             prefix + std::to_string(table.params[p]),
+                             table.computeSeconds[p][m]);
+      }
+    }
+  };
+  load(matmulCostTable(), "matmul-");
+  load(wasteCpuCostTable(), "waste-cpu-");
+  // Speed indices relative to artimon (matmul-1200 where available, else
+  // waste-cpu-200); used only for task types absent from the tables.
+  model.setSpeedIndex("artimon", 1.0);
+  model.setSpeedIndex("chamagne", 18.0 / 149.0);
+  model.setSpeedIndex("cabestan", 18.0 / 70.0);
+  model.setSpeedIndex("pulney", 18.0 / 14.0);
+  model.setSpeedIndex("valette", 17.1 / 91.81);
+  model.setSpeedIndex("spinnaker", 17.1 / 16.0);
+  return model;
+}
+
+}  // namespace casched::platform

@@ -1,0 +1,81 @@
+#pragma once
+/// \file calibration.hpp
+/// Cost calibration. The paper placed measured per-(machine, problem) costs
+/// into the NetSolve agent as static information (Tables 3-4); this module
+/// carries those published numbers and derives link bandwidths from them.
+///
+/// CostModel keys costs by (machine name, task-type name) strings so it stays
+/// independent of the workload module; unknown pairs fall back to
+/// refSeconds / speedIndex(machine).
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace casched::platform {
+
+/// Per-machine link parameters derived from the paper's transfer-cost rows.
+struct LinkCalibration {
+  double bwInMBps = 8.0;
+  double bwOutMBps = 8.0;
+  double latencyIn = 0.05;
+  double latencyOut = 0.05;
+};
+
+/// Static compute-cost database plus generic speed fallback.
+class CostModel {
+ public:
+  /// Registers an exact unloaded compute cost (seconds).
+  void setComputeCost(const std::string& machine, const std::string& typeName,
+                      double seconds);
+
+  /// Exact entry if present.
+  std::optional<double> lookupCost(const std::string& machine,
+                                   const std::string& typeName) const;
+
+  /// Relative speed for machines without exact entries (1.0 = reference).
+  void setSpeedIndex(const std::string& machine, double index);
+  double speedIndex(const std::string& machine) const;
+
+  /// Unloaded compute seconds of a task on a machine: exact entry when
+  /// available, otherwise refSeconds / speedIndex.
+  double computeCost(const std::string& machine, const std::string& typeName,
+                     double refSeconds) const;
+
+  std::size_t entryCount() const { return costs_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> costs_;
+  std::map<std::string, double> speed_;
+};
+
+/// Paper Table 3 / Table 4 as structured data (publication column order).
+struct PhaseCostTable {
+  std::vector<std::string> machines;
+  std::vector<int> params;                          ///< sizes or parameters
+  std::vector<std::vector<double>> inputSeconds;    ///< [param][machine]
+  std::vector<std::vector<double>> computeSeconds;  ///< [param][machine]
+  std::vector<std::vector<double>> outputSeconds;   ///< [param][machine]
+};
+
+/// Table 3: multiplication tasks' needs on chamagne/cabestan/artimon/pulney.
+const PhaseCostTable& matmulCostTable();
+
+/// Table 4: waste-cpu tasks' needs on valette/spinnaker/cabestan/artimon.
+const PhaseCostTable& wasteCpuCostTable();
+
+/// Input/output data volumes of a matmul size (paper Table 3 memory column).
+double matmulInputMB(int size);
+double matmulOutputMB(int size);
+
+/// Link parameters for a paper machine, least-squares fit of the transfer
+/// rows (volume / (time - latency), averaged across sizes).
+LinkCalibration calibrateLink(const std::string& machine);
+
+/// Cost model loaded with every entry of Tables 3 and 4 plus speed indices
+/// for the six servers (relative to artimon).
+CostModel paperCostModel();
+
+}  // namespace casched::platform

@@ -1,0 +1,36 @@
+#include "platform/machine_catalog.hpp"
+
+namespace casched::platform {
+
+const std::vector<MachineInfo>& machineCatalog() {
+  // Paper Table 2. "Mo" in the paper is MB; 1 Go = 1024 MB.
+  static const std::vector<MachineInfo> catalog = {
+      {"chamagne", "pentium II", 330, 512.0, 134.0, MachineRole::kServer},
+      {"cabestan", "pentium III", 500, 192.0, 400.0, MachineRole::kServer},
+      {"artimon", "pentium IV", 1700, 512.0, 1024.0, MachineRole::kServer},
+      {"pulney", "xeon", 1400, 256.0, 533.0, MachineRole::kServer},
+      {"valette", "pentium II", 400, 128.0, 126.0, MachineRole::kServer},
+      {"spinnaker", "xeon", 2000, 1024.0, 2048.0, MachineRole::kServer},
+      {"xrousse", "pentium II bipro", 400, 512.0, 512.0, MachineRole::kAgent},
+      {"zanzibar", "pentium III", 550, 256.0, 500.0, MachineRole::kClient},
+  };
+  return catalog;
+}
+
+std::optional<MachineInfo> findMachine(const std::string& name) {
+  for (const MachineInfo& m : machineCatalog()) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::string roleName(MachineRole role) {
+  switch (role) {
+    case MachineRole::kServer: return "server";
+    case MachineRole::kAgent: return "agent";
+    case MachineRole::kClient: return "client";
+  }
+  return "?";
+}
+
+}  // namespace casched::platform

@@ -1,0 +1,34 @@
+#pragma once
+/// \file machine_catalog.hpp
+/// The paper's testbed machines (Table 2) as static data. The calibration
+/// module turns these plus the cost tables (Tables 3-4) into runnable
+/// psched::MachineSpec configurations.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace casched::platform {
+
+enum class MachineRole { kServer, kAgent, kClient };
+
+/// One row of the paper's Table 2.
+struct MachineInfo {
+  std::string name;
+  std::string cpuModel;
+  int cpuMHz = 0;
+  double ramMB = 0.0;
+  double swapMB = 0.0;
+  MachineRole role = MachineRole::kServer;
+};
+
+/// All eight machines of Table 2, in publication order.
+const std::vector<MachineInfo>& machineCatalog();
+
+/// Catalog lookup by machine name; empty when unknown.
+std::optional<MachineInfo> findMachine(const std::string& name);
+
+/// Human-readable role name ("server" / "agent" / "client").
+std::string roleName(MachineRole role);
+
+}  // namespace casched::platform

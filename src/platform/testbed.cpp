@@ -1,0 +1,62 @@
+#include "platform/testbed.hpp"
+
+#include "platform/machine_catalog.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::platform {
+
+psched::MachineSpec buildPaperMachine(const std::string& name) {
+  const auto info = findMachine(name);
+  CASCHED_CHECK(info.has_value(), "machine '" + name + "' is not in the catalog");
+  const LinkCalibration link = calibrateLink(name);
+  psched::MachineSpec spec;
+  spec.name = info->name;
+  spec.cpuModel = info->cpuModel;
+  spec.cpuMHz = info->cpuMHz;
+  spec.ramMB = info->ramMB;
+  spec.swapMB = info->swapMB;
+  spec.bwInMBps = link.bwInMBps;
+  spec.bwOutMBps = link.bwOutMBps;
+  spec.latencyIn = link.latencyIn;
+  spec.latencyOut = link.latencyOut;
+  return spec;
+}
+
+namespace {
+Testbed buildNamedSet(std::string name, const std::vector<std::string>& servers) {
+  Testbed bed;
+  bed.name = std::move(name);
+  for (const std::string& s : servers) {
+    bed.servers.push_back(buildPaperMachine(s));
+  }
+  bed.costs = paperCostModel();
+  return bed;
+}
+}  // namespace
+
+Testbed buildSet1() {
+  return buildNamedSet("set1", {"chamagne", "pulney", "cabestan", "artimon"});
+}
+
+Testbed buildSet2() {
+  return buildNamedSet("set2", {"valette", "spinnaker", "cabestan", "artimon"});
+}
+
+Testbed buildUniform(std::size_t n, double bwMBps, double latency) {
+  CASCHED_CHECK(n > 0, "uniform testbed needs at least one server");
+  Testbed bed;
+  bed.name = util::strformat("uniform-%zu", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    psched::MachineSpec spec;
+    spec.name = util::strformat("server-%zu", i);
+    spec.bwInMBps = bwMBps;
+    spec.bwOutMBps = bwMBps;
+    spec.latencyIn = latency;
+    spec.latencyOut = latency;
+    bed.servers.push_back(std::move(spec));
+  }
+  return bed;
+}
+
+}  // namespace casched::platform

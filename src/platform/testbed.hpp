@@ -1,0 +1,39 @@
+#pragma once
+/// \file testbed.hpp
+/// Testbed presets: the two server sets of the paper's experiments plus a
+/// generic uniform platform for tests and examples.
+
+#include <string>
+#include <vector>
+
+#include "platform/calibration.hpp"
+#include "psched/machine.hpp"
+
+namespace casched::platform {
+
+/// A ready-to-instantiate platform: server machine specs + middleware
+/// parameters + the static cost database the agent is given.
+struct Testbed {
+  std::string name;
+  std::vector<psched::MachineSpec> servers;
+  CostModel costs;
+  /// One-way client<->agent and agent<->server message latency (scheduling
+  /// RPCs and notifications; bulk data moves over the server links instead).
+  double controlLatency = 0.005;
+};
+
+/// First experiment set (paper section 5.1): servers chamagne, pulney,
+/// cabestan, artimon; client zanzibar; agent xrousse.
+Testbed buildSet1();
+
+/// Second experiment set (paper section 5.2): servers valette, spinnaker,
+/// cabestan, artimon.
+Testbed buildSet2();
+
+/// Builds the MachineSpec of one catalog machine with calibrated links.
+psched::MachineSpec buildPaperMachine(const std::string& name);
+
+/// n identical servers (speed index 1.0, ample memory) for tests/examples.
+Testbed buildUniform(std::size_t n, double bwMBps = 10.0, double latency = 0.01);
+
+}  // namespace casched::platform

@@ -1,0 +1,157 @@
+#include "psched/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace casched::psched {
+
+namespace {
+/// Jobs whose remaining work drops below this are considered finished. Work
+/// units in this codebase are seconds (CPU) or MB (links), both O(1)-O(1e3),
+/// so an absolute epsilon is adequate.
+constexpr double kWorkEpsilon = 1e-7;
+}  // namespace
+
+FairShareResource::FairShareResource(simcore::Simulator& sim, std::string name,
+                                     double capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity), lastSync_(sim.now()) {
+  CASCHED_CHECK(capacity_ > 0.0, "resource capacity must be positive");
+}
+
+FairShareResource::~FairShareResource() {
+  if (timer_.valid()) sim_.cancel(timer_);
+}
+
+void FairShareResource::sync() {
+  const simcore::SimTime now = sim_.now();
+  if (now <= lastSync_) return;
+  if (!jobs_.empty()) {
+    const double rate = ratePerJob();
+    const double done = rate * (now - lastSync_);
+    for (auto& [id, job] : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - done);
+    }
+  }
+  lastSync_ = now;
+}
+
+double FairShareResource::ratePerJob() const {
+  if (jobs_.empty()) return 0.0;
+  return capacity_ * factor_ / static_cast<double>(jobs_.size());
+}
+
+void FairShareResource::rearm() {
+  if (timer_.valid()) {
+    sim_.cancel(timer_);
+    timer_ = {};
+  }
+  if (jobs_.empty()) return;
+  double minRemaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    minRemaining = std::min(minRemaining, job.remaining);
+  }
+  const double rate = ratePerJob();
+  CASCHED_CHECK(rate > 0.0, "fair-share rate must be positive while jobs are active");
+  const double dt = std::max(0.0, minRemaining) / rate;
+  timer_ = sim_.scheduleAfter(dt, [this] { onTimer(); });
+}
+
+void FairShareResource::onTimer() {
+  timer_ = {};
+  sync();
+  // Collect every job that finished at this instant (ties are legal: jobs
+  // admitted together with equal work finish together).
+  std::vector<std::pair<JobId, CompletionFn>> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kWorkEpsilon) {
+      finished.emplace_back(it->first, std::move(it->second.onComplete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  CASCHED_CHECK(!finished.empty(), "completion timer fired with no finished job");
+  notifyMembership();
+  rearm();
+  // Callbacks run after internal state is consistent; they may freely add or
+  // cancel jobs on this resource (each mutation re-arms the timer itself).
+  for (auto& [id, cb] : finished) {
+    if (cb) cb(id);
+  }
+}
+
+FairShareResource::JobId FairShareResource::add(double work, CompletionFn onComplete) {
+  CASCHED_CHECK(work >= 0.0, "job work must be non-negative");
+  CASCHED_CHECK(std::isfinite(work), "job work must be finite");
+  sync();
+  const JobId id = nextJob_++;
+  jobs_.emplace(id, Job{work, std::move(onComplete)});
+  notifyMembership();
+  rearm();
+  return id;
+}
+
+bool FairShareResource::cancel(JobId job) {
+  sync();
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  jobs_.erase(it);
+  notifyMembership();
+  rearm();
+  return true;
+}
+
+void FairShareResource::cancelAll() {
+  sync();
+  if (jobs_.empty()) return;
+  jobs_.clear();
+  notifyMembership();
+  rearm();
+}
+
+void FairShareResource::setCapacityFactor(double factor) {
+  CASCHED_CHECK(factor > 0.0, "capacity factor must be positive");
+  sync();
+  factor_ = factor;
+  rearm();
+}
+
+double FairShareResource::remainingWork(JobId job) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return std::numeric_limits<double>::quiet_NaN();
+  // Account for progress since the last sync without mutating state.
+  const double elapsed = sim_.now() - lastSync_;
+  return std::max(0.0, it->second.remaining - ratePerJob() * elapsed);
+}
+
+double FairShareResource::totalRemainingWork() const {
+  double total = 0.0;
+  const double elapsed = sim_.now() - lastSync_;
+  const double done = ratePerJob() * elapsed;
+  for (const auto& [id, job] : jobs_) {
+    total += std::max(0.0, job.remaining - done);
+  }
+  return total;
+}
+
+simcore::SimTime FairShareResource::predictedNextCompletion() const {
+  if (jobs_.empty()) return simcore::kTimeInfinity;
+  double minRemaining = std::numeric_limits<double>::infinity();
+  const double elapsed = sim_.now() - lastSync_;
+  const double done = ratePerJob() * elapsed;
+  for (const auto& [id, job] : jobs_) {
+    minRemaining = std::min(minRemaining, std::max(0.0, job.remaining - done));
+  }
+  return sim_.now() + minRemaining / ratePerJob();
+}
+
+void FairShareResource::notifyMembership() {
+  if (membership_) membership_(jobs_.size());
+}
+
+}  // namespace casched::psched

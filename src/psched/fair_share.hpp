@@ -1,0 +1,93 @@
+#pragma once
+/// \file fair_share.hpp
+/// Equal-share (processor-sharing) resource - the paper's shared-resource
+/// model (section 2.3): a resource serving k jobs gives each k-th of its
+/// capacity. Used for server CPUs (capacity in unloaded-seconds of work per
+/// second) and network links (capacity in MB/s).
+///
+/// Between membership changes the per-job rate is constant, so the next
+/// completion date is analytic; the resource keeps exactly one pending
+/// completion event armed in the simulator and re-arms it on every change.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "simcore/engine.hpp"
+
+namespace casched::psched {
+
+class FairShareResource {
+ public:
+  using JobId = std::uint64_t;
+  using CompletionFn = std::function<void(JobId)>;
+  /// Observes the number of active jobs after each membership change.
+  using MembershipFn = std::function<void(std::size_t)>;
+
+  /// `capacity` is total work units processed per second when factor == 1.
+  FairShareResource(simcore::Simulator& sim, std::string name, double capacity);
+  ~FairShareResource();
+
+  FairShareResource(const FairShareResource&) = delete;
+  FairShareResource& operator=(const FairShareResource&) = delete;
+
+  /// Adds a job with `work` units remaining; `onComplete` fires (via the
+  /// simulator) when the job's service finishes. Zero-work jobs complete at
+  /// the next event dispatch at the current time.
+  JobId add(double work, CompletionFn onComplete);
+
+  /// Removes a job without completing it (task abort). Returns false when the
+  /// job already finished or was cancelled.
+  bool cancel(JobId job);
+
+  /// Removes every job without completing them (server collapse).
+  void cancelAll();
+
+  /// Scales effective capacity (memory thrashing, CPU/link noise). Progress
+  /// up to now is integrated at the old factor first.
+  void setCapacityFactor(double factor);
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  double capacityFactor() const { return factor_; }
+  std::size_t activeJobs() const { return jobs_.size(); }
+
+  /// Remaining work of a job as of the last internal sync; NaN if unknown.
+  double remainingWork(JobId job) const;
+  double totalRemainingWork() const;
+
+  /// Service rate currently granted to each job (capacity*factor/k).
+  double ratePerJob() const;
+
+  /// Time at which the next job would complete if nothing changes.
+  simcore::SimTime predictedNextCompletion() const;
+
+  void setMembershipObserver(MembershipFn fn) { membership_ = std::move(fn); }
+
+  /// Forces integration of progress up to sim.now() (used by inspectors).
+  void syncNow() { sync(); }
+
+ private:
+  struct Job {
+    double remaining;
+    CompletionFn onComplete;
+  };
+
+  void sync();
+  void rearm();
+  void onTimer();
+  void notifyMembership();
+
+  simcore::Simulator& sim_;
+  std::string name_;
+  double capacity_;
+  double factor_ = 1.0;
+  std::map<JobId, Job> jobs_;  // ordered => deterministic completion order
+  simcore::SimTime lastSync_ = 0.0;
+  simcore::EventHandle timer_{};
+  JobId nextJob_ = 1;
+  MembershipFn membership_;
+};
+
+}  // namespace casched::psched

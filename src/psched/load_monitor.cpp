@@ -1,0 +1,27 @@
+#include "psched/load_monitor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace casched::psched {
+
+LoadMonitor::LoadMonitor(double tau) : tau_(tau) {
+  CASCHED_CHECK(tau_ > 0.0, "load average time constant must be positive");
+}
+
+double LoadMonitor::decayTo(simcore::SimTime now) const {
+  if (now <= last_) return load_;
+  const double e = std::exp(-(now - last_) / tau_);
+  return load_ * e + static_cast<double>(runnable_) * (1.0 - e);
+}
+
+void LoadMonitor::update(simcore::SimTime now, std::size_t runnable) {
+  load_ = decayTo(now);
+  last_ = now > last_ ? now : last_;
+  runnable_ = runnable;
+}
+
+double LoadMonitor::load(simcore::SimTime now) const { return decayTo(now); }
+
+}  // namespace casched::psched

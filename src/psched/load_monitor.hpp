@@ -1,0 +1,41 @@
+#pragma once
+/// \file load_monitor.hpp
+/// Linux-style exponentially damped load average. NetSolve's MCT schedules on
+/// the load averages servers report (paper section 2.2); the damping is what
+/// makes that information lag behind reality and is a key reason the HTM
+/// heuristics win.
+
+#include "simcore/time.hpp"
+
+namespace casched::psched {
+
+/// Continuous-time exact EMA of the number of runnable jobs:
+///   L(t) = L(t0)*e^{-(t-t0)/tau} + n*(1 - e^{-(t-t0)/tau})
+/// with n constant on [t0, t]. Updates are event-driven (no sampling error).
+class LoadMonitor {
+ public:
+  /// tau defaults to 60 s, matching the Linux 1-minute load average.
+  explicit LoadMonitor(double tau = 60.0);
+
+  /// Records that the runnable count becomes `runnable` at time `now`. The
+  /// previous count is integrated up to `now` first.
+  void update(simcore::SimTime now, std::size_t runnable);
+
+  /// Damped load average at `now` (>= time of last update).
+  double load(simcore::SimTime now) const;
+
+  /// Instantaneous runnable count last reported.
+  std::size_t runnable() const { return runnable_; }
+
+  double tau() const { return tau_; }
+
+ private:
+  double decayTo(simcore::SimTime now) const;
+
+  double tau_;
+  double load_ = 0.0;
+  std::size_t runnable_ = 0;
+  simcore::SimTime last_ = 0.0;
+};
+
+}  // namespace casched::psched

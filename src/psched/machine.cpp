@@ -1,0 +1,146 @@
+#include "psched/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::psched {
+
+Machine::Machine(simcore::Simulator& sim, MachineSpec spec)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      cpu_(sim, spec_.name + ".cpu", 1.0),
+      linkIn_(sim, spec_.name + ".linkIn", spec_.bwInMBps),
+      linkOut_(sim, spec_.name + ".linkOut", spec_.bwOutMBps),
+      loadMonitor_(spec_.loadTau) {
+  CASCHED_CHECK(spec_.bwInMBps > 0 && spec_.bwOutMBps > 0, "bandwidth must be positive");
+  CASCHED_CHECK(spec_.ramMB > 0, "ram must be positive");
+  CASCHED_CHECK(spec_.swapMB >= 0, "swap must be non-negative");
+  CASCHED_CHECK(spec_.thrashTheta >= 0, "thrash exponent must be non-negative");
+  // The load monitor tracks the number of tasks in their compute phase; the
+  // busy-time integral for utilization statistics shares the same hook.
+  cpu_.setMembershipObserver([this](std::size_t n) {
+    const simcore::SimTime now = sim_.now();
+    loadMonitor_.update(now, n);
+    if (n > 0 && busySince_ < 0.0) {
+      busySince_ = now;
+    } else if (n == 0 && busySince_ >= 0.0) {
+      stats_.busyCpuSeconds += now - busySince_;
+      busySince_ = -1.0;
+    }
+  });
+}
+
+double Machine::loadAverage() const { return loadMonitor_.load(sim_.now()); }
+
+double Machine::unloadedDuration(const ExecRequest& request) const {
+  double total = request.cpuSeconds;
+  if (request.inMB > 0.0) total += spec_.latencyIn + request.inMB / spec_.bwInMBps;
+  else if (spec_.latencyIn > 0.0) total += spec_.latencyIn;
+  if (request.outMB > 0.0) total += spec_.latencyOut + request.outMB / spec_.bwOutMBps;
+  else if (spec_.latencyOut > 0.0) total += spec_.latencyOut;
+  return total;
+}
+
+void Machine::applyCpuFactor() {
+  cpu_.setCapacityFactor(std::max(1e-6, cpuNoise_ * thrash_));
+}
+
+void Machine::setCpuNoiseFactor(double factor) {
+  cpuNoise_ = factor;
+  applyCpuFactor();
+}
+
+void Machine::setLinkNoiseFactor(double factor) {
+  linkNoise_ = factor;
+  linkIn_.setCapacityFactor(std::max(1e-6, linkNoise_));
+  linkOut_.setCapacityFactor(std::max(1e-6, linkNoise_));
+}
+
+void Machine::updateThrash() {
+  double t = 1.0;
+  if (spec_.thrashTheta > 0.0 && residentMB_ > spec_.ramMB) {
+    t = std::pow(spec_.ramMB / residentMB_, spec_.thrashTheta);
+  }
+  if (t != thrash_) {
+    thrash_ = t;
+    applyCpuFactor();
+  }
+}
+
+bool Machine::submit(const ExecRequest& request, ExecDoneFn done) {
+  if (!up_) return false;
+  ++stats_.submitted;
+  residentMB_ += request.memMB;
+  stats_.peakResidentMB = std::max(stats_.peakResidentMB, residentMB_);
+  if (residentMB_ > spec_.ramMB + spec_.swapMB) {
+    // The allocation that does not fit kills the machine (OOM on a 2003 Linux
+    // box with NetSolve servers was not graceful; paper section 5.1).
+    LOG_DEBUG("machine " << spec_.name << " collapses at t=" << sim_.now()
+                         << " resident=" << residentMB_ << "MB");
+    ++stats_.failed;  // the triggering task
+    collapse();
+    return false;
+  }
+  updateThrash();
+  CASCHED_CHECK(execs_.find(request.taskId) == execs_.end(),
+                "duplicate taskId submitted to machine");
+  auto exec = std::make_unique<TaskExecution>(
+      sim_, ExecResources{&linkIn_, &cpu_, &linkOut_, spec_.latencyIn, spec_.latencyOut},
+      request, [this](TaskExecution& e) { finishExecution(e); });
+  TaskExecution* raw = exec.get();
+  execs_.emplace(request.taskId, std::move(exec));
+  doneFns_.emplace(request.taskId, std::move(done));
+  raw->start();
+  return true;
+}
+
+void Machine::finishExecution(TaskExecution& exec) {
+  const std::uint64_t taskId = exec.taskId();
+  auto it = execs_.find(taskId);
+  CASCHED_CHECK(it != execs_.end(), "finished execution not registered");
+  // Keep the execution alive until this frame unwinds: we are called from
+  // inside TaskExecution::onOutputDone.
+  std::unique_ptr<TaskExecution> owned = std::move(it->second);
+  execs_.erase(it);
+  ExecDoneFn done = std::move(doneFns_.at(taskId));
+  doneFns_.erase(taskId);
+
+  residentMB_ = std::max(0.0, residentMB_ - owned->record().request.memMB);
+  updateThrash();
+  ++stats_.completed;
+  if (done) done(owned->record());
+  // `owned` destroys the execution here; onOutputDone touches nothing after
+  // invoking us (see TaskExecution lifetime contract).
+}
+
+void Machine::collapse() {
+  up_ = false;
+  std::vector<ExecRecord> victims;
+  victims.reserve(execs_.size());
+  for (auto& [taskId, exec] : execs_) {
+    exec->abort();
+    victims.push_back(exec->record());
+    ++stats_.failed;
+  }
+  execs_.clear();
+  doneFns_.clear();
+  residentMB_ = 0.0;
+  thrash_ = 1.0;
+  applyCpuFactor();
+  ++stats_.collapses;
+  recoverEvent_ = sim_.scheduleAfter(spec_.recoverySeconds, [this] { recover(); });
+  if (onCollapse_) onCollapse_(victims);
+}
+
+void Machine::recover() {
+  recoverEvent_ = {};
+  up_ = true;
+  LOG_DEBUG("machine " << spec_.name << " recovered at t=" << sim_.now());
+  if (onRecover_) onRecover_();
+}
+
+}  // namespace casched::psched

@@ -1,0 +1,135 @@
+#pragma once
+/// \file machine.hpp
+/// A time-shared computational server: equal-share CPU, shared in/out links,
+/// RAM+swap memory accounting with thrashing and collapse, and a damped load
+/// average (what NetSolve's monitors report to the agent).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psched/fair_share.hpp"
+#include "psched/load_monitor.hpp"
+#include "psched/task_exec.hpp"
+#include "simcore/engine.hpp"
+
+namespace casched::psched {
+
+/// Static description of a server machine (paper Table 2 plus calibrated
+/// network parameters).
+struct MachineSpec {
+  std::string name;
+  std::string cpuModel;     ///< catalog metadata only
+  int cpuMHz = 0;           ///< catalog metadata only
+  double bwInMBps = 10.0;   ///< input-link bandwidth, MB/s
+  double bwOutMBps = 10.0;  ///< output-link bandwidth, MB/s
+  double latencyIn = 0.05;  ///< per-transfer latency, s
+  double latencyOut = 0.05;
+  double ramMB = 1.0e9;     ///< physical memory
+  double swapMB = 0.0;      ///< swap space
+  /// Thrashing exponent: when resident memory M exceeds RAM, CPU capacity is
+  /// scaled by (RAM/M)^theta. theta=0 disables thrashing. The default 1.5 is
+  /// calibrated so the paper's Table 6 collapse regime reproduces.
+  double thrashTheta = 1.5;
+  /// Downtime after a collapse before the server is usable again.
+  double recoverySeconds = 300.0;
+  /// Load-average damping constant (Linux 1-minute average).
+  double loadTau = 60.0;
+};
+
+/// Aggregate statistics since construction.
+struct MachineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t collapses = 0;
+  double peakResidentMB = 0.0;
+  double busyCpuSeconds = 0.0;  ///< integral of (cpu busy ? 1 : 0) dt
+};
+
+/// A server machine in the ground-truth simulation.
+///
+/// Memory model (needed for the paper's Table 6): each admitted task holds
+/// `memMB` from submission to completion. Resident > RAM slows the CPU
+/// (thrashing); resident > RAM+swap collapses the server: every running task
+/// fails, the machine goes down for `recoverySeconds`, then comes back empty.
+class Machine {
+ public:
+  /// Fires when an execution reaches a terminal state (completed or failed).
+  using ExecDoneFn = std::function<void(const ExecRecord&)>;
+  /// Fires on collapse with the records of all failed executions.
+  using CollapseFn = std::function<void(const std::vector<ExecRecord>&)>;
+  using RecoverFn = std::function<void()>;
+
+  Machine(simcore::Simulator& sim, MachineSpec spec);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Admits and starts a task. Returns false when the machine is down or when
+  /// admitting this task collapses the machine (the task is then failed and
+  /// `done` is NOT called; the collapse observer reports the other victims).
+  bool submit(const ExecRequest& request, ExecDoneFn done);
+
+  bool up() const { return up_; }
+  const MachineSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  double residentMB() const { return residentMB_; }
+  std::size_t activeTasks() const { return execs_.size(); }
+
+  /// Damped load average as NetSolve's monitor would report it.
+  double loadAverage() const;
+  /// Instantaneous number of tasks in their compute phase.
+  std::size_t runningCpuJobs() const { return cpu_.activeJobs(); }
+
+  FairShareResource& cpu() { return cpu_; }
+  FairShareResource& linkIn() { return linkIn_; }
+  FairShareResource& linkOut() { return linkOut_; }
+
+  /// External noise hooks (used by NoiseProcess). The effective CPU factor is
+  /// noise * thrash, so both mechanisms compose.
+  void setCpuNoiseFactor(double factor);
+  void setLinkNoiseFactor(double factor);
+
+  void setCollapseObserver(CollapseFn fn) { onCollapse_ = std::move(fn); }
+  void setRecoverObserver(RecoverFn fn) { onRecover_ = std::move(fn); }
+
+  const MachineStats& stats() const { return stats_; }
+
+  /// Unloaded end-to-end duration of a request on this machine (latencies +
+  /// transfers at full bandwidth + compute at full speed). This is the rho
+  /// used by the paper's stretch metric.
+  double unloadedDuration(const ExecRequest& request) const;
+
+ private:
+  void updateThrash();
+  void applyCpuFactor();
+  void collapse();
+  void recover();
+  void finishExecution(TaskExecution& exec);
+
+  simcore::Simulator& sim_;
+  MachineSpec spec_;
+  FairShareResource cpu_;
+  FairShareResource linkIn_;
+  FairShareResource linkOut_;
+  LoadMonitor loadMonitor_;
+  std::map<std::uint64_t, std::unique_ptr<TaskExecution>> execs_;  // by taskId
+  double residentMB_ = 0.0;
+  double cpuNoise_ = 1.0;
+  double linkNoise_ = 1.0;
+  double thrash_ = 1.0;
+  bool up_ = true;
+  simcore::EventHandle recoverEvent_{};
+  std::map<std::uint64_t, ExecDoneFn> doneFns_;
+  CollapseFn onCollapse_;
+  RecoverFn onRecover_;
+  MachineStats stats_;
+  simcore::SimTime busySince_ = -1.0;
+};
+
+}  // namespace casched::psched

@@ -1,0 +1,46 @@
+#include "psched/noise.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace casched::psched {
+
+NoiseProcess::NoiseProcess(simcore::Simulator& sim, simcore::RandomStream& rng,
+                           NoiseConfig config, ApplyFn apply)
+    : sim_(sim), rng_(rng), config_(config), apply_(std::move(apply)) {
+  CASCHED_CHECK(config_.amplitude >= 0.0 && config_.amplitude < 1.0,
+                "noise amplitude must be in [0,1)");
+  CASCHED_CHECK(config_.period > 0.0, "noise period must be positive");
+  CASCHED_CHECK(apply_ != nullptr, "noise apply callback required");
+}
+
+NoiseProcess::~NoiseProcess() {
+  if (event_.valid()) sim_.cancel(event_);
+}
+
+void NoiseProcess::start() {
+  if (config_.amplitude <= 0.0 || event_.valid()) return;
+  tick();
+}
+
+void NoiseProcess::stop() {
+  if (event_.valid()) {
+    sim_.cancel(event_);
+    event_ = {};
+  }
+  if (factor_ != 1.0) {
+    factor_ = 1.0;
+    apply_(factor_);
+  }
+}
+
+void NoiseProcess::tick() {
+  factor_ = 1.0 + rng_.uniform(-config_.amplitude, config_.amplitude);
+  factor_ = std::max(factor_, 0.05);  // keep the resource schedulable
+  apply_(factor_);
+  event_ = sim_.scheduleAfter(config_.period, [this] { tick(); });
+}
+
+}  // namespace casched::psched

@@ -1,0 +1,115 @@
+#include "psched/task_exec.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace casched::psched {
+
+TaskExecution::TaskExecution(simcore::Simulator& sim, ExecResources res,
+                             ExecRequest req, DoneFn done)
+    : sim_(sim), res_(res), done_(std::move(done)) {
+  CASCHED_CHECK(res_.linkIn && res_.cpu && res_.linkOut, "execution needs all resources");
+  CASCHED_CHECK(req.inMB >= 0 && req.cpuSeconds >= 0 && req.outMB >= 0 && req.memMB >= 0,
+                "execution request fields must be non-negative");
+  record_.request = req;
+}
+
+TaskExecution::~TaskExecution() {
+  // Defensive: a destroyed execution must leave nothing armed.
+  if (record_.status == ExecStatus::kRunning) abort();
+}
+
+void TaskExecution::start() {
+  CASCHED_CHECK(record_.submitTime < 0.0, "start() called twice");
+  record_.submitTime = sim_.now();
+  beginInput();
+}
+
+void TaskExecution::beginInput() {
+  record_.inputStart = sim_.now();
+  auto launch = [this] {
+    pendingEvent_ = {};
+    if (record_.request.inMB <= 0.0) {
+      onInputDone();
+      return;
+    }
+    activeResource_ = res_.linkIn;
+    activeJob_ = res_.linkIn->add(record_.request.inMB,
+                                  [this](FairShareResource::JobId) {
+                                    activeResource_ = nullptr;
+                                    onInputDone();
+                                  });
+  };
+  if (res_.latencyIn > 0.0) {
+    pendingEvent_ = sim_.scheduleAfter(res_.latencyIn, launch);
+  } else {
+    launch();
+  }
+}
+
+void TaskExecution::onInputDone() { beginCompute(); }
+
+void TaskExecution::beginCompute() {
+  record_.computeStart = sim_.now();
+  if (record_.request.cpuSeconds <= 0.0) {
+    onComputeDone();
+    return;
+  }
+  activeResource_ = res_.cpu;
+  activeJob_ = res_.cpu->add(record_.request.cpuSeconds,
+                             [this](FairShareResource::JobId) {
+                               activeResource_ = nullptr;
+                               onComputeDone();
+                             });
+}
+
+void TaskExecution::onComputeDone() { beginOutput(); }
+
+void TaskExecution::beginOutput() {
+  record_.outputStart = sim_.now();
+  auto launch = [this] {
+    pendingEvent_ = {};
+    if (record_.request.outMB <= 0.0) {
+      onOutputDone();
+      return;
+    }
+    activeResource_ = res_.linkOut;
+    activeJob_ = res_.linkOut->add(record_.request.outMB,
+                                   [this](FairShareResource::JobId) {
+                                     activeResource_ = nullptr;
+                                     onOutputDone();
+                                   });
+  };
+  if (res_.latencyOut > 0.0) {
+    pendingEvent_ = sim_.scheduleAfter(res_.latencyOut, launch);
+  } else {
+    launch();
+  }
+}
+
+void TaskExecution::onOutputDone() {
+  record_.endTime = sim_.now();
+  record_.status = ExecStatus::kCompleted;
+  if (done_) {
+    // The owner may destroy *this inside done_; do not touch members after.
+    DoneFn done = std::move(done_);
+    done(*this);
+  }
+}
+
+void TaskExecution::abort() {
+  if (record_.status != ExecStatus::kRunning) return;
+  if (pendingEvent_.valid()) {
+    sim_.cancel(pendingEvent_);
+    pendingEvent_ = {};
+  }
+  if (activeResource_ != nullptr) {
+    activeResource_->cancel(activeJob_);
+    activeResource_ = nullptr;
+  }
+  record_.endTime = sim_.now();
+  record_.status = ExecStatus::kFailed;
+}
+
+}  // namespace casched::psched

@@ -1,0 +1,94 @@
+#pragma once
+/// \file task_exec.hpp
+/// Three-phase execution of a single task on a server (paper fig. 1):
+/// input-data transfer -> compute -> output-data transfer, each phase a job on
+/// the server's shared link-in / CPU / link-out resources, transfers preceded
+/// by a fixed latency.
+
+#include <cstdint>
+#include <functional>
+
+#include "psched/fair_share.hpp"
+#include "simcore/engine.hpp"
+
+namespace casched::psched {
+
+/// What a server is asked to run. `cpuSeconds` is the task's duration on this
+/// server when unloaded (the paper's static cost information, Tables 3-4).
+struct ExecRequest {
+  std::uint64_t taskId = 0;
+  double inMB = 0.0;        ///< input data volume
+  double cpuSeconds = 0.0;  ///< unloaded compute duration on this machine
+  double outMB = 0.0;       ///< output data volume
+  double memMB = 0.0;       ///< resident footprint, held for the whole execution
+};
+
+enum class ExecStatus : std::uint8_t { kRunning, kCompleted, kFailed };
+
+/// Timestamped outcome of one execution; -1 marks phases never entered.
+struct ExecRecord {
+  ExecRequest request;
+  simcore::SimTime submitTime = -1.0;
+  simcore::SimTime inputStart = -1.0;
+  simcore::SimTime computeStart = -1.0;
+  simcore::SimTime outputStart = -1.0;
+  simcore::SimTime endTime = -1.0;
+  ExecStatus status = ExecStatus::kRunning;
+};
+
+/// Resources a TaskExecution runs on (owned by the Machine).
+struct ExecResources {
+  FairShareResource* linkIn = nullptr;
+  FairShareResource* cpu = nullptr;
+  FairShareResource* linkOut = nullptr;
+  double latencyIn = 0.0;
+  double latencyOut = 0.0;
+};
+
+/// State machine driving one task through its three phases.
+///
+/// Lifetime contract: the owner (Machine) constructs it, calls start() once,
+/// and destroys it either after `done` fires or after abort(). `done` is
+/// invoked from inside the final phase callback; the owner may destroy the
+/// execution there, so TaskExecution never touches members after firing it.
+class TaskExecution {
+ public:
+  using DoneFn = std::function<void(TaskExecution&)>;
+
+  TaskExecution(simcore::Simulator& sim, ExecResources res, ExecRequest req,
+                DoneFn done);
+  ~TaskExecution();
+
+  TaskExecution(const TaskExecution&) = delete;
+  TaskExecution& operator=(const TaskExecution&) = delete;
+
+  void start();
+
+  /// Cancels whatever the task is waiting on (latency event or resource job)
+  /// and marks the record failed. Does NOT invoke the done callback; the
+  /// owner decides how failures propagate (server collapse).
+  void abort();
+
+  const ExecRecord& record() const { return record_; }
+  std::uint64_t taskId() const { return record_.request.taskId; }
+  bool finished() const { return record_.status != ExecStatus::kRunning; }
+
+ private:
+  void beginInput();
+  void onInputDone();
+  void beginCompute();
+  void onComputeDone();
+  void beginOutput();
+  void onOutputDone();
+
+  simcore::Simulator& sim_;
+  ExecResources res_;
+  ExecRecord record_;
+  DoneFn done_;
+
+  simcore::EventHandle pendingEvent_{};
+  FairShareResource* activeResource_ = nullptr;
+  FairShareResource::JobId activeJob_ = 0;
+};
+
+}  // namespace casched::psched

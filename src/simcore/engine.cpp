@@ -1,0 +1,75 @@
+#include "simcore/engine.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::simcore {
+
+EventHandle Simulator::scheduleAt(SimTime at, Callback cb) {
+  CASCHED_CHECK(cb != nullptr, "scheduleAt: null callback");
+  // Tolerate tiny negative drift from floating-point arithmetic on completion
+  // dates but reject genuinely past times.
+  if (at < now_) {
+    CASCHED_CHECK(timeAlmostEqual(at, now_),
+                  util::strformat("scheduleAt: time %.9f is before now %.9f", at, now_));
+    at = now_;
+  }
+  const std::uint64_t id = nextId_++;
+  queue_.push(Entry{at, nextSeq_++, id, std::move(cb)});
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+EventHandle Simulator::scheduleAfter(SimTime delay, Callback cb) {
+  CASCHED_CHECK(delay >= 0.0, "scheduleAfter: negative delay");
+  return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  if (pending_.erase(handle.id) == 0) return false;  // already fired/cancelled
+  cancelled_.insert(handle.id);
+  return true;
+}
+
+void Simulator::purgeCancelledHead() const {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+SimTime Simulator::nextEventTime() const {
+  purgeCancelledHead();
+  return queue_.empty() ? kTimeInfinity : queue_.top().time;
+}
+
+bool Simulator::step(SimTime until) {
+  purgeCancelledHead();
+  if (queue_.empty() || queue_.top().time > until) return false;
+  // Move the callback out before popping so self-rescheduling callbacks work.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  CASCHED_CHECK(entry.time >= now_, "event queue went backwards in time");
+  now_ = entry.time;
+  pending_.erase(entry.id);
+  ++executed_;
+  entry.cb();
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (!stopRequested_ && step(until)) ++n;
+  if (until != kTimeInfinity && now_ < until && nextEventTime() > until) {
+    now_ = until;  // advance the clock to the horizon even with no event there
+  }
+  return n;
+}
+
+}  // namespace casched::simcore

@@ -1,0 +1,93 @@
+#pragma once
+/// \file engine.hpp
+/// Deterministic discrete-event simulation engine.
+///
+/// Events are (time, sequence) ordered; the sequence number makes simultaneous
+/// events fire in scheduling order, so runs are bit-reproducible. Events can
+/// be cancelled through handles; cancellation is O(1) (lazy deletion).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace casched::simcore {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Discrete-event simulator. Single-threaded by design: one simulation per
+/// engine; the experiment layer parallelizes across engines.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds).
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (>= now). Returns a cancellable
+  /// handle.
+  EventHandle scheduleAt(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (>= 0).
+  EventHandle scheduleAfter(SimTime delay, Callback cb);
+
+  /// Cancels a pending event; no-op when the event already fired or was
+  /// cancelled. Returns true when something was cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue drains or `until` is reached (events at exactly
+  /// `until` still fire). Returns the number of events executed.
+  std::uint64_t run(SimTime until = kTimeInfinity);
+
+  /// Executes at most one event; returns false when the queue is empty or the
+  /// head is beyond `until`.
+  bool step(SimTime until = kTimeInfinity);
+
+  /// Requests run() to return after the current event completes.
+  void requestStop() { stopRequested_ = true; }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pendingEvents() const { return pending_.size(); }
+  std::uint64_t executedEvents() const { return executed_; }
+
+  /// Time of the earliest pending event, or kTimeInfinity.
+  SimTime nextEventTime() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;    // tie-break: FIFO among simultaneous events
+    std::uint64_t id;     // handle identity for cancellation
+    Callback cb;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void purgeCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_;             // ids not yet fired/cancelled
+  mutable std::unordered_set<std::uint64_t> cancelled_;   // lazy deletion set
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t nextId_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopRequested_ = false;
+};
+
+}  // namespace casched::simcore

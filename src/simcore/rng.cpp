@@ -1,0 +1,125 @@
+#include "simcore/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace casched::simcore {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t deriveSeed(std::uint64_t master, std::uint64_t streamId) {
+  std::uint64_t state = master ^ (0xA0761D6478BD642FULL * (streamId + 1));
+  std::uint64_t out = splitmix64(state);
+  // A second scramble round decorrelates adjacent streamIds.
+  return splitmix64(state) ^ (out << 1);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::nextDouble() {
+  // 53 high-quality bits -> [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::nextBelow(std::uint64_t bound) {
+  CASCHED_CHECK(bound > 0, "nextBelow(0)");
+  // Lemire's nearly-divisionless unbiased reduction.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  CASCHED_CHECK(lo <= hi, "uniform: lo > hi");
+  return lo + (hi - lo) * gen_.nextDouble();
+}
+
+std::int64_t RandomStream::uniformInt(std::int64_t lo, std::int64_t hi) {
+  CASCHED_CHECK(lo <= hi, "uniformInt: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(gen_.nextBelow(span));
+}
+
+double RandomStream::exponentialMean(double mean) {
+  CASCHED_CHECK(mean > 0.0, "exponentialMean: non-positive mean");
+  double u = gen_.nextDouble();
+  // Guard against log(0); nextDouble() can return exactly 0.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  if (haveSpareNormal_) {
+    haveSpareNormal_ = false;
+    return mean + stddev * spareNormal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * gen_.nextDouble() - 1.0;
+    v = 2.0 * gen_.nextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spareNormal_ = v * factor;
+  haveSpareNormal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::size_t RandomStream::discrete(const std::vector<double>& weights) {
+  CASCHED_CHECK(!weights.empty(), "discrete: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CASCHED_CHECK(w >= 0.0, "discrete: negative weight");
+    total += w;
+  }
+  CASCHED_CHECK(total > 0.0, "discrete: all-zero weights");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+bool RandomStream::bernoulli(double p) {
+  CASCHED_CHECK(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return gen_.nextDouble() < p;
+}
+
+}  // namespace casched::simcore

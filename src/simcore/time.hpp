@@ -1,0 +1,21 @@
+#pragma once
+/// \file time.hpp
+/// Simulation time. The paper works in wall-clock seconds; we keep time as a
+/// double (seconds since experiment start) with helpers for tolerant
+/// comparison, since equal-share completion dates are computed analytically.
+
+#include <cmath>
+#include <limits>
+
+namespace casched::simcore {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Absolute-plus-relative tolerance comparison for completion dates.
+inline bool timeAlmostEqual(SimTime a, SimTime b, double tol = 1e-7) {
+  return std::abs(a - b) <= tol * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+}  // namespace casched::simcore

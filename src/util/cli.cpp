@@ -1,0 +1,137 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::util {
+
+ArgParser::ArgParser(std::string programName, std::string description)
+    : programName_(std::move(programName)), description_(std::move(description)) {}
+
+void ArgParser::addString(const std::string& name, const std::string& defaultValue,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kString, defaultValue, defaultValue, help};
+  order_.push_back(name);
+}
+
+void ArgParser::addInt(const std::string& name, std::int64_t defaultValue,
+                       const std::string& help) {
+  const std::string d = std::to_string(defaultValue);
+  flags_[name] = Flag{Type::kInt, d, d, help};
+  order_.push_back(name);
+}
+
+void ArgParser::addDouble(const std::string& name, double defaultValue,
+                          const std::string& help) {
+  const std::string d = strformat("%g", defaultValue);
+  flags_[name] = Flag{Type::kDouble, d, d, help};
+  order_.push_back(name);
+}
+
+void ArgParser::addBool(const std::string& name, bool defaultValue, const std::string& help) {
+  const std::string d = defaultValue ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, d, d, help};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool haveValue = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      haveValue = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) throw ConfigError("unknown flag --" + arg);
+    Flag& flag = it->second;
+    if (!haveValue) {
+      if (flag.type == Type::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) throw ConfigError("flag --" + arg + " expects a value");
+        value = argv[++i];
+      }
+    }
+    // Validate eagerly so errors carry the flag name.
+    switch (flag.type) {
+      case Type::kInt: {
+        char* end = nullptr;
+        (void)std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          throw ConfigError("flag --" + arg + " expects an integer, got '" + value + "'");
+        }
+        break;
+      }
+      case Type::kDouble: {
+        char* end = nullptr;
+        (void)std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          throw ConfigError("flag --" + arg + " expects a number, got '" + value + "'");
+        }
+        break;
+      }
+      case Type::kBool: {
+        const std::string v = toLower(value);
+        if (v != "true" && v != "false" && v != "1" && v != "0" && v != "yes" && v != "no") {
+          throw ConfigError("flag --" + arg + " expects a boolean, got '" + value + "'");
+        }
+        break;
+      }
+      case Type::kString:
+        break;
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name, Type expected) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw ConfigError("flag --" + name + " was never declared");
+  CASCHED_CHECK(it->second.type == expected, "flag type mismatch for --" + name);
+  return it->second;
+}
+
+std::string ArgParser::getString(const std::string& name) const {
+  return find(name, Type::kString).value;
+}
+
+std::int64_t ArgParser::getInt(const std::string& name) const {
+  return std::strtoll(find(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  return std::strtod(find(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool ArgParser::getBool(const std::string& name) const {
+  const std::string v = toLower(find(name, Type::kBool).value);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::string out = programName_ + " - " + description_ + "\n\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag& f = flags_.at(name);
+    out += strformat("  --%-24s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                     f.defaultValue.empty() ? "\"\"" : f.defaultValue.c_str());
+  }
+  return out;
+}
+
+}  // namespace casched::util

@@ -1,0 +1,57 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny declarative CLI flag parser shared by the examples and benches.
+/// Supports `--name=value`, `--name value`, and boolean `--flag`.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace casched::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string programName, std::string description);
+
+  /// Declares a flag with a default; appears in --help output.
+  void addString(const std::string& name, const std::string& defaultValue,
+                 const std::string& help);
+  void addInt(const std::string& name, std::int64_t defaultValue, const std::string& help);
+  void addDouble(const std::string& name, double defaultValue, const std::string& help);
+  void addBool(const std::string& name, bool defaultValue, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was given.
+  /// Throws ConfigError for unknown flags or unparseable values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string getString(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string defaultValue;
+    std::string value;
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Type expected) const;
+
+  std::string programName_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace casched::util

@@ -1,0 +1,114 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace casched::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::addRow(std::vector<std::string> row) {
+  CASCHED_CHECK(row.size() == header_.size(), "csv row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += ',';
+    out += escape(header_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvWriter::writeFile(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  os << render();
+}
+
+std::vector<std::vector<std::string>> parseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool inQuotes = false;
+  bool cellStarted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (inQuotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        inQuotes = true;
+        cellStarted = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        cellStarted = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (cellStarted || !cell.empty() || !row.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          cellStarted = false;
+        }
+        break;
+      default:
+        cell += c;
+        cellStarted = true;
+        break;
+    }
+  }
+  if (inQuotes) throw DecodeError("unterminated quote in csv");
+  if (cellStarted || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace casched::util

@@ -1,0 +1,34 @@
+#pragma once
+/// \file csv.hpp
+/// CSV emission for every bench (machine-readable twin of the ASCII tables).
+
+#include <string>
+#include <vector>
+
+namespace casched::util {
+
+/// Builds an RFC-4180-ish CSV document in memory, then writes it to a file.
+/// Cells containing separators/quotes/newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  std::size_t rowCount() const { return rows_.size(); }
+
+  std::string render() const;
+
+  /// Writes to `path`, creating parent directories if needed.
+  void writeFile(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text produced by CsvWriter (used by metatask save/load).
+std::vector<std::vector<std::string>> parseCsv(const std::string& text);
+
+}  // namespace casched::util

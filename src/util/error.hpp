@@ -1,0 +1,50 @@
+#pragma once
+/// \file error.hpp
+/// Error types and assertion helpers shared by every casched module.
+
+#include <stdexcept>
+#include <string>
+
+namespace casched::util {
+
+/// Base class for all casched errors. Thrown for programming errors and
+/// malformed inputs; simulation-level failures (task failure, server collapse)
+/// are modelled as data, not exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Raised when decoding a wire message fails (truncated / corrupt frame).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+/// Raised on I/O failures (sockets, files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace casched::util
+
+/// Always-on invariant check (active in Release too; simulation correctness
+/// depends on these and their cost is negligible next to the event loop).
+#define CASCHED_CHECK(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::casched::util::detail::assertFail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::setLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+bool Log::enabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(Log::level()); }
+
+std::mutex& Log::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex());
+  std::cerr << "[" << tag(level) << "] " << message << "\n";
+}
+
+LogLevel parseLogLevel(const std::string& name) {
+  const std::string n = toLower(name);
+  if (n == "trace") return LogLevel::kTrace;
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn" || n == "warning") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off" || n == "none") return LogLevel::kOff;
+  throw ConfigError("unknown log level '" + name + "'");
+}
+
+namespace detail {
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& msg) {
+  throw Error(strformat("invariant violated: %s (%s) at %s:%d", msg.c_str(), expr, file, line));
+}
+}  // namespace detail
+
+}  // namespace casched::util

@@ -1,0 +1,47 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Simulation code logs through this so experiment
+/// binaries can silence or redirect diagnostics; it is thread-safe because the
+/// replication runner executes simulations concurrently.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace casched::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration. Defaults to kWarn so tests and benches stay quiet.
+class Log {
+ public:
+  static void setLevel(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+
+  /// Emits one line, prefixed with the level tag, to stderr.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static std::mutex& mutex();
+};
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+LogLevel parseLogLevel(const std::string& name);
+
+}  // namespace casched::util
+
+#define CASCHED_LOG(levelEnum, streamExpr)                                  \
+  do {                                                                      \
+    if (::casched::util::Log::enabled(levelEnum)) {                         \
+      std::ostringstream casched_log_oss;                                   \
+      casched_log_oss << streamExpr;                                        \
+      ::casched::util::Log::write(levelEnum, casched_log_oss.str());        \
+    }                                                                       \
+  } while (false)
+
+#define LOG_TRACE(s) CASCHED_LOG(::casched::util::LogLevel::kTrace, s)
+#define LOG_DEBUG(s) CASCHED_LOG(::casched::util::LogLevel::kDebug, s)
+#define LOG_INFO(s) CASCHED_LOG(::casched::util::LogLevel::kInfo, s)
+#define LOG_WARN(s) CASCHED_LOG(::casched::util::LogLevel::kWarn, s)
+#define LOG_ERROR(s) CASCHED_LOG(::casched::util::LogLevel::kError, s)

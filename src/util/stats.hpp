@@ -1,0 +1,56 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch statistics used to aggregate experiment replications
+/// (the paper's Tables 7-8 report mean +/- spread over repeated runs).
+
+#include <cstddef>
+#include <vector>
+
+namespace casched::util {
+
+/// Welford online mean/variance accumulator. Numerically stable; O(1) space.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction of replication shards).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a sample batch.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a full summary of `values` (copies to sort for the median).
+Summary summarize(const std::vector<double>& values);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+double percentile(std::vector<double> values, double p);
+
+/// Half-width of the ~95% normal confidence interval for the mean.
+double confidenceHalfWidth95(const RunningStat& s);
+
+}  // namespace casched::util

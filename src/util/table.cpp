@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace casched::util {
+
+void TablePrinter::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::addRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TablePrinter::addRule() { rows_.push_back(Row{{}, true}); }
+
+std::vector<std::size_t> TablePrinter::columnWidths() const {
+  std::size_t cols = header_.size();
+  for (const Row& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TablePrinter::pad(const std::string& s, std::size_t width, Align a) {
+  if (s.size() >= width) return s;
+  const std::size_t extra = width - s.size();
+  switch (a) {
+    case Align::kLeft: return s + repeated(' ', extra);
+    case Align::kRight: return repeated(' ', extra) + s;
+    case Align::kCenter: {
+      const std::size_t left = extra / 2;
+      return repeated(' ', left) + s + repeated(' ', extra - left);
+    }
+  }
+  return s;
+}
+
+std::string TablePrinter::render() const {
+  const std::vector<std::size_t> widths = columnWidths();
+  const auto alignFor = [this](std::size_t c) {
+    if (c < aligns_.size()) return aligns_[c];
+    return c == 0 ? Align::kLeft : Align::kRight;
+  };
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1) + 4;
+  for (std::size_t w : widths) total += w;
+
+  std::ostringstream os;
+  const std::string rule = repeated('-', total);
+  if (!title_.empty()) {
+    os << title_ << "\n";
+  }
+  os << rule << "\n";
+  if (!header_.empty()) {
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < header_.size() ? header_[c] : "";
+      os << pad(cell, widths[c], Align::kCenter);
+      os << (c + 1 == widths.size() ? " |" : " | ");
+    }
+    os << "\n" << rule << "\n";
+  }
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      os << rule << "\n";
+      continue;
+    }
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < r.cells.size() ? r.cells[c] : "";
+      os << pad(cell, widths[c], alignFor(c));
+      os << (c + 1 == widths.size() ? " |" : " | ");
+    }
+    os << "\n";
+  }
+  os << rule << "\n";
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << render(); }
+
+}  // namespace casched::util

@@ -1,0 +1,53 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table renderer used to print the paper's tables (Tables 1-8) in a
+/// layout close to the original publication.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace casched::util {
+
+enum class Align { kLeft, kRight, kCenter };
+
+/// Column-oriented table builder.
+///
+/// Usage:
+///   TablePrinter t("Table 5. results for 1/lambda = 45s");
+///   t.setHeader({"", "MCT", "HMCT", "MP", "MSF"});
+///   t.addRow({"makespan", "9906", "9908", "10162", "9905"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  TablePrinter() = default;
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+  void setHeader(std::vector<std::string> header);
+  /// Default alignment is right for every column except the first (left).
+  void setAlignments(std::vector<Align> aligns) { aligns_ = std::move(aligns); }
+  void addRow(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void addRule();
+
+  std::size_t rowCount() const { return rows_.size(); }
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;  // horizontal separator instead of content
+  };
+
+  std::vector<std::size_t> columnWidths() const;
+  static std::string pad(const std::string& s, std::size_t width, Align a);
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace casched::util

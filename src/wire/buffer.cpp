@@ -1,0 +1,91 @@
+#include "wire/buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace casched::wire {
+
+void Writer::u8(std::uint8_t v) { out_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& v) {
+  CASCHED_CHECK(v.size() <= 0xFFFFFFFFull, "string too long for wire format");
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Writer::bytes(const Bytes& v) {
+  CASCHED_CHECK(v.size() <= 0xFFFFFFFFull, "byte blob too long for wire format");
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw util::DecodeError("truncated message");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string v(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return v;
+}
+
+Bytes Reader::bytes() {
+  const std::uint32_t n = u32();
+  need(n);
+  Bytes v(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return v;
+}
+
+}  // namespace casched::wire

@@ -1,0 +1,63 @@
+#pragma once
+/// \file buffer.hpp
+/// Byte-order-safe serialization primitives. All integers travel little-
+/// endian; doubles as IEEE-754 bit patterns. Readers are bounds-checked and
+/// throw DecodeError on truncated input - malformed frames must never crash
+/// an agent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casched::wire {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends typed values to a byte vector.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(const std::string& v);
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(const Bytes& v);
+
+ private:
+  Bytes& out_;
+};
+
+/// Consumes typed values from a byte span; throws util::DecodeError when the
+/// input is too short.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Bytes& data) : Reader(data.data(), data.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  Bytes bytes();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool atEnd() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace casched::wire

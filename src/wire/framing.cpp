@@ -1,0 +1,48 @@
+#include "wire/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace casched::wire {
+
+Bytes buildFrame(MessageType type, const Bytes& payload) {
+  Bytes out;
+  Writer w(out);
+  const std::uint32_t totalLen = static_cast<std::uint32_t>(payload.size()) + 4;
+  CASCHED_CHECK(totalLen <= FrameDecoder::kMaxFrameBytes, "frame too large");
+  w.u32(totalLen);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  std::uint32_t totalLen = 0;
+  for (int i = 0; i < 4; ++i) {
+    totalLen |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  if (totalLen < 4) throw util::DecodeError("frame length too small");
+  if (totalLen > kMaxFrameBytes) throw util::DecodeError("frame length exceeds limit");
+  if (buffer_.size() < 4u + totalLen) return std::nullopt;
+
+  // Drop the length prefix, then materialize the frame body contiguously.
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
+  Bytes body(buffer_.begin(), buffer_.begin() + totalLen);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + totalLen);
+
+  Reader r(body);
+  const std::uint16_t version = r.u16();
+  if (version != kProtocolVersion) throw util::DecodeError("unsupported protocol version");
+  const std::uint16_t rawType = r.u16();
+  Frame frame;
+  frame.type = static_cast<MessageType>(rawType);
+  frame.payload.assign(body.begin() + 4, body.end());
+  return frame;
+}
+
+}  // namespace casched::wire

@@ -1,0 +1,45 @@
+#pragma once
+/// \file framing.hpp
+/// Stream framing: every frame is [u32 totalLen][u16 version][u16 type]
+/// [payload...], little-endian, where totalLen counts version+type+payload.
+/// The decoder is incremental - feed arbitrary chunks (as TCP delivers them)
+/// and pull complete frames out.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "wire/buffer.hpp"
+#include "wire/messages.hpp"
+
+namespace casched::wire {
+
+struct Frame {
+  MessageType type;
+  Bytes payload;
+};
+
+/// Builds one wire frame from a typed payload.
+Bytes buildFrame(MessageType type, const Bytes& payload);
+
+/// Incremental frame decoder with a hard limit on frame size (malformed or
+/// hostile length prefixes must not allocate unbounded memory).
+class FrameDecoder {
+ public:
+  static constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+  /// Appends raw stream bytes.
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const Bytes& data) { feed(data.data(), data.size()); }
+
+  /// Extracts the next complete frame, if any. Throws util::DecodeError on a
+  /// corrupt header (wrong version, oversized length).
+  std::optional<Frame> next();
+
+  std::size_t bufferedBytes() const { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+};
+
+}  // namespace casched::wire

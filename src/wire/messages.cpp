@@ -1,0 +1,248 @@
+#include "wire/messages.hpp"
+
+#include "util/error.hpp"
+
+namespace casched::wire {
+
+std::string messageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kRegister: return "register";
+    case MessageType::kRegisterAck: return "register-ack";
+    case MessageType::kScheduleRequest: return "schedule-request";
+    case MessageType::kScheduleReply: return "schedule-reply";
+    case MessageType::kTaskSubmit: return "task-submit";
+    case MessageType::kTaskComplete: return "task-complete";
+    case MessageType::kTaskFailed: return "task-failed";
+    case MessageType::kLoadReport: return "load-report";
+    case MessageType::kServerDown: return "server-down";
+    case MessageType::kServerUp: return "server-up";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+void writeStringList(Writer& w, const std::vector<std::string>& v) {
+  CASCHED_CHECK(v.size() <= 0xFFFFFFFFull, "list too long for wire format");
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::string& s : v) w.str(s);
+}
+
+std::vector<std::string> readStringList(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
+  return v;
+}
+}  // namespace
+
+Bytes encode(const RegisterMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  w.f64(m.bwInMBps);
+  w.f64(m.bwOutMBps);
+  w.f64(m.latencyIn);
+  w.f64(m.latencyOut);
+  w.f64(m.ramMB);
+  w.f64(m.swapMB);
+  writeStringList(w, m.problems);
+  return out;
+}
+
+RegisterMsg decodeRegister(const Bytes& payload) {
+  Reader r(payload);
+  RegisterMsg m;
+  m.serverName = r.str();
+  m.bwInMBps = r.f64();
+  m.bwOutMBps = r.f64();
+  m.latencyIn = r.f64();
+  m.latencyOut = r.f64();
+  m.ramMB = r.f64();
+  m.swapMB = r.f64();
+  m.problems = readStringList(r);
+  return m;
+}
+
+Bytes encode(const RegisterAckMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  w.u8(m.accepted ? 1 : 0);
+  return out;
+}
+
+RegisterAckMsg decodeRegisterAck(const Bytes& payload) {
+  Reader r(payload);
+  RegisterAckMsg m;
+  m.serverName = r.str();
+  m.accepted = r.u8() != 0;
+  return m;
+}
+
+Bytes encode(const ScheduleRequestMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.problem);
+  w.f64(m.inMB);
+  w.f64(m.outMB);
+  w.f64(m.memMB);
+  w.f64(m.refSeconds);
+  return out;
+}
+
+ScheduleRequestMsg decodeScheduleRequest(const Bytes& payload) {
+  Reader r(payload);
+  ScheduleRequestMsg m;
+  m.taskId = r.u64();
+  m.problem = r.str();
+  m.inMB = r.f64();
+  m.outMB = r.f64();
+  m.memMB = r.f64();
+  m.refSeconds = r.f64();
+  return m;
+}
+
+Bytes encode(const ScheduleReplyMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  writeStringList(w, m.servers);
+  return out;
+}
+
+ScheduleReplyMsg decodeScheduleReply(const Bytes& payload) {
+  Reader r(payload);
+  ScheduleReplyMsg m;
+  m.taskId = r.u64();
+  m.servers = readStringList(r);
+  return m;
+}
+
+Bytes encode(const TaskSubmitMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.problem);
+  w.f64(m.inMB);
+  w.f64(m.cpuSeconds);
+  w.f64(m.outMB);
+  w.f64(m.memMB);
+  return out;
+}
+
+TaskSubmitMsg decodeTaskSubmit(const Bytes& payload) {
+  Reader r(payload);
+  TaskSubmitMsg m;
+  m.taskId = r.u64();
+  m.problem = r.str();
+  m.inMB = r.f64();
+  m.cpuSeconds = r.f64();
+  m.outMB = r.f64();
+  m.memMB = r.f64();
+  return m;
+}
+
+Bytes encode(const TaskCompleteMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.serverName);
+  w.f64(m.completionTime);
+  w.f64(m.unloadedDuration);
+  return out;
+}
+
+TaskCompleteMsg decodeTaskComplete(const Bytes& payload) {
+  Reader r(payload);
+  TaskCompleteMsg m;
+  m.taskId = r.u64();
+  m.serverName = r.str();
+  m.completionTime = r.f64();
+  m.unloadedDuration = r.f64();
+  return m;
+}
+
+Bytes encode(const TaskFailedMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.serverName);
+  w.str(m.reason);
+  return out;
+}
+
+TaskFailedMsg decodeTaskFailed(const Bytes& payload) {
+  Reader r(payload);
+  TaskFailedMsg m;
+  m.taskId = r.u64();
+  m.serverName = r.str();
+  m.reason = r.str();
+  return m;
+}
+
+Bytes encode(const LoadReportMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  w.f64(m.loadAverage);
+  w.f64(m.sampleTime);
+  w.f64(m.residentMB);
+  return out;
+}
+
+LoadReportMsg decodeLoadReport(const Bytes& payload) {
+  Reader r(payload);
+  LoadReportMsg m;
+  m.serverName = r.str();
+  m.loadAverage = r.f64();
+  m.sampleTime = r.f64();
+  m.residentMB = r.f64();
+  return m;
+}
+
+Bytes encode(const ServerDownMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  return out;
+}
+
+ServerDownMsg decodeServerDown(const Bytes& payload) {
+  Reader r(payload);
+  ServerDownMsg m;
+  m.serverName = r.str();
+  return m;
+}
+
+Bytes encode(const ServerUpMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  return out;
+}
+
+ServerUpMsg decodeServerUp(const Bytes& payload) {
+  Reader r(payload);
+  ServerUpMsg m;
+  m.serverName = r.str();
+  return m;
+}
+
+Bytes encode(const ShutdownMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.reason);
+  return out;
+}
+
+ShutdownMsg decodeShutdown(const Bytes& payload) {
+  Reader r(payload);
+  ShutdownMsg m;
+  m.reason = r.str();
+  return m;
+}
+
+}  // namespace casched::wire

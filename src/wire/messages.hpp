@@ -1,0 +1,132 @@
+#pragma once
+/// \file messages.hpp
+/// The middleware's wire protocol: every interaction of the client-agent-
+/// server model as a typed, versioned message. The simulation dispatches the
+/// same logical events through direct calls for speed; the grid_rpc_demo
+/// example and the protocol tests exercise these encodings end to end.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wire/buffer.hpp"
+
+namespace casched::wire {
+
+constexpr std::uint16_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint16_t {
+  kRegister = 1,       ///< server -> agent: problems + peak performances
+  kRegisterAck = 2,    ///< agent -> server
+  kScheduleRequest = 3,///< client -> agent: solve this problem
+  kScheduleReply = 4,  ///< agent -> client: ranked server list
+  kTaskSubmit = 5,     ///< client -> server: run it (input data follows)
+  kTaskComplete = 6,   ///< server -> agent/client: done + completion date
+  kTaskFailed = 7,     ///< server -> agent/client
+  kLoadReport = 8,     ///< server -> agent: damped load average
+  kServerDown = 9,     ///< server -> agent (collapse)
+  kServerUp = 10,      ///< server -> agent (recovery / re-registration)
+  kShutdown = 11,      ///< orderly teardown
+};
+
+std::string messageTypeName(MessageType type);
+
+struct RegisterMsg {
+  std::string serverName;
+  double bwInMBps = 0.0;
+  double bwOutMBps = 0.0;
+  double latencyIn = 0.0;
+  double latencyOut = 0.0;
+  double ramMB = 0.0;
+  double swapMB = 0.0;
+  std::vector<std::string> problems;
+};
+
+struct RegisterAckMsg {
+  std::string serverName;
+  bool accepted = false;
+};
+
+struct ScheduleRequestMsg {
+  std::uint64_t taskId = 0;
+  std::string problem;
+  double inMB = 0.0;
+  double outMB = 0.0;
+  double memMB = 0.0;
+  double refSeconds = 0.0;
+};
+
+struct ScheduleReplyMsg {
+  std::uint64_t taskId = 0;
+  /// Ranked list, best first (NetSolve returns a ranked server list).
+  std::vector<std::string> servers;
+};
+
+struct TaskSubmitMsg {
+  std::uint64_t taskId = 0;
+  std::string problem;
+  double inMB = 0.0;
+  double cpuSeconds = 0.0;
+  double outMB = 0.0;
+  double memMB = 0.0;
+};
+
+struct TaskCompleteMsg {
+  std::uint64_t taskId = 0;
+  std::string serverName;
+  double completionTime = 0.0;
+  double unloadedDuration = 0.0;
+};
+
+struct TaskFailedMsg {
+  std::uint64_t taskId = 0;
+  std::string serverName;
+  std::string reason;
+};
+
+struct LoadReportMsg {
+  std::string serverName;
+  double loadAverage = 0.0;
+  double sampleTime = 0.0;
+  double residentMB = 0.0;
+};
+
+struct ServerDownMsg {
+  std::string serverName;
+};
+
+struct ServerUpMsg {
+  std::string serverName;
+};
+
+struct ShutdownMsg {
+  std::string reason;
+};
+
+// Encoding: each message encodes its payload; the framing layer prepends
+// (length, version, type).
+Bytes encode(const RegisterMsg& m);
+Bytes encode(const RegisterAckMsg& m);
+Bytes encode(const ScheduleRequestMsg& m);
+Bytes encode(const ScheduleReplyMsg& m);
+Bytes encode(const TaskSubmitMsg& m);
+Bytes encode(const TaskCompleteMsg& m);
+Bytes encode(const TaskFailedMsg& m);
+Bytes encode(const LoadReportMsg& m);
+Bytes encode(const ServerDownMsg& m);
+Bytes encode(const ServerUpMsg& m);
+Bytes encode(const ShutdownMsg& m);
+
+RegisterMsg decodeRegister(const Bytes& payload);
+RegisterAckMsg decodeRegisterAck(const Bytes& payload);
+ScheduleRequestMsg decodeScheduleRequest(const Bytes& payload);
+ScheduleReplyMsg decodeScheduleReply(const Bytes& payload);
+TaskSubmitMsg decodeTaskSubmit(const Bytes& payload);
+TaskCompleteMsg decodeTaskComplete(const Bytes& payload);
+TaskFailedMsg decodeTaskFailed(const Bytes& payload);
+LoadReportMsg decodeLoadReport(const Bytes& payload);
+ServerDownMsg decodeServerDown(const Bytes& payload);
+ServerUpMsg decodeServerUp(const Bytes& payload);
+ShutdownMsg decodeShutdown(const Bytes& payload);
+
+}  // namespace casched::wire

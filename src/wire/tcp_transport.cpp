@@ -1,0 +1,138 @@
+#include "wire/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace casched::wire {
+
+namespace {
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw util::IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+std::shared_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
+                                                    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw util::IoError("invalid address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throwErrno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::shared_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::send(MessageType type, const Bytes& payload) {
+  if (closed_) return;
+  const Bytes frame = buildFrame(type, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      closed_ = true;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpTransport::poll(const FrameFn& fn) {
+  if (closed_) return 0;
+  std::size_t delivered = 0;
+  std::uint8_t buf[4096];
+  while (true) {
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 0);
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      closed_ = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      closed_ = true;
+      break;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+  while (auto frame = decoder_.next()) {
+    ++delivered;
+    if (fn) fn(std::move(*frame));
+  }
+  return delivered;
+}
+
+bool TcpTransport::closed() const { return closed_; }
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throwErrno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throwErrno("bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    throwErrno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    throwErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::shared_ptr<TcpTransport> TcpListener::accept(int timeoutMs) {
+  pollfd p{fd_, POLLIN, 0};
+  const int ready = ::poll(&p, 1, timeoutMs);
+  if (ready <= 0) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::shared_ptr<TcpTransport>(new TcpTransport(client));
+}
+
+}  // namespace casched::wire

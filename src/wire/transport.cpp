@@ -1,0 +1,45 @@
+#include "wire/transport.hpp"
+
+namespace casched::wire {
+
+std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
+LoopbackTransport::createPair() {
+  auto shared = std::make_shared<Shared>();
+  auto a = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, true));
+  auto b = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, false));
+  return {a, b};
+}
+
+void LoopbackTransport::send(MessageType type, const Bytes& payload) {
+  const Bytes frame = buildFrame(type, payload);
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  if (shared_->closed) return;
+  (isA_ ? shared_->aToB : shared_->bToA).push_back(frame);
+}
+
+std::size_t LoopbackTransport::poll(const FrameFn& fn) {
+  std::deque<Bytes> incoming;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    incoming.swap(isA_ ? shared_->bToA : shared_->aToB);
+  }
+  std::size_t delivered = 0;
+  for (const Bytes& chunk : incoming) decoder_.feed(chunk);
+  while (auto frame = decoder_.next()) {
+    ++delivered;
+    if (fn) fn(std::move(*frame));
+  }
+  return delivered;
+}
+
+bool LoopbackTransport::closed() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->closed;
+}
+
+void LoopbackTransport::close() {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  shared_->closed = true;
+}
+
+}  // namespace casched::wire

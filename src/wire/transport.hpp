@@ -1,0 +1,65 @@
+#pragma once
+/// \file transport.hpp
+/// Message transports. LoopbackTransport is a thread-safe in-process pipe
+/// used by the protocol tests and as a stand-in for sockets; TcpTransport
+/// (tcp_transport.hpp) carries the same frames over real sockets for the
+/// grid_rpc_demo example.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "wire/framing.hpp"
+
+namespace casched::wire {
+
+/// A bidirectional, frame-oriented endpoint.
+class Transport {
+ public:
+  using FrameFn = std::function<void(Frame)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends one typed message (encoded + framed).
+  virtual void send(MessageType type, const Bytes& payload) = 0;
+
+  /// Receives all frames queued so far, invoking `fn` per frame, in order.
+  /// Returns the number of frames delivered.
+  virtual std::size_t poll(const FrameFn& fn) = 0;
+
+  virtual bool closed() const = 0;
+  virtual void close() = 0;
+};
+
+/// One end of an in-process pipe. Frames written to A are readable from B
+/// and vice versa. Thread-safe; byte-accurate (frames are actually encoded
+/// and re-decoded so the codec path is exercised).
+class LoopbackTransport final : public Transport {
+ public:
+  /// Creates a connected pair.
+  static std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
+  createPair();
+
+  void send(MessageType type, const Bytes& payload) override;
+  std::size_t poll(const FrameFn& fn) override;
+  bool closed() const override;
+  void close() override;
+
+ private:
+  struct Shared {
+    std::mutex mutex;
+    std::deque<Bytes> aToB;
+    std::deque<Bytes> bToA;
+    bool closed = false;
+  };
+
+  LoopbackTransport(std::shared_ptr<Shared> shared, bool isA)
+      : shared_(std::move(shared)), isA_(isA) {}
+
+  std::shared_ptr<Shared> shared_;
+  bool isA_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace casched::wire

@@ -1,0 +1,44 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace casched::workload {
+
+PoissonArrivals::PoissonArrivals(double meanInterarrival, std::uint64_t seed)
+    : mean_(meanInterarrival), rng_(seed) {
+  CASCHED_CHECK(mean_ > 0.0, "mean inter-arrival must be positive");
+}
+
+simcore::SimTime PoissonArrivals::next() {
+  t_ += rng_.exponentialMean(mean_);
+  return t_;
+}
+
+UniformArrivals::UniformArrivals(double gap, simcore::SimTime start)
+    : gap_(gap), t_(start) {
+  CASCHED_CHECK(gap_ >= 0.0, "gap must be non-negative");
+}
+
+simcore::SimTime UniformArrivals::next() {
+  if (first_) {
+    first_ = false;
+    return t_;
+  }
+  t_ += gap_;
+  return t_;
+}
+
+TraceArrivals::TraceArrivals(std::vector<simcore::SimTime> dates)
+    : dates_(std::move(dates)) {
+  CASCHED_CHECK(std::is_sorted(dates_.begin(), dates_.end()),
+                "trace arrivals must be sorted");
+}
+
+simcore::SimTime TraceArrivals::next() {
+  CASCHED_CHECK(i_ < dates_.size(), "trace arrivals exhausted");
+  return dates_[i_++];
+}
+
+}  // namespace casched::workload

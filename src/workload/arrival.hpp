@@ -1,0 +1,60 @@
+#pragma once
+/// \file arrival.hpp
+/// Arrival processes for metatask generation. The paper draws the difference
+/// between consecutive arrivals from a memoryless distribution with a fixed
+/// mean (two rates are studied); we also provide a deterministic process for
+/// tests and a replayed-trace process for saved metatasks.
+
+#include <memory>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::workload {
+
+/// Produces a monotone sequence of arrival dates.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Next arrival date (absolute seconds); strictly non-decreasing.
+  virtual simcore::SimTime next() = 0;
+};
+
+/// Exponential inter-arrival gaps with the given mean (Poisson process).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double meanInterarrival, std::uint64_t seed);
+  simcore::SimTime next() override;
+  double meanInterarrival() const { return mean_; }
+
+ private:
+  double mean_;
+  simcore::RandomStream rng_;
+  simcore::SimTime t_ = 0.0;
+};
+
+/// Fixed inter-arrival gap (tests, worst-case bursts with gap 0).
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double gap, simcore::SimTime start = 0.0);
+  simcore::SimTime next() override;
+
+ private:
+  double gap_;
+  simcore::SimTime t_;
+  bool first_ = true;
+};
+
+/// Replays an explicit list of dates (saved metatasks).
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<simcore::SimTime> dates);
+  simcore::SimTime next() override;
+
+ private:
+  std::vector<simcore::SimTime> dates_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace casched::workload

@@ -1,0 +1,119 @@
+#include "workload/metatask.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "simcore/rng.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "workload/arrival.hpp"
+
+namespace casched::workload {
+
+simcore::SimTime Metatask::lastArrival() const {
+  return tasks.empty() ? 0.0 : tasks.back().arrival;
+}
+
+double Metatask::totalRefSeconds() const {
+  double total = 0.0;
+  for (const TaskInstance& t : tasks) total += t.type.refSeconds;
+  return total;
+}
+
+Metatask generateMetatask(const MetataskConfig& config) {
+  CASCHED_CHECK(config.count > 0, "metatask must contain at least one task");
+  CASCHED_CHECK(!config.types.empty(), "metatask needs at least one task type");
+  // Independent streams: adding tasks never changes the arrival pattern and
+  // vice versa.
+  PoissonArrivals arrivals(config.meanInterarrival,
+                           simcore::deriveSeed(config.seed, /*streamId=*/1));
+  simcore::RandomStream typePick(simcore::deriveSeed(config.seed, /*streamId=*/2));
+
+  Metatask mt;
+  mt.name = config.name;
+  mt.tasks.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    TaskInstance inst;
+    inst.index = i;
+    inst.arrival = arrivals.next();
+    const auto pick = static_cast<std::size_t>(
+        typePick.uniformInt(0, static_cast<std::int64_t>(config.types.size()) - 1));
+    inst.type = config.types[pick];
+    mt.tasks.push_back(std::move(inst));
+  }
+  return mt;
+}
+
+namespace {
+constexpr const char* kCsvHeader[] = {"index",  "arrival", "type",  "family",
+                                      "param",  "inMB",    "outMB", "memMB",
+                                      "refSeconds"};
+
+std::string familyName(TaskFamily f) {
+  switch (f) {
+    case TaskFamily::kMatMul: return "matmul";
+    case TaskFamily::kWasteCpu: return "waste-cpu";
+    case TaskFamily::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+TaskFamily familyFromName(const std::string& name) {
+  if (name == "matmul") return TaskFamily::kMatMul;
+  if (name == "waste-cpu") return TaskFamily::kWasteCpu;
+  if (name == "synthetic") return TaskFamily::kSynthetic;
+  throw util::DecodeError("unknown task family '" + name + "'");
+}
+}  // namespace
+
+std::string metataskToCsv(const Metatask& metatask) {
+  util::CsvWriter csv(std::vector<std::string>(std::begin(kCsvHeader), std::end(kCsvHeader)));
+  for (const TaskInstance& t : metatask.tasks) {
+    csv.addRow({std::to_string(t.index), util::strformat("%.17g", t.arrival),
+                t.type.name, familyName(t.type.family), std::to_string(t.type.param),
+                util::strformat("%.17g", t.type.inMB), util::strformat("%.17g", t.type.outMB),
+                util::strformat("%.17g", t.type.memMB),
+                util::strformat("%.17g", t.type.refSeconds)});
+  }
+  return csv.render();
+}
+
+Metatask metataskFromCsv(const std::string& csvText, const std::string& name) {
+  const auto rows = util::parseCsv(csvText);
+  CASCHED_CHECK(!rows.empty(), "metatask csv is empty");
+  Metatask mt;
+  mt.name = name;
+  for (std::size_t r = 1; r < rows.size(); ++r) {  // row 0 is the header
+    const auto& row = rows[r];
+    if (row.size() < 9) throw util::DecodeError("metatask csv row too short");
+    TaskInstance inst;
+    inst.index = std::stoull(row[0]);
+    inst.arrival = std::stod(row[1]);
+    inst.type.name = row[2];
+    inst.type.family = familyFromName(row[3]);
+    inst.type.param = std::stoi(row[4]);
+    inst.type.inMB = std::stod(row[5]);
+    inst.type.outMB = std::stod(row[6]);
+    inst.type.memMB = std::stod(row[7]);
+    inst.type.refSeconds = std::stod(row[8]);
+    mt.tasks.push_back(std::move(inst));
+  }
+  return mt;
+}
+
+void saveMetatask(const Metatask& metatask, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw util::IoError("cannot open '" + path + "' for writing");
+  os << metataskToCsv(metatask);
+}
+
+Metatask loadMetatask(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return metataskFromCsv(ss.str(), path);
+}
+
+}  // namespace casched::workload

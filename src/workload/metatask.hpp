@@ -1,0 +1,53 @@
+#pragma once
+/// \file metatask.hpp
+/// A metatask is the paper's unit of experiment: a set of independent tasks
+/// submitted to the agent with random arrival dates and types. The same
+/// metatask (same arrivals, same types) is replayed under every heuristic so
+/// the "number of tasks that finish sooner" comparison is meaningful.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "workload/task_types.hpp"
+
+namespace casched::workload {
+
+/// One client request within a metatask.
+struct TaskInstance {
+  std::uint64_t index = 0;  ///< position within the metatask (stable task id)
+  simcore::SimTime arrival = 0.0;
+  TaskType type;
+};
+
+struct Metatask {
+  std::string name;
+  std::vector<TaskInstance> tasks;  ///< sorted by arrival
+
+  std::size_t size() const { return tasks.size(); }
+  simcore::SimTime lastArrival() const;
+  /// Sum of reference compute seconds (workload volume indicator).
+  double totalRefSeconds() const;
+};
+
+struct MetataskConfig {
+  std::size_t count = 500;           ///< paper metatasks hold 500 tasks
+  double meanInterarrival = 20.0;    ///< see EXPERIMENTS.md on rate recovery
+  std::vector<TaskType> types;       ///< uniform draw (paper section 5)
+  std::uint64_t seed = 1;            ///< master seed; arrivals and types use
+                                     ///< derived, independent streams
+  std::string name = "metatask";
+};
+
+/// Generates a metatask: Poisson arrivals, uniformly drawn types.
+Metatask generateMetatask(const MetataskConfig& config);
+
+/// CSV round-trip (index, arrival, type name, data sizes, cost reference) so
+/// experiments can be archived and replayed exactly.
+std::string metataskToCsv(const Metatask& metatask);
+Metatask metataskFromCsv(const std::string& csvText, const std::string& name);
+void saveMetatask(const Metatask& metatask, const std::string& path);
+Metatask loadMetatask(const std::string& path);
+
+}  // namespace casched::workload

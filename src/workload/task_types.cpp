@@ -1,0 +1,72 @@
+#include "workload/task_types.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::workload {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+
+double matrixMB(int n) { return static_cast<double>(n) * n * 8.0 / kMB; }
+}  // namespace
+
+TaskType makeMatmulType(int size) {
+  CASCHED_CHECK(size > 0, "matmul size must be positive");
+  TaskType t;
+  t.name = util::strformat("matmul-%d", size);
+  t.family = TaskFamily::kMatMul;
+  t.param = size;
+  t.inMB = 2.0 * matrixMB(size);   // A and B
+  t.outMB = matrixMB(size);        // C
+  t.memMB = t.inMB + t.outMB;      // all three resident during the multiply
+  // Reference: artimon computes 1200 in 18 s (Table 3); cost scales ~ n^3.
+  const double n = static_cast<double>(size);
+  t.refSeconds = 18.0 * (n / 1200.0) * (n / 1200.0) * (n / 1200.0);
+  return t;
+}
+
+TaskType makeWasteCpuType(int param) {
+  CASCHED_CHECK(param > 0, "waste-cpu parameter must be positive");
+  TaskType t;
+  t.name = util::strformat("waste-cpu-%d", param);
+  t.family = TaskFamily::kWasteCpu;
+  t.param = param;
+  t.inMB = 0.2;    // request payload: parameters only
+  t.outMB = 0.05;  // scalar result
+  t.memMB = 0.0;   // the whole point of waste-cpu (paper section 5.2)
+  // Reference: artimon computes param=200 in 17.1 s (Table 4); cost ~ param.
+  t.refSeconds = 17.1 * static_cast<double>(param) / 200.0;
+  return t;
+}
+
+TaskType makeSyntheticType(std::string name, double inMB, double refSeconds,
+                           double outMB, double memMB) {
+  CASCHED_CHECK(inMB >= 0 && refSeconds >= 0 && outMB >= 0 && memMB >= 0,
+                "synthetic type fields must be non-negative");
+  TaskType t;
+  t.name = std::move(name);
+  t.family = TaskFamily::kSynthetic;
+  t.inMB = inMB;
+  t.outMB = outMB;
+  t.memMB = memMB;
+  t.refSeconds = refSeconds;
+  return t;
+}
+
+std::vector<TaskType> matmulFamily() {
+  return {makeMatmulType(1200), makeMatmulType(1500), makeMatmulType(1800)};
+}
+
+std::vector<TaskType> wasteCpuFamily() {
+  return {makeWasteCpuType(200), makeWasteCpuType(400), makeWasteCpuType(600)};
+}
+
+const TaskType& findType(const std::vector<TaskType>& family, const std::string& name) {
+  for (const TaskType& t : family) {
+    if (t.name == name) return t;
+  }
+  throw util::ConfigError("unknown task type '" + name + "'");
+}
+
+}  // namespace casched::workload

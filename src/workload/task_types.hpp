@@ -1,0 +1,49 @@
+#pragma once
+/// \file task_types.hpp
+/// The paper's two task families: dense matrix multiplication (sizes 1200,
+/// 1500, 1800 - Table 3) and the memoryless "waste-cpu" task (parameters 200,
+/// 400, 600 - Table 4), plus a synthetic family for examples and tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casched::workload {
+
+enum class TaskFamily : std::uint8_t { kMatMul, kWasteCpu, kSynthetic };
+
+/// Static description of a problem type: the agent's static information
+/// (paper section 2.2): data sizes, memory need, and a reference compute
+/// cost for machines without a calibrated per-machine entry.
+struct TaskType {
+  std::string name;    ///< e.g. "matmul-1500"
+  TaskFamily family = TaskFamily::kSynthetic;
+  int param = 0;       ///< matrix size or waste-cpu parameter
+  double inMB = 0.0;   ///< input data volume (both operand matrices)
+  double outMB = 0.0;  ///< output data volume (result matrix)
+  double memMB = 0.0;  ///< resident footprint while running
+  /// Unloaded compute seconds on a reference machine of speedIndex 1.0
+  /// (calibrated to artimon); used when no per-machine cost entry exists.
+  double refSeconds = 0.0;
+};
+
+/// Matrix multiplication of size n: two n*n input matrices of doubles, one
+/// output matrix; resident footprint is all three (paper Table 3's
+/// input+output memory need).
+TaskType makeMatmulType(int size);
+
+/// waste-cpu(param): negligible data, zero memory need (paper section 5.2).
+TaskType makeWasteCpuType(int param);
+
+/// Fully parameterized synthetic type for examples/tests.
+TaskType makeSyntheticType(std::string name, double inMB, double refSeconds,
+                           double outMB, double memMB);
+
+/// The paper's families in publication order.
+std::vector<TaskType> matmulFamily();    // sizes 1200, 1500, 1800
+std::vector<TaskType> wasteCpuFamily();  // params 200, 400, 600
+
+/// Index of a type by name within a family list; throws ConfigError if absent.
+const TaskType& findType(const std::vector<TaskType>& family, const std::string& name);
+
+}  // namespace casched::workload

@@ -1,0 +1,212 @@
+// Tests of the Historical Trace Manager: previews, perturbations, commits,
+// the paper's section-2.3 worked example, and the synchronization policies.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/htm.hpp"
+
+namespace casched::core {
+namespace {
+
+ServerModel model(const std::string& name) {
+  return ServerModel{name, 10.0, 10.0, 0.0, 0.0};
+}
+
+TaskDims compute(double seconds) { return TaskDims{0.0, seconds, 0.0}; }
+
+TEST(Htm, RegisterAndQueryServers) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.addServer(model("b"));
+  EXPECT_TRUE(htm.hasServer("a"));
+  EXPECT_FALSE(htm.hasServer("c"));
+  EXPECT_EQ(htm.serverNames().size(), 2u);
+  EXPECT_THROW(htm.addServer(model("a")), util::Error);
+}
+
+TEST(Htm, PreviewOnIdleServer) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  const Preview p = htm.preview("a", compute(10.0), 5.0);
+  EXPECT_NEAR(p.completionNew, 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.sumPerturbation, 0.0);
+  EXPECT_EQ(p.perturbedCount, 0u);
+  EXPECT_TRUE(p.perTask.empty());
+}
+
+TEST(Htm, PreviewDoesNotMutate) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.preview("a", compute(10.0), 0.0);
+  htm.preview("a", compute(10.0), 0.0);
+  EXPECT_EQ(htm.activeTasks("a"), 0u);
+}
+
+TEST(Htm, CommitThenPerturbationOnPreview) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(10.0), 0.0);
+  const Preview p = htm.preview("a", compute(10.0), 0.0);
+  // Existing task slides 10 -> 20 when sharing with the newcomer.
+  EXPECT_NEAR(p.sumPerturbation, 10.0, 1e-9);
+  EXPECT_EQ(p.perturbedCount, 1u);
+  ASSERT_EQ(p.perTask.size(), 1u);
+  EXPECT_EQ(p.perTask[0].taskId, 1u);
+  EXPECT_NEAR(p.perTask[0].delta, 10.0, 1e-9);
+  EXPECT_NEAR(p.completionNew, 20.0, 1e-9);
+}
+
+TEST(Htm, PaperSection23UsefulnessExample) {
+  // Two identical servers; T1 and T2 started at t=0 with durations 100 and
+  // 200. At t=80 a task T3 of duration 100 arrives: without the HTM the
+  // servers look equally loaded; the HTM knows the remaining durations are
+  // 20 vs 120, so T3 finishes sooner on server 1.
+  HistoricalTraceManager htm;
+  htm.addServer(model("s1"));
+  htm.addServer(model("s2"));
+  htm.commit("s1", 1, compute(100.0), 0.0);
+  htm.commit("s2", 2, compute(200.0), 0.0);
+
+  const Preview on1 = htm.preview("s1", compute(100.0), 80.0);
+  const Preview on2 = htm.preview("s2", compute(100.0), 80.0);
+  // s1: T1 has 20 left -> share until t=120 (T1 done, 20 of T3 served);
+  // T3 finishes its remaining 80 at t=200.
+  EXPECT_NEAR(on1.completionNew, 200.0, 1e-9);
+  // s2: T2 has 120 left; T3 (100) at rate 1/2 finishes at 80+200=280.
+  EXPECT_NEAR(on2.completionNew, 280.0, 1e-9);
+  EXPECT_LT(on1.completionNew, on2.completionNew);
+}
+
+TEST(Htm, CommitReturnsPredictionAndTracks) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  const double sigma = htm.commit("a", 1, compute(10.0), 0.0);
+  EXPECT_NEAR(sigma, 10.0, 1e-9);
+  EXPECT_EQ(htm.activeTasks("a"), 1u);
+  EXPECT_EQ(htm.stats().commits, 1u);
+}
+
+TEST(Htm, StartDelayModelsSubmissionPath) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  const Preview p = htm.preview("a", compute(10.0), 0.0, 2.0);
+  EXPECT_NEAR(p.completionNew, 12.0, 1e-9);
+}
+
+TEST(Htm, CompletionNoticeDropsTask) {
+  HistoricalTraceManager htm(SyncPolicy::kDropOnNotice);
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);
+  htm.onTaskCompleted("a", 1, 50.0);  // finished much earlier than simulated
+  EXPECT_EQ(htm.activeTasks("a"), 0u);
+  EXPECT_EQ(htm.stats().completionNotices, 1u);
+  EXPECT_EQ(htm.stats().errorSamples, 1u);
+}
+
+TEST(Htm, PredictOnlyIgnoresCompletionNotices) {
+  HistoricalTraceManager htm(SyncPolicy::kPredictOnly);
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);
+  htm.onTaskCompleted("a", 1, 50.0);
+  EXPECT_EQ(htm.activeTasks("a"), 1u);  // still believed running
+}
+
+TEST(Htm, FailureNoticeAlwaysRemoves) {
+  HistoricalTraceManager htm(SyncPolicy::kPredictOnly);
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);
+  htm.onTaskFailed("a", 1, 10.0);
+  EXPECT_EQ(htm.activeTasks("a"), 0u);
+  EXPECT_EQ(htm.stats().failureNotices, 1u);
+}
+
+TEST(Htm, CollapseNoticeClearsServer) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);
+  htm.commit("a", 2, compute(100.0), 0.0);
+  htm.onServerCollapsed("a", 5.0);
+  EXPECT_EQ(htm.activeTasks("a"), 0u);
+}
+
+TEST(Htm, RescaleLearnsSlowServer) {
+  HistoricalTraceManager htm(SyncPolicy::kRescale);
+  htm.addServer(model("a"));
+  // The server consistently takes twice the predicted time.
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double predicted = htm.commit("a", static_cast<std::uint64_t>(i),
+                                        compute(10.0), t);
+    const double actual = t + 2.0 * (predicted - t);
+    htm.onTaskCompleted("a", static_cast<std::uint64_t>(i), actual);
+    t = actual + 1.0;
+  }
+  EXPECT_GT(htm.speedCorrection("a"), 1.5);
+  // New admissions now budget roughly twice the compute.
+  const Preview p = htm.preview("a", compute(10.0), t);
+  EXPECT_GT(p.completionNew - t, 15.0);
+}
+
+TEST(Htm, ErrorStatsAccumulateRelativeError) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);  // predicted 100
+  htm.onTaskCompleted("a", 1, 103.0);       // 3% late
+  EXPECT_NEAR(htm.stats().meanRelErrorPercent(), 100.0 * 3.0 / 103.0, 1e-6);
+  EXPECT_NEAR(htm.stats().meanAbsError(), 3.0, 1e-9);
+}
+
+TEST(Htm, CommitRefreshesNeighbourPredictions) {
+  // Table 1 semantics: a later mapping perturbs earlier tasks; the recorded
+  // prediction must follow, otherwise accuracy stats would blame the HTM for
+  // perturbations it knew about.
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(100.0), 0.0);   // alone: predicted 100
+  htm.commit("a", 2, compute(100.0), 0.0);   // both predicted 200 now
+  htm.onTaskCompleted("a", 1, 200.0);        // exactly as re-predicted
+  EXPECT_NEAR(htm.stats().meanAbsError(), 0.0, 1e-6);
+}
+
+TEST(Htm, GanttExposesCommittedTrace) {
+  HistoricalTraceManager htm;
+  htm.addServer(model("a"));
+  htm.commit("a", 1, compute(10.0), 0.0);
+  const GanttChart chart = htm.gantt("a", 0.0);
+  EXPECT_FALSE(chart.empty());
+  EXPECT_EQ(chart.serverName, "a");
+}
+
+TEST(Htm, UnknownServerThrows) {
+  HistoricalTraceManager htm;
+  EXPECT_THROW(htm.preview("nope", compute(1.0), 0.0), util::Error);
+  EXPECT_THROW(htm.commit("nope", 1, compute(1.0), 0.0), util::Error);
+}
+
+TEST(Htm, SyncPolicyParsing) {
+  EXPECT_EQ(parseSyncPolicy("drop-on-notice"), SyncPolicy::kDropOnNotice);
+  EXPECT_EQ(parseSyncPolicy("rescale"), SyncPolicy::kRescale);
+  EXPECT_EQ(parseSyncPolicy("predict-only"), SyncPolicy::kPredictOnly);
+  EXPECT_THROW(parseSyncPolicy("bogus"), util::ConfigError);
+  EXPECT_EQ(syncPolicyName(SyncPolicy::kRescale), "rescale");
+}
+
+TEST(Htm, PerturbationNeverNegative) {
+  // Adding a task can only delay or leave others untouched (equal-share is
+  // monotone): every pi_j >= 0.
+  HistoricalTraceManager htm;
+  htm.addServer(ServerModel{"a", 10.0, 10.0, 0.05, 0.05});
+  htm.commit("a", 1, TaskDims{5.0, 30.0, 2.0}, 0.0);
+  htm.commit("a", 2, TaskDims{1.0, 60.0, 1.0}, 3.0);
+  htm.commit("a", 3, TaskDims{0.5, 10.0, 0.5}, 7.0);
+  const Preview p = htm.preview("a", TaskDims{2.0, 25.0, 2.0}, 9.0, 0.5);
+  for (const Perturbation& pi : p.perTask) {
+    EXPECT_GE(pi.delta, -1e-9) << "task " << pi.taskId;
+  }
+  EXPECT_GE(p.sumPerturbation, -1e-9);
+}
+
+}  // namespace
+}  // namespace casched::core

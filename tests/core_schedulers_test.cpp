@@ -1,0 +1,299 @@
+// Tests of the heuristics (paper figures 2-4 plus baselines/extensions):
+// constructed scenarios with known correct choices, tie-breaking rules, the
+// MSF = sum-flow-increase equivalence property, and the memory-aware
+// decorator.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/schedulers.hpp"
+
+namespace casched::core {
+namespace {
+
+ServerModel model(const std::string& name) {
+  return ServerModel{name, 10.0, 10.0, 0.0, 0.0};
+}
+
+CandidateServer candidate(const std::string& name, double cpuSeconds,
+                          double load = 0.0) {
+  CandidateServer c;
+  c.name = name;
+  c.dims = TaskDims{0.0, cpuSeconds, 0.0};
+  c.reportedLoad = load;
+  c.unloadedDuration = cpuSeconds;
+  return c;
+}
+
+TEST(Mct, PicksFastestWhenIdle) {
+  MctScheduler s;
+  ScheduleQuery q;
+  q.candidates = {candidate("slow", 100.0), candidate("fast", 10.0)};
+  const auto d = s.choose(q);
+  ASSERT_TRUE(d.chosen.has_value());
+  EXPECT_EQ(*d.chosen, 1u);
+}
+
+TEST(Mct, LoadChangesTheChoice) {
+  MctScheduler s;
+  ScheduleQuery q;
+  // fast has load 11 -> estimate 10*12=120 > slow's 100.
+  q.candidates = {candidate("slow", 100.0), candidate("fast", 10.0, 11.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 0u);
+}
+
+TEST(Mct, NegativeLoadClampedToZero) {
+  MctScheduler s;
+  ScheduleQuery q;
+  q.candidates = {candidate("a", 10.0, -3.0), candidate("b", 9.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 1u);  // 10*(0+1)=10 vs 9
+}
+
+TEST(Mct, CommTimeCounts) {
+  MctScheduler s;
+  ScheduleQuery q;
+  CandidateServer a = candidate("a", 10.0);
+  a.unloadedDuration = 10.0 + 6.0;  // expensive transfer
+  CandidateServer b = candidate("b", 12.0);
+  b.unloadedDuration = 12.0 + 0.5;
+  q.candidates = {a, b};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 1u);  // 16 vs 12.5
+}
+
+TEST(Mct, EmptyCandidateListGivesNoChoice) {
+  MctScheduler s;
+  ScheduleQuery q;
+  EXPECT_FALSE(s.choose(q).chosen.has_value());
+}
+
+class HtmFixture : public ::testing::Test {
+ protected:
+  HtmFixture() {
+    htm.addServer(model("s1"));
+    htm.addServer(model("s2"));
+  }
+
+  ScheduleQuery query(double cpuSeconds, double now = 0.0) {
+    ScheduleQuery q;
+    q.now = now;
+    q.htm = &htm;
+    q.candidates = {candidate("s1", cpuSeconds), candidate("s2", cpuSeconds)};
+    return q;
+  }
+
+  HistoricalTraceManager htm;
+};
+
+TEST_F(HtmFixture, HmctPicksShortestRemainingServer) {
+  // Paper's usefulness example: both servers busy, different remaining work.
+  htm.commit("s1", 1, TaskDims{0.0, 100.0, 0.0}, 0.0);
+  htm.commit("s2", 2, TaskDims{0.0, 200.0, 0.0}, 0.0);
+  HmctScheduler s;
+  const auto d = s.choose(query(100.0, 80.0));
+  EXPECT_EQ(*d.chosen, 0u);  // s1: done at 200 vs s2: 280
+  ASSERT_EQ(d.previews.size(), 2u);
+  EXPECT_LT(d.previews[0].completionNew, d.previews[1].completionNew);
+}
+
+TEST_F(HtmFixture, HmctRequiresHtm) {
+  HmctScheduler s;
+  ScheduleQuery q;
+  q.candidates = {candidate("s1", 1.0)};
+  q.htm = nullptr;
+  EXPECT_THROW(s.choose(q), util::Error);
+}
+
+TEST_F(HtmFixture, MpAvoidsPerturbingWhenIdleServerExists) {
+  // s1 busy, s2 idle but, say, the task is slower there. MP still picks the
+  // idle server: zero perturbation beats any perturbation.
+  htm.commit("s1", 1, TaskDims{0.0, 50.0, 0.0}, 0.0);
+  MpScheduler s;
+  ScheduleQuery q;
+  q.htm = &htm;
+  q.candidates = {candidate("s1", 10.0), candidate("s2", 40.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 1u);
+  EXPECT_NEAR(d.scores[1], 0.0, 1e-9);
+  EXPECT_GT(d.scores[0], 0.0);
+}
+
+TEST_F(HtmFixture, MpTieBreaksByCompletionDate) {
+  // Both idle: all perturbation sums equal (zero) -> fig. 3 says minimize the
+  // new task's completion date.
+  MpScheduler s;
+  ScheduleQuery q;
+  q.htm = &htm;
+  q.candidates = {candidate("s1", 40.0), candidate("s2", 10.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 1u);
+}
+
+TEST_F(HtmFixture, MsfBalancesPerturbationAndOwnFlow) {
+  // s1 busy with a long task; s2 idle but slow for this problem.
+  // MP would pick s2 blindly; MSF weighs pi + own flow.
+  htm.commit("s1", 1, TaskDims{0.0, 30.0, 0.0}, 0.0);
+  MsfScheduler s;
+  ScheduleQuery q;
+  q.htm = &htm;
+  // On s1: new task (10s) shares: finishes at 20, perturbs task1 by 10
+  //   -> score 10 + 20 = 30.
+  // On s2: idle but 45s there -> score 0 + 45 = 45.
+  q.candidates = {candidate("s1", 10.0), candidate("s2", 45.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 0u);
+  EXPECT_NEAR(d.scores[0], 30.0, 1e-6);
+  EXPECT_NEAR(d.scores[1], 45.0, 1e-6);
+}
+
+TEST_F(HtmFixture, MsfScoreEqualsSumFlowIncrease) {
+  // Property (paper section 4.3): the MSF score equals the brute-force
+  // difference of total system sum-flow with and without the new task.
+  htm.commit("s1", 1, TaskDims{2.0, 25.0, 1.0}, 0.0);
+  htm.commit("s1", 2, TaskDims{1.0, 40.0, 1.0}, 5.0);
+  htm.commit("s2", 3, TaskDims{3.0, 15.0, 2.0}, 2.0);
+
+  const double now = 8.0;
+  const TaskDims dims{1.5, 20.0, 1.0};
+  for (const char* serverC : {"s1", "s2"}) {
+    const std::string server = serverC;
+    const Preview p = htm.preview(server, dims, now);
+    // Brute force: sum of completion dates of all tasks, after minus before
+    // (arrival dates cancel except the new task's own).
+    double before = 0.0;
+    for (const auto& [id, sigma] : htm.predictedCompletions("s1", now)) before += sigma;
+    for (const auto& [id, sigma] : htm.predictedCompletions("s2", now)) before += sigma;
+    double after = 0.0;
+    {
+      HistoricalTraceManager copy = htm;  // deep copy of traces
+      copy.commit(server, 99, dims, now);
+      for (const auto& [id, sigma] : copy.predictedCompletions("s1", now)) after += sigma;
+      for (const auto& [id, sigma] : copy.predictedCompletions("s2", now)) after += sigma;
+    }
+    // after - before = sum of perturbations + the new task's completion
+    // date; turning that date into a flow means subtracting its arrival
+    // (`now`), which is exactly the constant MSF drops per server.
+    const double bruteForceIncrease = after - before - now;
+    const double msfScore = p.sumPerturbation + (p.completionNew - now);
+    EXPECT_NEAR(msfScore, bruteForceIncrease, 1e-6) << server;
+  }
+}
+
+TEST_F(HtmFixture, MniMinimizesPerturbedCount) {
+  // s1 runs two short tasks, s2 one long one. A newcomer perturbs 2 tasks on
+  // s1 but only 1 on s2.
+  htm.commit("s1", 1, TaskDims{0.0, 30.0, 0.0}, 0.0);
+  htm.commit("s1", 2, TaskDims{0.0, 30.0, 0.0}, 0.0);
+  htm.commit("s2", 3, TaskDims{0.0, 200.0, 0.0}, 0.0);
+  MniScheduler s;
+  const auto d = s.choose(query(10.0));
+  EXPECT_EQ(*d.chosen, 1u);
+  EXPECT_DOUBLE_EQ(d.scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.scores[1], 1.0);
+}
+
+TEST(Met, IgnoresLoadEntirely) {
+  MetScheduler s;
+  ScheduleQuery q;
+  q.candidates = {candidate("fast-but-loaded", 10.0, 50.0), candidate("slow", 20.0)};
+  const auto d = s.choose(q);
+  EXPECT_EQ(*d.chosen, 0u);
+}
+
+TEST(Random, DeterministicUnderSeedAndInRange) {
+  RandomScheduler a(7), b(7);
+  ScheduleQuery q;
+  q.candidates = {candidate("x", 1.0), candidate("y", 1.0), candidate("z", 1.0)};
+  for (int i = 0; i < 50; ++i) {
+    const auto da = a.choose(q);
+    const auto db = b.choose(q);
+    ASSERT_TRUE(da.chosen.has_value());
+    EXPECT_EQ(*da.chosen, *db.chosen);
+    EXPECT_LT(*da.chosen, 3u);
+  }
+}
+
+TEST(RoundRobin, Cycles) {
+  RoundRobinScheduler s;
+  ScheduleQuery q;
+  q.candidates = {candidate("x", 1.0), candidate("y", 1.0)};
+  EXPECT_EQ(*s.choose(q).chosen, 0u);
+  EXPECT_EQ(*s.choose(q).chosen, 1u);
+  EXPECT_EQ(*s.choose(q).chosen, 0u);
+}
+
+TEST(MemoryAware, FiltersOverflowingServers) {
+  auto s = makeScheduler("ma-met");
+  ScheduleQuery q;
+  CandidateServer full = candidate("full", 5.0);
+  full.projectedResidentMB = 900.0;
+  full.memCapacityMB = 1000.0;
+  full.taskMemMB = 200.0;  // would overflow
+  CandidateServer roomy = candidate("roomy", 50.0);
+  roomy.projectedResidentMB = 0.0;
+  roomy.memCapacityMB = 1000.0;
+  roomy.taskMemMB = 200.0;
+  q.candidates = {full, roomy};
+  const auto d = s->choose(q);
+  EXPECT_EQ(*d.chosen, 1u);  // MET alone would pick "full" (5s < 50s)
+}
+
+TEST(MemoryAware, FallsBackToRoomiestWhenNothingFits) {
+  auto s = makeScheduler("ma-met");
+  ScheduleQuery q;
+  CandidateServer a = candidate("a", 5.0);
+  a.projectedResidentMB = 950.0;
+  a.memCapacityMB = 1000.0;
+  a.taskMemMB = 100.0;
+  CandidateServer b = candidate("b", 50.0);
+  b.projectedResidentMB = 800.0;
+  b.memCapacityMB = 1000.0;
+  b.taskMemMB = 300.0;
+  q.candidates = {a, b};
+  const auto d = s->choose(q);
+  EXPECT_EQ(*d.chosen, 1u);  // 200 MB free beats 50 MB free
+}
+
+TEST(MemoryAware, TransparentWhenMemoryIrrelevant) {
+  auto plain = makeScheduler("met");
+  auto wrapped = makeScheduler("ma-met");
+  ScheduleQuery q;
+  q.candidates = {candidate("x", 30.0), candidate("y", 10.0)};
+  EXPECT_EQ(*plain->choose(q).chosen, *wrapped->choose(q).chosen);
+}
+
+TEST(Factory, KnownNamesAndAliases) {
+  EXPECT_EQ(makeScheduler("mct")->name(), "mct");
+  EXPECT_EQ(makeScheduler("HMCT")->name(), "hmct");
+  EXPECT_EQ(makeScheduler("mti")->name(), "msf");  // Weissman's name
+  EXPECT_EQ(makeScheduler("rr")->name(), "round-robin");
+  EXPECT_EQ(makeScheduler("ma-msf")->name(), "ma-msf");
+  EXPECT_THROW(makeScheduler("bogus"), util::ConfigError);
+}
+
+TEST(Factory, UsesHtmFlag) {
+  EXPECT_FALSE(makeScheduler("mct")->usesHtm());
+  EXPECT_TRUE(makeScheduler("hmct")->usesHtm());
+  EXPECT_TRUE(makeScheduler("mp")->usesHtm());
+  EXPECT_TRUE(makeScheduler("msf")->usesHtm());
+  EXPECT_TRUE(makeScheduler("ma-msf")->usesHtm());
+  EXPECT_FALSE(makeScheduler("ma-mct")->usesHtm());
+}
+
+TEST(Factory, NamesListMatchesFactory) {
+  for (const std::string& name : schedulerNames()) {
+    EXPECT_NO_THROW(makeScheduler(name));
+  }
+}
+
+TEST_F(HtmFixture, FirstRegisteredWinsExactTies) {
+  HmctScheduler s;
+  const auto d = s.choose(query(10.0));
+  EXPECT_EQ(*d.chosen, 0u);  // identical servers: stable first pick
+}
+
+}  // namespace
+}  // namespace casched::core

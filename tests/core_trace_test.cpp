@@ -1,0 +1,219 @@
+// Tests of the ServerTrace - the HTM's per-server analytic simulation - and
+// of the Gantt chart extraction (paper figure 1).
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "core/server_trace.hpp"
+
+namespace casched::core {
+namespace {
+
+ServerModel bareModel(double bwIn = 10.0, double bwOut = 10.0, double latIn = 0.0,
+                      double latOut = 0.0) {
+  return ServerModel{"s", bwIn, bwOut, latIn, latOut};
+}
+
+TEST(ServerTrace, SingleTaskPhases) {
+  ServerTrace trace(bareModel(10.0, 5.0, 0.5, 0.25));
+  trace.admit(1, TaskDims{20.0, 10.0, 5.0}, 0.0);
+  // 0.5 + 2 + 10 + 0.25 + 1 = 13.75
+  EXPECT_NEAR(trace.predictCompletion(1), 13.75, 1e-9);
+}
+
+TEST(ServerTrace, StartDelayShiftsEverything) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0, 2.5);
+  EXPECT_NEAR(trace.predictCompletion(1), 12.5, 1e-9);
+}
+
+TEST(ServerTrace, EqualShareCompute) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  const auto done = trace.predictCompletions();
+  EXPECT_NEAR(done.at(1), 20.0, 1e-9);
+  EXPECT_NEAR(done.at(2), 20.0, 1e-9);
+}
+
+TEST(ServerTrace, LateArrivalMatchesHandComputation) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 10.0, 0.0}, 5.0);  // advances to t=5 first
+  const auto done = trace.predictCompletions();
+  EXPECT_NEAR(done.at(1), 15.0, 1e-9);
+  EXPECT_NEAR(done.at(2), 20.0, 1e-9);
+}
+
+TEST(ServerTrace, TransfersShareLinkComputesShareCpuIndependently) {
+  // Task 1 computes while task 2 transfers: no interference.
+  ServerTrace trace(bareModel(10.0, 10.0));
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);     // pure compute, done at 10
+  trace.admit(2, TaskDims{50.0, 0.0, 0.0}, 0.0);     // pure transfer, done at 5
+  const auto done = trace.predictCompletions();
+  EXPECT_NEAR(done.at(1), 10.0, 1e-9);
+  EXPECT_NEAR(done.at(2), 5.0, 1e-9);
+}
+
+TEST(ServerTrace, TwoTransfersHalveBandwidth) {
+  ServerTrace trace(bareModel(10.0, 10.0));
+  trace.admit(1, TaskDims{20.0, 0.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{20.0, 0.0, 0.0}, 0.0);
+  const auto done = trace.predictCompletions();
+  EXPECT_NEAR(done.at(1), 4.0, 1e-9);
+  EXPECT_NEAR(done.at(2), 4.0, 1e-9);
+}
+
+TEST(ServerTrace, AdvanceToRetiresFinishedTasks) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.advanceTo(10.0 + 1e-6);
+  EXPECT_EQ(trace.activeTasks(), 0u);
+  EXPECT_EQ(trace.predictCompletion(1), simcore::kTimeInfinity);
+}
+
+TEST(ServerTrace, AdvancePartial) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.advanceTo(4.0);
+  EXPECT_EQ(trace.activeTasks(), 1u);
+  EXPECT_NEAR(trace.predictCompletion(1), 10.0, 1e-9);
+  EXPECT_NEAR(trace.totalRemainingCpuSeconds(), 6.0, 1e-9);
+}
+
+TEST(ServerTrace, RemoveTask) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  EXPECT_TRUE(trace.remove(1));
+  EXPECT_FALSE(trace.remove(1));
+  EXPECT_NEAR(trace.predictCompletion(2), 10.0, 1e-9);
+}
+
+TEST(ServerTrace, ClearDropsEverything) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.clear();
+  EXPECT_EQ(trace.activeTasks(), 0u);
+}
+
+TEST(ServerTrace, PredictIsNonMutating) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  const auto first = trace.predictCompletions();
+  const auto second = trace.predictCompletions();
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_NEAR(first.at(1), second.at(1), 1e-12);
+  EXPECT_EQ(trace.activeTasks(), 1u);
+}
+
+TEST(ServerTrace, CopySemanticsForHypotheticals) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  ServerTrace copy = trace;
+  copy.admit(2, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  EXPECT_NEAR(copy.predictCompletion(1), 20.0, 1e-9);
+  EXPECT_NEAR(trace.predictCompletion(1), 10.0, 1e-9);  // original untouched
+}
+
+TEST(ServerTrace, DuplicateAdmitRejected) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  EXPECT_THROW(trace.admit(1, TaskDims{0.0, 1.0, 0.0}, 1.0), util::Error);
+}
+
+TEST(ServerTrace, ZeroEverythingTaskNeverEntersTrace) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 0.0, 0.0}, 3.0);
+  EXPECT_EQ(trace.activeTasks(), 0u);
+}
+
+TEST(ServerTrace, PaperFigure1Scenario) {
+  // Paper fig. 1: two tasks running, a third arrives; shares move
+  // 100% -> 50% -> 33.3% and completion dates shift (the perturbation).
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 30.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 30.0, 0.0}, 10.0);
+  const auto before = trace.predictCompletions();
+  // t in [0,10): T1 alone (10 done). [10,...): share 1/2.
+  // T1: 20 left at 1/2 -> done at 50. T2: 30 at 1/2 until T1 done...
+  // T1 done at 50; T2 has 30 - 20 = 10 left, alone -> done at 60.
+  EXPECT_NEAR(before.at(1), 50.0, 1e-9);
+  EXPECT_NEAR(before.at(2), 60.0, 1e-9);
+
+  ServerTrace with = trace;
+  with.admit(3, TaskDims{0.0, 30.0, 0.0}, 20.0);
+  const auto after = with.predictCompletions();
+  // Hand-computed: [0,10) T1 alone; [10,20) T1,T2 at 1/2 (T1 has 15 left at
+  // t=20, T2 has 25); [20,...) three-way at 1/3: T1 done at 20+45=65;
+  // then T2 (25-15=10 left) and T3 (30-15=15) at 1/2: T2 done at 85;
+  // T3 (15-10=5 left) alone: done at 90.
+  EXPECT_NEAR(after.at(1), 65.0, 1e-9);
+  EXPECT_NEAR(after.at(2), 85.0, 1e-9);
+  EXPECT_NEAR(after.at(3), 90.0, 1e-9);
+  // Perturbations pi_1 = 15, pi_2 = 25.
+  EXPECT_NEAR(after.at(1) - before.at(1), 15.0, 1e-9);
+  EXPECT_NEAR(after.at(2) - before.at(2), 25.0, 1e-9);
+}
+
+TEST(Gantt, SegmentsCoverExecution) {
+  ServerTrace trace(bareModel(10.0, 10.0, 0.0, 0.0));
+  trace.admit(1, TaskDims{10.0, 5.0, 10.0}, 0.0);
+  const GanttChart chart = trace.simulateGantt();
+  ASSERT_FALSE(chart.empty());
+  EXPECT_NEAR(chart.horizon, 7.0, 1e-9);  // 1 + 5 + 1
+  double total = 0.0;
+  for (const auto& seg : chart.segments) {
+    EXPECT_LE(seg.start, seg.end);
+    EXPECT_GT(seg.share, 0.0);
+    EXPECT_LE(seg.share, 1.0);
+    total += seg.end - seg.start;
+  }
+  EXPECT_NEAR(total, 7.0, 1e-9);
+}
+
+TEST(Gantt, SharesReflectConcurrency) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  const GanttChart chart = trace.simulateGantt();
+  for (const auto& seg : chart.segments) {
+    EXPECT_NEAR(seg.share, 0.5, 1e-9);  // both compute the whole time
+  }
+}
+
+TEST(Gantt, AsciiRenderContainsTasksAndLegend) {
+  ServerTrace trace(bareModel(10.0, 10.0, 0.1, 0.1));
+  trace.admit(7, TaskDims{5.0, 3.0, 5.0}, 0.0);
+  const std::string out = renderGanttAscii(trace.simulateGantt());
+  EXPECT_NE(out.find("task 7"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(Gantt, EmptyChartRenders) {
+  ServerTrace trace(bareModel());
+  const std::string out = renderGanttAscii(trace.simulateGantt());
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(Gantt, CsvHasOneRowPerSegment) {
+  ServerTrace trace(bareModel());
+  trace.admit(1, TaskDims{0.0, 10.0, 0.0}, 0.0);
+  trace.admit(2, TaskDims{0.0, 5.0, 0.0}, 0.0);
+  const GanttChart chart = trace.simulateGantt();
+  const std::string csv = ganttToCsv(chart);
+  const auto lines = static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, chart.segments.size() + 1);  // header
+}
+
+TEST(ServerTrace, PhaseNames) {
+  EXPECT_EQ(tracePhaseName(TracePhase::kCompute), "compute");
+  EXPECT_EQ(tracePhaseName(TracePhase::kTransferIn), "transfer-in");
+  EXPECT_EQ(tracePhaseName(TracePhase::kDone), "done");
+}
+
+}  // namespace
+}  // namespace casched::core

@@ -1,0 +1,175 @@
+// Tests of the experiment harness: the parallel runner, campaign mechanics,
+// thread-count invariance and table rendering.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <atomic>
+
+#include "exp/campaign.hpp"
+#include "exp/tables.hpp"
+
+namespace casched::exp {
+namespace {
+
+TEST(ParallelRunner, RunsEveryJobExactlyOnce) {
+  ParallelRunner pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    jobs.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run(jobs);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, PropagatesFirstException) {
+  ParallelRunner pool(4);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([i] {
+      if (i == 3) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.run(jobs), std::runtime_error);
+}
+
+TEST(ParallelRunner, EmptyAndSingleThread) {
+  ParallelRunner pool(1);
+  pool.run({});
+  int hit = 0;
+  pool.run({[&] { ++hit; }});
+  EXPECT_EQ(hit, 1);
+}
+
+TEST(ParallelRunner, ZeroMeansHardwareConcurrency) {
+  ParallelRunner pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(FaultTolerancePolicy, PaperGrantsOnlyMct) {
+  EXPECT_TRUE(grantsFaultTolerance(FaultTolerancePolicy::kPaper, "mct"));
+  EXPECT_FALSE(grantsFaultTolerance(FaultTolerancePolicy::kPaper, "msf"));
+  EXPECT_TRUE(grantsFaultTolerance(FaultTolerancePolicy::kAll, "msf"));
+  EXPECT_FALSE(grantsFaultTolerance(FaultTolerancePolicy::kNone, "mct"));
+}
+
+ExperimentSpec smallSpec() {
+  ExperimentSpec spec;
+  spec.name = "test";
+  spec.testbed = platform::buildSet2();
+  spec.metatask.count = 60;
+  spec.metatask.meanInterarrival = 15.0;
+  spec.metatask.types = workload::wasteCpuFamily();
+  spec.metatask.seed = 99;
+  spec.system.cpuNoise = {0.05, 5.0};
+  return spec;
+}
+
+TEST(Campaign, ProducesAllCells) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  cc.metataskCount = 2;
+  cc.replications = 2;
+  cc.threads = 2;
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  EXPECT_EQ(result.cells.size(), 2u);
+  for (const auto& h : cc.heuristics) {
+    ASSERT_EQ(result.cells.at(h).size(), 2u);
+    for (const auto& cell : result.cells.at(h)) {
+      EXPECT_EQ(cell.metrics.makespan.count(), 2u);  // replications
+    }
+  }
+  EXPECT_EQ(result.raw.size(), 2u * 2u * 2u);
+  // Baseline has no "sooner" stat; the other heuristic has one per run.
+  EXPECT_EQ(result.cell("mct", 0).metrics.sooner.count(), 0u);
+  EXPECT_EQ(result.cell("msf", 0).metrics.sooner.count(), 2u);
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  cc.metataskCount = 2;
+  cc.replications = 2;
+  cc.threads = 1;
+  const CampaignResult serial = runCampaign(smallSpec(), cc);
+  cc.threads = 4;
+  const CampaignResult parallel = runCampaign(smallSpec(), cc);
+  for (const auto& h : cc.heuristics) {
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_DOUBLE_EQ(serial.cell(h, m).metrics.sumFlow.mean(),
+                       parallel.cell(h, m).metrics.sumFlow.mean());
+      EXPECT_DOUBLE_EQ(serial.cell(h, m).metrics.makespan.mean(),
+                       parallel.cell(h, m).metrics.makespan.mean());
+    }
+  }
+}
+
+TEST(Campaign, SampleRunsAreRepresentative) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "hmct"};
+  cc.metataskCount = 1;
+  cc.replications = 1;
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  ASSERT_EQ(result.sampleRuns.size(), 2u);
+  EXPECT_EQ(result.sampleRuns.at("hmct").heuristic, "hmct");
+  EXPECT_EQ(result.sampleRuns.at("hmct").tasks.size(), 60u);
+}
+
+TEST(Campaign, RawCsvHasHeaderAndRows) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  cc.metataskCount = 1;
+  cc.replications = 2;
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  const std::string csv = campaignRawCsv(result);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1 + 4);  // header + 2 heuristics x 2 replications
+  EXPECT_NE(csv.find("sooner_vs_baseline"), std::string::npos);
+}
+
+TEST(Campaign, ValidationErrors) {
+  CampaignConfig cc;
+  cc.heuristics = {};
+  EXPECT_THROW(runCampaign(smallSpec(), cc), util::Error);
+  cc.heuristics = {"mct"};
+  cc.metataskCount = 0;
+  EXPECT_THROW(runCampaign(smallSpec(), cc), util::Error);
+  CampaignResult empty;
+  EXPECT_THROW(empty.cell("mct", 0), util::Error);
+}
+
+TEST(Tables, SingleMetataskLayout) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  const std::string out = renderSingleMetataskTable("Table X", result).render();
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("NetSolve's MCT"), std::string::npos);
+  EXPECT_NE(out.find("MSF"), std::string::npos);
+  EXPECT_NE(out.find("sumflow"), std::string::npos);
+  EXPECT_NE(out.find("maxstretch"), std::string::npos);
+}
+
+TEST(Tables, MultiMetataskLayoutHasPerMetataskColumns) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  cc.metataskCount = 3;
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  const std::string out = renderMultiMetataskTable("Table Y", result).render();
+  EXPECT_NE(out.find("MSF M1"), std::string::npos);
+  EXPECT_NE(out.find("MSF M3"), std::string::npos);
+}
+
+TEST(Tables, ServerDiagnosticsListServers) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct"};
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  const std::string out = renderServerDiagnostics("diag", result).render();
+  EXPECT_NE(out.find("spinnaker"), std::string::npos);
+  EXPECT_NE(out.find("valette"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casched::exp

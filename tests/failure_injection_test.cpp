@@ -1,0 +1,181 @@
+// Failure-injection tests: collapses striking tasks in every execution
+// phase, notification races, HTM hygiene on failure paths, and repeated
+// collapse/recovery cycles. These paths carry the paper's Table 6 story.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "cas/system.hpp"
+#include "core/htm.hpp"
+#include "platform/testbed.hpp"
+#include "psched/machine.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched {
+namespace {
+
+psched::MachineSpec fragileSpec(double ramMB, double swapMB) {
+  psched::MachineSpec spec;
+  spec.name = "fragile";
+  spec.bwInMBps = 10.0;
+  spec.bwOutMBps = 10.0;
+  spec.latencyIn = 0.1;
+  spec.latencyOut = 0.1;
+  spec.ramMB = ramMB;
+  spec.swapMB = swapMB;
+  spec.recoverySeconds = 30.0;
+  return spec;
+}
+
+TEST(FailureInjection, CollapseDuringInputTransfer) {
+  simcore::Simulator sim;
+  psched::Machine m(sim, fragileSpec(100.0, 0.0));
+  std::vector<psched::ExecRecord> victims;
+  m.setCollapseObserver([&](const std::vector<psched::ExecRecord>& v) { victims = v; });
+  // Task 1 starts a long input transfer; task 2's admission collapses the
+  // machine while task 1 is still transferring.
+  ASSERT_TRUE(m.submit({1, 500.0, 10.0, 0.0, 60.0}, nullptr));
+  sim.run(5.0);  // mid-transfer
+  EXPECT_EQ(m.linkIn().activeJobs(), 1u);
+  EXPECT_FALSE(m.submit({2, 1.0, 1.0, 0.0, 60.0}, nullptr));
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].status, psched::ExecStatus::kFailed);
+  EXPECT_EQ(m.linkIn().activeJobs(), 0u);  // transfer job cancelled
+  EXPECT_EQ(m.cpu().activeJobs(), 0u);
+  sim.run();
+}
+
+TEST(FailureInjection, CollapseDuringOutputTransfer) {
+  simcore::Simulator sim;
+  psched::Machine m(sim, fragileSpec(100.0, 0.0));
+  std::vector<psched::ExecRecord> victims;
+  m.setCollapseObserver([&](const std::vector<psched::ExecRecord>& v) { victims = v; });
+  ASSERT_TRUE(m.submit({1, 1.0, 2.0, 500.0, 60.0}, nullptr));
+  sim.run(5.0);  // compute done (~2.2s), deep into the output transfer
+  EXPECT_EQ(m.linkOut().activeJobs(), 1u);
+  EXPECT_FALSE(m.submit({2, 1.0, 1.0, 0.0, 60.0}, nullptr));
+  EXPECT_EQ(m.linkOut().activeJobs(), 0u);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_GE(victims[0].outputStart, 0.0);  // it had reached the output phase
+  sim.run();
+}
+
+TEST(FailureInjection, LoadAverageResetsAfterCollapse) {
+  simcore::Simulator sim;
+  psched::Machine m(sim, fragileSpec(100.0, 0.0));
+  ASSERT_TRUE(m.submit({1, 0.0, 1000.0, 0.0, 60.0}, nullptr));
+  sim.run(120.0);  // load average builds toward 1
+  EXPECT_GT(m.loadAverage(), 0.5);
+  EXPECT_FALSE(m.submit({2, 0.0, 1.0, 0.0, 60.0}, nullptr));  // collapse
+  sim.run(sim.now() + 200.0);  // decays while down/empty
+  EXPECT_LT(m.loadAverage(), 0.1);
+  EXPECT_NEAR(m.residentMB(), 0.0, 1e-9);
+}
+
+TEST(FailureInjection, RepeatedCollapseRecoveryCycles) {
+  simcore::Simulator sim;
+  psched::Machine m(sim, fragileSpec(100.0, 0.0));
+  int recoveries = 0;
+  m.setRecoverObserver([&] { ++recoveries; });
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(m.up());
+    ASSERT_TRUE(m.submit({static_cast<std::uint64_t>(10 * cycle + 1), 0.0, 50.0, 0.0, 60.0},
+                         nullptr));
+    EXPECT_FALSE(m.submit({static_cast<std::uint64_t>(10 * cycle + 2), 0.0, 50.0, 0.0, 60.0},
+                          nullptr));
+    EXPECT_FALSE(m.up());
+    sim.run();  // recovery event drains
+  }
+  EXPECT_EQ(recoveries, 3);
+  EXPECT_EQ(m.stats().collapses, 3u);
+}
+
+TEST(FailureInjection, HtmTraceStaysCleanAcrossFailures) {
+  core::HistoricalTraceManager htm;
+  htm.addServer(core::ServerModel{"s", 10.0, 10.0, 0.0, 0.0});
+  htm.commit("s", 1, core::TaskDims{1.0, 100.0, 1.0}, 0.0);
+  htm.commit("s", 2, core::TaskDims{1.0, 100.0, 1.0}, 0.0);
+  htm.commit("s", 3, core::TaskDims{1.0, 100.0, 1.0}, 0.0);
+  htm.onTaskFailed("s", 2, 10.0);
+  EXPECT_EQ(htm.activeTasks("s"), 2u);
+  // A failed task must not poison future previews: completion of the others
+  // speeds up relative to the 3-way share.
+  const core::Preview p = htm.preview("s", core::TaskDims{0.0, 1.0, 0.0}, 10.0);
+  EXPECT_EQ(p.perTask.size(), 2u);
+  htm.onServerCollapsed("s", 20.0);
+  EXPECT_EQ(htm.activeTasks("s"), 0u);
+  const core::Preview afterCollapse = htm.preview("s", core::TaskDims{0.0, 1.0, 0.0}, 20.0);
+  EXPECT_DOUBLE_EQ(afterCollapse.sumPerturbation, 0.0);
+}
+
+TEST(FailureInjection, AgentSurvivesSubmitToJustCollapsedServer) {
+  // Race: the agent schedules a task toward a server that collapses while
+  // the submission is in flight; the task must fail cleanly (no FT) and the
+  // run must terminate.
+  platform::Testbed bed = platform::buildUniform(1, 100.0, 0.1);
+  bed.servers[0].ramMB = 100.0;
+  bed.servers[0].swapMB = 0.0;
+  bed.servers[0].recoverySeconds = 1e6;  // never recovers within the run
+  const auto hog = workload::makeSyntheticType("hog", 0.0, 50.0, 0.0, 60.0);
+  workload::Metatask mt;
+  mt.name = "race";
+  mt.tasks.push_back({0, 1.0, hog});
+  mt.tasks.push_back({1, 1.05, hog});  // collapses the server
+  mt.tasks.push_back({2, 1.10, hog});  // submission races the ServerDown notice
+  cas::SystemConfig cfg;
+  cfg.faultTolerance = false;
+  const auto result = cas::runExperimentSystem(bed, mt, "mct", cfg);
+  EXPECT_EQ(result.completedCount(), 0u);
+  EXPECT_EQ(result.lostCount(), 3u);
+}
+
+TEST(FailureInjection, FaultToleranceBudgetIsRespected) {
+  // A lone fragile server with FT: retries must stop at maxRetries + 1
+  // attempts, not loop forever.
+  platform::Testbed bed = platform::buildUniform(1, 100.0, 0.0);
+  bed.servers[0].ramMB = 100.0;
+  bed.servers[0].swapMB = 0.0;
+  bed.servers[0].recoverySeconds = 5.0;
+  const auto hog = workload::makeSyntheticType("hog", 0.0, 50.0, 0.0, 60.0);
+  workload::Metatask mt;
+  mt.name = "budget";
+  mt.tasks.push_back({0, 0.5, hog});
+  mt.tasks.push_back({1, 1.0, hog});
+  cas::SystemConfig cfg;
+  cfg.faultTolerance = true;
+  cfg.maxRetries = 3;
+  const auto result = cas::runExperimentSystem(bed, mt, "mct", cfg);
+  for (const auto& t : result.tasks) {
+    EXPECT_LE(t.attempts, 4);  // 1 + maxRetries
+  }
+  EXPECT_LT(result.endTime, 1e5);  // terminated, no retry ping-pong forever
+}
+
+TEST(FailureInjection, MixedSurvivalUnderPartialCollapse) {
+  // Two servers, one fragile: tasks on the sturdy one must be unaffected by
+  // the fragile one's collapse.
+  platform::Testbed bed = platform::buildUniform(2, 100.0, 0.0);
+  bed.servers[0].ramMB = 100.0;
+  bed.servers[0].swapMB = 0.0;
+  bed.servers[1].ramMB = 1e6;
+  const auto hog = workload::makeSyntheticType("hog", 0.0, 20.0, 0.0, 60.0);
+  workload::Metatask mt;
+  mt.name = "partial";
+  for (std::size_t i = 0; i < 6; ++i) {
+    mt.tasks.push_back({i, 0.2 * static_cast<double>(i + 1), hog});
+  }
+  cas::SystemConfig cfg;
+  cfg.faultTolerance = false;
+  const auto result = cas::runExperimentSystem(bed, mt, "round-robin", cfg);
+  // Round-robin alternates: server-0 gets tasks 0,2,4 (collapses at the
+  // second), server-1 gets 1,3,5 (all complete).
+  EXPECT_EQ(result.servers.at("server-1").tasksFailed, 0u);
+  EXPECT_GE(result.servers.at("server-1").tasksCompleted, 3u);
+  EXPECT_GE(result.servers.at("server-0").collapses, 1u);
+  EXPECT_GT(result.completedCount(), 0u);
+  EXPECT_GT(result.lostCount(), 0u);
+}
+
+}  // namespace
+}  // namespace casched

@@ -1,0 +1,235 @@
+// Cross-module properties: the central one is HTM == ground truth - with
+// noise and memory effects off, the Historical Trace Manager's predictions
+// must equal the psched simulator's actual completion dates on randomized
+// scenarios. Plus full-system shape checks against the paper's conclusions.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <map>
+
+#include "cas/system.hpp"
+#include "core/htm.hpp"
+#include "exp/campaign.hpp"
+#include "platform/testbed.hpp"
+#include "psched/machine.hpp"
+#include "simcore/rng.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched {
+namespace {
+
+// --- HTM vs ground truth -------------------------------------------------
+
+class HtmEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HtmEquivalence, PredictionsMatchSimulatorExactly) {
+  simcore::RandomStream rng(GetParam());
+
+  psched::MachineSpec spec;
+  spec.name = "gt";
+  spec.bwInMBps = rng.uniform(4.0, 12.0);
+  spec.bwOutMBps = rng.uniform(4.0, 12.0);
+  spec.latencyIn = rng.uniform(0.0, 0.2);
+  spec.latencyOut = rng.uniform(0.0, 0.2);
+  spec.thrashTheta = 0.0;  // HTM does not model memory; disable it here
+
+  simcore::Simulator sim;
+  psched::Machine machine(sim, spec);
+
+  core::ServerModel model{spec.name, spec.bwInMBps, spec.bwOutMBps, spec.latencyIn,
+                          spec.latencyOut};
+  core::HistoricalTraceManager htm;
+  htm.addServer(model);
+
+  std::map<std::uint64_t, double> actual;
+  std::map<std::uint64_t, double> predicted;
+
+  double t = 0.0;
+  for (std::uint64_t id = 0; id < 25; ++id) {
+    t += rng.exponentialMean(8.0);
+    const core::TaskDims dims{rng.uniform(0.0, 30.0), rng.uniform(1.0, 60.0),
+                              rng.uniform(0.0, 10.0)};
+    sim.scheduleAt(t, [&, id, dims] {
+      machine.submit(
+          psched::ExecRequest{id, dims.inMB, dims.cpuSeconds, dims.outMB, 0.0},
+          [&actual, id](const psched::ExecRecord& r) { actual[id] = r.endTime; });
+      htm.commit("gt", id, dims, sim.now());
+    });
+  }
+  // Collect the HTM's final prediction for every task after the last commit.
+  sim.scheduleAt(t + 0.001, [&] {
+    for (const auto& [id, sigma] : htm.predictedCompletions("gt", sim.now())) {
+      predicted[id] = sigma;
+    }
+  });
+  sim.run();
+
+  ASSERT_EQ(actual.size(), 25u);
+  for (const auto& [id, when] : actual) {
+    // Tasks completed before the collection point keep their last refresh;
+    // ask the HTM stats instead: every prediction recorded at commit time
+    // was refreshed by later commits, so compare what we gathered.
+    auto it = predicted.find(id);
+    if (it == predicted.end()) continue;  // finished before collection
+    EXPECT_NEAR(it->second, when, 1e-5 * std::max(1.0, when)) << "task " << id;
+  }
+  // At least the tail of the workload must still have been live at the
+  // collection point, otherwise the property checked nothing.
+  EXPECT_GE(predicted.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+// Stronger end-to-end variant through the full middleware: every task's
+// committed HTM prediction equals its real completion when noise is off.
+class SystemHtmEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SystemHtmEquivalence, EndToEndPredictionsExact) {
+  platform::Testbed bed = platform::buildSet2();
+  for (auto& s : bed.servers) s.thrashTheta = 0.0;
+  workload::MetataskConfig mc;
+  mc.count = 80;
+  mc.meanInterarrival = 12.0;
+  mc.types = workload::wasteCpuFamily();
+  mc.seed = GetParam();
+  const auto mt = workload::generateMetatask(mc);
+  cas::SystemConfig cfg;  // no noise
+  const auto result = cas::runExperimentSystem(bed, mt, "msf", cfg);
+  ASSERT_EQ(result.completedCount(), 80u);
+  EXPECT_LT(result.htmMeanRelErrorPercent, 1e-3) << "HTM drifted from reality";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemHtmEquivalence, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Paper-shape assertions ----------------------------------------------
+
+struct ShapeResults {
+  std::map<std::string, metrics::RunMetrics> byHeuristic;
+  std::map<std::string, metrics::RunResult> runs;
+};
+
+ShapeResults runShapeExperiment(double meanInterarrival, std::uint64_t seed) {
+  platform::Testbed bed = platform::buildSet2();
+  workload::MetataskConfig mc;
+  mc.count = 300;
+  mc.meanInterarrival = meanInterarrival;
+  mc.types = workload::wasteCpuFamily();
+  mc.seed = seed;
+  const auto mt = workload::generateMetatask(mc);
+  ShapeResults out;
+  for (const char* hC : {"mct", "hmct", "mp", "msf"}) {
+    const std::string h = hC;
+    cas::SystemConfig cfg;  // deterministic: no noise
+    cfg.faultTolerance = (h == "mct");
+    auto run = cas::runExperimentSystem(bed, mt, h, cfg);
+    out.byHeuristic[h] = metrics::computeMetrics(run);
+    out.runs[h] = std::move(run);
+  }
+  return out;
+}
+
+TEST(PaperShapes, HighRateHtmHeuristicsBeatMctOnSumFlow) {
+  const ShapeResults r = runShapeExperiment(18.0, 3001);
+  // Paper section 5.3 / Tables 6 & 8: at the higher rate the perturbation-
+  // aware heuristics clearly beat NetSolve's MCT on sum-flow.
+  EXPECT_LT(r.byHeuristic.at("msf").sumFlow, r.byHeuristic.at("mct").sumFlow);
+  EXPECT_LT(r.byHeuristic.at("mp").sumFlow, r.byHeuristic.at("mct").sumFlow);
+}
+
+TEST(PaperShapes, MpAlwaysBestOnMaxStretch) {
+  // Paper: "MP is always the best on the max-stretch".
+  for (double rate : {30.0, 18.0}) {
+    const ShapeResults r = runShapeExperiment(rate, 3002);
+    const double mp = r.byHeuristic.at("mp").maxStretch;
+    EXPECT_LE(mp, r.byHeuristic.at("mct").maxStretch * 1.05) << rate;
+    EXPECT_LE(mp, r.byHeuristic.at("hmct").maxStretch * 1.05) << rate;
+  }
+}
+
+TEST(PaperShapes, MpWorstMaxFlowAtLowRate) {
+  // Paper: at low rate MP loads idle slow servers, maximizing the max-flow.
+  const ShapeResults r = runShapeExperiment(30.0, 3003);
+  EXPECT_GT(r.byHeuristic.at("mp").maxFlow, r.byHeuristic.at("hmct").maxFlow);
+  EXPECT_GT(r.byHeuristic.at("mp").maxFlow, r.byHeuristic.at("msf").maxFlow);
+}
+
+TEST(PaperShapes, ManyTasksFinishSoonerThanUnderMct) {
+  // Paper conclusion: "the number of tasks that finish sooner than if
+  // scheduled with MCT is always very high (at least a factor of 1.7)".
+  const ShapeResults r = runShapeExperiment(18.0, 3004);
+  for (const char* hC : {"mp", "msf"}) {
+    const std::string h = hC;
+    const std::size_t sooner = metrics::countSooner(r.runs.at(h), r.runs.at("mct"));
+    const std::size_t later = 300 - sooner;
+    EXPECT_GT(static_cast<double>(sooner), 1.5 * static_cast<double>(later)) << h;
+  }
+}
+
+TEST(PaperShapes, MakespanBarelyDiffersAcrossHeuristics) {
+  // Paper section 5.3: the makespan depends mostly on the last arrival; no
+  // big difference is expected between heuristics.
+  const ShapeResults r = runShapeExperiment(30.0, 3005);
+  double lo = 1e30, hi = 0.0;
+  for (const auto& [h, m] : r.byHeuristic) {
+    lo = std::min(lo, m.makespan);
+    hi = std::max(hi, m.makespan);
+  }
+  EXPECT_LT((hi - lo) / lo, 0.10);
+}
+
+TEST(PaperShapes, MemoryCollapseStoryOfTable6) {
+  // Matmul at the paper's higher rate: MCT/HMCT overload the fast servers
+  // into memory collapse; MP never collapses anything; NetSolve MCT's fault
+  // tolerance still completes more than collapse-prone plain HMCT loses.
+  platform::Testbed bed = platform::buildSet1();
+  workload::MetataskConfig mc;
+  mc.count = 300;
+  mc.meanInterarrival = 21.0;
+  mc.types = workload::matmulFamily();
+  mc.seed = 3006;
+  const auto mt = workload::generateMetatask(mc);
+
+  std::map<std::string, metrics::RunResult> runs;
+  for (const char* hC : {"mct", "hmct", "mp"}) {
+    const std::string h = hC;
+    cas::SystemConfig cfg;
+    cfg.faultTolerance = (h == "mct");
+    runs[h] = cas::runExperimentSystem(bed, mt, h, cfg);
+  }
+  const auto collapses = [&](const std::string& h) {
+    std::uint64_t total = 0;
+    for (const auto& [server, s] : runs.at(h).servers) total += s.collapses;
+    return total;
+  };
+  EXPECT_GT(collapses("mct"), 0u);
+  EXPECT_EQ(collapses("mp"), 0u);
+  EXPECT_EQ(runs.at("mp").completedCount(), 300u);
+  EXPECT_LT(runs.at("hmct").completedCount(), 300u);
+}
+
+TEST(Determinism, IdenticalRunsAreBitIdentical) {
+  platform::Testbed bed = platform::buildSet1();
+  workload::MetataskConfig mc;
+  mc.count = 120;
+  mc.meanInterarrival = 25.0;
+  mc.types = workload::matmulFamily();
+  mc.seed = 4001;
+  const auto mt = workload::generateMetatask(mc);
+  cas::SystemConfig cfg;
+  cfg.cpuNoise = {0.08, 5.0};
+  cfg.linkNoise = {0.1, 5.0};
+  cfg.faultTolerance = true;
+  const auto a = cas::runExperimentSystem(bed, mt, "msf", cfg);
+  const auto b = cas::runExperimentSystem(bed, mt, "msf", cfg);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].status, b.tasks[i].status);
+    EXPECT_DOUBLE_EQ(a.tasks[i].completion, b.tasks[i].completion);
+  }
+}
+
+}  // namespace
+}  // namespace casched

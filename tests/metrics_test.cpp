@@ -1,0 +1,148 @@
+// Tests of the section-3 metrics on hand-computed examples.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "metrics/aggregate.hpp"
+#include "metrics/metrics.hpp"
+
+namespace casched::metrics {
+namespace {
+
+TaskOutcome completed(std::uint64_t index, double arrival, double completion,
+                      double unloaded) {
+  TaskOutcome t;
+  t.index = index;
+  t.arrival = arrival;
+  t.completion = completion;
+  t.unloadedDuration = unloaded;
+  t.status = TaskStatus::kCompleted;
+  return t;
+}
+
+TaskOutcome lost(std::uint64_t index) {
+  TaskOutcome t;
+  t.index = index;
+  t.status = TaskStatus::kLost;
+  return t;
+}
+
+RunResult runOf(std::vector<TaskOutcome> tasks) {
+  RunResult r;
+  r.tasks = std::move(tasks);
+  return r;
+}
+
+TEST(Metrics, HandComputedExample) {
+  // Task 0: arrival 0, completion 10, rho 5 -> flow 10, stretch 2.
+  // Task 1: arrival 4, completion 24, rho 5 -> flow 20, stretch 4.
+  // Task 2: arrival 10, completion 13, rho 3 -> flow 3, stretch 1.
+  const RunResult r = runOf({completed(0, 0, 10, 5), completed(1, 4, 24, 5),
+                             completed(2, 10, 13, 3)});
+  const RunMetrics m = computeMetrics(r);
+  EXPECT_EQ(m.completed, 3u);
+  EXPECT_EQ(m.lost, 0u);
+  EXPECT_DOUBLE_EQ(m.makespan, 24.0);
+  EXPECT_DOUBLE_EQ(m.sumFlow, 33.0);
+  EXPECT_DOUBLE_EQ(m.maxFlow, 20.0);
+  EXPECT_DOUBLE_EQ(m.meanFlow, 11.0);
+  EXPECT_DOUBLE_EQ(m.maxStretch, 4.0);
+  EXPECT_NEAR(m.meanStretch, (2.0 + 4.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Metrics, LostTasksExcludedFromFlows) {
+  const RunResult r = runOf({completed(0, 0, 10, 5), lost(1)});
+  const RunMetrics m = computeMetrics(r);
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.lost, 1u);
+  EXPECT_DOUBLE_EQ(m.sumFlow, 10.0);
+}
+
+TEST(Metrics, EmptyRun) {
+  const RunMetrics m = computeMetrics(runOf({}));
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_DOUBLE_EQ(m.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(m.meanFlow, 0.0);
+}
+
+TEST(Metrics, CompletedLostCounters) {
+  const RunResult r = runOf({completed(0, 0, 1, 1), lost(1), lost(2)});
+  EXPECT_EQ(r.completedCount(), 1u);
+  EXPECT_EQ(r.lostCount(), 2u);
+}
+
+TEST(Metrics, CountSoonerPairwise) {
+  const RunResult a = runOf({completed(0, 0, 5, 1), completed(1, 0, 20, 1),
+                             completed(2, 0, 7, 1)});
+  const RunResult b = runOf({completed(0, 0, 6, 1), completed(1, 0, 15, 1),
+                             completed(2, 0, 7, 1)});
+  EXPECT_EQ(countSooner(a, b), 1u);  // only task 0 is strictly sooner
+  EXPECT_EQ(countSooner(b, a), 1u);  // task 1
+}
+
+TEST(Metrics, CountSoonerSkipsLostTasks) {
+  const RunResult a = runOf({completed(0, 0, 5, 1), lost(1)});
+  const RunResult b = runOf({completed(0, 0, 9, 1), completed(1, 0, 2, 1)});
+  EXPECT_EQ(countSooner(a, b), 1u);
+}
+
+TEST(Metrics, CountSoonerSizeMismatchThrows) {
+  const RunResult a = runOf({completed(0, 0, 5, 1)});
+  const RunResult b = runOf({});
+  EXPECT_THROW(countSooner(a, b), util::Error);
+}
+
+TEST(Metrics, MeanCompletionShift) {
+  const RunResult a = runOf({completed(0, 0, 11, 1), completed(1, 0, 22, 1)});
+  const RunResult b = runOf({completed(0, 0, 10, 1), completed(1, 0, 20, 1)});
+  // |11-10|/10 = 10%, |22-20|/20 = 10% -> mean 10%.
+  EXPECT_NEAR(meanCompletionShiftPercent(a, b), 10.0, 1e-9);
+}
+
+TEST(Metrics, CompletionBeforeArrivalRejected) {
+  const RunResult r = runOf({completed(0, 10, 5, 1)});
+  EXPECT_THROW(computeMetrics(r), util::Error);
+}
+
+TEST(Metrics, FormatContainsAllFields) {
+  const RunMetrics m = computeMetrics(runOf({completed(0, 0, 10, 5)}));
+  const std::string s = formatMetrics(m);
+  EXPECT_NE(s.find("makespan=10.0"), std::string::npos);
+  EXPECT_NE(s.find("sumflow=10.0"), std::string::npos);
+}
+
+TEST(Aggregate, AddRunAccumulates) {
+  MetricAggregate agg;
+  RunMetrics m1;
+  m1.completed = 500;
+  m1.makespan = 100.0;
+  m1.sumFlow = 1000.0;
+  RunMetrics m2 = m1;
+  m2.sumFlow = 1100.0;
+  agg.addRun(m1);
+  agg.addRun(m2);
+  EXPECT_EQ(agg.sumFlow.count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.sumFlow.mean(), 1050.0);
+  agg.addSooner(300);
+  EXPECT_DOUBLE_EQ(agg.sooner.mean(), 300.0);
+}
+
+TEST(Aggregate, FormatMeanSd) {
+  util::RunningStat s;
+  EXPECT_EQ(formatMeanSd(s), "-");
+  s.add(10.0);
+  EXPECT_EQ(formatMeanSd(s), "10");
+  s.add(20.0);
+  EXPECT_NE(formatMeanSd(s).find("+-"), std::string::npos);
+}
+
+TEST(Metrics, StretchUsesUnloadedDuration) {
+  TaskOutcome t = completed(0, 0, 30, 10);
+  EXPECT_DOUBLE_EQ(t.stretch(), 3.0);
+  t.unloadedDuration = 0.0;  // degenerate: defined as 0
+  EXPECT_DOUBLE_EQ(t.stretch(), 0.0);
+}
+
+}  // namespace
+}  // namespace casched::metrics

@@ -1,0 +1,137 @@
+// Tests of the machine catalog (paper Table 2), the cost calibration
+// (Tables 3-4) and the testbed presets.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "platform/calibration.hpp"
+#include "platform/machine_catalog.hpp"
+#include "platform/testbed.hpp"
+
+namespace casched::platform {
+namespace {
+
+TEST(Catalog, HasAllEightMachines) {
+  EXPECT_EQ(machineCatalog().size(), 8u);
+  EXPECT_TRUE(findMachine("chamagne").has_value());
+  EXPECT_TRUE(findMachine("zanzibar").has_value());
+  EXPECT_FALSE(findMachine("unknown").has_value());
+}
+
+TEST(Catalog, Table2Values) {
+  const auto pulney = findMachine("pulney");
+  ASSERT_TRUE(pulney.has_value());
+  EXPECT_EQ(pulney->cpuMHz, 1400);
+  EXPECT_DOUBLE_EQ(pulney->ramMB, 256.0);
+  EXPECT_DOUBLE_EQ(pulney->swapMB, 533.0);
+  EXPECT_EQ(pulney->role, MachineRole::kServer);
+  const auto agent = findMachine("xrousse");
+  ASSERT_TRUE(agent.has_value());
+  EXPECT_EQ(agent->role, MachineRole::kAgent);
+  EXPECT_EQ(findMachine("zanzibar")->role, MachineRole::kClient);
+}
+
+TEST(Catalog, RoleNames) {
+  EXPECT_EQ(roleName(MachineRole::kServer), "server");
+  EXPECT_EQ(roleName(MachineRole::kAgent), "agent");
+  EXPECT_EQ(roleName(MachineRole::kClient), "client");
+}
+
+TEST(Calibration, CostTablesMatchPaperEntries) {
+  const PhaseCostTable& mm = matmulCostTable();
+  ASSERT_EQ(mm.machines.size(), 4u);
+  ASSERT_EQ(mm.params.size(), 3u);
+  // Spot checks against Table 3.
+  EXPECT_DOUBLE_EQ(mm.computeSeconds[0][0], 149.0);  // chamagne, 1200
+  EXPECT_DOUBLE_EQ(mm.computeSeconds[2][3], 40.0);   // pulney, 1800
+  EXPECT_DOUBLE_EQ(mm.inputSeconds[1][2], 5.0);      // artimon, 1500
+  const PhaseCostTable& wc = wasteCpuCostTable();
+  EXPECT_DOUBLE_EQ(wc.computeSeconds[0][1], 16.0);    // spinnaker, 200
+  EXPECT_DOUBLE_EQ(wc.computeSeconds[2][0], 273.28);  // valette, 600
+}
+
+TEST(Calibration, CostModelLookupExactAndFallback) {
+  const CostModel model = paperCostModel();
+  EXPECT_DOUBLE_EQ(model.computeCost("chamagne", "matmul-1200", 18.0), 149.0);
+  EXPECT_DOUBLE_EQ(model.computeCost("valette", "waste-cpu-400", 34.2), 182.52);
+  // Unknown type on a known machine: refSeconds / speedIndex.
+  const double fallback = model.computeCost("chamagne", "custom-task", 18.0);
+  EXPECT_NEAR(fallback, 18.0 / (18.0 / 149.0), 1e-9);
+  // Unknown machine entirely: speed index 1.
+  EXPECT_DOUBLE_EQ(model.computeCost("mystery", "custom-task", 18.0), 18.0);
+}
+
+TEST(Calibration, CostModelValidation) {
+  CostModel model;
+  EXPECT_THROW(model.setComputeCost("m", "t", 0.0), util::Error);
+  EXPECT_THROW(model.setSpeedIndex("m", -1.0), util::Error);
+  EXPECT_THROW(model.computeCost("m", "t", 0.0), util::Error);  // no fallback
+}
+
+TEST(Calibration, LinkBandwidthsRecoverTable3Times) {
+  // The calibrated bandwidth must reproduce the paper's transfer costs to
+  // within the table's 1-second rounding.
+  const PhaseCostTable& mm = matmulCostTable();
+  for (std::size_t m = 0; m < mm.machines.size(); ++m) {
+    const LinkCalibration cal = calibrateLink(mm.machines[m]);
+    for (std::size_t p = 0; p < mm.params.size(); ++p) {
+      const double modelTime =
+          cal.latencyIn + matmulInputMB(mm.params[p]) / cal.bwInMBps;
+      EXPECT_NEAR(modelTime, mm.inputSeconds[p][m], 1.0)
+          << mm.machines[m] << " size " << mm.params[p];
+    }
+  }
+}
+
+TEST(Calibration, UnknownMachineGetsNominalLan) {
+  const LinkCalibration cal = calibrateLink("valette");
+  EXPECT_GT(cal.bwInMBps, 0.0);
+  EXPECT_GT(cal.bwOutMBps, 0.0);
+}
+
+TEST(Testbed, Set1ServersMatchPaper) {
+  const Testbed bed = buildSet1();
+  ASSERT_EQ(bed.servers.size(), 4u);
+  EXPECT_EQ(bed.servers[0].name, "chamagne");
+  EXPECT_EQ(bed.servers[1].name, "pulney");
+  EXPECT_EQ(bed.servers[2].name, "cabestan");
+  EXPECT_EQ(bed.servers[3].name, "artimon");
+}
+
+TEST(Testbed, Set2ServersMatchPaper) {
+  const Testbed bed = buildSet2();
+  ASSERT_EQ(bed.servers.size(), 4u);
+  EXPECT_EQ(bed.servers[0].name, "valette");
+  EXPECT_EQ(bed.servers[1].name, "spinnaker");
+}
+
+TEST(Testbed, MachineSpecsCarryTable2Memory) {
+  const Testbed bed = buildSet1();
+  for (const auto& spec : bed.servers) {
+    const auto info = findMachine(spec.name);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_DOUBLE_EQ(spec.ramMB, info->ramMB);
+    EXPECT_DOUBLE_EQ(spec.swapMB, info->swapMB);
+  }
+}
+
+TEST(Testbed, CostDatabaseWiredIn) {
+  const Testbed bed = buildSet1();
+  EXPECT_DOUBLE_EQ(bed.costs.computeCost("artimon", "matmul-1800", 0.0), 53.0);
+}
+
+TEST(Testbed, UniformBuilder) {
+  const Testbed bed = buildUniform(3, 20.0, 0.002);
+  ASSERT_EQ(bed.servers.size(), 3u);
+  EXPECT_EQ(bed.servers[2].name, "server-2");
+  EXPECT_DOUBLE_EQ(bed.servers[0].bwInMBps, 20.0);
+  EXPECT_THROW(buildUniform(0), util::Error);
+}
+
+TEST(Testbed, UnknownPaperMachineThrows) {
+  EXPECT_THROW(buildPaperMachine("nonesuch"), util::Error);
+}
+
+}  // namespace
+}  // namespace casched::platform

@@ -1,0 +1,287 @@
+// Analytic tests of the equal-share resource: classic processor-sharing
+// completion dates, capacity factors, cancellation, and a work-conservation
+// property over randomized scenarios.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "psched/fair_share.hpp"
+#include "psched/load_monitor.hpp"
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+
+namespace casched::psched {
+namespace {
+
+using simcore::Simulator;
+
+struct Completion {
+  FairShareResource::JobId id;
+  double time;
+};
+
+class Harness {
+ public:
+  Simulator sim;
+  FairShareResource res{sim, "cpu", 1.0};
+  std::vector<Completion> done;
+
+  FairShareResource::JobId add(double work) {
+    return res.add(work, [this](FairShareResource::JobId id) {
+      done.push_back({id, sim.now()});
+    });
+  }
+};
+
+TEST(FairShare, SingleJobRunsAtFullSpeed) {
+  Harness h;
+  h.add(10.0);
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].time, 10.0, 1e-9);
+}
+
+TEST(FairShare, TwoEqualJobsShareEqually) {
+  Harness h;
+  h.add(10.0);
+  h.add(10.0);
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_NEAR(h.done[0].time, 20.0, 1e-9);
+  EXPECT_NEAR(h.done[1].time, 20.0, 1e-9);
+}
+
+TEST(FairShare, LateArrivalClassicCase) {
+  // A: work 10 at t=0. B: work 10 at t=5.
+  // A alone until 5 (5 left), then rate 1/2: A done at 15; B then alone with
+  // 5 left: done at 20.
+  Harness h;
+  auto a = h.add(10.0);
+  h.sim.scheduleAt(5.0, [&] { h.add(10.0); });
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 2u);
+  EXPECT_EQ(h.done[0].id, a);
+  EXPECT_NEAR(h.done[0].time, 15.0, 1e-9);
+  EXPECT_NEAR(h.done[1].time, 20.0, 1e-9);
+}
+
+TEST(FairShare, ThreeWayShareMatchesHandComputation) {
+  // Jobs of work 3, 6, 9 admitted together on capacity 1:
+  // t in [0,9): 3 jobs, each gets 1/3 -> first done at 9 (work 3).
+  // remaining: 3 and 6; each gets 1/2 -> second done at 9+6=15.
+  // last: 3 left alone -> done at 18.
+  Harness h;
+  h.add(3.0);
+  h.add(6.0);
+  h.add(9.0);
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 3u);
+  EXPECT_NEAR(h.done[0].time, 9.0, 1e-9);
+  EXPECT_NEAR(h.done[1].time, 15.0, 1e-9);
+  EXPECT_NEAR(h.done[2].time, 18.0, 1e-9);
+}
+
+TEST(FairShare, CapacityScalesRates) {
+  Simulator sim;
+  FairShareResource res(sim, "link", 4.0);  // 4 MB/s
+  double doneAt = -1.0;
+  res.add(10.0, [&](auto) { doneAt = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(doneAt, 2.5, 1e-9);
+}
+
+TEST(FairShare, CapacityFactorSlowdown) {
+  Harness h;
+  h.add(10.0);
+  h.sim.scheduleAt(5.0, [&] { h.res.setCapacityFactor(0.5); });
+  h.sim.run();
+  // 5 units done by t=5, remaining 5 at rate 0.5 -> 10 more seconds.
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].time, 15.0, 1e-9);
+}
+
+TEST(FairShare, CapacityFactorSpeedup) {
+  Harness h;
+  h.add(10.0);
+  h.sim.scheduleAt(4.0, [&] { h.res.setCapacityFactor(2.0); });
+  h.sim.run();
+  EXPECT_NEAR(h.done[0].time, 7.0, 1e-9);
+}
+
+TEST(FairShare, CancelRemovesJobAndSpeedsOthers) {
+  Harness h;
+  auto a = h.add(10.0);
+  h.add(10.0);
+  h.sim.scheduleAt(4.0, [&] { EXPECT_TRUE(h.res.cancel(a)); });
+  h.sim.run();
+  // Both at rate 1/2 until 4 (2 done each); B then alone: 8 left -> t=12.
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].time, 12.0, 1e-9);
+}
+
+TEST(FairShare, CancelUnknownJobReturnsFalse) {
+  Harness h;
+  EXPECT_FALSE(h.res.cancel(999));
+}
+
+TEST(FairShare, CancelAllSilencesCompletions) {
+  Harness h;
+  h.add(5.0);
+  h.add(7.0);
+  h.sim.scheduleAt(1.0, [&] { h.res.cancelAll(); });
+  h.sim.run();
+  EXPECT_TRUE(h.done.empty());
+  EXPECT_EQ(h.res.activeJobs(), 0u);
+}
+
+TEST(FairShare, ZeroWorkJobCompletesImmediately) {
+  Harness h;
+  h.add(0.0);
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 1u);
+  EXPECT_NEAR(h.done[0].time, 0.0, 1e-12);
+}
+
+TEST(FairShare, SimultaneousCompletionsAllFire) {
+  Harness h;
+  h.add(6.0);
+  h.add(6.0);
+  h.add(6.0);
+  h.sim.run();
+  ASSERT_EQ(h.done.size(), 3u);
+  for (const auto& c : h.done) EXPECT_NEAR(c.time, 18.0, 1e-9);
+}
+
+TEST(FairShare, RemainingWorkTracksProgress) {
+  Harness h;
+  auto a = h.add(10.0);
+  h.add(10.0);
+  h.sim.scheduleAt(6.0, [&] {
+    EXPECT_NEAR(h.res.remainingWork(a), 7.0, 1e-9);  // rate 1/2 for 6s
+    EXPECT_NEAR(h.res.totalRemainingWork(), 14.0, 1e-9);
+  });
+  h.sim.run();
+}
+
+TEST(FairShare, RemainingWorkUnknownJobIsNaN) {
+  Harness h;
+  EXPECT_TRUE(std::isnan(h.res.remainingWork(42)));
+}
+
+TEST(FairShare, PredictedNextCompletion) {
+  Harness h;
+  h.add(10.0);
+  h.add(4.0);
+  EXPECT_NEAR(h.res.predictedNextCompletion(), 8.0, 1e-9);  // 4 at rate 1/2
+}
+
+TEST(FairShare, MembershipObserverSeesChanges) {
+  Harness h;
+  std::vector<std::size_t> sizes;
+  h.res.setMembershipObserver([&](std::size_t n) { sizes.push_back(n); });
+  h.add(2.0);
+  h.add(2.0);
+  h.sim.run();
+  // add, add, then both complete in one timer event -> one removal notice.
+  ASSERT_GE(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes.back(), 0u);
+}
+
+TEST(FairShare, CompletionCallbackMayAddJob) {
+  Harness h;
+  double secondDone = -1.0;
+  h.res.add(5.0, [&](auto) {
+    h.res.add(5.0, [&](auto) { secondDone = h.sim.now(); });
+  });
+  h.sim.run();
+  EXPECT_NEAR(secondDone, 10.0, 1e-9);
+}
+
+TEST(FairShare, ValidationErrors) {
+  Simulator sim;
+  EXPECT_THROW(FairShareResource(sim, "x", 0.0), util::Error);
+  FairShareResource res(sim, "x", 1.0);
+  EXPECT_THROW(res.add(-1.0, nullptr), util::Error);
+  EXPECT_THROW(res.setCapacityFactor(0.0), util::Error);
+}
+
+// Property: whatever the arrival pattern, total injected work equals total
+// completed work plus remaining work, and completions never exceed capacity.
+class FairShareProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairShareProperty, WorkIsConserved) {
+  simcore::RandomStream rng(GetParam());
+  Simulator sim;
+  FairShareResource res(sim, "cpu", 1.0);
+  double injected = 0.0;
+  double completedWork = 0.0;
+  std::map<FairShareResource::JobId, double> works;
+
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += rng.exponentialMean(3.0);
+    const double work = rng.uniform(0.5, 12.0);
+    injected += work;
+    sim.scheduleAt(t, [&res, &works, &completedWork, work] {
+      const auto id = res.add(work, [&](FairShareResource::JobId jid) {
+        completedWork += works.at(jid);
+      });
+      works[id] = work;
+    });
+  }
+  const double horizon = t + 5.0;
+  sim.run(horizon);
+  // Mid-flight conservation: injected work splits into completed work,
+  // remaining work, and service already granted to active jobs; the last is
+  // non-negative and total service cannot exceed capacity * elapsed time.
+  const double remaining = res.totalRemainingWork();
+  const double serviceInProgress = injected - completedWork - remaining;
+  EXPECT_GE(serviceInProgress, -1e-6);
+  EXPECT_LE(completedWork + serviceInProgress, horizon + 1e-6);
+  sim.run();
+  EXPECT_NEAR(completedWork, injected, 1e-6);
+  EXPECT_EQ(res.activeJobs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(LoadMonitor, ConvergesToConstantLoad) {
+  LoadMonitor m(60.0);
+  m.update(0.0, 4);
+  EXPECT_NEAR(m.load(600.0), 4.0, 1e-3);  // 10 time constants: 4e^-10 left
+}
+
+TEST(LoadMonitor, DecaysTowardZero) {
+  LoadMonitor m(60.0);
+  m.update(0.0, 4);
+  m.update(100.0, 0);
+  const double atSwitch = m.load(100.0);
+  EXPECT_GT(atSwitch, 3.0);
+  EXPECT_LT(m.load(400.0), 0.05 * atSwitch);
+}
+
+TEST(LoadMonitor, ExactExponentialForm) {
+  LoadMonitor m(60.0);
+  m.update(0.0, 1);
+  // L(t) = 1 - e^{-t/60}
+  EXPECT_NEAR(m.load(60.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(m.load(120.0), 1.0 - std::exp(-2.0), 1e-12);
+}
+
+TEST(LoadMonitor, LagIsWhyMctMisjudges) {
+  // After a burst arrives, the damped average takes ~tau to catch up: the
+  // agent's reported load underestimates the true runnable count.
+  LoadMonitor m(60.0);
+  m.update(0.0, 0);
+  m.update(100.0, 6);
+  EXPECT_LT(m.load(110.0), 1.5);  // 10s after the burst: still under 25%
+  EXPECT_GT(m.load(400.0), 5.9);
+}
+
+}  // namespace
+}  // namespace casched::psched

@@ -1,0 +1,307 @@
+// Tests of the Machine model: three-phase execution timing, memory
+// accounting, thrashing, collapse + recovery, noise processes and stats.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psched/machine.hpp"
+#include "psched/noise.hpp"
+#include "simcore/rng.hpp"
+
+namespace casched::psched {
+namespace {
+
+MachineSpec simpleSpec() {
+  MachineSpec spec;
+  spec.name = "m";
+  spec.bwInMBps = 10.0;
+  spec.bwOutMBps = 5.0;
+  spec.latencyIn = 0.5;
+  spec.latencyOut = 0.25;
+  spec.ramMB = 1000.0;
+  spec.swapMB = 500.0;
+  spec.thrashTheta = 1.0;
+  spec.recoverySeconds = 100.0;
+  return spec;
+}
+
+ExecRequest request(std::uint64_t id, double inMB, double cpu, double outMB,
+                    double memMB = 0.0) {
+  return ExecRequest{id, inMB, cpu, outMB, memMB};
+}
+
+TEST(Machine, SinglePhaseTimingUnloaded) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());
+  ExecRecord result;
+  ASSERT_TRUE(m.submit(request(1, 20.0, 10.0, 5.0), [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  // input: 0.5 latency + 20/10 = 2.5; compute 10 -> 12.5; output 0.25 + 5/5 = 13.75.
+  EXPECT_EQ(result.status, ExecStatus::kCompleted);
+  EXPECT_NEAR(result.inputStart, 0.0, 1e-9);
+  EXPECT_NEAR(result.computeStart, 2.5, 1e-9);
+  EXPECT_NEAR(result.outputStart, 12.5, 1e-9);
+  EXPECT_NEAR(result.endTime, 13.75, 1e-9);
+}
+
+TEST(Machine, UnloadedDurationMatchesActualWhenAlone) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());
+  const ExecRequest req = request(1, 20.0, 10.0, 5.0);
+  ExecRecord result;
+  ASSERT_TRUE(m.submit(req, [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  EXPECT_NEAR(m.unloadedDuration(req), result.endTime - result.submitTime, 1e-9);
+}
+
+TEST(Machine, TwoComputePhasesShareCpu) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = 0.0;
+  spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  std::vector<ExecRecord> done;
+  // No data: pure compute, admitted together.
+  ASSERT_TRUE(m.submit(request(1, 0.0, 10.0, 0.0), [&](const ExecRecord& r) { done.push_back(r); }));
+  ASSERT_TRUE(m.submit(request(2, 0.0, 10.0, 0.0), [&](const ExecRecord& r) { done.push_back(r); }));
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].endTime, 20.0, 1e-9);
+  EXPECT_NEAR(done[1].endTime, 20.0, 1e-9);
+}
+
+TEST(Machine, TransfersShareLinkButNotCpu) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = 0.0;
+  spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  std::vector<double> ends;
+  // Two tasks transferring 10 MB each on a 10 MB/s link, zero compute/output:
+  // shared link -> both finish input at t=2.
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    ASSERT_TRUE(m.submit(request(id, 10.0, 0.0, 0.0),
+                         [&](const ExecRecord& r) { ends.push_back(r.endTime); }));
+  }
+  sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(ends[0], 2.0, 1e-9);
+  EXPECT_NEAR(ends[1], 2.0, 1e-9);
+}
+
+TEST(Machine, MemoryAccountingReservesAndReleases) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());
+  ASSERT_TRUE(m.submit(request(1, 0.0, 5.0, 0.0, 300.0), nullptr));
+  EXPECT_NEAR(m.residentMB(), 300.0, 1e-9);
+  sim.run();
+  EXPECT_NEAR(m.residentMB(), 0.0, 1e-9);
+  EXPECT_NEAR(m.stats().peakResidentMB, 300.0, 1e-9);
+}
+
+TEST(Machine, ThrashingSlowsCompute) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = spec.latencyOut = 0.0;
+  spec.ramMB = 100.0;
+  spec.swapMB = 1000.0;
+  spec.thrashTheta = 1.0;
+  Machine m(sim, spec);
+  ExecRecord result;
+  // Resident 200 MB > 100 MB RAM: factor (100/200)^1 = 0.5 -> 10s job takes 20.
+  ASSERT_TRUE(m.submit(request(1, 0.0, 10.0, 0.0, 200.0),
+                       [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  EXPECT_NEAR(result.endTime, 20.0, 1e-9);
+}
+
+TEST(Machine, ThrashThetaZeroDisables) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = spec.latencyOut = 0.0;
+  spec.ramMB = 100.0;
+  spec.swapMB = 1000.0;
+  spec.thrashTheta = 0.0;
+  Machine m(sim, spec);
+  ExecRecord result;
+  ASSERT_TRUE(m.submit(request(1, 0.0, 10.0, 0.0, 500.0),
+                       [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  EXPECT_NEAR(result.endTime, 10.0, 1e-9);
+}
+
+TEST(Machine, CollapseWhenMemoryExhausted) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.ramMB = 100.0;
+  spec.swapMB = 100.0;
+  Machine m(sim, spec);
+  std::vector<ExecRecord> victims;
+  bool completionFired = false;
+  m.setCollapseObserver([&](const std::vector<ExecRecord>& v) { victims = v; });
+  ASSERT_TRUE(m.submit(request(1, 0.0, 50.0, 0.0, 150.0),
+                       [&](const ExecRecord&) { completionFired = true; }));
+  // Second task pushes resident to 300 > 200: collapse; submit returns false.
+  EXPECT_FALSE(m.submit(request(2, 0.0, 50.0, 0.0, 150.0), nullptr));
+  EXPECT_FALSE(m.up());
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].request.taskId, 1u);
+  EXPECT_EQ(victims[0].status, ExecStatus::kFailed);
+  EXPECT_FALSE(completionFired);
+  EXPECT_EQ(m.stats().collapses, 1u);
+  EXPECT_EQ(m.stats().failed, 2u);  // the victim and the trigger
+}
+
+TEST(Machine, RecoveryAfterCollapse) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.ramMB = 50.0;
+  spec.swapMB = 0.0;
+  spec.recoverySeconds = 100.0;
+  Machine m(sim, spec);
+  bool recovered = false;
+  m.setRecoverObserver([&] { recovered = true; });
+  EXPECT_FALSE(m.submit(request(1, 0.0, 5.0, 0.0, 100.0), nullptr));
+  EXPECT_FALSE(m.up());
+  // While down, submissions are refused without another collapse.
+  EXPECT_FALSE(m.submit(request(2, 0.0, 5.0, 0.0, 1.0), nullptr));
+  EXPECT_EQ(m.stats().collapses, 1u);
+  sim.run();
+  EXPECT_TRUE(recovered);
+  EXPECT_TRUE(m.up());
+  EXPECT_NEAR(sim.now(), 100.0, 1e-9);
+  // Usable again.
+  bool done = false;
+  EXPECT_TRUE(m.submit(request(3, 0.0, 5.0, 0.0, 1.0), [&](const ExecRecord&) { done = true; }));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Machine, LoadAverageRisesWhileBusy) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = spec.latencyOut = 0.0;
+  spec.loadTau = 60.0;
+  Machine m(sim, spec);
+  m.submit(request(1, 0.0, 120.0, 0.0), nullptr);
+  m.submit(request(2, 0.0, 120.0, 0.0), nullptr);
+  sim.run(60.0);
+  const double load = m.loadAverage();
+  EXPECT_GT(load, 1.0);
+  EXPECT_LT(load, 2.0);
+  EXPECT_EQ(m.runningCpuJobs(), 2u);
+}
+
+TEST(Machine, BusySecondsUtilization) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  m.submit(request(1, 0.0, 10.0, 0.0), nullptr);
+  sim.run();
+  sim.scheduleAt(50.0, [&] { m.submit(request(2, 0.0, 5.0, 0.0), nullptr); });
+  sim.run();
+  EXPECT_NEAR(m.stats().busyCpuSeconds, 15.0, 1e-9);
+}
+
+TEST(Machine, StatsCountSubmittedCompleted) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());
+  m.submit(request(1, 1.0, 1.0, 1.0), nullptr);
+  m.submit(request(2, 1.0, 1.0, 1.0), nullptr);
+  sim.run();
+  EXPECT_EQ(m.stats().submitted, 2u);
+  EXPECT_EQ(m.stats().completed, 2u);
+  EXPECT_EQ(m.stats().failed, 0u);
+}
+
+TEST(Machine, CpuNoiseChangesDuration) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  ExecRecord result;
+  m.submit(request(1, 0.0, 10.0, 0.0), [&](const ExecRecord& r) { result = r; });
+  m.setCpuNoiseFactor(0.5);
+  sim.run();
+  EXPECT_NEAR(result.endTime, 20.0, 1e-9);
+}
+
+TEST(Machine, ZeroByteTransfersSkipLinkButKeepLatency) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());  // latencies 0.5 / 0.25
+  ExecRecord result;
+  m.submit(request(1, 0.0, 10.0, 0.0), [&](const ExecRecord& r) { result = r; });
+  sim.run();
+  EXPECT_NEAR(result.endTime, 0.5 + 10.0 + 0.25, 1e-9);
+}
+
+TEST(Noise, RedrawsWithinAmplitude) {
+  simcore::Simulator sim;
+  simcore::RandomStream rng(5);
+  std::vector<double> factors;
+  NoiseProcess noise(sim, rng, NoiseConfig{0.2, 1.0},
+                     [&](double f) { factors.push_back(f); });
+  noise.start();
+  sim.run(50.0);
+  noise.stop();
+  ASSERT_GT(factors.size(), 40u);
+  for (std::size_t i = 0; i + 1 < factors.size(); ++i) {  // last is stop()'s 1.0
+    EXPECT_GE(factors[i], 0.8 - 1e-12);
+    EXPECT_LE(factors[i], 1.2 + 1e-12);
+  }
+}
+
+TEST(Noise, ZeroAmplitudeNeverStarts) {
+  simcore::Simulator sim;
+  simcore::RandomStream rng(5);
+  int applied = 0;
+  NoiseProcess noise(sim, rng, NoiseConfig{0.0, 1.0}, [&](double) { ++applied; });
+  noise.start();
+  EXPECT_FALSE(noise.active());
+  sim.run(10.0);
+  EXPECT_EQ(applied, 0);
+}
+
+TEST(Noise, StopRestoresUnitFactor) {
+  simcore::Simulator sim;
+  simcore::RandomStream rng(5);
+  double last = -1.0;
+  NoiseProcess noise(sim, rng, NoiseConfig{0.3, 1.0}, [&](double f) { last = f; });
+  noise.start();
+  sim.run(5.0);
+  noise.stop();
+  EXPECT_DOUBLE_EQ(last, 1.0);
+  EXPECT_FALSE(noise.active());
+}
+
+TEST(TaskExec, AbortMidTransferCancelsJob) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  Machine m(sim, spec);
+  ExecResources res{&m.linkIn(), &m.cpu(), &m.linkOut(), 0.0, 0.0};
+  TaskExecution exec(sim, res, request(9, 100.0, 10.0, 0.0), nullptr);
+  exec.start();
+  sim.run(1.0);
+  EXPECT_EQ(m.linkIn().activeJobs(), 1u);
+  exec.abort();
+  EXPECT_EQ(m.linkIn().activeJobs(), 0u);
+  EXPECT_EQ(exec.record().status, ExecStatus::kFailed);
+  sim.run();
+}
+
+TEST(TaskExec, RecordPhaseBoundariesOrdered) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());
+  ExecRecord rec;
+  m.submit(request(1, 10.0, 5.0, 10.0), [&](const ExecRecord& r) { rec = r; });
+  sim.run();
+  EXPECT_LE(rec.submitTime, rec.inputStart);
+  EXPECT_LT(rec.inputStart, rec.computeStart);
+  EXPECT_LT(rec.computeStart, rec.outputStart);
+  EXPECT_LT(rec.outputStart, rec.endTime);
+}
+
+}  // namespace
+}  // namespace casched::psched

@@ -1,0 +1,237 @@
+// Tests for the discrete-event engine and the deterministic RNG streams.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+
+namespace casched::simcore {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(3.0, [&] { order.push_back(3); });
+  sim.scheduleAt(1.0, [&] { order.push_back(1); });
+  sim.scheduleAt(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.scheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterUsesNow) {
+  Simulator sim;
+  double fired = -1.0;
+  sim.scheduleAt(5.0, [&] {
+    sim.scheduleAfter(2.5, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 7.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.scheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executedEvents(), 0u);
+}
+
+TEST(Engine, CancelTwiceIsFalse) {
+  Simulator sim;
+  EventHandle h = sim.scheduleAt(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Engine, CancelAfterFireIsFalse) {
+  Simulator sim;
+  EventHandle h = sim.scheduleAt(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Engine, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Engine, RunUntilHorizonAdvancesClock) {
+  Simulator sim;
+  sim.scheduleAt(10.0, [] {});
+  const std::uint64_t n = sim.run(4.0);
+  EXPECT_EQ(n, 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Engine, EventAtExactHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.scheduleAt(4.0, [&] { fired = true; });
+  sim.run(4.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RequestStopEndsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.scheduleAt(i, [&] {
+      if (++count == 3) sim.requestStop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pendingEvents(), 7u);
+}
+
+TEST(Engine, SelfReschedulingCallback) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 5) sim.scheduleAfter(1.0, tick);
+  };
+  sim.scheduleAfter(1.0, tick);
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Engine, PastTimeRejected) {
+  Simulator sim;
+  sim.scheduleAt(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.scheduleAt(1.0, [] {}), util::Error);
+}
+
+TEST(Engine, NullCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.scheduleAt(1.0, nullptr), util::Error);
+}
+
+TEST(Engine, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  EventHandle h = sim.scheduleAt(1.0, [] {});
+  sim.scheduleAt(2.0, [] {});
+  sim.cancel(h);
+  EXPECT_DOUBLE_EQ(sim.nextEventTime(), 2.0);
+}
+
+TEST(Engine, EmptyQueueNextEventIsInfinity) {
+  Simulator sim;
+  EXPECT_EQ(sim.nextEventTime(), kTimeInfinity);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Rng, DeterministicStreams) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DeriveSeedIndependence) {
+  const std::uint64_t m = 1234;
+  EXPECT_NE(deriveSeed(m, 0), deriveSeed(m, 1));
+  EXPECT_NE(deriveSeed(m, 1), deriveSeed(m, 2));
+  EXPECT_EQ(deriveSeed(m, 7), deriveSeed(m, 7));
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 g(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = g.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Xoshiro256 g(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(g.nextBelow(7), 7u);
+  EXPECT_THROW(g.nextBelow(0), util::Error);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  RandomStream rs(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rs.uniformInt(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    sawLo |= (v == 2);
+    sawHi |= (v == 4);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  RandomStream rs(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rs.exponentialMean(20.0);
+  EXPECT_NEAR(sum / n, 20.0, 0.3);
+}
+
+TEST(Rng, NormalMoments) {
+  RandomStream rs(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rs.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, DiscretePicksByWeight) {
+  RandomStream rs(17);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rs.discrete({1.0, 0.0, 3.0})];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, DiscreteValidation) {
+  RandomStream rs(1);
+  EXPECT_THROW(rs.discrete({}), util::Error);
+  EXPECT_THROW(rs.discrete({0.0, 0.0}), util::Error);
+  EXPECT_THROW(rs.discrete({-1.0, 2.0}), util::Error);
+}
+
+TEST(Rng, BernoulliEdges) {
+  RandomStream rs(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rs.bernoulli(0.0));
+    EXPECT_TRUE(rs.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace casched::simcore

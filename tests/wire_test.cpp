@@ -1,0 +1,327 @@
+// Tests of the wire protocol: primitive round-trips, every message type,
+// incremental framing (TCP-like chunking), decode robustness, and the
+// loopback + TCP transports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+#include "wire/framing.hpp"
+#include "wire/messages.hpp"
+#include "wire/tcp_transport.hpp"
+#include "wire/transport.hpp"
+
+namespace casched::wire {
+namespace {
+
+TEST(Buffer, PrimitiveRoundTrip) {
+  Bytes out;
+  Writer w(out);
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.bytes({1, 2, 3});
+  Reader r(out);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Buffer, TruncatedReadThrows) {
+  Bytes out;
+  Writer w(out);
+  w.u32(7);
+  Reader r(out.data(), 2);
+  EXPECT_THROW(r.u32(), util::DecodeError);
+}
+
+TEST(Buffer, TruncatedStringThrows) {
+  Bytes out;
+  Writer w(out);
+  w.u32(100);  // claims 100 bytes follow
+  Reader r(out);
+  EXPECT_THROW(r.str(), util::DecodeError);
+}
+
+TEST(Buffer, SpecialDoubles) {
+  Bytes out;
+  Writer w(out);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  Reader r(out);
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_DOUBLE_EQ(r.f64(), 0.0);
+}
+
+TEST(Messages, RegisterRoundTrip) {
+  RegisterMsg m;
+  m.serverName = "artimon";
+  m.bwInMBps = 7.4;
+  m.bwOutMBps = 12.1;
+  m.latencyIn = 0.05;
+  m.latencyOut = 0.04;
+  m.ramMB = 512;
+  m.swapMB = 1024;
+  m.problems = {"matmul-1200", "matmul-1500", "*"};
+  const RegisterMsg back = decodeRegister(encode(m));
+  EXPECT_EQ(back.serverName, m.serverName);
+  EXPECT_DOUBLE_EQ(back.bwInMBps, m.bwInMBps);
+  EXPECT_EQ(back.problems, m.problems);
+}
+
+TEST(Messages, RegisterAckRoundTrip) {
+  RegisterAckMsg m{"artimon", true};
+  const auto back = decodeRegisterAck(encode(m));
+  EXPECT_EQ(back.serverName, "artimon");
+  EXPECT_TRUE(back.accepted);
+}
+
+TEST(Messages, ScheduleRequestRoundTrip) {
+  ScheduleRequestMsg m{42, "matmul-1800", 49.43, 24.72, 74.15, 60.75};
+  const auto back = decodeScheduleRequest(encode(m));
+  EXPECT_EQ(back.taskId, 42u);
+  EXPECT_EQ(back.problem, "matmul-1800");
+  EXPECT_DOUBLE_EQ(back.memMB, 74.15);
+}
+
+TEST(Messages, ScheduleReplyRoundTrip) {
+  ScheduleReplyMsg m{7, {"pulney", "artimon", "cabestan"}};
+  const auto back = decodeScheduleReply(encode(m));
+  EXPECT_EQ(back.taskId, 7u);
+  EXPECT_EQ(back.servers, m.servers);
+}
+
+TEST(Messages, TaskSubmitRoundTrip) {
+  TaskSubmitMsg m{9, "waste-cpu-400", 0.2, 33.2, 0.05, 0.0};
+  const auto back = decodeTaskSubmit(encode(m));
+  EXPECT_EQ(back.problem, "waste-cpu-400");
+  EXPECT_DOUBLE_EQ(back.cpuSeconds, 33.2);
+}
+
+TEST(Messages, TaskCompleteRoundTrip) {
+  TaskCompleteMsg m{9, "artimon", 123.5, 33.3};
+  const auto back = decodeTaskComplete(encode(m));
+  EXPECT_DOUBLE_EQ(back.completionTime, 123.5);
+  EXPECT_DOUBLE_EQ(back.unloadedDuration, 33.3);
+}
+
+TEST(Messages, TaskFailedRoundTrip) {
+  TaskFailedMsg m{9, "pulney", "out of memory"};
+  const auto back = decodeTaskFailed(encode(m));
+  EXPECT_EQ(back.reason, "out of memory");
+}
+
+TEST(Messages, LoadReportRoundTrip) {
+  LoadReportMsg m{"pulney", 12.3, 456.7, 780.0};
+  const auto back = decodeLoadReport(encode(m));
+  EXPECT_DOUBLE_EQ(back.loadAverage, 12.3);
+  EXPECT_DOUBLE_EQ(back.residentMB, 780.0);
+}
+
+TEST(Messages, ServerUpDownShutdownRoundTrip) {
+  EXPECT_EQ(decodeServerDown(encode(ServerDownMsg{"x"})).serverName, "x");
+  EXPECT_EQ(decodeServerUp(encode(ServerUpMsg{"y"})).serverName, "y");
+  EXPECT_EQ(decodeShutdown(encode(ShutdownMsg{"done"})).reason, "done");
+}
+
+TEST(Messages, TypeNamesAreUnique) {
+  std::set<std::string> names;
+  for (int t = 1; t <= 11; ++t) {
+    names.insert(messageTypeName(static_cast<MessageType>(t)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
+}
+
+TEST(Framing, SingleFrameRoundTrip) {
+  const Bytes payload = encode(ServerDownMsg{"pulney"});
+  const Bytes frame = buildFrame(MessageType::kServerDown, payload);
+  FrameDecoder dec;
+  dec.feed(frame);
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, MessageType::kServerDown);
+  EXPECT_EQ(f->payload, payload);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Framing, ByteAtATimeFeeding) {
+  const Bytes frame = buildFrame(MessageType::kShutdown, encode(ShutdownMsg{"bye"}));
+  FrameDecoder dec;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(dec.next().has_value() && i + 1 < frame.size());
+    dec.feed(&frame[i], 1);
+  }
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(decodeShutdown(f->payload).reason, "bye");
+}
+
+TEST(Framing, MultipleFramesInOneChunk) {
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    const Bytes frame =
+        buildFrame(MessageType::kLoadReport,
+                   encode(LoadReportMsg{"s" + std::to_string(i), 1.0 * i, 0, 0}));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FrameDecoder dec;
+  dec.feed(stream);
+  for (int i = 0; i < 5; ++i) {
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(decodeLoadReport(f->payload).serverName, "s" + std::to_string(i));
+  }
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.bufferedBytes(), 0u);
+}
+
+TEST(Framing, RejectsWrongVersion) {
+  Bytes frame = buildFrame(MessageType::kShutdown, {});
+  frame[4] = 0xFF;  // corrupt version (first byte after length prefix)
+  FrameDecoder dec;
+  dec.feed(frame);
+  EXPECT_THROW(dec.next(), util::DecodeError);
+}
+
+TEST(Framing, RejectsOversizedLength) {
+  Bytes bogus;
+  Writer w(bogus);
+  w.u32(FrameDecoder::kMaxFrameBytes + 1);
+  FrameDecoder dec;
+  dec.feed(bogus);
+  EXPECT_THROW(dec.next(), util::DecodeError);
+}
+
+TEST(Framing, RejectsTooSmallLength) {
+  Bytes bogus;
+  Writer w(bogus);
+  w.u32(2);
+  FrameDecoder dec;
+  dec.feed(bogus);
+  EXPECT_THROW(dec.next(), util::DecodeError);
+}
+
+// Property: random message payloads survive framing across random chunk
+// boundaries.
+class FramingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FramingProperty, RandomChunkingPreservesFrames) {
+  simcore::RandomStream rng(GetParam());
+  std::vector<Bytes> payloads;
+  Bytes stream;
+  for (int i = 0; i < 20; ++i) {
+    Bytes payload;
+    const auto len = static_cast<std::size_t>(rng.uniformInt(0, 200));
+    payload.reserve(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      payload.push_back(static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+    }
+    const Bytes frame = buildFrame(MessageType::kTaskSubmit, payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    payloads.push_back(std::move(payload));
+  }
+  FrameDecoder dec;
+  std::vector<Bytes> received;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const auto chunk = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniformInt(1, 64)), stream.size() - pos);
+    dec.feed(stream.data() + pos, chunk);
+    pos += chunk;
+    while (auto f = dec.next()) received.push_back(f->payload);
+  }
+  ASSERT_EQ(received.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) EXPECT_EQ(received[i], payloads[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramingProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Loopback, BidirectionalDelivery) {
+  auto [a, b] = LoopbackTransport::createPair();
+  a->send(MessageType::kServerUp, encode(ServerUpMsg{"artimon"}));
+  b->send(MessageType::kServerDown, encode(ServerDownMsg{"pulney"}));
+  int got = 0;
+  b->poll([&](Frame f) {
+    EXPECT_EQ(f.type, MessageType::kServerUp);
+    ++got;
+  });
+  a->poll([&](Frame f) {
+    EXPECT_EQ(f.type, MessageType::kServerDown);
+    ++got;
+  });
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Loopback, OrderPreserved) {
+  auto [a, b] = LoopbackTransport::createPair();
+  for (int i = 0; i < 10; ++i) {
+    a->send(MessageType::kLoadReport, encode(LoadReportMsg{"s", 1.0 * i, 0, 0}));
+  }
+  int next = 0;
+  b->poll([&](Frame f) {
+    EXPECT_DOUBLE_EQ(decodeLoadReport(f.payload).loadAverage, 1.0 * next);
+    ++next;
+  });
+  EXPECT_EQ(next, 10);
+}
+
+TEST(Loopback, CloseStopsDelivery) {
+  auto [a, b] = LoopbackTransport::createPair();
+  a->close();
+  EXPECT_TRUE(b->closed());
+  a->send(MessageType::kShutdown, {});
+  EXPECT_EQ(b->poll(nullptr), 0u);
+}
+
+TEST(Tcp, LoopbackConnectionCarriesFrames) {
+  TcpListener listener(0);
+  auto client = TcpTransport::connect("127.0.0.1", listener.port());
+  ASSERT_NE(client, nullptr);
+  auto serverSide = listener.accept(2000);
+  ASSERT_NE(serverSide, nullptr);
+
+  client->send(MessageType::kScheduleRequest,
+               encode(ScheduleRequestMsg{5, "matmul-1200", 21.97, 10.98, 32.95, 18.0}));
+  ScheduleRequestMsg got;
+  for (int tries = 0; tries < 200 && got.taskId == 0; ++tries) {
+    serverSide->poll([&](Frame f) { got = decodeScheduleRequest(f.payload); });
+  }
+  EXPECT_EQ(got.taskId, 5u);
+  EXPECT_EQ(got.problem, "matmul-1200");
+
+  serverSide->send(MessageType::kScheduleReply, encode(ScheduleReplyMsg{5, {"artimon"}}));
+  ScheduleReplyMsg reply;
+  for (int tries = 0; tries < 200 && reply.taskId == 0; ++tries) {
+    client->poll([&](Frame f) { reply = decodeScheduleReply(f.payload); });
+  }
+  ASSERT_EQ(reply.servers.size(), 1u);
+  EXPECT_EQ(reply.servers[0], "artimon");
+}
+
+TEST(Tcp, AcceptTimesOutWithoutClient) {
+  TcpListener listener(0);
+  EXPECT_EQ(listener.accept(10), nullptr);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Port 1 on loopback is almost certainly closed; expect refusal.
+  EXPECT_THROW(TcpTransport::connect("127.0.0.1", 1), util::IoError);
+}
+
+}  // namespace
+}  // namespace casched::wire

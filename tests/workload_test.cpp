@@ -1,0 +1,205 @@
+// Tests of task families (paper Tables 3-4 data volumes), arrival processes
+// and metatask generation/round-tripping.
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <cstdio>
+
+#include "workload/arrival.hpp"
+#include "workload/metatask.hpp"
+#include "workload/task_types.hpp"
+
+namespace casched::workload {
+namespace {
+
+TEST(TaskTypes, MatmulDataVolumesMatchTable3) {
+  // Paper Table 3 memory column: 1200 -> 21.97 / 10.98 MB, etc.
+  const TaskType t1200 = makeMatmulType(1200);
+  EXPECT_NEAR(t1200.inMB, 21.97, 0.01);
+  EXPECT_NEAR(t1200.outMB, 10.98, 0.01);
+  EXPECT_NEAR(t1200.memMB, 32.95, 0.01);
+  const TaskType t1500 = makeMatmulType(1500);
+  EXPECT_NEAR(t1500.inMB, 34.33, 0.01);
+  EXPECT_NEAR(t1500.outMB, 17.16, 0.01);
+  const TaskType t1800 = makeMatmulType(1800);
+  EXPECT_NEAR(t1800.inMB, 49.43, 0.01);
+  EXPECT_NEAR(t1800.outMB, 24.72, 0.01);
+}
+
+TEST(TaskTypes, MatmulCostScalesCubically) {
+  const double r = makeMatmulType(2400).refSeconds / makeMatmulType(1200).refSeconds;
+  EXPECT_NEAR(r, 8.0, 1e-9);
+}
+
+TEST(TaskTypes, WasteCpuHasNoMemory) {
+  for (const TaskType& t : wasteCpuFamily()) {
+    EXPECT_DOUBLE_EQ(t.memMB, 0.0);
+    EXPECT_LT(t.inMB, 1.0);
+  }
+}
+
+TEST(TaskTypes, WasteCpuCostLinearInParam) {
+  const double r = makeWasteCpuType(600).refSeconds / makeWasteCpuType(200).refSeconds;
+  EXPECT_NEAR(r, 3.0, 1e-9);
+}
+
+TEST(TaskTypes, FamiliesHaveThreeVariants) {
+  EXPECT_EQ(matmulFamily().size(), 3u);
+  EXPECT_EQ(wasteCpuFamily().size(), 3u);
+  EXPECT_EQ(matmulFamily()[1].name, "matmul-1500");
+  EXPECT_EQ(wasteCpuFamily()[2].name, "waste-cpu-600");
+}
+
+TEST(TaskTypes, FindTypeByName) {
+  const auto family = matmulFamily();
+  EXPECT_EQ(findType(family, "matmul-1800").param, 1800);
+  EXPECT_THROW(findType(family, "nope"), util::ConfigError);
+}
+
+TEST(TaskTypes, SyntheticValidation) {
+  EXPECT_NO_THROW(makeSyntheticType("x", 1.0, 2.0, 3.0, 4.0));
+  EXPECT_THROW(makeSyntheticType("x", -1.0, 2.0, 3.0, 4.0), util::Error);
+  EXPECT_THROW(makeMatmulType(0), util::Error);
+  EXPECT_THROW(makeWasteCpuType(-5), util::Error);
+}
+
+TEST(Arrivals, PoissonMonotoneAndMeanConverges) {
+  PoissonArrivals arr(20.0, 7);
+  double prev = 0.0;
+  double last = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double t = arr.next();
+    EXPECT_GE(t, prev);
+    prev = t;
+    last = t;
+  }
+  EXPECT_NEAR(last / n, 20.0, 0.5);
+}
+
+TEST(Arrivals, PoissonDeterministicPerSeed) {
+  PoissonArrivals a(10.0, 3), b(10.0, 3), c(10.0, 4);
+  EXPECT_DOUBLE_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Arrivals, UniformFixedGap) {
+  UniformArrivals arr(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 2.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 7.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 12.0);
+}
+
+TEST(Arrivals, TraceReplaysAndExhausts) {
+  TraceArrivals arr({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(arr.next(), 1.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 2.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 4.0);
+  EXPECT_THROW(arr.next(), util::Error);
+}
+
+TEST(Arrivals, TraceRejectsUnsorted) {
+  EXPECT_THROW(TraceArrivals({2.0, 1.0}), util::Error);
+}
+
+TEST(Metatask, GeneratesRequestedCount) {
+  MetataskConfig cfg;
+  cfg.count = 100;
+  cfg.meanInterarrival = 20.0;
+  cfg.types = wasteCpuFamily();
+  cfg.seed = 5;
+  const Metatask mt = generateMetatask(cfg);
+  EXPECT_EQ(mt.size(), 100u);
+  for (std::size_t i = 1; i < mt.tasks.size(); ++i) {
+    EXPECT_GE(mt.tasks[i].arrival, mt.tasks[i - 1].arrival);
+    EXPECT_EQ(mt.tasks[i].index, i);
+  }
+}
+
+TEST(Metatask, TypesAreRoughlyUniform) {
+  MetataskConfig cfg;
+  cfg.count = 3000;
+  cfg.types = wasteCpuFamily();
+  cfg.seed = 9;
+  const Metatask mt = generateMetatask(cfg);
+  std::map<std::string, int> counts;
+  for (const auto& t : mt.tasks) ++counts[t.type.name];
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [name, c] : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Metatask, SeedControlsContentDeterministically) {
+  MetataskConfig cfg;
+  cfg.count = 50;
+  cfg.types = matmulFamily();
+  cfg.seed = 11;
+  const Metatask a = generateMetatask(cfg);
+  const Metatask b = generateMetatask(cfg);
+  cfg.seed = 12;
+  const Metatask c = generateMetatask(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].arrival, b.tasks[i].arrival);
+    EXPECT_EQ(a.tasks[i].type.name, b.tasks[i].type.name);
+  }
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    anyDiff |= a.tasks[i].arrival != c.tasks[i].arrival;
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Metatask, CsvRoundTripPreservesEverything) {
+  MetataskConfig cfg;
+  cfg.count = 25;
+  cfg.types = matmulFamily();
+  cfg.seed = 21;
+  const Metatask mt = generateMetatask(cfg);
+  const Metatask back = metataskFromCsv(metataskToCsv(mt), mt.name);
+  ASSERT_EQ(back.size(), mt.size());
+  for (std::size_t i = 0; i < mt.size(); ++i) {
+    EXPECT_EQ(back.tasks[i].index, mt.tasks[i].index);
+    EXPECT_DOUBLE_EQ(back.tasks[i].arrival, mt.tasks[i].arrival);
+    EXPECT_EQ(back.tasks[i].type.name, mt.tasks[i].type.name);
+    EXPECT_EQ(back.tasks[i].type.family, mt.tasks[i].type.family);
+    EXPECT_DOUBLE_EQ(back.tasks[i].type.inMB, mt.tasks[i].type.inMB);
+    EXPECT_DOUBLE_EQ(back.tasks[i].type.memMB, mt.tasks[i].type.memMB);
+    EXPECT_DOUBLE_EQ(back.tasks[i].type.refSeconds, mt.tasks[i].type.refSeconds);
+  }
+}
+
+TEST(Metatask, SaveLoadFile) {
+  MetataskConfig cfg;
+  cfg.count = 10;
+  cfg.types = wasteCpuFamily();
+  const Metatask mt = generateMetatask(cfg);
+  const std::string path = testing::TempDir() + "/casched_metatask_test.csv";
+  saveMetatask(mt, path);
+  const Metatask back = loadMetatask(path);
+  EXPECT_EQ(back.size(), mt.size());
+  std::remove(path.c_str());
+}
+
+TEST(Metatask, HelpersComputeAggregates) {
+  Metatask mt;
+  mt.tasks.push_back({0, 5.0, makeWasteCpuType(200)});
+  mt.tasks.push_back({1, 9.0, makeWasteCpuType(400)});
+  EXPECT_DOUBLE_EQ(mt.lastArrival(), 9.0);
+  EXPECT_NEAR(mt.totalRefSeconds(), 17.1 * 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Metatask{}.lastArrival(), 0.0);
+}
+
+TEST(Metatask, ValidationErrors) {
+  MetataskConfig cfg;
+  cfg.count = 0;
+  cfg.types = wasteCpuFamily();
+  EXPECT_THROW(generateMetatask(cfg), util::Error);
+  cfg.count = 5;
+  cfg.types = {};
+  EXPECT_THROW(generateMetatask(cfg), util::Error);
+}
+
+}  // namespace
+}  // namespace casched::workload
