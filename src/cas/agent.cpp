@@ -36,6 +36,20 @@ void Agent::registerServer(ServerDaemon* daemon, const core::ServerModel& model,
   htm_.addServer(model);
 }
 
+void Agent::deregisterServer(const std::string& server) {
+  ServerState& s = serverState(server);
+  CASCHED_CHECK(!s.removed, "server '" + server + "' deregistered twice");
+  s.removed = true;
+  s.up = false;
+  // Retire the HTM row; in-flight tasks keep running on the machine and their
+  // completion notices are still accepted (without HTM bookkeeping).
+  htm_.removeServer(server);
+}
+
+void Agent::setServerSpeedIndex(const std::string& server, double index) {
+  costs_.setSpeedIndex(server, index);
+}
+
 bool Agent::canSolve(const ServerState& s, const std::string& typeName) const {
   for (const std::string& p : s.problems) {
     if (p == "*" || p == typeName) return true;
@@ -170,7 +184,7 @@ void Agent::onTaskCompleted(const std::string& server, std::uint64_t taskId,
     if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
     s.inFlight.erase(itFlight);
   }
-  htm_.onTaskCompleted(server, taskId, completionTime);
+  if (!s.removed) htm_.onTaskCompleted(server, taskId, completionTime);
 
   auto it = tasks_.find(taskId);
   CASCHED_CHECK(it != tasks_.end(), "completion notice for unknown task");
@@ -189,7 +203,7 @@ void Agent::onTaskFailed(const std::string& server, std::uint64_t taskId) {
     if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
     s.inFlight.erase(itFlight);
   }
-  htm_.onTaskFailed(server, taskId, sim_.now());
+  if (!s.removed) htm_.onTaskFailed(server, taskId, sim_.now());
 
   auto it = tasks_.find(taskId);
   CASCHED_CHECK(it != tasks_.end(), "failure notice for unknown task");
@@ -212,11 +226,12 @@ void Agent::onServerDown(const std::string& server) {
   s.projectedResidentMB = 0.0;
   s.inFlight.clear();
   s.reportedLoad = 0.0;
-  htm_.onServerCollapsed(server, sim_.now());
+  if (!s.removed) htm_.onServerCollapsed(server, sim_.now());
 }
 
 void Agent::onServerUp(const std::string& server) {
   ServerState& s = serverState(server);
+  if (s.removed) return;  // departed servers never rejoin under the same name
   s.up = true;
   s.lastReportTime = -1.0;
   s.completedOldSinceReport = 0;

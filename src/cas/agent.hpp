@@ -50,6 +50,15 @@ class Agent {
                       std::vector<std::string> problems, double memSoftMB,
                       double memCapacityMB);
 
+  /// Graceful departure (dynamic membership): the server stops receiving new
+  /// work and its HTM row is retired, but in-flight tasks drain normally.
+  /// A later recovery notice for the same name is ignored.
+  void deregisterServer(const std::string& server);
+
+  /// Cost-model entry for a server joining mid-run (no calibrated per-type
+  /// costs exist for it; computeCost falls back to refSeconds / speedIndex).
+  void setServerSpeedIndex(const std::string& server, double index);
+
   /// Client request for one task, already delayed by the client->agent
   /// latency. Picks a server, updates the HTM and bookkeeping, and forwards
   /// the submission (after the reply + submit latencies).
@@ -87,6 +96,7 @@ class Agent {
     core::ServerModel model;
     std::vector<std::string> problems;
     bool up = true;
+    bool removed = false;  ///< left the grid; never a candidate again
     double reportedLoad = 0.0;
     simcore::SimTime lastReportTime = -1.0;  ///< -1: never reported
     double peakReportedLoad = 0.0;

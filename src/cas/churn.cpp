@@ -1,0 +1,27 @@
+#include "cas/churn.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::cas {
+
+ChurnAction parseChurnAction(const std::string& name) {
+  const std::string n = util::toLower(name);
+  if (n == "join") return ChurnAction::kJoin;
+  if (n == "leave") return ChurnAction::kLeave;
+  if (n == "crash") return ChurnAction::kCrash;
+  if (n == "slowdown") return ChurnAction::kSlowdown;
+  throw util::ConfigError("unknown churn action '" + name + "'");
+}
+
+std::string churnActionName(ChurnAction action) {
+  switch (action) {
+    case ChurnAction::kJoin: return "join";
+    case ChurnAction::kLeave: return "leave";
+    case ChurnAction::kCrash: return "crash";
+    case ChurnAction::kSlowdown: return "slowdown";
+  }
+  return "?";
+}
+
+}  // namespace casched::cas

@@ -1,0 +1,39 @@
+#pragma once
+/// \file churn.hpp
+/// Dynamic server membership: scheduled join/leave/crash/slowdown events that
+/// a GridSystem applies mid-run. Scenarios compile their churn timelines down
+/// to these; tests hand-craft them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psched/machine.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::cas {
+
+enum class ChurnAction : std::uint8_t {
+  kJoin,      ///< a new server registers with the agent mid-run
+  kLeave,     ///< graceful departure: no new work, in-flight tasks drain
+  kCrash,     ///< injected collapse: running tasks fail, recovery later
+  kSlowdown,  ///< persistent CPU capacity change (factor)
+};
+
+ChurnAction parseChurnAction(const std::string& name);
+std::string churnActionName(ChurnAction action);
+
+struct ChurnEvent {
+  simcore::SimTime time = 0.0;
+  ChurnAction action = ChurnAction::kLeave;
+  /// Target server; for kJoin this is the new server's name (must be unique).
+  std::string server;
+  /// kJoin only: the machine to instantiate.
+  psched::MachineSpec joinSpec;
+  /// kJoin only: relative speed for the agent's cost model (1.0 = reference).
+  double speedIndex = 1.0;
+  /// kSlowdown only: CPU capacity multiplier (0.5 = half speed, 1.0 = restore).
+  double factor = 1.0;
+};
+
+}  // namespace casched::cas

@@ -15,11 +15,11 @@ GridSystem::GridSystem(const platform::Testbed& testbed,
   CASCHED_CHECK(!testbed.servers.empty(), "testbed has no servers");
   CASCHED_CHECK(!metatask_.tasks.empty(), "metatask is empty");
 
-  const double latency =
-      config_.controlLatency >= 0.0 ? config_.controlLatency : testbed.controlLatency;
+  // Resolve the latency once; joiners added mid-run reuse it.
+  if (config_.controlLatency < 0.0) config_.controlLatency = testbed.controlLatency;
 
   AgentConfig agentConfig;
-  agentConfig.controlLatency = latency;
+  agentConfig.controlLatency = config_.controlLatency;
   agentConfig.faultTolerance = config_.faultTolerance;
   agentConfig.maxRetries = config_.maxRetries;
   agentConfig.htmSync = config_.htmSync;
@@ -27,31 +27,34 @@ GridSystem::GridSystem(const platform::Testbed& testbed,
       sim_, core::makeScheduler(schedulerName, config_.schedulerSeed), testbed.costs,
       agentConfig);
 
-  std::uint64_t machineIndex = 0;
   for (const psched::MachineSpec& spec : testbed.servers) {
-    ServerDaemonConfig daemonConfig;
-    daemonConfig.reportPeriod = config_.reportPeriod;
-    daemonConfig.controlLatency = latency;
-    daemonConfig.cpuNoise = config_.cpuNoise;
-    daemonConfig.linkNoise = config_.linkNoise;
-    daemonConfig.noiseSeed = simcore::deriveSeed(config_.noiseSeed, machineIndex++);
-    auto daemon =
-        std::make_unique<ServerDaemon>(sim_, spec, std::vector<std::string>{"*"},
-                                       daemonConfig);
-
-    core::ServerModel model;
-    model.name = spec.name;
-    model.bwInMBps = spec.bwInMBps;
-    model.bwOutMBps = spec.bwOutMBps;
-    model.latencyIn = spec.latencyIn;
-    model.latencyOut = spec.latencyOut;
-    agent_->registerServer(daemon.get(), model, {"*"}, spec.ramMB,
-                           spec.ramMB + spec.swapMB);
-    daemon->connectAgent(agent_.get());
-    daemons_.push_back(std::move(daemon));
+    addServer(spec);
   }
 
-  client_ = std::make_unique<Client>(sim_, *agent_, latency);
+  client_ = std::make_unique<Client>(sim_, *agent_, config_.controlLatency);
+}
+
+void GridSystem::addServer(const psched::MachineSpec& spec) {
+  ServerDaemonConfig daemonConfig;
+  daemonConfig.reportPeriod = config_.reportPeriod;
+  daemonConfig.controlLatency = config_.controlLatency;
+  daemonConfig.cpuNoise = config_.cpuNoise;
+  daemonConfig.linkNoise = config_.linkNoise;
+  daemonConfig.noiseSeed = simcore::deriveSeed(config_.noiseSeed, nextNoiseStream_++);
+  auto daemon = std::make_unique<ServerDaemon>(sim_, spec,
+                                               std::vector<std::string>{"*"},
+                                               daemonConfig);
+
+  core::ServerModel model;
+  model.name = spec.name;
+  model.bwInMBps = spec.bwInMBps;
+  model.bwOutMBps = spec.bwOutMBps;
+  model.latencyIn = spec.latencyIn;
+  model.latencyOut = spec.latencyOut;
+  agent_->registerServer(daemon.get(), model, {"*"}, spec.ramMB,
+                         spec.ramMB + spec.swapMB);
+  daemon->connectAgent(agent_.get());
+  daemons_.push_back(std::move(daemon));
 }
 
 ServerDaemon& GridSystem::daemon(const std::string& name) {
@@ -61,9 +64,54 @@ ServerDaemon& GridSystem::daemon(const std::string& name) {
   throw util::Error("unknown daemon '" + name + "'");
 }
 
+void GridSystem::setChurnTimeline(std::vector<ChurnEvent> events) {
+  for (const ChurnEvent& e : events) {
+    CASCHED_CHECK(e.time >= 0.0, "churn event time must be non-negative");
+    CASCHED_CHECK(!e.server.empty(), "churn event needs a server name");
+  }
+  timeline_ = std::move(events);
+}
+
+void GridSystem::applyChurn(const ChurnEvent& event) {
+  LOG_DEBUG("churn: " << churnActionName(event.action) << " " << event.server
+                      << " at t=" << sim_.now());
+  switch (event.action) {
+    case ChurnAction::kJoin: {
+      psched::MachineSpec spec = event.joinSpec;
+      spec.name = event.server;
+      agent_->setServerSpeedIndex(event.server, event.speedIndex);
+      addServer(spec);
+      ++churnStats_.joins;
+      return;
+    }
+    case ChurnAction::kLeave: {
+      ServerDaemon& d = daemon(event.server);
+      agent_->deregisterServer(event.server);
+      d.quiesce();  // stop load reports; in-flight tasks drain on the machine
+      ++churnStats_.leaves;
+      return;
+    }
+    case ChurnAction::kCrash: {
+      // Same path as a memory collapse: victims fail, the agent is notified
+      // (fault tolerance re-submits elsewhere) and the machine recovers later.
+      // A crash on an already-down machine is a no-op and is not counted.
+      if (daemon(event.server).machine().forceCollapse()) ++churnStats_.crashes;
+      return;
+    }
+    case ChurnAction::kSlowdown: {
+      daemon(event.server).machine().setChurnSpeedFactor(event.factor);
+      ++churnStats_.slowdowns;
+      return;
+    }
+  }
+}
+
 metrics::RunResult GridSystem::run() {
   agent_->setExpectedTasks(metatask_.size());
   agent_->setAllDoneCallback([this] { sim_.requestStop(); });
+  for (const ChurnEvent& event : timeline_) {
+    sim_.scheduleAt(event.time, [this, event] { applyChurn(event); });
+  }
   client_->submitMetatask(metatask_);
   sim_.run(config_.horizon);
 
@@ -80,6 +128,7 @@ metrics::RunResult GridSystem::run() {
   result.endTime = sim_.now();
   result.simulatedEvents = sim_.executedEvents();
   result.htmMeanRelErrorPercent = agent_->htm().stats().meanRelErrorPercent();
+  result.churn = churnStats_;
   for (auto& d : daemons_) {
     const psched::MachineStats& ms = d->machine().stats();
     metrics::ServerSummary s;
@@ -99,6 +148,16 @@ metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
                                        const std::string& schedulerName,
                                        const SystemConfig& config) {
   GridSystem system(testbed, metatask, schedulerName, config);
+  return system.run();
+}
+
+metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
+                                       const workload::Metatask& metatask,
+                                       const std::string& schedulerName,
+                                       const SystemConfig& config,
+                                       std::vector<ChurnEvent> churn) {
+  GridSystem system(testbed, metatask, schedulerName, config);
+  system.setChurnTimeline(std::move(churn));
   return system.run();
 }
 

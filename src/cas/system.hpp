@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cas/agent.hpp"
+#include "cas/churn.hpp"
 #include "cas/client.hpp"
 #include "cas/server_daemon.hpp"
 #include "metrics/record.hpp"
@@ -46,14 +47,23 @@ class GridSystem {
   GridSystem(const GridSystem&) = delete;
   GridSystem& operator=(const GridSystem&) = delete;
 
+  /// Registers membership events to fire during run(). Call before run();
+  /// events beyond the end of the run simply never fire.
+  void setChurnTimeline(std::vector<ChurnEvent> events);
+
   /// Runs to completion (all tasks terminal) and builds the result.
   metrics::RunResult run();
 
   Agent& agent() { return *agent_; }
   simcore::Simulator& simulator() { return sim_; }
   ServerDaemon& daemon(const std::string& name);
+  /// Counts of membership events actually applied so far.
+  const metrics::ChurnSummary& churnApplied() const { return churnStats_; }
 
  private:
+  void addServer(const psched::MachineSpec& spec);
+  void applyChurn(const ChurnEvent& event);
+
   simcore::Simulator sim_;
   const workload::Metatask metatask_;
   std::string schedulerName_;
@@ -61,6 +71,9 @@ class GridSystem {
   std::vector<std::unique_ptr<ServerDaemon>> daemons_;
   std::unique_ptr<Agent> agent_;
   std::unique_ptr<Client> client_;
+  std::vector<ChurnEvent> timeline_;
+  metrics::ChurnSummary churnStats_;
+  std::uint64_t nextNoiseStream_ = 0;  ///< per-server noise-seed derivation
 };
 
 /// Convenience one-shot: build + run.
@@ -68,5 +81,12 @@ metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
                                        const workload::Metatask& metatask,
                                        const std::string& schedulerName,
                                        const SystemConfig& config);
+
+/// One-shot with a churn timeline (dynamic server membership).
+metrics::RunResult runExperimentSystem(const platform::Testbed& testbed,
+                                       const workload::Metatask& metatask,
+                                       const std::string& schedulerName,
+                                       const SystemConfig& config,
+                                       std::vector<ChurnEvent> churn);
 
 }  // namespace casched::cas

@@ -39,6 +39,13 @@ void HistoricalTraceManager::addServer(const ServerModel& model) {
   servers_.emplace(model.name, Entry{ServerTrace(model), 1.0, {}});
 }
 
+void HistoricalTraceManager::removeServer(const std::string& server) {
+  auto it = servers_.find(server);
+  CASCHED_CHECK(it != servers_.end(),
+                "server '" + server + "' is not registered with the HTM");
+  servers_.erase(it);
+}
+
 bool HistoricalTraceManager::hasServer(const std::string& server) const {
   return servers_.find(server) != servers_.end();
 }

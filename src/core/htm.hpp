@@ -79,6 +79,9 @@ class HistoricalTraceManager {
   explicit HistoricalTraceManager(SyncPolicy policy = SyncPolicy::kDropOnNotice);
 
   void addServer(const ServerModel& model);
+  /// Retires a server's trace row (dynamic membership: the server left the
+  /// grid). Pending predictions for its tasks are discarded.
+  void removeServer(const std::string& server);
   bool hasServer(const std::string& server) const;
   std::vector<std::string> serverNames() const;
 

@@ -1,8 +1,23 @@
 #include "exp/runner.hpp"
 
+#include "scenario/generate.hpp"
+#include "scenario/registry.hpp"
 #include "util/strings.hpp"
 
 namespace casched::exp {
+
+ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t seed) {
+  const scenario::ScenarioSpec parsed = scenario::findScenario(scenarioName);
+  const scenario::CompiledScenario compiled = scenario::compileScenario(parsed, seed);
+  ExperimentSpec spec;
+  spec.name = compiled.name;
+  spec.scenario = scenarioName;
+  spec.testbed = compiled.testbed;
+  spec.metatask = compiled.metataskConfig;
+  spec.system = compiled.system;
+  spec.churn = compiled.churn;
+  return spec;
+}
 
 bool grantsFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic) {
   switch (policy) {
@@ -19,7 +34,8 @@ metrics::RunResult runOne(const ExperimentSpec& spec, const workload::Metatask& 
   cas::SystemConfig config = spec.system;
   config.faultTolerance = faultTolerance;
   config.noiseSeed = noiseSeed;
-  return cas::runExperimentSystem(spec.testbed, metatask, heuristic, config);
+  return cas::runExperimentSystem(spec.testbed, metatask, heuristic, config,
+                                  spec.churn);
 }
 
 }  // namespace casched::exp

@@ -18,7 +18,16 @@ struct ExperimentSpec {
   platform::Testbed testbed;
   workload::MetataskConfig metatask;
   cas::SystemConfig system;
+  /// Registry scenario this spec was materialized from ("" when hand-built).
+  std::string scenario;
+  /// Membership events replayed in every run of the experiment.
+  std::vector<cas::ChurnEvent> churn;
 };
+
+/// Materializes a registry scenario into an ExperimentSpec: testbed, metatask
+/// config (arrival pattern and mix included), system parameters and churn
+/// timeline. Campaigns built on it re-derive per-metatask seeds as usual.
+ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t seed);
 
 /// How fault tolerance is granted across heuristics in a campaign.
 /// The paper's setup: NetSolve's MCT has its native re-submission mechanisms,

@@ -36,6 +36,16 @@ struct TaskOutcome {
   }
 };
 
+/// Server-membership events applied during a run (scenario churn timeline).
+struct ChurnSummary {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t slowdowns = 0;
+
+  std::uint64_t total() const { return joins + leaves + crashes + slowdowns; }
+};
+
 /// Per-server aggregate over a run.
 struct ServerSummary {
   std::uint64_t tasksCompleted = 0;
@@ -55,6 +65,7 @@ struct RunResult {
   simcore::SimTime endTime = 0.0;
   std::uint64_t simulatedEvents = 0;
   double htmMeanRelErrorPercent = 0.0;     ///< prediction accuracy (Table 1)
+  ChurnSummary churn;                      ///< membership events applied
 
   std::size_t completedCount() const;
   std::size_t lostCount() const;

@@ -46,12 +46,25 @@ double Machine::unloadedDuration(const ExecRequest& request) const {
 }
 
 void Machine::applyCpuFactor() {
-  cpu_.setCapacityFactor(std::max(1e-6, cpuNoise_ * thrash_));
+  cpu_.setCapacityFactor(std::max(1e-6, cpuNoise_ * churnSpeed_ * thrash_));
 }
 
 void Machine::setCpuNoiseFactor(double factor) {
   cpuNoise_ = factor;
   applyCpuFactor();
+}
+
+void Machine::setChurnSpeedFactor(double factor) {
+  CASCHED_CHECK(factor > 0.0, "churn speed factor must be positive");
+  churnSpeed_ = factor;
+  applyCpuFactor();
+}
+
+bool Machine::forceCollapse() {
+  if (!up_) return false;
+  LOG_DEBUG("machine " << spec_.name << " crash injected at t=" << sim_.now());
+  collapse();
+  return true;
 }
 
 void Machine::setLinkNoiseFactor(double factor) {

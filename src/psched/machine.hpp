@@ -91,9 +91,19 @@ class Machine {
   FairShareResource& linkOut() { return linkOut_; }
 
   /// External noise hooks (used by NoiseProcess). The effective CPU factor is
-  /// noise * thrash, so both mechanisms compose.
+  /// noise * churn * thrash, so all mechanisms compose.
   void setCpuNoiseFactor(double factor);
   void setLinkNoiseFactor(double factor);
+
+  /// Persistent capacity scaling from a churn timeline (scenario slowdown
+  /// events); unlike the noise factor it is never overwritten by a
+  /// NoiseProcess. 1.0 restores full speed.
+  void setChurnSpeedFactor(double factor);
+
+  /// Injected crash (scenario churn): every running task fails, the machine
+  /// goes down and recovers after `recoverySeconds` - exactly the
+  /// memory-collapse path. Returns false (no-op) when already down.
+  bool forceCollapse();
 
   void setCollapseObserver(CollapseFn fn) { onCollapse_ = std::move(fn); }
   void setRecoverObserver(RecoverFn fn) { onRecover_ = std::move(fn); }
@@ -122,6 +132,7 @@ class Machine {
   double residentMB_ = 0.0;
   double cpuNoise_ = 1.0;
   double linkNoise_ = 1.0;
+  double churnSpeed_ = 1.0;
   double thrash_ = 1.0;
   bool up_ = true;
   simcore::EventHandle recoverEvent_{};

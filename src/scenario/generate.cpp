@@ -1,0 +1,212 @@
+#include "scenario/generate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/htm.hpp"
+#include "platform/calibration.hpp"
+#include "platform/machine_catalog.hpp"
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::scenario {
+
+namespace {
+
+/// Stream ids for the independent randomness consumers of one compilation.
+/// The metatask generator takes the master seed itself (its own sub-streams
+/// are derived inside generateMetatask).
+constexpr std::uint64_t kPlatformStream = 11;
+constexpr std::uint64_t kNoiseStream = 12;
+constexpr std::uint64_t kSchedulerStream = 13;
+
+workload::MetataskConfig buildMetataskConfig(const ScenarioSpec& spec,
+                                             std::uint64_t seed) {
+  CASCHED_CHECK(!spec.workload.mix.empty() || !spec.workload.custom.empty(),
+                "scenario '" + spec.name + "' has an empty workload mix");
+  workload::MetataskConfig mc;
+  mc.count = spec.workload.count;
+  mc.meanInterarrival = spec.arrival.meanInterarrival;
+  mc.arrival = spec.arrival.pattern;
+  mc.seed = seed;
+  mc.name = spec.name;
+  for (const MixEntry& m : spec.workload.mix) {
+    mc.types.push_back(resolveTypeName(m.typeName));
+    mc.typeWeights.push_back(m.weight);
+  }
+  for (const CustomType& c : spec.workload.custom) {
+    mc.types.push_back(c.type);
+    mc.typeWeights.push_back(c.weight);
+  }
+  return mc;
+}
+
+psched::MachineSpec syntheticMachine(const PlatformSpec& p, const std::string& name) {
+  psched::MachineSpec spec;
+  spec.name = name;
+  spec.bwInMBps = p.bwMBps;
+  spec.bwOutMBps = p.bwMBps;
+  spec.latencyIn = p.latency;
+  spec.latencyOut = p.latency;
+  spec.ramMB = p.ramMB;
+  spec.swapMB = p.swapMB;
+  return spec;
+}
+
+platform::Testbed buildPresetTestbed(const ScenarioSpec& spec) {
+  const std::string preset = util::toLower(spec.platform.preset);
+  if (preset == "set1") return platform::buildSet1();
+  if (preset == "set2") return platform::buildSet2();
+  if (util::startsWith(preset, "uniform-")) {
+    const std::string nStr = preset.substr(std::string("uniform-").size());
+    try {
+      const int n = std::stoi(nStr);
+      CASCHED_CHECK(n > 0, "uniform preset needs a positive server count");
+      return platform::buildUniform(static_cast<std::size_t>(n),
+                                    spec.platform.bwMBps, spec.platform.latency);
+    } catch (const util::Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw util::ConfigError("bad uniform preset '" + spec.platform.preset + "'");
+    }
+  }
+  throw util::ConfigError("unknown platform preset '" + spec.platform.preset + "'");
+}
+
+platform::Testbed buildTemplateTestbed(const ScenarioSpec& spec, std::uint64_t seed) {
+  const PlatformSpec& p = spec.platform;
+  CASCHED_CHECK(p.servers > 0, "platform template needs at least one server");
+  CASCHED_CHECK(!p.catalog.empty(), "platform template needs a catalog list");
+  simcore::RandomStream spread(simcore::deriveSeed(seed, kPlatformStream));
+
+  platform::Testbed bed;
+  bed.name = spec.name + "-platform";
+  const bool uniform = p.catalog.size() == 1 && util::toLower(p.catalog[0]) == "uniform";
+  const platform::CostModel paperCosts = platform::paperCostModel();
+  for (std::size_t i = 0; i < p.servers; ++i) {
+    const double factor =
+        p.heterogeneity > 0.0
+            ? spread.uniform(1.0 - p.heterogeneity, 1.0 + p.heterogeneity)
+            : 1.0;
+    if (uniform) {
+      const std::string name = util::strformat("grid-%zu", i);
+      bed.servers.push_back(syntheticMachine(p, name));
+      bed.costs.setSpeedIndex(name, factor);
+    } else {
+      const std::string& base = p.catalog[i % p.catalog.size()];
+      psched::MachineSpec clone = platform::buildPaperMachine(base);
+      clone.name = util::strformat("%s-%zu", base.c_str(), i);
+      bed.servers.push_back(std::move(clone));
+      // Clones have no calibrated per-type cost rows, so computeCost falls
+      // back to refSeconds / speedIndex; anchor it at the original's speed.
+      bed.costs.setSpeedIndex(bed.servers.back().name,
+                              paperCosts.speedIndex(base) * factor);
+    }
+  }
+  return bed;
+}
+
+cas::SystemConfig buildSystemConfig(const ScenarioSpec& spec, std::uint64_t seed) {
+  const SystemSpec& s = spec.system;
+  cas::SystemConfig config;
+  config.reportPeriod = s.reportPeriod;
+  config.faultTolerance = s.faultTolerance;
+  config.maxRetries = s.maxRetries;
+  config.htmSync = core::parseSyncPolicy(s.htmSync);
+  config.cpuNoise = {s.cpuNoiseAmplitude, 5.0};
+  config.linkNoise = {s.linkNoiseAmplitude, 5.0};
+  config.noiseSeed = simcore::deriveSeed(seed, kNoiseStream);
+  config.schedulerSeed = simcore::deriveSeed(seed, kSchedulerStream);
+  return config;
+}
+
+std::vector<cas::ChurnEvent> buildChurnTimeline(const ScenarioSpec& spec,
+                                                const platform::Testbed& testbed) {
+  std::vector<cas::ChurnEvent> events;
+  events.reserve(spec.churn.size());
+  for (const ChurnSpec& c : spec.churn) {
+    cas::ChurnEvent e;
+    e.time = c.time;
+    e.action = cas::parseChurnAction(c.action);
+    e.server = c.server;
+    if (e.action == cas::ChurnAction::kJoin) {
+      e.joinSpec = syntheticMachine(spec.platform, c.server);
+      e.speedIndex = c.value;
+      CASCHED_CHECK(e.speedIndex > 0.0, "join speed index must be positive");
+    } else if (e.action == cas::ChurnAction::kSlowdown) {
+      e.factor = c.value;
+      CASCHED_CHECK(e.factor > 0.0, "slowdown factor must be positive");
+    }
+    events.push_back(std::move(e));
+  }
+
+  // Validate the timeline against the membership it implies, in time order.
+  std::vector<const cas::ChurnEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const cas::ChurnEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const cas::ChurnEvent* a, const cas::ChurnEvent* b) {
+                     return a->time < b->time;
+                   });
+  std::set<std::string> present;
+  std::set<std::string> departed;
+  for (const psched::MachineSpec& s : testbed.servers) present.insert(s.name);
+  for (const cas::ChurnEvent* e : ordered) {
+    if (e->action == cas::ChurnAction::kJoin) {
+      CASCHED_CHECK(present.insert(e->server).second && departed.count(e->server) == 0,
+                    "churn join reuses server name '" + e->server + "'");
+    } else {
+      CASCHED_CHECK(present.count(e->server) == 1,
+                    "churn event targets unknown or departed server '" + e->server + "'");
+      if (e->action == cas::ChurnAction::kLeave) {
+        present.erase(e->server);
+        departed.insert(e->server);
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+workload::TaskType resolveTypeName(const std::string& name) {
+  const auto parseParam = [&](std::string_view prefix) -> int {
+    const std::string paramStr(name.substr(prefix.size()));
+    try {
+      return std::stoi(paramStr);
+    } catch (const std::exception&) {
+      throw util::ConfigError("bad task-type parameter in '" + name + "'");
+    }
+  };
+  if (util::startsWith(name, "matmul-")) {
+    return workload::makeMatmulType(parseParam("matmul-"));
+  }
+  if (util::startsWith(name, "waste-cpu-")) {
+    return workload::makeWasteCpuType(parseParam("waste-cpu-"));
+  }
+  throw util::ConfigError("unknown task type '" + name +
+                          "' (want matmul-<size> or waste-cpu-<param>)");
+}
+
+CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  CASCHED_CHECK(!spec.name.empty(), "scenario needs a name");
+  CompiledScenario out;
+  out.name = spec.name;
+  out.metataskConfig = buildMetataskConfig(spec, seed);
+  out.metatask = workload::generateMetatask(out.metataskConfig);
+  out.testbed = spec.platform.kind == PlatformKind::kPreset
+                    ? buildPresetTestbed(spec)
+                    : buildTemplateTestbed(spec, seed);
+  out.system = buildSystemConfig(spec, seed);
+  out.churn = buildChurnTimeline(spec, out.testbed);
+  return out;
+}
+
+metrics::RunResult runScenario(const CompiledScenario& compiled,
+                               const std::string& heuristic) {
+  return cas::runExperimentSystem(compiled.testbed, compiled.metatask, heuristic,
+                                  compiled.system, compiled.churn);
+}
+
+}  // namespace casched::scenario

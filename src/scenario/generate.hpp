@@ -1,0 +1,42 @@
+#pragma once
+/// \file generate.hpp
+/// Compiles a declarative ScenarioSpec + master seed into the concrete
+/// objects one experiment run needs: a materialized Metatask, a Testbed, the
+/// middleware SystemConfig and the churn timeline. Same spec + same seed =>
+/// bit-identical compilation (all randomness flows through derived streams).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cas/churn.hpp"
+#include "cas/system.hpp"
+#include "metrics/record.hpp"
+#include "platform/testbed.hpp"
+#include "scenario/spec.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::scenario {
+
+/// Everything a run (or a campaign) needs, materialized from one seed.
+struct CompiledScenario {
+  std::string name;
+  /// The generating config (campaigns re-derive per-metatask seeds from it).
+  workload::MetataskConfig metataskConfig;
+  workload::Metatask metatask;
+  platform::Testbed testbed;
+  cas::SystemConfig system;
+  std::vector<cas::ChurnEvent> churn;
+};
+
+/// Resolves a paper-family type name: "matmul-<size>" or "waste-cpu-<param>".
+/// Throws util::ConfigError for anything else.
+workload::TaskType resolveTypeName(const std::string& name);
+
+CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Runs one heuristic on a compiled scenario (churn timeline included).
+metrics::RunResult runScenario(const CompiledScenario& compiled,
+                               const std::string& heuristic);
+
+}  // namespace casched::scenario

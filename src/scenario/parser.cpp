@@ -1,0 +1,326 @@
+#include "scenario/parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "cas/churn.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::scenario {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw util::ConfigError("scenario line " + std::to_string(line) + ": " + what);
+}
+
+double parseDouble(std::size_t line, std::string_view value) {
+  try {
+    std::size_t consumed = 0;
+    const std::string s(value);
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) fail(line, "trailing characters in number '" + s + "'");
+    return v;
+  } catch (const util::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "cannot parse number '" + std::string(value) + "'");
+  }
+}
+
+std::size_t parseCount(std::size_t line, std::string_view value) {
+  const double v = parseDouble(line, value);
+  // Guard before the cast: float->integer conversion of NaN or out-of-range
+  // values is undefined behavior. 2^53 keeps the double exactly integral.
+  if (!std::isfinite(v) || v < 0.0 || v > 9007199254740992.0 ||
+      v != std::floor(v)) {
+    fail(line, "expected a non-negative integer, got '" + std::string(value) + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+bool parseBool(std::size_t line, std::string_view value) {
+  const std::string v = util::toLower(value);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  fail(line, "expected a boolean, got '" + std::string(value) + "'");
+}
+
+/// Comma-separated fields, each trimmed.
+std::vector<std::string> commaFields(std::string_view value) {
+  std::vector<std::string> fields;
+  for (const std::string& f : util::split(value, ',')) {
+    fields.push_back(std::string(util::trim(f)));
+  }
+  return fields;
+}
+
+void setArrivalKey(ArrivalSpec& a, std::size_t line, const std::string& key,
+                   std::string_view value) {
+  if (key == "process") {
+    try {
+      a.pattern.kind = workload::parseArrivalKind(std::string(value));
+    } catch (const util::Error& e) {
+      fail(line, e.what());
+    }
+  } else if (key == "mean") {
+    a.meanInterarrival = parseDouble(line, value);
+  } else if (key == "on") {
+    a.pattern.burstOn = parseDouble(line, value);
+  } else if (key == "off") {
+    a.pattern.burstOff = parseDouble(line, value);
+  } else if (key == "period") {
+    a.pattern.period = parseDouble(line, value);
+  } else if (key == "amplitude") {
+    a.pattern.amplitude = parseDouble(line, value);
+  } else if (key == "alpha") {
+    a.pattern.alpha = parseDouble(line, value);
+  } else {
+    fail(line, "unknown [arrival] key '" + key + "'");
+  }
+}
+
+void setWorkloadKey(WorkloadSpec& w, std::size_t line, const std::string& key,
+                    std::string_view value) {
+  if (key == "count") {
+    w.count = parseCount(line, value);
+  } else if (key == "mix") {
+    // <type-name> [: <weight>]
+    const auto parts = util::split(value, ':');
+    if (parts.empty() || parts.size() > 2) fail(line, "mix wants 'type : weight'");
+    MixEntry entry;
+    entry.typeName = std::string(util::trim(parts[0]));
+    if (entry.typeName.empty()) fail(line, "mix needs a type name");
+    if (parts.size() == 2) entry.weight = parseDouble(line, util::trim(parts[1]));
+    if (entry.weight <= 0.0) fail(line, "mix weight must be positive");
+    w.mix.push_back(std::move(entry));
+  } else if (key == "custom") {
+    // name, inMB, refSeconds, outMB, memMB [, weight]
+    const auto fields = commaFields(value);
+    if (fields.size() != 5 && fields.size() != 6) {
+      fail(line, "custom wants 'name, inMB, refSeconds, outMB, memMB[, weight]'");
+    }
+    CustomType custom;
+    custom.type = workload::makeSyntheticType(
+        fields[0], parseDouble(line, fields[1]), parseDouble(line, fields[2]),
+        parseDouble(line, fields[3]), parseDouble(line, fields[4]));
+    if (fields.size() == 6) custom.weight = parseDouble(line, fields[5]);
+    if (custom.weight <= 0.0) fail(line, "custom weight must be positive");
+    w.custom.push_back(std::move(custom));
+  } else {
+    fail(line, "unknown [workload] key '" + key + "'");
+  }
+}
+
+void setPlatformKey(PlatformSpec& p, std::size_t line, const std::string& key,
+                    std::string_view value) {
+  if (key == "kind") {
+    const std::string v = util::toLower(value);
+    if (v == "preset") p.kind = PlatformKind::kPreset;
+    else if (v == "template") p.kind = PlatformKind::kTemplate;
+    else fail(line, "platform kind must be 'preset' or 'template'");
+  } else if (key == "preset") {
+    p.preset = std::string(value);
+  } else if (key == "servers") {
+    p.servers = parseCount(line, value);
+  } else if (key == "catalog") {
+    p.catalog = commaFields(value);
+    if (p.catalog.empty()) fail(line, "catalog list must not be empty");
+  } else if (key == "heterogeneity") {
+    p.heterogeneity = parseDouble(line, value);
+    if (p.heterogeneity < 0.0 || p.heterogeneity >= 1.0) {
+      fail(line, "heterogeneity must be in [0, 1)");
+    }
+  } else if (key == "bandwidth") {
+    p.bwMBps = parseDouble(line, value);
+  } else if (key == "latency") {
+    p.latency = parseDouble(line, value);
+  } else if (key == "ram") {
+    p.ramMB = parseDouble(line, value);
+  } else if (key == "swap") {
+    p.swapMB = parseDouble(line, value);
+  } else {
+    fail(line, "unknown [platform] key '" + key + "'");
+  }
+}
+
+void setSystemKey(SystemSpec& s, std::size_t line, const std::string& key,
+                  std::string_view value) {
+  if (key == "report-period") {
+    s.reportPeriod = parseDouble(line, value);
+  } else if (key == "fault-tolerance") {
+    s.faultTolerance = parseBool(line, value);
+  } else if (key == "max-retries") {
+    s.maxRetries = static_cast<int>(parseCount(line, value));
+  } else if (key == "cpu-noise") {
+    s.cpuNoiseAmplitude = parseDouble(line, value);
+  } else if (key == "link-noise") {
+    s.linkNoiseAmplitude = parseDouble(line, value);
+  } else if (key == "htm-sync") {
+    s.htmSync = std::string(value);
+  } else {
+    fail(line, "unknown [system] key '" + key + "'");
+  }
+}
+
+void addChurnEvent(std::vector<ChurnSpec>& churn, std::size_t line,
+                   const std::string& key, std::string_view value) {
+  if (key != "event") fail(line, "unknown [churn] key '" + key + "'");
+  // time, action, server [, value]
+  const auto fields = commaFields(value);
+  if (fields.size() != 3 && fields.size() != 4) {
+    fail(line, "event wants 'time, action, server[, value]'");
+  }
+  ChurnSpec e;
+  e.time = parseDouble(line, fields[0]);
+  e.action = util::toLower(fields[1]);
+  try {
+    (void)cas::parseChurnAction(e.action);  // one authoritative action list
+  } catch (const util::Error& err) {
+    fail(line, err.what());
+  }
+  e.server = fields[2];
+  if (e.server.empty()) fail(line, "event needs a server name");
+  if (fields.size() == 4) e.value = parseDouble(line, fields[3]);
+  churn.push_back(std::move(e));
+}
+
+}  // namespace
+
+ScenarioSpec parseScenario(const std::string& text) {
+  ScenarioSpec spec;
+  std::string section;
+  std::size_t lineNo = 0;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    // Strip comments and whitespace.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string_view lineView = util::trim(raw);
+    if (lineView.empty()) continue;
+
+    if (lineView.front() == '[') {
+      if (lineView.back() != ']') fail(lineNo, "unterminated section header");
+      section = util::toLower(lineView.substr(1, lineView.size() - 2));
+      if (section != "scenario" && section != "arrival" && section != "workload" &&
+          section != "platform" && section != "system" && section != "churn") {
+        fail(lineNo, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = lineView.find('=');
+    if (eq == std::string::npos) fail(lineNo, "expected 'key = value'");
+    const std::string key = util::toLower(util::trim(lineView.substr(0, eq)));
+    const std::string_view value = util::trim(lineView.substr(eq + 1));
+    if (key.empty()) fail(lineNo, "empty key");
+    if (section.empty()) fail(lineNo, "key before any [section] header");
+
+    if (section == "scenario") {
+      if (key == "name") spec.name = std::string(value);
+      else if (key == "description") spec.description = std::string(value);
+      else fail(lineNo, "unknown [scenario] key '" + key + "'");
+    } else if (section == "arrival") {
+      setArrivalKey(spec.arrival, lineNo, key, value);
+    } else if (section == "workload") {
+      setWorkloadKey(spec.workload, lineNo, key, value);
+    } else if (section == "platform") {
+      setPlatformKey(spec.platform, lineNo, key, value);
+    } else if (section == "system") {
+      setSystemKey(spec.system, lineNo, key, value);
+    } else {  // churn
+      addChurnEvent(spec.churn, lineNo, key, value);
+    }
+  }
+  if (spec.name.empty()) throw util::ConfigError("scenario has no name");
+  return spec;
+}
+
+std::string renderScenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "[scenario]\n"
+      << "name = " << spec.name << "\n";
+  if (!spec.description.empty()) out << "description = " << spec.description << "\n";
+
+  const ArrivalSpec& a = spec.arrival;
+  out << "\n[arrival]\n"
+      << "process = " << workload::arrivalKindName(a.pattern.kind) << "\n"
+      << "mean = " << util::strformat("%g", a.meanInterarrival) << "\n";
+  switch (a.pattern.kind) {
+    case workload::ArrivalKind::kBursty:
+      out << "on = " << util::strformat("%g", a.pattern.burstOn) << "\n"
+          << "off = " << util::strformat("%g", a.pattern.burstOff) << "\n";
+      break;
+    case workload::ArrivalKind::kDiurnal:
+      out << "period = " << util::strformat("%g", a.pattern.period) << "\n"
+          << "amplitude = " << util::strformat("%g", a.pattern.amplitude) << "\n";
+      break;
+    case workload::ArrivalKind::kPareto:
+      out << "alpha = " << util::strformat("%g", a.pattern.alpha) << "\n";
+      break;
+    case workload::ArrivalKind::kPoisson:
+      break;
+  }
+
+  const WorkloadSpec& w = spec.workload;
+  out << "\n[workload]\n"
+      << "count = " << w.count << "\n";
+  for (const MixEntry& m : w.mix) {
+    out << "mix = " << m.typeName << " : " << util::strformat("%g", m.weight) << "\n";
+  }
+  for (const CustomType& c : w.custom) {
+    out << "custom = " << c.type.name << ", " << util::strformat("%g", c.type.inMB)
+        << ", " << util::strformat("%g", c.type.refSeconds) << ", "
+        << util::strformat("%g", c.type.outMB) << ", "
+        << util::strformat("%g", c.type.memMB) << ", "
+        << util::strformat("%g", c.weight) << "\n";
+  }
+
+  const PlatformSpec& p = spec.platform;
+  out << "\n[platform]\n";
+  if (p.kind == PlatformKind::kPreset) {
+    out << "kind = preset\n"
+        << "preset = " << p.preset << "\n";
+  } else {
+    out << "kind = template\n"
+        << "servers = " << p.servers << "\n"
+        << "catalog = " << util::join(p.catalog, ", ") << "\n"
+        << "heterogeneity = " << util::strformat("%g", p.heterogeneity) << "\n";
+  }
+  out << "bandwidth = " << util::strformat("%g", p.bwMBps) << "\n"
+      << "latency = " << util::strformat("%g", p.latency) << "\n"
+      << "ram = " << util::strformat("%g", p.ramMB) << "\n"
+      << "swap = " << util::strformat("%g", p.swapMB) << "\n";
+
+  const SystemSpec& s = spec.system;
+  out << "\n[system]\n"
+      << "report-period = " << util::strformat("%g", s.reportPeriod) << "\n"
+      << "fault-tolerance = " << (s.faultTolerance ? "true" : "false") << "\n"
+      << "max-retries = " << s.maxRetries << "\n"
+      << "cpu-noise = " << util::strformat("%g", s.cpuNoiseAmplitude) << "\n"
+      << "link-noise = " << util::strformat("%g", s.linkNoiseAmplitude) << "\n"
+      << "htm-sync = " << s.htmSync << "\n";
+
+  if (!spec.churn.empty()) {
+    out << "\n[churn]\n";
+    for (const ChurnSpec& e : spec.churn) {
+      out << "event = " << util::strformat("%g", e.time) << ", " << e.action << ", "
+          << e.server << ", " << util::strformat("%g", e.value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+ScenarioSpec loadScenario(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("cannot open scenario file '" + path + "'");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parseScenario(ss.str());
+}
+
+}  // namespace casched::scenario

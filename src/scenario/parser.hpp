@@ -1,0 +1,43 @@
+#pragma once
+/// \file parser.hpp
+/// Hand-rolled parser for the scenario text format: `[section]` headers over
+/// `key = value` lines, `#` comments, repeated keys only where the spec is a
+/// list (mix, custom, event). The renderer writes a spec back out in the same
+/// format, so parse(render(spec)) round-trips exactly.
+///
+///   [scenario]
+///   name = churny-grid
+///   description = joins, leaves and crashes on a heterogeneous grid
+///
+///   [arrival]
+///   process = poisson          # poisson | bursty | diurnal | pareto
+///   mean = 8
+///
+///   [workload]
+///   count = 400
+///   mix = waste-cpu-200 : 2
+///
+///   [platform]
+///   kind = template            # preset | template
+///   servers = 6
+///
+///   [churn]
+///   event = 600, leave, grid-1
+
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace casched::scenario {
+
+/// Parses scenario text. Throws util::ConfigError with the offending line
+/// number for unknown sections, unknown keys, or unparseable values.
+ScenarioSpec parseScenario(const std::string& text);
+
+/// Renders a spec as scenario text (the parser's inverse).
+std::string renderScenario(const ScenarioSpec& spec);
+
+/// Reads and parses a scenario file.
+ScenarioSpec loadScenario(const std::string& path);
+
+}  // namespace casched::scenario

@@ -1,0 +1,258 @@
+#include "scenario/registry.hpp"
+
+#include <utility>
+
+#include "scenario/parser.hpp"
+#include "util/error.hpp"
+
+namespace casched::scenario {
+
+namespace {
+
+struct NamedScenario {
+  const char* name;
+  const char* text;
+};
+
+/// The paper's two operating points first, then the production-shaped
+/// traffic scenarios, then membership stress and scale.
+constexpr NamedScenario kRegistry[] = {
+    {"paper-low", R"(
+[scenario]
+name = paper-low
+description = Paper Table 5 regime: matmul metatasks on server set 1, low rate
+
+[arrival]
+process = poisson
+mean = 30
+
+[workload]
+count = 500
+mix = matmul-1200 : 1
+mix = matmul-1500 : 1
+mix = matmul-1800 : 1
+
+[platform]
+kind = preset
+preset = set1
+
+[system]
+cpu-noise = 0.08
+link-noise = 0.10
+)"},
+    {"paper-high", R"(
+[scenario]
+name = paper-high
+description = Paper Table 8 regime: waste-cpu metatasks on server set 2, high rate
+
+[arrival]
+process = poisson
+mean = 18
+
+[workload]
+count = 500
+mix = waste-cpu-200 : 1
+mix = waste-cpu-400 : 1
+mix = waste-cpu-600 : 1
+
+[platform]
+kind = preset
+preset = set2
+
+[system]
+cpu-noise = 0.08
+link-noise = 0.10
+)"},
+    {"burst-storm", R"(
+[scenario]
+name = burst-storm
+description = On/off traffic: minute-long storms at 5x the sustainable rate
+
+[arrival]
+process = bursty
+mean = 15
+on = 60
+off = 240
+
+[workload]
+count = 300
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 8
+catalog = uniform
+heterogeneity = 0.2
+
+[system]
+cpu-noise = 0.05
+)"},
+    {"diurnal-day", R"(
+[scenario]
+name = diurnal-day
+description = One compressed day: sinusoidal rate swing of 80% around the mean
+
+[arrival]
+process = diurnal
+mean = 12
+period = 7200
+amplitude = 0.8
+
+[workload]
+count = 600
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = preset
+preset = set2
+
+[system]
+cpu-noise = 0.08
+link-noise = 0.10
+)"},
+    {"heavy-tail", R"(
+[scenario]
+name = heavy-tail
+description = Pareto inter-arrivals (alpha 1.3): long lulls, violent clumps
+
+[arrival]
+process = pareto
+mean = 40
+alpha = 1.3
+
+[workload]
+count = 400
+mix = matmul-1200 : 1
+mix = matmul-1500 : 1
+
+[platform]
+kind = preset
+preset = set1
+
+[system]
+cpu-noise = 0.08
+link-noise = 0.10
+)"},
+    {"flash-crowd", R"(
+[scenario]
+name = flash-crowd
+description = Three servers near saturation; reinforcements join mid-run
+
+[arrival]
+process = poisson
+mean = 6
+
+[workload]
+count = 300
+mix = waste-cpu-200 : 1
+
+[platform]
+kind = template
+servers = 3
+catalog = uniform
+
+[system]
+fault-tolerance = true
+cpu-noise = 0.05
+
+[churn]
+event = 600, join, surge-0, 1.2
+event = 700, join, surge-1, 1.2
+event = 800, join, surge-2, 1.0
+)"},
+    {"churny-grid", R"(
+[scenario]
+name = churny-grid
+description = Dynamic membership: leaves, joins, a crash and a slowdown mid-run
+
+[arrival]
+process = poisson
+mean = 8
+
+[workload]
+count = 400
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 6
+catalog = uniform
+heterogeneity = 0.3
+
+[system]
+fault-tolerance = true
+max-retries = 5
+cpu-noise = 0.05
+
+[churn]
+event = 400, slowdown, grid-0, 0.5
+event = 600, leave, grid-1
+event = 900, join, helper-0, 1.5
+event = 1200, crash, grid-2
+event = 1800, join, helper-1, 1.0
+event = 2200, leave, grid-3
+event = 2600, slowdown, grid-0, 1.0
+)"},
+    {"mega-cluster", R"(
+[scenario]
+name = mega-cluster
+description = Scale test: 64 heterogeneous servers at sub-second arrival rate
+
+[arrival]
+process = poisson
+mean = 0.6
+
+[workload]
+count = 1500
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 64
+catalog = uniform
+heterogeneity = 0.5
+
+[system]
+cpu-noise = 0.05
+)"},
+};
+
+}  // namespace
+
+const std::vector<std::string>& scenarioNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const NamedScenario& s : kRegistry) out.push_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+bool hasScenario(const std::string& name) {
+  for (const NamedScenario& s : kRegistry) {
+    if (name == s.name) return true;
+  }
+  return false;
+}
+
+const std::string& scenarioText(const std::string& name) {
+  static const std::vector<std::pair<std::string, std::string>> texts = [] {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const NamedScenario& s : kRegistry) out.emplace_back(s.name, s.text);
+    return out;
+  }();
+  for (const auto& [n, text] : texts) {
+    if (n == name) return text;
+  }
+  throw util::ConfigError("unknown scenario '" + name + "' (see scenarioNames())");
+}
+
+ScenarioSpec findScenario(const std::string& name) {
+  return parseScenario(scenarioText(name));
+}
+
+}  // namespace casched::scenario

@@ -1,0 +1,27 @@
+#pragma once
+/// \file registry.hpp
+/// Built-in named scenarios. Each is stored as scenario-format text (see
+/// parser.hpp) so the registry doubles as a living corpus for the parser; the
+/// two paper operating points sit next to production-shaped traffic
+/// (bursts, diurnal cycles, heavy tails, flash crowds) and dynamic-membership
+/// stress (churny-grid) up to a 64-server scale test (mega-cluster).
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace casched::scenario {
+
+/// Registry names in presentation order.
+const std::vector<std::string>& scenarioNames();
+
+bool hasScenario(const std::string& name);
+
+/// Raw scenario text of a registry entry; throws util::ConfigError if absent.
+const std::string& scenarioText(const std::string& name);
+
+/// Parsed registry entry; throws util::ConfigError if absent.
+ScenarioSpec findScenario(const std::string& name);
+
+}  // namespace casched::scenario

@@ -1,0 +1,98 @@
+#pragma once
+/// \file spec.hpp
+/// Declarative description of a full experiment: arrival process, workload
+/// mix, platform, system parameters and a server-churn timeline. A spec is
+/// pure data - the parser reads/writes it as sectioned `key = value` text and
+/// the generator compiles it (plus a seed) into the concrete
+/// Testbed + Metatask + SystemConfig + ChurnEvent objects the middleware runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/task_types.hpp"
+
+namespace casched::scenario {
+
+/// [arrival] section.
+struct ArrivalSpec {
+  workload::ArrivalPattern pattern;
+  double meanInterarrival = 20.0;  ///< long-run mean gap, every process kind
+};
+
+/// One `mix = <type> : <weight>` line; the type name must resolve against the
+/// paper families ("matmul-<size>" or "waste-cpu-<param>").
+struct MixEntry {
+  std::string typeName;
+  double weight = 1.0;
+};
+
+/// One `custom = name, inMB, refSeconds, outMB, memMB, weight` line: a fully
+/// parameterized synthetic task type joining the draw.
+struct CustomType {
+  workload::TaskType type;
+  double weight = 1.0;
+};
+
+/// [workload] section.
+struct WorkloadSpec {
+  std::size_t count = 500;
+  std::vector<MixEntry> mix;
+  std::vector<CustomType> custom;
+};
+
+enum class PlatformKind : std::uint8_t {
+  kPreset,    ///< one of the fixed testbeds: set1 | set2 | uniform-<n>
+  kTemplate,  ///< n servers stamped from the machine catalog (or synthetic)
+};
+
+/// [platform] section.
+struct PlatformSpec {
+  PlatformKind kind = PlatformKind::kPreset;
+  std::string preset = "set2";
+  /// Template: number of servers to stamp.
+  std::size_t servers = 4;
+  /// Template: catalog machine names cycled over the servers. The single
+  /// entry "uniform" stamps synthetic machines from the parameters below.
+  std::vector<std::string> catalog{"uniform"};
+  /// Template: relative speed spread; each server's speed index is scaled by
+  /// a factor drawn uniformly from [1 - h, 1 + h].
+  double heterogeneity = 0.0;
+  /// Synthetic machine parameters (uniform template and churn joiners).
+  double bwMBps = 10.0;
+  double latency = 0.01;
+  double ramMB = 1024.0;
+  double swapMB = 256.0;
+};
+
+/// [system] section.
+struct SystemSpec {
+  double reportPeriod = 30.0;
+  bool faultTolerance = false;
+  int maxRetries = 5;
+  double cpuNoiseAmplitude = 0.0;
+  double linkNoiseAmplitude = 0.0;
+  std::string htmSync = "drop-on-notice";
+};
+
+/// One `event = time, action, server[, value]` line of the [churn] section.
+/// `value` is the joiner's speed index (join) or the CPU factor (slowdown).
+struct ChurnSpec {
+  double time = 0.0;
+  std::string action;  ///< join | leave | crash | slowdown
+  std::string server;
+  double value = 1.0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  ArrivalSpec arrival;
+  WorkloadSpec workload;
+  PlatformSpec platform;
+  SystemSpec system;
+  std::vector<ChurnSpec> churn;
+};
+
+}  // namespace casched::scenario

@@ -1,8 +1,10 @@
 #include "workload/arrival.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace casched::workload {
 
@@ -39,6 +41,97 @@ TraceArrivals::TraceArrivals(std::vector<simcore::SimTime> dates)
 simcore::SimTime TraceArrivals::next() {
   CASCHED_CHECK(i_ < dates_.size(), "trace arrivals exhausted");
   return dates_[i_++];
+}
+
+BurstyArrivals::BurstyArrivals(double meanInterarrival, double onSpan, double offSpan,
+                               std::uint64_t seed)
+    : withinMean_(meanInterarrival * onSpan / (onSpan + offSpan)),
+      onSpan_(onSpan),
+      cycle_(onSpan + offSpan),
+      rng_(seed) {
+  CASCHED_CHECK(meanInterarrival > 0.0, "mean inter-arrival must be positive");
+  CASCHED_CHECK(onSpan > 0.0, "burst on-span must be positive");
+  CASCHED_CHECK(offSpan >= 0.0, "burst off-span must be non-negative");
+}
+
+simcore::SimTime BurstyArrivals::next() {
+  // Advance a clock that only ticks during on-windows, then map it to wall
+  // time. Residual gaps carry across off-spans, so the long-run rate is
+  // exactly the requested one (truncating at window edges would inflate it).
+  onTime_ += rng_.exponentialMean(withinMean_);
+  const double cycles = std::floor(onTime_ / onSpan_);
+  return cycles * cycle_ + (onTime_ - cycles * onSpan_);
+}
+
+DiurnalArrivals::DiurnalArrivals(double meanInterarrival, double period,
+                                 double amplitude, std::uint64_t seed)
+    : mean_(meanInterarrival), period_(period), amplitude_(amplitude), rng_(seed) {
+  CASCHED_CHECK(mean_ > 0.0, "mean inter-arrival must be positive");
+  CASCHED_CHECK(period_ > 0.0, "diurnal period must be positive");
+  CASCHED_CHECK(amplitude_ >= 0.0 && amplitude_ < 1.0,
+                "diurnal amplitude must be in [0, 1)");
+}
+
+simcore::SimTime DiurnalArrivals::next() {
+  // Thinning: candidates arrive at the peak rate; each is accepted with
+  // probability lambda(t)/lambdaMax. Keeps the draw count per accepted
+  // arrival bounded and the process exactly rate-modulated.
+  const double peakMean = mean_ / (1.0 + amplitude_);
+  for (;;) {
+    t_ += rng_.exponentialMean(peakMean);
+    const double relRate =
+        (1.0 + amplitude_ * std::sin(2.0 * M_PI * t_ / period_)) / (1.0 + amplitude_);
+    if (rng_.bernoulli(relRate)) return t_;
+  }
+}
+
+ParetoArrivals::ParetoArrivals(double meanInterarrival, double alpha, std::uint64_t seed)
+    : xm_(meanInterarrival * (alpha - 1.0) / alpha), alpha_(alpha), rng_(seed) {
+  CASCHED_CHECK(meanInterarrival > 0.0, "mean inter-arrival must be positive");
+  CASCHED_CHECK(alpha > 1.0, "pareto alpha must exceed 1 for a finite mean");
+}
+
+simcore::SimTime ParetoArrivals::next() {
+  const double u = std::max(1e-12, 1.0 - rng_.generator().nextDouble());
+  t_ += xm_ * std::pow(u, -1.0 / alpha_);
+  return t_;
+}
+
+ArrivalKind parseArrivalKind(const std::string& name) {
+  const std::string n = util::toLower(name);
+  if (n == "poisson") return ArrivalKind::kPoisson;
+  if (n == "bursty") return ArrivalKind::kBursty;
+  if (n == "diurnal") return ArrivalKind::kDiurnal;
+  if (n == "pareto") return ArrivalKind::kPareto;
+  throw util::ConfigError("unknown arrival kind '" + name + "'");
+}
+
+std::string arrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+std::unique_ptr<ArrivalProcess> makeArrivalProcess(const ArrivalPattern& pattern,
+                                                   double meanInterarrival,
+                                                   std::uint64_t seed) {
+  switch (pattern.kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(meanInterarrival, seed);
+    case ArrivalKind::kBursty:
+      return std::make_unique<BurstyArrivals>(meanInterarrival, pattern.burstOn,
+                                              pattern.burstOff, seed);
+    case ArrivalKind::kDiurnal:
+      return std::make_unique<DiurnalArrivals>(meanInterarrival, pattern.period,
+                                               pattern.amplitude, seed);
+    case ArrivalKind::kPareto:
+      return std::make_unique<ParetoArrivals>(meanInterarrival, pattern.alpha, seed);
+  }
+  throw util::ConfigError("unhandled arrival kind");
 }
 
 }  // namespace casched::workload

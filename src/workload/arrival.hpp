@@ -6,6 +6,7 @@
 /// tests and a replayed-trace process for saved metatasks.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "simcore/rng.hpp"
@@ -56,5 +57,77 @@ class TraceArrivals final : public ArrivalProcess {
   std::vector<simcore::SimTime> dates_;
   std::size_t i_ = 0;
 };
+
+/// On/off traffic: Poisson arrivals during on-windows of `onSpan` seconds,
+/// silence during the following `offSpan` seconds. The within-burst mean is
+/// scaled by the duty cycle so the long-run mean inter-arrival matches the
+/// requested one.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double meanInterarrival, double onSpan, double offSpan,
+                 std::uint64_t seed);
+  simcore::SimTime next() override;
+
+ private:
+  double withinMean_;
+  double onSpan_;
+  double cycle_;
+  simcore::RandomStream rng_;
+  /// Cumulative on-window time; wall time is derived from it in next().
+  double onTime_ = 0.0;
+};
+
+/// Sinusoidally rate-modulated Poisson process (thinning construction):
+/// lambda(t) = (1 + amplitude * sin(2*pi*t/period)) / meanInterarrival.
+/// Models diurnal traffic; the long-run mean inter-arrival is the given one.
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(double meanInterarrival, double period, double amplitude,
+                  std::uint64_t seed);
+  simcore::SimTime next() override;
+
+ private:
+  double mean_;
+  double period_;
+  double amplitude_;
+  simcore::RandomStream rng_;
+  simcore::SimTime t_ = 0.0;
+};
+
+/// Heavy-tailed Pareto inter-arrival gaps: gap = xm * U^(-1/alpha) with
+/// alpha > 1 and xm chosen so the mean gap equals `meanInterarrival`.
+class ParetoArrivals final : public ArrivalProcess {
+ public:
+  ParetoArrivals(double meanInterarrival, double alpha, std::uint64_t seed);
+  simcore::SimTime next() override;
+
+ private:
+  double xm_;
+  double alpha_;
+  simcore::RandomStream rng_;
+  simcore::SimTime t_ = 0.0;
+};
+
+/// The arrival-process families a scenario can ask for.
+enum class ArrivalKind : std::uint8_t { kPoisson, kBursty, kDiurnal, kPareto };
+
+ArrivalKind parseArrivalKind(const std::string& name);
+std::string arrivalKindName(ArrivalKind kind);
+
+/// Declarative description of an arrival process (the mean inter-arrival is
+/// supplied separately, next to the metatask size, where rates live today).
+struct ArrivalPattern {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double burstOn = 120.0;    ///< bursty: on-window span (s)
+  double burstOff = 480.0;   ///< bursty: silent span (s)
+  double period = 7200.0;    ///< diurnal: modulation period (s)
+  double amplitude = 0.8;    ///< diurnal: relative swing in [0, 1)
+  double alpha = 1.5;        ///< pareto: tail exponent (> 1)
+};
+
+/// Factory for the concrete process behind a pattern.
+std::unique_ptr<ArrivalProcess> makeArrivalProcess(const ArrivalPattern& pattern,
+                                                   double meanInterarrival,
+                                                   std::uint64_t seed);
 
 }  // namespace casched::workload

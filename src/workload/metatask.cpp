@@ -24,10 +24,14 @@ double Metatask::totalRefSeconds() const {
 Metatask generateMetatask(const MetataskConfig& config) {
   CASCHED_CHECK(config.count > 0, "metatask must contain at least one task");
   CASCHED_CHECK(!config.types.empty(), "metatask needs at least one task type");
+  CASCHED_CHECK(config.typeWeights.empty() ||
+                    config.typeWeights.size() == config.types.size(),
+                "type weights must be empty or match the type list");
   // Independent streams: adding tasks never changes the arrival pattern and
   // vice versa.
-  PoissonArrivals arrivals(config.meanInterarrival,
-                           simcore::deriveSeed(config.seed, /*streamId=*/1));
+  const auto arrivals =
+      makeArrivalProcess(config.arrival, config.meanInterarrival,
+                         simcore::deriveSeed(config.seed, /*streamId=*/1));
   simcore::RandomStream typePick(simcore::deriveSeed(config.seed, /*streamId=*/2));
 
   Metatask mt;
@@ -36,9 +40,12 @@ Metatask generateMetatask(const MetataskConfig& config) {
   for (std::size_t i = 0; i < config.count; ++i) {
     TaskInstance inst;
     inst.index = i;
-    inst.arrival = arrivals.next();
-    const auto pick = static_cast<std::size_t>(
-        typePick.uniformInt(0, static_cast<std::int64_t>(config.types.size()) - 1));
+    inst.arrival = arrivals->next();
+    const std::size_t pick =
+        config.typeWeights.empty()
+            ? static_cast<std::size_t>(typePick.uniformInt(
+                  0, static_cast<std::int64_t>(config.types.size()) - 1))
+            : typePick.discrete(config.typeWeights);
     inst.type = config.types[pick];
     mt.tasks.push_back(std::move(inst));
   }

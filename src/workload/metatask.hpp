@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "simcore/time.hpp"
+#include "workload/arrival.hpp"
 #include "workload/task_types.hpp"
 
 namespace casched::workload {
@@ -34,13 +35,17 @@ struct Metatask {
 struct MetataskConfig {
   std::size_t count = 500;           ///< paper metatasks hold 500 tasks
   double meanInterarrival = 20.0;    ///< see EXPERIMENTS.md on rate recovery
-  std::vector<TaskType> types;       ///< uniform draw (paper section 5)
+  ArrivalPattern arrival;            ///< process family (default: Poisson)
+  std::vector<TaskType> types;       ///< draw set (paper section 5)
+  /// Optional draw weights, aligned with `types`; empty means uniform.
+  std::vector<double> typeWeights;
   std::uint64_t seed = 1;            ///< master seed; arrivals and types use
                                      ///< derived, independent streams
   std::string name = "metatask";
 };
 
-/// Generates a metatask: Poisson arrivals, uniformly drawn types.
+/// Generates a metatask: arrivals from the configured process, types drawn
+/// uniformly or by weight.
 Metatask generateMetatask(const MetataskConfig& config);
 
 /// CSV round-trip (index, arrival, type name, data sizes, cost reference) so

@@ -171,5 +171,26 @@ TEST(Tables, ServerDiagnosticsListServers) {
   EXPECT_NE(out.find("valette"), std::string::npos);
 }
 
+TEST(Runner, SpecFromScenarioDrivesAWholeCampaign) {
+  ExperimentSpec spec = specFromScenario("churny-grid", 9);
+  EXPECT_EQ(spec.scenario, "churny-grid");
+  EXPECT_EQ(spec.testbed.servers.size(), 6u);
+  EXPECT_FALSE(spec.churn.empty());
+
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "hmct"};
+  cc.replications = 2;
+  cc.ftPolicy = FaultTolerancePolicy::kAll;  // crashes must not lose tasks
+  const CampaignResult result = runCampaign(spec, cc);
+  for (const std::string& h : cc.heuristics) {
+    const auto& sample = result.sampleRuns.at(h);
+    EXPECT_EQ(sample.completedCount(), 400u) << h;
+    // The churn timeline replays in every run of the campaign.
+    EXPECT_GE(sample.churn.leaves, 1u) << h;
+    EXPECT_GE(sample.churn.joins, 1u) << h;
+  }
+  EXPECT_THROW(specFromScenario("no-such-scenario", 1), util::Error);
+}
+
 }  // namespace
 }  // namespace casched::exp

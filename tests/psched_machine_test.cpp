@@ -14,7 +14,9 @@ namespace {
 
 MachineSpec simpleSpec() {
   MachineSpec spec;
-  spec.name = "m";
+  // std::string assignment sidesteps gcc 12's -Wrestrict false positive on
+  // short-literal operator=(const char*) under -O2 (GCC PR 105329).
+  spec.name = std::string("m");
   spec.bwInMBps = 10.0;
   spec.bwOutMBps = 5.0;
   spec.latencyIn = 0.5;

@@ -1,0 +1,250 @@
+// Tests of the scenario subsystem: parser round-trips and error reporting,
+// generator determinism, registry completeness, the new arrival processes,
+// and end-to-end dynamic-membership runs (leave drains, crash re-submits
+// elsewhere, joiners absorb work).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+#include "cas/system.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+#include "workload/arrival.hpp"
+
+namespace casched::scenario {
+namespace {
+
+TEST(ScenarioParser, RoundTripsEveryRegistryEntry) {
+  for (const std::string& name : scenarioNames()) {
+    const ScenarioSpec parsed = parseScenario(scenarioText(name));
+    EXPECT_EQ(parsed.name, name);
+    const std::string rendered = renderScenario(parsed);
+    const ScenarioSpec reparsed = parseScenario(rendered);
+    // The renderer is the parser's inverse: a second round-trip is stable.
+    EXPECT_EQ(renderScenario(reparsed), rendered) << name;
+  }
+}
+
+TEST(ScenarioParser, ParsesTheInterestingFields) {
+  const ScenarioSpec spec = findScenario("churny-grid");
+  EXPECT_EQ(spec.arrival.pattern.kind, workload::ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(spec.arrival.meanInterarrival, 8.0);
+  EXPECT_EQ(spec.workload.count, 400u);
+  ASSERT_EQ(spec.workload.mix.size(), 2u);
+  EXPECT_EQ(spec.workload.mix[0].typeName, "waste-cpu-200");
+  EXPECT_DOUBLE_EQ(spec.workload.mix[0].weight, 2.0);
+  EXPECT_EQ(spec.platform.kind, PlatformKind::kTemplate);
+  EXPECT_EQ(spec.platform.servers, 6u);
+  EXPECT_TRUE(spec.system.faultTolerance);
+  ASSERT_EQ(spec.churn.size(), 7u);
+  EXPECT_EQ(spec.churn[0].action, "slowdown");
+  EXPECT_DOUBLE_EQ(spec.churn[0].value, 0.5);
+  EXPECT_EQ(spec.churn[2].action, "join");
+  EXPECT_EQ(spec.churn[2].server, "helper-0");
+}
+
+TEST(ScenarioParser, RejectsMalformedInput) {
+  EXPECT_THROW(parseScenario("[scenario]\nname = x\n[nosuch]\nkey = 1\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario("[scenario]\nname = x\n[arrival]\nbogus = 1\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario("[scenario]\nname = x\n[arrival]\nmean = abc\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario("[scenario]\nname = x\n[churn]\nevent = 5, explode, s\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario("key = before-any-section\n"), util::ConfigError);
+  EXPECT_THROW(parseScenario("[scenario]\ndescription = nameless\n"),
+               util::ConfigError);
+  // The error message carries the offending line number.
+  try {
+    parseScenario("[scenario]\nname = x\n[workload]\nmix = \n");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(ScenarioGenerator, SameSeedSameMetataskAndPlatform) {
+  const ScenarioSpec spec = findScenario("churny-grid");
+  const CompiledScenario a = compileScenario(spec, 7);
+  const CompiledScenario b = compileScenario(spec, 7);
+  ASSERT_EQ(a.metatask.size(), b.metatask.size());
+  for (std::size_t i = 0; i < a.metatask.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.metatask.tasks[i].arrival, b.metatask.tasks[i].arrival);
+    EXPECT_EQ(a.metatask.tasks[i].type.name, b.metatask.tasks[i].type.name);
+  }
+  ASSERT_EQ(a.testbed.servers.size(), b.testbed.servers.size());
+  for (std::size_t i = 0; i < a.testbed.servers.size(); ++i) {
+    EXPECT_EQ(a.testbed.servers[i].name, b.testbed.servers[i].name);
+    EXPECT_DOUBLE_EQ(a.testbed.costs.speedIndex(a.testbed.servers[i].name),
+                     b.testbed.costs.speedIndex(b.testbed.servers[i].name));
+  }
+  EXPECT_EQ(a.churn.size(), b.churn.size());
+
+  const CompiledScenario c = compileScenario(spec, 8);
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.metatask.size(); ++i) {
+    anyDiff |= a.metatask.tasks[i].arrival != c.metatask.tasks[i].arrival;
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
+  const auto& names = scenarioNames();
+  EXPECT_GE(names.size(), 8u);
+  for (const char* expected :
+       {"paper-low", "paper-high", "burst-storm", "diurnal-day", "heavy-tail",
+        "flash-crowd", "churny-grid", "mega-cluster"}) {
+    EXPECT_TRUE(hasScenario(expected)) << expected;
+  }
+  EXPECT_FALSE(hasScenario("no-such-scenario"));
+  EXPECT_THROW(scenarioText("no-such-scenario"), util::ConfigError);
+  for (const std::string& name : names) {
+    const CompiledScenario compiled = compileScenario(findScenario(name), 3);
+    EXPECT_FALSE(compiled.testbed.servers.empty()) << name;
+    EXPECT_FALSE(compiled.metatask.tasks.empty()) << name;
+  }
+  EXPECT_GE(compileScenario(findScenario("mega-cluster"), 3).testbed.servers.size(),
+            64u);
+}
+
+TEST(ScenarioArrivals, NewProcessesAreMonotoneAndDeterministic) {
+  workload::ArrivalPattern bursty{workload::ArrivalKind::kBursty};
+  bursty.burstOn = 30.0;
+  bursty.burstOff = 70.0;
+  workload::ArrivalPattern diurnal{workload::ArrivalKind::kDiurnal};
+  workload::ArrivalPattern pareto{workload::ArrivalKind::kPareto};
+  for (const auto& pattern : {bursty, diurnal, pareto}) {
+    const auto a = workload::makeArrivalProcess(pattern, 10.0, 5);
+    const auto b = workload::makeArrivalProcess(pattern, 10.0, 5);
+    double last = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const double t = a->next();
+      EXPECT_DOUBLE_EQ(t, b->next());
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+  // Bursty arrivals only ever land inside an on-window.
+  const auto p = workload::makeArrivalProcess(bursty, 10.0, 17);
+  for (int i = 0; i < 500; ++i) {
+    const double cyclePos = std::fmod(p->next(), 100.0);
+    EXPECT_LT(cyclePos, 30.0);
+  }
+}
+
+TEST(ScenarioChurn, CrashedServersTasksRetryElsewhere) {
+  // Two identical servers; MCT's deterministic tie-break sends the lone task
+  // to server-0, which we crash mid-execution.
+  platform::Testbed bed = platform::buildUniform(2, 10.0, 0.0);
+  workload::Metatask mt;
+  mt.name = "crash";
+  mt.tasks.push_back({0, 1.0, workload::makeSyntheticType("slow", 0.0, 100.0, 0.0, 0.0)});
+  cas::SystemConfig cfg;
+  cfg.controlLatency = 0.0;
+  cfg.faultTolerance = true;
+
+  cas::ChurnEvent crash;
+  crash.time = 20.0;
+  crash.action = cas::ChurnAction::kCrash;
+  crash.server = "server-0";
+  const metrics::RunResult result = cas::runExperimentSystem(
+      bed, mt, "mct", cfg, {crash});
+  ASSERT_EQ(result.tasks.size(), 1u);
+  EXPECT_EQ(result.tasks[0].status, metrics::TaskStatus::kCompleted);
+  EXPECT_EQ(result.tasks[0].server, "server-1");
+  EXPECT_EQ(result.tasks[0].attempts, 2);
+  EXPECT_EQ(result.churn.crashes, 1u);
+  // Re-submission at t=20 onto the idle server-1 finishes at t=120.
+  EXPECT_NEAR(result.tasks[0].completion, 120.0, 1e-9);
+}
+
+TEST(ScenarioChurn, LeaveDrainsInFlightAndStopsNewWork) {
+  platform::Testbed bed = platform::buildUniform(2, 10.0, 0.0);
+  const auto type = workload::makeSyntheticType("t", 0.0, 50.0, 0.0, 0.0);
+  workload::Metatask mt;
+  mt.name = "leave";
+  mt.tasks.push_back({0, 1.0, type});   // lands on server-0 (tie-break)
+  mt.tasks.push_back({1, 30.0, type});  // server-0 already left: server-1
+  cas::SystemConfig cfg;
+  cfg.controlLatency = 0.0;
+
+  cas::ChurnEvent leave;
+  leave.time = 10.0;
+  leave.action = cas::ChurnAction::kLeave;
+  leave.server = "server-0";
+  const metrics::RunResult result =
+      cas::runExperimentSystem(bed, mt, "mct", cfg, {leave});
+  ASSERT_EQ(result.tasks.size(), 2u);
+  // The in-flight task drains on the departed server.
+  EXPECT_EQ(result.tasks[0].status, metrics::TaskStatus::kCompleted);
+  EXPECT_EQ(result.tasks[0].server, "server-0");
+  EXPECT_NEAR(result.tasks[0].completion, 51.0, 1e-9);
+  EXPECT_EQ(result.tasks[1].server, "server-1");
+  EXPECT_EQ(result.churn.leaves, 1u);
+}
+
+TEST(ScenarioChurn, JoinersAbsorbWork) {
+  platform::Testbed bed = platform::buildUniform(1, 10.0, 0.0);
+  const auto type = workload::makeSyntheticType("t", 0.0, 40.0, 0.0, 0.0);
+  workload::Metatask mt;
+  mt.name = "join";
+  for (std::size_t i = 0; i < 4; ++i) {
+    mt.tasks.push_back({i, 5.0 + 20.0 * static_cast<double>(i), type});
+  }
+  cas::SystemConfig cfg;
+  cfg.controlLatency = 0.0;
+
+  cas::ChurnEvent join;
+  join.time = 10.0;
+  join.action = cas::ChurnAction::kJoin;
+  join.server = "booster";
+  join.joinSpec.bwInMBps = 10.0;
+  join.joinSpec.bwOutMBps = 10.0;
+  join.joinSpec.latencyIn = 0.0;
+  join.joinSpec.latencyOut = 0.0;
+  join.speedIndex = 1.0;
+  const metrics::RunResult result =
+      cas::runExperimentSystem(bed, mt, "hmct", cfg, {join});
+  EXPECT_EQ(result.completedCount(), 4u);
+  EXPECT_EQ(result.churn.joins, 1u);
+  std::set<std::string> servers;
+  for (const auto& t : result.tasks) servers.insert(t.server);
+  EXPECT_TRUE(servers.count("booster") == 1) << "joiner never used";
+}
+
+TEST(ScenarioChurn, ChurnyGridLosesNothingWithFaultTolerance) {
+  const CompiledScenario compiled = compileScenario(findScenario("churny-grid"), 42);
+  ASSERT_TRUE(compiled.system.faultTolerance);
+  const metrics::RunResult result = runScenario(compiled, "hmct");
+  EXPECT_EQ(result.completedCount(), compiled.metatask.size());
+  EXPECT_EQ(result.lostCount(), 0u);
+  EXPECT_GE(result.churn.joins, 1u);
+  EXPECT_GE(result.churn.leaves, 1u);
+  EXPECT_GE(result.churn.crashes, 1u);
+}
+
+TEST(ScenarioGenerator, RejectsBadSpecs) {
+  ScenarioSpec spec = findScenario("churny-grid");
+  spec.workload.mix.clear();
+  spec.workload.custom.clear();
+  EXPECT_THROW(compileScenario(spec, 1), util::Error);
+
+  ScenarioSpec badChurn = findScenario("churny-grid");
+  ChurnSpec ghost;
+  ghost.time = 100.0;
+  ghost.action = "crash";
+  ghost.server = "not-a-server";
+  badChurn.churn.push_back(ghost);
+  EXPECT_THROW(compileScenario(badChurn, 1), util::Error);
+
+  EXPECT_THROW(resolveTypeName("matmul-abc"), util::ConfigError);
+  EXPECT_THROW(resolveTypeName("quicksort-9"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace casched::scenario
