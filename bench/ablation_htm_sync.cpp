@@ -1,54 +1,11 @@
 /// Ablation A3 (paper section 7, second future-work item): HTM <-> reality
-/// synchronization. Sweeps the ground-truth noise amplitude and compares the
-/// three sync policies on HTM prediction accuracy and resulting MSF quality.
-
-#include <iostream>
+/// synchronization. Sweeps the ground-truth noise amplitude against the three
+/// sync policies on HTM prediction accuracy and resulting MSF quality. Thin
+/// declaration over the registry scenario `ablation/htm_sync` (a two-axis
+/// noise x policy [sweep] grid) run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("ablation_htm_sync",
-                       "HTM synchronization policies under ground-truth noise");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kWasteCpuHighRate, "mean inter-arrival (s)");
-  args.addString("amplitudes", "0,0.05,0.1,0.2", "noise amplitudes to sweep");
-  if (!args.parse(argc, argv)) return 0;
-
-  util::TablePrinter table("Ablation: HTM sync policy vs noise (MSF, waste-cpu)");
-  table.setHeader({"noise", "sync policy", "HTM mean rel. error %", "MSF sumflow",
-                   "MSF maxstretch"});
-  util::CsvWriter csv({"noise", "policy", "htm_rel_err_pct", "sumflow", "maxstretch"});
-
-  for (const std::string& aStr : util::split(args.getString("amplitudes"), ',')) {
-    const double amplitude = std::stod(std::string(util::trim(aStr)));
-    for (const core::SyncPolicy policy :
-         {core::SyncPolicy::kPredictOnly, core::SyncPolicy::kDropOnNotice,
-          core::SyncPolicy::kRescale}) {
-      exp::ExperimentSpec spec =
-          bench::specFromFlags(args, platform::buildSet2(), workload::wasteCpuFamily(),
-                               args.getDouble("rate"));
-      spec.system.cpuNoise = {amplitude, 5.0};
-      spec.system.linkNoise = {amplitude, 5.0};
-      spec.system.htmSync = policy;
-      exp::CampaignConfig cc = bench::campaignFromFlags(args);
-      cc.heuristics = {"msf"};
-      cc.baseline = "msf";
-      const exp::CampaignResult result = exp::runCampaign(spec, cc);
-      const exp::CellAggregate& c = result.cell("msf", 0);
-      table.addRow({util::strformat("%g", amplitude), core::syncPolicyName(policy),
-                    util::strformat("%.2f", c.htmRelErrorPct.mean()),
-                    util::formatNumber(c.metrics.sumFlow.mean()),
-                    util::formatNumber(c.metrics.maxStretch.mean(), 1)});
-      csv.addRow({util::strformat("%g", amplitude), core::syncPolicyName(policy),
-                  util::strformat("%.3f", c.htmRelErrorPct.mean()),
-                  util::strformat("%.1f", c.metrics.sumFlow.mean()),
-                  util::strformat("%.3f", c.metrics.maxStretch.mean())});
-    }
-    table.addRule();
-  }
-  table.print(std::cout);
-  csv.writeFile(args.getString("out") + "/ablation_htm_sync.csv");
-  std::cout << "[wrote " << args.getString("out") << "/ablation_htm_sync.csv]\n";
-  return 0;
+  return casched::bench::runRegistryBench("ablation/htm_sync", argc, argv);
 }

@@ -1,51 +1,11 @@
 /// Ablation A4 (paper section 7, first future-work item): memory-aware
 /// admission. Reruns the Table 6 collapse regime with the "ma-" decorator to
 /// show that incorporating memory requirements into the model removes the
-/// collapses that plague MCT and HMCT.
-
-#include <iostream>
+/// collapses that plague MCT and HMCT. Thin declaration over the registry
+/// scenario `ablation/memory_aware` run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("ablation_memory_aware",
-                       "Memory-aware admission vs the Table 6 collapse regime");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kMatmulHighRate, "mean inter-arrival (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  exp::ExperimentSpec spec = bench::specFromFlags(
-      args, platform::buildSet1(), workload::matmulFamily(), args.getDouble("rate"));
-  exp::CampaignConfig cc = bench::campaignFromFlags(args);
-  cc.heuristics = {"mct", "hmct", "msf", "ma-hmct", "ma-msf"};
-  const exp::CampaignResult result = exp::runCampaign(spec, cc);
-
-  util::TablePrinter table(
-      "Ablation: memory-aware admission (matmul, high rate; 'ma-' = future-work "
-      "decorator)");
-  table.setHeader({"heuristic", "completed", "collapses", "sumflow", "maxstretch",
-                   "sooner vs MCT"});
-  util::CsvWriter csv({"heuristic", "completed", "collapses", "sumflow", "maxstretch",
-                       "sooner"});
-  for (const std::string& h : cc.heuristics) {
-    const exp::CellAggregate& c = result.cell(h, 0);
-    table.addRow({h, util::formatNumber(c.metrics.completed.mean()),
-                  util::formatNumber(c.collapses.mean(), 1),
-                  util::formatNumber(c.metrics.sumFlow.mean()),
-                  util::formatNumber(c.metrics.maxStretch.mean(), 1),
-                  c.metrics.sooner.count() == 0 ? "-"
-                                                : util::formatNumber(c.metrics.sooner.mean())});
-    csv.addRow({h, util::strformat("%.1f", c.metrics.completed.mean()),
-                util::strformat("%.2f", c.collapses.mean()),
-                util::strformat("%.1f", c.metrics.sumFlow.mean()),
-                util::strformat("%.3f", c.metrics.maxStretch.mean()),
-                util::strformat("%.1f", c.metrics.sooner.count() == 0
-                                            ? 0.0
-                                            : c.metrics.sooner.mean())});
-  }
-  table.print(std::cout);
-  csv.writeFile(args.getString("out") + "/ablation_memory_aware.csv");
-  std::cout << "[wrote " << args.getString("out") << "/ablation_memory_aware.csv]\n";
-  return 0;
+  return casched::bench::runRegistryBench("ablation/memory_aware", argc, argv);
 }

@@ -2,54 +2,11 @@
 /// discussion as a series: how sum-flow / max-flow / max-stretch evolve with
 /// the arrival rate, where MP crosses over from wasteful (low rate) to
 /// competitive (high rate), and MSF's robustness across the whole range.
-
-#include <iostream>
+/// Thin declaration over the registry scenario `ablation/rate_sweep` (its
+/// [sweep] axis carries the rate series) run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("ablation_rate_sweep",
-                       "Arrival-rate sweep over the waste-cpu workload (set 2)");
-  bench::addCommonFlags(args);
-  args.addString("rates", "30,27,24,21,18,15", "comma-separated mean inter-arrivals");
-  if (!args.parse(argc, argv)) return 0;
-
-  util::TablePrinter table("Ablation: arrival-rate sweep (waste-cpu, set 2)");
-  table.setHeader({"1/lambda", "heuristic", "completed", "sumflow", "maxflow",
-                   "maxstretch", "sooner vs MCT"});
-  util::CsvWriter csv({"rate", "heuristic", "completed", "sumflow", "maxflow",
-                       "maxstretch", "sooner"});
-
-  for (const std::string& rateStr : util::split(args.getString("rates"), ',')) {
-    const double rate = std::stod(std::string(util::trim(rateStr)));
-    exp::ExperimentSpec spec = bench::specFromFlags(
-        args, platform::buildSet2(), workload::wasteCpuFamily(), rate);
-    exp::CampaignConfig cc = bench::campaignFromFlags(args);
-    const exp::CampaignResult result = exp::runCampaign(spec, cc);
-    for (const std::string& h : result.heuristics) {
-      const exp::CellAggregate& c = result.cell(h, 0);
-      table.addRow({util::formatNumber(rate), h,
-                    util::formatNumber(c.metrics.completed.mean()),
-                    util::formatNumber(c.metrics.sumFlow.mean()),
-                    util::formatNumber(c.metrics.maxFlow.mean()),
-                    util::formatNumber(c.metrics.maxStretch.mean(), 1),
-                    c.metrics.sooner.count() == 0
-                        ? "-"
-                        : util::formatNumber(c.metrics.sooner.mean())});
-      csv.addRow({util::strformat("%g", rate), h,
-                  util::strformat("%.1f", c.metrics.completed.mean()),
-                  util::strformat("%.1f", c.metrics.sumFlow.mean()),
-                  util::strformat("%.1f", c.metrics.maxFlow.mean()),
-                  util::strformat("%.3f", c.metrics.maxStretch.mean()),
-                  util::strformat("%.1f", c.metrics.sooner.count() == 0
-                                              ? 0.0
-                                              : c.metrics.sooner.mean())});
-    }
-    table.addRule();
-  }
-  table.print(std::cout);
-  csv.writeFile(args.getString("out") + "/ablation_rate_sweep.csv");
-  std::cout << "[wrote " << args.getString("out") << "/ablation_rate_sweep.csv]\n";
-  return 0;
+  return casched::bench::runRegistryBench("ablation/rate_sweep", argc, argv);
 }

@@ -1,55 +1,11 @@
 /// Ablation A2: value of information. Sweeps the load-report period to show
-/// why the HTM helps: MCT's quality decays as its load view goes stale,
-/// while the HTM-based heuristics are immune (they never read load reports).
-
-#include <iostream>
+/// why the HTM helps: MCT's quality decays as its load view goes stale, while
+/// the HTM-based heuristics are immune (they never read load reports). Thin
+/// declaration over the registry scenario `ablation/staleness` run by the
+/// suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("ablation_staleness",
-                       "Load-report staleness sweep: MCT vs the HTM heuristics");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kWasteCpuHighRate, "mean inter-arrival (s)");
-  args.addString("periods", "5,15,30,60,120,300", "report periods to sweep (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  util::TablePrinter table(
-      "Ablation: MCT under load-report staleness (waste-cpu, high rate)");
-  table.setHeader({"report period (s)", "MCT sumflow", "MCT maxflow", "HMCT sumflow",
-                   "MSF sumflow"});
-  util::CsvWriter csv({"report_period", "heuristic", "sumflow", "maxflow", "maxstretch"});
-
-  for (const std::string& pStr : util::split(args.getString("periods"), ',')) {
-    const double period = std::stod(std::string(util::trim(pStr)));
-    exp::ExperimentSpec spec =
-        bench::specFromFlags(args, platform::buildSet2(), workload::wasteCpuFamily(),
-                             args.getDouble("rate"));
-    spec.system.reportPeriod = period;
-    exp::CampaignConfig cc = bench::campaignFromFlags(args);
-    cc.heuristics = {"mct", "hmct", "msf"};
-    const exp::CampaignResult result = exp::runCampaign(spec, cc);
-    const auto& mct = result.cell("mct", 0).metrics;
-    const auto& hmct = result.cell("hmct", 0).metrics;
-    const auto& msf = result.cell("msf", 0).metrics;
-    table.addRow({util::formatNumber(period), util::formatNumber(mct.sumFlow.mean()),
-                  util::formatNumber(mct.maxFlow.mean()),
-                  util::formatNumber(hmct.sumFlow.mean()),
-                  util::formatNumber(msf.sumFlow.mean())});
-    for (const std::string& h : cc.heuristics) {
-      const auto& m = result.cell(h, 0).metrics;
-      csv.addRow({util::strformat("%g", period), h,
-                  util::strformat("%.1f", m.sumFlow.mean()),
-                  util::strformat("%.1f", m.maxFlow.mean()),
-                  util::strformat("%.3f", m.maxStretch.mean())});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "(HMCT/MSF never read load reports: their columns are flat by "
-               "construction;\n MCT's own corrections bound the damage of stale "
-               "reports - see EXPERIMENTS.md)\n";
-  csv.writeFile(args.getString("out") + "/ablation_staleness.csv");
-  std::cout << "[wrote " << args.getString("out") << "/ablation_staleness.csv]\n";
-  return 0;
+  return casched::bench::runRegistryBench("ablation/staleness", argc, argv);
 }

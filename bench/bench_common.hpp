@@ -1,89 +1,116 @@
 #pragma once
 /// \file bench_common.hpp
-/// Shared plumbing for the table/figure reproduction benches: canonical
-/// experiment specs (calibrated operating points, see EXPERIMENTS.md), CLI
-/// wiring and output conventions. Every bench prints the paper-style table to
-/// stdout and writes a CSV twin under --out (default ./bench_out).
+/// Shared CLI wiring for the bench executables. Every experiment spec -
+/// testbeds, rates, noise, heuristic sets, sweep axes, table titles - lives
+/// in the scenario registry (src/scenario/registry.cpp, see EXPERIMENTS.md);
+/// a bench is just a registry name run through the exp::Suite driver, so the
+/// flags here are suite-level overrides only.
 
 #include <iostream>
 #include <string>
 
-#include "exp/campaign.hpp"
+#include "exp/suite.hpp"
 #include "exp/tables.hpp"
-#include "platform/testbed.hpp"
+#include "scenario/registry.hpp"
 #include "util/cli.hpp"
-#include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
-#include "workload/task_types.hpp"
 
 namespace casched::bench {
 
-/// Calibrated arrival rates. The paper's numeric rates were lost in the
-/// scanned text; these reproduce the published contention regimes (the MCT
-/// baseline's mean flow and the Table 6 collapse boundary) - the full
-/// derivation is in EXPERIMENTS.md.
-inline constexpr double kMatmulLowRate = 30.0;
-inline constexpr double kMatmulHighRate = 21.0;
-inline constexpr double kWasteCpuLowRate = 30.0;
-inline constexpr double kWasteCpuHighRate = 18.0;
-
-/// Ground-truth variability matching Table 1's error band (<3% mean).
-inline constexpr double kCpuNoise = 0.08;
-inline constexpr double kLinkNoise = 0.10;
-
-inline void addCommonFlags(util::ArgParser& args) {
-  args.addInt("tasks", 500, "tasks per metatask (paper: 500)");
-  args.addInt("replications", 3, "replications per metatask");
-  args.addInt("metatasks", 1, "distinct metatasks");
+inline void addSuiteFlags(util::ArgParser& args) {
   args.addInt("seed", 42, "master seed");
-  args.addDouble("cpu-noise", kCpuNoise, "CPU noise amplitude");
-  args.addDouble("link-noise", kLinkNoise, "link noise amplitude");
-  args.addDouble("report-period", 30.0, "load report period (s)");
-  args.addString("out", "bench_out", "output directory for CSV twins");
+  args.addInt("tasks", 0, "tasks per metatask (0 = scenario value)");
+  args.addInt("replications", 0, "replications per metatask (0 = scenario value)");
+  args.addInt("metatasks", 0, "distinct metatasks (0 = scenario value)");
+  args.addString("heuristics", "", "heuristic list override (comma-separated)");
+  args.addString("ft", "", "fault-tolerance policy override: scenario|paper|all|none");
   args.addInt("threads", 0, "replication threads (0 = hardware)");
+  args.addString("out", "bench_out", "output directory for table/CSV/JSON twins");
 }
 
-inline exp::ExperimentSpec specFromFlags(const util::ArgParser& args,
-                                         platform::Testbed testbed,
-                                         std::vector<workload::TaskType> types,
-                                         double rate) {
-  exp::ExperimentSpec spec;
-  spec.testbed = std::move(testbed);
-  spec.metatask.count = static_cast<std::size_t>(args.getInt("tasks"));
-  spec.metatask.meanInterarrival = rate;
-  spec.metatask.types = std::move(types);
-  spec.metatask.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-  spec.system.reportPeriod = args.getDouble("report-period");
-  spec.system.cpuNoise = {args.getDouble("cpu-noise"), 5.0};
-  spec.system.linkNoise = {args.getDouble("link-noise"), 5.0};
-  return spec;
+inline exp::SuiteOptions suiteOptionsFromFlags(const util::ArgParser& args) {
+  exp::SuiteOptions options;
+  options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  options.taskCount = static_cast<std::size_t>(args.getInt("tasks"));
+  options.replications = static_cast<std::size_t>(args.getInt("replications"));
+  options.metatasks = static_cast<std::size_t>(args.getInt("metatasks"));
+  options.threads = static_cast<unsigned>(args.getInt("threads"));
+  for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
+    const std::string trimmed(util::trim(h));
+    if (!trimmed.empty()) options.heuristics.push_back(trimmed);
+  }
+  if (!args.getString("ft").empty()) {
+    options.ftPolicy = exp::parseFaultTolerancePolicy(args.getString("ft"));
+  }
+  return options;
 }
 
-inline exp::CampaignConfig campaignFromFlags(const util::ArgParser& args) {
-  exp::CampaignConfig cc;
-  cc.metataskCount = static_cast<std::size_t>(args.getInt("metatasks"));
-  cc.replications = static_cast<std::size_t>(args.getInt("replications"));
-  cc.threads = static_cast<unsigned>(args.getInt("threads"));
-  return cc;
+/// Resolves a --scenarios value: "all", a registry group ("paper",
+/// "ablation", "traffic"), or an explicit comma-separated list.
+inline std::vector<std::string> resolveScenarioList(const std::string& value) {
+  const std::string v = util::toLower(util::trim(value));
+  if (v == "all") return scenario::scenarioNames();
+  if (v == "paper") return scenario::scenarioNamesWithPrefix("paper/");
+  if (v == "ablation" || v == "ablations") {
+    return scenario::scenarioNamesWithPrefix("ablation/");
+  }
+  if (v == "traffic") {  // the production-shaped scenarios (no group prefix)
+    std::vector<std::string> names;
+    for (const std::string& name : scenario::scenarioNames()) {
+      if (name.find('/') == std::string::npos) names.push_back(name);
+    }
+    return names;
+  }
+  std::vector<std::string> names;
+  for (const std::string& n : util::split(value, ',')) {
+    const std::string trimmed(util::trim(n));
+    if (!trimmed.empty()) names.push_back(trimmed);
+  }
+  if (names.empty()) throw util::ConfigError("empty scenario list");
+  return names;
 }
 
-/// Runs a result-table campaign, prints it and archives table + raw CSV.
-inline int runTableBench(const util::ArgParser& args, const exp::ExperimentSpec& spec,
-                         const exp::CampaignConfig& cc, const std::string& title,
-                         const std::string& baseName) {
-  const exp::CampaignResult result = exp::runCampaign(spec, cc);
-  const util::TablePrinter table =
-      cc.metataskCount > 1 ? exp::renderMultiMetataskTable(title, result)
-                           : exp::renderSingleMetataskTable(title, result);
-  table.print(std::cout);
-  std::cout << "\n";
-  exp::renderServerDiagnostics("Per-server diagnostics (first run of each heuristic)",
-                               result)
-      .print(std::cout);
-  exp::emitTable(table, exp::campaignRawCsv(result), args.getString("out"), baseName);
-  std::cout << "\n[wrote " << args.getString("out") << "/" << baseName
-            << ".{txt,csv}]\n";
-  return 0;
+/// Prints one suite scenario: its paper-style table, per-server diagnostics
+/// for unswept campaigns, and the perf record.
+inline void printSuiteScenario(const exp::SuiteScenarioResult& s) {
+  exp::renderSuiteScenarioTable(s).print(std::cout);
+  if (!s.swept()) {
+    std::cout << "\n";
+    exp::renderServerDiagnostics(
+        "Per-server diagnostics (first run of each heuristic)",
+        s.variants.front().result)
+        .print(std::cout);
+  }
+  std::cout << util::strformat(
+      "\n[perf] %s: %.0f events/s (%llu events in %.2fs)\n", s.scenario.c_str(),
+      s.eventsPerSecond(), static_cast<unsigned long long>(s.simulatedEvents),
+      s.wallSeconds);
+}
+
+/// The whole body of a single-scenario bench binary: parse overrides, run
+/// the registry scenario through the suite, print and archive the outputs.
+inline int runRegistryBench(const std::string& scenarioName, int argc,
+                            const char* const* argv) {
+  try {
+    const scenario::ScenarioSpec spec = scenario::findScenario(scenarioName);
+    util::ArgParser args(exp::scenarioFileBase(scenarioName), spec.description);
+    addSuiteFlags(args);
+    if (!args.parse(argc, argv)) return 0;
+    const exp::SuiteOptions options = suiteOptionsFromFlags(args);
+    exp::SuiteResult suite;
+    suite.seed = options.seed;
+    suite.scenarios.push_back(exp::runSuiteScenario(spec, options));
+    printSuiteScenario(suite.scenarios.front());
+    const std::string base = exp::scenarioFileBase(scenarioName);
+    exp::emitSuite(suite, args.getString("out"), base);
+    std::cout << "\n[wrote " << args.getString("out") << "/" << base
+              << ".{txt,csv,json}]\n";
+    return 0;
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace casched::bench

@@ -1,0 +1,54 @@
+/// Suite driver: runs any set of registry scenarios as replicated campaigns
+/// in one invocation - the paper's result tables, the ablation sweeps, the
+/// production traffic scenarios, or all of them - and emits every paper-style
+/// table, its CSV twin, and one JSON record with per-scenario aggregates and
+/// throughput (events/sec). This is the CI entry point for the per-scenario
+/// perf baseline (`mega-cluster` is the scale canary).
+///
+///   ./bench_suite --suite paper
+///   ./bench_suite --suite ablations --replications 1
+///   ./bench_suite --scenarios paper/table5_matmul_low,mega-cluster --tasks 120
+///
+/// Groups: all | paper | ablations | traffic, or an explicit comma list.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casched;
+  util::ArgParser args("bench_suite",
+                       "run registry scenarios as campaigns via the suite driver");
+  args.addString("suite", "paper",
+                 "scenario group: all | paper | ablations | traffic");
+  args.addString("scenarios", "", "explicit comma-separated list (overrides --suite)");
+  args.addString("json", "suite", "base name of the aggregated JSON record");
+  bench::addSuiteFlags(args);
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const std::vector<std::string> names =
+        bench::resolveScenarioList(args.getString("scenarios").empty()
+                                       ? args.getString("suite")
+                                       : args.getString("scenarios"));
+    const exp::SuiteOptions options = bench::suiteOptionsFromFlags(args);
+
+    exp::SuiteResult suite;
+    suite.seed = options.seed;
+    for (const std::string& name : names) {
+      std::cout << "=== " << name << " ===\n" << std::flush;
+      suite.scenarios.push_back(
+          exp::runSuiteScenario(scenario::findScenario(name), options));
+      bench::printSuiteScenario(suite.scenarios.back());
+      std::cout << "\n";
+    }
+
+    exp::emitSuite(suite, args.getString("out"), args.getString("json"));
+    std::cout << "[wrote " << args.getString("out") << "/<scenario>.{txt,csv} and "
+              << args.getString("out") << "/" << args.getString("json")
+              << ".json for " << suite.scenarios.size() << " scenarios]\n";
+    return 0;
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -2,85 +2,85 @@
 /// prints a makespan/lost comparison grid - a single table showing how each
 /// heuristic degrades (or not) from the paper's Poisson lab regimes through
 /// bursty, diurnal, heavy-tailed, flash-crowd, churny and 64-server traffic.
+/// Runs on the suite driver (one single-replication campaign per scenario;
+/// [sweep] axes are ignored - the grid compares the base operating points).
 ///
-///   ./scenario_matrix [--scenarios all|a,b,c] [--heuristics mct,hmct,mp,msf]
+///   ./scenario_matrix [--scenarios all|paper|ablations|traffic|a,b,c]
+///                     [--heuristics mct,hmct,mp,msf] [--replications 2]
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "metrics/metrics.hpp"
-#include "scenario/generate.hpp"
-#include "scenario/registry.hpp"
-#include "util/cli.hpp"
 #include "util/csv.hpp"
-#include "util/error.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-
-#include "exp/tables.hpp"
 
 int main(int argc, char** argv) {
   using namespace casched;
   util::ArgParser args("scenario_matrix", "registry x heuristics sweep");
-  args.addString("scenarios", "all", "comma-separated registry names, or 'all'");
-  args.addString("heuristics", "mct,hmct,mp,msf", "comma-separated heuristics");
-  args.addInt("seed", 42, "master seed");
-  args.addString("out", "bench_out", "output directory for the CSV twin");
+  args.addString("scenarios", "all",
+                 "scenario group (all | paper | ablations | traffic) or comma list");
+  bench::addSuiteFlags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
-
-    std::vector<std::string> names;
-    if (args.getString("scenarios") == "all") {
-      names = scenario::scenarioNames();
-    } else {
-      for (const std::string& n : util::split(args.getString("scenarios"), ',')) {
-        names.push_back(std::string(util::trim(n)));
-      }
+    const std::vector<std::string> names =
+        bench::resolveScenarioList(args.getString("scenarios"));
+    exp::SuiteOptions options = bench::suiteOptionsFromFlags(args);
+    if (options.replications == 0) options.replications = 1;
+    if (options.heuristics.empty()) {
+      options.heuristics = {"mct", "hmct", "mp", "msf"};
     }
-    std::vector<std::string> heuristics;
-    for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
-      heuristics.push_back(std::string(util::trim(h)));
-    }
-    const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
 
     util::TablePrinter table("Scenario matrix: makespan (lost tasks) per heuristic");
     std::vector<std::string> header{"scenario"};
-    header.insert(header.end(), heuristics.begin(), heuristics.end());
+    header.insert(header.end(), options.heuristics.begin(), options.heuristics.end());
     header.push_back("servers");
     header.push_back("churn");
     table.setHeader(std::move(header));
 
     util::CsvWriter csv({"scenario", "heuristic", "completed", "lost", "makespan",
                          "meanflow", "meanstretch", "joins", "leaves", "crashes",
-                         "slowdowns"});
+                         "slowdowns", "events_per_second"});
+    exp::SuiteResult suite;
+    suite.seed = options.seed;
     for (const std::string& name : names) {
-      const scenario::CompiledScenario compiled =
-          scenario::compileScenario(scenario::findScenario(name), seed);
+      scenario::ScenarioSpec spec = scenario::findScenario(name);
+      spec.sweep.clear();  // the grid compares base operating points
+      suite.scenarios.push_back(exp::runSuiteScenario(spec, options));
+      const exp::SuiteScenarioResult& s = suite.scenarios.back();
+      const exp::CampaignResult& result = s.variants.front().result;
+
       std::vector<std::string> row{name};
-      for (const std::string& h : heuristics) {
-        const metrics::RunResult result = scenario::runScenario(compiled, h);
-        const metrics::RunMetrics m = metrics::computeMetrics(result);
-        row.push_back(util::formatNumber(m.makespan, 0) +
-                      (m.lost > 0 ? " (" + std::to_string(m.lost) + ")" : ""));
+      for (const std::string& h : options.heuristics) {
+        const exp::CellAggregate& c = result.cell(h, 0);
+        const auto lost = static_cast<std::uint64_t>(c.lost.mean() + 0.5);
+        row.push_back(util::formatNumber(c.metrics.makespan.mean(), 0) +
+                      (lost > 0 ? " (" + std::to_string(lost) + ")" : ""));
+        const metrics::RunResult& sample = result.sampleRuns.at(h);
+        const metrics::RunMetrics m = metrics::computeMetrics(sample);
         csv.addRow({name, h, std::to_string(m.completed), std::to_string(m.lost),
                     util::strformat("%.2f", m.makespan),
                     util::strformat("%.2f", m.meanFlow),
                     util::strformat("%.3f", m.meanStretch),
-                    std::to_string(result.churn.joins),
-                    std::to_string(result.churn.leaves),
-                    std::to_string(result.churn.crashes),
-                    std::to_string(result.churn.slowdowns)});
+                    std::to_string(sample.churn.joins),
+                    std::to_string(sample.churn.leaves),
+                    std::to_string(sample.churn.crashes),
+                    std::to_string(sample.churn.slowdowns),
+                    util::strformat("%.0f", s.eventsPerSecond())});
       }
-      row.push_back(std::to_string(compiled.testbed.servers.size()));
+      row.push_back(std::to_string(s.servers));
       // Scheduled timeline size: applied counts can differ per heuristic
       // (events past a faster run's end never fire) and live in the CSV.
-      row.push_back(std::to_string(compiled.churn.size()));
+      row.push_back(std::to_string(s.churnEvents));
       table.addRow(std::move(row));
       std::cout << "." << std::flush;
     }
     std::cout << "\n\n";
     table.print(std::cout);
     exp::emitTable(table, csv.render(), args.getString("out"), "scenario_matrix");
-    std::cout << "\n[wrote " << args.getString("out") << "/scenario_matrix.{txt,csv}]\n";
+    exp::emitText(exp::suiteJson(suite), args.getString("out"),
+                  "scenario_matrix.json");
+    std::cout << "\n[wrote " << args.getString("out")
+              << "/scenario_matrix.{txt,csv,json}]\n";
     return 0;
   } catch (const util::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,24 +1,10 @@
 /// Reproduces paper Table 5: 500 matrix-multiplication tasks on server set 1
-/// (chamagne/pulney/cabestan/artimon) at the LOW arrival rate; MCT vs HMCT vs
-/// MP vs MSF on identical metatasks.
+/// at the LOW arrival rate. Thin declaration over the registry scenario
+/// `paper/table5_matmul_low` run by the suite driver; the calibrated
+/// operating point lives in src/scenario/registry.cpp (see EXPERIMENTS.md).
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("table5_matmul_low",
-                       "Paper Table 5: multiplication tasks, low arrival rate");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kMatmulLowRate, "mean inter-arrival (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  exp::ExperimentSpec spec = bench::specFromFlags(
-      args, platform::buildSet1(), workload::matmulFamily(), args.getDouble("rate"));
-  const exp::CampaignConfig cc = bench::campaignFromFlags(args);
-  return bench::runTableBench(
-      args, spec, cc,
-      util::strformat("Table 5. results for 1/lambda = %gs for multiplication tasks "
-                      "(mean of %zu runs)",
-                      args.getDouble("rate"), cc.replications),
-      "table5_matmul_low");
+  return casched::bench::runRegistryBench("paper/table5_matmul_low", argc, argv);
 }

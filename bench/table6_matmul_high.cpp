@@ -1,25 +1,10 @@
-/// Reproduces paper Table 6: 500 matrix-multiplication tasks at the HIGH
-/// arrival rate - the memory-collapse regime. NetSolve's MCT keeps its fault
-/// tolerance (re-submission); HMCT/MP/MSF run without it, as in the paper.
+/// Reproduces paper Table 6: matrix multiplication at the HIGH arrival rate -
+/// the memory-collapse regime; NetSolve's MCT keeps its fault tolerance as in
+/// the paper (ft-policy = paper). Thin declaration over the registry scenario
+/// `paper/table6_matmul_high` run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("table6_matmul_high",
-                       "Paper Table 6: multiplication tasks, high arrival rate "
-                       "(server memory collapses)");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kMatmulHighRate, "mean inter-arrival (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  exp::ExperimentSpec spec = bench::specFromFlags(
-      args, platform::buildSet1(), workload::matmulFamily(), args.getDouble("rate"));
-  const exp::CampaignConfig cc = bench::campaignFromFlags(args);
-  return bench::runTableBench(
-      args, spec, cc,
-      util::strformat("Table 6. results for 1/lambda = %gs for multiplication tasks "
-                      "(mean of %zu runs; MCT has NetSolve fault tolerance)",
-                      args.getDouble("rate"), cc.replications),
-      "table6_matmul_high");
+  return casched::bench::runRegistryBench("paper/table6_matmul_high", argc, argv);
 }

@@ -1,25 +1,9 @@
-/// Reproduces paper Table 7: 500 waste-cpu tasks on server set 2
-/// (valette/spinnaker/cabestan/artimon) at the LOW rate, three metatasks,
-/// mean +- sd over replications.
+/// Reproduces paper Table 7: 500 waste-cpu tasks on server set 2 at the LOW
+/// rate, three metatasks, mean +- sd over replications. Thin declaration over
+/// the registry scenario `paper/table7_wastecpu_low` run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("table7_wastecpu_low",
-                       "Paper Table 7: waste-cpu tasks, low arrival rate");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kWasteCpuLowRate, "mean inter-arrival (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  exp::ExperimentSpec spec = bench::specFromFlags(
-      args, platform::buildSet2(), workload::wasteCpuFamily(), args.getDouble("rate"));
-  exp::CampaignConfig cc = bench::campaignFromFlags(args);
-  if (cc.metataskCount == 1) cc.metataskCount = 3;  // paper uses three metatasks
-  return bench::runTableBench(
-      args, spec, cc,
-      util::strformat("Table 7. results for 1/lambda = %gs for waste-cpu tasks "
-                      "(3 metatasks, mean of %zu runs each)",
-                      args.getDouble("rate"), cc.replications),
-      "table7_wastecpu_low");
+  return casched::bench::runRegistryBench("paper/table7_wastecpu_low", argc, argv);
 }

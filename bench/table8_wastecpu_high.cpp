@@ -1,24 +1,9 @@
 /// Reproduces paper Table 8: 500 waste-cpu tasks on server set 2 at the HIGH
-/// rate, three metatasks, mean +- sd over replications.
+/// rate, three metatasks, mean +- sd over replications. Thin declaration over
+/// the registry scenario `paper/table8_wastecpu_high` run by the suite driver.
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace casched;
-  util::ArgParser args("table8_wastecpu_high",
-                       "Paper Table 8: waste-cpu tasks, high arrival rate");
-  bench::addCommonFlags(args);
-  args.addDouble("rate", bench::kWasteCpuHighRate, "mean inter-arrival (s)");
-  if (!args.parse(argc, argv)) return 0;
-
-  exp::ExperimentSpec spec = bench::specFromFlags(
-      args, platform::buildSet2(), workload::wasteCpuFamily(), args.getDouble("rate"));
-  exp::CampaignConfig cc = bench::campaignFromFlags(args);
-  if (cc.metataskCount == 1) cc.metataskCount = 3;
-  return bench::runTableBench(
-      args, spec, cc,
-      util::strformat("Table 8. results for 1/lambda = %gs for waste-cpu tasks "
-                      "(3 metatasks, mean of %zu runs each)",
-                      args.getDouble("rate"), cc.replications),
-      "table8_wastecpu_high");
+  return casched::bench::runRegistryBench("paper/table8_wastecpu_high", argc, argv);
 }

@@ -1,18 +1,21 @@
 /// Full matrix-multiplication campaign on the paper's first server set -
 /// the workflow behind Tables 5 and 6, fully parameterized. Useful to
 /// explore regimes the paper did not publish (different rates, schedulers,
-/// fault-tolerance policies, noise levels).
+/// fault-tolerance policies, noise levels). Starts from the registry entry
+/// `paper/table5_matmul_low` and rewrites it through the scenario/sweep API
+/// before handing it to the suite driver - no hand-built specs.
 ///
 ///   ./matmul_campaign --rate 21 --heuristics mct,hmct,mp,msf,mni --reps 5
 
 #include <iostream>
 
-#include "exp/campaign.hpp"
+#include "exp/suite.hpp"
 #include "exp/tables.hpp"
-#include "platform/testbed.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
-#include "workload/task_types.hpp"
 
 int main(int argc, char** argv) {
   using namespace casched;
@@ -21,53 +24,55 @@ int main(int argc, char** argv) {
   args.addInt("tasks", 500, "tasks per metatask");
   args.addDouble("rate", 30.0, "mean inter-arrival (s)");
   args.addString("heuristics", "mct,hmct,mp,msf", "comma-separated heuristics");
-  args.addString("ft", "paper", "fault tolerance: paper | all | none");
+  args.addString("ft", "paper", "fault tolerance: scenario | paper | all | none");
   args.addInt("reps", 3, "replications");
   args.addInt("metatasks", 1, "distinct metatasks");
   args.addInt("seed", 42, "master seed");
-  args.addDouble("cpu-noise", 0.08, "CPU noise amplitude");
+  args.addDouble("cpu-noise", 0.08, "CPU and link noise amplitude");
   args.addDouble("report-period", 30.0, "MCT load-report period (s)");
-  args.addString("out", "", "optional output dir for table + CSV");
-  if (!args.parse(argc, argv)) return 0;
+  args.addString("out", "", "optional output dir for table + CSV + JSON");
+  try {
+    if (!args.parse(argc, argv)) return 0;
 
-  exp::ExperimentSpec spec;
-  spec.name = "matmul-campaign";
-  spec.testbed = platform::buildSet1();
-  spec.metatask.count = static_cast<std::size_t>(args.getInt("tasks"));
-  spec.metatask.meanInterarrival = args.getDouble("rate");
-  spec.metatask.types = workload::matmulFamily();
-  spec.metatask.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-  spec.system.reportPeriod = args.getDouble("report-period");
-  spec.system.cpuNoise = {args.getDouble("cpu-noise"), 5.0};
-  spec.system.linkNoise = {args.getDouble("cpu-noise"), 5.0};
+    scenario::ScenarioSpec spec =
+        scenario::findScenario("paper/table5_matmul_low");
+    spec.name = "matmul_campaign";
+    spec.campaign.title =
+        util::strformat("matmul campaign, 1/lambda = %gs", args.getDouble("rate"));
+    spec = scenario::applySweepValue(
+        spec, "rate", util::strformat("%g", args.getDouble("rate")));
+    spec = scenario::applySweepValue(
+        spec, "noise", util::strformat("%g", args.getDouble("cpu-noise")));
+    spec = scenario::applySweepValue(
+        spec, "report-period",
+        util::strformat("%g", args.getDouble("report-period")));
 
-  exp::CampaignConfig cc;
-  cc.heuristics.clear();
-  for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
-    cc.heuristics.push_back(std::string(util::trim(h)));
+    exp::SuiteOptions options;
+    options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    options.taskCount = static_cast<std::size_t>(args.getInt("tasks"));
+    options.metatasks = static_cast<std::size_t>(args.getInt("metatasks"));
+    options.replications = static_cast<std::size_t>(args.getInt("reps"));
+    options.ftPolicy = exp::parseFaultTolerancePolicy(args.getString("ft"));
+    for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
+      const std::string trimmed(util::trim(h));
+      if (!trimmed.empty()) options.heuristics.push_back(trimmed);
+    }
+
+    exp::SuiteResult suite;
+    suite.seed = options.seed;
+    suite.scenarios.push_back(exp::runSuiteScenario(spec, options));
+    const exp::SuiteScenarioResult& s = suite.scenarios.front();
+    exp::renderSuiteScenarioTable(s).print(std::cout);
+    std::cout << "\n";
+    exp::renderServerDiagnostics("Per-server diagnostics",
+                                 s.variants.front().result)
+        .print(std::cout);
+    if (!args.getString("out").empty()) {
+      exp::emitSuite(suite, args.getString("out"), "matmul_campaign");
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  cc.metataskCount = static_cast<std::size_t>(args.getInt("metatasks"));
-  cc.replications = static_cast<std::size_t>(args.getInt("reps"));
-  const std::string ft = args.getString("ft");
-  cc.ftPolicy = ft == "all"    ? exp::FaultTolerancePolicy::kAll
-                : ft == "none" ? exp::FaultTolerancePolicy::kNone
-                               : exp::FaultTolerancePolicy::kPaper;
-
-  const exp::CampaignResult result = exp::runCampaign(spec, cc);
-  const util::TablePrinter table =
-      cc.metataskCount > 1
-          ? exp::renderMultiMetataskTable(
-                util::strformat("matmul campaign, 1/lambda = %gs", spec.metatask.meanInterarrival),
-                result)
-          : exp::renderSingleMetataskTable(
-                util::strformat("matmul campaign, 1/lambda = %gs", spec.metatask.meanInterarrival),
-                result);
-  table.print(std::cout);
-  std::cout << "\n";
-  exp::renderServerDiagnostics("Per-server diagnostics", result).print(std::cout);
-  if (!args.getString("out").empty()) {
-    exp::emitTable(table, exp::campaignRawCsv(result), args.getString("out"),
-                   "matmul_campaign");
-  }
-  return 0;
 }

@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
     if (args.getBool("list")) {
       for (const std::string& name : scenario::scenarioNames()) {
         const scenario::ScenarioSpec s = scenario::findScenario(name);
-        std::cout << util::strformat("%-14s %s\n", name.c_str(),
-                                     s.description.c_str());
+        std::cout << util::strformat("%-26s %s%s\n", name.c_str(),
+                                     s.description.c_str(),
+                                     s.sweep.empty() ? "" : " [sweep]");
       }
       return 0;
     }
@@ -55,7 +56,8 @@ int main(int argc, char** argv) {
               << util::formatNumber(compiled.metatask.lastArrival()) << "s\n"
               << "  churn:    " << compiled.churn.size() << " scheduled events\n\n";
 
-    const std::string ftPolicy = util::toLower(args.getString("ft"));
+    const exp::FaultTolerancePolicy ftPolicy =
+        exp::parseFaultTolerancePolicy(args.getString("ft"));
     util::TablePrinter table("Scenario '" + compiled.name + "' (seed " +
                              std::to_string(seed) + ")");
     table.setHeader({"heuristic", "completed", "lost", "makespan", "mean flow",
@@ -64,16 +66,8 @@ int main(int argc, char** argv) {
       const std::string heuristic = std::string(util::trim(h));
       if (heuristic.empty()) continue;
       scenario::CompiledScenario run = compiled;
-      if (ftPolicy == "paper") {
-        run.system.faultTolerance =
-            exp::grantsFaultTolerance(exp::FaultTolerancePolicy::kPaper, heuristic);
-      } else if (ftPolicy == "all") {
-        run.system.faultTolerance = true;
-      } else if (ftPolicy == "none") {
-        run.system.faultTolerance = false;
-      } else if (ftPolicy != "scenario") {
-        throw util::ConfigError("unknown --ft policy '" + ftPolicy + "'");
-      }
+      run.system.faultTolerance = exp::resolveFaultTolerance(
+          ftPolicy, heuristic, compiled.system.faultTolerance);
       const metrics::RunResult result = scenario::runScenario(run, heuristic);
       const metrics::RunMetrics m = metrics::computeMetrics(result);
       table.addRow({heuristic, std::to_string(m.completed), std::to_string(m.lost),

@@ -1,6 +1,7 @@
 #include "exp/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "simcore/rng.hpp"
 #include "util/csv.hpp"
@@ -28,6 +29,7 @@ CampaignResult runCampaign(const ExperimentSpec& spec, const CampaignConfig& con
   CASCHED_CHECK(!config.heuristics.empty(), "campaign needs heuristics");
   CASCHED_CHECK(config.metataskCount > 0 && config.replications > 0,
                 "campaign needs at least one metatask and one replication");
+  const auto wallStart = std::chrono::steady_clock::now();
 
   // Pre-generate the metatasks (same ones for every heuristic).
   std::vector<workload::Metatask> metatasks;
@@ -53,7 +55,8 @@ CampaignResult runCampaign(const ExperimentSpec& spec, const CampaignConfig& con
         PairOutcome& out = outcomes[slot];
         out.runs.reserve(config.heuristics.size());
         for (const std::string& h : config.heuristics) {
-          const bool ft = grantsFaultTolerance(config.ftPolicy, h);
+          const bool ft =
+              resolveFaultTolerance(config.ftPolicy, h, spec.system.faultTolerance);
           out.runs.push_back(runOne(spec, metatasks[m], h, ft, noiseSeed));
         }
         (void)r;
@@ -91,6 +94,7 @@ CampaignResult runCampaign(const ExperimentSpec& spec, const CampaignConfig& con
         cell.collapses.add(static_cast<double>(collapses));
         cell.lost.add(static_cast<double>(rm.lost));
         cell.htmRelErrorPct.add(run.htmMeanRelErrorPercent);
+        result.simulatedEvents += run.simulatedEvents;
 
         RawRow raw;
         raw.heuristic = config.heuristics[h];
@@ -112,13 +116,17 @@ CampaignResult runCampaign(const ExperimentSpec& spec, const CampaignConfig& con
       }
     }
   }
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
+          .count();
   return result;
 }
 
 std::string campaignRawCsv(const CampaignResult& result) {
   util::CsvWriter csv({"heuristic", "metatask", "replication", "completed", "lost",
                        "makespan", "sumflow", "maxflow", "maxstretch", "meanstretch",
-                       "sooner_vs_baseline", "collapses", "htm_rel_err_pct"});
+                       "sooner_vs_baseline", "collapses", "htm_rel_err_pct",
+                       "simulated_events"});
   for (const RawRow& r : result.raw) {
     csv.addRow({r.heuristic, std::to_string(r.metataskIndex + 1),
                 std::to_string(r.replication + 1), std::to_string(r.metrics.completed),
@@ -127,7 +135,8 @@ std::string campaignRawCsv(const CampaignResult& result) {
                 util::strformat("%.2f", r.metrics.maxFlow),
                 util::strformat("%.3f", r.metrics.maxStretch),
                 util::strformat("%.3f", r.metrics.meanStretch), std::to_string(r.sooner),
-                std::to_string(r.collapses), util::strformat("%.3f", r.htmRelErrorPct)});
+                std::to_string(r.collapses), util::strformat("%.3f", r.htmRelErrorPct),
+                std::to_string(r.metrics.simulatedEvents)});
   }
   return csv.render();
 }

@@ -57,6 +57,13 @@ struct CampaignResult {
   std::map<std::string, metrics::RunResult> sampleRuns;
   std::vector<RawRow> raw;  ///< every run, deterministic order
 
+  /// Throughput record of the whole campaign (all runs, all threads).
+  double wallSeconds = 0.0;
+  std::uint64_t simulatedEvents = 0;
+  double eventsPerSecond() const {
+    return wallSeconds > 0.0 ? static_cast<double>(simulatedEvents) / wallSeconds : 0.0;
+  }
+
   const CellAggregate& cell(const std::string& heuristic, std::size_t metataskIdx) const;
 };
 

@@ -2,16 +2,18 @@
 
 #include "scenario/generate.hpp"
 #include "scenario/registry.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace casched::exp {
 
-ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t seed) {
-  const scenario::ScenarioSpec parsed = scenario::findScenario(scenarioName);
-  const scenario::CompiledScenario compiled = scenario::compileScenario(parsed, seed);
+ExperimentSpec specFromScenarioSpec(const scenario::ScenarioSpec& scenarioSpec,
+                                    std::uint64_t seed) {
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(scenarioSpec, seed);
   ExperimentSpec spec;
   spec.name = compiled.name;
-  spec.scenario = scenarioName;
+  spec.scenario = scenarioSpec.name;
   spec.testbed = compiled.testbed;
   spec.metatask = compiled.metataskConfig;
   spec.system = compiled.system;
@@ -19,13 +21,44 @@ ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t s
   return spec;
 }
 
+ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t seed) {
+  return specFromScenarioSpec(scenario::findScenario(scenarioName), seed);
+}
+
+FaultTolerancePolicy parseFaultTolerancePolicy(const std::string& name) {
+  const std::string n = util::toLower(name);
+  if (n == "paper") return FaultTolerancePolicy::kPaper;
+  if (n == "all") return FaultTolerancePolicy::kAll;
+  if (n == "none") return FaultTolerancePolicy::kNone;
+  if (n == "scenario") return FaultTolerancePolicy::kScenario;
+  throw util::ConfigError("unknown fault-tolerance policy '" + name +
+                          "' (want scenario | paper | all | none)");
+}
+
+const char* faultTolerancePolicyName(FaultTolerancePolicy policy) {
+  switch (policy) {
+    case FaultTolerancePolicy::kPaper: return "paper";
+    case FaultTolerancePolicy::kAll: return "all";
+    case FaultTolerancePolicy::kNone: return "none";
+    case FaultTolerancePolicy::kScenario: return "scenario";
+  }
+  return "?";
+}
+
 bool grantsFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic) {
   switch (policy) {
     case FaultTolerancePolicy::kPaper: return util::toLower(heuristic) == "mct";
     case FaultTolerancePolicy::kAll: return true;
     case FaultTolerancePolicy::kNone: return false;
+    case FaultTolerancePolicy::kScenario: return false;
   }
   return false;
+}
+
+bool resolveFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic,
+                           bool scenarioDefault) {
+  if (policy == FaultTolerancePolicy::kScenario) return scenarioDefault;
+  return grantsFaultTolerance(policy, heuristic);
 }
 
 metrics::RunResult runOne(const ExperimentSpec& spec, const workload::Metatask& metatask,

@@ -8,6 +8,7 @@
 #include "cas/system.hpp"
 #include "metrics/record.hpp"
 #include "platform/testbed.hpp"
+#include "scenario/spec.hpp"
 #include "workload/metatask.hpp"
 
 namespace casched::exp {
@@ -29,13 +30,30 @@ struct ExperimentSpec {
 /// timeline. Campaigns built on it re-derive per-metatask seeds as usual.
 ExperimentSpec specFromScenario(const std::string& scenarioName, std::uint64_t seed);
 
-/// How fault tolerance is granted across heuristics in a campaign.
-/// The paper's setup: NetSolve's MCT has its native re-submission mechanisms,
-/// the authors' HMCT/MP/MSF implementations do not (section 5.1).
-enum class FaultTolerancePolicy : std::uint8_t { kPaper, kAll, kNone };
+/// Same, from an already-parsed spec (sweep variants, scenario files).
+ExperimentSpec specFromScenarioSpec(const scenario::ScenarioSpec& spec,
+                                    std::uint64_t seed);
 
-/// True when `heuristic` gets fault tolerance under `policy`.
+/// How fault tolerance is granted across heuristics in a campaign.
+/// kPaper is the paper's setup: NetSolve's MCT has its native re-submission
+/// mechanisms, the authors' HMCT/MP/MSF implementations do not (section 5.1).
+/// kScenario defers to the scenario's own [system] fault-tolerance flag,
+/// applied uniformly to every heuristic.
+enum class FaultTolerancePolicy : std::uint8_t { kPaper, kAll, kNone, kScenario };
+
+/// Parses "paper" | "all" | "none" | "scenario"; throws util::ConfigError.
+FaultTolerancePolicy parseFaultTolerancePolicy(const std::string& name);
+const char* faultTolerancePolicyName(FaultTolerancePolicy policy);
+
+/// True when `heuristic` gets fault tolerance under `policy`. kScenario
+/// resolves to false here; use resolveFaultTolerance when a scenario default
+/// is in scope.
 bool grantsFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic);
+
+/// grantsFaultTolerance with the kScenario case resolved to the scenario's
+/// own [system] flag.
+bool resolveFaultTolerance(FaultTolerancePolicy policy, const std::string& heuristic,
+                           bool scenarioDefault);
 
 /// Runs one heuristic on one concrete metatask. `noiseSeed` overrides the
 /// spec's system noise seed (replications vary it).

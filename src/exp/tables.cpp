@@ -122,18 +122,17 @@ util::TablePrinter renderServerDiagnostics(const std::string& title,
 
 void emitTable(const util::TablePrinter& table, const std::string& csv,
                const std::string& outDir, const std::string& baseName) {
+  emitText(table.render(), outDir, baseName + ".txt");
+  if (!csv.empty()) emitText(csv, outDir, baseName + ".csv");
+}
+
+void emitText(const std::string& content, const std::string& outDir,
+              const std::string& fileName) {
   std::error_code ec;
   std::filesystem::create_directories(outDir, ec);
-  {
-    std::ofstream os(outDir + "/" + baseName + ".txt", std::ios::trunc);
-    if (!os) throw util::IoError("cannot write table " + baseName);
-    table.print(os);
-  }
-  if (!csv.empty()) {
-    std::ofstream os(outDir + "/" + baseName + ".csv", std::ios::trunc);
-    if (!os) throw util::IoError("cannot write csv " + baseName);
-    os << csv;
-  }
+  std::ofstream os(outDir + "/" + fileName, std::ios::trunc);
+  if (!os) throw util::IoError("cannot write " + outDir + "/" + fileName);
+  os << content;
 }
 
 }  // namespace casched::exp

@@ -31,4 +31,8 @@ util::TablePrinter renderServerDiagnostics(const std::string& title,
 void emitTable(const util::TablePrinter& table, const std::string& csv,
                const std::string& outDir, const std::string& baseName);
 
+/// Writes `content` verbatim to `outDir/fileName`, creating directories.
+void emitText(const std::string& content, const std::string& outDir,
+              const std::string& fileName);
+
 }  // namespace casched::exp

@@ -11,6 +11,7 @@ void MetricAggregate::addRun(const RunMetrics& m) {
   maxFlow.add(m.maxFlow);
   maxStretch.add(m.maxStretch);
   meanStretch.add(m.meanStretch);
+  simulatedEvents.add(static_cast<double>(m.simulatedEvents));
 }
 
 void MetricAggregate::addSooner(std::size_t count) {

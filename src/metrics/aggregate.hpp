@@ -21,6 +21,7 @@ struct MetricAggregate {
   util::RunningStat maxFlow;
   util::RunningStat maxStretch;
   util::RunningStat meanStretch;
+  util::RunningStat simulatedEvents;  ///< engine events per run (throughput)
   util::RunningStat sooner;  ///< vs the baseline runs (when computed)
 
   void addRun(const RunMetrics& m);

@@ -19,6 +19,7 @@ std::size_t RunResult::lostCount() const { return tasks.size() - completedCount(
 
 RunMetrics computeMetrics(const RunResult& run) {
   RunMetrics m;
+  m.simulatedEvents = run.simulatedEvents;
   for (const TaskOutcome& t : run.tasks) {
     if (t.status != TaskStatus::kCompleted) {
       ++m.lost;

@@ -21,6 +21,9 @@ struct RunMetrics {
   double meanFlow = 0.0;
   double maxStretch = 0.0;   ///< max flow / unloaded duration
   double meanStretch = 0.0;
+  /// Discrete events processed by the simulation engine (throughput
+  /// accounting: events / wall second is the per-scenario perf record).
+  std::uint64_t simulatedEvents = 0;
 };
 
 /// Computes every section-3 metric from a run.

@@ -39,6 +39,14 @@ workload::MetataskConfig buildMetataskConfig(const ScenarioSpec& spec,
     mc.types.push_back(c.type);
     mc.typeWeights.push_back(c.weight);
   }
+  // An all-equal mix IS the uniform draw; drop the weights so the generator
+  // takes the same RNG path (and produces the same metatask) as a plain type
+  // list - this is what makes the paper/* entries reproduce the historical
+  // hand-built bench specs bit-for-bit.
+  const bool uniformMix =
+      std::all_of(mc.typeWeights.begin(), mc.typeWeights.end(),
+                  [&](double w) { return w == mc.typeWeights.front(); });
+  if (uniformMix) mc.typeWeights.clear();
   return mc;
 }
 

@@ -165,6 +165,55 @@ void setSystemKey(SystemSpec& s, std::size_t line, const std::string& key,
   }
 }
 
+void setCampaignKey(CampaignSpec& c, std::size_t line, const std::string& key,
+                    std::string_view value) {
+  if (key == "heuristics") {
+    c.heuristics = commaFields(value);
+    if (c.heuristics.empty() || c.heuristics[0].empty()) {
+      fail(line, "heuristics list must not be empty");
+    }
+  } else if (key == "baseline") {
+    c.baseline = std::string(value);
+  } else if (key == "metatasks") {
+    c.metatasks = parseCount(line, value);
+    if (c.metatasks == 0) fail(line, "metatasks must be positive");
+  } else if (key == "replications") {
+    c.replications = parseCount(line, value);
+    if (c.replications == 0) fail(line, "replications must be positive");
+  } else if (key == "ft-policy") {
+    const std::string v = util::toLower(value);
+    if (v != "scenario" && v != "paper" && v != "all" && v != "none") {
+      fail(line, "ft-policy must be scenario | paper | all | none");
+    }
+    c.ftPolicy = v;
+  } else if (key == "title") {
+    c.title = std::string(value);
+  } else {
+    fail(line, "unknown [campaign] key '" + key + "'");
+  }
+}
+
+void addSweepAxis(std::vector<SweepAxis>& sweep, std::size_t line,
+                  const std::string& key, std::string_view value) {
+  if (key != "axis") fail(line, "unknown [sweep] key '" + key + "'");
+  // <parameter> : <v1, v2, ...>
+  const std::size_t colon = value.find(':');
+  if (colon == std::string_view::npos) fail(line, "axis wants 'parameter : values'");
+  SweepAxis axis;
+  axis.parameter = util::toLower(util::trim(value.substr(0, colon)));
+  if (axis.parameter.empty()) fail(line, "axis needs a parameter name");
+  axis.values = commaFields(value.substr(colon + 1));
+  if (axis.values.empty() || axis.values[0].empty()) {
+    fail(line, "axis needs at least one value");
+  }
+  for (const SweepAxis& existing : sweep) {
+    if (existing.parameter == axis.parameter) {
+      fail(line, "duplicate sweep axis '" + axis.parameter + "'");
+    }
+  }
+  sweep.push_back(std::move(axis));
+}
+
 void addChurnEvent(std::vector<ChurnSpec>& churn, std::size_t line,
                    const std::string& key, std::string_view value) {
   if (key != "event") fail(line, "unknown [churn] key '" + key + "'");
@@ -207,7 +256,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       if (lineView.back() != ']') fail(lineNo, "unterminated section header");
       section = util::toLower(lineView.substr(1, lineView.size() - 2));
       if (section != "scenario" && section != "arrival" && section != "workload" &&
-          section != "platform" && section != "system" && section != "churn") {
+          section != "platform" && section != "system" && section != "churn" &&
+          section != "campaign" && section != "sweep") {
         fail(lineNo, "unknown section [" + section + "]");
       }
       continue;
@@ -232,6 +282,10 @@ ScenarioSpec parseScenario(const std::string& text) {
       setPlatformKey(spec.platform, lineNo, key, value);
     } else if (section == "system") {
       setSystemKey(spec.system, lineNo, key, value);
+    } else if (section == "campaign") {
+      setCampaignKey(spec.campaign, lineNo, key, value);
+    } else if (section == "sweep") {
+      addSweepAxis(spec.sweep, lineNo, key, value);
     } else {  // churn
       addChurnEvent(spec.churn, lineNo, key, value);
     }
@@ -304,6 +358,23 @@ std::string renderScenario(const ScenarioSpec& spec) {
       << "cpu-noise = " << util::strformat("%g", s.cpuNoiseAmplitude) << "\n"
       << "link-noise = " << util::strformat("%g", s.linkNoiseAmplitude) << "\n"
       << "htm-sync = " << s.htmSync << "\n";
+
+  const CampaignSpec& c = spec.campaign;
+  out << "\n[campaign]\n"
+      << "heuristics = " << util::join(c.heuristics, ", ") << "\n"
+      << "baseline = " << c.baseline << "\n"
+      << "metatasks = " << c.metatasks << "\n"
+      << "replications = " << c.replications << "\n"
+      << "ft-policy = " << c.ftPolicy << "\n";
+  if (!c.title.empty()) out << "title = " << c.title << "\n";
+
+  if (!spec.sweep.empty()) {
+    out << "\n[sweep]\n";
+    for (const SweepAxis& axis : spec.sweep) {
+      out << "axis = " << axis.parameter << " : " << util::join(axis.values, ", ")
+          << "\n";
+    }
+  }
 
   if (!spec.churn.empty()) {
     out << "\n[churn]\n";

@@ -21,6 +21,15 @@
 ///   kind = template            # preset | template
 ///   servers = 6
 ///
+///   [campaign]
+///   heuristics = mct, hmct, mp, msf
+///   replications = 3           # mean +- sd over these
+///   ft-policy = paper          # scenario | paper | all | none
+///   title = Table 5. results for ...
+///
+///   [sweep]
+///   axis = rate : 30, 27, 24   # cross product of all axes
+///
 ///   [churn]
 ///   event = 600, leave, grid-1
 

@@ -1,10 +1,14 @@
 #pragma once
 /// \file registry.hpp
-/// Built-in named scenarios. Each is stored as scenario-format text (see
-/// parser.hpp) so the registry doubles as a living corpus for the parser; the
-/// two paper operating points sit next to production-shaped traffic
-/// (bursts, diurnal cycles, heavy tails, flash crowds) and dynamic-membership
-/// stress (churny-grid) up to a 64-server scale test (mega-cluster).
+/// Built-in named scenarios - the single source of truth for every
+/// experiment the repo ships. Each is stored as scenario-format text (see
+/// parser.hpp) so the registry doubles as a living corpus for the parser.
+/// The paper's calibrated operating points (`paper/table5_matmul_low` ...)
+/// and the ablation sweeps (`ablation/rate_sweep` ...) carry their full
+/// campaign setup ([campaign]/[sweep] sections) and sit next to
+/// production-shaped traffic (bursts, diurnal cycles, heavy tails, flash
+/// crowds) and dynamic-membership stress (churny-grid) up to a 64-server
+/// scale test (mega-cluster).
 
 #include <string>
 #include <vector>
@@ -15,6 +19,9 @@ namespace casched::scenario {
 
 /// Registry names in presentation order.
 const std::vector<std::string>& scenarioNames();
+
+/// Registry names sharing a prefix, e.g. "paper/" or "ablation/".
+std::vector<std::string> scenarioNamesWithPrefix(const std::string& prefix);
 
 bool hasScenario(const std::string& name);
 

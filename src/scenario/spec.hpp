@@ -85,6 +85,32 @@ struct ChurnSpec {
   double value = 1.0;
 };
 
+/// [campaign] section: how the suite driver replicates and tabulates the
+/// scenario. Absent sections keep these defaults, so every plain scenario is
+/// already a one-metatask campaign.
+struct CampaignSpec {
+  /// Column order of the resulting table (paper order).
+  std::vector<std::string> heuristics{"mct", "hmct", "mp", "msf"};
+  /// Baseline of the "number of tasks that finish sooner" row.
+  std::string baseline = "mct";
+  std::size_t metatasks = 1;
+  std::size_t replications = 3;
+  /// scenario | paper | all | none - how fault tolerance is granted per
+  /// heuristic ("scenario" applies the [system] flag uniformly).
+  std::string ftPolicy = "scenario";
+  /// Paper-style table title; empty derives one from name + description.
+  std::string title;
+};
+
+/// One `axis = <parameter> : <v1, v2, ...>` line of the [sweep] section. The
+/// suite runs the cross product of all axes as separate campaign variants.
+/// Parameters: rate | report-period | noise | cpu-noise | link-noise |
+/// htm-sync | count.
+struct SweepAxis {
+  std::string parameter;
+  std::vector<std::string> values;
+};
+
 struct ScenarioSpec {
   std::string name;
   std::string description;
@@ -93,6 +119,8 @@ struct ScenarioSpec {
   PlatformSpec platform;
   SystemSpec system;
   std::vector<ChurnSpec> churn;
+  CampaignSpec campaign;
+  std::vector<SweepAxis> sweep;
 };
 
 }  // namespace casched::scenario

@@ -1,0 +1,113 @@
+#include "scenario/sweep.hpp"
+
+#include <cmath>
+
+#include "core/htm.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::scenario {
+
+namespace {
+
+double sweepDouble(const std::string& parameter, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size() || !std::isfinite(v)) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw util::ConfigError("sweep axis '" + parameter + "': cannot parse number '" +
+                            value + "'");
+  }
+}
+
+double sweepPositive(const std::string& parameter, const std::string& value) {
+  const double v = sweepDouble(parameter, value);
+  if (v <= 0.0) {
+    throw util::ConfigError("sweep axis '" + parameter + "' needs positive values");
+  }
+  return v;
+}
+
+double sweepNonNegative(const std::string& parameter, const std::string& value) {
+  const double v = sweepDouble(parameter, value);
+  if (v < 0.0) {
+    throw util::ConfigError("sweep axis '" + parameter + "' needs non-negative values");
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<std::string>& sweepParameters() {
+  static const std::vector<std::string> params{
+      "rate", "count", "report-period", "noise", "cpu-noise", "link-noise",
+      "htm-sync"};
+  return params;
+}
+
+ScenarioSpec applySweepValue(ScenarioSpec spec, const std::string& parameter,
+                             const std::string& value) {
+  const std::string p = util::toLower(parameter);
+  if (p == "rate") {
+    spec.arrival.meanInterarrival = sweepPositive(p, value);
+  } else if (p == "count") {
+    const double v = sweepPositive(p, value);
+    if (v != std::floor(v)) {
+      throw util::ConfigError("sweep axis 'count' needs integer values");
+    }
+    spec.workload.count = static_cast<std::size_t>(v);
+  } else if (p == "report-period") {
+    spec.system.reportPeriod = sweepPositive(p, value);
+  } else if (p == "noise") {
+    const double v = sweepNonNegative(p, value);
+    spec.system.cpuNoiseAmplitude = v;
+    spec.system.linkNoiseAmplitude = v;
+  } else if (p == "cpu-noise") {
+    spec.system.cpuNoiseAmplitude = sweepNonNegative(p, value);
+  } else if (p == "link-noise") {
+    spec.system.linkNoiseAmplitude = sweepNonNegative(p, value);
+  } else if (p == "htm-sync") {
+    (void)core::parseSyncPolicy(value);  // validate eagerly, fail with context
+    spec.system.htmSync = value;
+  } else {
+    throw util::ConfigError("unknown sweep parameter '" + parameter + "' (want " +
+                            util::join(sweepParameters(), " | ") + ")");
+  }
+  return spec;
+}
+
+std::vector<SweepPoint> expandSweep(const ScenarioSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.push_back(SweepPoint{{}, spec});
+  for (const SweepAxis& axis : spec.sweep) {
+    std::vector<SweepPoint> next;
+    next.reserve(points.size() * axis.values.size());
+    for (const SweepPoint& base : points) {
+      for (const std::string& value : axis.values) {
+        SweepPoint point;
+        point.coordinates = base.coordinates;
+        point.coordinates.emplace_back(axis.parameter, value);
+        point.spec = applySweepValue(base.spec, axis.parameter, value);
+        next.push_back(std::move(point));
+      }
+    }
+    points = std::move(next);
+  }
+  // The expanded variants are concrete: drop the axes so a variant rendered
+  // and re-parsed does not expand again.
+  for (SweepPoint& point : points) point.spec.sweep.clear();
+  return points;
+}
+
+std::string sweepLabel(const SweepPoint& point) {
+  std::vector<std::string> parts;
+  parts.reserve(point.coordinates.size());
+  for (const auto& [param, value] : point.coordinates) {
+    parts.push_back(param + "=" + value);
+  }
+  return util::join(parts, " ");
+}
+
+}  // namespace casched::scenario

@@ -1,0 +1,40 @@
+#pragma once
+/// \file sweep.hpp
+/// Expansion of a scenario's [sweep] axes into concrete variants: the cross
+/// product of all axis values, each applied to a copy of the base spec. This
+/// is how the ablation studies (rate sweeps, staleness sweeps, noise x
+/// sync-policy grids) are expressed as plain registry entries.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace casched::scenario {
+
+/// One concrete point of a sweep: the (parameter, value) coordinates that
+/// produced it, applied to a copy of the base spec.
+struct SweepPoint {
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  ScenarioSpec spec;
+};
+
+/// The sweep parameters understood by applySweepValue().
+const std::vector<std::string>& sweepParameters();
+
+/// Returns a copy of `spec` with one swept parameter set. Throws
+/// util::ConfigError for unknown parameters or unparseable values.
+ScenarioSpec applySweepValue(ScenarioSpec spec, const std::string& parameter,
+                             const std::string& value);
+
+/// Cross product of the spec's sweep axes in declaration order (the last
+/// axis varies fastest). A spec without a [sweep] section yields exactly one
+/// point with no coordinates.
+std::vector<SweepPoint> expandSweep(const ScenarioSpec& spec);
+
+/// "rate=30 report-period=15" - human-readable coordinate label ("" for the
+/// base point of an unswept scenario).
+std::string sweepLabel(const SweepPoint& point);
+
+}  // namespace casched::scenario

@@ -1,0 +1,142 @@
+#include "util/json.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::util {
+
+void JsonWriter::newline() {
+  out_ << "\n";
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::beforeValue() {
+  if (stack_.empty()) {
+    CASCHED_CHECK(out_.str().empty(), "json: only one top-level value allowed");
+    return;
+  }
+  if (stack_.back()) {  // object: a key must be pending
+    CASCHED_CHECK(pendingKey_, "json: object member needs a key first");
+    pendingKey_ = false;
+    return;
+  }
+  if (hasMember_.back()) out_ << ",";
+  hasMember_.back() = true;
+  newline();
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_ << "{";
+  stack_.push_back(true);
+  hasMember_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  CASCHED_CHECK(!stack_.empty() && stack_.back() && !pendingKey_,
+                "json: endObject without matching beginObject");
+  const bool empty = !hasMember_.back();
+  stack_.pop_back();
+  hasMember_.pop_back();
+  if (!empty) newline();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_ << "[";
+  stack_.push_back(false);
+  hasMember_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  CASCHED_CHECK(!stack_.empty() && !stack_.back(),
+                "json: endArray without matching beginArray");
+  const bool empty = !hasMember_.back();
+  stack_.pop_back();
+  hasMember_.pop_back();
+  if (!empty) newline();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  CASCHED_CHECK(!stack_.empty() && stack_.back() && !pendingKey_,
+                "json: key() is only valid directly inside an object");
+  if (hasMember_.back()) out_ << ",";
+  hasMember_.back() = true;
+  newline();
+  out_ << "\"" << escape(name) << "\": ";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ << "\"" << escape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  out_ << strformat("%.17g", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  beforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  CASCHED_CHECK(stack_.empty() && !pendingKey_,
+                "json: document has unclosed containers or a dangling key");
+  return out_.str() + "\n";
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace casched::util

@@ -1,0 +1,56 @@
+#pragma once
+/// \file json.hpp
+/// Minimal streaming JSON writer (objects, arrays, scalars) for the suite's
+/// machine-readable records. No parsing, no dependencies; emits 2-space
+/// indented UTF-8 with escaped strings and %.17g doubles (round-trip exact).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace casched::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Member key inside an object; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  // One overload per fundamental integer type (not the <cstdint> typedefs),
+  // so std::uint64_t and std::size_t resolve unambiguously on every platform
+  // regardless of which type they alias.
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document; throws LogicError when containers are still open.
+  std::string str() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void beforeValue();
+  void newline();
+
+  std::ostringstream out_;
+  /// One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  /// Whether the current container already holds a member.
+  std::vector<bool> hasMember_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace casched::util

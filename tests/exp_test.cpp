@@ -55,6 +55,26 @@ TEST(FaultTolerancePolicy, PaperGrantsOnlyMct) {
   EXPECT_FALSE(grantsFaultTolerance(FaultTolerancePolicy::kNone, "mct"));
 }
 
+TEST(FaultTolerancePolicy, ScenarioPolicyDefersToTheScenarioFlag) {
+  EXPECT_TRUE(resolveFaultTolerance(FaultTolerancePolicy::kScenario, "msf", true));
+  EXPECT_FALSE(resolveFaultTolerance(FaultTolerancePolicy::kScenario, "msf", false));
+  // The scenario flag never leaks into the explicit policies.
+  EXPECT_TRUE(resolveFaultTolerance(FaultTolerancePolicy::kPaper, "mct", false));
+  EXPECT_FALSE(resolveFaultTolerance(FaultTolerancePolicy::kPaper, "msf", true));
+  EXPECT_FALSE(resolveFaultTolerance(FaultTolerancePolicy::kNone, "mct", true));
+  EXPECT_TRUE(resolveFaultTolerance(FaultTolerancePolicy::kAll, "msf", false));
+}
+
+TEST(FaultTolerancePolicy, ParseAndNameRoundTrip) {
+  for (const auto policy :
+       {FaultTolerancePolicy::kPaper, FaultTolerancePolicy::kAll,
+        FaultTolerancePolicy::kNone, FaultTolerancePolicy::kScenario}) {
+    EXPECT_EQ(parseFaultTolerancePolicy(faultTolerancePolicyName(policy)), policy);
+  }
+  EXPECT_EQ(parseFaultTolerancePolicy("Paper"), FaultTolerancePolicy::kPaper);
+  EXPECT_THROW(parseFaultTolerancePolicy("sometimes"), util::Error);
+}
+
 ExperimentSpec smallSpec() {
   ExperimentSpec spec;
   spec.name = "test";
@@ -127,6 +147,25 @@ TEST(Campaign, RawCsvHasHeaderAndRows) {
   const auto lines = std::count(csv.begin(), csv.end(), '\n');
   EXPECT_EQ(lines, 1 + 4);  // header + 2 heuristics x 2 replications
   EXPECT_NE(csv.find("sooner_vs_baseline"), std::string::npos);
+  EXPECT_NE(csv.find("simulated_events"), std::string::npos);
+}
+
+TEST(Campaign, RecordsThroughput) {
+  CampaignConfig cc;
+  cc.heuristics = {"mct", "msf"};
+  cc.replications = 2;
+  const CampaignResult result = runCampaign(smallSpec(), cc);
+  EXPECT_GT(result.simulatedEvents, 0u);
+  EXPECT_GT(result.wallSeconds, 0.0);
+  EXPECT_GT(result.eventsPerSecond(), 0.0);
+  // The total is exactly the sum of the per-run counters.
+  std::uint64_t sum = 0;
+  for (const RawRow& r : result.raw) {
+    EXPECT_GT(r.metrics.simulatedEvents, 0u);
+    sum += r.metrics.simulatedEvents;
+  }
+  EXPECT_EQ(sum, result.simulatedEvents);
+  EXPECT_GT(result.cell("mct", 0).metrics.simulatedEvents.mean(), 0.0);
 }
 
 TEST(Campaign, ValidationErrors) {
@@ -169,6 +208,72 @@ TEST(Tables, ServerDiagnosticsListServers) {
   const std::string out = renderServerDiagnostics("diag", result).render();
   EXPECT_NE(out.find("spinnaker"), std::string::npos);
   EXPECT_NE(out.find("valette"), std::string::npos);
+}
+
+/// The spec the pre-registry benches hand-built from bench_common.hpp
+/// constants (kMatmulLowRate = 30 etc.); kept here as the reference the
+/// paper/* registry entries must reproduce.
+ExperimentSpec legacyPaperSpec(platform::Testbed testbed,
+                               std::vector<workload::TaskType> types, double rate,
+                               std::uint64_t seed) {
+  ExperimentSpec spec;
+  spec.testbed = std::move(testbed);
+  spec.metatask.count = 500;
+  spec.metatask.meanInterarrival = rate;
+  spec.metatask.types = std::move(types);
+  spec.metatask.seed = seed;
+  spec.system.reportPeriod = 30.0;
+  spec.system.cpuNoise = {0.08, 5.0};
+  spec.system.linkNoise = {0.10, 5.0};
+  return spec;
+}
+
+void expectSameExperiment(const ExperimentSpec& legacy, const ExperimentSpec& ported) {
+  EXPECT_EQ(legacy.testbed.name, ported.testbed.name);
+  ASSERT_EQ(legacy.testbed.servers.size(), ported.testbed.servers.size());
+  for (std::size_t i = 0; i < legacy.testbed.servers.size(); ++i) {
+    EXPECT_EQ(legacy.testbed.servers[i].name, ported.testbed.servers[i].name);
+  }
+  EXPECT_EQ(legacy.metatask.count, ported.metatask.count);
+  EXPECT_DOUBLE_EQ(legacy.metatask.meanInterarrival, ported.metatask.meanInterarrival);
+  EXPECT_TRUE(ported.metatask.typeWeights.empty());
+  ASSERT_EQ(legacy.metatask.types.size(), ported.metatask.types.size());
+  for (std::size_t i = 0; i < legacy.metatask.types.size(); ++i) {
+    EXPECT_EQ(legacy.metatask.types[i].name, ported.metatask.types[i].name);
+  }
+  EXPECT_DOUBLE_EQ(legacy.system.reportPeriod, ported.system.reportPeriod);
+  EXPECT_DOUBLE_EQ(legacy.system.cpuNoise.amplitude, ported.system.cpuNoise.amplitude);
+  EXPECT_DOUBLE_EQ(legacy.system.linkNoise.amplitude,
+                   ported.system.linkNoise.amplitude);
+  EXPECT_EQ(legacy.system.htmSync, ported.system.htmSync);
+  EXPECT_EQ(legacy.system.faultTolerance, ported.system.faultTolerance);
+  EXPECT_TRUE(ported.churn.empty());
+
+  // Strongest check: both specs generate bit-identical metatasks, so the
+  // registry entry replays the exact workload the historical bench ran.
+  const workload::Metatask a = workload::generateMetatask(legacy.metatask);
+  const workload::Metatask b = workload::generateMetatask(ported.metatask);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].arrival, b.tasks[i].arrival);
+    EXPECT_EQ(a.tasks[i].type.name, b.tasks[i].type.name);
+  }
+}
+
+TEST(Runner, PaperRegistryEntriesReproduceTheLegacyBenchSpecs) {
+  const std::uint64_t seed = 42;
+  expectSameExperiment(
+      legacyPaperSpec(platform::buildSet1(), workload::matmulFamily(), 30.0, seed),
+      specFromScenario("paper/table5_matmul_low", seed));
+  expectSameExperiment(
+      legacyPaperSpec(platform::buildSet1(), workload::matmulFamily(), 21.0, seed),
+      specFromScenario("paper/table6_matmul_high", seed));
+  expectSameExperiment(
+      legacyPaperSpec(platform::buildSet2(), workload::wasteCpuFamily(), 30.0, seed),
+      specFromScenario("paper/table7_wastecpu_low", seed));
+  expectSameExperiment(
+      legacyPaperSpec(platform::buildSet2(), workload::wasteCpuFamily(), 18.0, seed),
+      specFromScenario("paper/table8_wastecpu_high", seed));
 }
 
 TEST(Runner, SpecFromScenarioDrivesAWholeCampaign) {

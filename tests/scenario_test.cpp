@@ -13,6 +13,7 @@
 #include "scenario/generate.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 #include "workload/arrival.hpp"
 
 namespace casched::scenario {
@@ -95,9 +96,12 @@ TEST(ScenarioGenerator, SameSeedSameMetataskAndPlatform) {
 
 TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
   const auto& names = scenarioNames();
-  EXPECT_GE(names.size(), 8u);
+  EXPECT_GE(names.size(), 14u);
   for (const char* expected :
-       {"paper-low", "paper-high", "burst-storm", "diurnal-day", "heavy-tail",
+       {"paper/table5_matmul_low", "paper/table6_matmul_high",
+        "paper/table7_wastecpu_low", "paper/table8_wastecpu_high",
+        "ablation/rate_sweep", "ablation/staleness", "ablation/htm_sync",
+        "ablation/memory_aware", "burst-storm", "diurnal-day", "heavy-tail",
         "flash-crowd", "churny-grid", "mega-cluster"}) {
     EXPECT_TRUE(hasScenario(expected)) << expected;
   }
@@ -110,6 +114,65 @@ TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
   }
   EXPECT_GE(compileScenario(findScenario("mega-cluster"), 3).testbed.servers.size(),
             64u);
+}
+
+TEST(ScenarioRegistry, PrefixGroupsAndEnumeratingErrors) {
+  EXPECT_EQ(scenarioNamesWithPrefix("paper/").size(), 4u);
+  EXPECT_EQ(scenarioNamesWithPrefix("ablation/").size(), 4u);
+  EXPECT_TRUE(scenarioNamesWithPrefix("no-such-prefix/").empty());
+  // Unknown-scenario errors enumerate the registry.
+  try {
+    findScenario("no-such-scenario");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    EXPECT_NE(what.find("paper/table5_matmul_low"), std::string::npos);
+    EXPECT_NE(what.find("mega-cluster"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParser, ParsesCampaignAndSweepSections) {
+  const ScenarioSpec table7 = findScenario("paper/table7_wastecpu_low");
+  EXPECT_EQ(table7.campaign.heuristics,
+            (std::vector<std::string>{"mct", "hmct", "mp", "msf"}));
+  EXPECT_EQ(table7.campaign.baseline, "mct");
+  EXPECT_EQ(table7.campaign.metatasks, 3u);
+  EXPECT_EQ(table7.campaign.replications, 3u);
+  EXPECT_EQ(table7.campaign.ftPolicy, "paper");
+  EXPECT_NE(table7.campaign.title.find("Table 7"), std::string::npos);
+  EXPECT_TRUE(table7.sweep.empty());
+
+  const ScenarioSpec sync = findScenario("ablation/htm_sync");
+  ASSERT_EQ(sync.sweep.size(), 2u);
+  EXPECT_EQ(sync.sweep[0].parameter, "noise");
+  EXPECT_EQ(sync.sweep[0].values.size(), 4u);
+  EXPECT_EQ(sync.sweep[1].parameter, "htm-sync");
+  EXPECT_EQ(sync.sweep[1].values,
+            (std::vector<std::string>{"predict-only", "drop-on-notice", "rescale"}));
+  EXPECT_EQ(sync.campaign.heuristics, (std::vector<std::string>{"msf"}));
+
+  // A scenario without the new sections keeps the campaign defaults.
+  const ScenarioSpec plain = findScenario("churny-grid");
+  EXPECT_EQ(plain.campaign.heuristics.size(), 4u);
+  EXPECT_EQ(plain.campaign.metatasks, 1u);
+  EXPECT_EQ(plain.campaign.ftPolicy, "scenario");
+  EXPECT_TRUE(plain.campaign.title.empty());
+}
+
+TEST(ScenarioParser, RejectsMalformedCampaignAndSweep) {
+  const std::string head = "[scenario]\nname = x\n";
+  EXPECT_THROW(parseScenario(head + "[campaign]\nbogus = 1\n"), util::ConfigError);
+  EXPECT_THROW(parseScenario(head + "[campaign]\nreplications = 0\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(head + "[campaign]\nft-policy = maybe\n"),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(head + "[sweep]\naxis = rate\n"), util::ConfigError);
+  EXPECT_THROW(parseScenario(head + "[sweep]\nbogus = rate : 1\n"),
+               util::ConfigError);
+  EXPECT_THROW(
+      parseScenario(head + "[sweep]\naxis = rate : 1\naxis = rate : 2\n"),
+      util::ConfigError);
 }
 
 TEST(ScenarioArrivals, NewProcessesAreMonotoneAndDeterministic) {
@@ -226,6 +289,70 @@ TEST(ScenarioChurn, ChurnyGridLosesNothingWithFaultTolerance) {
   EXPECT_GE(result.churn.joins, 1u);
   EXPECT_GE(result.churn.leaves, 1u);
   EXPECT_GE(result.churn.crashes, 1u);
+}
+
+TEST(ScenarioSweep, ExpandsTheCrossProductInOrder) {
+  const ScenarioSpec rate = findScenario("ablation/rate_sweep");
+  const auto ratePoints = expandSweep(rate);
+  ASSERT_EQ(ratePoints.size(), 6u);
+  EXPECT_EQ(ratePoints[0].coordinates[0],
+            (std::pair<std::string, std::string>{"rate", "30"}));
+  EXPECT_DOUBLE_EQ(ratePoints[0].spec.arrival.meanInterarrival, 30.0);
+  EXPECT_DOUBLE_EQ(ratePoints[5].spec.arrival.meanInterarrival, 15.0);
+  // Expanded variants are concrete: they do not expand again.
+  EXPECT_TRUE(ratePoints[0].spec.sweep.empty());
+  EXPECT_EQ(sweepLabel(ratePoints[0]), "rate=30");
+
+  const ScenarioSpec sync = findScenario("ablation/htm_sync");
+  const auto grid = expandSweep(sync);
+  ASSERT_EQ(grid.size(), 12u);  // 4 amplitudes x 3 policies, last axis fastest
+  EXPECT_EQ(grid[0].coordinates[0].second, "0");
+  EXPECT_EQ(grid[0].coordinates[1].second, "predict-only");
+  EXPECT_EQ(grid[1].coordinates[1].second, "drop-on-notice");
+  EXPECT_EQ(grid[3].coordinates[0].second, "0.05");
+  EXPECT_DOUBLE_EQ(grid[3].spec.system.cpuNoiseAmplitude, 0.05);
+  EXPECT_DOUBLE_EQ(grid[3].spec.system.linkNoiseAmplitude, 0.05);
+  EXPECT_EQ(grid[4].spec.system.htmSync, "drop-on-notice");
+
+  // A sweep-free spec is its own single point.
+  const auto single = expandSweep(findScenario("churny-grid"));
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_TRUE(single[0].coordinates.empty());
+  EXPECT_EQ(sweepLabel(single[0]), "");
+}
+
+TEST(ScenarioSweep, AppliesEveryParameterAndRejectsBadInput) {
+  ScenarioSpec spec = findScenario("churny-grid");
+  EXPECT_DOUBLE_EQ(applySweepValue(spec, "rate", "12.5").arrival.meanInterarrival,
+                   12.5);
+  EXPECT_EQ(applySweepValue(spec, "count", "37").workload.count, 37u);
+  EXPECT_DOUBLE_EQ(applySweepValue(spec, "report-period", "60").system.reportPeriod,
+                   60.0);
+  EXPECT_DOUBLE_EQ(applySweepValue(spec, "cpu-noise", "0.2").system.cpuNoiseAmplitude,
+                   0.2);
+  EXPECT_DOUBLE_EQ(
+      applySweepValue(spec, "link-noise", "0.3").system.linkNoiseAmplitude, 0.3);
+  EXPECT_EQ(applySweepValue(spec, "htm-sync", "rescale").system.htmSync, "rescale");
+
+  EXPECT_THROW(applySweepValue(spec, "frobnication", "1"), util::ConfigError);
+  EXPECT_THROW(applySweepValue(spec, "rate", "abc"), util::ConfigError);
+  EXPECT_THROW(applySweepValue(spec, "rate", "-3"), util::ConfigError);
+  EXPECT_THROW(applySweepValue(spec, "count", "2.5"), util::ConfigError);
+  EXPECT_THROW(applySweepValue(spec, "noise", "-0.1"), util::ConfigError);
+  EXPECT_THROW(applySweepValue(spec, "htm-sync", "telepathy"), util::ConfigError);
+}
+
+TEST(ScenarioGenerator, UniformMixTakesTheUnweightedDrawPath) {
+  // All-equal weights compile to an empty weight vector (the uniform RNG
+  // path), so paper/* entries reproduce the historical hand-built specs.
+  const CompiledScenario uniform =
+      compileScenario(findScenario("paper/table5_matmul_low"), 5);
+  EXPECT_TRUE(uniform.metataskConfig.typeWeights.empty());
+  EXPECT_EQ(uniform.metataskConfig.types.size(), 3u);
+
+  const CompiledScenario weighted = compileScenario(findScenario("burst-storm"), 5);
+  EXPECT_EQ(weighted.metataskConfig.typeWeights,
+            (std::vector<double>{2.0, 1.0}));
 }
 
 TEST(ScenarioGenerator, RejectsBadSpecs) {

@@ -1,11 +1,14 @@
 // Tests for the util module: formatting, splitting, statistics, tables, CSV
-// round-trips and the CLI parser.
+// round-trips, the JSON writer and the CLI parser.
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -182,6 +185,62 @@ TEST(Csv, ParseCrLf) {
   const auto rows = parseCsv("a,b\r\n1,2\r\n");
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(Json, WritesNestedDocuments) {
+  JsonWriter json;
+  json.beginObject();
+  json.key("name").value("suite");
+  json.key("count").value(std::uint64_t{3});
+  json.key("ratio").value(0.5);
+  json.key("ok").value(true);
+  json.key("nothing").null();
+  json.key("list").beginArray();
+  json.value("a").value(std::int64_t{-2});
+  json.beginObject().endObject();
+  json.endArray();
+  json.endObject();
+  const std::string out = json.str();
+  EXPECT_NE(out.find("\"name\": \"suite\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"ratio\": 0.5"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(out.find("\"nothing\": null"), std::string::npos);
+  EXPECT_NE(out.find("{}"), std::string::npos);
+  // Balanced delimiters.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(Json, EscapesStrings) {
+  JsonWriter json;
+  json.beginArray();
+  json.value("quote\" slash\\ newline\n tab\t");
+  json.endArray();
+  EXPECT_NE(json.str().find("quote\\\" slash\\\\ newline\\n tab\\t"),
+            std::string::npos);
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, RejectsMalformedUse) {
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.value(1.0), Error);  // value without a key
+  }
+  {
+    JsonWriter json;
+    json.beginArray();
+    EXPECT_THROW(json.key("k"), Error);  // key inside an array
+    EXPECT_THROW(json.endObject(), Error);
+  }
+  {
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_THROW(json.str(), Error);  // unclosed container
+  }
 }
 
 TEST(Cli, TypedFlagsAndDefaults) {
