@@ -1,0 +1,243 @@
+/// casched_net: the distributed runtime's command-line front end. Four
+/// subcommands cover deployment and demonstration:
+///
+///   casched_net agent  [flags]   run an agent daemon (scheduling core + TCP)
+///   casched_net server [flags]   run one computational-server daemon
+///   casched_net client [flags]   replay a registry scenario's metatask
+///                                against a live agent
+///   casched_net demo   [flags]   in-process loopback deployment: 1 agent +
+///                                N servers + scenario client + live churn
+///
+/// agent/server/client run as separate OS processes speaking the wire
+/// protocol over TCP; demo is the one-command version for CI and first runs.
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/htm.hpp"
+#include "net/agent_daemon.hpp"
+#include "net/client_driver.hpp"
+#include "net/loopback.hpp"
+#include "net/server_daemon.hpp"
+#include "platform/calibration.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/registry.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace casched;
+
+std::atomic<bool> gStop{false};
+
+void onSignal(int) { gStop.store(true); }
+
+void installSignalHandlers() {
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+}
+
+void writeOrPrint(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::cout << text << "\n";
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot write '" + path + "'");
+  out << text << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int runAgent(int argc, const char* const* argv) {
+  util::ArgParser args("casched_net agent", "Run the agent daemon");
+  args.addInt("port", 0, "listening port on 127.0.0.1 (0 picks a free port)");
+  args.addString("heuristic", "msf", "scheduler: mct | hmct | mp | msf | ...");
+  args.addDouble("scale", 1.0, "simulated seconds per wall second");
+  args.addDouble("heartbeat-timeout", 90.0,
+                 "sim seconds of server silence before its HTM row is retired");
+  args.addBool("ft", false, "fault-tolerant re-submission of failed tasks");
+  args.addInt("max-retries", 5, "retry budget under --ft");
+  args.addString("htm-sync", "drop-on-notice", "HTM sync policy");
+  args.addBool("paper-costs", false, "preload the paper's calibrated cost tables");
+  if (!args.parse(argc, argv)) return 0;
+
+  net::AgentDaemonConfig config;
+  config.port = static_cast<std::uint16_t>(args.getInt("port"));
+  config.heuristic = args.getString("heuristic");
+  config.faultTolerance = args.getBool("ft");
+  config.maxRetries = static_cast<int>(args.getInt("max-retries"));
+  config.htmSync = core::parseSyncPolicy(args.getString("htm-sync"));
+  config.heartbeatTimeout = args.getDouble("heartbeat-timeout");
+  if (args.getBool("paper-costs")) config.costs = platform::paperCostModel();
+
+  net::AgentDaemon daemon(std::move(config), net::PacedClock(args.getDouble("scale")));
+  std::cout << "agent (" << args.getString("heuristic") << ") listening on 127.0.0.1:"
+            << daemon.port() << "\n";
+  daemon.run(gStop);
+  std::cout << "agent: shutting down\n";
+  return 0;
+}
+
+int runServer(int argc, const char* const* argv) {
+  util::ArgParser args("casched_net server", "Run one computational-server daemon");
+  args.addString("agent-host", "127.0.0.1", "agent address");
+  args.addInt("agent-port", 0, "agent port (required)");
+  args.addString("name", "grid-0", "server name (unique per agent)");
+  args.addDouble("speed", 1.0, "relative compute speed index");
+  args.addDouble("bw", 10.0, "link bandwidth, MB/s (both directions)");
+  args.addDouble("latency", 0.01, "per-transfer latency, s");
+  args.addDouble("ram", 1024.0, "physical memory, MB");
+  args.addDouble("swap", 256.0, "swap space, MB");
+  args.addDouble("report-period", 30.0, "load-report period, sim seconds");
+  args.addDouble("heartbeat-period", 5.0, "heartbeat period, sim seconds");
+  args.addDouble("scale", 1.0, "simulated seconds per wall second");
+  if (!args.parse(argc, argv)) return 0;
+  const auto port = static_cast<std::uint16_t>(args.getInt("agent-port"));
+  if (port == 0) throw util::ConfigError("server needs --agent-port");
+
+  net::NetServerConfig config;
+  config.agentHost = args.getString("agent-host");
+  config.agentPort = port;
+  config.machine.name = args.getString("name");
+  config.machine.bwInMBps = args.getDouble("bw");
+  config.machine.bwOutMBps = args.getDouble("bw");
+  config.machine.latencyIn = args.getDouble("latency");
+  config.machine.latencyOut = args.getDouble("latency");
+  config.machine.ramMB = args.getDouble("ram");
+  config.machine.swapMB = args.getDouble("swap");
+  config.speedIndex = args.getDouble("speed");
+  config.reportPeriod = args.getDouble("report-period");
+  config.heartbeatPeriod = args.getDouble("heartbeat-period");
+
+  net::NetServerDaemon daemon(std::move(config), net::PacedClock(args.getDouble("scale")));
+  daemon.connect();
+  std::cout << "server " << args.getString("name") << " dialing "
+            << args.getString("agent-host") << ":" << port
+            << " (registration pending ack)\n";
+  daemon.run(gStop);
+  std::cout << "server " << args.getString("name") << ": shutting down\n";
+  return 0;
+}
+
+int runClient(int argc, const char* const* argv) {
+  util::ArgParser args("casched_net client",
+                       "Replay a registry scenario's metatask against a live agent");
+  args.addString("agent-host", "127.0.0.1", "agent address");
+  args.addInt("agent-port", 0, "agent port (required)");
+  args.addString("scenario", "live-loopback", "registry scenario to replay");
+  args.addInt("seed", 1, "metatask generation seed");
+  args.addDouble("scale", 1.0, "simulated seconds per wall second");
+  args.addDouble("timeout", 120.0, "wall-clock budget, seconds");
+  if (!args.parse(argc, argv)) return 0;
+  const auto port = static_cast<std::uint16_t>(args.getInt("agent-port"));
+  if (port == 0) throw util::ConfigError("client needs --agent-port");
+
+  const scenario::CompiledScenario compiled = scenario::compileScenario(
+      scenario::findScenario(args.getString("scenario")),
+      static_cast<std::uint64_t>(args.getInt("seed")));
+
+  net::ClientConfig config;
+  config.agentHost = args.getString("agent-host");
+  config.agentPort = port;
+  net::ClientDriver client(std::move(config), net::PacedClock(args.getDouble("scale")));
+  client.connect();
+  std::cout << "client: replaying " << compiled.metatask.size() << " tasks of '"
+            << compiled.name << "'\n";
+  const bool ok = client.run(compiled.metatask, args.getDouble("timeout"), gStop);
+  std::cout << util::strformat("client: %zu completed, %zu failed of %zu\n",
+                               client.completedCount(), client.failedCount(),
+                               compiled.metatask.size());
+  return ok ? 0 : 1;
+}
+
+int runDemo(int argc, const char* const* argv) {
+  util::ArgParser args("casched_net demo",
+                       "In-process loopback deployment of one registry scenario");
+  args.addString("scenario", "live-loopback", "registry scenario to run");
+  args.addString("heuristic", "msf", "scheduler: mct | hmct | mp | msf | ...");
+  args.addDouble("scale", 200.0, "simulated seconds per wall second");
+  args.addInt("seed", 1, "scenario compilation seed");
+  args.addDouble("timeout", 120.0, "wall-clock budget, seconds");
+  args.addString("json", "", "write the live-run JSON record here");
+  args.addBool("compare-sim", false,
+               "also run the simulator on the same spec and compare counts");
+  if (!args.parse(argc, argv)) return 0;
+
+  net::LiveRunOptions options;
+  options.heuristic = args.getString("heuristic");
+  options.timeScale = args.getDouble("scale");
+  options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  options.wallTimeoutSeconds = args.getDouble("timeout");
+  options.stopFlag = &gStop;
+
+  const std::string name = args.getString("scenario");
+  const net::LiveRunReport report = net::runLoopbackScenario(name, options);
+  std::cout << util::strformat(
+      "live run '%s' (%s, scale %.0fx): %zu/%zu completed, %zu lost, "
+      "%llu resubmissions, churn j/l/c/s = %llu/%llu/%llu/%llu, "
+      "%.2fs wall (sim t=%.1f)%s\n",
+      report.scenario.c_str(), report.heuristic.c_str(), report.timeScale,
+      report.completed, report.tasks, report.lost,
+      static_cast<unsigned long long>(report.resubmissions),
+      static_cast<unsigned long long>(report.churnApplied.joins),
+      static_cast<unsigned long long>(report.churnApplied.leaves),
+      static_cast<unsigned long long>(report.churnApplied.crashes),
+      static_cast<unsigned long long>(report.churnApplied.slowdowns),
+      report.wallSeconds, report.simEndTime, report.timedOut ? " [TIMED OUT]" : "");
+
+  if (!args.getString("json").empty()) {
+    writeOrPrint(args.getString("json"), net::liveRunJson(report));
+  }
+
+  int rc = report.timedOut || report.completed + report.lost != report.tasks ? 1 : 0;
+  if (args.getBool("compare-sim")) {
+    const scenario::CompiledScenario compiled =
+        scenario::compileScenario(scenario::findScenario(name), options.seed);
+    const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+    const std::uint64_t simResub = net::countResubmissions(sim.tasks);
+    std::cout << util::strformat(
+        "simulator     '%s' (%s): %zu/%zu completed, %zu lost, %llu resubmissions\n",
+        compiled.name.c_str(), options.heuristic.c_str(), sim.completedCount(),
+        sim.tasks.size(), sim.lostCount(), static_cast<unsigned long long>(simResub));
+    const bool match = sim.completedCount() == report.completed &&
+                       sim.lostCount() == report.lost && simResub == report.resubmissions;
+    std::cout << (match ? "counts MATCH\n" : "counts DIFFER\n");
+    if (!match) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  installSignalHandlers();
+  const std::string usage =
+      "usage: casched_net <agent|server|client|demo> [flags]\n"
+      "       casched_net <subcommand> --help for per-subcommand flags\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string sub = argv[1];
+  // Shift argv so each subcommand parser sees its own flags.
+  const int subArgc = argc - 1;
+  char** subArgv = argv + 1;
+  try {
+    if (sub == "agent") return runAgent(subArgc, subArgv);
+    if (sub == "server") return runServer(subArgc, subArgv);
+    if (sub == "client") return runClient(subArgc, subArgv);
+    if (sub == "demo") return runDemo(subArgc, subArgv);
+    std::cerr << "unknown subcommand '" << sub << "'\n" << usage;
+    return 2;
+  } catch (const util::Error& e) {
+    std::cerr << "casched_net " << sub << ": " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "cas/server_daemon.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -19,20 +18,28 @@ Agent::Agent(simcore::Simulator& sim, std::unique_ptr<core::Scheduler> scheduler
   CASCHED_CHECK(config_.controlLatency >= 0.0, "latency must be non-negative");
 }
 
-void Agent::registerServer(ServerDaemon* daemon, const core::ServerModel& model,
+void Agent::registerServer(TaskDispatch* dispatch, const core::ServerModel& model,
                            std::vector<std::string> problems, double memSoftMB,
                            double memCapacityMB) {
-  CASCHED_CHECK(daemon != nullptr, "null daemon registration");
-  CASCHED_CHECK(servers_.find(model.name) == servers_.end(),
+  CASCHED_CHECK(dispatch != nullptr, "null dispatch registration");
+  auto it = servers_.find(model.name);
+  CASCHED_CHECK(it == servers_.end() || it->second.removed,
                 "server '" + model.name + "' registered twice");
   ServerState state;
-  state.daemon = daemon;
+  state.dispatch = dispatch;
   state.model = model;
   state.problems = std::move(problems);
   state.memSoftMB = memSoftMB;
   state.memCapacityMB = memCapacityMB;
-  servers_.emplace(model.name, std::move(state));
-  serverOrder_.push_back(model.name);
+  if (it == servers_.end()) {
+    servers_.emplace(model.name, std::move(state));
+    serverOrder_.push_back(model.name);
+  } else {
+    // Revival: the previous incarnation was deregistered (its HTM row is
+    // gone); replace it wholesale. Late notices for the old incarnation's
+    // in-flight tasks are accepted like any other stale notice.
+    it->second = std::move(state);
+  }
   htm_.addServer(model);
 }
 
@@ -162,9 +169,9 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   request.cpuSeconds = target.dims.cpuSeconds;
   request.outMB = target.dims.outMB;
   request.memMB = task.type.memMB;
-  ServerDaemon* daemon = server.daemon;
+  TaskDispatch* dispatch = server.dispatch;
   sim_.scheduleAfter(query.startDelay,
-                     [daemon, request] { daemon->submitTask(request.taskId, request); });
+                     [dispatch, request] { dispatch->submitTask(request.taskId, request); });
 }
 
 void Agent::onLoadReport(const std::string& server, double load,
@@ -242,31 +249,45 @@ void Agent::finishTask(TaskState& task, metrics::TaskStatus status) {
   task.terminal = true;
   task.status = status;
   ++terminal_;
+  if (onTerminal_) onTerminal_(makeOutcome(task.instance.index, task));
   if (expected_ != 0 && terminal_ == expected_ && allDone_) allDone_();
+}
+
+metrics::TaskOutcome Agent::makeOutcome(std::uint64_t taskId, const TaskState& state) const {
+  metrics::TaskOutcome o;
+  o.index = taskId;
+  o.typeName = state.instance.type.name;
+  o.server = state.server;
+  o.arrival = state.instance.arrival;
+  o.scheduledAt = state.scheduledAt;
+  o.completion = state.completion;
+  o.unloadedDuration = state.unloadedDuration;
+  o.htmPredictedCompletion = state.htmPredicted;
+  o.attempts = state.attempts;
+  o.status = state.status;
+  return o;
 }
 
 std::vector<metrics::TaskOutcome> Agent::collectOutcomes() const {
   std::vector<metrics::TaskOutcome> out;
   out.reserve(tasks_.size());
   for (const auto& [taskId, state] : tasks_) {
-    metrics::TaskOutcome o;
-    o.index = taskId;
-    o.typeName = state.instance.type.name;
-    o.server = state.server;
-    o.arrival = state.instance.arrival;
-    o.scheduledAt = state.scheduledAt;
-    o.completion = state.completion;
-    o.unloadedDuration = state.unloadedDuration;
-    o.htmPredictedCompletion = state.htmPredicted;
-    o.attempts = state.attempts;
-    o.status = state.status;
-    out.push_back(std::move(o));
+    out.push_back(makeOutcome(taskId, state));
   }
   return out;
 }
 
 double Agent::peakReportedLoad(const std::string& server) const {
   return serverState(server).peakReportedLoad;
+}
+
+std::vector<std::uint64_t> Agent::inFlightTasks(const std::string& server) const {
+  auto it = servers_.find(server);
+  if (it == servers_.end()) return {};
+  std::vector<std::uint64_t> ids;
+  ids.reserve(it->second.inFlight.size());
+  for (const auto& [taskId, assignedAt] : it->second.inFlight) ids.push_back(taskId);
+  return ids;
 }
 
 }  // namespace casched::cas

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cas/dispatch.hpp"
 #include "core/htm.hpp"
 #include "core/schedulers.hpp"
 #include "metrics/record.hpp"
@@ -22,8 +23,6 @@
 #include "workload/metatask.hpp"
 
 namespace casched::cas {
-
-class ServerDaemon;
 
 struct AgentConfig {
   /// One-way control-message latency (schedule RPCs, notifications).
@@ -46,7 +45,10 @@ class Agent {
   /// list and peak performances). `problems` lists solvable task-type names;
   /// the single entry "*" means "solves everything". `memSoftMB` is physical
   /// RAM, `memCapacityMB` is RAM+swap (used by memory-aware admission).
-  void registerServer(ServerDaemon* daemon, const core::ServerModel& model,
+  /// Re-registering a name whose previous incarnation was deregistered
+  /// revives it with a fresh HTM row (the distributed runtime's
+  /// reconnect-after-retirement path); re-registering a live name is an error.
+  void registerServer(TaskDispatch* dispatch, const core::ServerModel& model,
                       std::vector<std::string> problems, double memSoftMB,
                       double memCapacityMB);
 
@@ -76,9 +78,25 @@ class Agent {
   // --- experiment wiring ---
   void setExpectedTasks(std::size_t n) { expected_ = n; }
   void setAllDoneCallback(std::function<void()> fn) { allDone_ = std::move(fn); }
+  /// Fires once per task when it reaches a terminal state (completed or
+  /// lost), with the finished outcome. The distributed runtime relays these
+  /// to the client over the wire.
+  void setTaskTerminalObserver(std::function<void(const metrics::TaskOutcome&)> fn) {
+    onTerminal_ = std::move(fn);
+  }
 
   /// Outcomes ordered by metatask index (call after the run finishes).
   std::vector<metrics::TaskOutcome> collectOutcomes() const;
+
+  /// True when a task with this id was ever requested (terminal or not).
+  /// The distributed runtime uses it to reject client-chosen id reuse.
+  bool knowsTask(std::uint64_t taskId) const { return tasks_.count(taskId) != 0; }
+
+  /// Ids currently assigned to `server` and not yet completed/failed. The
+  /// distributed runtime captures these before declaring a server dead (a
+  /// vanished process reports no victims itself, unlike a simulated
+  /// collapse) so fault tolerance can re-submit them.
+  std::vector<std::uint64_t> inFlightTasks(const std::string& server) const;
 
   const core::HistoricalTraceManager& htm() const { return htm_; }
   const core::Scheduler& scheduler() const { return *scheduler_; }
@@ -92,7 +110,7 @@ class Agent {
 
  private:
   struct ServerState {
-    ServerDaemon* daemon = nullptr;
+    TaskDispatch* dispatch = nullptr;
     core::ServerModel model;
     std::vector<std::string> problems;
     bool up = true;
@@ -122,6 +140,7 @@ class Agent {
   bool canSolve(const ServerState& s, const std::string& typeName) const;
   double loadEstimate(const ServerState& s) const;
   void finishTask(TaskState& task, metrics::TaskStatus status);
+  metrics::TaskOutcome makeOutcome(std::uint64_t taskId, const TaskState& state) const;
   ServerState& serverState(const std::string& name);
   const ServerState& serverState(const std::string& name) const;
 
@@ -138,6 +157,7 @@ class Agent {
   std::size_t terminal_ = 0;
   std::uint64_t decisions_ = 0;
   std::function<void()> allDone_;
+  std::function<void(const metrics::TaskOutcome&)> onTerminal_;
 };
 
 }  // namespace casched::cas

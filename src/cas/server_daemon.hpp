@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cas/dispatch.hpp"
 #include "psched/machine.hpp"
 #include "psched/noise.hpp"
 #include "simcore/engine.hpp"
@@ -31,7 +32,7 @@ struct ServerDaemonConfig {
   std::uint64_t noiseSeed = 0;
 };
 
-class ServerDaemon {
+class ServerDaemon : public TaskDispatch {
  public:
   ServerDaemon(simcore::Simulator& sim, const psched::MachineSpec& spec,
                std::vector<std::string> problems, ServerDaemonConfig config);
@@ -47,7 +48,7 @@ class ServerDaemon {
 
   /// Incoming task submission (called at data-arrival time). Failure paths
   /// (machine down, collapse on admission) notify the agent asynchronously.
-  void submitTask(std::uint64_t taskId, const psched::ExecRequest& request);
+  void submitTask(std::uint64_t taskId, const psched::ExecRequest& request) override;
 
   const std::string& name() const { return machine_.name(); }
   psched::Machine& machine() { return machine_; }

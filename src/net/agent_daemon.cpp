@@ -1,0 +1,460 @@
+#include "net/agent_daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::net {
+
+/// TaskDispatch implementation handed to the scheduling core: encodes the
+/// submission as a kTaskSubmit frame on the server's current transport.
+/// The object lives as long as its ServerEntry, surviving reconnects (the
+/// frame always goes out on the entry's *current* transport).
+struct AgentDaemon::WireLink final : cas::TaskDispatch {
+  WireLink(AgentDaemon* owner, std::string server)
+      : owner_(owner), server_(std::move(server)) {}
+
+  void submitTask(std::uint64_t taskId, const psched::ExecRequest& request) override {
+    owner_->sendSubmit(server_, taskId, request);
+  }
+
+  AgentDaemon* owner_;
+  std::string server_;
+};
+
+namespace {
+
+cas::AgentConfig toAgentConfig(const AgentDaemonConfig& config) {
+  cas::AgentConfig out;
+  out.controlLatency = config.controlLatency;
+  out.faultTolerance = config.faultTolerance;
+  out.maxRetries = config.maxRetries;
+  out.noServerRetryDelay = config.noServerRetryDelay;
+  out.htmSync = config.htmSync;
+  return out;
+}
+
+}  // namespace
+
+AgentDaemon::AgentDaemon(AgentDaemonConfig config, PacedClock clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      listener_(config_.port),
+      agent_(sim_, core::makeScheduler(config_.heuristic, config_.schedulerSeed),
+             config_.costs, toAgentConfig(config_)) {
+  CASCHED_CHECK(config_.heartbeatTimeout > 0.0, "heartbeat timeout must be positive");
+  agent_.setTaskTerminalObserver(
+      [this](const metrics::TaskOutcome& outcome) { relayTerminal(outcome); });
+}
+
+AgentDaemon::~AgentDaemon() = default;
+
+void AgentDaemon::runOnce() {
+  sim_.advanceTo(clock_.simNow());
+  acceptPending();
+  pollTransports();
+  applyDeadlines();
+}
+
+void AgentDaemon::run(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed) && !shutdownRequested_) {
+    runOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+void AgentDaemon::acceptPending() {
+  while (auto conn = listener_.accept(0)) {
+    pending_.emplace_back(std::move(conn), sim_.now());
+  }
+}
+
+void AgentDaemon::pollTransports() {
+  // Pending connections identify themselves with their first frame; polling
+  // may move them into servers_ or clients_, so iterate over a copy. One
+  // that stays mute past the heartbeat timeout is dropped.
+  std::vector<std::shared_ptr<wire::TcpTransport>> snapshot;
+  snapshot.reserve(pending_.size());
+  for (auto& [transport, since] : pending_) {
+    if (sim_.now() - since > config_.heartbeatTimeout) {
+      LOG_WARN("agent: dropping connection that never identified itself");
+      transport->close();
+      continue;
+    }
+    snapshot.push_back(transport);
+  }
+  for (auto& transport : snapshot) {
+    try {
+      transport->poll([&](wire::Frame frame) { handleFrame(transport, frame); });
+    } catch (const util::Error& e) {
+      LOG_WARN("agent: dropping connection on bad frame: " << e.what());
+      transport->close();
+    }
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [](const auto& p) { return p.first->closed(); }),
+                 pending_.end());
+
+  for (auto& [name, entry] : servers_) {
+    if (!entry.transport) continue;
+    try {
+      auto transport = entry.transport;
+      transport->poll([&](wire::Frame frame) { handleFrame(transport, frame); });
+    } catch (const util::Error& e) {
+      LOG_WARN("agent: closing link to " << name << " on bad frame: " << e.what());
+      entry.transport->close();
+    }
+    if (entry.transport->closed()) {
+      entry.transport.reset();
+      // The process is gone, not just the machine: unlike a simulated
+      // collapse there is nobody left to report the victims, so fail the
+      // abandoned in-flight tasks here (fault tolerance re-submits them).
+      // A graceful leave drained before closing, so its set is empty.
+      failAbandonedTasks(name);
+    }
+  }
+
+  for (auto& client : clients_) {
+    try {
+      auto transport = client;
+      transport->poll([&](wire::Frame frame) { handleFrame(transport, frame); });
+    } catch (const util::Error& e) {
+      LOG_WARN("agent: closing client connection on bad frame: " << e.what());
+      client->close();
+    }
+  }
+  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                [](const auto& t) { return t->closed(); }),
+                 clients_.end());
+}
+
+void AgentDaemon::applyDeadlines() {
+  const double now = sim_.now();
+  for (auto& [name, entry] : servers_) {
+    if (entry.retired) continue;
+    if (now - entry.lastSeen <= config_.heartbeatTimeout) continue;
+    LOG_INFO("agent: server " << name << " missed its report deadline ("
+                              << config_.heartbeatTimeout << "s), retiring");
+    failAbandonedTasks(name);
+    agent_.deregisterServer(name);
+    entry.retired = true;
+    // Close a still-open link so a merely-stalled daemon notices, re-dials
+    // and re-registers (the revival path) instead of heartbeating forever
+    // into a registration that no longer exists.
+    if (entry.transport) {
+      entry.transport->close();
+      entry.transport.reset();
+    }
+  }
+}
+
+void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transport,
+                              const wire::Frame& frame) {
+  using wire::MessageType;
+  // Any frame from a registered server refreshes its liveness deadline.
+  const auto refresh = [&](const std::string& name) {
+    auto it = servers_.find(name);
+    if (it != servers_.end()) it->second.lastSeen = sim_.now();
+  };
+
+  switch (frame.type) {
+    case MessageType::kRegister:
+      onRegister(transport, wire::decodeRegister(frame.payload));
+      return;
+    case MessageType::kScheduleRequest:
+      onScheduleRequest(transport, wire::decodeScheduleRequest(frame.payload));
+      return;
+    case MessageType::kHeartbeat: {
+      const wire::HeartbeatMsg m = wire::decodeHeartbeat(frame.payload);
+      if (m.serverName.empty()) {
+        // Client hello: an empty-name heartbeat identifies a connection as a
+        // client before its first request, exempting it from the
+        // never-identified pending timeout.
+        auto inPending =
+            std::find_if(pending_.begin(), pending_.end(),
+                         [&](const auto& p) { return p.first == transport; });
+        if (inPending != pending_.end()) {
+          pending_.erase(inPending);
+          clients_.push_back(transport);
+        }
+        return;
+      }
+      refresh(m.serverName);
+      return;
+    }
+    case MessageType::kLoadReport: {
+      const wire::LoadReportMsg m = wire::decodeLoadReport(frame.payload);
+      refresh(m.serverName);
+      if (servers_.count(m.serverName) != 0) {
+        agent_.onLoadReport(m.serverName, m.loadAverage, m.sampleTime);
+      }
+      return;
+    }
+    case MessageType::kTaskComplete: {
+      const wire::TaskCompleteMsg m = wire::decodeTaskComplete(frame.payload);
+      refresh(m.serverName);
+      auto it = servers_.find(m.serverName);
+      if (it != servers_.end() && agent_.knowsTask(m.taskId)) {
+        it->second.draining.erase(m.taskId);
+        agent_.onTaskCompleted(m.serverName, m.taskId, m.completionTime,
+                               m.unloadedDuration);
+      }
+      return;
+    }
+    case MessageType::kTaskFailed: {
+      const wire::TaskFailedMsg m = wire::decodeTaskFailed(frame.payload);
+      refresh(m.serverName);
+      auto it = servers_.find(m.serverName);
+      if (it != servers_.end() && agent_.knowsTask(m.taskId)) {
+        it->second.draining.erase(m.taskId);
+        agent_.onTaskFailed(m.serverName, m.taskId);
+      }
+      return;
+    }
+    case MessageType::kServerDown: {
+      const wire::ServerDownMsg m = wire::decodeServerDown(frame.payload);
+      refresh(m.serverName);
+      auto it = servers_.find(m.serverName);
+      if (it != servers_.end() && it->second.up) {
+        // Remember what the server still owes before the down-notice wipes
+        // the scheduling core's in-flight view: a leaving server drains
+        // these, a collapsing one reports them as failures - and if its
+        // process dies first, failAbandonedTasks recovers the remainder.
+        for (std::uint64_t id : agent_.inFlightTasks(m.serverName)) {
+          it->second.draining.insert(id);
+        }
+      }
+      markServerDown(m.serverName);
+      return;
+    }
+    case MessageType::kServerUp: {
+      const wire::ServerUpMsg m = wire::decodeServerUp(frame.payload);
+      refresh(m.serverName);
+      auto it = servers_.find(m.serverName);
+      if (it != servers_.end() && !it->second.retired) {
+        it->second.up = true;
+        agent_.onServerUp(m.serverName);
+      }
+      return;
+    }
+    case MessageType::kShutdown:
+      shutdownRequested_ = true;
+      return;
+    default:
+      LOG_WARN("agent: ignoring unexpected " << wire::messageTypeName(frame.type)
+                                             << " frame");
+      return;
+  }
+}
+
+void AgentDaemon::onRegister(const std::shared_ptr<wire::TcpTransport>& transport,
+                             const wire::RegisterMsg& msg) {
+  // The connection is now known to be a server: remove it from pending_.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const auto& p) { return p.first == transport; }),
+                 pending_.end());
+
+  core::ServerModel model;
+  model.name = msg.serverName;
+  model.bwInMBps = msg.bwInMBps;
+  model.bwOutMBps = msg.bwOutMBps;
+  model.latencyIn = msg.latencyIn;
+  model.latencyOut = msg.latencyOut;
+
+  auto it = servers_.find(msg.serverName);
+  if (it != servers_.end() && !it->second.retired && it->second.transport &&
+      !it->second.transport->closed() && it->second.transport != transport) {
+    // The name is taken by a live connection: reject the impostor instead of
+    // silently stealing the entry.
+    LOG_WARN("agent: rejecting registration of '" << msg.serverName
+                                                  << "' (name in use)");
+    wire::RegisterAckMsg reject;
+    reject.serverName = msg.serverName;
+    reject.accepted = false;
+    reject.agentTime = sim_.now();
+    transport->send(wire::MessageType::kRegisterAck, wire::encode(reject));
+    return;
+  }
+
+  if (it == servers_.end()) {
+    ServerEntry entry;
+    entry.link = std::make_unique<WireLink>(this, msg.serverName);
+    entry.transport = transport;
+    agent_.registerServer(entry.link.get(), model, msg.problems, msg.ramMB,
+                          msg.ramMB + msg.swapMB);
+    agent_.setServerSpeedIndex(msg.serverName, msg.speedIndex);
+    it = servers_.emplace(msg.serverName, std::move(entry)).first;
+    LOG_INFO("agent: registered server " << msg.serverName);
+  } else if (it->second.retired) {
+    // Reconnect after the deadline already retired the row: revive it.
+    it->second.transport = transport;
+    it->second.retired = false;
+    agent_.registerServer(it->second.link.get(), model, msg.problems, msg.ramMB,
+                          msg.ramMB + msg.swapMB);
+    agent_.setServerSpeedIndex(msg.serverName, msg.speedIndex);
+    LOG_INFO("agent: revived retired server " << msg.serverName);
+  } else {
+    // Reconnect of a live registration (brief disconnect). If the previous
+    // link is gone, whatever was in flight on the old incarnation died with
+    // it - reconcile before rebinding, or those ids would linger unfailed
+    // and unresubmitted forever. The HTM row and the original link/memory
+    // model survive; the speed index is refreshed since a restarted server
+    // may advertise a new one.
+    if (it->second.transport == nullptr || it->second.transport->closed()) {
+      failAbandonedTasks(msg.serverName);
+    }
+    it->second.transport = transport;
+    agent_.setServerSpeedIndex(msg.serverName, msg.speedIndex);
+    agent_.onServerUp(msg.serverName);
+    LOG_INFO("agent: server " << msg.serverName << " reconnected");
+  }
+  it->second.up = true;
+  it->second.lastSeen = sim_.now();
+
+  wire::RegisterAckMsg ack;
+  ack.serverName = msg.serverName;
+  ack.accepted = true;
+  ack.agentTime = sim_.now();
+  it->second.transport->send(wire::MessageType::kRegisterAck, wire::encode(ack));
+}
+
+void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& transport,
+                                    const wire::ScheduleRequestMsg& msg) {
+  // The connection is now known to be a client.
+  auto inPending = std::find_if(pending_.begin(), pending_.end(),
+                                [&](const auto& p) { return p.first == transport; });
+  if (inPending != pending_.end()) {
+    pending_.erase(inPending);
+    clients_.push_back(transport);
+  }
+
+  // Task ids are client-chosen; reusing one (another client, or a replayed
+  // metatask against a long-lived agent) would corrupt or shadow the first
+  // task's state, so reject instead.
+  if (agent_.knowsTask(msg.taskId)) {
+    auto known = taskClients_.find(msg.taskId);
+    if (known != taskClients_.end() && known->second.lock() == transport) {
+      return;  // duplicate send from the same client, ignore
+    }
+    LOG_WARN("agent: rejecting task " << msg.taskId << " (id already used)");
+    wire::TaskFailedMsg failed;
+    failed.taskId = msg.taskId;
+    failed.reason = "task id already used";
+    transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
+    return;
+  }
+
+  try {
+    workload::TaskInstance task;
+    task.index = msg.taskId;
+    task.arrival = sim_.now();
+    task.type = workload::makeSyntheticType(msg.problem, msg.inMB, msg.refSeconds,
+                                            msg.outMB, msg.memMB);
+    taskClients_[msg.taskId] = transport;
+    agent_.requestSchedule(task);
+  } catch (const util::Error& e) {
+    // One malformed request fails that task; the connection (and every
+    // other task of this client) stays up.
+    LOG_WARN("agent: schedule request " << msg.taskId << " rejected: " << e.what());
+    taskClients_.erase(msg.taskId);
+    wire::TaskFailedMsg failed;
+    failed.taskId = msg.taskId;
+    failed.reason = e.what();
+    transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
+  }
+}
+
+void AgentDaemon::markServerDown(const std::string& name) {
+  auto it = servers_.find(name);
+  if (it == servers_.end() || !it->second.up) return;
+  it->second.up = false;
+  agent_.onServerDown(name);
+}
+
+void AgentDaemon::failAbandonedTasks(const std::string& name) {
+  // Everything the dead server still owed: tasks in flight per the
+  // scheduling core (no down-notice ever arrived) plus the unfinished
+  // remainder of an announced drain (the notice already cleared the core's
+  // view). A healthy leave drains both to empty before closing.
+  std::set<std::uint64_t> abandoned;
+  for (std::uint64_t taskId : agent_.inFlightTasks(name)) abandoned.insert(taskId);
+  auto it = servers_.find(name);
+  if (it != servers_.end()) {
+    abandoned.insert(it->second.draining.begin(), it->second.draining.end());
+    it->second.draining.clear();
+  }
+  markServerDown(name);
+  for (std::uint64_t taskId : abandoned) {
+    LOG_WARN("agent: task " << taskId << " abandoned by dead server " << name);
+    agent_.onTaskFailed(name, taskId);
+  }
+}
+
+void AgentDaemon::sendSubmit(const std::string& server, std::uint64_t taskId,
+                             const psched::ExecRequest& request) {
+  auto it = servers_.find(server);
+  if (it == servers_.end() || !it->second.transport || it->second.transport->closed()) {
+    // The link died between the decision and the submission; surface it as a
+    // task failure so fault tolerance can re-submit elsewhere.
+    LOG_WARN("agent: no link to " << server << " for task " << taskId);
+    agent_.onTaskFailed(server, taskId);
+    return;
+  }
+  wire::TaskSubmitMsg submit;
+  submit.taskId = taskId;
+  submit.inMB = request.inMB;
+  submit.cpuSeconds = request.cpuSeconds;
+  submit.outMB = request.outMB;
+  submit.memMB = request.memMB;
+  it->second.transport->send(wire::MessageType::kTaskSubmit, wire::encode(submit));
+}
+
+void AgentDaemon::relayTerminal(const metrics::TaskOutcome& outcome) {
+  auto it = taskClients_.find(outcome.index);
+  if (it == taskClients_.end()) return;
+  auto transport = it->second.lock();
+  // Terminal fires exactly once per task; drop the mapping so a long-lived
+  // agent does not accumulate one entry per task ever submitted.
+  taskClients_.erase(it);
+  if (!transport || transport->closed()) return;
+  if (outcome.status == metrics::TaskStatus::kCompleted) {
+    wire::TaskCompleteMsg done;
+    done.taskId = outcome.index;
+    done.serverName = outcome.server;
+    done.completionTime = outcome.completion;
+    done.unloadedDuration = outcome.unloadedDuration;
+    transport->send(wire::MessageType::kTaskComplete, wire::encode(done));
+  } else {
+    wire::TaskFailedMsg failed;
+    failed.taskId = outcome.index;
+    failed.serverName = outcome.server;
+    failed.reason = "lost";
+    transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
+  }
+}
+
+std::size_t AgentDaemon::liveServerCount() const {
+  std::size_t n = 0;
+  for (const auto& [name, entry] : servers_) {
+    if (!entry.retired) ++n;
+  }
+  return n;
+}
+
+std::size_t AgentDaemon::retiredServerCount() const {
+  return servers_.size() - liveServerCount();
+}
+
+bool AgentDaemon::serverRetired(const std::string& name) const {
+  auto it = servers_.find(name);
+  return it != servers_.end() && it->second.retired;
+}
+
+bool AgentDaemon::serverKnown(const std::string& name) const {
+  return servers_.count(name) != 0;
+}
+
+}  // namespace casched::net

@@ -1,0 +1,136 @@
+#pragma once
+/// \file agent_daemon.hpp
+/// The live agent process: a TCP event loop multiplexing wire-protocol
+/// connections onto the existing cas::Agent scheduling core. Servers connect
+/// and register (kRegister), stream load reports and heartbeats, and notify
+/// completions/failures; clients connect and submit kScheduleRequest per
+/// task. The agent forwards each accepted task to the chosen server as a
+/// kTaskSubmit over the agent->server connection (agent-mediated submission,
+/// exactly the simulated submission path) and relays terminal outcomes back
+/// to the requesting client.
+///
+/// Liveness: any frame from a server refreshes its deadline; a server silent
+/// for `heartbeatTimeout` simulated seconds is retired through the agent's
+/// deregisterServer path (its HTM row is dropped, it never receives work
+/// again). A transport disconnect is an immediate kServerDown; a reconnect
+/// re-registers, reviving a retired row when the deadline already passed.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cas/agent.hpp"
+#include "core/htm.hpp"
+#include "net/clock.hpp"
+#include "platform/calibration.hpp"
+#include "simcore/engine.hpp"
+#include "wire/messages.hpp"
+#include "wire/tcp_transport.hpp"
+
+namespace casched::net {
+
+struct AgentDaemonConfig {
+  /// Listening port on 127.0.0.1; 0 picks a free port (see port()).
+  std::uint16_t port = 0;
+  std::string heuristic = "msf";
+  /// One-way control latency the scheduling core assumes for the submission
+  /// path (the real network supplies the actual delay).
+  double controlLatency = 0.005;
+  bool faultTolerance = false;
+  int maxRetries = 5;
+  double noServerRetryDelay = 10.0;
+  core::SyncPolicy htmSync = core::SyncPolicy::kDropOnNotice;
+  /// Simulated seconds without any message from a registered server before
+  /// its HTM row is retired via Agent::deregisterServer.
+  double heartbeatTimeout = 90.0;
+  std::uint64_t schedulerSeed = 7;
+  /// Static cost database handed to the agent (the paper's calibrated
+  /// Tables 3-4 when available); servers without entries fall back to
+  /// refSeconds / speedIndex from their registration.
+  platform::CostModel costs;
+};
+
+class AgentDaemon {
+ public:
+  AgentDaemon(AgentDaemonConfig config, PacedClock clock);
+  ~AgentDaemon();
+
+  AgentDaemon(const AgentDaemon&) = delete;
+  AgentDaemon& operator=(const AgentDaemon&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// One event-loop turn: accept new connections, advance the paced clock,
+  /// drain every transport, apply heartbeat deadlines. Non-blocking.
+  void runOnce();
+
+  /// Blocking loop for the CLI process; returns when `stop` becomes true or
+  /// a client sends kShutdown.
+  void run(const std::atomic<bool>& stop);
+
+  cas::Agent& agent() { return agent_; }
+  const cas::Agent& agent() const { return agent_; }
+  simcore::Simulator& simulator() { return sim_; }
+
+  /// Servers currently registered and not retired.
+  std::size_t liveServerCount() const;
+  std::size_t retiredServerCount() const;
+  bool serverRetired(const std::string& name) const;
+  bool serverKnown(const std::string& name) const;
+
+  /// True once a kShutdown frame arrived.
+  bool shutdownRequested() const { return shutdownRequested_; }
+
+ private:
+  struct WireLink;
+  struct ServerEntry {
+    std::unique_ptr<WireLink> link;
+    std::shared_ptr<wire::TcpTransport> transport;
+    double lastSeen = 0.0;  ///< agent sim time of the last frame
+    bool up = false;
+    bool retired = false;
+    /// Tasks that were in flight when the server announced kServerDown
+    /// (leave or collapse). The down-notice clears the scheduling core's own
+    /// bookkeeping, so this is the only record left; each id leaves the set
+    /// with its completion/failure frame, and whatever remains when the link
+    /// dies is failed on the server's behalf (fault tolerance re-submits).
+    std::set<std::uint64_t> draining;
+  };
+
+  void acceptPending();
+  void pollTransports();
+  void applyDeadlines();
+  void handleFrame(const std::shared_ptr<wire::TcpTransport>& transport,
+                   const wire::Frame& frame);
+  void onRegister(const std::shared_ptr<wire::TcpTransport>& transport,
+                  const wire::RegisterMsg& msg);
+  void onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& transport,
+                         const wire::ScheduleRequestMsg& msg);
+  void markServerDown(const std::string& name);
+  void failAbandonedTasks(const std::string& name);
+  void sendSubmit(const std::string& server, std::uint64_t taskId,
+                  const psched::ExecRequest& request);
+  void relayTerminal(const metrics::TaskOutcome& outcome);
+
+  AgentDaemonConfig config_;
+  PacedClock clock_;
+  wire::TcpListener listener_;
+  simcore::Simulator sim_;
+  cas::Agent agent_;
+  /// Connections that have not yet identified themselves (first frame tells
+  /// servers from clients apart), with the sim time they were accepted;
+  /// one that stays mute past the heartbeat timeout is dropped so idle
+  /// sockets cannot pile up in a long-lived daemon.
+  std::vector<std::pair<std::shared_ptr<wire::TcpTransport>, double>> pending_;
+  std::map<std::string, ServerEntry> servers_;
+  std::vector<std::shared_ptr<wire::TcpTransport>> clients_;
+  /// Which client asked for which task (terminal outcomes go back there).
+  std::map<std::uint64_t, std::weak_ptr<wire::TcpTransport>> taskClients_;
+  bool shutdownRequested_ = false;
+};
+
+}  // namespace casched::net

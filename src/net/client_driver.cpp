@@ -1,0 +1,94 @@
+#include "net/client_driver.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace casched::net {
+
+ClientDriver::ClientDriver(ClientConfig config, PacedClock clock)
+    : config_(std::move(config)), clock_(clock) {}
+
+void ClientDriver::connect() {
+  transport_ = wire::TcpTransport::connect(config_.agentHost, config_.agentPort);
+  // Hello: an empty-name heartbeat tells the agent this connection is a
+  // client, so it is not reaped as never-identified while waiting for the
+  // first arrival date.
+  transport_->send(wire::MessageType::kHeartbeat, wire::encode(wire::HeartbeatMsg{}));
+}
+
+void ClientDriver::start(const workload::Metatask& metatask) {
+  CASCHED_CHECK(transport_ != nullptr, "client must connect before start");
+  CASCHED_CHECK(!metatask.tasks.empty(), "metatask is empty");
+  metatask_ = metatask;
+  total_ = metatask.tasks.size();
+  started_ = true;
+  nextToSend_ = 0;
+  completed_ = 0;
+  terminal_.clear();
+}
+
+void ClientDriver::runOnce() {
+  if (!started_ || transport_ == nullptr || transport_->closed()) return;
+  const double now = clock_.simNow();
+  while (nextToSend_ < metatask_.tasks.size() &&
+         metatask_.tasks[nextToSend_].arrival <= now) {
+    const workload::TaskInstance& task = metatask_.tasks[nextToSend_];
+    wire::ScheduleRequestMsg request;
+    request.taskId = task.index;
+    request.problem = task.type.name;
+    request.inMB = task.type.inMB;
+    request.outMB = task.type.outMB;
+    request.memMB = task.type.memMB;
+    request.refSeconds = task.type.refSeconds;
+    transport_->send(wire::MessageType::kScheduleRequest, wire::encode(request));
+    ++nextToSend_;
+  }
+  try {
+    transport_->poll([&](wire::Frame frame) { handleFrame(frame); });
+  } catch (const util::Error& e) {
+    LOG_WARN("client: closing link on bad frame: " << e.what());
+    transport_->close();
+  }
+}
+
+void ClientDriver::handleFrame(const wire::Frame& frame) {
+  using wire::MessageType;
+  if (frame.type == MessageType::kTaskComplete) {
+    const wire::TaskCompleteMsg m = wire::decodeTaskComplete(frame.payload);
+    auto [it, inserted] = terminal_.try_emplace(m.taskId);
+    if (!inserted) return;  // duplicate terminal notice
+    it->second.completed = true;
+    it->second.server = m.serverName;
+    it->second.completionTime = m.completionTime;
+    ++completed_;
+    return;
+  }
+  if (frame.type == MessageType::kTaskFailed) {
+    const wire::TaskFailedMsg m = wire::decodeTaskFailed(frame.payload);
+    auto [it, inserted] = terminal_.try_emplace(m.taskId);
+    if (!inserted) return;
+    it->second.completed = false;
+    it->second.server = m.serverName;
+    return;
+  }
+  LOG_WARN("client: ignoring unexpected " << wire::messageTypeName(frame.type)
+                                          << " frame");
+}
+
+bool ClientDriver::run(const workload::Metatask& metatask, double wallTimeoutSeconds,
+                       const std::atomic<bool>& stop) {
+  start(metatask);
+  const WallDeadline deadline(wallTimeoutSeconds);
+  while (!done() && !stop.load(std::memory_order_relaxed)) {
+    if (deadline.passed()) break;
+    if (transport_ == nullptr || transport_->closed()) break;
+    runOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  return done();
+}
+
+}  // namespace casched::net

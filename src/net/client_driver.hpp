@@ -1,0 +1,79 @@
+#pragma once
+/// \file client_driver.hpp
+/// The live client: replays a metatask against a running agent daemon, one
+/// kScheduleRequest per task at its (wall-paced) arrival date, and collects
+/// the terminal notices the agent relays back. This is the paper's
+/// "submission of a metatask composed of independent tasks to the agent",
+/// driven over real sockets - scenario specs compile to metatasks, so any
+/// registry scenario can be replayed against a live deployment.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "metrics/record.hpp"
+#include "net/clock.hpp"
+#include "wire/messages.hpp"
+#include "wire/tcp_transport.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::net {
+
+struct ClientConfig {
+  std::string agentHost = "127.0.0.1";
+  std::uint16_t agentPort = 0;
+};
+
+/// What the client learned about one task from the agent's relay.
+struct ClientOutcome {
+  bool completed = false;
+  std::string server;
+  double completionTime = -1.0;
+};
+
+class ClientDriver {
+ public:
+  ClientDriver(ClientConfig config, PacedClock clock);
+
+  ClientDriver(const ClientDriver&) = delete;
+  ClientDriver& operator=(const ClientDriver&) = delete;
+
+  /// Dials the agent; throws util::IoError when unreachable.
+  void connect();
+
+  /// Begins replaying `metatask` (tasks must be sorted by arrival).
+  void start(const workload::Metatask& metatask);
+
+  /// One event-loop turn: send every arrival now due, drain terminal
+  /// notices. Non-blocking.
+  void runOnce();
+
+  /// Blocking replay for the CLI process: pumps until every task is
+  /// terminal, `stop` becomes true, or `wallTimeoutSeconds` elapses.
+  /// Returns true when all tasks finished.
+  bool run(const workload::Metatask& metatask, double wallTimeoutSeconds,
+           const std::atomic<bool>& stop);
+
+  bool done() const { return started_ && terminal_.size() == total_; }
+  std::size_t submitted() const { return nextToSend_; }
+  std::size_t completedCount() const { return completed_; }
+  std::size_t failedCount() const { return terminal_.size() - completed_; }
+  const std::map<std::uint64_t, ClientOutcome>& outcomes() const { return terminal_; }
+
+ private:
+  void handleFrame(const wire::Frame& frame);
+
+  ClientConfig config_;
+  PacedClock clock_;
+  std::shared_ptr<wire::TcpTransport> transport_;
+  workload::Metatask metatask_;
+  bool started_ = false;
+  std::size_t total_ = 0;
+  std::size_t nextToSend_ = 0;  ///< doubles as the submitted count
+  std::size_t completed_ = 0;
+  std::map<std::uint64_t, ClientOutcome> terminal_;
+};
+
+}  // namespace casched::net

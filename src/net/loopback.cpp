@@ -1,0 +1,217 @@
+#include "net/loopback.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "net/agent_daemon.hpp"
+#include "net/client_driver.hpp"
+#include "net/server_daemon.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/registry.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace casched::net {
+
+namespace {
+
+NetServerConfig serverConfig(const psched::MachineSpec& spec, double speedIndex,
+                             std::uint16_t agentPort, const cas::SystemConfig& system,
+                             double heartbeatPeriod) {
+  NetServerConfig config;
+  config.agentPort = agentPort;
+  config.machine = spec;
+  config.speedIndex = speedIndex;
+  config.reportPeriod = system.reportPeriod;
+  config.heartbeatPeriod = heartbeatPeriod;
+  return config;
+}
+
+}  // namespace
+
+std::uint64_t countResubmissions(const std::vector<metrics::TaskOutcome>& outcomes) {
+  std::uint64_t n = 0;
+  for (const metrics::TaskOutcome& o : outcomes) {
+    if (o.attempts > 1) n += static_cast<std::uint64_t>(o.attempts - 1);
+  }
+  return n;
+}
+
+LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
+                                  const LiveRunOptions& options) {
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(spec, options.seed);
+
+  // Derived deadline: generous against the report period AND against pump
+  // stalls. The daemons here share one cooperative thread, so the deadline
+  // must exceed any plausible OS scheduling hiccup in *wall* terms (10 s) or
+  // a loaded CI runner would spuriously retire healthy servers mid-run and
+  // the resulting resubmissions would break exact-count agreement with the
+  // simulator. Pass an explicit heartbeatTimeout to test retirement itself.
+  const double heartbeatTimeout =
+      options.heartbeatTimeout > 0.0
+          ? options.heartbeatTimeout
+          : std::max(3.0 * compiled.system.reportPeriod, 10.0 * options.timeScale);
+
+  // One shared epoch keeps every daemon's simulation clock aligned.
+  const PacedClock clock(options.timeScale);
+
+  AgentDaemonConfig agentConfig;
+  agentConfig.port = 0;
+  agentConfig.heuristic = options.heuristic;
+  agentConfig.controlLatency = compiled.testbed.controlLatency;
+  agentConfig.faultTolerance = compiled.system.faultTolerance;
+  agentConfig.maxRetries = compiled.system.maxRetries;
+  agentConfig.htmSync = compiled.system.htmSync;
+  agentConfig.heartbeatTimeout = heartbeatTimeout;
+  agentConfig.schedulerSeed = compiled.system.schedulerSeed;
+  agentConfig.costs = compiled.testbed.costs;
+  AgentDaemon agent(agentConfig, clock);
+
+  std::vector<std::unique_ptr<NetServerDaemon>> servers;
+  const auto startServer = [&](const psched::MachineSpec& machineSpec,
+                               double speedIndex) {
+    auto daemon = std::make_unique<NetServerDaemon>(
+        serverConfig(machineSpec, speedIndex, agent.port(), compiled.system,
+                     options.heartbeatPeriod),
+        clock);
+    daemon->connect();
+    servers.push_back(std::move(daemon));
+  };
+  for (const psched::MachineSpec& machineSpec : compiled.testbed.servers) {
+    startServer(machineSpec, compiled.testbed.costs.speedIndex(machineSpec.name));
+  }
+
+  LiveRunReport report;
+  report.scenario = compiled.name;
+  report.heuristic = options.heuristic;
+  report.timeScale = options.timeScale;
+  report.tasks = compiled.metatask.size();
+
+  const auto stopRequested = [&] {
+    return options.stopFlag != nullptr &&
+           options.stopFlag->load(std::memory_order_relaxed);
+  };
+
+  // Wait for every initial registration before the first arrival fires.
+  const WallDeadline registrationDeadline(5.0);
+  while (agent.liveServerCount() < servers.size() && !stopRequested()) {
+    if (registrationDeadline.passed()) {
+      throw util::IoError("loopback run: initial server registration timed out");
+    }
+    agent.runOnce();
+    for (auto& s : servers) s->runOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+  client.start(compiled.metatask);
+
+  // Churn timeline, applied live at its (wall-paced) scenario times.
+  std::vector<cas::ChurnEvent> churn = compiled.churn;
+  std::stable_sort(churn.begin(), churn.end(),
+                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t nextChurn = 0;
+  const auto daemonByName = [&](const std::string& name) -> NetServerDaemon* {
+    for (auto& s : servers) {
+      if (s->name() == name) return s.get();
+    }
+    return nullptr;
+  };
+  const auto applyChurn = [&](const cas::ChurnEvent& event) {
+    LOG_INFO("live churn: " << cas::churnActionName(event.action) << " "
+                            << event.server << " at sim t=" << clock.simNow());
+    switch (event.action) {
+      case cas::ChurnAction::kJoin:
+        startServer(event.joinSpec, event.speedIndex);
+        ++report.churnApplied.joins;
+        return;
+      case cas::ChurnAction::kLeave:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          d->leave();
+          ++report.churnApplied.leaves;
+        }
+        return;
+      case cas::ChurnAction::kCrash:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          if (d->crash()) ++report.churnApplied.crashes;
+        }
+        return;
+      case cas::ChurnAction::kSlowdown:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          d->setSpeedFactor(event.factor);
+          ++report.churnApplied.slowdowns;
+        }
+        return;
+    }
+  };
+
+  const WallDeadline deadline(options.wallTimeoutSeconds);
+  while (!client.done() && !stopRequested()) {
+    if (deadline.passed()) {
+      report.timedOut = true;
+      break;
+    }
+    while (nextChurn < churn.size() && churn[nextChurn].time <= clock.simNow()) {
+      applyChurn(churn[nextChurn]);
+      ++nextChurn;
+    }
+    agent.runOnce();
+    for (auto& s : servers) s->runOnce();
+    client.runOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  report.outcomes = agent.agent().collectOutcomes();
+  for (const metrics::TaskOutcome& o : report.outcomes) {
+    if (o.status == metrics::TaskStatus::kCompleted) ++report.completed;
+    else ++report.lost;
+  }
+  report.resubmissions = countResubmissions(report.outcomes);
+  report.serversStarted = servers.size();
+  report.serversRetired = agent.retiredServerCount();
+  report.wallSeconds = clock.wallElapsed();
+  report.simEndTime = agent.simulator().now();
+  return report;
+}
+
+LiveRunReport runLoopbackScenario(const std::string& registryName,
+                                  const LiveRunOptions& options) {
+  return runLoopbackScenario(scenario::findScenario(registryName), options);
+}
+
+std::string liveRunJson(const LiveRunReport& report) {
+  util::JsonWriter json;
+  json.beginObject();
+  json.key("scenario").value(report.scenario);
+  json.key("heuristic").value(report.heuristic);
+  json.key("time_scale").value(report.timeScale);
+  json.key("tasks").value(report.tasks);
+  json.key("completed").value(report.completed);
+  json.key("lost").value(report.lost);
+  json.key("resubmissions").value(report.resubmissions);
+  json.key("churn_applied");
+  json.beginObject();
+  json.key("joins").value(report.churnApplied.joins);
+  json.key("leaves").value(report.churnApplied.leaves);
+  json.key("crashes").value(report.churnApplied.crashes);
+  json.key("slowdowns").value(report.churnApplied.slowdowns);
+  json.endObject();
+  json.key("servers_started").value(report.serversStarted);
+  json.key("servers_retired").value(report.serversRetired);
+  json.key("wall_seconds").value(report.wallSeconds);
+  json.key("sim_end_time").value(report.simEndTime);
+  json.key("timed_out").value(report.timedOut);
+  json.endObject();
+  return json.str();
+}
+
+}  // namespace casched::net

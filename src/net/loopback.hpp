@@ -1,0 +1,78 @@
+#pragma once
+/// \file loopback.hpp
+/// In-process distributed deployment over real TCP loopback sockets: one
+/// AgentDaemon, one NetServerDaemon per testbed server, one ClientDriver
+/// replaying the compiled scenario metatask - all pumped cooperatively from
+/// the calling thread, every byte travelling through the kernel's loopback
+/// stack. The scenario's churn timeline is applied as *live* membership
+/// events (leave = down-notice + drain + missed heartbeats, crash = machine
+/// collapse over the wire, join = a new daemon dialing in mid-run), so the
+/// same registry entry runs in the simulator and against real sockets, and
+/// their completed/lost/resubmitted counts can be compared directly.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/record.hpp"
+#include "scenario/spec.hpp"
+
+namespace casched::net {
+
+struct LiveRunOptions {
+  std::string heuristic = "msf";
+  /// Simulated seconds per wall second (the pacing compression).
+  double timeScale = 200.0;
+  std::uint64_t seed = 1;
+  /// Hard wall-clock stop; the report is marked timedOut when hit.
+  double wallTimeoutSeconds = 60.0;
+  /// Agent's missed-report deadline, simulated seconds; <= 0 derives
+  /// max(3 * reportPeriod, 10 wall seconds * timeScale) - the wall floor
+  /// keeps a pump stall on a loaded machine from retiring healthy servers.
+  double heartbeatTimeout = 0.0;
+  /// Server heartbeat period, simulated seconds.
+  double heartbeatPeriod = 5.0;
+  /// Optional external stop signal (e.g. a SIGINT flag); the run winds down
+  /// at the next pump turn when it becomes true.
+  const std::atomic<bool>* stopFlag = nullptr;
+};
+
+/// Outcome of one live loopback run; mirrors the simulator's RunResult
+/// closely enough for count-level comparison.
+struct LiveRunReport {
+  std::string scenario;
+  std::string heuristic;
+  double timeScale = 1.0;
+  std::size_t tasks = 0;
+  std::size_t completed = 0;
+  std::size_t lost = 0;
+  /// Extra scheduling attempts past each task's first (fault tolerance).
+  std::uint64_t resubmissions = 0;
+  metrics::ChurnSummary churnApplied;
+  std::size_t serversStarted = 0;
+  std::size_t serversRetired = 0;
+  double wallSeconds = 0.0;
+  double simEndTime = 0.0;
+  bool timedOut = false;
+  std::vector<metrics::TaskOutcome> outcomes;  ///< agent-side, by task index
+};
+
+/// Extra attempts past the first across a run's outcomes - the common
+/// resubmission count for live reports and simulator RunResults.
+std::uint64_t countResubmissions(const std::vector<metrics::TaskOutcome>& outcomes);
+
+/// Runs one scenario end to end over TCP loopback: agent + one server daemon
+/// per testbed entry + client, churn applied live. Blocks until every task
+/// is terminal or the wall timeout expires.
+LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
+                                  const LiveRunOptions& options);
+
+/// Same, for a registry entry by name.
+LiveRunReport runLoopbackScenario(const std::string& registryName,
+                                  const LiveRunOptions& options);
+
+/// Machine-readable record of a live run (counts, churn, wall/sim time).
+std::string liveRunJson(const LiveRunReport& report);
+
+}  // namespace casched::net

@@ -403,6 +403,33 @@ event = 1800, join, helper-1, 1.0
 event = 2200, leave, grid-3
 event = 2600, slowdown, grid-0, 1.0
 )"},
+    {"live-loopback", R"(
+[scenario]
+name = live-loopback
+description = Distributed-runtime smoke: 3 servers, a graceful leave and a mid-run join over real sockets
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 3
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+report-period = 10
+
+[churn]
+event = 40, leave, grid-1
+event = 60, join, helper-0, 1.5
+)"},
     {"mega-cluster", R"(
 [scenario]
 name = mega-cluster

@@ -72,4 +72,9 @@ std::uint64_t Simulator::run(SimTime until) {
   return n;
 }
 
+std::uint64_t Simulator::advanceTo(SimTime t) {
+  if (t <= now_) return 0;
+  return run(t);
+}
+
 }  // namespace casched::simcore

@@ -55,6 +55,12 @@ class Simulator {
   /// head is beyond `until`.
   bool step(SimTime until = kTimeInfinity);
 
+  /// Runs every event due up to `t`, then moves the clock forward to `t` even
+  /// when no event lands exactly there. This is how the distributed runtime
+  /// slaves a simulator to the wall clock: each daemon pump advances its
+  /// engine to the scaled wall time. Times before `now` are a no-op.
+  std::uint64_t advanceTo(SimTime t);
+
   /// Requests run() to return after the current event completes.
   void requestStop() { stopRequested_ = true; }
 

@@ -1,6 +1,7 @@
 #include "wire/framing.hpp"
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace casched::wire {
 
@@ -26,8 +27,14 @@ std::optional<Frame> FrameDecoder::next() {
   for (int i = 0; i < 4; ++i) {
     totalLen |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)]) << (8 * i);
   }
-  if (totalLen < 4) throw util::DecodeError("frame length too small");
-  if (totalLen > kMaxFrameBytes) throw util::DecodeError("frame length exceeds limit");
+  if (totalLen < 4) {
+    throw util::DecodeError(
+        util::strformat("frame length %u too small (need >= 4)", totalLen));
+  }
+  if (totalLen > kMaxFrameBytes) {
+    throw util::DecodeError(util::strformat("frame length %u exceeds the %u-byte limit",
+                                            totalLen, kMaxFrameBytes));
+  }
   if (buffer_.size() < 4u + totalLen) return std::nullopt;
 
   // Drop the length prefix, then materialize the frame body contiguously.
@@ -37,8 +44,16 @@ std::optional<Frame> FrameDecoder::next() {
 
   Reader r(body);
   const std::uint16_t version = r.u16();
-  if (version != kProtocolVersion) throw util::DecodeError("unsupported protocol version");
+  if (version != kProtocolVersion) {
+    throw util::DecodeError(util::strformat("protocol version mismatch: got %u, want %u",
+                                            static_cast<unsigned>(version),
+                                            static_cast<unsigned>(kProtocolVersion)));
+  }
   const std::uint16_t rawType = r.u16();
+  if (!isKnownMessageType(rawType)) {
+    throw util::DecodeError(util::strformat("unknown message type %u",
+                                            static_cast<unsigned>(rawType)));
+  }
   Frame frame;
   frame.type = static_cast<MessageType>(rawType);
   frame.payload.assign(body.begin() + 4, body.end());

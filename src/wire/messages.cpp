@@ -17,8 +17,14 @@ std::string messageTypeName(MessageType type) {
     case MessageType::kServerDown: return "server-down";
     case MessageType::kServerUp: return "server-up";
     case MessageType::kShutdown: return "shutdown";
+    case MessageType::kHeartbeat: return "heartbeat";
   }
   return "unknown";
+}
+
+bool isKnownMessageType(std::uint16_t rawType) {
+  return rawType >= static_cast<std::uint16_t>(MessageType::kRegister) &&
+         rawType <= static_cast<std::uint16_t>(MessageType::kHeartbeat);
 }
 
 namespace {
@@ -47,6 +53,7 @@ Bytes encode(const RegisterMsg& m) {
   w.f64(m.latencyOut);
   w.f64(m.ramMB);
   w.f64(m.swapMB);
+  w.f64(m.speedIndex);
   writeStringList(w, m.problems);
   return out;
 }
@@ -61,6 +68,7 @@ RegisterMsg decodeRegister(const Bytes& payload) {
   m.latencyOut = r.f64();
   m.ramMB = r.f64();
   m.swapMB = r.f64();
+  m.speedIndex = r.f64();
   m.problems = readStringList(r);
   return m;
 }
@@ -70,6 +78,7 @@ Bytes encode(const RegisterAckMsg& m) {
   Writer w(out);
   w.str(m.serverName);
   w.u8(m.accepted ? 1 : 0);
+  w.f64(m.agentTime);
   return out;
 }
 
@@ -78,6 +87,7 @@ RegisterAckMsg decodeRegisterAck(const Bytes& payload) {
   RegisterAckMsg m;
   m.serverName = r.str();
   m.accepted = r.u8() != 0;
+  m.agentTime = r.f64();
   return m;
 }
 
@@ -242,6 +252,22 @@ ShutdownMsg decodeShutdown(const Bytes& payload) {
   Reader r(payload);
   ShutdownMsg m;
   m.reason = r.str();
+  return m;
+}
+
+Bytes encode(const HeartbeatMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.serverName);
+  w.f64(m.sampleTime);
+  return out;
+}
+
+HeartbeatMsg decodeHeartbeat(const Bytes& payload) {
+  Reader r(payload);
+  HeartbeatMsg m;
+  m.serverName = r.str();
+  m.sampleTime = r.f64();
   return m;
 }
 

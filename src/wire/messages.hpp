@@ -13,7 +13,9 @@
 
 namespace casched::wire {
 
-constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 added the heartbeat message and the registration speed index (the
+/// distributed runtime needs both); v1 peers are rejected with a typed error.
+constexpr std::uint16_t kProtocolVersion = 2;
 
 enum class MessageType : std::uint16_t {
   kRegister = 1,       ///< server -> agent: problems + peak performances
@@ -27,9 +29,14 @@ enum class MessageType : std::uint16_t {
   kServerDown = 9,     ///< server -> agent (collapse)
   kServerUp = 10,      ///< server -> agent (recovery / re-registration)
   kShutdown = 11,      ///< orderly teardown
+  kHeartbeat = 12,     ///< server -> agent: liveness beacon between reports
 };
 
 std::string messageTypeName(MessageType type);
+
+/// True when `rawType` names a MessageType this build understands. The frame
+/// decoder rejects everything else with the offending value.
+bool isKnownMessageType(std::uint16_t rawType);
 
 struct RegisterMsg {
   std::string serverName;
@@ -39,12 +46,21 @@ struct RegisterMsg {
   double latencyOut = 0.0;
   double ramMB = 0.0;
   double swapMB = 0.0;
+  /// Relative compute speed (1.0 = reference machine); the agent's cost-model
+  /// fallback for machines without calibrated per-type entries.
+  double speedIndex = 1.0;
   std::vector<std::string> problems;
 };
 
 struct RegisterAckMsg {
   std::string serverName;
+  /// False when the name is already taken by a live connection.
   bool accepted = false;
+  /// Agent's simulation clock at acknowledgement; a freshly started server
+  /// daemon resyncs its own paced clock to this, so completion dates and
+  /// sample times stay comparable across processes started at different
+  /// wall times.
+  double agentTime = 0.0;
 };
 
 struct ScheduleRequestMsg {
@@ -103,6 +119,12 @@ struct ShutdownMsg {
   std::string reason;
 };
 
+struct HeartbeatMsg {
+  std::string serverName;
+  /// Sender's clock at emission (sim seconds); lets the agent spot skew.
+  double sampleTime = 0.0;
+};
+
 // Encoding: each message encodes its payload; the framing layer prepends
 // (length, version, type).
 Bytes encode(const RegisterMsg& m);
@@ -116,6 +138,7 @@ Bytes encode(const LoadReportMsg& m);
 Bytes encode(const ServerDownMsg& m);
 Bytes encode(const ServerUpMsg& m);
 Bytes encode(const ShutdownMsg& m);
+Bytes encode(const HeartbeatMsg& m);
 
 RegisterMsg decodeRegister(const Bytes& payload);
 RegisterAckMsg decodeRegisterAck(const Bytes& payload);
@@ -128,5 +151,6 @@ LoadReportMsg decodeLoadReport(const Bytes& payload);
 ServerDownMsg decodeServerDown(const Bytes& payload);
 ServerUpMsg decodeServerUp(const Bytes& payload);
 ShutdownMsg decodeShutdown(const Bytes& payload);
+HeartbeatMsg decodeHeartbeat(const Bytes& payload);
 
 }  // namespace casched::wire

@@ -64,6 +64,7 @@ std::size_t TcpTransport::poll(const FrameFn& fn) {
   while (true) {
     pollfd p{fd_, POLLIN, 0};
     const int ready = ::poll(&p, 1, 0);
+    if (ready < 0 && errno == EINTR) continue;
     if (ready <= 0) break;
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {

@@ -1,0 +1,429 @@
+// Tests of the distributed runtime (src/net): daemons speaking the wire
+// protocol over real TCP loopback sockets, pumped cooperatively so every
+// assertion runs on one thread. Covers heartbeat-timeout retirement, fault-
+// tolerant re-submission after a server crash mid-task, live churn, and
+// count-level agreement between a live loopback run and the simulator on the
+// same registry scenario.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "net/agent_daemon.hpp"
+#include "net/client_driver.hpp"
+#include "net/loopback.hpp"
+#include "net/server_daemon.hpp"
+#include "scenario/generate.hpp"
+#include "scenario/registry.hpp"
+#include "simcore/engine.hpp"
+#include "workload/task_types.hpp"
+
+namespace casched::net {
+namespace {
+
+/// Round-robins the given pumps until `pred` holds or `wallSeconds` elapse;
+/// true when the predicate was reached.
+bool pumpUntil(const std::vector<std::function<void()>>& pumps,
+               const std::function<bool()>& pred, double wallSeconds) {
+  const WallDeadline deadline(wallSeconds);
+  while (!pred()) {
+    if (deadline.passed()) return false;
+    for (const auto& pump : pumps) pump();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+TEST(Simulator, AdvanceToMovesClockWithoutEvents) {
+  simcore::Simulator sim;
+  sim.advanceTo(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  int fired = 0;
+  sim.scheduleAt(12.0, [&] { ++fired; });
+  sim.advanceTo(11.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 11.0);
+  sim.advanceTo(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+  // Going backwards is a no-op.
+  sim.advanceTo(3.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+}
+
+TEST(NetRuntime, RegistrationOverTcp) {
+  const PacedClock clock(1000.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig serverConfig;
+  serverConfig.agentPort = agent.port();
+  serverConfig.machine.name = "alpha";
+  NetServerDaemon server(serverConfig, clock);
+  server.connect();
+
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { server.runOnce(); }},
+                        [&] { return agent.liveServerCount() == 1 && server.registered(); },
+                        5.0));
+  EXPECT_TRUE(agent.serverKnown("alpha"));
+  EXPECT_TRUE(agent.agent().htm().hasServer("alpha"));
+  EXPECT_FALSE(agent.serverRetired("alpha"));
+}
+
+TEST(NetRuntime, LiveNameCollisionIsRejected) {
+  const PacedClock clock(1000.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig serverConfig;
+  serverConfig.agentPort = agent.port();
+  serverConfig.machine.name = "taken";
+  NetServerDaemon original(serverConfig, clock);
+  original.connect();
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { original.runOnce(); }},
+                        [&] { return original.registered(); }, 5.0));
+
+  // A second daemon claiming the same live name must be refused; the
+  // original registration keeps working.
+  NetServerDaemon impostor(serverConfig, clock);
+  impostor.connect();
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { original.runOnce(); },
+                         [&] { impostor.runOnce(); }},
+                        [&] { return !impostor.connected(); }, 5.0));
+  EXPECT_FALSE(impostor.registered());
+  EXPECT_EQ(agent.liveServerCount(), 1u);
+  EXPECT_TRUE(original.connected());
+}
+
+TEST(NetRuntime, HeartbeatTimeoutRetiresSilentServer) {
+  const PacedClock clock(1000.0);  // 20 sim seconds pass in 20 wall ms
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.heartbeatTimeout = 20.0;
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig serverConfig;
+  serverConfig.agentPort = agent.port();
+  serverConfig.machine.name = "ghost";
+  serverConfig.heartbeatPeriod = 2.0;
+  NetServerDaemon server(serverConfig, clock);
+  server.connect();
+
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { server.runOnce(); }},
+                        [&] { return agent.liveServerCount() == 1; }, 5.0));
+
+  // The server process "stalls": no more pumping, no more heartbeats. The
+  // agent's missed-report deadline must retire the HTM row.
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }},
+                        [&] { return agent.serverRetired("ghost"); }, 5.0));
+  EXPECT_FALSE(agent.agent().htm().hasServer("ghost"));
+  EXPECT_EQ(agent.retiredServerCount(), 1u);
+  EXPECT_EQ(agent.liveServerCount(), 0u);
+
+  // Retirement closed the link, so when the stalled daemon resumes it
+  // notices, re-dials and re-registers - the row is revived.
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { server.runOnce(); }},
+                        [&] { return !agent.serverRetired("ghost") &&
+                                     agent.agent().htm().hasServer("ghost"); },
+                        5.0));
+  EXPECT_EQ(agent.liveServerCount(), 1u);
+}
+
+TEST(NetRuntime, ReconnectAfterRetirementRevivesServer) {
+  const PacedClock clock(1000.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.heartbeatTimeout = 15.0;
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig serverConfig;
+  serverConfig.agentPort = agent.port();
+  serverConfig.machine.name = "phoenix";
+  {
+    NetServerDaemon first(serverConfig, clock);
+    first.connect();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { first.runOnce(); }},
+                          [&] { return agent.liveServerCount() == 1; }, 5.0));
+  }  // transport closes; heartbeats stop
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }},
+                        [&] { return agent.serverRetired("phoenix"); }, 5.0));
+
+  // A fresh daemon under the same name re-registers and revives the row.
+  NetServerDaemon second(serverConfig, clock);
+  second.connect();
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { second.runOnce(); }},
+                        [&] { return !agent.serverRetired("phoenix") &&
+                                     second.registered(); },
+                        5.0));
+  EXPECT_TRUE(agent.agent().htm().hasServer("phoenix"));
+  EXPECT_EQ(agent.liveServerCount(), 1u);
+}
+
+TEST(NetRuntime, CrashMidTaskTriggersResubmissionOverTheWire) {
+  const PacedClock clock(500.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.faultTolerance = true;
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig configA;
+  configA.agentPort = agent.port();
+  configA.machine.name = "doomed";
+  NetServerDaemon serverA(configA, clock);
+  serverA.connect();
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); }},
+                        [&] { return agent.liveServerCount() == 1; }, 5.0));
+
+  // Two long tasks; with only "doomed" registered they must land there.
+  workload::Metatask metatask;
+  metatask.name = "crashy";
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    workload::TaskInstance task;
+    task.index = i;
+    task.arrival = 0.0;
+    task.type = workload::makeSyntheticType("crash-test", 0.0, 50.0, 0.0, 0.0);
+    metatask.tasks.push_back(task);
+  }
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+  client.start(metatask);
+
+  const std::vector<std::function<void()>> all = {
+      [&] { agent.runOnce(); }, [&] { serverA.runOnce(); }, [&] { client.runOnce(); }};
+  ASSERT_TRUE(pumpUntil(all, [&] { return serverA.activeTasks() == 2; }, 5.0));
+
+  // A second server joins, then the first crashes with both tasks in flight.
+  NetServerConfig configB;
+  configB.agentPort = agent.port();
+  configB.machine.name = "rescue";
+  NetServerDaemon serverB(configB, clock);
+  serverB.connect();
+  const std::vector<std::function<void()>> withB = {
+      [&] { agent.runOnce(); }, [&] { serverA.runOnce(); },
+      [&] { serverB.runOnce(); }, [&] { client.runOnce(); }};
+  ASSERT_TRUE(pumpUntil(withB, [&] { return agent.liveServerCount() == 2; }, 5.0));
+  ASSERT_TRUE(serverA.crash());
+
+  ASSERT_TRUE(pumpUntil(withB, [&] { return client.done(); }, 10.0));
+  EXPECT_EQ(client.completedCount(), 2u);
+  EXPECT_EQ(client.failedCount(), 0u);
+
+  const std::vector<metrics::TaskOutcome> outcomes = agent.agent().collectOutcomes();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_GE(countResubmissions(outcomes), 2u);
+  for (const metrics::TaskOutcome& o : outcomes) {
+    EXPECT_EQ(o.status, metrics::TaskStatus::kCompleted);
+    EXPECT_EQ(o.server, "rescue");  // re-submitted away from the crashed server
+  }
+}
+
+TEST(NetRuntime, GracefulLeaveDrainsTasksLongerThanHeartbeatTimeout) {
+  const PacedClock clock(500.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.faultTolerance = true;
+  agentConfig.heartbeatTimeout = 20.0;
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig serverConfig;
+  serverConfig.agentPort = agent.port();
+  serverConfig.machine.name = "leaver";
+  serverConfig.heartbeatPeriod = 2.0;
+  NetServerDaemon server(serverConfig, clock);
+  server.connect();
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { server.runOnce(); }},
+                        [&] { return agent.liveServerCount() == 1; }, 5.0));
+
+  // One task three times longer than the heartbeat timeout, then leave while
+  // it runs: the drain must outlive the deadline and still complete.
+  workload::Metatask metatask;
+  metatask.name = "slow-drain";
+  workload::TaskInstance task;
+  task.index = 0;
+  task.arrival = 0.0;
+  task.type = workload::makeSyntheticType("drain-test", 0.0, 60.0, 0.0, 0.0);
+  metatask.tasks.push_back(task);
+
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+  client.start(metatask);
+  const std::vector<std::function<void()>> all = {
+      [&] { agent.runOnce(); }, [&] { server.runOnce(); }, [&] { client.runOnce(); }};
+  ASSERT_TRUE(pumpUntil(all, [&] { return server.activeTasks() == 1; }, 5.0));
+
+  server.leave();
+  ASSERT_TRUE(pumpUntil(all, [&] { return client.done(); }, 10.0));
+  EXPECT_EQ(client.completedCount(), 1u);
+  // The drained daemon closes its link after the idle linger window.
+  ASSERT_TRUE(pumpUntil(all, [&] { return server.left(); }, 5.0));
+  const std::vector<metrics::TaskOutcome> outcomes = agent.agent().collectOutcomes();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].attempts, 1);  // drained, not resubmitted
+}
+
+TEST(NetRuntime, LeaverDyingMidDrainFallsBackToResubmission) {
+  const PacedClock clock(500.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.faultTolerance = true;
+  AgentDaemon agent(agentConfig, clock);
+
+  NetServerConfig configB;
+  configB.agentPort = agent.port();
+  configB.machine.name = "backup";
+  NetServerDaemon serverB(configB, clock);
+
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+
+  {
+    NetServerConfig configA;
+    configA.agentPort = agent.port();
+    configA.machine.name = "quitter";
+    NetServerDaemon serverA(configA, clock);
+    serverA.connect();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); }},
+                          [&] { return agent.liveServerCount() == 1; }, 5.0));
+
+    workload::Metatask metatask;
+    metatask.name = "mid-drain-death";
+    workload::TaskInstance task;
+    task.index = 0;
+    task.arrival = 0.0;
+    task.type = workload::makeSyntheticType("drain-death", 0.0, 80.0, 0.0, 0.0);
+    metatask.tasks.push_back(task);
+    client.connect();
+    client.start(metatask);
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); },
+                           [&] { client.runOnce(); }},
+                          [&] { return serverA.activeTasks() == 1; }, 5.0));
+
+    serverB.connect();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); },
+                           [&] { serverB.runOnce(); }},
+                          [&] { return agent.liveServerCount() == 2; }, 5.0));
+
+    // Announce the departure, wait until the agent has digested the
+    // down-notice (its core in-flight view empties into the drain record),
+    // then "die" mid-drain: the daemon goes out of scope, closing the link
+    // without completing the task.
+    serverA.leave();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); }},
+                          [&] { return agent.agent().inFlightTasks("quitter").empty(); },
+                          5.0));
+  }
+
+  // The agent must recover the interrupted drain via its own record.
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverB.runOnce(); },
+                         [&] { client.runOnce(); }},
+                        [&] { return client.done(); }, 10.0));
+  EXPECT_EQ(client.completedCount(), 1u);
+  const std::vector<metrics::TaskOutcome> outcomes = agent.agent().collectOutcomes();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].server, "backup");
+  EXPECT_GE(outcomes[0].attempts, 2);
+}
+
+TEST(NetRuntime, DeadServerProcessAbandonsTasksToResubmission) {
+  const PacedClock clock(500.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.faultTolerance = true;
+  AgentDaemon agent(agentConfig, clock);
+
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+
+  NetServerConfig configB;
+  configB.agentPort = agent.port();
+  configB.machine.name = "survivor";
+  NetServerDaemon serverB(configB, clock);
+
+  {
+    NetServerConfig configA;
+    configA.agentPort = agent.port();
+    configA.machine.name = "vanisher";
+    NetServerDaemon serverA(configA, clock);
+    serverA.connect();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); }},
+                          [&] { return agent.liveServerCount() == 1; }, 5.0));
+
+    workload::Metatask metatask;
+    metatask.name = "abandoned";
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      workload::TaskInstance task;
+      task.index = i;
+      task.arrival = 0.0;
+      task.type = workload::makeSyntheticType("abandon-test", 0.0, 100.0, 0.0, 0.0);
+      metatask.tasks.push_back(task);
+    }
+    client.connect();
+    client.start(metatask);
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); },
+                           [&] { client.runOnce(); }},
+                          [&] { return serverA.activeTasks() == 2; }, 5.0));
+
+    serverB.connect();
+    ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverA.runOnce(); },
+                           [&] { serverB.runOnce(); }},
+                          [&] { return agent.liveServerCount() == 2; }, 5.0));
+  }  // serverA's process "dies": its socket closes without any victim report
+
+  // The agent must fail the abandoned tasks itself and re-submit them to the
+  // survivor; the client still gets both completions.
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { serverB.runOnce(); },
+                         [&] { client.runOnce(); }},
+                        [&] { return client.done(); }, 10.0));
+  EXPECT_EQ(client.completedCount(), 2u);
+  const std::vector<metrics::TaskOutcome> outcomes = agent.agent().collectOutcomes();
+  EXPECT_GE(countResubmissions(outcomes), 2u);
+  for (const metrics::TaskOutcome& o : outcomes) {
+    EXPECT_EQ(o.server, "survivor");
+  }
+}
+
+TEST(NetRuntime, LiveLoopbackScenarioMatchesSimulatorCounts) {
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 30.0;
+  const LiveRunReport live = runLoopbackScenario("live-loopback", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.tasks, 24u);
+  EXPECT_EQ(live.churnApplied.leaves, 1u);
+  EXPECT_EQ(live.churnApplied.joins, 1u);
+  EXPECT_EQ(live.serversStarted, 4u);  // 3 initial + 1 joiner
+
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(scenario::findScenario("live-loopback"), options.seed);
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(sim.churn.leaves, 1u);
+  EXPECT_EQ(sim.churn.joins, 1u);
+
+  // The acceptance bar: completed / lost / resubmitted counts agree between
+  // the live TCP deployment and the simulator on the same compiled spec.
+  EXPECT_EQ(live.completed, sim.completedCount());
+  EXPECT_EQ(live.lost, sim.lostCount());
+  EXPECT_EQ(live.resubmissions, countResubmissions(sim.tasks));
+
+  // And the JSON record carries the counts.
+  const std::string json = liveRunJson(live);
+  EXPECT_NE(json.find("\"completed\": 24"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"live-loopback\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casched::net

@@ -76,18 +76,28 @@ TEST(Messages, RegisterRoundTrip) {
   m.latencyOut = 0.04;
   m.ramMB = 512;
   m.swapMB = 1024;
+  m.speedIndex = 1.37;
   m.problems = {"matmul-1200", "matmul-1500", "*"};
   const RegisterMsg back = decodeRegister(encode(m));
   EXPECT_EQ(back.serverName, m.serverName);
   EXPECT_DOUBLE_EQ(back.bwInMBps, m.bwInMBps);
+  EXPECT_DOUBLE_EQ(back.speedIndex, 1.37);
   EXPECT_EQ(back.problems, m.problems);
 }
 
+TEST(Messages, HeartbeatRoundTrip) {
+  HeartbeatMsg m{"pulney", 321.5};
+  const auto back = decodeHeartbeat(encode(m));
+  EXPECT_EQ(back.serverName, "pulney");
+  EXPECT_DOUBLE_EQ(back.sampleTime, 321.5);
+}
+
 TEST(Messages, RegisterAckRoundTrip) {
-  RegisterAckMsg m{"artimon", true};
+  RegisterAckMsg m{"artimon", true, 4217.25};
   const auto back = decodeRegisterAck(encode(m));
   EXPECT_EQ(back.serverName, "artimon");
   EXPECT_TRUE(back.accepted);
+  EXPECT_DOUBLE_EQ(back.agentTime, 4217.25);
 }
 
 TEST(Messages, ScheduleRequestRoundTrip) {
@@ -140,11 +150,15 @@ TEST(Messages, ServerUpDownShutdownRoundTrip) {
 
 TEST(Messages, TypeNamesAreUnique) {
   std::set<std::string> names;
-  for (int t = 1; t <= 11; ++t) {
+  for (int t = 1; t <= 12; ++t) {
+    EXPECT_TRUE(isKnownMessageType(static_cast<std::uint16_t>(t)));
     names.insert(messageTypeName(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
+  EXPECT_FALSE(isKnownMessageType(0));
+  EXPECT_FALSE(isKnownMessageType(13));
+  EXPECT_FALSE(isKnownMessageType(999));
 }
 
 TEST(Framing, SingleFrameRoundTrip) {
@@ -172,11 +186,13 @@ TEST(Framing, ByteAtATimeFeeding) {
 }
 
 TEST(Framing, MultipleFramesInOneChunk) {
+  const auto serverName = [](int i) {
+    return std::string("server-") + static_cast<char>('a' + i);
+  };
   Bytes stream;
   for (int i = 0; i < 5; ++i) {
-    const Bytes frame =
-        buildFrame(MessageType::kLoadReport,
-                   encode(LoadReportMsg{"s" + std::to_string(i), 1.0 * i, 0, 0}));
+    const Bytes frame = buildFrame(MessageType::kLoadReport,
+                                   encode(LoadReportMsg{serverName(i), 1.0 * i, 0, 0}));
     stream.insert(stream.end(), frame.begin(), frame.end());
   }
   FrameDecoder dec;
@@ -184,18 +200,39 @@ TEST(Framing, MultipleFramesInOneChunk) {
   for (int i = 0; i < 5; ++i) {
     const auto f = dec.next();
     ASSERT_TRUE(f.has_value());
-    EXPECT_EQ(decodeLoadReport(f->payload).serverName, "s" + std::to_string(i));
+    EXPECT_EQ(decodeLoadReport(f->payload).serverName, serverName(i));
   }
   EXPECT_FALSE(dec.next().has_value());
   EXPECT_EQ(dec.bufferedBytes(), 0u);
 }
 
-TEST(Framing, RejectsWrongVersion) {
+TEST(Framing, RejectsWrongVersionNamingTheValue) {
   Bytes frame = buildFrame(MessageType::kShutdown, {});
   frame[4] = 0xFF;  // corrupt version (first byte after length prefix)
   FrameDecoder dec;
   dec.feed(frame);
-  EXPECT_THROW(dec.next(), util::DecodeError);
+  try {
+    dec.next();
+    FAIL() << "expected DecodeError";
+  } catch (const util::DecodeError& e) {
+    // The error must carry the offending and the expected version.
+    EXPECT_NE(std::string(e.what()).find("255"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find(std::to_string(kProtocolVersion)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Framing, RejectsUnknownMessageTypeNamingTheValue) {
+  Bytes frame = buildFrame(static_cast<MessageType>(77), {});
+  FrameDecoder dec;
+  dec.feed(frame);
+  try {
+    dec.next();
+    FAIL() << "expected DecodeError";
+  } catch (const util::DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("77"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Framing, RejectsOversizedLength) {

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a bench_suite perf record against a stored
+baseline and fail beyond a tolerance band.
+
+Raw events/sec depends on the machine, so the comparison is made
+machine-independent first: every scenario's events/sec is normalized by the
+*median* throughput of its own record, and the gate compares these normalized
+shapes. A scenario whose normalized throughput drifts outside
+[1 - tolerance, 1 + tolerance] x baseline fails the gate - that is, a
+scenario that got slower (or suspiciously faster) *relative to the rest of
+the suite*.
+
+Usage:
+    perf_gate.py CURRENT_JSON BASELINE_JSON [--tolerance 0.25]
+    perf_gate.py CURRENT_JSON BASELINE_JSON --update   # rewrite the baseline
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scenarios(path):
+    with open(path) as f:
+        record = json.load(f)
+    scenarios = {}
+    for entry in record.get("scenarios", []):
+        eps = float(entry.get("events_per_second", 0.0))
+        if eps > 0.0:
+            scenarios[entry["name"]] = eps
+    if not scenarios:
+        sys.exit(f"perf gate: no usable scenarios in {path}")
+    return scenarios
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def normalize(scenarios):
+    med = median(list(scenarios.values()))
+    return {name: eps / med for name, eps in scenarios.items()}, med
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="suite_perf.json from this run")
+    parser.add_argument("baseline", help="stored baseline (bench/perf_baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drift of normalized throughput")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current record and exit")
+    args = parser.parse_args()
+
+    current = load_scenarios(args.current)
+
+    if args.update:
+        normalized, med = normalize(current)
+        doc = {
+            "comment": "Normalized per-scenario throughput baseline for "
+                       "tools/perf_gate.py. Regenerate with --update after "
+                       "intentional perf changes.",
+            "median_events_per_second_when_recorded": med,
+            "scenarios": [
+                {"name": name, "events_per_second": current[name],
+                 "normalized": normalized[name]}
+                for name in sorted(current)
+            ],
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"perf gate: baseline rewritten with {len(current)} scenarios")
+        return 0
+
+    baseline = load_scenarios(args.baseline)
+
+    # Normalize BOTH records over the same scenario set (the intersection):
+    # medians over different sets would shift every ratio whenever a scenario
+    # is added or dropped, spuriously failing (or masking) unrelated drift.
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        sys.exit("perf gate: no scenarios in common with the baseline")
+    cur_shared, _ = normalize({n: current[n] for n in shared})
+    base_shared, _ = normalize({n: baseline[n] for n in shared})
+
+    failures = []
+    print(f"perf gate: tolerance +/-{args.tolerance:.0%}, "
+          f"{len(shared)} shared scenarios")
+    print(f"{'scenario':<28} {'current':>12} {'norm':>7} {'base norm':>9} {'ratio':>7}")
+    for name in shared:
+        ratio = cur_shared[name] / base_shared[name]
+        flag = ""
+        if abs(ratio - 1.0) > args.tolerance:
+            flag = "  << FAIL"
+            failures.append((name, ratio))
+        print(f"{name:<28} {current[name]:>12,.0f} {cur_shared[name]:>7.3f} "
+              f"{base_shared[name]:>9.3f} {ratio:>7.3f}{flag}")
+
+    unbaselined = sorted(set(current) - set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    for name in unbaselined:
+        print(f"{name:<28} {current[name]:>12,.0f}   NEW (not in baseline)")
+    for name in missing:
+        print(f"{name:<28}   MISSING from current record")
+
+    if unbaselined:
+        print(f"perf gate: FAIL - {len(unbaselined)} scenario(s) not in the "
+              f"baseline; regenerate it with --update")
+        return 1
+    if missing:
+        print(f"perf gate: FAIL - {len(missing)} baseline scenario(s) missing")
+        return 1
+    if failures:
+        drifts = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        print(f"perf gate: FAIL - normalized throughput drifted: {drifts}")
+        return 1
+    print(f"perf gate: PASS ({len(shared)} scenarios within the band)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
