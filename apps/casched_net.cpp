@@ -66,6 +66,14 @@ int runAgent(int argc, const char* const* argv) {
   args.addInt("max-retries", 5, "retry budget under --ft");
   args.addString("htm-sync", "drop-on-notice", "HTM sync policy");
   args.addBool("paper-costs", false, "preload the paper's calibrated cost tables");
+  args.addString("name", "agent-0", "agent name announced to peers (unique)");
+  args.addString("mode", "replicated", "replication mode: replicated | partitioned");
+  args.addString("peers", "",
+                 "comma-separated peer agents to dial, host:port each");
+  args.addDouble("sync-period", 5.0,
+                 "sim seconds between kAgentSync broadcasts and snapshot saves");
+  args.addString("snapshot", "",
+                 "HTM snapshot file: warm-start source at boot, rewritten every sync");
   if (!args.parse(argc, argv)) return 0;
 
   net::AgentDaemonConfig config;
@@ -76,10 +84,24 @@ int runAgent(int argc, const char* const* argv) {
   config.htmSync = core::parseSyncPolicy(args.getString("htm-sync"));
   config.heartbeatTimeout = args.getDouble("heartbeat-timeout");
   if (args.getBool("paper-costs")) config.costs = platform::paperCostModel();
+  config.agentName = args.getString("name");
+  config.mode = net::parseAgentMode(args.getString("mode"));
+  config.syncPeriod = args.getDouble("sync-period");
+  config.snapshotPath = args.getString("snapshot");
+  if (!args.getString("peers").empty()) {
+    for (const std::string& peer : util::split(args.getString("peers"), ',')) {
+      config.peers.push_back(std::string(util::trim(peer)));
+    }
+  }
 
   net::AgentDaemon daemon(std::move(config), net::PacedClock(args.getDouble("scale")));
-  std::cout << "agent (" << args.getString("heuristic") << ") listening on 127.0.0.1:"
-            << daemon.port() << "\n";
+  std::cout << "agent " << args.getString("name") << " ("
+            << args.getString("heuristic") << ", " << args.getString("mode")
+            << ") listening on 127.0.0.1:" << daemon.port();
+  if (daemon.warmStartedRows() > 0) {
+    std::cout << ", warm-started " << daemon.warmStartedRows() << " HTM rows";
+  }
+  std::cout << "\n";
   daemon.run(gStop);
   std::cout << "agent: shutting down\n";
   return 0;
@@ -168,6 +190,8 @@ int runDemo(int argc, const char* const* argv) {
   args.addString("json", "", "write the live-run JSON record here");
   args.addBool("compare-sim", false,
                "also run the simulator on the same spec and compare counts");
+  args.addInt("max-lost", -1,
+              "fail when more than this many tasks are lost (-1 disables)");
   if (!args.parse(argc, argv)) return 0;
 
   net::LiveRunOptions options;
@@ -191,12 +215,35 @@ int runDemo(int argc, const char* const* argv) {
       static_cast<unsigned long long>(report.churnApplied.crashes),
       static_cast<unsigned long long>(report.churnApplied.slowdowns),
       report.wallSeconds, report.simEndTime, report.timedOut ? " [TIMED OUT]" : "");
+  if (report.agentsDeployed > 1) {
+    std::cout << util::strformat(
+        "agents: %zu %s, %llu crash(es), %llu restart(s), %zu warm rows, "
+        "%llu peer syncs, %llu peer rows adopted, %llu client failovers\n",
+        report.agentsDeployed, report.agentMode.c_str(),
+        static_cast<unsigned long long>(report.agentCrashes),
+        static_cast<unsigned long long>(report.agentRestarts), report.warmStartRows,
+        static_cast<unsigned long long>(report.peerSyncs),
+        static_cast<unsigned long long>(report.peerRowsAdopted),
+        static_cast<unsigned long long>(report.clientFailovers));
+    for (const net::AgentShare& share : report.perAgent) {
+      std::cout << util::strformat(
+          "  %-10s %zu tasks, %zu completed, %zu lost, %llu resubmissions\n",
+          share.name.c_str(), share.tasks, share.completed, share.lost,
+          static_cast<unsigned long long>(share.resubmissions));
+    }
+  }
 
   if (!args.getString("json").empty()) {
     writeOrPrint(args.getString("json"), net::liveRunJson(report));
   }
 
   int rc = report.timedOut || report.completed + report.lost != report.tasks ? 1 : 0;
+  const long long maxLost = args.getInt("max-lost");
+  if (maxLost >= 0 && report.lost > static_cast<std::size_t>(maxLost)) {
+    std::cout << util::strformat("FAIL: %zu tasks lost (budget %lld)\n", report.lost,
+                                 maxLost);
+    rc = 1;
+  }
   if (args.getBool("compare-sim")) {
     const scenario::CompiledScenario compiled =
         scenario::compileScenario(scenario::findScenario(name), options.seed);

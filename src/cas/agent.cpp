@@ -40,7 +40,10 @@ void Agent::registerServer(TaskDispatch* dispatch, const core::ServerModel& mode
     // in-flight tasks are accepted like any other stale notice.
     it->second = std::move(state);
   }
-  htm_.addServer(model);
+  // A pre-warmed row (warmStartHtm adopted it from a snapshot before this
+  // server dialed in) survives the registration: its learned speed correction
+  // and in-flight trace are exactly what the warm start is for.
+  if (!htm_.hasServer(model.name)) htm_.addServer(model);
 }
 
 void Agent::deregisterServer(const std::string& server) {
@@ -275,6 +278,27 @@ std::vector<metrics::TaskOutcome> Agent::collectOutcomes() const {
     out.push_back(makeOutcome(taskId, state));
   }
   return out;
+}
+
+std::size_t Agent::warmStartHtm(const core::HtmSnapshot& snapshot) {
+  if (servers_.empty()) {
+    // Cold boot: adopt everything, stats and sync policy included (the
+    // restarted agent resumes where the snapshotted one stopped).
+    htm_.restore(snapshot);
+    return snapshot.servers.size();
+  }
+  return adoptHtmRows(snapshot).size();
+}
+
+std::vector<std::string> Agent::adoptHtmRows(const core::HtmSnapshot& snapshot) {
+  std::vector<std::string> adopted;
+  for (const core::HtmServerSnapshot& row : snapshot.servers) {
+    auto it = servers_.find(row.model.name);
+    if (it != servers_.end() && !it->second.removed) continue;  // live row: local truth
+    htm_.restoreServer(row);
+    adopted.push_back(row.model.name);
+  }
+  return adopted;
 }
 
 double Agent::peakReportedLoad(const std::string& server) const {

@@ -16,6 +16,7 @@
 
 #include "cas/dispatch.hpp"
 #include "core/htm.hpp"
+#include "core/htm_snapshot.hpp"
 #include "core/schedulers.hpp"
 #include "metrics/record.hpp"
 #include "platform/calibration.hpp"
@@ -97,6 +98,25 @@ class Agent {
   /// vanished process reports no victims itself, unlike a simulated
   /// collapse) so fault tolerance can re-submit them.
   std::vector<std::uint64_t> inFlightTasks(const std::string& server) const;
+
+  /// Serialized HTM state (snapshot/persistence; see core/htm_snapshot.hpp).
+  core::HtmSnapshot htmSnapshot() const { return htm_.snapshot(); }
+
+  /// Boot-time warm start from the agent's own snapshot file. With nothing
+  /// registered yet the whole snapshot is adopted - rows, accuracy
+  /// statistics and sync policy - so a restarted agent resumes where its
+  /// previous incarnation stopped; otherwise it falls back to row adoption.
+  /// Returns the number of rows adopted.
+  std::size_t warmStartHtm(const core::HtmSnapshot& snapshot);
+
+  /// Adopts individual rows from a PEER's snapshot: rows for servers
+  /// currently registered and live are skipped (local truth wins); rows for
+  /// unknown or departed servers are adopted, ready for the next
+  /// registration of that name (registerServer keeps a pre-warmed row). The
+  /// local sync policy and statistics are never touched - a replica must
+  /// not have its configured --htm-sync overridden by whatever the primary
+  /// runs. Returns the adopted server names.
+  std::vector<std::string> adoptHtmRows(const core::HtmSnapshot& snapshot);
 
   const core::HistoricalTraceManager& htm() const { return htm_; }
   const core::Scheduler& scheduler() const { return *scheduler_; }

@@ -74,6 +74,9 @@ struct HtmStats {
   }
 };
 
+struct HtmSnapshot;
+struct HtmServerSnapshot;
+
 class HistoricalTraceManager {
  public:
   explicit HistoricalTraceManager(SyncPolicy policy = SyncPolicy::kDropOnNotice);
@@ -121,6 +124,16 @@ class HistoricalTraceManager {
 
   /// Read access for diagnostics/tests.
   const ServerTrace& trace(const std::string& server) const;
+
+  // --- snapshot/persistence (src/core/htm_snapshot.hpp) ---
+  /// Full serializable state: policy, stats, and every server row.
+  HtmSnapshot snapshot() const;
+  /// Replaces ALL state (policy, stats, rows) from a snapshot - the restarted
+  /// agent's warm start. Existing rows are discarded.
+  void restore(const HtmSnapshot& snapshot);
+  /// Replaces or creates one server row from a snapshot - how a replica
+  /// adopts a peer's learned trace for a server it does not serve (yet).
+  void restoreServer(const HtmServerSnapshot& snapshot);
 
  private:
   struct Entry {

@@ -1,0 +1,308 @@
+#include "core/htm_snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace casched::core {
+
+namespace {
+
+// Local little-endian primitives: core must not depend on the wire layer
+// (wire sits above core), so the snapshot carries its own byte codec with
+// the same conventions (LE integers, IEEE-754 doubles, u32-length strings).
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+void putStr(std::vector<std::uint8_t>& out, const std::string& s) {
+  CASCHED_CHECK(s.size() <= 0xFFFFFFFFull, "string too long for snapshot");
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class SnapReader {
+ public:
+  SnapReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool atEnd() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Clamp a wire-supplied element count before reserve(): corrupt input
+  /// claiming 2^32 elements must fail as a DecodeError when the bytes run
+  /// dry, not as bad_alloc. Each element consumes >= minElemBytes.
+  std::size_t clampCount(std::uint32_t n, std::size_t minElemBytes) const {
+    return std::min<std::size_t>(n, remaining() / minElemBytes);
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw util::DecodeError("HTM snapshot truncated");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kMagic[4] = {'C', 'H', 'T', 'M'};
+
+void encodeServer(std::vector<std::uint8_t>& out, const HtmServerSnapshot& s) {
+  putStr(out, s.model.name);
+  putF64(out, s.model.bwInMBps);
+  putF64(out, s.model.bwOutMBps);
+  putF64(out, s.model.latencyIn);
+  putF64(out, s.model.latencyOut);
+  putF64(out, s.speedRatio);
+  putF64(out, s.traceNow);
+  putU32(out, static_cast<std::uint32_t>(s.tasks.size()));
+  for (const TraceTask& t : s.tasks) {
+    putU64(out, t.taskId);
+    putF64(out, t.dims.inMB);
+    putF64(out, t.dims.cpuSeconds);
+    putF64(out, t.dims.outMB);
+    putU32(out, static_cast<std::uint32_t>(t.phase));
+    putF64(out, t.remaining);
+    putF64(out, t.admitted);
+  }
+  putU32(out, static_cast<std::uint32_t>(s.predictions.size()));
+  for (const HtmPredictionSnapshot& p : s.predictions) {
+    putU64(out, p.taskId);
+    putF64(out, p.predictedCompletion);
+    putF64(out, p.admitted);
+  }
+}
+
+HtmServerSnapshot decodeServer(SnapReader& r) {
+  HtmServerSnapshot s;
+  s.model.name = r.str();
+  s.model.bwInMBps = r.f64();
+  s.model.bwOutMBps = r.f64();
+  s.model.latencyIn = r.f64();
+  s.model.latencyOut = r.f64();
+  s.speedRatio = r.f64();
+  s.traceNow = r.f64();
+  const std::uint32_t taskCount = r.u32();
+  s.tasks.reserve(r.clampCount(taskCount, 52));  // u64 + 5 f64 + u32 per task
+  for (std::uint32_t i = 0; i < taskCount; ++i) {
+    TraceTask t;
+    t.taskId = r.u64();
+    t.dims.inMB = r.f64();
+    t.dims.cpuSeconds = r.f64();
+    t.dims.outMB = r.f64();
+    const std::uint32_t phase = r.u32();
+    if (phase > static_cast<std::uint32_t>(TracePhase::kDone)) {
+      throw util::DecodeError(
+          util::strformat("HTM snapshot: bad trace phase %u", phase));
+    }
+    t.phase = static_cast<TracePhase>(phase);
+    t.remaining = r.f64();
+    t.admitted = r.f64();
+    s.tasks.push_back(t);
+  }
+  const std::uint32_t predCount = r.u32();
+  s.predictions.reserve(r.clampCount(predCount, 24));  // u64 + 2 f64 each
+  for (std::uint32_t i = 0; i < predCount; ++i) {
+    HtmPredictionSnapshot p;
+    p.taskId = r.u64();
+    p.predictedCompletion = r.f64();
+    p.admitted = r.f64();
+    s.predictions.push_back(p);
+  }
+  return s;
+}
+
+}  // namespace
+
+HtmSnapshot HistoricalTraceManager::snapshot() const {
+  HtmSnapshot snap;
+  snap.policy = policy_;
+  snap.stats = stats_;
+  snap.servers.reserve(servers_.size());
+  for (const auto& [name, entry] : servers_) {
+    HtmServerSnapshot s;
+    s.model = entry.trace.model();
+    s.speedRatio = entry.speedRatio;
+    s.traceNow = entry.trace.now();
+    s.tasks = entry.trace.tasks();
+    s.predictions.reserve(entry.predicted.size());
+    for (const auto& [taskId, pred] : entry.predicted) {
+      s.predictions.push_back(HtmPredictionSnapshot{taskId, pred.first, pred.second});
+    }
+    snap.servers.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void HistoricalTraceManager::restore(const HtmSnapshot& snapshot) {
+  policy_ = snapshot.policy;
+  stats_ = snapshot.stats;
+  servers_.clear();
+  for (const HtmServerSnapshot& s : snapshot.servers) restoreServer(s);
+}
+
+void HistoricalTraceManager::restoreServer(const HtmServerSnapshot& snapshot) {
+  Entry entry{ServerTrace(snapshot.model), snapshot.speedRatio, {}};
+  entry.trace.restore(snapshot.tasks, snapshot.traceNow);
+  for (const HtmPredictionSnapshot& p : snapshot.predictions) {
+    entry.predicted[p.taskId] = {p.predictedCompletion, p.admitted};
+  }
+  servers_.insert_or_assign(snapshot.model.name, std::move(entry));
+}
+
+std::vector<std::uint8_t> encodeHtmSnapshot(const HtmSnapshot& snapshot) {
+  std::vector<std::uint8_t> out;
+  for (std::uint8_t b : kMagic) out.push_back(b);
+  putU32(out, kHtmSnapshotVersion);
+  putU32(out, static_cast<std::uint32_t>(snapshot.policy));
+  putU64(out, snapshot.stats.previews);
+  putU64(out, snapshot.stats.commits);
+  putU64(out, snapshot.stats.completionNotices);
+  putU64(out, snapshot.stats.failureNotices);
+  putF64(out, snapshot.stats.absErrorSum);
+  putF64(out, snapshot.stats.relErrorSum);
+  putU64(out, snapshot.stats.errorSamples);
+  putU32(out, static_cast<std::uint32_t>(snapshot.servers.size()));
+  for (const HtmServerSnapshot& s : snapshot.servers) encodeServer(out, s);
+  return out;
+}
+
+HtmSnapshot decodeHtmSnapshot(const std::uint8_t* data, std::size_t size) {
+  if (size < 4 || std::memcmp(data, kMagic, 4) != 0) {
+    throw util::DecodeError("HTM snapshot: bad magic");
+  }
+  SnapReader body(data + 4, size - 4);
+  const std::uint32_t version = body.u32();
+  if (version != kHtmSnapshotVersion) {
+    throw util::DecodeError(util::strformat(
+        "HTM snapshot version mismatch: got %u, want %u", version, kHtmSnapshotVersion));
+  }
+  HtmSnapshot snap;
+  const std::uint32_t policy = body.u32();
+  if (policy > static_cast<std::uint32_t>(SyncPolicy::kRescale)) {
+    throw util::DecodeError(util::strformat("HTM snapshot: bad sync policy %u", policy));
+  }
+  snap.policy = static_cast<SyncPolicy>(policy);
+  snap.stats.previews = body.u64();
+  snap.stats.commits = body.u64();
+  snap.stats.completionNotices = body.u64();
+  snap.stats.failureNotices = body.u64();
+  snap.stats.absErrorSum = body.f64();
+  snap.stats.relErrorSum = body.f64();
+  snap.stats.errorSamples = body.u64();
+  const std::uint32_t serverCount = body.u32();
+  // A server row is at least its name prefix + 6 f64 + 2 counts = 60 bytes.
+  snap.servers.reserve(body.clampCount(serverCount, 60));
+  for (std::uint32_t i = 0; i < serverCount; ++i) snap.servers.push_back(decodeServer(body));
+  if (!body.atEnd()) throw util::DecodeError("HTM snapshot: trailing bytes");
+  return snap;
+}
+
+HtmSnapshot decodeHtmSnapshot(const std::vector<std::uint8_t>& bytes) {
+  return decodeHtmSnapshot(bytes.data(), bytes.size());
+}
+
+std::string htmSnapshotJson(const HtmSnapshot& snapshot) {
+  util::JsonWriter json;
+  json.beginObject();
+  json.key("version").value(kHtmSnapshotVersion);
+  json.key("policy").value(syncPolicyName(snapshot.policy));
+  json.key("stats");
+  json.beginObject();
+  json.key("previews").value(snapshot.stats.previews);
+  json.key("commits").value(snapshot.stats.commits);
+  json.key("completion_notices").value(snapshot.stats.completionNotices);
+  json.key("failure_notices").value(snapshot.stats.failureNotices);
+  json.key("abs_error_sum").value(snapshot.stats.absErrorSum);
+  json.key("rel_error_sum").value(snapshot.stats.relErrorSum);
+  json.key("error_samples").value(snapshot.stats.errorSamples);
+  json.endObject();
+  json.key("servers");
+  json.beginArray();
+  for (const HtmServerSnapshot& s : snapshot.servers) {
+    json.beginObject();
+    json.key("name").value(s.model.name);
+    json.key("speed_ratio").value(s.speedRatio);
+    json.key("trace_now").value(s.traceNow);
+    json.key("active_tasks").value(s.tasks.size());
+    json.key("pending_predictions").value(s.predictions.size());
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  return json.str();
+}
+
+void saveHtmSnapshotFile(const std::string& path, const HtmSnapshot& snapshot) {
+  const std::vector<std::uint8_t> bytes = encodeHtmSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw util::IoError("cannot write HTM snapshot '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw util::IoError("short write to HTM snapshot '" + tmp + "'");
+  }
+  // Rename-over keeps a reader (a restarting replica) from ever seeing a
+  // half-written snapshot.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw util::IoError("cannot rename HTM snapshot into '" + path + "'");
+  }
+}
+
+std::optional<HtmSnapshot> loadHtmSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) throw util::IoError("cannot read HTM snapshot '" + path + "'");
+  return decodeHtmSnapshot(bytes);
+}
+
+}  // namespace casched::core

@@ -1,0 +1,67 @@
+#pragma once
+/// \file htm_snapshot.hpp
+/// Serialized form of the Historical Trace Manager: per-server trace entries,
+/// speed corrections, in-flight predictions and the accuracy statistics, as a
+/// versioned little-endian binary blob (plus a JSON rendering for humans).
+/// A restarted agent - or a second agent replica receiving kAgentSync frames -
+/// restores a snapshot and starts with warm predictions instead of a cold
+/// trace (ROADMAP: HTM snapshot/persistence, multi-agent replication).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/htm.hpp"
+#include "core/server_trace.hpp"
+#include "simcore/time.hpp"
+
+namespace casched::core {
+
+/// Bumped whenever the binary layout changes; decode rejects other versions
+/// with a typed error instead of misreading the bytes.
+constexpr std::uint32_t kHtmSnapshotVersion = 1;
+
+/// One committed prediction still awaiting its completion notice.
+struct HtmPredictionSnapshot {
+  std::uint64_t taskId = 0;
+  simcore::SimTime predictedCompletion = 0.0;
+  simcore::SimTime admitted = 0.0;
+};
+
+/// One server's row: the registration-time model, the learned speed
+/// correction, and the full trace state (active tasks mid-phase).
+struct HtmServerSnapshot {
+  ServerModel model;
+  double speedRatio = 1.0;
+  simcore::SimTime traceNow = 0.0;
+  std::vector<TraceTask> tasks;
+  std::vector<HtmPredictionSnapshot> predictions;
+};
+
+struct HtmSnapshot {
+  SyncPolicy policy = SyncPolicy::kDropOnNotice;
+  HtmStats stats;
+  std::vector<HtmServerSnapshot> servers;
+};
+
+/// Versioned binary form ("CHTM" magic + version + payload); byte-exact
+/// round-trip of every field.
+std::vector<std::uint8_t> encodeHtmSnapshot(const HtmSnapshot& snapshot);
+
+/// Throws util::DecodeError on truncation, bad magic or version mismatch.
+HtmSnapshot decodeHtmSnapshot(const std::uint8_t* data, std::size_t size);
+HtmSnapshot decodeHtmSnapshot(const std::vector<std::uint8_t>& bytes);
+
+/// Human-readable record of the same state (util::JsonWriter; not parsed
+/// back - the binary form is the persistence format).
+std::string htmSnapshotJson(const HtmSnapshot& snapshot);
+
+/// Atomic-enough file persistence (write to path + ".tmp", then rename).
+void saveHtmSnapshotFile(const std::string& path, const HtmSnapshot& snapshot);
+
+/// std::nullopt when the file does not exist; throws util::IoError on an
+/// unreadable file and util::DecodeError on corrupt contents.
+std::optional<HtmSnapshot> loadHtmSnapshotFile(const std::string& path);
+
+}  // namespace casched::core

@@ -191,6 +191,19 @@ double ServerTrace::totalRemainingCpuSeconds() const {
   return total;
 }
 
+void ServerTrace::restore(std::vector<TraceTask> tasks, simcore::SimTime now) {
+  for (const TraceTask& task : tasks) {
+    CASCHED_CHECK(task.phase <= TracePhase::kDone, "restored task has a bad phase");
+    CASCHED_CHECK(task.remaining >= 0.0, "restored task has negative remaining work");
+  }
+  tasks_ = std::move(tasks);
+  // Drop tasks a snapshot caught exactly at completion.
+  tasks_.erase(std::remove_if(tasks_.begin(), tasks_.end(),
+                              [](const TraceTask& t) { return t.phase == TracePhase::kDone; }),
+               tasks_.end());
+  now_ = now;
+}
+
 std::string tracePhaseName(TracePhase phase) {
   switch (phase) {
     case TracePhase::kLatencyIn: return "latency-in";

@@ -99,6 +99,13 @@ class ServerTrace {
   /// Remaining work summary used by schedulers' diagnostics.
   double totalRemainingCpuSeconds() const;
 
+  /// Live task list in admission order (snapshot/persistence read access).
+  const std::vector<TraceTask>& tasks() const { return tasks_; }
+
+  /// Replaces the whole trace state from a snapshot: the task list (admission
+  /// order preserved) and the trace clock. Validates phases and amounts.
+  void restore(std::vector<TraceTask> tasks, simcore::SimTime now);
+
  private:
   /// Advances `tasks` in place from `*t` until `bound` (or until drained),
   /// invoking `onDone(task, when)` at completions and `onSegment` for every

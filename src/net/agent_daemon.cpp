@@ -4,10 +4,28 @@
 #include <chrono>
 #include <thread>
 
+#include "core/htm_snapshot.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace casched::net {
+
+AgentMode parseAgentMode(const std::string& name) {
+  const std::string n = util::toLower(name);
+  if (n == "replicated") return AgentMode::kReplicated;
+  if (n == "partitioned") return AgentMode::kPartitioned;
+  throw util::ConfigError("unknown agent mode '" + name +
+                          "' (want replicated | partitioned)");
+}
+
+std::string agentModeName(AgentMode mode) {
+  switch (mode) {
+    case AgentMode::kReplicated: return "replicated";
+    case AgentMode::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
 
 /// TaskDispatch implementation handed to the scheduling core: encodes the
 /// submission as a kTaskSubmit frame on the server's current transport.
@@ -48,6 +66,21 @@ AgentDaemon::AgentDaemon(AgentDaemonConfig config, PacedClock clock)
   CASCHED_CHECK(config_.heartbeatTimeout > 0.0, "heartbeat timeout must be positive");
   agent_.setTaskTerminalObserver(
       [this](const metrics::TaskOutcome& outcome) { relayTerminal(outcome); });
+  for (const std::string& address : config_.peers) addPeer(address);
+  if (!config_.snapshotPath.empty()) {
+    try {
+      if (const auto snap = core::loadHtmSnapshotFile(config_.snapshotPath)) {
+        warmStartedRows_ = agent_.warmStartHtm(*snap);
+        LOG_INFO("agent " << config_.agentName << ": warm-started " << warmStartedRows_
+                          << " HTM rows from " << config_.snapshotPath);
+      }
+    } catch (const util::Error& e) {
+      // A corrupt or unreadable snapshot must not keep the agent down; it
+      // simply starts cold.
+      LOG_WARN("agent " << config_.agentName
+                        << ": ignoring unusable snapshot: " << e.what());
+    }
+  }
 }
 
 AgentDaemon::~AgentDaemon() = default;
@@ -56,7 +89,9 @@ void AgentDaemon::runOnce() {
   sim_.advanceTo(clock_.simNow());
   acceptPending();
   pollTransports();
+  pollPeers();
   applyDeadlines();
+  maybeSync();
 }
 
 void AgentDaemon::run(const std::atomic<bool>& stop) {
@@ -151,6 +186,281 @@ void AgentDaemon::applyDeadlines() {
   }
 }
 
+void AgentDaemon::addPeer(const std::string& hostPort) {
+  PeerEntry peer;
+  peer.address = hostPort;
+  peers_.push_back(std::move(peer));
+}
+
+bool AgentDaemon::otherLiveLinkTo(const PeerEntry& peer) const {
+  if (peer.name.empty()) return false;
+  for (const PeerEntry& other : peers_) {
+    if (&other != &peer && other.name == peer.name && other.transport &&
+        !other.transport->closed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AgentDaemon::connectedPeerCount() const {
+  std::size_t n = 0;
+  for (const PeerEntry& p : peers_) {
+    if (p.transport && !p.transport->closed()) ++n;
+  }
+  return n;
+}
+
+void AgentDaemon::sendHello(PeerEntry& peer) {
+  if (!peer.transport || peer.transport->closed()) return;
+  wire::AgentHelloMsg hello;
+  hello.agentName = config_.agentName;
+  hello.mode = agentModeName(config_.mode);
+  hello.sampleTime = sim_.now();
+  for (const auto& [name, entry] : servers_) {
+    if (!entry.retired) hello.ownedServers.push_back(name);
+  }
+  peer.transport->send(wire::MessageType::kAgentHello, wire::encode(hello));
+  peer.helloSent = true;
+}
+
+void AgentDaemon::pollPeers() {
+  for (PeerEntry& peer : peers_) {
+    if ((!peer.transport || peer.transport->closed()) && !peer.address.empty() &&
+        sim_.now() >= peer.nextDialAt && !otherLiveLinkTo(peer)) {
+      peer.nextDialAt = sim_.now() + config_.peerRedialPeriod;
+      // Parse before dialing, so a malformed address is dropped for good
+      // instead of masquerading as a transiently unreachable peer.
+      std::string host;
+      int port = 0;
+      const auto colon = peer.address.rfind(':');
+      if (colon != std::string::npos) {
+        host = peer.address.substr(0, colon);
+        try {
+          port = std::stoi(peer.address.substr(colon + 1));
+        } catch (const std::exception&) {
+          port = 0;
+        }
+      }
+      if (host.empty() || port <= 0 || port > 0xFFFF) {
+        LOG_WARN("agent " << config_.agentName << ": bad peer address '"
+                          << peer.address << "'");
+        peer.address.clear();  // never dial garbage again
+        continue;
+      }
+      try {
+        peer.transport = wire::TcpTransport::connect(host, static_cast<std::uint16_t>(port));
+        peer.helloSent = false;
+        sendHello(peer);
+        LOG_INFO("agent " << config_.agentName << ": dialed peer " << peer.address);
+      } catch (const util::Error& e) {
+        peer.transport.reset();
+        LOG_DEBUG("agent " << config_.agentName << ": peer " << peer.address
+                           << " unreachable: " << e.what());
+      }
+    }
+    if (peer.transport && !peer.transport->closed()) {
+      try {
+        auto transport = peer.transport;
+        transport->poll([&](wire::Frame frame) { handleFrame(transport, frame); });
+      } catch (const util::Error& e) {
+        LOG_WARN("agent " << config_.agentName
+                          << ": closing peer link on bad frame: " << e.what());
+        peer.transport->close();
+      }
+    }
+  }
+  // Inbound entries have no address to re-dial; drop them once dead. The
+  // dialing side owns reconnection.
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [](const PeerEntry& p) {
+                                return p.address.empty() &&
+                                       (!p.transport || p.transport->closed());
+                              }),
+               peers_.end());
+}
+
+void AgentDaemon::maybeSync() {
+  if (config_.syncPeriod <= 0.0) return;
+  if (config_.snapshotPath.empty() && peers_.empty()) return;
+  if (sim_.now() < nextSyncAt_) return;
+  nextSyncAt_ = sim_.now() + config_.syncPeriod;
+
+  const core::HtmSnapshot snapshot = agent_.htmSnapshot();
+  if (!config_.snapshotPath.empty()) {
+    try {
+      core::saveHtmSnapshotFile(config_.snapshotPath, snapshot);
+    } catch (const util::Error& e) {
+      LOG_WARN("agent " << config_.agentName << ": snapshot save failed: " << e.what());
+    }
+  }
+  if (connectedPeerCount() == 0) return;
+
+  wire::AgentSyncMsg base;
+  base.agentName = config_.agentName;
+  base.sampleTime = sim_.now();
+  for (const auto& [name, entry] : servers_) {
+    if (entry.retired || !entry.up) continue;
+    wire::LoadDigest digest;
+    digest.serverName = name;
+    digest.loadAverage = agent_.loadEstimate(name);
+    digest.sampleTime = sim_.now();
+    base.loads.push_back(std::move(digest));
+  }
+
+  // Snapshot travels in chunks so one sync frame never approaches the frame
+  // limit, whatever the trace sizes; loopback deployments fit in one chunk.
+  constexpr std::size_t kChunkBytes = 256 * 1024;
+  const wire::Bytes blob = core::encodeHtmSnapshot(snapshot);
+  const auto chunkCount =
+      static_cast<std::uint32_t>((blob.size() + kChunkBytes - 1) / kChunkBytes);
+  base.snapshotSeq = ++snapshotSeq_;
+  base.chunkCount = chunkCount;
+
+  for (PeerEntry& peer : peers_) {
+    if (!peer.transport || peer.transport->closed()) continue;
+    if (!peer.helloSent) sendHello(peer);
+    for (std::uint32_t i = 0; i < std::max<std::uint32_t>(chunkCount, 1); ++i) {
+      wire::AgentSyncMsg msg = base;
+      msg.chunkIndex = i;
+      if (i > 0) msg.loads.clear();  // digests ride the first chunk only
+      if (chunkCount > 0) {
+        const std::size_t begin = static_cast<std::size_t>(i) * kChunkBytes;
+        const std::size_t end = std::min(blob.size(), begin + kChunkBytes);
+        msg.snapshotChunk.assign(blob.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 blob.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      peer.transport->send(wire::MessageType::kAgentSync, wire::encode(msg));
+    }
+  }
+}
+
+void AgentDaemon::onAgentHello(const std::shared_ptr<wire::TcpTransport>& transport,
+                               const wire::AgentHelloMsg& msg) {
+  // An inbound connection identified itself as a peer agent: move it out of
+  // pending_ into a peer entry (no address - the dialer re-dials).
+  auto inPending = std::find_if(pending_.begin(), pending_.end(),
+                                [&](const auto& p) { return p.first == transport; });
+  PeerEntry* entry = nullptr;
+  if (inPending != pending_.end()) {
+    pending_.erase(inPending);
+    PeerEntry peer;
+    peer.transport = transport;
+    peers_.push_back(std::move(peer));
+    entry = &peers_.back();
+  } else {
+    for (PeerEntry& p : peers_) {
+      if (p.transport == transport) {
+        entry = &p;
+        break;
+      }
+    }
+  }
+  if (entry == nullptr) return;  // hello on a server/client link: ignore
+  entry->name = msg.agentName;
+  entry->mode = msg.mode;
+
+  // Mutually-configured peers (each dialing the other) would otherwise hold
+  // two links per pair, doubling every sync. Keep exactly one - the link
+  // dialed by the lexicographically smaller agent name; both sides compute
+  // the same answer. The loser's transport closes (an inbound duplicate is
+  // pruned, an outbound one stops dialing while the canonical link lives).
+  for (PeerEntry& other : peers_) {
+    if (&other == entry || other.name != msg.agentName) continue;
+    if (!other.transport || other.transport->closed()) continue;
+    const std::string& entryDialer =
+        entry->address.empty() ? msg.agentName : config_.agentName;
+    const std::string& canonical = std::min(config_.agentName, msg.agentName);
+    PeerEntry& drop = entryDialer == canonical ? other : *entry;
+    LOG_INFO("agent " << config_.agentName << ": dropping duplicate link to "
+                      << msg.agentName);
+    // Answer the hello before closing a losing inbound link: the reply is
+    // how the remote dialer learns our name, and only a named entry lets its
+    // otherLiveLinkTo() guard suppress further re-dials while the canonical
+    // link lives - dropping silently would mean perpetual dial/close churn.
+    if (!drop.helloSent) sendHello(drop);
+    drop.transport->close();
+    if (&drop == entry) return;  // this connection lost the tie-break
+    break;
+  }
+
+  LOG_INFO("agent " << config_.agentName << ": peer " << msg.agentName << " ("
+                    << msg.mode << ", " << msg.ownedServers.size()
+                    << " servers) connected");
+  // Answer an inbound hello with our own so the dialer learns our name.
+  if (!entry->helloSent) sendHello(*entry);
+}
+
+void AgentDaemon::onAgentSync(const std::shared_ptr<wire::TcpTransport>& transport,
+                              const wire::AgentSyncMsg& msg) {
+  PeerEntry* peer = nullptr;
+  for (PeerEntry& p : peers_) {
+    if (p.transport == transport) {
+      peer = &p;
+      break;
+    }
+  }
+  if (peer == nullptr) {
+    LOG_WARN("agent " << config_.agentName << ": sync from unidentified connection");
+    return;
+  }
+  ++syncsReceived_;
+  if (peer->name.empty()) peer->name = msg.agentName;
+
+  // Load digests: the peer's view of the servers it owns. Servers registered
+  // here are our own partition - the local estimate is fresher - so digests
+  // only fill in the rest of the registry.
+  for (const wire::LoadDigest& digest : msg.loads) {
+    if (servers_.count(digest.serverName) != 0) continue;
+    peerLoads_[digest.serverName] = digest;
+  }
+
+  if (msg.chunkCount == 0) return;
+  // Bound the reassembly buffer before allocating from a wire-supplied
+  // count: a corrupt or hostile frame must be dropped like any other bad
+  // snapshot, not allowed to throw bad_alloc past the util::Error handlers
+  // and kill the daemon. 4096 chunks x 256 KiB = a 1 GiB snapshot, far
+  // beyond any real deployment.
+  constexpr std::uint32_t kMaxSnapshotChunks = 4096;
+  if (msg.chunkCount > kMaxSnapshotChunks || msg.chunkIndex >= msg.chunkCount) {
+    LOG_WARN("agent " << config_.agentName << ": dropping sync with bad chunking ("
+                      << msg.chunkIndex << "/" << msg.chunkCount << ") from "
+                      << peer->name);
+    return;
+  }
+  if (msg.snapshotSeq != peer->snapshotSeq || msg.chunkCount != peer->chunkCount) {
+    peer->snapshotSeq = msg.snapshotSeq;
+    peer->chunkCount = msg.chunkCount;
+    peer->chunksReceived = 0;
+    peer->chunks.assign(msg.chunkCount, {});
+  }
+  if (peer->chunks[msg.chunkIndex].empty()) {
+    peer->chunks[msg.chunkIndex] = msg.snapshotChunk;
+    ++peer->chunksReceived;
+  }
+  if (peer->chunksReceived != peer->chunkCount) return;
+
+  wire::Bytes blob;
+  for (const wire::Bytes& chunk : peer->chunks) {
+    blob.insert(blob.end(), chunk.begin(), chunk.end());
+  }
+  peer->chunks.clear();
+  peer->chunkCount = 0;
+  peer->chunksReceived = 0;
+  try {
+    const core::HtmSnapshot snapshot = core::decodeHtmSnapshot(blob);
+    // Row-wise adoption only: a live sync must not overwrite this agent's
+    // configured sync policy or its own accuracy statistics. Count DISTINCT
+    // rows, so the metric reflects replication coverage, not run length.
+    for (const std::string& name : agent_.adoptHtmRows(snapshot)) {
+      peerAdoptedRows_.insert(name);
+    }
+  } catch (const util::Error& e) {
+    LOG_WARN("agent " << config_.agentName << ": dropping corrupt snapshot from "
+                      << peer->name << ": " << e.what());
+  }
+}
+
 void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transport,
                               const wire::Frame& frame) {
   using wire::MessageType;
@@ -240,6 +550,12 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
       }
       return;
     }
+    case MessageType::kAgentHello:
+      onAgentHello(transport, wire::decodeAgentHello(frame.payload));
+      return;
+    case MessageType::kAgentSync:
+      onAgentSync(transport, wire::decodeAgentSync(frame.payload));
+      return;
     case MessageType::kShutdown:
       shutdownRequested_ = true;
       return;

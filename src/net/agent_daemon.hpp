@@ -14,6 +14,16 @@
 /// deregisterServer path (its HTM row is dropped, it never receives work
 /// again). A transport disconnect is an immediate kServerDown; a reconnect
 /// re-registers, reviving a retired row when the deadline already passed.
+///
+/// Replication (protocol v3): the daemon can peer with other agents. It dials
+/// the configured `peers` (re-dialing dropped links), accepts inbound peers
+/// identifying with kAgentHello, and every `syncPeriod` simulated seconds
+/// sends each of them a kAgentSync - load digests of its own servers plus its
+/// serialized HTM snapshot in chunks - and writes the same snapshot to
+/// `snapshotPath`. Received digests build a registry view of peer-owned
+/// servers; received snapshots warm rows for servers not registered here, so
+/// a replica (or a restarted agent booting from its snapshot file) starts
+/// with warm predictions the moment those servers fail over to it.
 
 #include <atomic>
 #include <cstdint>
@@ -32,6 +42,20 @@
 #include "wire/tcp_transport.hpp"
 
 namespace casched::net {
+
+/// How a multi-agent deployment divides the server registry.
+enum class AgentMode : std::uint8_t {
+  /// Every agent can serve the full registry; snapshot sync keeps replicas
+  /// warm so servers and clients can fail over to any of them.
+  kReplicated,
+  /// Each agent owns the servers that registered with it; clients spread
+  /// their tasks across the agents. Load digests give each agent a read-only
+  /// view of the partitions it does not own.
+  kPartitioned,
+};
+
+AgentMode parseAgentMode(const std::string& name);
+std::string agentModeName(AgentMode mode);
 
 struct AgentDaemonConfig {
   /// Listening port on 127.0.0.1; 0 picks a free port (see port()).
@@ -52,6 +76,21 @@ struct AgentDaemonConfig {
   /// Tables 3-4 when available); servers without entries fall back to
   /// refSeconds / speedIndex from their registration.
   platform::CostModel costs;
+
+  // --- replication (multi-agent deployments) ---
+  /// Name announced in kAgentHello; must be unique across the deployment.
+  std::string agentName = "agent-0";
+  AgentMode mode = AgentMode::kReplicated;
+  /// Peer agents to dial, as "host:port". Dropped links are re-dialed every
+  /// `peerRedialPeriod`; peers may also dial in (kAgentHello identifies them).
+  std::vector<std::string> peers;
+  double peerRedialPeriod = 5.0;
+  /// Simulated seconds between kAgentSync broadcasts (and snapshot file
+  /// saves); <= 0 disables both.
+  double syncPeriod = 5.0;
+  /// HTM snapshot file: loaded (if present) at construction for a warm
+  /// start, rewritten every sync period. Empty disables persistence.
+  std::string snapshotPath;
 };
 
 class AgentDaemon {
@@ -85,6 +124,25 @@ class AgentDaemon {
   /// True once a kShutdown frame arrived.
   bool shutdownRequested() const { return shutdownRequested_; }
 
+  // --- replication surface ---
+  const std::string& agentName() const { return config_.agentName; }
+  AgentMode mode() const { return config_.mode; }
+  /// Adds a peer address ("host:port") after construction; the loopback
+  /// harness uses this once every agent's ephemeral port is known.
+  void addPeer(const std::string& hostPort);
+  /// Peer links currently connected (inbound or outbound).
+  std::size_t connectedPeerCount() const;
+  /// Rows adopted from the snapshot file at construction (warm start).
+  std::size_t warmStartedRows() const { return warmStartedRows_; }
+  /// kAgentSync frames digested so far.
+  std::uint64_t syncsReceived() const { return syncsReceived_; }
+  /// Distinct HTM rows ever adopted from peer snapshots (servers not
+  /// registered here) - replication coverage, independent of run length.
+  std::uint64_t peerRowsAdopted() const { return peerAdoptedRows_.size(); }
+  /// Servers known only through peer load digests (the rest of the registry
+  /// in partitioned mode).
+  std::size_t knownPeerServerCount() const { return peerLoads_.size(); }
+
  private:
   struct WireLink;
   struct ServerEntry {
@@ -101,9 +159,33 @@ class AgentDaemon {
     std::set<std::uint64_t> draining;
   };
 
+  /// One agent-to-agent link: outbound entries carry the address to re-dial;
+  /// inbound entries (address empty) are pruned once their transport dies.
+  struct PeerEntry {
+    std::string address;  ///< "host:port" for outbound dials; "" when inbound
+    std::string name;     ///< peer's agentName once its hello arrived
+    std::string mode;
+    std::shared_ptr<wire::TcpTransport> transport;
+    bool helloSent = false;
+    double nextDialAt = 0.0;
+    /// Snapshot chunk reassembly state.
+    std::uint64_t snapshotSeq = 0;
+    std::uint32_t chunkCount = 0;
+    std::uint32_t chunksReceived = 0;
+    std::vector<wire::Bytes> chunks;
+  };
+
   void acceptPending();
   void pollTransports();
   void applyDeadlines();
+  bool otherLiveLinkTo(const PeerEntry& peer) const;
+  void pollPeers();
+  void maybeSync();
+  void sendHello(PeerEntry& peer);
+  void onAgentHello(const std::shared_ptr<wire::TcpTransport>& transport,
+                    const wire::AgentHelloMsg& msg);
+  void onAgentSync(const std::shared_ptr<wire::TcpTransport>& transport,
+                   const wire::AgentSyncMsg& msg);
   void handleFrame(const std::shared_ptr<wire::TcpTransport>& transport,
                    const wire::Frame& frame);
   void onRegister(const std::shared_ptr<wire::TcpTransport>& transport,
@@ -131,6 +213,17 @@ class AgentDaemon {
   /// Which client asked for which task (terminal outcomes go back there).
   std::map<std::uint64_t, std::weak_ptr<wire::TcpTransport>> taskClients_;
   bool shutdownRequested_ = false;
+
+  // --- replication state ---
+  std::vector<PeerEntry> peers_;
+  double nextSyncAt_ = 0.0;
+  std::uint64_t snapshotSeq_ = 0;
+  /// Last load digest per peer-owned server (not registered here).
+  std::map<std::string, wire::LoadDigest> peerLoads_;
+  /// Distinct server names whose rows were adopted from peer snapshots.
+  std::set<std::string> peerAdoptedRows_;
+  std::size_t warmStartedRows_ = 0;
+  std::uint64_t syncsReceived_ = 0;
 };
 
 }  // namespace casched::net

@@ -1,5 +1,6 @@
 #include "net/client_driver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -9,57 +10,184 @@
 namespace casched::net {
 
 ClientDriver::ClientDriver(ClientConfig config, PacedClock clock)
-    : config_(std::move(config)), clock_(clock) {}
+    : config_(std::move(config)), clock_(clock) {
+  if (config_.agentPorts.empty()) config_.agentPorts.push_back(config_.agentPort);
+  for (std::uint16_t port : config_.agentPorts) {
+    AgentLink link;
+    link.port = port;
+    links_.push_back(std::move(link));
+  }
+}
 
-void ClientDriver::connect() {
-  transport_ = wire::TcpTransport::connect(config_.agentHost, config_.agentPort);
+bool ClientDriver::dialLink(AgentLink& link) {
+  try {
+    link.transport = wire::TcpTransport::connect(config_.agentHost, link.port);
+  } catch (const util::IoError&) {
+    link.transport.reset();
+    return false;
+  }
   // Hello: an empty-name heartbeat tells the agent this connection is a
   // client, so it is not reaped as never-identified while waiting for the
   // first arrival date.
-  transport_->send(wire::MessageType::kHeartbeat, wire::encode(wire::HeartbeatMsg{}));
+  link.transport->send(wire::MessageType::kHeartbeat, wire::encode(wire::HeartbeatMsg{}));
+  return true;
+}
+
+void ClientDriver::connect() {
+  std::size_t live = 0;
+  for (AgentLink& link : links_) {
+    if (dialLink(link)) ++live;
+  }
+  if (live == 0) {
+    throw util::IoError("client: no agent reachable on any configured port");
+  }
+}
+
+std::size_t ClientDriver::liveAgentCount() const {
+  std::size_t n = 0;
+  for (const AgentLink& link : links_) {
+    if (link.transport && !link.transport->closed()) ++n;
+  }
+  return n;
 }
 
 void ClientDriver::start(const workload::Metatask& metatask) {
-  CASCHED_CHECK(transport_ != nullptr, "client must connect before start");
+  CASCHED_CHECK(liveAgentCount() > 0, "client must connect before start");
   CASCHED_CHECK(!metatask.tasks.empty(), "metatask is empty");
   metatask_ = metatask;
   total_ = metatask.tasks.size();
   started_ = true;
   nextToSend_ = 0;
   completed_ = 0;
+  failovers_ = 0;
+  wireToPos_.clear();
+  inFlightLink_.clear();
+  resend_.clear();
   terminal_.clear();
 }
 
+bool ClientDriver::sendTask(std::size_t pos, std::uint64_t wireId) {
+  // Pick the carrying link: round-robin over live links (partitioned mode)
+  // or the first live one (replicated mode - everything to the primary).
+  std::size_t chosen = links_.size();
+  if (config_.roundRobin) {
+    for (std::size_t step = 0; step < links_.size(); ++step) {
+      const std::size_t i = (rrNext_ + step) % links_.size();
+      if (links_[i].transport && !links_[i].transport->closed()) {
+        chosen = i;
+        rrNext_ = (i + 1) % links_.size();
+        break;
+      }
+    }
+  } else {
+    // Sticky primary: keep using the agent that is currently serving us and
+    // only advance when it dies. Scanning from 0 instead would hand new
+    // tasks back to a restarted (warm but server-less) agent whose registry
+    // migrated to the survivor during the outage.
+    for (std::size_t step = 0; step < links_.size(); ++step) {
+      const std::size_t i = (primary_ + step) % links_.size();
+      if (links_[i].transport && !links_[i].transport->closed()) {
+        chosen = i;
+        primary_ = i;
+        break;
+      }
+    }
+  }
+  if (chosen == links_.size()) return false;
+
+  const workload::TaskInstance& task = metatask_.tasks[pos];
+  wire::ScheduleRequestMsg request;
+  request.taskId = wireId;
+  request.problem = task.type.name;
+  request.inMB = task.type.inMB;
+  request.outMB = task.type.outMB;
+  request.memMB = task.type.memMB;
+  request.refSeconds = task.type.refSeconds;
+  links_[chosen].transport->send(wire::MessageType::kScheduleRequest,
+                                 wire::encode(request));
+  wireToPos_[wireId] = pos;
+  inFlightLink_[wireId] = chosen;
+  return true;
+}
+
 void ClientDriver::runOnce() {
-  if (!started_ || transport_ == nullptr || transport_->closed()) return;
+  if (!started_) return;
   const double now = clock_.simNow();
+
+  // Reap dead links first: everything in flight there moves to the resend
+  // queue (the agent - or its replacement - will see a fresh wire id), then
+  // the link re-dials on its own period.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    AgentLink& link = links_[i];
+    if (link.transport && link.transport->closed()) link.transport.reset();
+    if (link.transport == nullptr) {
+      for (auto it = inFlightLink_.begin(); it != inFlightLink_.end();) {
+        if (it->second != i) {
+          ++it;
+          continue;
+        }
+        const std::uint64_t wireId = it->first;
+        const std::size_t pos = wireToPos_.at(wireId);
+        it = inFlightLink_.erase(it);
+        const std::uint64_t index = metatask_.tasks[pos].index;
+        if (terminal_.count(index) == 0) {
+          LOG_WARN("client: agent link died with task " << index
+                                                        << " open, failing over");
+          resend_.push_back(pos);
+        }
+      }
+      if (now >= link.nextRedialAt) {
+        link.nextRedialAt = now + config_.redialPeriod;
+        dialLink(link);
+      }
+    }
+  }
+
+  // Send every arrival now due; stop (and retry next turn) when no agent is
+  // currently reachable.
   while (nextToSend_ < metatask_.tasks.size() &&
          metatask_.tasks[nextToSend_].arrival <= now) {
-    const workload::TaskInstance& task = metatask_.tasks[nextToSend_];
-    wire::ScheduleRequestMsg request;
-    request.taskId = task.index;
-    request.problem = task.type.name;
-    request.inMB = task.type.inMB;
-    request.outMB = task.type.outMB;
-    request.memMB = task.type.memMB;
-    request.refSeconds = task.type.refSeconds;
-    transport_->send(wire::MessageType::kScheduleRequest, wire::encode(request));
+    if (!sendTask(nextToSend_, metatask_.tasks[nextToSend_].index)) break;
     ++nextToSend_;
   }
-  try {
-    transport_->poll([&](wire::Frame frame) { handleFrame(frame); });
-  } catch (const util::Error& e) {
-    LOG_WARN("client: closing link on bad frame: " << e.what());
-    transport_->close();
+
+  // Failover re-submissions, under fresh wire ids.
+  while (!resend_.empty()) {
+    const std::size_t pos = resend_.back();
+    if (terminal_.count(metatask_.tasks[pos].index) != 0) {
+      resend_.pop_back();  // a late notice settled it meanwhile
+      continue;
+    }
+    if (!sendTask(pos, nextFailoverId_)) break;
+    ++nextFailoverId_;
+    ++failovers_;
+    resend_.pop_back();
+  }
+
+  for (AgentLink& link : links_) {
+    if (link.transport == nullptr) continue;
+    try {
+      link.transport->poll([&](wire::Frame frame) { handleFrame(frame); });
+    } catch (const util::Error& e) {
+      LOG_WARN("client: closing link on bad frame: " << e.what());
+      link.transport->close();
+    }
   }
 }
 
 void ClientDriver::handleFrame(const wire::Frame& frame) {
   using wire::MessageType;
+  const auto settle = [&](std::uint64_t wireId) -> std::uint64_t {
+    inFlightLink_.erase(wireId);
+    auto it = wireToPos_.find(wireId);
+    // Unknown wire id: a notice for a task this driver never sent.
+    if (it == wireToPos_.end()) return wireId;
+    return metatask_.tasks[it->second].index;
+  };
   if (frame.type == MessageType::kTaskComplete) {
     const wire::TaskCompleteMsg m = wire::decodeTaskComplete(frame.payload);
-    auto [it, inserted] = terminal_.try_emplace(m.taskId);
-    if (!inserted) return;  // duplicate terminal notice
+    auto [it, inserted] = terminal_.try_emplace(settle(m.taskId));
+    if (!inserted) return;  // duplicate terminal notice (orphan + failover copy)
     it->second.completed = true;
     it->second.server = m.serverName;
     it->second.completionTime = m.completionTime;
@@ -68,7 +196,7 @@ void ClientDriver::handleFrame(const wire::Frame& frame) {
   }
   if (frame.type == MessageType::kTaskFailed) {
     const wire::TaskFailedMsg m = wire::decodeTaskFailed(frame.payload);
-    auto [it, inserted] = terminal_.try_emplace(m.taskId);
+    auto [it, inserted] = terminal_.try_emplace(settle(m.taskId));
     if (!inserted) return;
     it->second.completed = false;
     it->second.server = m.serverName;
@@ -84,7 +212,6 @@ bool ClientDriver::run(const workload::Metatask& metatask, double wallTimeoutSec
   const WallDeadline deadline(wallTimeoutSeconds);
   while (!done() && !stop.load(std::memory_order_relaxed)) {
     if (deadline.passed()) break;
-    if (transport_ == nullptr || transport_->closed()) break;
     runOnce();
     std::this_thread::sleep_for(std::chrono::microseconds(500));
   }

@@ -1,17 +1,27 @@
 #pragma once
 /// \file client_driver.hpp
-/// The live client: replays a metatask against a running agent daemon, one
-/// kScheduleRequest per task at its (wall-paced) arrival date, and collects
-/// the terminal notices the agent relays back. This is the paper's
-/// "submission of a metatask composed of independent tasks to the agent",
-/// driven over real sockets - scenario specs compile to metatasks, so any
-/// registry scenario can be replayed against a live deployment.
+/// The live client: replays a metatask against one or more running agent
+/// daemons, one kScheduleRequest per task at its (wall-paced) arrival date,
+/// and collects the terminal notices the agents relay back. This is the
+/// paper's "submission of a metatask composed of independent tasks to the
+/// agent", driven over real sockets - scenario specs compile to metatasks, so
+/// any registry scenario can be replayed against a live deployment.
+///
+/// Multi-agent deployments: with several `agentPorts` the driver keeps one
+/// connection per agent. In replicated mode every task goes to the first
+/// live agent; with `roundRobin` (partitioned mode) tasks spread across the
+/// live agents. When a connection dies the driver re-dials it and re-submits
+/// every non-terminal task it had sent there to another live agent - under a
+/// fresh wire id, so the re-submission can never collide with an orphaned
+/// copy still running somewhere (the agent side rejects id reuse, and the
+/// HTM trace must not see two tasks with one id).
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "metrics/record.hpp"
 #include "net/clock.hpp"
@@ -24,9 +34,17 @@ namespace casched::net {
 struct ClientConfig {
   std::string agentHost = "127.0.0.1";
   std::uint16_t agentPort = 0;
+  /// Multi-agent deployment: one connection per entry; overrides agentPort
+  /// when non-empty. Order matters - the first live entry is "primary".
+  std::vector<std::uint16_t> agentPorts;
+  /// Distribute tasks round-robin over live agents (partitioned mode)
+  /// instead of sending everything to the first live one (replicated mode).
+  bool roundRobin = false;
+  /// Simulated seconds between re-dial attempts of a dead connection.
+  double redialPeriod = 5.0;
 };
 
-/// What the client learned about one task from the agent's relay.
+/// What the client learned about one task from the agents' relays.
 struct ClientOutcome {
   bool completed = false;
   std::string server;
@@ -40,14 +58,15 @@ class ClientDriver {
   ClientDriver(const ClientDriver&) = delete;
   ClientDriver& operator=(const ClientDriver&) = delete;
 
-  /// Dials the agent; throws util::IoError when unreachable.
+  /// Dials every configured agent; throws util::IoError when none is
+  /// reachable (unreachable ones are retried during the run).
   void connect();
 
   /// Begins replaying `metatask` (tasks must be sorted by arrival).
   void start(const workload::Metatask& metatask);
 
-  /// One event-loop turn: send every arrival now due, drain terminal
-  /// notices. Non-blocking.
+  /// One event-loop turn: re-dial dead links, send every arrival now due,
+  /// re-submit failed-over tasks, drain terminal notices. Non-blocking.
   void runOnce();
 
   /// Blocking replay for the CLI process: pumps until every task is
@@ -60,20 +79,46 @@ class ClientDriver {
   std::size_t submitted() const { return nextToSend_; }
   std::size_t completedCount() const { return completed_; }
   std::size_t failedCount() const { return terminal_.size() - completed_; }
+  /// Keyed by the task's metatask index (failover re-submissions fold back).
   const std::map<std::uint64_t, ClientOutcome>& outcomes() const { return terminal_; }
+  /// Tasks re-submitted to another agent after their connection died.
+  std::uint64_t failoverResubmissions() const { return failovers_; }
+  std::size_t liveAgentCount() const;
 
  private:
+  struct AgentLink {
+    std::uint16_t port = 0;
+    std::shared_ptr<wire::TcpTransport> transport;
+    double nextRedialAt = 0.0;
+  };
+
   void handleFrame(const wire::Frame& frame);
+  bool dialLink(AgentLink& link);
+  /// Sends metatask position `pos` under `wireId` on some live link; false
+  /// when no link is live.
+  bool sendTask(std::size_t pos, std::uint64_t wireId);
 
   ClientConfig config_;
   PacedClock clock_;
-  std::shared_ptr<wire::TcpTransport> transport_;
+  std::vector<AgentLink> links_;
   workload::Metatask metatask_;
   bool started_ = false;
   std::size_t total_ = 0;
   std::size_t nextToSend_ = 0;  ///< doubles as the submitted count
   std::size_t completed_ = 0;
-  std::map<std::uint64_t, ClientOutcome> terminal_;
+  std::size_t rrNext_ = 0;      ///< round-robin cursor over live links
+  std::size_t primary_ = 0;     ///< sticky primary cursor (replicated mode)
+  std::uint64_t failovers_ = 0;
+  /// Fresh ids for failover re-submissions, far above any metatask index.
+  std::uint64_t nextFailoverId_ = 1ull << 32;
+  /// wire id -> metatask position, for every submission ever sent.
+  std::map<std::uint64_t, std::size_t> wireToPos_;
+  /// wire id -> index into links_, for submissions not yet terminal.
+  std::map<std::uint64_t, std::size_t> inFlightLink_;
+  /// Metatask positions whose submission died with its link; re-sent (under
+  /// a fresh wire id) as soon as a live link exists.
+  std::vector<std::size_t> resend_;
+  std::map<std::uint64_t, ClientOutcome> terminal_;  ///< by metatask index
 };
 
 }  // namespace casched::net

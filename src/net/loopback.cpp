@@ -1,7 +1,11 @@
 #include "net/loopback.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <thread>
 
@@ -13,16 +17,18 @@
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace casched::net {
 
 namespace {
 
 NetServerConfig serverConfig(const psched::MachineSpec& spec, double speedIndex,
-                             std::uint16_t agentPort, const cas::SystemConfig& system,
-                             double heartbeatPeriod) {
+                             std::vector<std::uint16_t> agentPorts,
+                             const cas::SystemConfig& system, double heartbeatPeriod) {
   NetServerConfig config;
-  config.agentPort = agentPort;
+  config.agentPorts = std::move(agentPorts);
+  config.agentPort = config.agentPorts.front();
   config.machine = spec;
   config.speedIndex = speedIndex;
   config.reportPeriod = system.reportPeriod;
@@ -30,52 +36,314 @@ NetServerConfig serverConfig(const psched::MachineSpec& spec, double speedIndex,
   return config;
 }
 
-}  // namespace
-
-std::uint64_t countResubmissions(const std::vector<metrics::TaskOutcome>& outcomes) {
-  std::uint64_t n = 0;
-  for (const metrics::TaskOutcome& o : outcomes) {
-    if (o.attempts > 1) n += static_cast<std::uint64_t>(o.attempts - 1);
-  }
-  return n;
+/// Derived missed-report deadline: generous against the report period AND
+/// against pump stalls. The daemons here share one cooperative thread, so the
+/// deadline must exceed any plausible OS scheduling hiccup in *wall* terms
+/// (10 s) or a loaded CI runner would spuriously retire healthy servers
+/// mid-run and the resulting resubmissions would break exact-count agreement
+/// with the simulator. Pass an explicit heartbeatTimeout to test retirement.
+double deriveHeartbeatTimeout(const scenario::CompiledScenario& compiled,
+                              const LiveRunOptions& options) {
+  return options.heartbeatTimeout > 0.0
+             ? options.heartbeatTimeout
+             : std::max(3.0 * compiled.system.reportPeriod, 10.0 * options.timeScale);
 }
 
-LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
+AgentDaemonConfig baseAgentConfig(const scenario::CompiledScenario& compiled,
                                   const LiveRunOptions& options) {
-  const scenario::CompiledScenario compiled =
-      scenario::compileScenario(spec, options.seed);
+  AgentDaemonConfig config;
+  config.port = 0;
+  config.heuristic = options.heuristic;
+  config.controlLatency = compiled.testbed.controlLatency;
+  config.faultTolerance = compiled.system.faultTolerance;
+  config.maxRetries = compiled.system.maxRetries;
+  config.htmSync = compiled.system.htmSync;
+  config.heartbeatTimeout = deriveHeartbeatTimeout(compiled, options);
+  config.schedulerSeed = compiled.system.schedulerSeed;
+  config.costs = compiled.testbed.costs;
+  return config;
+}
 
-  // Derived deadline: generous against the report period AND against pump
-  // stalls. The daemons here share one cooperative thread, so the deadline
-  // must exceed any plausible OS scheduling hiccup in *wall* terms (10 s) or
-  // a loaded CI runner would spuriously retire healthy servers mid-run and
-  // the resulting resubmissions would break exact-count agreement with the
-  // simulator. Pass an explicit heartbeatTimeout to test retirement itself.
-  const double heartbeatTimeout =
-      options.heartbeatTimeout > 0.0
-          ? options.heartbeatTimeout
-          : std::max(3.0 * compiled.system.reportPeriod, 10.0 * options.timeScale);
+/// One agent slot of a multi-agent deployment; survives its daemon's crash
+/// and carries what a restart needs (same port, same snapshot file).
+struct AgentSlot {
+  AgentDaemonConfig config;
+  std::unique_ptr<AgentDaemon> daemon;
+  std::uint16_t port = 0;
+  double restartAt = -1.0;  ///< sim time of a pending restart; < 0 none
+  std::vector<metrics::TaskOutcome> pastOutcomes;  ///< from crashed incarnations
+  std::uint64_t pastSyncs = 0;
+  std::uint64_t pastAdopted = 0;
+};
 
+void accumulateShare(AgentShare& share, const std::vector<metrics::TaskOutcome>& outcomes) {
+  share.tasks += outcomes.size();
+  for (const metrics::TaskOutcome& o : outcomes) {
+    if (o.status == metrics::TaskStatus::kCompleted) ++share.completed;
+    else ++share.lost;
+  }
+  share.resubmissions += countResubmissions(outcomes);
+}
+
+LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
+                            const LiveRunOptions& options) {
+  const scenario::AgentsSpec& spec = compiled.agents;
+  const PacedClock clock(options.timeScale);
+
+  // Snapshot files live in a per-run directory; a caller-provided one is
+  // kept (operators may want the snapshots), the default temp one is removed.
+  namespace fs = std::filesystem;
+  const bool ownSnapshotDir = options.snapshotDir.empty();
+  fs::path snapshotDir = options.snapshotDir.empty()
+                             ? fs::temp_directory_path() /
+                                   util::strformat("casched-run-%d-%p", ::getpid(),
+                                                   static_cast<const void*>(&clock))
+                             : fs::path(options.snapshotDir);
+  fs::create_directories(snapshotDir);
+
+  std::vector<AgentSlot> slots(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    AgentSlot& slot = slots[i];
+    slot.config = baseAgentConfig(compiled, options);
+    slot.config.agentName = util::strformat("agent-%zu", i);
+    slot.config.mode = parseAgentMode(spec.mode);
+    slot.config.syncPeriod = spec.syncPeriod;
+    slot.config.snapshotPath =
+        (snapshotDir / (slot.config.agentName + ".htmsnap")).string();
+    slot.daemon = std::make_unique<AgentDaemon>(slot.config, clock);
+    slot.port = slot.daemon->port();
+    slot.config.port = slot.port;  // a restart rebinds the same port
+  }
+  // Peer mesh: the lower-index agent dials (and re-dials) the higher one, so
+  // exactly one link exists per pair whoever crashed last. Recorded in the
+  // config too so restarted incarnations resume dialing.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (std::size_t j = i + 1; j < slots.size(); ++j) {
+      const std::string address = util::strformat("127.0.0.1:%u", slots[j].port);
+      slots[i].config.peers.push_back(address);
+      slots[i].daemon->addPeer(address);
+    }
+  }
+
+  const bool partitioned = parseAgentMode(spec.mode) == AgentMode::kPartitioned;
+  const auto portsFor = [&](std::size_t serverIdx) {
+    std::vector<std::uint16_t> ports;
+    const std::size_t home = partitioned ? serverIdx % slots.size() : 0;
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      ports.push_back(slots[(home + k) % slots.size()].port);
+    }
+    return ports;
+  };
+
+  std::vector<std::unique_ptr<NetServerDaemon>> servers;
+  std::size_t serverCounter = 0;
+  const auto startServer = [&](const psched::MachineSpec& machineSpec,
+                               double speedIndex) {
+    auto daemon = std::make_unique<NetServerDaemon>(
+        serverConfig(machineSpec, speedIndex, portsFor(serverCounter++),
+                     compiled.system, options.heartbeatPeriod),
+        clock);
+    daemon->connect();
+    servers.push_back(std::move(daemon));
+  };
+  for (const psched::MachineSpec& machineSpec : compiled.testbed.servers) {
+    startServer(machineSpec, compiled.testbed.costs.speedIndex(machineSpec.name));
+  }
+
+  LiveRunReport report;
+  report.scenario = compiled.name;
+  report.heuristic = options.heuristic;
+  report.timeScale = options.timeScale;
+  report.tasks = compiled.metatask.size();
+  report.agentsDeployed = spec.count;
+  report.agentMode = spec.mode;
+
+  const auto stopRequested = [&] {
+    return options.stopFlag != nullptr &&
+           options.stopFlag->load(std::memory_order_relaxed);
+  };
+  const auto liveServers = [&] {
+    std::size_t n = 0;
+    for (const AgentSlot& slot : slots) {
+      if (slot.daemon) n += slot.daemon->liveServerCount();
+    }
+    return n;
+  };
+  const auto pumpAll = [&](ClientDriver* client) {
+    for (AgentSlot& slot : slots) {
+      if (slot.daemon) slot.daemon->runOnce();
+    }
+    for (auto& s : servers) s->runOnce();
+    if (client != nullptr) client->runOnce();
+  };
+
+  // Wait for every initial registration before the first arrival fires.
+  const WallDeadline registrationDeadline(5.0);
+  while (liveServers() < servers.size() && !stopRequested()) {
+    if (registrationDeadline.passed()) {
+      throw util::IoError("loopback run: initial server registration timed out");
+    }
+    pumpAll(nullptr);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  ClientConfig clientConfig;
+  for (const AgentSlot& slot : slots) clientConfig.agentPorts.push_back(slot.port);
+  clientConfig.roundRobin = partitioned;
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+  client.start(compiled.metatask);
+
+  // Server churn timeline, applied live at its (wall-paced) scenario times.
+  std::vector<cas::ChurnEvent> churn = compiled.churn;
+  std::stable_sort(churn.begin(), churn.end(),
+                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t nextChurn = 0;
+  const auto daemonByName = [&](const std::string& name) -> NetServerDaemon* {
+    for (auto& s : servers) {
+      if (s->name() == name) return s.get();
+    }
+    return nullptr;
+  };
+  const auto applyChurn = [&](const cas::ChurnEvent& event) {
+    LOG_INFO("live churn: " << cas::churnActionName(event.action) << " "
+                            << event.server << " at sim t=" << clock.simNow());
+    switch (event.action) {
+      case cas::ChurnAction::kJoin:
+        startServer(event.joinSpec, event.speedIndex);
+        ++report.churnApplied.joins;
+        return;
+      case cas::ChurnAction::kLeave:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          d->leave();
+          ++report.churnApplied.leaves;
+        }
+        return;
+      case cas::ChurnAction::kCrash:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          if (d->crash()) ++report.churnApplied.crashes;
+        }
+        return;
+      case cas::ChurnAction::kSlowdown:
+        if (NetServerDaemon* d = daemonByName(event.server)) {
+          d->setSpeedFactor(event.factor);
+          ++report.churnApplied.slowdowns;
+        }
+        return;
+    }
+  };
+
+  // Agent churn timeline (crash + optional restart), time-sorted.
+  std::vector<scenario::AgentEventSpec> agentEvents = spec.events;
+  std::stable_sort(agentEvents.begin(), agentEvents.end(),
+                   [](const scenario::AgentEventSpec& a, const scenario::AgentEventSpec& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t nextAgentEvent = 0;
+  const auto crashAgent = [&](const scenario::AgentEventSpec& event) {
+    AgentSlot& slot = slots[event.agentIndex];
+    if (!slot.daemon) return;  // already down
+    LOG_INFO("live churn: crash " << slot.config.agentName << " at sim t="
+                                  << clock.simNow());
+    const std::vector<metrics::TaskOutcome> outcomes =
+        slot.daemon->agent().collectOutcomes();
+    slot.pastOutcomes.insert(slot.pastOutcomes.end(), outcomes.begin(), outcomes.end());
+    slot.pastSyncs += slot.daemon->syncsReceived();
+    slot.pastAdopted += slot.daemon->peerRowsAdopted();
+    slot.daemon.reset();  // listener + every transport die with the process
+    ++report.agentCrashes;
+    if (event.restartAfter >= 0.0) slot.restartAt = event.time + event.restartAfter;
+  };
+  const auto maybeRestartAgents = [&] {
+    for (AgentSlot& slot : slots) {
+      if (!slot.daemon && slot.restartAt >= 0.0 && clock.simNow() >= slot.restartAt) {
+        slot.restartAt = -1.0;
+        slot.daemon = std::make_unique<AgentDaemon>(slot.config, clock);
+        ++report.agentRestarts;
+        report.warmStartRows += slot.daemon->warmStartedRows();
+        LOG_INFO("live churn: restarted " << slot.config.agentName << " (warm rows: "
+                                          << slot.daemon->warmStartedRows() << ")");
+      }
+    }
+  };
+
+  const WallDeadline deadline(options.wallTimeoutSeconds);
+  while (!client.done() && !stopRequested()) {
+    if (deadline.passed()) {
+      report.timedOut = true;
+      break;
+    }
+    while (nextChurn < churn.size() && churn[nextChurn].time <= clock.simNow()) {
+      applyChurn(churn[nextChurn]);
+      ++nextChurn;
+    }
+    while (nextAgentEvent < agentEvents.size() &&
+           agentEvents[nextAgentEvent].time <= clock.simNow()) {
+      crashAgent(agentEvents[nextAgentEvent]);
+      ++nextAgentEvent;
+    }
+    maybeRestartAgents();
+    pumpAll(&client);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // The client is the authority on terminal counts here: after a fail-over
+  // no single agent saw every task.
+  report.completed = client.completedCount();
+  report.lost = report.tasks - std::min(report.tasks, report.completed);
+  report.clientFailovers = client.failoverResubmissions();
+
+  for (AgentSlot& slot : slots) {
+    AgentShare share;
+    share.name = slot.config.agentName;
+    accumulateShare(share, slot.pastOutcomes);
+    report.outcomes.insert(report.outcomes.end(), slot.pastOutcomes.begin(),
+                           slot.pastOutcomes.end());
+    report.peerSyncs += slot.pastSyncs;
+    report.peerRowsAdopted += slot.pastAdopted;
+    if (slot.daemon) {
+      const std::vector<metrics::TaskOutcome> outcomes =
+          slot.daemon->agent().collectOutcomes();
+      accumulateShare(share, outcomes);
+      report.outcomes.insert(report.outcomes.end(), outcomes.begin(), outcomes.end());
+      report.peerSyncs += slot.daemon->syncsReceived();
+      report.peerRowsAdopted += slot.daemon->peerRowsAdopted();
+      report.serversRetired += slot.daemon->retiredServerCount();
+    }
+    report.resubmissions += share.resubmissions;
+    report.perAgent.push_back(std::move(share));
+  }
+  report.serversStarted = servers.size();
+  report.wallSeconds = clock.wallElapsed();
+  for (const AgentSlot& slot : slots) {
+    if (slot.daemon) {
+      report.simEndTime = slot.daemon->simulator().now();
+      break;
+    }
+  }
+
+  if (ownSnapshotDir) {
+    std::error_code ec;
+    fs::remove_all(snapshotDir, ec);  // best effort; temp dir anyway
+  }
+  return report;
+}
+
+LiveRunReport runSingleAgent(const scenario::CompiledScenario& compiled,
+                             const LiveRunOptions& options) {
   // One shared epoch keeps every daemon's simulation clock aligned.
   const PacedClock clock(options.timeScale);
 
-  AgentDaemonConfig agentConfig;
-  agentConfig.port = 0;
-  agentConfig.heuristic = options.heuristic;
-  agentConfig.controlLatency = compiled.testbed.controlLatency;
-  agentConfig.faultTolerance = compiled.system.faultTolerance;
-  agentConfig.maxRetries = compiled.system.maxRetries;
-  agentConfig.htmSync = compiled.system.htmSync;
-  agentConfig.heartbeatTimeout = heartbeatTimeout;
-  agentConfig.schedulerSeed = compiled.system.schedulerSeed;
-  agentConfig.costs = compiled.testbed.costs;
+  AgentDaemonConfig agentConfig = baseAgentConfig(compiled, options);
   AgentDaemon agent(agentConfig, clock);
 
   std::vector<std::unique_ptr<NetServerDaemon>> servers;
   const auto startServer = [&](const psched::MachineSpec& machineSpec,
                                double speedIndex) {
     auto daemon = std::make_unique<NetServerDaemon>(
-        serverConfig(machineSpec, speedIndex, agent.port(), compiled.system,
+        serverConfig(machineSpec, speedIndex, {agent.port()}, compiled.system,
                      options.heartbeatPeriod),
         clock);
     daemon->connect();
@@ -180,7 +448,29 @@ LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
   report.serversRetired = agent.retiredServerCount();
   report.wallSeconds = clock.wallElapsed();
   report.simEndTime = agent.simulator().now();
+  AgentShare share;
+  share.name = agent.agentName();
+  accumulateShare(share, report.outcomes);
+  report.perAgent.push_back(std::move(share));
   return report;
+}
+
+}  // namespace
+
+std::uint64_t countResubmissions(const std::vector<metrics::TaskOutcome>& outcomes) {
+  std::uint64_t n = 0;
+  for (const metrics::TaskOutcome& o : outcomes) {
+    if (o.attempts > 1) n += static_cast<std::uint64_t>(o.attempts - 1);
+  }
+  return n;
+}
+
+LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
+                                  const LiveRunOptions& options) {
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(spec, options.seed);
+  return compiled.agents.count > 1 ? runMultiAgent(compiled, options)
+                                   : runSingleAgent(compiled, options);
 }
 
 LiveRunReport runLoopbackScenario(const std::string& registryName,
@@ -207,6 +497,29 @@ std::string liveRunJson(const LiveRunReport& report) {
   json.endObject();
   json.key("servers_started").value(report.serversStarted);
   json.key("servers_retired").value(report.serversRetired);
+  json.key("agents");
+  json.beginObject();
+  json.key("deployed").value(report.agentsDeployed);
+  json.key("mode").value(report.agentMode);
+  json.key("crashes").value(report.agentCrashes);
+  json.key("restarts").value(report.agentRestarts);
+  json.key("warm_start_rows").value(report.warmStartRows);
+  json.key("peer_syncs").value(report.peerSyncs);
+  json.key("peer_rows_adopted").value(report.peerRowsAdopted);
+  json.key("client_failovers").value(report.clientFailovers);
+  json.key("per_agent");
+  json.beginArray();
+  for (const AgentShare& share : report.perAgent) {
+    json.beginObject();
+    json.key("name").value(share.name);
+    json.key("tasks").value(share.tasks);
+    json.key("completed").value(share.completed);
+    json.key("lost").value(share.lost);
+    json.key("resubmissions").value(share.resubmissions);
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
   json.key("wall_seconds").value(report.wallSeconds);
   json.key("sim_end_time").value(report.simEndTime);
   json.key("timed_out").value(report.timedOut);

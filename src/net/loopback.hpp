@@ -1,14 +1,24 @@
 #pragma once
 /// \file loopback.hpp
-/// In-process distributed deployment over real TCP loopback sockets: one
-/// AgentDaemon, one NetServerDaemon per testbed server, one ClientDriver
-/// replaying the compiled scenario metatask - all pumped cooperatively from
-/// the calling thread, every byte travelling through the kernel's loopback
-/// stack. The scenario's churn timeline is applied as *live* membership
-/// events (leave = down-notice + drain + missed heartbeats, crash = machine
-/// collapse over the wire, join = a new daemon dialing in mid-run), so the
-/// same registry entry runs in the simulator and against real sockets, and
-/// their completed/lost/resubmitted counts can be compared directly.
+/// In-process distributed deployment over real TCP loopback sockets: one or
+/// more AgentDaemons, one NetServerDaemon per testbed server, one
+/// ClientDriver replaying the compiled scenario metatask - all pumped
+/// cooperatively from the calling thread, every byte travelling through the
+/// kernel's loopback stack. The scenario's churn timeline is applied as
+/// *live* membership events (leave = down-notice + drain + missed
+/// heartbeats, crash = machine collapse over the wire, join = a new daemon
+/// dialing in mid-run), so the same registry entry runs in the simulator and
+/// against real sockets, and their completed/lost/resubmitted counts can be
+/// compared directly.
+///
+/// A scenario with an [agents] section deploys `count` peered agents
+/// (protocol v3 hello + sync). In replicated mode every server and the
+/// client home on the first agent and fail over down the list; in
+/// partitioned mode server i homes on agent i % count and the client spreads
+/// tasks round-robin. Agent crash events destroy a daemon mid-run; servers
+/// and client fail over to the survivors (which adopted the crashed agent's
+/// HTM rows from kAgentSync snapshots), or to the restarted daemon, which
+/// warm-starts from its last snapshot file.
 
 #include <atomic>
 #include <cstdint>
@@ -36,6 +46,20 @@ struct LiveRunOptions {
   /// Optional external stop signal (e.g. a SIGINT flag); the run winds down
   /// at the next pump turn when it becomes true.
   const std::atomic<bool>* stopFlag = nullptr;
+  /// Where multi-agent runs keep their HTM snapshot files (one per agent);
+  /// empty uses a unique directory under the system temp dir, removed when
+  /// the run ends.
+  std::string snapshotDir;
+};
+
+/// One agent daemon's share of a multi-agent run (scheduler-side counts over
+/// every incarnation of that agent, crashed ones included).
+struct AgentShare {
+  std::string name;
+  std::size_t tasks = 0;  ///< schedule requests this agent accepted
+  std::size_t completed = 0;
+  std::size_t lost = 0;
+  std::uint64_t resubmissions = 0;
 };
 
 /// Outcome of one live loopback run; mirrors the simulator's RunResult
@@ -56,6 +80,21 @@ struct LiveRunReport {
   double simEndTime = 0.0;
   bool timedOut = false;
   std::vector<metrics::TaskOutcome> outcomes;  ///< agent-side, by task index
+
+  // --- multi-agent deployments ([agents] section) ---
+  std::size_t agentsDeployed = 1;
+  std::string agentMode = "replicated";
+  std::uint64_t agentCrashes = 0;
+  std::uint64_t agentRestarts = 0;
+  /// HTM rows restarted agents adopted from their snapshot files.
+  std::size_t warmStartRows = 0;
+  /// kAgentSync frames digested across the surviving agent incarnations.
+  std::uint64_t peerSyncs = 0;
+  /// HTM rows adopted from peer snapshots (replica warm-starts).
+  std::uint64_t peerRowsAdopted = 0;
+  /// Tasks the client re-submitted to another agent after a link died.
+  std::uint64_t clientFailovers = 0;
+  std::vector<AgentShare> perAgent;
 };
 
 /// Extra attempts past the first across a run's outcomes - the common

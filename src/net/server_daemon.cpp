@@ -39,7 +39,11 @@ void NetServerDaemon::connect() {
 }
 
 void NetServerDaemon::dial() {
-  transport_ = wire::TcpTransport::connect(config_.agentHost, config_.agentPort);
+  const std::uint16_t port =
+      config_.agentPorts.empty()
+          ? config_.agentPort
+          : config_.agentPorts[dialIndex_ % config_.agentPorts.size()];
+  transport_ = wire::TcpTransport::connect(config_.agentHost, port);
   registered_ = false;
   sendRegistration();
 }
@@ -53,7 +57,8 @@ void NetServerDaemon::maybeReconnect() {
     dial();
     LOG_INFO("server " << name() << ": re-dialed the agent");
   } catch (const util::IoError&) {
-    transport_.reset();  // agent still unreachable; try again next period
+    transport_.reset();  // this agent unreachable; try the next in the cycle
+    ++dialIndex_;
   }
 }
 

@@ -31,6 +31,11 @@ namespace casched::net {
 struct NetServerConfig {
   std::string agentHost = "127.0.0.1";
   std::uint16_t agentPort = 0;
+  /// Multi-agent failover list: when non-empty it overrides agentPort and
+  /// re-dial attempts cycle through it, so a server whose agent died (and
+  /// stayed dead) registers with the next agent - ownership migrates. The
+  /// first entry is the server's home agent.
+  std::vector<std::uint16_t> agentPorts;
   psched::MachineSpec machine;
   std::vector<std::string> problems{"*"};
   /// Relative compute speed advertised at registration (agent cost fallback).
@@ -117,6 +122,7 @@ class NetServerDaemon {
   bool timersStarted_ = false;
   double leaveIdleSince_ = -1.0;   ///< sim time the post-leave drain emptied
   double nextReconnectAt_ = 0.0;   ///< sim time of the next re-dial attempt
+  std::size_t dialIndex_ = 0;      ///< position in the agentPorts failover cycle
 };
 
 }  // namespace casched::net

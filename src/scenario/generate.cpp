@@ -208,6 +208,19 @@ CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                     : buildTemplateTestbed(spec, seed);
   out.system = buildSystemConfig(spec, seed);
   out.churn = buildChurnTimeline(spec, out.testbed);
+  out.agents = spec.agents;
+  CASCHED_CHECK(out.agents.count > 0, "agent count must be positive");
+  CASCHED_CHECK(out.agents.syncPeriod > 0.0, "agent sync-period must be positive");
+  // A single-agent deployment takes the plain loopback path, which never
+  // reads agent events - reject the combination instead of dropping churn
+  // the spec asked for.
+  CASCHED_CHECK(out.agents.events.empty() || out.agents.count > 1,
+                "agent crash events need an [agents] count of at least 2");
+  for (const AgentEventSpec& e : out.agents.events) {
+    CASCHED_CHECK(e.agentIndex < out.agents.count,
+                  util::strformat("agent event targets agent %zu of %zu",
+                                  e.agentIndex, out.agents.count));
+  }
   return out;
 }
 

@@ -27,6 +27,11 @@ struct CompiledScenario {
   platform::Testbed testbed;
   cas::SystemConfig system;
   std::vector<cas::ChurnEvent> churn;
+  /// Multi-agent deployment shape ([agents] section, validated). The
+  /// simulator runs the paper's single agent regardless; the live loopback
+  /// harness deploys `agents.count` daemons and applies the agent-crash
+  /// events.
+  AgentsSpec agents;
 };
 
 /// Resolves a paper-family type name: "matmul-<size>" or "waste-cpu-<param>".

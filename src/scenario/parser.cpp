@@ -236,6 +236,39 @@ void addChurnEvent(std::vector<ChurnSpec>& churn, std::size_t line,
   churn.push_back(std::move(e));
 }
 
+void setAgentsKey(AgentsSpec& a, std::size_t line, const std::string& key,
+                  std::string_view value) {
+  if (key == "count") {
+    a.count = parseCount(line, value);
+    if (a.count == 0) fail(line, "agent count must be positive");
+  } else if (key == "mode") {
+    const std::string v = util::toLower(value);
+    if (v != "replicated" && v != "partitioned") {
+      fail(line, "agent mode must be replicated | partitioned");
+    }
+    a.mode = v;
+  } else if (key == "sync-period") {
+    a.syncPeriod = parseDouble(line, value);
+    if (a.syncPeriod <= 0.0) fail(line, "sync-period must be positive");
+  } else if (key == "event") {
+    // time, crash, agent-index [, restart-after]
+    const auto fields = commaFields(value);
+    if (fields.size() != 3 && fields.size() != 4) {
+      fail(line, "event wants 'time, crash, agent-index[, restart-after]'");
+    }
+    if (util::toLower(fields[1]) != "crash") {
+      fail(line, "only 'crash' agent events are supported, got '" + fields[1] + "'");
+    }
+    AgentEventSpec e;
+    e.time = parseDouble(line, fields[0]);
+    e.agentIndex = parseCount(line, fields[2]);
+    if (fields.size() == 4) e.restartAfter = parseDouble(line, fields[3]);
+    a.events.push_back(e);
+  } else {
+    fail(line, "unknown [agents] key '" + key + "'");
+  }
+}
+
 }  // namespace
 
 ScenarioSpec parseScenario(const std::string& text) {
@@ -257,7 +290,7 @@ ScenarioSpec parseScenario(const std::string& text) {
       section = util::toLower(lineView.substr(1, lineView.size() - 2));
       if (section != "scenario" && section != "arrival" && section != "workload" &&
           section != "platform" && section != "system" && section != "churn" &&
-          section != "campaign" && section != "sweep") {
+          section != "agents" && section != "campaign" && section != "sweep") {
         fail(lineNo, "unknown section [" + section + "]");
       }
       continue;
@@ -282,6 +315,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       setPlatformKey(spec.platform, lineNo, key, value);
     } else if (section == "system") {
       setSystemKey(spec.system, lineNo, key, value);
+    } else if (section == "agents") {
+      setAgentsKey(spec.agents, lineNo, key, value);
     } else if (section == "campaign") {
       setCampaignKey(spec.campaign, lineNo, key, value);
     } else if (section == "sweep") {
@@ -381,6 +416,18 @@ std::string renderScenario(const ScenarioSpec& spec) {
     for (const ChurnSpec& e : spec.churn) {
       out << "event = " << util::strformat("%g", e.time) << ", " << e.action << ", "
           << e.server << ", " << util::strformat("%g", e.value) << "\n";
+    }
+  }
+
+  const AgentsSpec& ag = spec.agents;
+  if (ag.count > 1 || !ag.events.empty()) {
+    out << "\n[agents]\n"
+        << "count = " << ag.count << "\n"
+        << "mode = " << ag.mode << "\n"
+        << "sync-period = " << util::strformat("%g", ag.syncPeriod) << "\n";
+    for (const AgentEventSpec& e : ag.events) {
+      out << "event = " << util::strformat("%g", e.time) << ", crash, " << e.agentIndex
+          << ", " << util::strformat("%g", e.restartAfter) << "\n";
     }
   }
   return out.str();

@@ -430,6 +430,66 @@ report-period = 10
 event = 40, leave, grid-1
 event = 60, join, helper-0, 1.5
 )"},
+    {"multi-agent-loopback", R"(
+[scenario]
+name = multi-agent-loopback
+description = Two replicated agents over loopback sockets, no churn: live counts must match the single-agent simulator
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+report-period = 10
+
+[agents]
+count = 2
+mode = replicated
+sync-period = 5
+)"},
+    {"multi-agent-failover", R"(
+[scenario]
+name = multi-agent-failover
+description = Split-brain churn: the primary agent crashes mid-run, servers and client fail over to the snapshot-warmed replica with zero lost tasks
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+# Heavy enough (~34 s reference) that the t=60 crash always catches tasks in
+# flight - the fail-over paths are the point of this scenario.
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+max-retries = 8
+report-period = 10
+
+[agents]
+count = 2
+mode = replicated
+sync-period = 5
+event = 60, crash, 0, -1
+)"},
     {"mega-cluster", R"(
 [scenario]
 name = mega-cluster

@@ -85,6 +85,29 @@ struct ChurnSpec {
   double value = 1.0;
 };
 
+/// One `event = time, crash, <agent-index>[, restart-after]` line of the
+/// [agents] section: agent churn for multi-agent live deployments. A negative
+/// restart-after (the default) means the agent stays dead and the deployment
+/// fails over to the survivors; otherwise a fresh daemon comes back on the
+/// same port that many simulated seconds later, warm-starting from the last
+/// snapshot file.
+struct AgentEventSpec {
+  double time = 0.0;
+  std::size_t agentIndex = 0;
+  double restartAfter = -1.0;
+};
+
+/// [agents] section: how many agent daemons a live deployment runs and how
+/// they replicate. The simulator always runs the paper's single agent; this
+/// section only shapes the loopback/net deployment of the same spec.
+struct AgentsSpec {
+  std::size_t count = 1;
+  std::string mode = "replicated";  ///< replicated | partitioned
+  /// Simulated seconds between kAgentSync broadcasts + snapshot saves.
+  double syncPeriod = 5.0;
+  std::vector<AgentEventSpec> events;
+};
+
 /// [campaign] section: how the suite driver replicates and tabulates the
 /// scenario. Absent sections keep these defaults, so every plain scenario is
 /// already a one-metatask campaign.
@@ -119,6 +142,7 @@ struct ScenarioSpec {
   PlatformSpec platform;
   SystemSpec system;
   std::vector<ChurnSpec> churn;
+  AgentsSpec agents;
   CampaignSpec campaign;
   std::vector<SweepAxis> sweep;
 };

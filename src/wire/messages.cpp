@@ -1,5 +1,7 @@
 #include "wire/messages.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace casched::wire {
@@ -18,13 +20,15 @@ std::string messageTypeName(MessageType type) {
     case MessageType::kServerUp: return "server-up";
     case MessageType::kShutdown: return "shutdown";
     case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kAgentHello: return "agent-hello";
+    case MessageType::kAgentSync: return "agent-sync";
   }
   return "unknown";
 }
 
 bool isKnownMessageType(std::uint16_t rawType) {
   return rawType >= static_cast<std::uint16_t>(MessageType::kRegister) &&
-         rawType <= static_cast<std::uint16_t>(MessageType::kHeartbeat);
+         rawType <= static_cast<std::uint16_t>(MessageType::kAgentSync);
 }
 
 namespace {
@@ -34,10 +38,18 @@ void writeStringList(Writer& w, const std::vector<std::string>& v) {
   for (const std::string& s : v) w.str(s);
 }
 
+/// Clamp a wire-supplied element count before reserve(): a corrupt frame
+/// claiming 2^32 elements must fail with DecodeError when the payload runs
+/// dry, not throw bad_alloc past the util::Error handlers and kill the
+/// daemon. Every element consumes at least `minElemBytes` of payload.
+std::size_t clampCount(std::uint32_t n, const Reader& r, std::size_t minElemBytes) {
+  return std::min<std::size_t>(n, r.remaining() / minElemBytes);
+}
+
 std::vector<std::string> readStringList(Reader& r) {
   const std::uint32_t n = r.u32();
   std::vector<std::string> v;
-  v.reserve(n);
+  v.reserve(clampCount(n, r, 4));  // a string is at least its u32 length prefix
   for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
   return v;
 }
@@ -268,6 +280,66 @@ HeartbeatMsg decodeHeartbeat(const Bytes& payload) {
   HeartbeatMsg m;
   m.serverName = r.str();
   m.sampleTime = r.f64();
+  return m;
+}
+
+Bytes encode(const AgentHelloMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  w.str(m.mode);
+  w.f64(m.sampleTime);
+  writeStringList(w, m.ownedServers);
+  return out;
+}
+
+AgentHelloMsg decodeAgentHello(const Bytes& payload) {
+  Reader r(payload);
+  AgentHelloMsg m;
+  m.agentName = r.str();
+  m.mode = r.str();
+  m.sampleTime = r.f64();
+  m.ownedServers = readStringList(r);
+  return m;
+}
+
+Bytes encode(const AgentSyncMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  w.f64(m.sampleTime);
+  CASCHED_CHECK(m.loads.size() <= 0xFFFFFFFFull, "load digest list too long");
+  w.u32(static_cast<std::uint32_t>(m.loads.size()));
+  for (const LoadDigest& d : m.loads) {
+    w.str(d.serverName);
+    w.f64(d.loadAverage);
+    w.f64(d.sampleTime);
+  }
+  w.u64(m.snapshotSeq);
+  w.u32(m.chunkIndex);
+  w.u32(m.chunkCount);
+  w.bytes(m.snapshotChunk);
+  return out;
+}
+
+AgentSyncMsg decodeAgentSync(const Bytes& payload) {
+  Reader r(payload);
+  AgentSyncMsg m;
+  m.agentName = r.str();
+  m.sampleTime = r.f64();
+  const std::uint32_t n = r.u32();
+  m.loads.reserve(clampCount(n, r, 20));  // name prefix + two f64s
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LoadDigest d;
+    d.serverName = r.str();
+    d.loadAverage = r.f64();
+    d.sampleTime = r.f64();
+    m.loads.push_back(std::move(d));
+  }
+  m.snapshotSeq = r.u64();
+  m.chunkIndex = r.u32();
+  m.chunkCount = r.u32();
+  m.snapshotChunk = r.bytes();
   return m;
 }
 

@@ -13,9 +13,11 @@
 
 namespace casched::wire {
 
-/// v2 added the heartbeat message and the registration speed index (the
-/// distributed runtime needs both); v1 peers are rejected with a typed error.
-constexpr std::uint16_t kProtocolVersion = 2;
+/// v2 added the heartbeat message and the registration speed index; v3 adds
+/// the agent-to-agent replication messages (kAgentHello registration and
+/// kAgentSync load-digest + HTM-snapshot-chunk sync). Peers speaking an older
+/// version are rejected with a typed error naming both versions.
+constexpr std::uint16_t kProtocolVersion = 3;
 
 enum class MessageType : std::uint16_t {
   kRegister = 1,       ///< server -> agent: problems + peak performances
@@ -30,6 +32,8 @@ enum class MessageType : std::uint16_t {
   kServerUp = 10,      ///< server -> agent (recovery / re-registration)
   kShutdown = 11,      ///< orderly teardown
   kHeartbeat = 12,     ///< server -> agent: liveness beacon between reports
+  kAgentHello = 13,    ///< agent -> agent: peer registration (name, mode, owned servers)
+  kAgentSync = 14,     ///< agent -> agent: load digests + HTM snapshot chunk
 };
 
 std::string messageTypeName(MessageType type);
@@ -125,6 +129,39 @@ struct HeartbeatMsg {
   double sampleTime = 0.0;
 };
 
+/// Agent-to-agent registration: the dialing agent introduces itself; the
+/// accepting agent answers with its own hello on the same connection.
+struct AgentHelloMsg {
+  std::string agentName;
+  /// Replication mode the sender runs under: "replicated" | "partitioned".
+  std::string mode;
+  double sampleTime = 0.0;
+  /// Servers currently registered with (owned by) the sender.
+  std::vector<std::string> ownedServers;
+};
+
+/// One server's last load report, as the owning agent saw it.
+struct LoadDigest {
+  std::string serverName;
+  double loadAverage = 0.0;
+  double sampleTime = 0.0;
+};
+
+/// Periodic agent-to-agent state sync: digests of the sender's own servers'
+/// load reports, plus (replicated mode) one chunk of the sender's serialized
+/// HTM snapshot. chunkCount == 0 means "no snapshot in this sync"; otherwise
+/// the receiver reassembles chunks [0, chunkCount) of the same snapshotSeq
+/// and decodes the concatenation (core/htm_snapshot.hpp).
+struct AgentSyncMsg {
+  std::string agentName;
+  double sampleTime = 0.0;
+  std::vector<LoadDigest> loads;
+  std::uint64_t snapshotSeq = 0;
+  std::uint32_t chunkIndex = 0;
+  std::uint32_t chunkCount = 0;
+  Bytes snapshotChunk;
+};
+
 // Encoding: each message encodes its payload; the framing layer prepends
 // (length, version, type).
 Bytes encode(const RegisterMsg& m);
@@ -139,6 +176,8 @@ Bytes encode(const ServerDownMsg& m);
 Bytes encode(const ServerUpMsg& m);
 Bytes encode(const ShutdownMsg& m);
 Bytes encode(const HeartbeatMsg& m);
+Bytes encode(const AgentHelloMsg& m);
+Bytes encode(const AgentSyncMsg& m);
 
 RegisterMsg decodeRegister(const Bytes& payload);
 RegisterAckMsg decodeRegisterAck(const Bytes& payload);
@@ -152,5 +191,7 @@ ServerDownMsg decodeServerDown(const Bytes& payload);
 ServerUpMsg decodeServerUp(const Bytes& payload);
 ShutdownMsg decodeShutdown(const Bytes& payload);
 HeartbeatMsg decodeHeartbeat(const Bytes& payload);
+AgentHelloMsg decodeAgentHello(const Bytes& payload);
+AgentSyncMsg decodeAgentSync(const Bytes& payload);
 
 }  // namespace casched::wire

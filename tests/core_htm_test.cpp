@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "util/error.hpp"
 
 #include "core/htm.hpp"
+#include "core/htm_snapshot.hpp"
 
 namespace casched::core {
 namespace {
@@ -206,6 +209,127 @@ TEST(Htm, PerturbationNeverNegative) {
     EXPECT_GE(pi.delta, -1e-9) << "task " << pi.taskId;
   }
   EXPECT_GE(p.sumPerturbation, -1e-9);
+}
+
+/// A mid-run HTM with learned corrections, committed work and accumulated
+/// accuracy statistics, for the snapshot round-trip tests.
+HistoricalTraceManager busyHtm() {
+  HistoricalTraceManager htm(SyncPolicy::kRescale);
+  htm.addServer(ServerModel{"a", 10.0, 10.0, 0.05, 0.05});
+  htm.addServer(ServerModel{"b", 25.0, 12.5, 0.01, 0.01});
+  htm.commit("a", 1, TaskDims{5.0, 30.0, 2.0}, 0.0);
+  htm.commit("a", 2, TaskDims{1.0, 60.0, 1.0}, 3.0, 0.25);
+  htm.commit("b", 3, TaskDims{0.5, 10.0, 0.5}, 4.0);
+  htm.onTaskCompleted("b", 3, 18.0);  // learns a speed correction (kRescale)
+  htm.commit("b", 4, TaskDims{2.0, 45.0, 1.0}, 19.0);
+  htm.preview("a", TaskDims{1.0, 20.0, 1.0}, 20.0);
+  return htm;
+}
+
+TEST(HtmSnapshot, RoundTripPreservesPreviewsAndStats) {
+  HistoricalTraceManager original = busyHtm();
+
+  HistoricalTraceManager restored(SyncPolicy::kDropOnNotice);  // policy overwritten
+  restored.restore(decodeHtmSnapshot(encodeHtmSnapshot(original.snapshot())));
+
+  EXPECT_EQ(restored.policy(), original.policy());
+  EXPECT_EQ(restored.serverNames(), original.serverNames());
+  for (const std::string& server : original.serverNames()) {
+    EXPECT_DOUBLE_EQ(restored.speedCorrection(server), original.speedCorrection(server))
+        << server;
+    EXPECT_EQ(restored.activeTasks(server), original.activeTasks(server)) << server;
+    // The acceptance bar: identical previews after restore, bit for bit.
+    const Preview a = original.preview(server, TaskDims{2.0, 25.0, 2.0}, 21.0, 0.5);
+    const Preview b = restored.preview(server, TaskDims{2.0, 25.0, 2.0}, 21.0, 0.5);
+    EXPECT_EQ(a.completionNew, b.completionNew) << server;
+    EXPECT_EQ(a.sumPerturbation, b.sumPerturbation) << server;
+    EXPECT_EQ(a.perturbedCount, b.perturbedCount) << server;
+    ASSERT_EQ(a.perTask.size(), b.perTask.size()) << server;
+    for (std::size_t i = 0; i < a.perTask.size(); ++i) {
+      EXPECT_EQ(a.perTask[i].taskId, b.perTask[i].taskId);
+      EXPECT_EQ(a.perTask[i].delta, b.perTask[i].delta);
+    }
+  }
+
+  // Identical HtmStats (previews above ran in lockstep on both sides).
+  const HtmStats& sa = original.stats();
+  const HtmStats& sb = restored.stats();
+  EXPECT_EQ(sa.previews, sb.previews);
+  EXPECT_EQ(sa.commits, sb.commits);
+  EXPECT_EQ(sa.completionNotices, sb.completionNotices);
+  EXPECT_EQ(sa.failureNotices, sb.failureNotices);
+  EXPECT_EQ(sa.absErrorSum, sb.absErrorSum);
+  EXPECT_EQ(sa.relErrorSum, sb.relErrorSum);
+  EXPECT_EQ(sa.errorSamples, sb.errorSamples);
+}
+
+TEST(HtmSnapshot, RestoredTraceEvolvesIdentically) {
+  HistoricalTraceManager original = busyHtm();
+  HistoricalTraceManager restored;
+  restored.restore(original.snapshot());
+
+  // Both digest the same future notices and stay in lockstep.
+  original.onTaskCompleted("a", 1, 40.0);
+  restored.onTaskCompleted("a", 1, 40.0);
+  original.onTaskFailed("a", 2, 41.0);
+  restored.onTaskFailed("a", 2, 41.0);
+  EXPECT_EQ(original.predictedCompletions("a", 42.0),
+            restored.predictedCompletions("a", 42.0));
+  EXPECT_EQ(original.predictedCompletions("b", 42.0),
+            restored.predictedCompletions("b", 42.0));
+}
+
+TEST(HtmSnapshot, RestoreServerAdoptsOneRow) {
+  const HtmSnapshot snap = busyHtm().snapshot();
+  HistoricalTraceManager fresh;
+  for (const HtmServerSnapshot& row : snap.servers) {
+    if (row.model.name == "b") fresh.restoreServer(row);
+  }
+  EXPECT_FALSE(fresh.hasServer("a"));
+  ASSERT_TRUE(fresh.hasServer("b"));
+  EXPECT_EQ(fresh.activeTasks("b"), 1u);  // task 4 still in the trace
+}
+
+TEST(HtmSnapshot, DecodeRejectsCorruptInput) {
+  std::vector<std::uint8_t> bytes = encodeHtmSnapshot(busyHtm().snapshot());
+  EXPECT_THROW(decodeHtmSnapshot(bytes.data(), 3), util::DecodeError);  // truncated
+  std::vector<std::uint8_t> badMagic = bytes;
+  badMagic[0] = 'X';
+  EXPECT_THROW(decodeHtmSnapshot(badMagic), util::DecodeError);
+  std::vector<std::uint8_t> badVersion = bytes;
+  badVersion[4] = 0xFF;  // version word follows the 4-byte magic
+  EXPECT_THROW(decodeHtmSnapshot(badVersion), util::DecodeError);
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(decodeHtmSnapshot(trailing), util::DecodeError);
+
+  // Hostile element counts must fail as DecodeError when the bytes run dry,
+  // not as a giant-allocation bad_alloc. The server count sits right after
+  // magic + version + policy + stats (4 + 4 + 4 + 4*8 + 3*8 = 68 bytes).
+  std::vector<std::uint8_t> hugeCount = bytes;
+  ASSERT_GT(hugeCount.size(), 72u);
+  for (std::size_t i = 68; i < 72; ++i) hugeCount[i] = 0xFF;
+  EXPECT_THROW(decodeHtmSnapshot(hugeCount), util::DecodeError);
+}
+
+TEST(HtmSnapshot, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "htm_snapshot_test.htmsnap";
+  std::remove(path.c_str());
+  EXPECT_FALSE(loadHtmSnapshotFile(path).has_value());
+
+  const HtmSnapshot snap = busyHtm().snapshot();
+  saveHtmSnapshotFile(path, snap);
+  const auto loaded = loadHtmSnapshotFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(encodeHtmSnapshot(*loaded), encodeHtmSnapshot(snap));
+  std::remove(path.c_str());
+}
+
+TEST(HtmSnapshot, JsonCarriesPerServerSummary) {
+  const std::string json = htmSnapshotJson(busyHtm().snapshot());
+  EXPECT_NE(json.find("\"policy\": \"rescale\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"b\""), std::string::npos) << json;
 }
 
 }  // namespace

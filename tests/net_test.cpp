@@ -425,5 +425,152 @@ TEST(NetRuntime, LiveLoopbackScenarioMatchesSimulatorCounts) {
   EXPECT_NE(json.find("\"scenario\": \"live-loopback\""), std::string::npos);
 }
 
+TEST(MultiAgent, MutualPeerConfigurationKeepsOneLinkPerPair) {
+  // Operators naturally configure both agents with each other's address; the
+  // hello exchange must collapse the resulting double link to the one dialed
+  // by the lexicographically smaller name, or every sync would run twice.
+  const PacedClock clock(1000.0);
+  AgentDaemonConfig configA;
+  configA.agentName = "alpha";
+  configA.syncPeriod = 2.0;
+  AgentDaemonConfig configB = configA;
+  configB.agentName = "beta";
+  AgentDaemon alpha(configA, clock);
+  AgentDaemon beta(configB, clock);
+  alpha.addPeer("127.0.0.1:" + std::to_string(beta.port()));
+  beta.addPeer("127.0.0.1:" + std::to_string(alpha.port()));
+
+  const std::vector<std::function<void()>> pumps = {[&] { alpha.runOnce(); },
+                                                    [&] { beta.runOnce(); }};
+  ASSERT_TRUE(pumpUntil(pumps,
+                        [&] {
+                          return alpha.syncsReceived() > 2 && beta.syncsReceived() > 2 &&
+                                 alpha.connectedPeerCount() == 1 &&
+                                 beta.connectedPeerCount() == 1;
+                        },
+                        5.0));
+  // And the single link is stable: more pumping never resurrects a duplicate.
+  const WallDeadline settle(0.3);
+  while (!settle.passed()) {
+    for (const auto& pump : pumps) pump();
+  }
+  EXPECT_EQ(alpha.connectedPeerCount(), 1u);
+  EXPECT_EQ(beta.connectedPeerCount(), 1u);
+}
+
+TEST(MultiAgent, ReplicatedDeploymentMatchesSimulatorCounts) {
+  // Acceptance bar: a 2-agent replicated deployment with no churn behaves
+  // exactly like the single-agent one - every task flows through the primary
+  // while the replica stays warm via kAgentSync - so its completed / lost /
+  // resubmitted counts equal the simulator's on the same compiled spec.
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 30.0;
+  const LiveRunReport live = runLoopbackScenario("multi-agent-loopback", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.tasks, 24u);
+  EXPECT_EQ(live.agentsDeployed, 2u);
+  EXPECT_EQ(live.agentMode, "replicated");
+  EXPECT_EQ(live.agentCrashes, 0u);
+  // The replica actually replicated: syncs flowed and it adopted rows for
+  // servers it does not serve.
+  EXPECT_GT(live.peerSyncs, 0u);
+  EXPECT_GT(live.peerRowsAdopted, 0u);
+  ASSERT_EQ(live.perAgent.size(), 2u);
+  EXPECT_EQ(live.perAgent[0].tasks, 24u);  // primary saw everything
+  EXPECT_EQ(live.perAgent[1].tasks, 0u);   // replica stayed passive
+
+  const scenario::CompiledScenario compiled = scenario::compileScenario(
+      scenario::findScenario("multi-agent-loopback"), options.seed);
+  EXPECT_EQ(compiled.agents.count, 2u);
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(live.completed, sim.completedCount());
+  EXPECT_EQ(live.lost, sim.lostCount());
+  EXPECT_EQ(live.resubmissions, countResubmissions(sim.tasks));
+
+  const std::string json = liveRunJson(live);
+  EXPECT_NE(json.find("\"deployed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"replicated\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_agent\""), std::string::npos);
+}
+
+TEST(MultiAgent, AgentCrashFailsOverWithZeroLostTasks) {
+  // Acceptance bar: the primary agent crashes mid-run with work in flight;
+  // servers re-dial the replica (which adopted the crashed agent's HTM rows
+  // from its snapshot syncs), the client fails over its open tasks, and the
+  // run still finishes with zero permanently-lost tasks.
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 60.0;
+  const LiveRunReport live = runLoopbackScenario("multi-agent-failover", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.tasks, 24u);
+  EXPECT_EQ(live.agentCrashes, 1u);
+  EXPECT_EQ(live.agentRestarts, 0u);
+  EXPECT_EQ(live.completed, 24u);
+  EXPECT_EQ(live.lost, 0u);
+  // The snapshot existed on the survivor before the crash...
+  EXPECT_GT(live.peerSyncs, 0u);
+  EXPECT_GT(live.peerRowsAdopted, 0u);
+  // ...and the failover actually exercised both migration paths.
+  EXPECT_GT(live.clientFailovers, 0u);
+  ASSERT_EQ(live.perAgent.size(), 2u);
+  EXPECT_GT(live.perAgent[1].tasks, 0u);  // the survivor scheduled work
+}
+
+TEST(MultiAgent, RestartedAgentWarmStartsFromSnapshotFile) {
+  // Same failover scenario, but the crashed agent comes back 20 simulated
+  // seconds later: the fresh daemon must warm-start from the snapshot file
+  // its previous incarnation kept writing. The migrated deployment stays on
+  // the survivor (sticky client primary), so the run still loses nothing.
+  scenario::ScenarioSpec spec = scenario::findScenario("multi-agent-failover");
+  ASSERT_EQ(spec.agents.events.size(), 1u);
+  spec.agents.events[0].restartAfter = 20.0;
+
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 60.0;
+  const LiveRunReport live = runLoopbackScenario(spec, options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.agentCrashes, 1u);
+  EXPECT_EQ(live.agentRestarts, 1u);
+  EXPECT_GT(live.warmStartRows, 0u);  // the snapshot file warm-started it
+  EXPECT_EQ(live.completed, 24u);
+  EXPECT_EQ(live.lost, 0u);
+}
+
+TEST(MultiAgent, PartitionedDeploymentSpreadsTasksAcrossAgents) {
+  // Partitioned mode: each agent owns half the servers, the client spreads
+  // tasks round-robin, and load digests give every agent a view of the
+  // partitions it does not own.
+  scenario::ScenarioSpec spec = scenario::findScenario("multi-agent-loopback");
+  spec.agents.mode = "partitioned";
+
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 30.0;
+  const LiveRunReport live = runLoopbackScenario(spec, options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.completed, 24u);
+  EXPECT_EQ(live.lost, 0u);
+  ASSERT_EQ(live.perAgent.size(), 2u);
+  // Round-robin: both partitions scheduled real work.
+  EXPECT_GT(live.perAgent[0].tasks, 0u);
+  EXPECT_GT(live.perAgent[1].tasks, 0u);
+  EXPECT_EQ(live.perAgent[0].tasks + live.perAgent[1].tasks, 24u);
+}
+
 }  // namespace
 }  // namespace casched::net

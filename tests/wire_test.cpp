@@ -150,15 +150,73 @@ TEST(Messages, ServerUpDownShutdownRoundTrip) {
 
 TEST(Messages, TypeNamesAreUnique) {
   std::set<std::string> names;
-  for (int t = 1; t <= 12; ++t) {
+  for (int t = 1; t <= 14; ++t) {
     EXPECT_TRUE(isKnownMessageType(static_cast<std::uint16_t>(t)));
     names.insert(messageTypeName(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 14u);
   EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
   EXPECT_FALSE(isKnownMessageType(0));
-  EXPECT_FALSE(isKnownMessageType(13));
+  EXPECT_FALSE(isKnownMessageType(15));
   EXPECT_FALSE(isKnownMessageType(999));
+}
+
+TEST(Messages, AgentHelloRoundTrip) {
+  AgentHelloMsg m;
+  m.agentName = "agent-1";
+  m.mode = "partitioned";
+  m.sampleTime = 512.75;
+  m.ownedServers = {"grid-1", "grid-3"};
+  const AgentHelloMsg back = decodeAgentHello(encode(m));
+  EXPECT_EQ(back.agentName, "agent-1");
+  EXPECT_EQ(back.mode, "partitioned");
+  EXPECT_DOUBLE_EQ(back.sampleTime, 512.75);
+  EXPECT_EQ(back.ownedServers, m.ownedServers);
+}
+
+TEST(Messages, AgentSyncRoundTrip) {
+  AgentSyncMsg m;
+  m.agentName = "agent-0";
+  m.sampleTime = 60.5;
+  m.loads.push_back(LoadDigest{"grid-0", 2.5, 58.0});
+  m.loads.push_back(LoadDigest{"grid-2", 0.0, 59.0});
+  m.snapshotSeq = 12;
+  m.chunkIndex = 1;
+  m.chunkCount = 3;
+  m.snapshotChunk = {0xDE, 0xAD, 0xBE, 0xEF};
+  const AgentSyncMsg back = decodeAgentSync(encode(m));
+  EXPECT_EQ(back.agentName, "agent-0");
+  ASSERT_EQ(back.loads.size(), 2u);
+  EXPECT_EQ(back.loads[0].serverName, "grid-0");
+  EXPECT_DOUBLE_EQ(back.loads[0].loadAverage, 2.5);
+  EXPECT_DOUBLE_EQ(back.loads[1].sampleTime, 59.0);
+  EXPECT_EQ(back.snapshotSeq, 12u);
+  EXPECT_EQ(back.chunkIndex, 1u);
+  EXPECT_EQ(back.chunkCount, 3u);
+  EXPECT_EQ(back.snapshotChunk, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Messages, HostileElementCountsFailAsDecodeErrorNotBadAlloc) {
+  // A tiny payload claiming 2^32-1 list elements must hit DecodeError when
+  // the bytes run dry - never attempt a giant reserve() whose bad_alloc
+  // would sail past the util::Error handlers and kill a daemon.
+  Bytes sync;
+  {
+    Writer w(sync);
+    w.str("agent-evil");
+    w.f64(0.0);
+    w.u32(0xFFFFFFFFu);  // loads "count"
+  }
+  EXPECT_THROW(decodeAgentSync(sync), util::DecodeError);
+
+  Bytes reg;
+  {
+    Writer w(reg);
+    w.str("evil");
+    for (int i = 0; i < 7; ++i) w.f64(1.0);
+    w.u32(0xFFFFFFFFu);  // problems "count"
+  }
+  EXPECT_THROW(decodeRegister(reg), util::DecodeError);
 }
 
 TEST(Framing, SingleFrameRoundTrip) {
@@ -220,6 +278,25 @@ TEST(Framing, RejectsWrongVersionNamingTheValue) {
     EXPECT_NE(std::string(e.what()).find(std::to_string(kProtocolVersion)),
               std::string::npos)
         << e.what();
+  }
+}
+
+TEST(Framing, RejectsV2PeersNamingBothVersions) {
+  // A v2 build frames the same payloads under version 2; a v3 decoder must
+  // reject the frame with an error naming the offending and expected version
+  // instead of misreading v3-only fields.
+  Bytes frame = buildFrame(MessageType::kHeartbeat, encode(HeartbeatMsg{"old", 1.0}));
+  frame[4] = 2;  // little-endian version word, first byte after the length
+  frame[5] = 0;
+  FrameDecoder dec;
+  dec.feed(frame);
+  try {
+    dec.next();
+    FAIL() << "expected DecodeError";
+  } catch (const util::DecodeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("want 3"), std::string::npos) << what;
   }
 }
 

@@ -110,12 +110,18 @@ def main():
     for name in missing:
         print(f"{name:<28}   MISSING from current record")
 
+    # Absent scenarios are a hard error in both directions, never a skip: a
+    # baseline entry missing from the run means coverage silently shrank
+    # (e.g. a registry entry was dropped or renamed without touching the
+    # baseline), and an unbaselined scenario means the gate is not guarding
+    # the new entry yet.
     if unbaselined:
-        print(f"perf gate: FAIL - {len(unbaselined)} scenario(s) not in the "
-              f"baseline; regenerate it with --update")
+        print(f"perf gate: FAIL - scenario(s) not in the baseline: "
+              f"{', '.join(unbaselined)}; regenerate it with --update")
         return 1
     if missing:
-        print(f"perf gate: FAIL - {len(missing)} baseline scenario(s) missing")
+        print(f"perf gate: FAIL - baseline scenario(s) absent from the current "
+              f"run: {', '.join(missing)}; the suite no longer covers them")
         return 1
     if failures:
         drifts = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
