@@ -25,6 +25,7 @@
 #include "net/loopback.hpp"
 #include "net/server_daemon.hpp"
 #include "platform/calibration.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/generate.hpp"
 #include "scenario/registry.hpp"
 #include "util/cli.hpp"
@@ -205,7 +206,7 @@ int runDemo(int argc, const char* const* argv) {
   const net::LiveRunReport report = net::runLoopbackScenario(name, options);
   std::cout << util::strformat(
       "live run '%s' (%s, scale %.0fx): %zu/%zu completed, %zu lost, "
-      "%llu resubmissions, churn j/l/c/s = %llu/%llu/%llu/%llu, "
+      "%llu resubmissions, churn j/l/c/s/b = %llu/%llu/%llu/%llu/%llu, "
       "%.2fs wall (sim t=%.1f)%s\n",
       report.scenario.c_str(), report.heuristic.c_str(), report.timeScale,
       report.completed, report.tasks, report.lost,
@@ -214,7 +215,17 @@ int runDemo(int argc, const char* const* argv) {
       static_cast<unsigned long long>(report.churnApplied.leaves),
       static_cast<unsigned long long>(report.churnApplied.crashes),
       static_cast<unsigned long long>(report.churnApplied.slowdowns),
+      static_cast<unsigned long long>(report.churnApplied.links),
       report.wallSeconds, report.simEndTime, report.timedOut ? " [TIMED OUT]" : "");
+  if (report.generatedChurn > 0) {
+    std::cout << util::strformat(
+        "faults: %zu generated events (digest %016llx), %llu crashes planned, "
+        "mean downtime %.1fs, peak %zu down / %zu dead domain(s)\n",
+        report.generatedChurn, static_cast<unsigned long long>(report.churnDigest),
+        static_cast<unsigned long long>(report.churnPlanned.crashes),
+        report.churnPlanned.meanDowntime, report.churnPlanned.maxConcurrentDown,
+        report.churnPlanned.maxConcurrentDeadDomains);
+  }
   if (report.agentsDeployed > 1) {
     std::cout << util::strformat(
         "agents: %zu %s, %llu crash(es), %llu restart(s), %zu warm rows, "
@@ -253,8 +264,16 @@ int runDemo(int argc, const char* const* argv) {
         "simulator     '%s' (%s): %zu/%zu completed, %zu lost, %llu resubmissions\n",
         compiled.name.c_str(), options.heuristic.c_str(), sim.completedCount(),
         sim.tasks.size(), sim.lostCount(), static_cast<unsigned long long>(simResub));
-    const bool match = sim.completedCount() == report.completed &&
-                       sim.lostCount() == report.lost && simResub == report.resubmissions;
+    bool match = sim.completedCount() == report.completed &&
+                 sim.lostCount() == report.lost && simResub == report.resubmissions;
+    if (report.generatedChurn > 0) {
+      // Both sides replay the one compiled timeline; equal digests prove it.
+      const std::uint64_t simDigest = scenario::churnTimelineDigest(compiled.churn);
+      std::cout << util::strformat("churn digests: live %016llx, sim %016llx\n",
+                                   static_cast<unsigned long long>(report.churnDigest),
+                                   static_cast<unsigned long long>(simDigest));
+      match = match && simDigest == report.churnDigest;
+    }
     std::cout << (match ? "counts MATCH\n" : "counts DIFFER\n");
     if (!match) rc = 1;
   }

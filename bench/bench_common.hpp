@@ -55,6 +55,7 @@ inline std::vector<std::string> resolveScenarioList(const std::string& value) {
   if (v == "ablation" || v == "ablations") {
     return scenario::scenarioNamesWithPrefix("ablation/");
   }
+  if (v == "churn") return scenario::scenarioNamesWithPrefix("churn/");
   if (v == "traffic") {  // the production-shaped scenarios (no group prefix)
     std::vector<std::string> names;
     for (const std::string& name : scenario::scenarioNames()) {

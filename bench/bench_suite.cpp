@@ -9,7 +9,8 @@
 ///   ./bench_suite --suite ablations --replications 1
 ///   ./bench_suite --scenarios paper/table5_matmul_low,mega-cluster --tasks 120
 ///
-/// Groups: all | paper | ablations | traffic, or an explicit comma list.
+/// Groups: all | paper | ablations | churn | traffic, or an explicit comma
+/// list.
 
 #include <iostream>
 
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_suite",
                        "run registry scenarios as campaigns via the suite driver");
   args.addString("suite", "paper",
-                 "scenario group: all | paper | ablations | traffic");
+                 "scenario group: all | paper | ablations | churn | traffic");
   args.addString("scenarios", "", "explicit comma-separated list (overrides --suite)");
   args.addString("json", "suite", "base name of the aggregated JSON record");
   bench::addSuiteFlags(args);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
     util::CsvWriter csv({"scenario", "heuristic", "completed", "lost", "makespan",
                          "meanflow", "meanstretch", "joins", "leaves", "crashes",
-                         "slowdowns", "events_per_second"});
+                         "slowdowns", "links", "events_per_second"});
     exp::SuiteResult suite;
     suite.seed = options.seed;
     for (const std::string& name : names) {
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
                     std::to_string(sample.churn.leaves),
                     std::to_string(sample.churn.crashes),
                     std::to_string(sample.churn.slowdowns),
+                    std::to_string(sample.churn.links),
                     util::strformat("%.0f", s.eventsPerSecond())});
       }
       row.push_back(std::to_string(s.servers));

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
     util::TablePrinter table("Scenario '" + compiled.name + "' (seed " +
                              std::to_string(seed) + ")");
     table.setHeader({"heuristic", "completed", "lost", "makespan", "mean flow",
-                     "mean stretch", "joins", "leaves", "crashes", "slowdowns"});
+                     "mean stretch", "joins", "leaves", "crashes", "slowdowns",
+                     "links"});
     for (const std::string& h : util::split(args.getString("heuristics"), ',')) {
       const std::string heuristic = std::string(util::trim(h));
       if (heuristic.empty()) continue;
@@ -76,7 +77,8 @@ int main(int argc, char** argv) {
                     std::to_string(result.churn.joins),
                     std::to_string(result.churn.leaves),
                     std::to_string(result.churn.crashes),
-                    std::to_string(result.churn.slowdowns)});
+                    std::to_string(result.churn.slowdowns),
+                    std::to_string(result.churn.links)});
     }
     table.print(std::cout);
     return 0;

@@ -11,6 +11,7 @@ ChurnAction parseChurnAction(const std::string& name) {
   if (n == "leave") return ChurnAction::kLeave;
   if (n == "crash") return ChurnAction::kCrash;
   if (n == "slowdown") return ChurnAction::kSlowdown;
+  if (n == "link") return ChurnAction::kLink;
   throw util::ConfigError("unknown churn action '" + name + "'");
 }
 
@@ -20,6 +21,7 @@ std::string churnActionName(ChurnAction action) {
     case ChurnAction::kLeave: return "leave";
     case ChurnAction::kCrash: return "crash";
     case ChurnAction::kSlowdown: return "slowdown";
+    case ChurnAction::kLink: return "link";
   }
   return "?";
 }

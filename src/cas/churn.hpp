@@ -17,7 +17,8 @@ enum class ChurnAction : std::uint8_t {
   kJoin,      ///< a new server registers with the agent mid-run
   kLeave,     ///< graceful departure: no new work, in-flight tasks drain
   kCrash,     ///< injected collapse: running tasks fail, recovery later
-  kSlowdown,  ///< persistent CPU capacity change (factor)
+  kSlowdown,  ///< CPU capacity change (factor), optionally self-recovering
+  kLink,      ///< link bandwidth change (factor), optionally self-recovering
 };
 
 ChurnAction parseChurnAction(const std::string& name);
@@ -32,8 +33,15 @@ struct ChurnEvent {
   psched::MachineSpec joinSpec;
   /// kJoin only: relative speed for the agent's cost model (1.0 = reference).
   double speedIndex = 1.0;
-  /// kSlowdown only: CPU capacity multiplier (0.5 = half speed, 1.0 = restore).
+  /// kSlowdown/kLink only: capacity multiplier (0.5 = half speed, 1.0 = restore).
   double factor = 1.0;
+  /// kCrash: downtime before the machine recovers (0 = the machine's own
+  /// recoverySeconds). kSlowdown/kLink: seconds until the factor restores to
+  /// 1.0 on its own (0 = persistent until another event changes it). The
+  /// generated fault processes (flapping, crash-repair cycles, bandwidth
+  /// churn) drive both - one event carries the whole down/degraded episode,
+  /// so the simulator and the live deployment replay it identically.
+  double duration = 0.0;
 };
 
 }  // namespace casched::cas

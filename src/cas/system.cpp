@@ -93,14 +93,22 @@ void GridSystem::applyChurn(const ChurnEvent& event) {
     }
     case ChurnAction::kCrash: {
       // Same path as a memory collapse: victims fail, the agent is notified
-      // (fault tolerance re-submits elsewhere) and the machine recovers later.
-      // A crash on an already-down machine is a no-op and is not counted.
-      if (daemon(event.server).machine().forceCollapse()) ++churnStats_.crashes;
+      // (fault tolerance re-submits elsewhere) and the machine recovers after
+      // the event's downtime (0 = the machine's own recovery time). A crash
+      // on an already-down machine is a no-op and is not counted.
+      if (daemon(event.server).machine().forceCollapse(event.duration)) {
+        ++churnStats_.crashes;
+      }
       return;
     }
     case ChurnAction::kSlowdown: {
-      daemon(event.server).machine().setChurnSpeedFactor(event.factor);
+      daemon(event.server).machine().setChurnSpeedFactor(event.factor, event.duration);
       ++churnStats_.slowdowns;
+      return;
+    }
+    case ChurnAction::kLink: {
+      daemon(event.server).machine().setChurnLinkFactor(event.factor, event.duration);
+      ++churnStats_.links;
       return;
     }
   }

@@ -18,6 +18,8 @@ ExperimentSpec specFromScenarioSpec(const scenario::ScenarioSpec& scenarioSpec,
   spec.metatask = compiled.metataskConfig;
   spec.system = compiled.system;
   spec.churn = compiled.churn;
+  spec.generatedChurn = compiled.generatedChurn;
+  spec.faultDomains = compiled.faultDomains;
   return spec;
 }
 

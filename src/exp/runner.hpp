@@ -21,8 +21,13 @@ struct ExperimentSpec {
   cas::SystemConfig system;
   /// Registry scenario this spec was materialized from ("" when hand-built).
   std::string scenario;
-  /// Membership events replayed in every run of the experiment.
+  /// Membership events replayed in every run of the experiment (hand-written
+  /// [churn] plus the [faults]-generated stream, one per seed).
   std::vector<cas::ChurnEvent> churn;
+  /// How many of `churn`'s events the [faults] processes generated.
+  std::size_t generatedChurn = 0;
+  /// Resolved correlated-failure domains ([faults] rack/zone tagging).
+  std::vector<scenario::FaultDomainSpec> faultDomains;
 };
 
 /// Materializes a registry scenario into an ExperimentSpec: testbed, metatask

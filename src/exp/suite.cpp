@@ -69,8 +69,12 @@ SuiteScenarioResult runSuiteScenario(const scenario::ScenarioSpec& baseSpec,
     out.variants.push_back(std::move(variant));
   }
   CASCHED_CHECK(!out.variants.empty(), "sweep expansion produced no variants");
-  out.servers = out.variants.front().spec.testbed.servers.size();
-  out.churnEvents = out.variants.front().spec.churn.size();
+  const ExperimentSpec& base = out.variants.front().spec;
+  out.servers = base.testbed.servers.size();
+  out.churnEvents = base.churn.size();
+  out.generatedChurn = base.generatedChurn;
+  out.churnDigest = scenario::churnTimelineDigest(base.churn);
+  out.churnSummary = scenario::summarizeChurnTimeline(base.churn, base.faultDomains);
   return out;
 }
 
@@ -195,6 +199,22 @@ std::string suiteJson(const SuiteResult& suite) {
     json.key("title").value(s.title);
     json.key("servers").value(s.servers);
     json.key("churn_events").value(s.churnEvents);
+    if (s.generatedChurn > 0) {
+      // Per-seed record of the generated fault stream, so a suite artifact
+      // and a live-run artifact from the same (scenario, seed) can prove
+      // they replayed one identical timeline (equal digests).
+      json.key("generated_churn").value(s.generatedChurn);
+      json.key("churn_digest").value(s.churnDigest);
+      json.key("churn_summary");
+      json.beginObject();
+      json.key("crashes").value(s.churnSummary.crashes);
+      json.key("slowdowns").value(s.churnSummary.slowdowns);
+      json.key("links").value(s.churnSummary.linkEvents);
+      json.key("mean_downtime").value(s.churnSummary.meanDowntime);
+      json.key("max_concurrent_down").value(s.churnSummary.maxConcurrentDown);
+      json.key("max_dead_domains").value(s.churnSummary.maxConcurrentDeadDomains);
+      json.endObject();
+    }
     json.key("metatasks").value(s.campaign.metataskCount);
     json.key("replications").value(s.campaign.replications);
     json.key("baseline").value(s.campaign.baseline);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
 #include "util/table.hpp"
@@ -50,6 +51,12 @@ struct SuiteScenarioResult {
   std::string ftPolicyName;
   std::size_t servers = 0;      ///< initial testbed size (base variant)
   std::size_t churnEvents = 0;  ///< scheduled membership timeline length
+  /// Stochastic churn of the base variant at this suite's seed: how many of
+  /// the timeline's events [faults] generated, their digest and the per-seed
+  /// summary (crash count, mean downtime, peak dead servers/domains).
+  std::size_t generatedChurn = 0;
+  std::uint64_t churnDigest = 0;
+  scenario::ChurnTimelineSummary churnSummary;
   std::vector<SuiteVariant> variants;
 
   /// Per-scenario perf record, aggregated over every variant and run.

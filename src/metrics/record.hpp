@@ -42,8 +42,11 @@ struct ChurnSummary {
   std::uint64_t leaves = 0;
   std::uint64_t crashes = 0;
   std::uint64_t slowdowns = 0;
+  std::uint64_t links = 0;  ///< link-bandwidth churn episodes
 
-  std::uint64_t total() const { return joins + leaves + crashes + slowdowns; }
+  std::uint64_t total() const {
+    return joins + leaves + crashes + slowdowns + links;
+  }
 };
 
 /// Per-server aggregate over a run.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -84,6 +85,99 @@ void accumulateShare(AgentShare& share, const std::vector<metrics::TaskOutcome>&
   }
   share.resubmissions += countResubmissions(outcomes);
 }
+
+/// Shared live churn dispatch for both harness shapes (single- and
+/// multi-agent): the daemon lookup and the joiner factory differ per shape,
+/// the event semantics must not. Folds every event into an FNV digest as it
+/// is dispatched (the undispatched tail folded at finish), witnessing that
+/// this harness iterated the compiled canonical sequence; an event whose
+/// target daemon cannot be found is counted as skipped - the deterministic
+/// dropped-event signal the digest alone cannot give (see loopback.hpp).
+class LiveChurnDriver {
+ public:
+  using DaemonByNameFn = std::function<NetServerDaemon*(const std::string&)>;
+  using StartServerFn = std::function<void(const psched::MachineSpec&, double)>;
+
+  LiveChurnDriver(std::vector<cas::ChurnEvent> timeline, DaemonByNameFn daemonByName,
+                  StartServerFn startServer, LiveRunReport& report)
+      : timeline_(std::move(timeline)),
+        daemonByName_(std::move(daemonByName)),
+        startServer_(std::move(startServer)),
+        report_(report) {
+    std::stable_sort(timeline_.begin(), timeline_.end(),
+                     [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
+
+  /// Dispatches every event due by `simNow` (wall-paced scenario time).
+  void pump(double simNow) {
+    while (next_ < timeline_.size() && timeline_[next_].time <= simNow) {
+      digest_.fold(timeline_[next_]);
+      apply(timeline_[next_], simNow);
+      ++next_;
+    }
+  }
+
+  /// Folds in the tail the run never reached (every task already terminal)
+  /// and records the digest: it then covers the full canonical sequence,
+  /// dispatched events first - equal to the simulator's timeline digest only
+  /// when both sides consumed one identical generated stream.
+  void finish() {
+    for (std::size_t i = next_; i < timeline_.size(); ++i) digest_.fold(timeline_[i]);
+    report_.churnDigest = digest_.value();
+  }
+
+ private:
+  void apply(const cas::ChurnEvent& event, double simNow) {
+    LOG_INFO("live churn: " << cas::churnActionName(event.action) << " "
+                            << event.server << " at sim t=" << simNow);
+    switch (event.action) {
+      case cas::ChurnAction::kJoin:
+        startServer_(event.joinSpec, event.speedIndex);
+        ++report_.churnApplied.joins;
+        return;
+      case cas::ChurnAction::kLeave:
+        if (NetServerDaemon* d = daemonByName_(event.server)) {
+          d->leave();
+          ++report_.churnApplied.leaves;
+        } else {
+          ++report_.churnSkipped;
+        }
+        return;
+      case cas::ChurnAction::kCrash:
+        if (NetServerDaemon* d = daemonByName_(event.server)) {
+          if (d->crash(event.duration)) ++report_.churnApplied.crashes;
+        } else {
+          ++report_.churnSkipped;
+        }
+        return;
+      case cas::ChurnAction::kSlowdown:
+        if (NetServerDaemon* d = daemonByName_(event.server)) {
+          d->setSpeedFactor(event.factor, event.duration);
+          ++report_.churnApplied.slowdowns;
+        } else {
+          ++report_.churnSkipped;
+        }
+        return;
+      case cas::ChurnAction::kLink:
+        if (NetServerDaemon* d = daemonByName_(event.server)) {
+          d->setLinkFactor(event.factor, event.duration);
+          ++report_.churnApplied.links;
+        } else {
+          ++report_.churnSkipped;
+        }
+        return;
+    }
+  }
+
+  std::vector<cas::ChurnEvent> timeline_;
+  std::size_t next_ = 0;
+  DaemonByNameFn daemonByName_;
+  StartServerFn startServer_;
+  LiveRunReport& report_;
+  scenario::ChurnDigest digest_;
+};
 
 LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
                             const LiveRunOptions& options) {
@@ -195,45 +289,15 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
   client.start(compiled.metatask);
 
   // Server churn timeline, applied live at its (wall-paced) scenario times.
-  std::vector<cas::ChurnEvent> churn = compiled.churn;
-  std::stable_sort(churn.begin(), churn.end(),
-                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
-                     return a.time < b.time;
-                   });
-  std::size_t nextChurn = 0;
-  const auto daemonByName = [&](const std::string& name) -> NetServerDaemon* {
-    for (auto& s : servers) {
-      if (s->name() == name) return s.get();
-    }
-    return nullptr;
-  };
-  const auto applyChurn = [&](const cas::ChurnEvent& event) {
-    LOG_INFO("live churn: " << cas::churnActionName(event.action) << " "
-                            << event.server << " at sim t=" << clock.simNow());
-    switch (event.action) {
-      case cas::ChurnAction::kJoin:
-        startServer(event.joinSpec, event.speedIndex);
-        ++report.churnApplied.joins;
-        return;
-      case cas::ChurnAction::kLeave:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          d->leave();
-          ++report.churnApplied.leaves;
+  LiveChurnDriver churnDriver(
+      compiled.churn,
+      [&](const std::string& name) -> NetServerDaemon* {
+        for (auto& s : servers) {
+          if (s->name() == name) return s.get();
         }
-        return;
-      case cas::ChurnAction::kCrash:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          if (d->crash()) ++report.churnApplied.crashes;
-        }
-        return;
-      case cas::ChurnAction::kSlowdown:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          d->setSpeedFactor(event.factor);
-          ++report.churnApplied.slowdowns;
-        }
-        return;
-    }
-  };
+        return nullptr;
+      },
+      startServer, report);
 
   // Agent churn timeline (crash + optional restart), time-sorted.
   std::vector<scenario::AgentEventSpec> agentEvents = spec.events;
@@ -275,10 +339,7 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
       report.timedOut = true;
       break;
     }
-    while (nextChurn < churn.size() && churn[nextChurn].time <= clock.simNow()) {
-      applyChurn(churn[nextChurn]);
-      ++nextChurn;
-    }
+    churnDriver.pump(clock.simNow());
     while (nextAgentEvent < agentEvents.size() &&
            agentEvents[nextAgentEvent].time <= clock.simNow()) {
       crashAgent(agentEvents[nextAgentEvent]);
@@ -288,6 +349,7 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
     pumpAll(&client);
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  churnDriver.finish();
 
   // The client is the authority on terminal counts here: after a fail-over
   // no single agent saw every task.
@@ -382,45 +444,15 @@ LiveRunReport runSingleAgent(const scenario::CompiledScenario& compiled,
   client.start(compiled.metatask);
 
   // Churn timeline, applied live at its (wall-paced) scenario times.
-  std::vector<cas::ChurnEvent> churn = compiled.churn;
-  std::stable_sort(churn.begin(), churn.end(),
-                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
-                     return a.time < b.time;
-                   });
-  std::size_t nextChurn = 0;
-  const auto daemonByName = [&](const std::string& name) -> NetServerDaemon* {
-    for (auto& s : servers) {
-      if (s->name() == name) return s.get();
-    }
-    return nullptr;
-  };
-  const auto applyChurn = [&](const cas::ChurnEvent& event) {
-    LOG_INFO("live churn: " << cas::churnActionName(event.action) << " "
-                            << event.server << " at sim t=" << clock.simNow());
-    switch (event.action) {
-      case cas::ChurnAction::kJoin:
-        startServer(event.joinSpec, event.speedIndex);
-        ++report.churnApplied.joins;
-        return;
-      case cas::ChurnAction::kLeave:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          d->leave();
-          ++report.churnApplied.leaves;
+  LiveChurnDriver churnDriver(
+      compiled.churn,
+      [&](const std::string& name) -> NetServerDaemon* {
+        for (auto& s : servers) {
+          if (s->name() == name) return s.get();
         }
-        return;
-      case cas::ChurnAction::kCrash:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          if (d->crash()) ++report.churnApplied.crashes;
-        }
-        return;
-      case cas::ChurnAction::kSlowdown:
-        if (NetServerDaemon* d = daemonByName(event.server)) {
-          d->setSpeedFactor(event.factor);
-          ++report.churnApplied.slowdowns;
-        }
-        return;
-    }
-  };
+        return nullptr;
+      },
+      startServer, report);
 
   const WallDeadline deadline(options.wallTimeoutSeconds);
   while (!client.done() && !stopRequested()) {
@@ -428,15 +460,13 @@ LiveRunReport runSingleAgent(const scenario::CompiledScenario& compiled,
       report.timedOut = true;
       break;
     }
-    while (nextChurn < churn.size() && churn[nextChurn].time <= clock.simNow()) {
-      applyChurn(churn[nextChurn]);
-      ++nextChurn;
-    }
+    churnDriver.pump(clock.simNow());
     agent.runOnce();
     for (auto& s : servers) s->runOnce();
     client.runOnce();
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  churnDriver.finish();
 
   report.outcomes = agent.agent().collectOutcomes();
   for (const metrics::TaskOutcome& o : report.outcomes) {
@@ -469,8 +499,12 @@ LiveRunReport runLoopbackScenario(const scenario::ScenarioSpec& spec,
                                   const LiveRunOptions& options) {
   const scenario::CompiledScenario compiled =
       scenario::compileScenario(spec, options.seed);
-  return compiled.agents.count > 1 ? runMultiAgent(compiled, options)
-                                   : runSingleAgent(compiled, options);
+  LiveRunReport report = compiled.agents.count > 1 ? runMultiAgent(compiled, options)
+                                                   : runSingleAgent(compiled, options);
+  report.generatedChurn = compiled.generatedChurn;
+  report.churnPlanned =
+      scenario::summarizeChurnTimeline(compiled.churn, compiled.faultDomains);
+  return report;
 }
 
 LiveRunReport runLoopbackScenario(const std::string& registryName,
@@ -494,6 +528,19 @@ std::string liveRunJson(const LiveRunReport& report) {
   json.key("leaves").value(report.churnApplied.leaves);
   json.key("crashes").value(report.churnApplied.crashes);
   json.key("slowdowns").value(report.churnApplied.slowdowns);
+  json.key("links").value(report.churnApplied.links);
+  json.endObject();
+  json.key("generated_churn").value(report.generatedChurn);
+  json.key("churn_skipped").value(report.churnSkipped);
+  json.key("churn_digest").value(report.churnDigest);
+  json.key("churn_planned");
+  json.beginObject();
+  json.key("crashes").value(report.churnPlanned.crashes);
+  json.key("slowdowns").value(report.churnPlanned.slowdowns);
+  json.key("links").value(report.churnPlanned.linkEvents);
+  json.key("mean_downtime").value(report.churnPlanned.meanDowntime);
+  json.key("max_concurrent_down").value(report.churnPlanned.maxConcurrentDown);
+  json.key("max_dead_domains").value(report.churnPlanned.maxConcurrentDeadDomains);
   json.endObject();
   json.key("servers_started").value(report.serversStarted);
   json.key("servers_retired").value(report.serversRetired);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "metrics/record.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/spec.hpp"
 
 namespace casched::net {
@@ -74,6 +75,22 @@ struct LiveRunReport {
   /// Extra scheduling attempts past each task's first (fault tolerance).
   std::uint64_t resubmissions = 0;
   metrics::ChurnSummary churnApplied;
+  /// Events in the compiled timeline that the [faults] processes generated.
+  std::size_t generatedChurn = 0;
+  /// Dispatched events whose target daemon could not be found (a live-side
+  /// divergence from the compiled timeline; compile-time validation makes
+  /// this impossible short of a harness bug). The nightly gate and the
+  /// net_test agreement test require 0.
+  std::uint64_t churnSkipped = 0;
+  /// FNV digest folded over the churn sequence this harness iterated, in
+  /// dispatch order (the undispatched tail folded in at the end). Equality
+  /// with churnTimelineDigest of a simulator-side compilation proves both
+  /// sides replay one identical generated stream in one canonical order;
+  /// events dropped at apply time are flagged by `churnSkipped`, not here.
+  std::uint64_t churnDigest = 0;
+  /// Per-seed summary of the compiled timeline (crash count, mean downtime,
+  /// peak concurrently-dead servers/domains).
+  scenario::ChurnTimelineSummary churnPlanned;
   std::size_t serversStarted = 0;
   std::size_t serversRetired = 0;
   double wallSeconds = 0.0;

@@ -235,6 +235,8 @@ void NetServerDaemon::leave() {
   }
 }
 
-bool NetServerDaemon::crash() { return machine_.forceCollapse(); }
+bool NetServerDaemon::crash(double downtime) {
+  return machine_.forceCollapse(downtime);
+}
 
 }  // namespace casched::net

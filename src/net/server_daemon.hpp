@@ -90,10 +90,18 @@ class NetServerDaemon {
   /// True once a leave() finished draining and the link is closed.
   bool left() const { return left_; }
   /// Injected collapse (victims fail over the wire, recovery announces
-  /// kServerUp). Returns false when the machine is already down.
-  bool crash();
-  /// Persistent CPU-capacity change (live slowdown churn).
-  void setSpeedFactor(double factor) { machine_.setChurnSpeedFactor(factor); }
+  /// kServerUp after `downtime` sim seconds; 0 = the machine's own recovery
+  /// time). Returns false when the machine is already down.
+  bool crash(double downtime = 0.0);
+  /// CPU-capacity change (live slowdown churn); a positive `restoreAfter`
+  /// self-recovers to full speed that many sim seconds later.
+  void setSpeedFactor(double factor, double restoreAfter = 0.0) {
+    machine_.setChurnSpeedFactor(factor, restoreAfter);
+  }
+  /// Link-bandwidth change (live bandwidth churn), same recovery contract.
+  void setLinkFactor(double factor, double restoreAfter = 0.0) {
+    machine_.setChurnLinkFactor(factor, restoreAfter);
+  }
 
  private:
   void handleFrame(const wire::Frame& frame);

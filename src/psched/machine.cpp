@@ -54,23 +54,58 @@ void Machine::setCpuNoiseFactor(double factor) {
   applyCpuFactor();
 }
 
-void Machine::setChurnSpeedFactor(double factor) {
+void Machine::setChurnSpeedFactor(double factor, double restoreAfter) {
   CASCHED_CHECK(factor > 0.0, "churn speed factor must be positive");
+  CASCHED_CHECK(restoreAfter >= 0.0, "churn restore delay must be non-negative");
+  if (speedRestoreEvent_.valid()) {
+    sim_.cancel(speedRestoreEvent_);
+    speedRestoreEvent_ = {};
+  }
   churnSpeed_ = factor;
   applyCpuFactor();
+  if (restoreAfter > 0.0 && factor != 1.0) {
+    speedRestoreEvent_ = sim_.scheduleAfter(restoreAfter, [this] {
+      speedRestoreEvent_ = {};
+      churnSpeed_ = 1.0;
+      applyCpuFactor();
+    });
+  }
 }
 
-bool Machine::forceCollapse() {
+void Machine::setChurnLinkFactor(double factor, double restoreAfter) {
+  CASCHED_CHECK(factor > 0.0, "churn link factor must be positive");
+  CASCHED_CHECK(restoreAfter >= 0.0, "churn restore delay must be non-negative");
+  if (linkRestoreEvent_.valid()) {
+    sim_.cancel(linkRestoreEvent_);
+    linkRestoreEvent_ = {};
+  }
+  churnLink_ = factor;
+  applyLinkFactor();
+  if (restoreAfter > 0.0 && factor != 1.0) {
+    linkRestoreEvent_ = sim_.scheduleAfter(restoreAfter, [this] {
+      linkRestoreEvent_ = {};
+      churnLink_ = 1.0;
+      applyLinkFactor();
+    });
+  }
+}
+
+bool Machine::forceCollapse(double downtime) {
   if (!up_) return false;
+  CASCHED_CHECK(downtime >= 0.0, "crash downtime must be non-negative");
   LOG_DEBUG("machine " << spec_.name << " crash injected at t=" << sim_.now());
-  collapse();
+  collapse(downtime > 0.0 ? downtime : spec_.recoverySeconds);
   return true;
 }
 
 void Machine::setLinkNoiseFactor(double factor) {
   linkNoise_ = factor;
-  linkIn_.setCapacityFactor(std::max(1e-6, linkNoise_));
-  linkOut_.setCapacityFactor(std::max(1e-6, linkNoise_));
+  applyLinkFactor();
+}
+
+void Machine::applyLinkFactor() {
+  linkIn_.setCapacityFactor(std::max(1e-6, linkNoise_ * churnLink_));
+  linkOut_.setCapacityFactor(std::max(1e-6, linkNoise_ * churnLink_));
 }
 
 void Machine::updateThrash() {
@@ -95,7 +130,7 @@ bool Machine::submit(const ExecRequest& request, ExecDoneFn done) {
     LOG_DEBUG("machine " << spec_.name << " collapses at t=" << sim_.now()
                          << " resident=" << residentMB_ << "MB");
     ++stats_.failed;  // the triggering task
-    collapse();
+    collapse(spec_.recoverySeconds);
     return false;
   }
   updateThrash();
@@ -130,7 +165,7 @@ void Machine::finishExecution(TaskExecution& exec) {
   // invoking us (see TaskExecution lifetime contract).
 }
 
-void Machine::collapse() {
+void Machine::collapse(double downtime) {
   up_ = false;
   std::vector<ExecRecord> victims;
   victims.reserve(execs_.size());
@@ -145,7 +180,7 @@ void Machine::collapse() {
   thrash_ = 1.0;
   applyCpuFactor();
   ++stats_.collapses;
-  recoverEvent_ = sim_.scheduleAfter(spec_.recoverySeconds, [this] { recover(); });
+  recoverEvent_ = sim_.scheduleAfter(downtime, [this] { recover(); });
   if (onCollapse_) onCollapse_(victims);
 }
 

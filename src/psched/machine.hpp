@@ -95,15 +95,22 @@ class Machine {
   void setCpuNoiseFactor(double factor);
   void setLinkNoiseFactor(double factor);
 
-  /// Persistent capacity scaling from a churn timeline (scenario slowdown
-  /// events); unlike the noise factor it is never overwritten by a
-  /// NoiseProcess. 1.0 restores full speed.
-  void setChurnSpeedFactor(double factor);
+  /// Capacity scaling from a churn timeline (scenario slowdown events);
+  /// unlike the noise factor it is never overwritten by a NoiseProcess. 1.0
+  /// restores full speed. A positive `restoreAfter` schedules an automatic
+  /// restore to 1.0 that many seconds later (generated slowdown-with-recovery
+  /// churn); a later explicit set cancels any pending restore.
+  void setChurnSpeedFactor(double factor, double restoreAfter = 0.0);
+
+  /// Same, for the in/out link bandwidth (generated bandwidth churn). The
+  /// effective link factor is noise * churn, so both mechanisms compose.
+  void setChurnLinkFactor(double factor, double restoreAfter = 0.0);
 
   /// Injected crash (scenario churn): every running task fails, the machine
-  /// goes down and recovers after `recoverySeconds` - exactly the
-  /// memory-collapse path. Returns false (no-op) when already down.
-  bool forceCollapse();
+  /// goes down and recovers after `downtime` (0 = the spec's
+  /// `recoverySeconds`) - exactly the memory-collapse path. Returns false
+  /// (no-op) when already down.
+  bool forceCollapse(double downtime = 0.0);
 
   void setCollapseObserver(CollapseFn fn) { onCollapse_ = std::move(fn); }
   void setRecoverObserver(RecoverFn fn) { onRecover_ = std::move(fn); }
@@ -118,7 +125,8 @@ class Machine {
  private:
   void updateThrash();
   void applyCpuFactor();
-  void collapse();
+  void applyLinkFactor();
+  void collapse(double downtime);
   void recover();
   void finishExecution(TaskExecution& exec);
 
@@ -133,9 +141,12 @@ class Machine {
   double cpuNoise_ = 1.0;
   double linkNoise_ = 1.0;
   double churnSpeed_ = 1.0;
+  double churnLink_ = 1.0;
   double thrash_ = 1.0;
   bool up_ = true;
   simcore::EventHandle recoverEvent_{};
+  simcore::EventHandle speedRestoreEvent_{};
+  simcore::EventHandle linkRestoreEvent_{};
   std::map<std::uint64_t, ExecDoneFn> doneFns_;
   CollapseFn onCollapse_;
   RecoverFn onRecover_;

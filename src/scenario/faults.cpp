@@ -1,0 +1,353 @@
+#include "scenario/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::scenario {
+
+namespace {
+
+/// Process tags for two-level seed derivation: the faults seed derives one
+/// sub-seed per process, which then derives one stream per server (or
+/// domain) index. Unlike a fixed base-plus-index offset this cannot alias at
+/// any fleet size, so enabling one process never perturbs another's draws.
+constexpr std::uint64_t kCrashProcess = 1;
+constexpr std::uint64_t kFlapProcess = 2;
+constexpr std::uint64_t kSlowProcess = 3;
+constexpr std::uint64_t kLinkProcess = 4;
+constexpr std::uint64_t kOutageProcess = 5;
+
+std::uint64_t processStream(std::uint64_t seed, std::uint64_t process,
+                            std::size_t index) {
+  return simcore::deriveSeed(simcore::deriveSeed(seed, process), index);
+}
+
+/// Downtimes and episode lengths stay strictly positive: a drawn 0 would
+/// read as "machine default" (crash) or "persistent" (slowdown/link).
+constexpr double kMinEpisode = 0.1;
+
+double weibull(simcore::RandomStream& rng, double mean, double shape) {
+  // Scale so the distribution's mean is `mean`: E = scale * Gamma(1 + 1/k).
+  const double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  const double u = rng.uniform(0.0, 1.0);
+  return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+}
+
+cas::ChurnEvent crashEvent(double time, const std::string& server, double downtime) {
+  cas::ChurnEvent e;
+  e.time = time;
+  e.action = cas::ChurnAction::kCrash;
+  e.server = server;
+  e.duration = std::max(kMinEpisode, downtime);
+  return e;
+}
+
+cas::ChurnEvent factorEvent(cas::ChurnAction action, double time,
+                            const std::string& server, double factor,
+                            double duration) {
+  cas::ChurnEvent e;
+  e.time = time;
+  e.action = action;
+  e.server = server;
+  e.factor = factor;
+  e.duration = std::max(kMinEpisode, duration);
+  return e;
+}
+
+/// Per-server crash-repair renewal: Weibull TTF, exponential repair. The
+/// next failure clock starts when the repair finishes, so episodes on one
+/// server never overlap.
+void generateCrashRepair(const FaultsSpec& spec, const std::string& server,
+                         std::uint64_t seed, std::vector<cas::ChurnEvent>& out) {
+  simcore::RandomStream rng(seed);
+  double t = weibull(rng, spec.crashMtbf, spec.crashShape);
+  while (t < spec.horizon) {
+    const double repair = std::max(kMinEpisode, rng.exponentialMean(spec.crashMttr));
+    out.push_back(crashEvent(t, server, repair));
+    t += repair + weibull(rng, spec.crashMtbf, spec.crashShape);
+  }
+}
+
+/// Markov flapping: sample the sticky two-state chain on its tick and emit
+/// one crash per maximal down run (downtime = the run's length). A run still
+/// open at the horizon is truncated there.
+void generateFlapping(const FaultsSpec& spec, const std::string& server,
+                      std::uint64_t seed, std::vector<cas::ChurnEvent>& out) {
+  simcore::RandomStream rng(seed);
+  bool up = true;
+  double downStart = 0.0;
+  for (double t = spec.flapTick; t < spec.horizon; t += spec.flapTick) {
+    if (up) {
+      if (!rng.bernoulli(spec.flapStayUp)) {
+        up = false;
+        downStart = t;
+      }
+    } else if (!rng.bernoulli(spec.flapStayDown)) {
+      up = true;
+      out.push_back(crashEvent(downStart, server, t - downStart));
+    }
+  }
+  if (!up) out.push_back(crashEvent(downStart, server, spec.horizon - downStart));
+}
+
+/// Correlated outage: one renewal process per domain; each draw crashes
+/// every member at the same instant with the same repair time.
+void generateOutages(const FaultsSpec& spec, const FaultDomainSpec& domain,
+                     std::uint64_t seed, std::vector<cas::ChurnEvent>& out) {
+  simcore::RandomStream rng(seed);
+  double t = rng.exponentialMean(spec.outageMtbf);
+  while (t < spec.horizon) {
+    const double repair = std::max(kMinEpisode, rng.exponentialMean(spec.outageMttr));
+    for (const std::string& server : domain.servers) {
+      out.push_back(crashEvent(t, server, repair));
+    }
+    t += repair + rng.exponentialMean(spec.outageMtbf);
+  }
+}
+
+/// Capacity churn (CPU or link): exponential gaps between episodes, uniform
+/// factor, exponential episode length; the factor restores on its own.
+void generateCapacityChurn(cas::ChurnAction action, const std::string& server,
+                           double mtbf, double lo, double hi, double meanDuration,
+                           double horizon, std::uint64_t seed,
+                           std::vector<cas::ChurnEvent>& out) {
+  simcore::RandomStream rng(seed);
+  double t = rng.exponentialMean(mtbf);
+  while (t < horizon) {
+    const double factor = rng.uniform(lo, hi);
+    const double duration = std::max(kMinEpisode, rng.exponentialMean(meanDuration));
+    out.push_back(factorEvent(action, t, server, factor, duration));
+    t += duration + rng.exponentialMean(mtbf);
+  }
+}
+
+void checkProbability(double p, const char* what) {
+  if (p < 0.0 || p >= 1.0) {
+    throw util::ConfigError(std::string("[faults] ") + what + " must be in [0, 1)");
+  }
+}
+
+void checkFactorRange(double lo, double hi, const char* what) {
+  if (lo <= 0.0 || hi > 1.0 || lo > hi) {
+    throw util::ConfigError(std::string("[faults] ") + what +
+                            " range wants 0 < min <= max <= 1");
+  }
+}
+
+}  // namespace
+
+void validateFaultsSpec(const FaultsSpec& spec) {
+  // A negative rate/tick would read as "disabled" through enabled()'s > 0
+  // tests; reject it instead of silently dropping the process.
+  if (spec.horizon < 0.0 || spec.crashMtbf < 0.0 || spec.flapTick < 0.0 ||
+      spec.outageMtbf < 0.0 || spec.slowMtbf < 0.0 || spec.linkMtbf < 0.0) {
+    throw util::ConfigError("[faults] rates, ticks and horizon must be non-negative");
+  }
+  if (!spec.enabled()) {
+    if (!spec.domains.empty() || spec.autoDomains > 0) {
+      throw util::ConfigError(
+          "[faults] declares failure domains but no outage process (set "
+          "outage-mtbf)");
+    }
+    return;
+  }
+  if (spec.horizon <= 0.0) {
+    throw util::ConfigError("[faults] needs a positive horizon");
+  }
+  if (spec.crashMtbf > 0.0 && spec.crashMttr <= 0.0) {
+    throw util::ConfigError("[faults] crash-mttr must be positive");
+  }
+  if (spec.crashMtbf > 0.0 && spec.crashShape <= 0.0) {
+    throw util::ConfigError("[faults] crash-shape must be positive");
+  }
+  if (spec.flapTick > 0.0) {
+    checkProbability(spec.flapStayUp, "flap-stay-up");
+    checkProbability(spec.flapStayDown, "flap-stay-down");
+  }
+  if (spec.outageMtbf > 0.0) {
+    if (spec.domains.empty() && spec.autoDomains == 0) {
+      throw util::ConfigError(
+          "[faults] outage process needs failure domains (domain = ... lines "
+          "or domains = N)");
+    }
+    if (spec.outageMttr <= 0.0) {
+      throw util::ConfigError("[faults] outage-mttr must be positive");
+    }
+  }
+  if (!spec.domains.empty() && spec.autoDomains > 0) {
+    throw util::ConfigError(
+        "[faults] wants either explicit domain lines or domains = N, not both");
+  }
+  if (spec.slowMtbf > 0.0) {
+    checkFactorRange(spec.slowMin, spec.slowMax, "slowdown factor");
+    if (spec.slowDuration <= 0.0) {
+      throw util::ConfigError("[faults] slow-duration must be positive");
+    }
+  }
+  if (spec.linkMtbf > 0.0) {
+    checkFactorRange(spec.linkMin, spec.linkMax, "link factor");
+    if (spec.linkDuration <= 0.0) {
+      throw util::ConfigError("[faults] link-duration must be positive");
+    }
+  }
+}
+
+std::vector<FaultDomainSpec> resolveFaultDomains(
+    const FaultsSpec& spec, const std::vector<std::string>& servers) {
+  if (spec.autoDomains > 0) {
+    std::vector<FaultDomainSpec> out(std::min(spec.autoDomains, servers.size()));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].name = util::strformat("zone-%zu", i);
+    }
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      out[i % out.size()].servers.push_back(servers[i]);
+    }
+    return out;
+  }
+  const std::set<std::string> known(servers.begin(), servers.end());
+  std::set<std::string> assigned;
+  for (const FaultDomainSpec& d : spec.domains) {
+    for (const std::string& server : d.servers) {
+      if (known.count(server) == 0) {
+        throw util::ConfigError("[faults] domain '" + d.name +
+                                "' names unknown server '" + server + "'");
+      }
+      if (!assigned.insert(server).second) {
+        throw util::ConfigError("[faults] server '" + server +
+                                "' appears in more than one domain");
+      }
+    }
+  }
+  return spec.domains;
+}
+
+std::vector<cas::ChurnEvent> generateFaultTimeline(
+    const FaultsSpec& spec, const std::vector<std::string>& servers,
+    const std::vector<FaultDomainSpec>& domains, std::uint64_t seed) {
+  validateFaultsSpec(spec);
+  std::vector<cas::ChurnEvent> out;
+  if (!spec.enabled()) return out;
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (spec.crashMtbf > 0.0) {
+      generateCrashRepair(spec, servers[i], processStream(seed, kCrashProcess, i),
+                          out);
+    }
+    if (spec.flapTick > 0.0) {
+      generateFlapping(spec, servers[i], processStream(seed, kFlapProcess, i), out);
+    }
+    if (spec.slowMtbf > 0.0) {
+      generateCapacityChurn(cas::ChurnAction::kSlowdown, servers[i], spec.slowMtbf,
+                            spec.slowMin, spec.slowMax, spec.slowDuration,
+                            spec.horizon, processStream(seed, kSlowProcess, i), out);
+    }
+    if (spec.linkMtbf > 0.0) {
+      generateCapacityChurn(cas::ChurnAction::kLink, servers[i], spec.linkMtbf,
+                            spec.linkMin, spec.linkMax, spec.linkDuration,
+                            spec.horizon, processStream(seed, kLinkProcess, i), out);
+    }
+  }
+  if (spec.outageMtbf > 0.0) {
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      generateOutages(spec, domains[d], processStream(seed, kOutageProcess, d), out);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+ChurnTimelineSummary summarizeChurnTimeline(
+    const std::vector<cas::ChurnEvent>& events,
+    const std::vector<FaultDomainSpec>& domains) {
+  ChurnTimelineSummary s;
+  struct DownInterval {
+    std::string server;
+    double start;
+    double end;
+  };
+  std::vector<DownInterval> down;
+  double downtimeSum = 0.0;
+  for (const cas::ChurnEvent& e : events) {
+    switch (e.action) {
+      case cas::ChurnAction::kCrash:
+        ++s.crashes;
+        downtimeSum += e.duration;
+        if (e.duration > 0.0) down.push_back({e.server, e.time, e.time + e.duration});
+        break;
+      case cas::ChurnAction::kSlowdown: ++s.slowdowns; break;
+      case cas::ChurnAction::kLink: ++s.linkEvents; break;
+      case cas::ChurnAction::kJoin: ++s.joins; break;
+      case cas::ChurnAction::kLeave: ++s.leaves; break;
+    }
+  }
+  if (s.crashes > 0) downtimeSum /= static_cast<double>(s.crashes);
+  s.meanDowntime = downtimeSum;
+
+  // Sweep the interval starts: concurrency only changes when something goes
+  // down, so evaluating membership at each start is exact (half-open ends).
+  for (const DownInterval& probe : down) {
+    const double t = probe.start;
+    std::set<std::string> deadServers;
+    for (const DownInterval& d : down) {
+      if (d.start <= t && t < d.end) deadServers.insert(d.server);
+    }
+    s.maxConcurrentDown = std::max(s.maxConcurrentDown, deadServers.size());
+    std::size_t deadDomains = 0;
+    for (const FaultDomainSpec& domain : domains) {
+      if (domain.servers.empty()) continue;
+      bool allDead = true;
+      for (const std::string& server : domain.servers) {
+        if (deadServers.count(server) == 0) {
+          allDead = false;
+          break;
+        }
+      }
+      if (allDead) ++deadDomains;
+    }
+    s.maxConcurrentDeadDomains = std::max(s.maxConcurrentDeadDomains, deadDomains);
+  }
+  return s;
+}
+
+void ChurnDigest::fold(const cas::ChurnEvent& e) {
+  const auto mix = [this](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  const auto mixDouble = [&mix](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(&bits, sizeof(bits));
+  };
+  mixDouble(e.time);
+  const auto action = static_cast<unsigned char>(e.action);
+  mix(&action, 1);
+  mix(e.server.data(), e.server.size());
+  mixDouble(e.factor);
+  mixDouble(e.duration);
+  mixDouble(e.speedIndex);
+}
+
+std::uint64_t churnTimelineDigest(std::vector<cas::ChurnEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  ChurnDigest digest;
+  for (const cas::ChurnEvent& e : events) digest.fold(e);
+  return digest.value();
+}
+
+}  // namespace casched::scenario

@@ -1,0 +1,92 @@
+#pragma once
+/// \file faults.hpp
+/// Stochastic churn engine: compiles a [faults] spec + master seed into a
+/// concrete churn timeline - the same cas::ChurnEvent stream hand-written
+/// [churn] events produce, so the simulator and the live loopback deployment
+/// replay one identical generated timeline from one seed.
+///
+/// Four seeded generative processes, all deterministic per (spec, seed):
+///  - crash-repair cycles: per-server Weibull time-to-failure (shape 1 =
+///    exponential, >1 = wear-out) with exponential repair downtimes;
+///  - Markov flapping: a sticky two-state up/down chain sampled on a fixed
+///    tick, each maximal down run emitted as one crash with that downtime;
+///  - correlated domain outages: servers tagged into rack/zone domains, one
+///    exponential-renewal draw crashes every member of a domain at once;
+///  - capacity churn: CPU slowdown and link-bandwidth episodes with uniform
+///    factors and exponential durations that restore on their own.
+///
+/// Every server and every domain owns an independent derived RNG stream, so
+/// adding a process (or a server) never perturbs another stream's draws.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cas/churn.hpp"
+#include "scenario/spec.hpp"
+
+namespace casched::scenario {
+
+/// Structural validation of the section itself (rates, probabilities,
+/// ranges); membership validation against a concrete server list happens at
+/// compile time. Throws util::ConfigError.
+void validateFaultsSpec(const FaultsSpec& spec);
+
+/// The concrete failure domains: the explicit `domain =` lines, or the
+/// round-robin assignment of `servers` into `autoDomains` zones named
+/// "zone-<k>". Empty when the spec declares neither. Throws when an explicit
+/// domain names a server outside `servers`.
+std::vector<FaultDomainSpec> resolveFaultDomains(
+    const FaultsSpec& spec, const std::vector<std::string>& servers);
+
+/// Generates the fault timeline over the initial platform membership,
+/// sorted by time. `domains` is the resolveFaultDomains result for the same
+/// (spec, servers) - resolved once by the caller so the domains the outage
+/// process draws on are exactly the ones recorded in the compiled scenario.
+/// Same spec + servers + seed => identical stream.
+std::vector<cas::ChurnEvent> generateFaultTimeline(
+    const FaultsSpec& spec, const std::vector<std::string>& servers,
+    const std::vector<FaultDomainSpec>& domains, std::uint64_t seed);
+
+/// Per-seed summary of a (generated or hand-written) churn timeline; the
+/// run JSON records carry it so campaign and live records can be compared.
+struct ChurnTimelineSummary {
+  std::uint64_t crashes = 0;
+  std::uint64_t slowdowns = 0;
+  std::uint64_t linkEvents = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  /// Mean crash downtime, seconds (0 when there are no crashes; crashes
+  /// with duration 0 count at the machine-default placeholder of 0).
+  double meanDowntime = 0.0;
+  /// Peak number of servers down at once (crash intervals overlapping).
+  std::size_t maxConcurrentDown = 0;
+  /// Peak number of whole failure domains dead at once (every member down).
+  std::size_t maxConcurrentDeadDomains = 0;
+};
+
+ChurnTimelineSummary summarizeChurnTimeline(
+    const std::vector<cas::ChurnEvent>& events,
+    const std::vector<FaultDomainSpec>& domains);
+
+/// Incremental FNV-1a digest over churn events (time, action, server,
+/// factor, duration, speed index). The live harness folds each event in as
+/// it dispatches it, so the resulting digest witnesses the sequence that was
+/// actually replayed, not a recomputation from the compiled spec.
+class ChurnDigest {
+ public:
+  void fold(const cas::ChurnEvent& event);
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;  // FNV-1a offset basis
+};
+
+/// Digest of a whole timeline in canonical replay order (stable-sorted by
+/// time, which is how both the simulator's event queue and the live harness
+/// consume it). Suite records, live records and the demo's --compare-sim all
+/// use this one definition, so equal digests mean "the identical generated
+/// timeline was replayed".
+std::uint64_t churnTimelineDigest(std::vector<cas::ChurnEvent> events);
+
+}  // namespace casched::scenario

@@ -1,11 +1,14 @@
 #include "scenario/generate.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
+#include <tuple>
 
 #include "core/htm.hpp"
 #include "platform/calibration.hpp"
 #include "platform/machine_catalog.hpp"
+#include "scenario/faults.hpp"
 #include "simcore/rng.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -20,6 +23,7 @@ namespace {
 constexpr std::uint64_t kPlatformStream = 11;
 constexpr std::uint64_t kNoiseStream = 12;
 constexpr std::uint64_t kSchedulerStream = 13;
+constexpr std::uint64_t kFaultsStream = 14;
 
 workload::MetataskConfig buildMetataskConfig(const ScenarioSpec& spec,
                                              std::uint64_t seed) {
@@ -129,8 +133,7 @@ cas::SystemConfig buildSystemConfig(const ScenarioSpec& spec, std::uint64_t seed
   return config;
 }
 
-std::vector<cas::ChurnEvent> buildChurnTimeline(const ScenarioSpec& spec,
-                                                const platform::Testbed& testbed) {
+std::vector<cas::ChurnEvent> buildHandChurn(const ScenarioSpec& spec) {
   std::vector<cas::ChurnEvent> events;
   events.reserve(spec.churn.size());
   for (const ChurnSpec& c : spec.churn) {
@@ -138,18 +141,27 @@ std::vector<cas::ChurnEvent> buildChurnTimeline(const ScenarioSpec& spec,
     e.time = c.time;
     e.action = cas::parseChurnAction(c.action);
     e.server = c.server;
+    e.duration = c.duration;
     if (e.action == cas::ChurnAction::kJoin) {
       e.joinSpec = syntheticMachine(spec.platform, c.server);
       e.speedIndex = c.value;
       CASCHED_CHECK(e.speedIndex > 0.0, "join speed index must be positive");
-    } else if (e.action == cas::ChurnAction::kSlowdown) {
+    } else if (e.action == cas::ChurnAction::kSlowdown ||
+               e.action == cas::ChurnAction::kLink) {
       e.factor = c.value;
-      CASCHED_CHECK(e.factor > 0.0, "slowdown factor must be positive");
+      CASCHED_CHECK(e.factor > 0.0, "churn capacity factor must be positive");
     }
     events.push_back(std::move(e));
   }
+  return events;
+}
 
-  // Validate the timeline against the membership it implies, in time order.
+/// Validates a (hand-written + generated) timeline against the membership it
+/// implies, in time order. Rejects events on unknown or departed servers and
+/// exact duplicates - both used to silently no-op in the live path, so a
+/// typo'd server name made live and simulated runs diverge without a trace.
+void validateChurnTimeline(const std::vector<cas::ChurnEvent>& events,
+                           const platform::Testbed& testbed) {
   std::vector<const cas::ChurnEvent*> ordered;
   ordered.reserve(events.size());
   for (const cas::ChurnEvent& e : events) ordered.push_back(&e);
@@ -159,8 +171,13 @@ std::vector<cas::ChurnEvent> buildChurnTimeline(const ScenarioSpec& spec,
                    });
   std::set<std::string> present;
   std::set<std::string> departed;
+  std::set<std::tuple<double, cas::ChurnAction, std::string>> seen;
   for (const psched::MachineSpec& s : testbed.servers) present.insert(s.name);
   for (const cas::ChurnEvent* e : ordered) {
+    CASCHED_CHECK(seen.emplace(e->time, e->action, e->server).second,
+                  util::strformat("duplicate churn event '%s %s' at t=%g",
+                                  cas::churnActionName(e->action).c_str(),
+                                  e->server.c_str(), e->time));
     if (e->action == cas::ChurnAction::kJoin) {
       CASCHED_CHECK(present.insert(e->server).second && departed.count(e->server) == 0,
                     "churn join reuses server name '" + e->server + "'");
@@ -173,7 +190,6 @@ std::vector<cas::ChurnEvent> buildChurnTimeline(const ScenarioSpec& spec,
       }
     }
   }
-  return events;
 }
 
 }  // namespace
@@ -207,7 +223,25 @@ CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                     ? buildPresetTestbed(spec)
                     : buildTemplateTestbed(spec, seed);
   out.system = buildSystemConfig(spec, seed);
-  out.churn = buildChurnTimeline(spec, out.testbed);
+  out.churn = buildHandChurn(spec);
+  if (spec.faults.enabled()) {
+    std::vector<std::string> serverNames;
+    serverNames.reserve(out.testbed.servers.size());
+    for (const psched::MachineSpec& s : out.testbed.servers) {
+      serverNames.push_back(s.name);
+    }
+    out.faultDomains = resolveFaultDomains(spec.faults, serverNames);
+    std::vector<cas::ChurnEvent> generated =
+        generateFaultTimeline(spec.faults, serverNames, out.faultDomains,
+                              simcore::deriveSeed(seed, kFaultsStream));
+    out.generatedChurn = generated.size();
+    out.churn.insert(out.churn.end(), std::make_move_iterator(generated.begin()),
+                     std::make_move_iterator(generated.end()));
+  }
+  // Hand-written and generated events are validated as one merged timeline:
+  // a generated crash landing on a server the hand timeline already removed
+  // is a spec error, not a silent no-op.
+  validateChurnTimeline(out.churn, out.testbed);
   out.agents = spec.agents;
   CASCHED_CHECK(out.agents.count > 0, "agent count must be positive");
   CASCHED_CHECK(out.agents.syncPeriod > 0.0, "agent sync-period must be positive");

@@ -26,7 +26,13 @@ struct CompiledScenario {
   workload::Metatask metatask;
   platform::Testbed testbed;
   cas::SystemConfig system;
+  /// Hand-written [churn] events followed by the [faults]-generated stream
+  /// (same seed => identical timeline), validated as one merged whole.
   std::vector<cas::ChurnEvent> churn;
+  /// How many of `churn`'s events the [faults] processes generated.
+  std::size_t generatedChurn = 0;
+  /// Resolved correlated-failure domains ([faults] rack/zone tagging).
+  std::vector<FaultDomainSpec> faultDomains;
   /// Multi-agent deployment shape ([agents] section, validated). The
   /// simulator runs the paper's single agent regardless; the live loopback
   /// harness deploys `agents.count` daemons and applies the agent-crash

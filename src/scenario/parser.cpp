@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cas/churn.hpp"
+#include "scenario/faults.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -217,23 +218,110 @@ void addSweepAxis(std::vector<SweepAxis>& sweep, std::size_t line,
 void addChurnEvent(std::vector<ChurnSpec>& churn, std::size_t line,
                    const std::string& key, std::string_view value) {
   if (key != "event") fail(line, "unknown [churn] key '" + key + "'");
-  // time, action, server [, value]
+  // time, action, server [, value[, duration]] - the optional fields are
+  // action-specific: join takes a speed index, crash a downtime, and
+  // slowdown | link a capacity factor plus an optional self-recovery delay.
   const auto fields = commaFields(value);
-  if (fields.size() != 3 && fields.size() != 4) {
-    fail(line, "event wants 'time, action, server[, value]'");
+  if (fields.size() < 3 || fields.size() > 5) {
+    fail(line, "event wants 'time, action, server[, value[, duration]]'");
   }
   ChurnSpec e;
   e.time = parseDouble(line, fields[0]);
   e.action = util::toLower(fields[1]);
+  cas::ChurnAction action;
   try {
-    (void)cas::parseChurnAction(e.action);  // one authoritative action list
+    action = cas::parseChurnAction(e.action);  // one authoritative action list
   } catch (const util::Error& err) {
     fail(line, err.what());
   }
   e.server = fields[2];
   if (e.server.empty()) fail(line, "event needs a server name");
-  if (fields.size() == 4) e.value = parseDouble(line, fields[3]);
+  switch (action) {
+    case cas::ChurnAction::kLeave:
+      if (fields.size() != 3) fail(line, "leave wants 'time, leave, server'");
+      break;
+    case cas::ChurnAction::kJoin:
+      if (fields.size() > 4) fail(line, "join wants 'time, join, server[, speed]'");
+      if (fields.size() == 4) e.value = parseDouble(line, fields[3]);
+      break;
+    case cas::ChurnAction::kCrash:
+      if (fields.size() > 4) fail(line, "crash wants 'time, crash, server[, downtime]'");
+      if (fields.size() == 4) {
+        e.duration = parseDouble(line, fields[3]);
+        if (e.duration <= 0.0) fail(line, "crash downtime must be positive");
+      }
+      break;
+    case cas::ChurnAction::kSlowdown:
+    case cas::ChurnAction::kLink:
+      if (fields.size() >= 4) e.value = parseDouble(line, fields[3]);
+      if (fields.size() == 5) {
+        e.duration = parseDouble(line, fields[4]);
+        if (e.duration <= 0.0) fail(line, "event duration must be positive");
+      }
+      break;
+  }
   churn.push_back(std::move(e));
+}
+
+void setFaultsKey(FaultsSpec& f, std::size_t line, const std::string& key,
+                  std::string_view value) {
+  if (key == "horizon") {
+    f.horizon = parseDouble(line, value);
+  } else if (key == "crash-mtbf") {
+    f.crashMtbf = parseDouble(line, value);
+  } else if (key == "crash-mttr") {
+    f.crashMttr = parseDouble(line, value);
+  } else if (key == "crash-shape") {
+    f.crashShape = parseDouble(line, value);
+  } else if (key == "flap-tick") {
+    f.flapTick = parseDouble(line, value);
+  } else if (key == "flap-stay-up") {
+    f.flapStayUp = parseDouble(line, value);
+  } else if (key == "flap-stay-down") {
+    f.flapStayDown = parseDouble(line, value);
+  } else if (key == "domain") {
+    // name : server, server, ...
+    const std::size_t colon = value.find(':');
+    if (colon == std::string_view::npos) fail(line, "domain wants 'name : servers'");
+    FaultDomainSpec domain;
+    domain.name = std::string(util::trim(value.substr(0, colon)));
+    if (domain.name.empty()) fail(line, "domain needs a name");
+    domain.servers = commaFields(value.substr(colon + 1));
+    if (domain.servers.empty() || domain.servers[0].empty()) {
+      fail(line, "domain needs at least one server");
+    }
+    for (const FaultDomainSpec& existing : f.domains) {
+      if (existing.name == domain.name) {
+        fail(line, "duplicate domain '" + domain.name + "'");
+      }
+    }
+    f.domains.push_back(std::move(domain));
+  } else if (key == "domains") {
+    f.autoDomains = parseCount(line, value);
+    if (f.autoDomains == 0) fail(line, "domains must be positive");
+  } else if (key == "outage-mtbf") {
+    f.outageMtbf = parseDouble(line, value);
+  } else if (key == "outage-mttr") {
+    f.outageMttr = parseDouble(line, value);
+  } else if (key == "slow-mtbf") {
+    f.slowMtbf = parseDouble(line, value);
+  } else if (key == "slow-min") {
+    f.slowMin = parseDouble(line, value);
+  } else if (key == "slow-max") {
+    f.slowMax = parseDouble(line, value);
+  } else if (key == "slow-duration") {
+    f.slowDuration = parseDouble(line, value);
+  } else if (key == "link-mtbf") {
+    f.linkMtbf = parseDouble(line, value);
+  } else if (key == "link-min") {
+    f.linkMin = parseDouble(line, value);
+  } else if (key == "link-max") {
+    f.linkMax = parseDouble(line, value);
+  } else if (key == "link-duration") {
+    f.linkDuration = parseDouble(line, value);
+  } else {
+    fail(line, "unknown [faults] key '" + key + "'");
+  }
 }
 
 void setAgentsKey(AgentsSpec& a, std::size_t line, const std::string& key,
@@ -290,7 +378,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       section = util::toLower(lineView.substr(1, lineView.size() - 2));
       if (section != "scenario" && section != "arrival" && section != "workload" &&
           section != "platform" && section != "system" && section != "churn" &&
-          section != "agents" && section != "campaign" && section != "sweep") {
+          section != "faults" && section != "agents" && section != "campaign" &&
+          section != "sweep") {
         fail(lineNo, "unknown section [" + section + "]");
       }
       continue;
@@ -315,6 +404,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       setPlatformKey(spec.platform, lineNo, key, value);
     } else if (section == "system") {
       setSystemKey(spec.system, lineNo, key, value);
+    } else if (section == "faults") {
+      setFaultsKey(spec.faults, lineNo, key, value);
     } else if (section == "agents") {
       setAgentsKey(spec.agents, lineNo, key, value);
     } else if (section == "campaign") {
@@ -326,6 +417,7 @@ ScenarioSpec parseScenario(const std::string& text) {
     }
   }
   if (spec.name.empty()) throw util::ConfigError("scenario has no name");
+  validateFaultsSpec(spec.faults);
   return spec;
 }
 
@@ -415,7 +507,52 @@ std::string renderScenario(const ScenarioSpec& spec) {
     out << "\n[churn]\n";
     for (const ChurnSpec& e : spec.churn) {
       out << "event = " << util::strformat("%g", e.time) << ", " << e.action << ", "
-          << e.server << ", " << util::strformat("%g", e.value) << "\n";
+          << e.server;
+      if (e.action == "join") {
+        out << ", " << util::strformat("%g", e.value);
+      } else if (e.action == "crash") {
+        if (e.duration > 0.0) out << ", " << util::strformat("%g", e.duration);
+      } else if (e.action == "slowdown" || e.action == "link") {
+        out << ", " << util::strformat("%g", e.value);
+        if (e.duration > 0.0) out << ", " << util::strformat("%g", e.duration);
+      }
+      out << "\n";
+    }
+  }
+
+  const FaultsSpec& f = spec.faults;
+  if (f.enabled()) {
+    out << "\n[faults]\n"
+        << "horizon = " << util::strformat("%g", f.horizon) << "\n";
+    if (f.crashMtbf > 0.0) {
+      out << "crash-mtbf = " << util::strformat("%g", f.crashMtbf) << "\n"
+          << "crash-mttr = " << util::strformat("%g", f.crashMttr) << "\n"
+          << "crash-shape = " << util::strformat("%g", f.crashShape) << "\n";
+    }
+    if (f.flapTick > 0.0) {
+      out << "flap-tick = " << util::strformat("%g", f.flapTick) << "\n"
+          << "flap-stay-up = " << util::strformat("%g", f.flapStayUp) << "\n"
+          << "flap-stay-down = " << util::strformat("%g", f.flapStayDown) << "\n";
+    }
+    for (const FaultDomainSpec& d : f.domains) {
+      out << "domain = " << d.name << " : " << util::join(d.servers, ", ") << "\n";
+    }
+    if (f.autoDomains > 0) out << "domains = " << f.autoDomains << "\n";
+    if (f.outageMtbf > 0.0) {
+      out << "outage-mtbf = " << util::strformat("%g", f.outageMtbf) << "\n"
+          << "outage-mttr = " << util::strformat("%g", f.outageMttr) << "\n";
+    }
+    if (f.slowMtbf > 0.0) {
+      out << "slow-mtbf = " << util::strformat("%g", f.slowMtbf) << "\n"
+          << "slow-min = " << util::strformat("%g", f.slowMin) << "\n"
+          << "slow-max = " << util::strformat("%g", f.slowMax) << "\n"
+          << "slow-duration = " << util::strformat("%g", f.slowDuration) << "\n";
+    }
+    if (f.linkMtbf > 0.0) {
+      out << "link-mtbf = " << util::strformat("%g", f.linkMtbf) << "\n"
+          << "link-min = " << util::strformat("%g", f.linkMin) << "\n"
+          << "link-max = " << util::strformat("%g", f.linkMax) << "\n"
+          << "link-duration = " << util::strformat("%g", f.linkDuration) << "\n";
     }
   }
 

@@ -32,6 +32,15 @@
 ///
 ///   [churn]
 ///   event = 600, leave, grid-1
+///   event = 700, crash, grid-2, 45          # down for 45 s
+///   event = 800, slowdown, grid-0, 0.5, 120 # half speed for 120 s
+///
+///   [faults]                    # generated churn (see scenario/faults.hpp)
+///   horizon = 2400
+///   flap-tick = 10
+///   domains = 3
+///   outage-mtbf = 900
+///   outage-mttr = 150
 
 #include <string>
 

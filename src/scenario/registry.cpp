@@ -490,6 +490,138 @@ mode = replicated
 sync-period = 5
 event = 60, crash, 0, -1
 )"},
+    {"churn/flapping", R"(
+[scenario]
+name = churn/flapping
+description = Generated Markov flapping: every server runs a sticky up/down chain, short outages kill in-flight work
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.3
+
+[system]
+fault-tolerance = true
+max-retries = 8
+report-period = 10
+
+[campaign]
+heuristics = mct, hmct, msf
+baseline = mct
+replications = 3
+
+[faults]
+horizon = 150
+flap-tick = 5
+flap-stay-up = 0.93
+flap-stay-down = 0.5
+)"},
+    {"churn/zone_outage", R"(
+[scenario]
+name = churn/zone_outage
+description = Correlated rack outages: 12 servers in 3 zones, one draw kills a whole zone; bandwidth churn rides along
+
+[arrival]
+process = poisson
+mean = 8
+
+[workload]
+count = 300
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 12
+catalog = uniform
+heterogeneity = 0.3
+
+[system]
+fault-tolerance = true
+max-retries = 8
+cpu-noise = 0.05
+
+[campaign]
+heuristics = mct, hmct, msf
+baseline = mct
+replications = 3
+
+[faults]
+horizon = 2400
+domains = 3
+outage-mtbf = 900
+outage-mttr = 150
+link-mtbf = 600
+link-min = 0.3
+link-max = 0.7
+link-duration = 120
+)"},
+    {"churn/soak", R"(
+[scenario]
+name = churn/soak
+description = Long-horizon soak: every generated fault process at once on a 16-server, 2-agent deployment
+
+[arrival]
+process = poisson
+mean = 12
+
+[workload]
+count = 500
+mix = waste-cpu-200 : 2
+mix = waste-cpu-400 : 1
+mix = waste-cpu-600 : 1
+
+[platform]
+kind = template
+servers = 16
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+max-retries = 10
+cpu-noise = 0.05
+report-period = 15
+
+[campaign]
+heuristics = hmct, msf
+baseline = hmct
+replications = 2
+
+[agents]
+count = 2
+mode = replicated
+sync-period = 10
+
+[faults]
+horizon = 6000
+crash-mtbf = 1500
+crash-mttr = 120
+crash-shape = 1.5
+flap-tick = 20
+flap-stay-up = 0.995
+flap-stay-down = 0.5
+domains = 4
+outage-mtbf = 3000
+outage-mttr = 200
+slow-mtbf = 900
+slow-min = 0.4
+slow-max = 0.8
+slow-duration = 180
+link-mtbf = 900
+link-min = 0.3
+link-max = 0.8
+link-duration = 150
+)"},
     {"mega-cluster", R"(
 [scenario]
 name = mega-cluster

@@ -76,13 +76,71 @@ struct SystemSpec {
   std::string htmSync = "drop-on-notice";
 };
 
-/// One `event = time, action, server[, value]` line of the [churn] section.
-/// `value` is the joiner's speed index (join) or the CPU factor (slowdown).
+/// One `event = time, action, server[, value[, duration]]` line of the
+/// [churn] section. `value` is the joiner's speed index (join) or the
+/// capacity factor (slowdown | link). `duration` is the crash downtime in
+/// seconds (crash's optional 4th field; 0 = the machine's own recovery time)
+/// or, for slowdown | link, the optional 5th field after which the factor
+/// restores to 1.0 on its own (0 = persistent).
 struct ChurnSpec {
   double time = 0.0;
-  std::string action;  ///< join | leave | crash | slowdown
+  std::string action;  ///< join | leave | crash | slowdown | link
   std::string server;
   double value = 1.0;
+  double duration = 0.0;
+};
+
+/// One `domain = name : server, server, ...` line of the [faults] section: a
+/// correlated failure domain (rack/zone). One outage draw kills every member.
+struct FaultDomainSpec {
+  std::string name;
+  std::vector<std::string> servers;
+};
+
+/// [faults] section: seeded generative fault processes, compiled into the
+/// same churn timeline hand-written [churn] events produce. All processes
+/// are disabled by default; enabling any requires a positive horizon. Times
+/// are simulated seconds throughout.
+struct FaultsSpec {
+  /// Generation window: events are drawn in [0, horizon).
+  double horizon = 0.0;
+  /// Per-server crash-repair renewal process: Weibull time-to-failure with
+  /// mean `crashMtbf` and shape `crashShape` (1 = exponential/memoryless,
+  /// >1 = wear-out), exponential repair with mean `crashMttr`.
+  double crashMtbf = 0.0;  ///< 0 disables
+  double crashMttr = 120.0;
+  double crashShape = 1.0;
+  /// Markov flapping: a sticky two-state up/down chain sampled every
+  /// `flapTick` seconds; stay probabilities near 1 make both states sticky.
+  /// Each maximal down run becomes one crash event with that downtime.
+  double flapTick = 0.0;  ///< 0 disables
+  double flapStayUp = 0.98;
+  double flapStayDown = 0.6;
+  /// Correlated failure domains: either explicit `domain = name : servers`
+  /// lines or `domains = N` (round-robin assignment of the platform's
+  /// servers into N zones). One outage draw crashes the whole domain.
+  std::vector<FaultDomainSpec> domains;
+  std::size_t autoDomains = 0;
+  double outageMtbf = 0.0;  ///< 0 disables; per-domain mean time between outages
+  double outageMttr = 180.0;
+  /// CPU slowdown churn: per server, exponential gaps of mean `slowMtbf`
+  /// between episodes, factor uniform in [slowMin, slowMax], episode length
+  /// exponential with mean `slowDuration` (restores to full speed after).
+  double slowMtbf = 0.0;  ///< 0 disables
+  double slowMin = 0.5;
+  double slowMax = 0.9;
+  double slowDuration = 120.0;
+  /// Bandwidth churn on links: same shape as the slowdown process, applied
+  /// to the server's in/out link capacity.
+  double linkMtbf = 0.0;  ///< 0 disables
+  double linkMin = 0.3;
+  double linkMax = 0.8;
+  double linkDuration = 120.0;
+
+  bool enabled() const {
+    return crashMtbf > 0.0 || flapTick > 0.0 || outageMtbf > 0.0 ||
+           slowMtbf > 0.0 || linkMtbf > 0.0;
+  }
 };
 
 /// One `event = time, crash, <agent-index>[, restart-after]` line of the
@@ -142,6 +200,7 @@ struct ScenarioSpec {
   PlatformSpec platform;
   SystemSpec system;
   std::vector<ChurnSpec> churn;
+  FaultsSpec faults;
   AgentsSpec agents;
   CampaignSpec campaign;
   std::vector<SweepAxis> sweep;

@@ -425,6 +425,43 @@ TEST(NetRuntime, LiveLoopbackScenarioMatchesSimulatorCounts) {
   EXPECT_NE(json.find("\"scenario\": \"live-loopback\""), std::string::npos);
 }
 
+TEST(NetRuntime, GeneratedChurnReplaysIdenticallyLiveAndSimulated) {
+  // The acceptance bar for the stochastic churn engine: the live TCP
+  // deployment and the simulator compile one scenario + seed into the SAME
+  // generated fault timeline (equal digests), and under that churn - Markov
+  // flapping killing in-flight work - the fault-tolerant run completes every
+  // task on both sides.
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 45.0;
+  const LiveRunReport live = runLoopbackScenario("churn/flapping", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_GT(live.generatedChurn, 0u);
+  EXPECT_EQ(live.churnSkipped, 0u);  // every dispatched event found its daemon
+  EXPECT_GE(live.churnPlanned.crashes, 1u);
+  EXPECT_GT(live.churnPlanned.meanDowntime, 0.0);
+
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(scenario::findScenario("churn/flapping"), options.seed);
+  EXPECT_EQ(compiled.generatedChurn, live.generatedChurn);
+  EXPECT_EQ(scenario::churnTimelineDigest(compiled.churn), live.churnDigest);
+
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(live.completed, sim.completedCount());
+  EXPECT_EQ(live.lost, sim.lostCount());
+  EXPECT_EQ(live.lost, 0u);
+  EXPECT_EQ(live.completed, compiled.metatask.size());
+
+  // The JSON record proves the replay (digest + planned summary travel).
+  const std::string json = liveRunJson(live);
+  EXPECT_NE(json.find("\"churn_digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"generated_churn\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_downtime\""), std::string::npos);
+}
+
 TEST(MultiAgent, MutualPeerConfigurationKeepsOneLinkPerPair) {
   // Operators naturally configure both agents with each other's address; the
   // hello exchange must collapse the resulting double link to the one dialed

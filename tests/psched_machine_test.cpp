@@ -180,6 +180,80 @@ TEST(Machine, RecoveryAfterCollapse) {
   EXPECT_TRUE(done);
 }
 
+TEST(Machine, ForceCollapseDowntimeOverridesRecoverySeconds) {
+  simcore::Simulator sim;
+  Machine m(sim, simpleSpec());  // recoverySeconds = 100
+  ASSERT_TRUE(m.forceCollapse(7.5));
+  EXPECT_FALSE(m.up());
+  // Down means down: a second injected crash is a no-op.
+  EXPECT_FALSE(m.forceCollapse(3.0));
+  sim.run();
+  EXPECT_TRUE(m.up());
+  EXPECT_NEAR(sim.now(), 7.5, 1e-9);
+  EXPECT_EQ(m.stats().collapses, 1u);
+
+  // Downtime 0 keeps the machine's own recovery time (flapping events carry
+  // explicit downtimes; hand-written crashes keep the old behaviour).
+  ASSERT_TRUE(m.forceCollapse());
+  sim.run();
+  EXPECT_NEAR(sim.now(), 107.5, 1e-9);
+}
+
+TEST(Machine, ChurnSlowdownRestoresOnItsOwn) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = 0.0;
+  spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  ExecRecord result;
+  // Half speed for the first 5 s, full speed after: 2.5 of the 5 s of compute
+  // demand are done at the restore, the rest finishes at t=7.5.
+  m.setChurnSpeedFactor(0.5, 5.0);
+  ASSERT_TRUE(m.submit(request(1, 0.0, 5.0, 0.0), [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  EXPECT_EQ(result.status, ExecStatus::kCompleted);
+  EXPECT_NEAR(result.endTime, 7.5, 1e-9);
+
+  // A later explicit set cancels the pending restore (no stray event fires).
+  m.setChurnSpeedFactor(0.5, 5.0);
+  m.setChurnSpeedFactor(0.25);
+  ExecRecord second;
+  ASSERT_TRUE(m.submit(request(2, 0.0, 1.0, 0.0), [&](const ExecRecord& r) { second = r; }));
+  sim.run();
+  EXPECT_NEAR(second.endTime - second.computeStart, 4.0, 1e-9);
+}
+
+TEST(Machine, ChurnLinkFactorComposesWithNoiseAndRestores) {
+  simcore::Simulator sim;
+  MachineSpec spec = simpleSpec();
+  spec.latencyIn = 0.0;
+  spec.latencyOut = 0.0;
+  Machine m(sim, spec);
+  // 20 MB over a 10 MB/s link at factor 0.5 -> 4 s instead of 2; the noise
+  // factor multiplies on top.
+  m.setChurnLinkFactor(0.5);
+  ExecRecord result;
+  ASSERT_TRUE(m.submit(request(1, 20.0, 0.0, 0.0), [&](const ExecRecord& r) { result = r; }));
+  sim.run();
+  EXPECT_NEAR(result.computeStart - result.inputStart, 4.0, 1e-9);
+
+  m.setLinkNoiseFactor(0.5);  // composes: effective factor 0.25
+  ExecRecord noisy;
+  ASSERT_TRUE(m.submit(request(2, 20.0, 0.0, 0.0), [&](const ExecRecord& r) { noisy = r; }));
+  sim.run();
+  EXPECT_NEAR(noisy.computeStart - noisy.inputStart, 8.0, 1e-9);
+
+  // Bandwidth churn episode ends: only the noise factor remains.
+  m.setLinkNoiseFactor(1.0);
+  m.setChurnLinkFactor(0.5, 1000.0);
+  sim.scheduleAfter(2000.0, [] {});  // idle past the episode's end
+  sim.run();
+  ExecRecord after;
+  ASSERT_TRUE(m.submit(request(3, 20.0, 0.0, 0.0), [&](const ExecRecord& r) { after = r; }));
+  sim.run();
+  EXPECT_NEAR(after.computeStart - after.inputStart, 2.0, 1e-9);
+}
+
 TEST(Machine, LoadAverageRisesWhileBusy) {
   simcore::Simulator sim;
   MachineSpec spec = simpleSpec();

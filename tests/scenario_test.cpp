@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "util/error.hpp"
 
 #include "cas/system.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/generate.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
@@ -140,7 +142,8 @@ TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
         "ablation/rate_sweep", "ablation/staleness", "ablation/htm_sync",
         "ablation/memory_aware", "burst-storm", "diurnal-day", "heavy-tail",
         "flash-crowd", "churny-grid", "mega-cluster", "live-loopback",
-        "multi-agent-loopback", "multi-agent-failover"}) {
+        "multi-agent-loopback", "multi-agent-failover", "churn/flapping",
+        "churn/zone_outage", "churn/soak"}) {
     EXPECT_TRUE(hasScenario(expected)) << expected;
   }
   EXPECT_FALSE(hasScenario("no-such-scenario"));
@@ -157,6 +160,7 @@ TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
 TEST(ScenarioRegistry, PrefixGroupsAndEnumeratingErrors) {
   EXPECT_EQ(scenarioNamesWithPrefix("paper/").size(), 4u);
   EXPECT_EQ(scenarioNamesWithPrefix("ablation/").size(), 4u);
+  EXPECT_EQ(scenarioNamesWithPrefix("churn/").size(), 3u);
   EXPECT_TRUE(scenarioNamesWithPrefix("no-such-prefix/").empty());
   // Unknown-scenario errors enumerate the registry.
   try {
@@ -327,6 +331,238 @@ TEST(ScenarioChurn, ChurnyGridLosesNothingWithFaultTolerance) {
   EXPECT_GE(result.churn.joins, 1u);
   EXPECT_GE(result.churn.leaves, 1u);
   EXPECT_GE(result.churn.crashes, 1u);
+}
+
+TEST(ScenarioParser, ParsesTheFaultsSectionAndExtendedChurnEvents) {
+  const ScenarioSpec soak = findScenario("churn/soak");
+  EXPECT_DOUBLE_EQ(soak.faults.horizon, 6000.0);
+  EXPECT_DOUBLE_EQ(soak.faults.crashMtbf, 1500.0);
+  EXPECT_DOUBLE_EQ(soak.faults.crashShape, 1.5);
+  EXPECT_DOUBLE_EQ(soak.faults.flapTick, 20.0);
+  EXPECT_DOUBLE_EQ(soak.faults.flapStayUp, 0.995);
+  EXPECT_EQ(soak.faults.autoDomains, 4u);
+  EXPECT_DOUBLE_EQ(soak.faults.outageMtbf, 3000.0);
+  EXPECT_DOUBLE_EQ(soak.faults.slowMin, 0.4);
+  EXPECT_DOUBLE_EQ(soak.faults.linkDuration, 150.0);
+  EXPECT_TRUE(soak.faults.enabled());
+  // A spec without the section keeps every process disabled and renders
+  // without it.
+  const ScenarioSpec plain = findScenario("churny-grid");
+  EXPECT_FALSE(plain.faults.enabled());
+  EXPECT_EQ(renderScenario(plain).find("[faults]"), std::string::npos);
+
+  // Extended churn grammar: crash downtime, slowdown/link durations, and
+  // explicit domain tagging all round-trip.
+  const std::string text = R"(
+[scenario]
+name = extended
+[workload]
+mix = waste-cpu-200
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+[churn]
+event = 10, crash, grid-0, 45
+event = 20, slowdown, grid-1, 0.5, 120
+event = 30, link, grid-2, 0.25, 60
+[faults]
+horizon = 500
+outage-mtbf = 200
+outage-mttr = 50
+domain = rack-a : grid-0, grid-1
+domain = rack-b : grid-2, grid-3
+)";
+  const ScenarioSpec spec = parseScenario(text);
+  ASSERT_EQ(spec.churn.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.churn[0].duration, 45.0);
+  EXPECT_DOUBLE_EQ(spec.churn[1].value, 0.5);
+  EXPECT_DOUBLE_EQ(spec.churn[1].duration, 120.0);
+  EXPECT_EQ(spec.churn[2].action, "link");
+  ASSERT_EQ(spec.faults.domains.size(), 2u);
+  EXPECT_EQ(spec.faults.domains[1].name, "rack-b");
+  EXPECT_EQ(spec.faults.domains[1].servers,
+            (std::vector<std::string>{"grid-2", "grid-3"}));
+  const ScenarioSpec reparsed = parseScenario(renderScenario(spec));
+  EXPECT_EQ(renderScenario(reparsed), renderScenario(spec));
+  // The compiled timeline carries the semantics into cas::ChurnEvent.
+  const CompiledScenario compiled = compileScenario(spec, 5);
+  EXPECT_EQ(compiled.churn[0].action, cas::ChurnAction::kCrash);
+  EXPECT_DOUBLE_EQ(compiled.churn[0].duration, 45.0);
+  EXPECT_EQ(compiled.churn[2].action, cas::ChurnAction::kLink);
+  ASSERT_EQ(compiled.faultDomains.size(), 2u);
+}
+
+TEST(ScenarioParser, RejectsMalformedFaultsAndChurn) {
+  const auto wrap = [](const std::string& body) {
+    return "[scenario]\nname = x\n[workload]\nmix = waste-cpu-200\n" + body;
+  };
+  // [faults] structural errors surface at parse time.
+  EXPECT_THROW(parseScenario(wrap("[faults]\ncrash-mtbf = 100\n")),
+               util::ConfigError);  // no horizon
+  EXPECT_THROW(parseScenario(wrap("[faults]\nhorizon = 10\nflap-tick = 5\n"
+                                  "flap-stay-up = 1.5\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("[faults]\nhorizon = 10\noutage-mtbf = 5\n")),
+               util::ConfigError);  // outage without domains
+  EXPECT_THROW(parseScenario(wrap("[faults]\nhorizon = 10\noutage-mtbf = 5\n"
+                                  "domains = 2\ndomain = a : s1\n")),
+               util::ConfigError);  // both domain styles
+  EXPECT_THROW(parseScenario(wrap("[faults]\nhorizon = 10\nslow-mtbf = 5\n"
+                                  "slow-min = 0.9\nslow-max = 0.5\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("[faults]\nbogus = 1\n")), util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("[faults]\ndomain = a : s1\n")),
+               util::ConfigError);  // domains without an outage process
+  EXPECT_THROW(parseScenario(wrap("[faults]\nflap-tick = -5\n")),
+               util::ConfigError);  // negative rates never silently disable
+  // Extended churn grammar errors.
+  EXPECT_THROW(parseScenario(wrap("[churn]\nevent = 5, crash, s, 0\n")),
+               util::ConfigError);  // zero downtime
+  EXPECT_THROW(parseScenario(wrap("[churn]\nevent = 5, crash, s, 10, 3\n")),
+               util::ConfigError);  // crash takes no duration field
+  EXPECT_THROW(parseScenario(wrap("[churn]\nevent = 5, leave, s, 1\n")),
+               util::ConfigError);  // leave takes no value
+  EXPECT_THROW(parseScenario(wrap("[churn]\nevent = 5, slowdown, s, 0.5, -1\n")),
+               util::ConfigError);
+}
+
+TEST(ScenarioFaults, SameSeedIsByteIdenticalDifferentSeedsDiffer) {
+  const ScenarioSpec spec = findScenario("churn/soak");
+  std::vector<std::string> servers;
+  for (std::size_t i = 0; i < 16; ++i) {
+    servers.push_back("grid-" + std::to_string(i));
+  }
+  const auto domains = resolveFaultDomains(spec.faults, servers);
+  const auto a = generateFaultTimeline(spec.faults, servers, domains, 99);
+  const auto b = generateFaultTimeline(spec.faults, servers, domains, 99);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].action, b[i].action);
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_DOUBLE_EQ(a[i].factor, b[i].factor);
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+  }
+  EXPECT_EQ(churnTimelineDigest(a), churnTimelineDigest(b));
+  const auto c = generateFaultTimeline(spec.faults, servers, domains, 100);
+  EXPECT_NE(churnTimelineDigest(a), churnTimelineDigest(c));
+
+  // The compiled scenario embeds the same determinism end to end: two
+  // compilations at one seed carry identical merged timelines.
+  const CompiledScenario x = compileScenario(spec, 7);
+  const CompiledScenario y = compileScenario(spec, 7);
+  EXPECT_GT(x.generatedChurn, 0u);
+  EXPECT_EQ(churnTimelineDigest(x.churn), churnTimelineDigest(y.churn));
+  EXPECT_NE(churnTimelineDigest(x.churn),
+            churnTimelineDigest(compileScenario(spec, 8).churn));
+}
+
+TEST(ScenarioFaults, GeneratedProcessesRespectTheirShapes) {
+  FaultsSpec faults;
+  faults.horizon = 10000.0;
+  faults.crashMtbf = 500.0;
+  faults.crashMttr = 50.0;
+  const std::vector<std::string> servers{"a", "b"};
+  const auto crashes = generateFaultTimeline(faults, servers, {}, 3);
+  ASSERT_FALSE(crashes.empty());
+  double last = 0.0;
+  for (const cas::ChurnEvent& e : crashes) {
+    EXPECT_EQ(e.action, cas::ChurnAction::kCrash);
+    EXPECT_GT(e.duration, 0.0);
+    EXPECT_LT(e.time, faults.horizon);
+    EXPECT_GE(e.time, last);  // sorted
+    last = e.time;
+  }
+
+  // Flapping: down runs are tick-quantized and never overlap per server.
+  FaultsSpec flap;
+  flap.horizon = 2000.0;
+  flap.flapTick = 10.0;
+  flap.flapStayUp = 0.9;
+  flap.flapStayDown = 0.5;
+  const auto flaps = generateFaultTimeline(flap, {"s"}, {}, 11);
+  ASSERT_FALSE(flaps.empty());
+  double prevEnd = -1.0;
+  for (const cas::ChurnEvent& e : flaps) {
+    EXPECT_GE(e.time, prevEnd);
+    prevEnd = e.time + e.duration;
+    EXPECT_NEAR(std::fmod(e.duration + 1e-9, flap.flapTick), 0.0, 1e-6);
+  }
+
+  // Domain outages: every member crashes at the same instant with the same
+  // downtime, and the summary sees the whole domain dead at once.
+  FaultsSpec outage;
+  outage.horizon = 5000.0;
+  outage.outageMtbf = 800.0;
+  outage.outageMttr = 100.0;
+  outage.autoDomains = 2;
+  const std::vector<std::string> grid{"g0", "g1", "g2", "g3"};
+  const auto zones = resolveFaultDomains(outage, grid);
+  ASSERT_EQ(zones.size(), 2u);
+  EXPECT_EQ(zones[0].servers, (std::vector<std::string>{"g0", "g2"}));
+  const auto events = generateFaultTimeline(outage, grid, zones, 21);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.size() % 2, 0u);  // zones of two servers die in pairs
+  const ChurnTimelineSummary summary = summarizeChurnTimeline(events, zones);
+  EXPECT_EQ(summary.crashes, events.size());
+  EXPECT_GE(summary.maxConcurrentDeadDomains, 1u);
+  EXPECT_GE(summary.maxConcurrentDown, 2u);
+  EXPECT_GT(summary.meanDowntime, 0.0);
+
+  // Capacity churn factors stay inside the configured band.
+  FaultsSpec slow;
+  slow.horizon = 5000.0;
+  slow.slowMtbf = 300.0;
+  slow.slowMin = 0.4;
+  slow.slowMax = 0.8;
+  slow.slowDuration = 60.0;
+  for (const cas::ChurnEvent& e : generateFaultTimeline(slow, {"s"}, {}, 5)) {
+    EXPECT_EQ(e.action, cas::ChurnAction::kSlowdown);
+    EXPECT_GE(e.factor, 0.4);
+    EXPECT_LE(e.factor, 0.8);
+    EXPECT_GT(e.duration, 0.0);
+  }
+}
+
+TEST(ScenarioFaults, CompileRejectsBadDomainsAndDuplicateEvents) {
+  // Domain naming an unknown server fails at compile time.
+  ScenarioSpec spec = findScenario("churn/zone_outage");
+  spec.faults.autoDomains = 0;
+  spec.faults.domains = {{"rack-a", {"grid-0", "no-such-server"}}};
+  EXPECT_THROW(compileScenario(spec, 1), util::ConfigError);
+
+  // A server in two domains is ambiguous.
+  ScenarioSpec twice = findScenario("churn/zone_outage");
+  twice.faults.autoDomains = 0;
+  twice.faults.domains = {{"a", {"grid-0"}}, {"b", {"grid-0"}}};
+  EXPECT_THROW(compileScenario(twice, 1), util::ConfigError);
+
+  // Exact duplicate churn events are rejected at compile time (they used to
+  // silently no-op in the live path).
+  ScenarioSpec dup = findScenario("churny-grid");
+  dup.churn.push_back(dup.churn.front());
+  EXPECT_THROW(compileScenario(dup, 1), util::Error);
+}
+
+TEST(ScenarioFaults, FlappingAndZoneOutageScenariosLoseNothing) {
+  const CompiledScenario flapping =
+      compileScenario(findScenario("churn/flapping"), 7);
+  EXPECT_GT(flapping.generatedChurn, 0u);
+  const metrics::RunResult result = runScenario(flapping, "hmct");
+  EXPECT_EQ(result.completedCount(), flapping.metatask.size());
+  EXPECT_EQ(result.lostCount(), 0u);
+  EXPECT_GE(result.churn.crashes, 1u);
+
+  const CompiledScenario zones =
+      compileScenario(findScenario("churn/zone_outage"), 42);
+  EXPECT_EQ(zones.faultDomains.size(), 3u);
+  EXPECT_GT(zones.generatedChurn, 0u);
+  const ChurnTimelineSummary summary =
+      summarizeChurnTimeline(zones.churn, zones.faultDomains);
+  EXPECT_GE(summary.crashes, 1u);
+  EXPECT_GE(summary.linkEvents, 1u);
 }
 
 TEST(ScenarioSweep, ExpandsTheCrossProductInOrder) {

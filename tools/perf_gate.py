@@ -10,6 +10,10 @@ shapes. A scenario whose normalized throughput drifts outside
 scenario that got slower (or suspiciously faster) *relative to the rest of
 the suite*.
 
+When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), the comparison is
+also appended there as a Markdown table (scenario, baseline, current, delta %)
+so every CI leg shows its perf picture without digging through logs.
+
 Usage:
     perf_gate.py CURRENT_JSON BASELINE_JSON [--tolerance 0.25]
     perf_gate.py CURRENT_JSON BASELINE_JSON --update   # rewrite the baseline
@@ -19,6 +23,7 @@ Only the Python standard library is used.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -46,6 +51,30 @@ def median(values):
 def normalize(scenarios):
     med = median(list(scenarios.values()))
     return {name: eps / med for name, eps in scenarios.items()}, med
+
+
+def write_step_summary(rows, unbaselined, missing, tolerance, failed):
+    """Appends a Markdown comparison table to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### Perf gate ({}, tolerance ±{:.0%})".format(
+            "FAIL" if failed else "PASS", tolerance),
+        "",
+        "| scenario | baseline (norm) | current (norm) | delta % | |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base_norm, cur_norm, ratio, over in rows:
+        lines.append("| {} | {:.3f} | {:.3f} | {:+.1f}% | {} |".format(
+            name, base_norm, cur_norm, (ratio - 1.0) * 100.0,
+            ":x:" if over else ""))
+    for name in unbaselined:
+        lines.append(f"| {name} | - | NEW | - | :x: |")
+    for name in missing:
+        lines.append(f"| {name} | MISSING | - | - | :x: |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n\n")
 
 
 def main():
@@ -91,15 +120,18 @@ def main():
     base_shared, _ = normalize({n: baseline[n] for n in shared})
 
     failures = []
+    summary_rows = []
     print(f"perf gate: tolerance +/-{args.tolerance:.0%}, "
           f"{len(shared)} shared scenarios")
     print(f"{'scenario':<28} {'current':>12} {'norm':>7} {'base norm':>9} {'ratio':>7}")
     for name in shared:
         ratio = cur_shared[name] / base_shared[name]
+        over = abs(ratio - 1.0) > args.tolerance
         flag = ""
-        if abs(ratio - 1.0) > args.tolerance:
+        if over:
             flag = "  << FAIL"
             failures.append((name, ratio))
+        summary_rows.append((name, base_shared[name], cur_shared[name], ratio, over))
         print(f"{name:<28} {current[name]:>12,.0f} {cur_shared[name]:>7.3f} "
               f"{base_shared[name]:>9.3f} {ratio:>7.3f}{flag}")
 
@@ -115,6 +147,8 @@ def main():
     # (e.g. a registry entry was dropped or renamed without touching the
     # baseline), and an unbaselined scenario means the gate is not guarding
     # the new entry yet.
+    failed = bool(unbaselined or missing or failures)
+    write_step_summary(summary_rows, unbaselined, missing, args.tolerance, failed)
     if unbaselined:
         print(f"perf gate: FAIL - scenario(s) not in the baseline: "
               f"{', '.join(unbaselined)}; regenerate it with --update")
