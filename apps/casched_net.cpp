@@ -1,5 +1,5 @@
-/// casched_net: the distributed runtime's command-line front end. Four
-/// subcommands cover deployment and demonstration:
+/// casched_net: the distributed runtime's command-line front end. Five
+/// subcommands cover deployment, demonstration and operations:
 ///
 ///   casched_net agent  [flags]   run an agent daemon (scheduling core + TCP)
 ///   casched_net server [flags]   run one computational-server daemon
@@ -7,16 +7,20 @@
 ///                                against a live agent
 ///   casched_net demo   [flags]   in-process loopback deployment: 1 agent +
 ///                                N servers + scenario client + live churn
+///   casched_net stats  [flags]   fetch a live agent's metrics registry over
+///                                the wire protocol (kStatsRequest)
 ///
 /// agent/server/client run as separate OS processes speaking the wire
 /// protocol over TCP; demo is the one-command version for CI and first runs.
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/htm.hpp"
@@ -24,13 +28,18 @@
 #include "net/client_driver.hpp"
 #include "net/loopback.hpp"
 #include "net/server_daemon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/calibration.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/generate.hpp"
 #include "scenario/registry.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
+#include "wire/messages.hpp"
+#include "wire/tcp_transport.hpp"
 
 namespace {
 
@@ -56,6 +65,12 @@ void writeOrPrint(const std::string& path, const std::string& text) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Shared `--log-level` plumbing: parseLogLevel rejects unknown names with
+/// the full list, so a typo fails fast instead of silently logging at warn.
+void applyLogLevel(const util::ArgParser& args) {
+  util::Log::setLevel(util::parseLogLevel(args.getString("log-level")));
+}
+
 int runAgent(int argc, const char* const* argv) {
   util::ArgParser args("casched_net agent", "Run the agent daemon");
   args.addInt("port", 0, "listening port on 127.0.0.1 (0 picks a free port)");
@@ -75,7 +90,11 @@ int runAgent(int argc, const char* const* argv) {
                  "sim seconds between kAgentSync broadcasts and snapshot saves");
   args.addString("snapshot", "",
                  "HTM snapshot file: warm-start source at boot, rewritten every sync");
+  args.addInt("metrics-port", -1,
+              "loopback HTTP port serving the metrics registry (-1 disables, 0 picks)");
+  args.addString("log-level", "warn", "trace | debug | info | warn | error | off");
   if (!args.parse(argc, argv)) return 0;
+  applyLogLevel(args);
 
   net::AgentDaemonConfig config;
   config.port = static_cast<std::uint16_t>(args.getInt("port"));
@@ -89,6 +108,7 @@ int runAgent(int argc, const char* const* argv) {
   config.mode = net::parseAgentMode(args.getString("mode"));
   config.syncPeriod = args.getDouble("sync-period");
   config.snapshotPath = args.getString("snapshot");
+  config.metricsPort = static_cast<int>(args.getInt("metrics-port"));
   if (!args.getString("peers").empty()) {
     for (const std::string& peer : util::split(args.getString("peers"), ',')) {
       config.peers.push_back(std::string(util::trim(peer)));
@@ -101,6 +121,9 @@ int runAgent(int argc, const char* const* argv) {
             << ") listening on 127.0.0.1:" << daemon.port();
   if (daemon.warmStartedRows() > 0) {
     std::cout << ", warm-started " << daemon.warmStartedRows() << " HTM rows";
+  }
+  if (daemon.metricsHttpPort() != 0) {
+    std::cout << ", metrics on 127.0.0.1:" << daemon.metricsHttpPort();
   }
   std::cout << "\n";
   daemon.run(gStop);
@@ -121,7 +144,9 @@ int runServer(int argc, const char* const* argv) {
   args.addDouble("report-period", 30.0, "load-report period, sim seconds");
   args.addDouble("heartbeat-period", 5.0, "heartbeat period, sim seconds");
   args.addDouble("scale", 1.0, "simulated seconds per wall second");
+  args.addString("log-level", "warn", "trace | debug | info | warn | error | off");
   if (!args.parse(argc, argv)) return 0;
+  applyLogLevel(args);
   const auto port = static_cast<std::uint16_t>(args.getInt("agent-port"));
   if (port == 0) throw util::ConfigError("server needs --agent-port");
 
@@ -193,7 +218,15 @@ int runDemo(int argc, const char* const* argv) {
                "also run the simulator on the same spec and compare counts");
   args.addInt("max-lost", -1,
               "fail when more than this many tasks are lost (-1 disables)");
+  args.addString("trace", "",
+                 "write the task-lifecycle trace here (Chrome trace-event JSON)");
+  args.addString("metrics-out", "", "write the final metrics registry (JSON) here");
+  args.addString("log-level", "warn", "trace | debug | info | warn | error | off");
   if (!args.parse(argc, argv)) return 0;
+  applyLogLevel(args);
+
+  const bool tracing = !args.getString("trace").empty();
+  if (tracing) obs::TraceBuffer::global().enable(1 << 16);
 
   net::LiveRunOptions options;
   options.heuristic = args.getString("heuristic");
@@ -247,6 +280,13 @@ int runDemo(int argc, const char* const* argv) {
   if (!args.getString("json").empty()) {
     writeOrPrint(args.getString("json"), net::liveRunJson(report));
   }
+  if (tracing) {
+    writeOrPrint(args.getString("trace"), obs::TraceBuffer::global().chromeTraceJson());
+    obs::TraceBuffer::global().disable();
+  }
+  if (!args.getString("metrics-out").empty()) {
+    writeOrPrint(args.getString("metrics-out"), obs::Registry::global().snapshot().json());
+  }
 
   int rc = report.timedOut || report.completed + report.lost != report.tasks ? 1 : 0;
   const long long maxLost = args.getInt("max-lost");
@@ -280,12 +320,58 @@ int runDemo(int argc, const char* const* argv) {
   return rc;
 }
 
+int runStats(int argc, const char* const* argv) {
+  util::ArgParser args("casched_net stats",
+                       "Fetch a live agent's metrics registry over the wire protocol");
+  args.addString("host", "127.0.0.1", "agent address");
+  args.addInt("port", 0, "agent port (required)");
+  args.addString("format", "prometheus", "prometheus | json");
+  args.addDouble("timeout", 10.0, "wall-clock budget for the reply, seconds");
+  args.addString("out", "", "write the snapshot here instead of stdout");
+  if (!args.parse(argc, argv)) return 0;
+  const auto port = static_cast<std::uint16_t>(args.getInt("port"));
+  if (port == 0) throw util::ConfigError("stats needs --port");
+  // Validate locally before dialing, so a typo is one round trip cheaper.
+  obs::parseStatsFormat(args.getString("format"));
+
+  auto transport = wire::TcpTransport::connect(args.getString("host"), port);
+  wire::StatsRequestMsg request;
+  request.format = args.getString("format");
+  transport->send(wire::MessageType::kStatsRequest, wire::encode(request));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(args.getDouble("timeout"));
+  while (std::chrono::steady_clock::now() < deadline &&
+         !gStop.load(std::memory_order_relaxed)) {
+    bool done = false;
+    int rc = 0;
+    transport->poll([&](wire::Frame frame) {
+      if (frame.type != wire::MessageType::kStatsReply) return;
+      const wire::StatsReplyMsg reply = wire::decodeStatsReply(frame.payload);
+      done = true;
+      if (reply.format == "error") {
+        std::cerr << "casched_net stats: agent rejected the request: " << reply.body
+                  << "\n";
+        rc = 1;
+        return;
+      }
+      std::cerr << "agent " << reply.agentName << " @ sim t=" << reply.sampleTime
+                << " (" << reply.format << ")\n";
+      writeOrPrint(args.getString("out"), reply.body);
+    });
+    if (done) return rc;
+    if (transport->closed()) throw util::IoError("agent closed the connection");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  throw util::IoError("timed out waiting for the stats reply");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   installSignalHandlers();
   const std::string usage =
-      "usage: casched_net <agent|server|client|demo> [flags]\n"
+      "usage: casched_net <agent|server|client|demo|stats> [flags]\n"
       "       casched_net <subcommand> --help for per-subcommand flags\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -300,6 +386,7 @@ int main(int argc, char** argv) {
     if (sub == "server") return runServer(subArgc, subArgv);
     if (sub == "client") return runClient(subArgc, subArgv);
     if (sub == "demo") return runDemo(subArgc, subArgv);
+    if (sub == "stats") return runStats(subArgc, subArgv);
     std::cerr << "unknown subcommand '" << sub << "'\n" << usage;
     return 2;
   } catch (const util::Error& e) {

@@ -12,9 +12,21 @@
 /// Groups: all | paper | ablations | churn | traffic, or an explicit comma
 /// list.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/decision.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+void writeFileOrDie(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw casched::util::IoError("cannot write '" + path + "'");
+  out << text << "\n";
+  std::cout << "[wrote " << path << "]\n";
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace casched;
@@ -24,6 +36,11 @@ int main(int argc, char** argv) {
                  "scenario group: all | paper | ablations | churn | traffic");
   args.addString("scenarios", "", "explicit comma-separated list (overrides --suite)");
   args.addString("json", "suite", "base name of the aggregated JSON record");
+  args.addString("trace", "",
+                 "write the task-lifecycle trace here (Chrome trace-event JSON; "
+                 "forces --threads 1 so the spans form one coherent timeline)");
+  args.addString("decisions", "",
+                 "write heuristic decision records here (JSON; forces --threads 1)");
   bench::addSuiteFlags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
@@ -31,7 +48,16 @@ int main(int argc, char** argv) {
         bench::resolveScenarioList(args.getString("scenarios").empty()
                                        ? args.getString("suite")
                                        : args.getString("scenarios"));
-    const exp::SuiteOptions options = bench::suiteOptionsFromFlags(args);
+    exp::SuiteOptions options = bench::suiteOptionsFromFlags(args);
+    const bool tracing = !args.getString("trace").empty();
+    const bool introspecting = !args.getString("decisions").empty();
+    if (tracing || introspecting) {
+      // Interleaved replication threads would shuffle records from unrelated
+      // runs into one buffer; a single thread keeps the export readable.
+      options.threads = 1;
+      if (tracing) obs::TraceBuffer::global().enable(1 << 18);
+      if (introspecting) obs::DecisionLog::global().enable(1 << 16);
+    }
 
     exp::SuiteResult suite;
     suite.seed = options.seed;
@@ -42,6 +68,11 @@ int main(int argc, char** argv) {
       bench::printSuiteScenario(suite.scenarios.back());
       std::cout << "\n";
     }
+
+    if (tracing) writeFileOrDie(args.getString("trace"),
+                                obs::TraceBuffer::global().chromeTraceJson());
+    if (introspecting) writeFileOrDie(args.getString("decisions"),
+                                      obs::DecisionLog::global().json());
 
     exp::emitSuite(suite, args.getString("out"), args.getString("json"));
     std::cout << "[wrote " << args.getString("out") << "/<scenario>.{txt,csv} and "

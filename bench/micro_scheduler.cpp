@@ -7,6 +7,9 @@
 
 #include "core/htm.hpp"
 #include "core/schedulers.hpp"
+#include "obs/decision.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simcore/rng.hpp"
 
 namespace {
@@ -88,6 +91,55 @@ BENCHMARK_TEMPLATE(BM_Decision, core::HmctScheduler)->Arg(16)->Arg(64);
 BENCHMARK_TEMPLATE(BM_Decision, core::MpScheduler)->Arg(16)->Arg(64);
 BENCHMARK_TEMPLATE(BM_Decision, core::MsfScheduler)->Arg(16)->Arg(64);
 BENCHMARK_TEMPLATE(BM_Decision, core::MniScheduler)->Arg(16)->Arg(64);
+
+// --- instrumentation overhead (the observability layer's compiled-in cost) ---
+//
+// The pair below runs the same decision loop bare and with the exact obs
+// calls cas::Agent makes per scheduled task: always-on counter increments
+// plus the enabled() gates of the trace/decision rings (no sink attached, so
+// the gated bodies never run). The perf gate compares the two medians and
+// fails when the instrumented loop is more than 5% slower.
+
+void BM_ObsOverheadBare(benchmark::State& state) {
+  const core::HistoricalTraceManager htm = makeLoadedHtm(4, 16);
+  const core::ScheduleQuery query = makeQuery(htm, 2.0);
+  core::MsfScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.choose(query));
+  }
+}
+BENCHMARK(BM_ObsOverheadBare);
+
+void BM_ObsOverheadInstrumented(benchmark::State& state) {
+  const core::HistoricalTraceManager htm = makeLoadedHtm(4, 16);
+  const core::ScheduleQuery query = makeQuery(htm, 2.0);
+  core::MsfScheduler scheduler;
+  auto& reg = obs::Registry::global();
+  obs::Counter& submitted = reg.counter("bench_obs_submitted_total");
+  obs::Counter& decisions = reg.counter("bench_obs_decisions_total");
+  obs::Counter& completed = reg.counter("bench_obs_completed_total");
+  obs::Histogram& flow = reg.histogram(
+      "bench_obs_flow_seconds", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  obs::DecisionLog& decisionLog = obs::DecisionLog::global();
+  trace.disable();
+  decisionLog.disable();
+  for (auto _ : state) {
+    submitted.inc();
+    const core::ScheduleDecision d = scheduler.choose(query);
+    benchmark::DoNotOptimize(d);
+    decisions.inc();
+    if (trace.enabled()) {
+      trace.push({1, obs::TaskPhase::kDecide, 0.0, 0.0, 1, "bench", ""});
+    }
+    if (decisionLog.enabled()) {
+      decisionLog.push({});
+    }
+    completed.inc();
+    flow.observe(61.0);
+  }
+}
+BENCHMARK(BM_ObsOverheadInstrumented);
 
 }  // namespace
 

@@ -2,10 +2,54 @@
 
 #include <algorithm>
 
+#include "obs/decision.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
+
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "cas.agent"
 
 namespace casched::cas {
+
+namespace {
+
+/// Scheduling-core instruments, resolved once per process; the hot path then
+/// pays one relaxed fetch_add per event. Shared by the simulator and the
+/// live daemons because both run this Agent.
+struct AgentInstruments {
+  obs::Counter& submitted;
+  obs::Counter& decisions;
+  obs::Counter& resubmissions;
+  obs::Counter& noServerRetries;
+  obs::Counter& completed;
+  obs::Counter& lost;
+  obs::Histogram& flow;
+
+  static AgentInstruments& get() {
+    auto& reg = obs::Registry::global();
+    static AgentInstruments* instruments = new AgentInstruments{
+        reg.counter("casched_tasks_submitted_total",
+                    "Tasks whose first schedule request reached the agent"),
+        reg.counter("casched_schedule_decisions_total",
+                    "Heuristic choices made (re-submissions included)"),
+        reg.counter("casched_tasks_resubmitted_total",
+                    "Scheduling attempts past each task's first (fault tolerance)"),
+        reg.counter("casched_no_server_retries_total",
+                    "Requests deferred because no capable server was up"),
+        reg.counter("casched_tasks_completed_total", "Tasks that completed"),
+        reg.counter("casched_tasks_lost_total", "Tasks lost after exhausting retries"),
+        reg.histogram("casched_task_flow_seconds",
+                      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000},
+                      "Per-task flow time (completion - arrival), sim seconds"),
+    };
+    return *instruments;
+  }
+};
+
+}  // namespace
 
 Agent::Agent(simcore::Simulator& sim, std::unique_ptr<core::Scheduler> scheduler,
              platform::CostModel costs, AgentConfig config)
@@ -101,6 +145,18 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   if (inserted) state.instance = task;
   ++state.attempts;
 
+  AgentInstruments& ins = AgentInstruments::get();
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  if (state.attempts == 1) {
+    ins.submitted.inc();
+    if (trace.enabled()) {
+      trace.push({task.index, obs::TaskPhase::kSubmit, sim_.now(), 0.0, state.attempts,
+                  "agent", task.type.name});
+    }
+  } else {
+    ins.resubmissions.inc();
+  }
+
   // Build the candidate list in registration order (deterministic ties).
   core::ScheduleQuery query;
   query.taskId = task.index;
@@ -137,6 +193,7 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
     // Same retry budget as the failure path: at most 1 + maxRetries attempts.
     if (config_.faultTolerance && state.attempts <= config_.maxRetries) {
       LOG_DEBUG("no server for task " << task.index << ", retrying later");
+      ins.noServerRetries.inc();
       workload::TaskInstance retry = task;
       sim_.scheduleAfter(config_.noServerRetryDelay,
                          [this, retry] { requestSchedule(retry); });
@@ -148,6 +205,7 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
 
   const core::ScheduleDecision decision = scheduler_->choose(query);
   ++decisions_;
+  ins.decisions.inc();
   CASCHED_CHECK(decision.chosen.has_value(), "scheduler returned no choice");
   const std::size_t chosen = *decision.chosen;
   const core::CandidateServer& target = query.candidates[chosen];
@@ -163,6 +221,35 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   state.htmPredicted =
       htm_.commit(target.name, task.index, target.dims, sim_.now(), query.startDelay);
 
+  if (trace.enabled()) {
+    trace.push({task.index, obs::TaskPhase::kPredict, sim_.now(), 0.0, state.attempts,
+                "agent", util::strformat("sigma'=%.6g", state.htmPredicted)});
+    trace.push({task.index, obs::TaskPhase::kDecide, sim_.now(), 0.0, state.attempts,
+                "agent", target.name});
+  }
+
+  obs::DecisionLog& decisionLog = obs::DecisionLog::global();
+  if (decisionLog.enabled()) {
+    obs::DecisionRecord record;
+    record.taskId = task.index;
+    record.time = query.now;
+    record.attempt = state.attempts;
+    record.heuristic = scheduler_->name();
+    record.chosen = target.name;
+    record.candidates.reserve(query.candidates.size());
+    for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+      obs::DecisionCandidate c;
+      c.server = query.candidates[i].name;
+      if (i < decision.scores.size()) c.score = decision.scores[i];
+      if (i < decision.previews.size()) c.predictedCompletion = decision.previews[i].completionNew;
+      c.reportedLoad = query.candidates[i].reportedLoad;
+      const ServerState& cs = servers_.at(query.candidates[i].name);
+      c.loadStaleness = cs.lastReportTime < 0.0 ? -1.0 : query.now - cs.lastReportTime;
+      record.candidates.push_back(std::move(c));
+    }
+    decisionLog.push(std::move(record));
+  }
+
   server.inFlight.emplace(task.index, sim_.now());
   server.projectedResidentMB += task.type.memMB;
 
@@ -172,6 +259,12 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   request.cpuSeconds = target.dims.cpuSeconds;
   request.outMB = target.dims.outMB;
   request.memMB = task.type.memMB;
+  if (trace.enabled()) {
+    // The dispatch span covers the reply + submit latency to the server.
+    trace.push({task.index, obs::TaskPhase::kDispatch, sim_.now(), query.startDelay,
+                state.attempts, "agent", target.name});
+  }
+
   TaskDispatch* dispatch = server.dispatch;
   sim_.scheduleAfter(query.startDelay,
                      [dispatch, request] { dispatch->submitTask(request.taskId, request); });
@@ -251,6 +344,22 @@ void Agent::finishTask(TaskState& task, metrics::TaskStatus status) {
   CASCHED_CHECK(!task.terminal, "task finished twice");
   task.terminal = true;
   task.status = status;
+  AgentInstruments& ins = AgentInstruments::get();
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  if (status == metrics::TaskStatus::kCompleted) {
+    ins.completed.inc();
+    ins.flow.observe(task.completion - task.instance.arrival);
+    if (trace.enabled()) {
+      trace.push({task.instance.index, obs::TaskPhase::kComplete, task.completion, 0.0,
+                  task.attempts, task.server, ""});
+    }
+  } else {
+    ins.lost.inc();
+    if (trace.enabled()) {
+      trace.push({task.instance.index, obs::TaskPhase::kLost, sim_.now(), 0.0,
+                  task.attempts, task.server, ""});
+    }
+  }
   ++terminal_;
   if (onTerminal_) onTerminal_(makeOutcome(task.instance.index, task));
   if (expected_ != 0 && terminal_ == expected_ && allDone_) allDone_();

@@ -1,8 +1,12 @@
 #include "cas/server_daemon.hpp"
 
 #include "cas/agent.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "cas.server"
 
 namespace casched::cas {
 
@@ -91,6 +95,14 @@ void ServerDaemon::submitTask(std::uint64_t taskId, const psched::ExecRequest& r
   }
   const bool accepted = machine_.submit(
       request, [this](const psched::ExecRecord& record) { notifyCompletion(record); });
+  if (accepted) {
+    obs::TraceBuffer& trace = obs::TraceBuffer::global();
+    if (trace.enabled()) {
+      // Machine-side "start" span, at data-arrival time - the same hook the
+      // live NetServerDaemon records, so sim and live chains stay comparable.
+      trace.push({taskId, obs::TaskPhase::kStart, sim_.now(), 0.0, 0, name(), ""});
+    }
+  }
   if (!accepted) {
     // Either the machine was down or this admission collapsed it; in both
     // cases the submitting task is lost (collapse victims are reported by the

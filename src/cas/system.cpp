@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "simcore/rng.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "cas.system"
 
 namespace casched::cas {
 
@@ -135,6 +139,17 @@ metrics::RunResult GridSystem::run() {
   result.tasks = agent_->collectOutcomes();
   result.endTime = sim_.now();
   result.simulatedEvents = sim_.executedEvents();
+
+  // Bulk-account simulator work once per run: a per-event atomic in the
+  // engine's dispatch loop would contend across the parallel replication
+  // runner's threads for no observability gain.
+  auto& reg = obs::Registry::global();
+  static obs::Counter* simRuns = &reg.counter(
+      "casched_sim_runs_total", "Completed GridSystem simulation runs");
+  static obs::Counter* simEvents = &reg.counter(
+      "casched_sim_events_total", "Simulator events executed across runs");
+  simRuns->inc();
+  simEvents->inc(result.simulatedEvents);
   result.htmMeanRelErrorPercent = agent_->htm().stats().meanRelErrorPercent();
   result.churn = churnStats_;
   for (auto& d : daemons_) {

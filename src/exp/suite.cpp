@@ -59,6 +59,7 @@ SuiteScenarioResult runSuiteScenario(const scenario::ScenarioSpec& baseSpec,
                   : "Scenario '" + spec.name + "'" +
                         (spec.description.empty() ? "" : ": " + spec.description);
 
+  const obs::RegistrySnapshot beforeRun = obs::Registry::global().snapshot();
   for (const scenario::SweepPoint& point : scenario::expandSweep(spec)) {
     SuiteVariant variant;
     variant.coordinates = point.coordinates;
@@ -69,6 +70,7 @@ SuiteScenarioResult runSuiteScenario(const scenario::ScenarioSpec& baseSpec,
     out.variants.push_back(std::move(variant));
   }
   CASCHED_CHECK(!out.variants.empty(), "sweep expansion produced no variants");
+  out.metricsDelta = obs::Registry::global().snapshot().since(beforeRun);
   const ExperimentSpec& base = out.variants.front().spec;
   out.servers = base.testbed.servers.size();
   out.churnEvents = base.churn.size();
@@ -263,6 +265,23 @@ std::string suiteJson(const SuiteResult& suite) {
       json.endObject();
     }
     json.endArray();
+
+    // Per-scenario slice of the process-wide metrics registry: counter and
+    // histogram deltas attributable to this scenario's campaign.
+    json.key("metrics").beginObject();
+    for (const obs::MetricSample& m : s.metricsDelta.metrics) {
+      if (m.kind == obs::MetricKind::kHistogram) {
+        if (m.histogram.count == 0) continue;
+        json.key(m.fullName()).beginObject();
+        json.key("count").value(m.histogram.count);
+        json.key("sum").value(m.histogram.sum);
+        json.endObject();
+      } else {
+        if (m.kind == obs::MetricKind::kCounter && m.value == 0.0) continue;
+        json.key(m.fullName()).value(m.value);
+      }
+    }
+    json.endObject();
 
     // The ROADMAP's per-scenario perf baseline: events/sec over the whole
     // campaign of this scenario (every variant, heuristic and replication).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/sweep.hpp"
@@ -58,6 +59,12 @@ struct SuiteScenarioResult {
   std::uint64_t churnDigest = 0;
   scenario::ChurnTimelineSummary churnSummary;
   std::vector<SuiteVariant> variants;
+
+  /// What this scenario's campaign added to the process-wide metrics
+  /// registry (counters and histograms as deltas against the pre-run
+  /// snapshot; scenarios run sequentially, so parallel replication threads
+  /// all land inside their own scenario's delta).
+  obs::RegistrySnapshot metricsDelta;
 
   /// Per-scenario perf record, aggregated over every variant and run.
   double wallSeconds = 0.0;

@@ -5,9 +5,14 @@
 #include <thread>
 
 #include "core/htm_snapshot.hpp"
+#include "obs/http_export.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "net.agent"
 
 namespace casched::net {
 
@@ -55,6 +60,19 @@ cas::AgentConfig toAgentConfig(const AgentDaemonConfig& config) {
   return out;
 }
 
+obs::Counter& peerDialsCounter() {
+  static obs::Counter* c = &obs::Registry::global().counter(
+      "casched_agent_peer_dials_total", "Outbound peer-agent dial attempts");
+  return *c;
+}
+
+obs::Counter& serversRetiredCounter() {
+  static obs::Counter* c = &obs::Registry::global().counter(
+      "casched_agent_servers_retired_total",
+      "Servers retired after missing the report deadline");
+  return *c;
+}
+
 }  // namespace
 
 AgentDaemon::AgentDaemon(AgentDaemonConfig config, PacedClock clock)
@@ -67,6 +85,12 @@ AgentDaemon::AgentDaemon(AgentDaemonConfig config, PacedClock clock)
   agent_.setTaskTerminalObserver(
       [this](const metrics::TaskOutcome& outcome) { relayTerminal(outcome); });
   for (const std::string& address : config_.peers) addPeer(address);
+  if (config_.metricsPort >= 0) {
+    metricsServer_ = std::make_unique<obs::MetricsHttpServer>(
+        static_cast<std::uint16_t>(config_.metricsPort));
+    LOG_INFO("agent " << config_.agentName << ": metrics endpoint on 127.0.0.1:"
+                      << metricsServer_->port());
+  }
   if (!config_.snapshotPath.empty()) {
     try {
       if (const auto snap = core::loadHtmSnapshotFile(config_.snapshotPath)) {
@@ -92,6 +116,11 @@ void AgentDaemon::runOnce() {
   pollPeers();
   applyDeadlines();
   maybeSync();
+  if (metricsServer_) metricsServer_->pollOnce();
+}
+
+std::uint16_t AgentDaemon::metricsHttpPort() const {
+  return metricsServer_ ? metricsServer_->port() : 0;
 }
 
 void AgentDaemon::run(const std::atomic<bool>& stop) {
@@ -175,6 +204,7 @@ void AgentDaemon::applyDeadlines() {
                               << config_.heartbeatTimeout << "s), retiring");
     failAbandonedTasks(name);
     agent_.deregisterServer(name);
+    serversRetiredCounter().inc();
     entry.retired = true;
     // Close a still-open link so a merely-stalled daemon notices, re-dials
     // and re-registers (the revival path) instead of heartbeating forever
@@ -248,6 +278,7 @@ void AgentDaemon::pollPeers() {
         peer.address.clear();  // never dial garbage again
         continue;
       }
+      peerDialsCounter().inc();
       try {
         peer.transport = wire::TcpTransport::connect(host, static_cast<std::uint16_t>(port));
         peer.helloSent = false;
@@ -493,6 +524,9 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
         return;
       }
       refresh(m.serverName);
+      // Echo the beacon back unchanged: the server measures a genuine round
+      // trip from its own two clock readings (no cross-process skew).
+      transport->send(MessageType::kHeartbeat, frame.payload);
       return;
     }
     case MessageType::kLoadReport: {
@@ -556,6 +590,33 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
     case MessageType::kAgentSync:
       onAgentSync(transport, wire::decodeAgentSync(frame.payload));
       return;
+    case MessageType::kStatsRequest: {
+      // Operator connection asking for the metrics registry; treat it like a
+      // client from now on so the pending timeout leaves it alone.
+      auto inPending = std::find_if(pending_.begin(), pending_.end(),
+                                    [&](const auto& p) { return p.first == transport; });
+      if (inPending != pending_.end()) {
+        pending_.erase(inPending);
+        clients_.push_back(transport);
+      }
+      const wire::StatsRequestMsg m = wire::decodeStatsRequest(frame.payload);
+      wire::StatsReplyMsg reply;
+      reply.agentName = config_.agentName;
+      reply.sampleTime = sim_.now();
+      try {
+        const obs::StatsFormat format = obs::parseStatsFormat(m.format);
+        reply.format = obs::statsFormatName(format);
+        reply.body = obs::renderStats(obs::Registry::global().snapshot(), format);
+      } catch (const util::ConfigError& e) {
+        // A bad format name fails this request, not the connection.
+        reply.format = "error";
+        reply.body = e.what();
+      }
+      transport->send(MessageType::kStatsReply, wire::encode(reply));
+      return;
+    }
+    case MessageType::kStatsReply:
+      return;  // agents only produce these; ignore a stray one
     case MessageType::kShutdown:
       shutdownRequested_ = true;
       return;

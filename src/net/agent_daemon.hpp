@@ -41,6 +41,10 @@
 #include "wire/messages.hpp"
 #include "wire/tcp_transport.hpp"
 
+namespace casched::obs {
+class MetricsHttpServer;
+}  // namespace casched::obs
+
 namespace casched::net {
 
 /// How a multi-agent deployment divides the server registry.
@@ -91,6 +95,12 @@ struct AgentDaemonConfig {
   /// HTM snapshot file: loaded (if present) at construction for a warm
   /// start, rewritten every sync period. Empty disables persistence.
   std::string snapshotPath;
+
+  // --- observability ---
+  /// Loopback HTTP port serving the metrics registry (GET / for Prometheus
+  /// text, any path containing "json" for JSON). Negative disables the
+  /// endpoint; 0 picks a free port (see metricsHttpPort()).
+  int metricsPort = -1;
 };
 
 class AgentDaemon {
@@ -123,6 +133,9 @@ class AgentDaemon {
 
   /// True once a kShutdown frame arrived.
   bool shutdownRequested() const { return shutdownRequested_; }
+
+  /// Port of the metrics HTTP endpoint, or 0 when disabled.
+  std::uint16_t metricsHttpPort() const;
 
   // --- replication surface ---
   const std::string& agentName() const { return config_.agentName; }
@@ -224,6 +237,9 @@ class AgentDaemon {
   std::set<std::string> peerAdoptedRows_;
   std::size_t warmStartedRows_ = 0;
   std::uint64_t syncsReceived_ = 0;
+
+  /// Non-null when config_.metricsPort >= 0; polled once per runOnce() turn.
+  std::unique_ptr<obs::MetricsHttpServer> metricsServer_;
 };
 
 }  // namespace casched::net

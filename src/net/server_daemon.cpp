@@ -1,12 +1,35 @@
 #include "net/server_daemon.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "net.server"
+
 namespace casched::net {
+
+namespace {
+obs::Counter& reconnectsCounter() {
+  static obs::Counter* c = &obs::Registry::global().counter(
+      "casched_net_server_reconnects_total",
+      "Successful server re-dials after a dropped agent link");
+  return *c;
+}
+
+obs::Histogram& heartbeatRttHistogram() {
+  static obs::Histogram* h = &obs::Registry::global().histogram(
+      "casched_net_heartbeat_rtt_seconds",
+      {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0},
+      "Heartbeat round-trip (send to agent echo), simulated seconds");
+  return *h;
+}
+}  // namespace
 
 NetServerDaemon::NetServerDaemon(NetServerConfig config, PacedClock clock)
     : config_(std::move(config)), clock_(clock), machine_(sim_, config_.machine) {
@@ -55,6 +78,7 @@ void NetServerDaemon::maybeReconnect() {
   nextReconnectAt_ = sim_.now() + config_.reconnectPeriod;
   try {
     dial();
+    reconnectsCounter().inc();
     LOG_INFO("server " << name() << ": re-dialed the agent");
   } catch (const util::IoError&) {
     transport_.reset();  // this agent unreachable; try the next in the cycle
@@ -138,6 +162,16 @@ void NetServerDaemon::handleFrame(const wire::Frame& frame) {
     case MessageType::kShutdown:
       shutdownRequested_ = true;
       return;
+    case MessageType::kHeartbeat: {
+      // The agent echoes our heartbeats back; the delta from the embedded
+      // sampleTime is a genuine round trip on this link (both stamps come
+      // from our own clock, so agent/server skew cancels out).
+      const wire::HeartbeatMsg m = wire::decodeHeartbeat(frame.payload);
+      if (m.serverName == name()) {
+        heartbeatRttHistogram().observe(std::max(0.0, sim_.now() - m.sampleTime));
+      }
+      return;
+    }
     default:
       LOG_WARN("server " << name() << ": ignoring unexpected "
                          << wire::messageTypeName(frame.type) << " frame");
@@ -156,6 +190,7 @@ void NetServerDaemon::onTaskSubmit(const wire::TaskSubmitMsg& msg) {
   request.cpuSeconds = msg.cpuSeconds;
   request.outMB = msg.outMB;
   request.memMB = msg.memMB;
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
   const bool accepted = machine_.submit(request, [this](const psched::ExecRecord& rec) {
     if (rec.status != psched::ExecStatus::kCompleted) return;  // collapse observer reports
     wire::TaskCompleteMsg done;
@@ -169,6 +204,12 @@ void NetServerDaemon::onTaskSubmit(const wire::TaskSubmitMsg& msg) {
     // Machine went down or this admission collapsed it; the submitting task
     // is lost (collapse victims are reported by the collapse observer).
     sendTaskFailed(msg.taskId, "submission rejected");
+    return;
+  }
+  if (trace.enabled()) {
+    // Mirrors the sim-side hook in cas::ServerDaemon::submitTask, so live and
+    // simulated runs produce the same per-task span chain.
+    trace.push({msg.taskId, obs::TaskPhase::kStart, sim_.now(), 0.0, 0, name(), ""});
   }
 }
 

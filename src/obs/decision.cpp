@@ -1,0 +1,43 @@
+#include "obs/decision.hpp"
+
+#include "util/json.hpp"
+
+namespace casched::obs {
+
+DecisionLog& DecisionLog::global() {
+  static DecisionLog* instance = new DecisionLog();
+  return *instance;
+}
+
+std::string DecisionLog::json() const {
+  const std::vector<DecisionRecord> records = snapshot();
+  util::JsonWriter w;
+  w.beginObject();
+  w.key("decisions").beginArray();
+  for (const DecisionRecord& d : records) {
+    w.beginObject();
+    w.key("task").value(d.taskId);
+    w.key("time").value(d.time);
+    w.key("attempt").value(d.attempt);
+    w.key("heuristic").value(d.heuristic);
+    w.key("chosen").value(d.chosen);
+    w.key("candidates").beginArray();
+    for (const DecisionCandidate& c : d.candidates) {
+      w.beginObject();
+      w.key("server").value(c.server);
+      w.key("score").value(c.score);
+      w.key("predicted_completion").value(c.predictedCompletion);
+      w.key("reported_load").value(c.reportedLoad);
+      w.key("load_staleness").value(c.loadStaleness);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("dropped").value(dropped());
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace casched::obs

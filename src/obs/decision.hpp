@@ -1,0 +1,43 @@
+#pragma once
+/// \file decision.hpp
+/// Heuristic decision introspection: for each schedule request the agent
+/// records the full candidate set - per-server primary score, HTM-predicted
+/// completion, corrected load estimate and load-report staleness - plus the
+/// chosen server, so ablation studies can explain *why* a heuristic won a
+/// placement instead of inferring it from aggregates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/ring.hpp"
+
+namespace casched::obs {
+
+struct DecisionCandidate {
+  std::string server;
+  double score = 0.0;                ///< heuristic's primary score (lower wins)
+  double predictedCompletion = 0.0;  ///< HTM preview sigma'_{n+1}; 0 for non-HTM
+  double reportedLoad = 0.0;         ///< corrected load estimate (MCT's view)
+  double loadStaleness = -1.0;       ///< now - last report sample; -1 = never reported
+};
+
+struct DecisionRecord {
+  std::uint64_t taskId = 0;
+  double time = 0.0;  ///< decision instant, sim seconds
+  int attempt = 0;
+  std::string heuristic;
+  std::string chosen;
+  std::vector<DecisionCandidate> candidates;
+};
+
+/// The process-wide decision ring; disabled by default like the trace buffer.
+class DecisionLog : public BoundedLog<DecisionRecord> {
+ public:
+  static DecisionLog& global();
+
+  /// JSON document: {"decisions": [...], "dropped": n}.
+  std::string json() const;
+};
+
+}  // namespace casched::obs

@@ -1,0 +1,109 @@
+#include "obs/http_export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace casched::obs {
+
+namespace {
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw util::IoError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+std::string httpOkResponse(const std::string& body, const std::string& contentType) {
+  std::ostringstream out;
+  out << "HTTP/1.0 200 OK\r\n"
+      << "Content-Type: " << contentType << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throwErrno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throwErrno("bind metrics port");
+  }
+  if (::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    throwErrno("listen metrics port");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    throwErrno("getsockname metrics port");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t MetricsHttpServer::pollOnce() {
+  std::size_t served = 0;
+  while (true) {
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 0);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) break;
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Read the request line (bounded wait: this is a debug endpoint polled
+    // from the daemon pump; a slow scraper must not stall scheduling long).
+    char buf[1024];
+    std::string request;
+    pollfd rp{client, POLLIN, 0};
+    if (::poll(&rp, 1, 100) > 0) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+      if (n > 0) request.assign(buf, static_cast<std::size_t>(n));
+    }
+
+    const StatsFormat format = request.find("json") != std::string::npos
+                                   ? StatsFormat::kJson
+                                   : StatsFormat::kPrometheus;
+    const std::string body = renderStats(Registry::global().snapshot(), format);
+    const std::string response = httpOkResponse(
+        body, format == StatsFormat::kJson ? "application/json"
+                                           : "text/plain; version=0.0.4; charset=utf-8");
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(client, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace casched::obs

@@ -1,0 +1,95 @@
+#pragma once
+/// \file ring.hpp
+/// Bounded, thread-safe record ring shared by the trace buffer and the
+/// decision log. Recording is gated by one relaxed atomic flag so the
+/// disabled path costs a single load; when the ring is full the oldest
+/// record is overwritten and counted as dropped (overflow accounting).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace casched::obs {
+
+template <typename Record>
+class BoundedLog {
+ public:
+  /// (Re)arms the log with a fresh ring of `capacity` records. Contents and
+  /// the drop counter are reset; capacity 0 is clamped to 1.
+  void enable(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    ring_.assign(capacity_, Record{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Stops recording; the captured contents stay readable.
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  /// No-op while disabled, so instrumentation sites can call unconditionally.
+  void push(Record record) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ == capacity_) {
+      // Overwrite the oldest record; the ring keeps the most recent window.
+      ring_[head_] = std::move(record);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    } else {
+      ring_[(head_ + size_) % capacity_] = std::move(record);
+      ++size_;
+    }
+  }
+
+  /// Records in arrival order, oldest first.
+  std::vector<Record> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Record> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(head_ + i) % capacity_]);
+    }
+    return out;
+  }
+
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::vector<Record> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace casched::obs

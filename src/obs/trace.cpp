@@ -1,0 +1,67 @@
+#include "obs/trace.hpp"
+
+#include "util/json.hpp"
+
+namespace casched::obs {
+
+const char* taskPhaseName(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kSubmit: return "submit";
+    case TaskPhase::kPredict: return "predict";
+    case TaskPhase::kDecide: return "decide";
+    case TaskPhase::kDispatch: return "dispatch";
+    case TaskPhase::kStart: return "start";
+    case TaskPhase::kComplete: return "complete";
+    case TaskPhase::kLost: return "lost";
+  }
+  return "?";
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* instance = new TraceBuffer();
+  return *instance;
+}
+
+std::string TraceBuffer::chromeTraceJson() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  util::JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (const SpanRecord& s : spans) {
+    w.beginObject();
+    w.key("name").value(taskPhaseName(s.phase));
+    w.key("cat").value("task");
+    w.key("ph").value("X");
+    // Sim seconds -> trace microseconds; "X" with dur 0 renders as a slice.
+    w.key("ts").value(s.time * 1e6);
+    w.key("dur").value(s.duration * 1e6);
+    w.key("pid").value(1);
+    w.key("tid").value(s.taskId);
+    w.key("args").beginObject();
+    w.key("actor").value(s.actor);
+    w.key("detail").value(s.detail);
+    w.key("attempt").value(s.attempt);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").beginObject();
+  w.key("dropped_spans").value(dropped());
+  w.key("captured_spans").value(spans.size());
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+std::map<std::uint64_t, std::string> taskPhaseChains(const std::vector<SpanRecord>& spans) {
+  std::map<std::uint64_t, std::string> chains;
+  for (const SpanRecord& s : spans) {
+    std::string& chain = chains[s.taskId];
+    if (!chain.empty()) chain += ">";
+    chain += taskPhaseName(s.phase);
+  }
+  return chains;
+}
+
+}  // namespace casched::obs

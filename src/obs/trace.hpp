@@ -1,0 +1,59 @@
+#pragma once
+/// \file trace.hpp
+/// Task-lifecycle tracing: one span chain per task - submit, HTM predict,
+/// heuristic decision, dispatch, start, complete/lost - captured in a
+/// bounded ring buffer and exportable as Chrome trace-event JSON (loadable
+/// in Perfetto / chrome://tracing). The records are emitted by the shared
+/// cas::Agent scheduling core plus the machine-side submit hook, so the
+/// simulator and the live net:: daemons produce identical record shapes by
+/// construction.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/ring.hpp"
+
+namespace casched::obs {
+
+enum class TaskPhase : std::uint8_t {
+  kSubmit = 0,   ///< client request reached the agent (first attempt)
+  kPredict = 1,  ///< HTM committed its completion prediction
+  kDecide = 2,   ///< heuristic chose a server
+  kDispatch = 3, ///< submission forwarded (span covers the start delay)
+  kStart = 4,    ///< machine accepted the task (data-arrival time)
+  kComplete = 5, ///< terminal: completed
+  kLost = 6,     ///< terminal: lost (retries exhausted / no server)
+};
+
+const char* taskPhaseName(TaskPhase phase);
+
+struct SpanRecord {
+  std::uint64_t taskId = 0;
+  TaskPhase phase = TaskPhase::kSubmit;
+  double time = 0.0;      ///< sim seconds (span start)
+  double duration = 0.0;  ///< sim seconds; 0 renders as an instant-ish slice
+  int attempt = 0;        ///< scheduling attempt this record belongs to
+  std::string actor;      ///< emitting component ("agent", server name)
+  std::string detail;     ///< phase-specific annotation
+};
+
+/// The process-wide span ring. Disabled by default: instrumentation sites
+/// check `enabled()` (one relaxed load) before building a record.
+class TraceBuffer : public BoundedLog<SpanRecord> {
+ public:
+  static TraceBuffer& global();
+
+  /// Chrome trace-event JSON: one "X" event per span, ts/dur in
+  /// microseconds of sim time, tid = task id (one Perfetto track per task).
+  /// Dropped-record accounting rides along in "otherData".
+  std::string chromeTraceJson() const;
+};
+
+/// Per-task phase chains in record order, e.g.
+/// "submit>predict>decide>dispatch>start>complete". Timestamps and server
+/// names are excluded on purpose: the chain is the sim-vs-live comparable.
+std::map<std::uint64_t, std::string> taskPhaseChains(const std::vector<SpanRecord>& spans);
+
+}  // namespace casched::obs

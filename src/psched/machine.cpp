@@ -4,10 +4,28 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "psched.machine"
+
 namespace casched::psched {
+
+namespace {
+obs::Counter& machineSubmitsCounter() {
+  static obs::Counter* c = &obs::Registry::global().counter(
+      "casched_machine_submits_total", "Task executions accepted by a machine");
+  return *c;
+}
+
+obs::Counter& machineCollapsesCounter() {
+  static obs::Counter* c = &obs::Registry::global().counter(
+      "casched_machine_collapses_total", "Machine collapses (OOM, churn, forced)");
+  return *c;
+}
+}  // namespace
 
 Machine::Machine(simcore::Simulator& sim, MachineSpec spec)
     : sim_(sim),
@@ -122,6 +140,7 @@ void Machine::updateThrash() {
 bool Machine::submit(const ExecRequest& request, ExecDoneFn done) {
   if (!up_) return false;
   ++stats_.submitted;
+  machineSubmitsCounter().inc();
   residentMB_ += request.memMB;
   stats_.peakResidentMB = std::max(stats_.peakResidentMB, residentMB_);
   if (residentMB_ > spec_.ramMB + spec_.swapMB) {
@@ -180,6 +199,7 @@ void Machine::collapse(double downtime) {
   thrash_ = 1.0;
   applyCpuFactor();
   ++stats_.collapses;
+  machineCollapsesCounter().inc();
   recoverEvent_ = sim_.scheduleAfter(downtime, [this] { recover(); });
   if (onCollapse_) onCollapse_(victims);
 }

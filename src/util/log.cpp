@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 #include "util/error.hpp"
@@ -24,6 +26,23 @@ const char* tag(LogLevel level) {
 }
 }  // namespace
 
+std::string formatLogLine(LogLevel level, const std::string& component,
+                          const std::string& message,
+                          std::chrono::system_clock::time_point when) {
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(when);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          when.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return std::string(stamp) + " [" + tag(level) + "] [" + component + "] " + message;
+}
+
 void Log::setLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 bool Log::enabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(Log::level()); }
@@ -33,9 +52,15 @@ std::mutex& Log::mutex() {
   return m;
 }
 
-void Log::write(LogLevel level, const std::string& message) {
+void Log::write(LogLevel level, const std::string& component, const std::string& message) {
+  const std::string line =
+      formatLogLine(level, component, message, std::chrono::system_clock::now());
   std::lock_guard<std::mutex> lock(mutex());
-  std::cerr << "[" << tag(level) << "] " << message << "\n";
+  std::cerr << line << "\n";
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  write(level, "casched", message);
 }
 
 LogLevel parseLogLevel(const std::string& name) {
@@ -46,7 +71,8 @@ LogLevel parseLogLevel(const std::string& name) {
   if (n == "warn" || n == "warning") return LogLevel::kWarn;
   if (n == "error") return LogLevel::kError;
   if (n == "off" || n == "none") return LogLevel::kOff;
-  throw ConfigError("unknown log level '" + name + "'");
+  throw ConfigError("unknown log level '" + name +
+                    "' (valid: trace, debug, info, warn, error, off)");
 }
 
 namespace detail {

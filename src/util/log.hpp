@@ -2,8 +2,13 @@
 /// \file log.hpp
 /// Minimal leveled logger. Simulation code logs through this so experiment
 /// binaries can silence or redirect diagnostics; it is thread-safe because the
-/// replication runner executes simulations concurrently.
+/// replication runner executes simulations concurrently. Every line carries an
+/// ISO-8601 UTC wall-clock timestamp, the level tag and a component tag:
+///   2003-04-22T09:15:00.000Z [WARN ] [net.agent] message
+/// A translation unit picks its component tag by redefining
+/// CASCHED_LOG_COMPONENT after its includes; the default is "casched".
 
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -12,6 +17,12 @@ namespace casched::util {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
+/// One fully formatted line (no trailing newline); split out from the writer
+/// so tests can lock the format against a known time point.
+std::string formatLogLine(LogLevel level, const std::string& component,
+                          const std::string& message,
+                          std::chrono::system_clock::time_point when);
+
 /// Global log configuration. Defaults to kWarn so tests and benches stay quiet.
 class Log {
  public:
@@ -19,24 +30,39 @@ class Log {
   static LogLevel level();
   static bool enabled(LogLevel level);
 
-  /// Emits one line, prefixed with the level tag, to stderr.
+  /// Emits one line - timestamp, level tag, component tag, message - to
+  /// stderr.
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+  /// Component-less overload (tagged "casched").
   static void write(LogLevel level, const std::string& message);
 
  private:
   static std::mutex& mutex();
 };
 
-/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"; throws
+/// ConfigError enumerating the valid names on anything else.
 LogLevel parseLogLevel(const std::string& name);
 
 }  // namespace casched::util
+
+/// Default component tag; a .cpp file overrides it (after its includes) with
+///   #undef CASCHED_LOG_COMPONENT
+///   #define CASCHED_LOG_COMPONENT "net.agent"
+/// The macro is expanded at each log call site, so the redefinition applies
+/// to every LOG_* below it in that translation unit.
+#ifndef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "casched"
+#endif
 
 #define CASCHED_LOG(levelEnum, streamExpr)                                  \
   do {                                                                      \
     if (::casched::util::Log::enabled(levelEnum)) {                         \
       std::ostringstream casched_log_oss;                                   \
       casched_log_oss << streamExpr;                                        \
-      ::casched::util::Log::write(levelEnum, casched_log_oss.str());        \
+      ::casched::util::Log::write(levelEnum, CASCHED_LOG_COMPONENT,         \
+                                  casched_log_oss.str());                   \
     }                                                                       \
   } while (false)
 

@@ -22,13 +22,15 @@ std::string messageTypeName(MessageType type) {
     case MessageType::kHeartbeat: return "heartbeat";
     case MessageType::kAgentHello: return "agent-hello";
     case MessageType::kAgentSync: return "agent-sync";
+    case MessageType::kStatsRequest: return "stats-request";
+    case MessageType::kStatsReply: return "stats-reply";
   }
   return "unknown";
 }
 
 bool isKnownMessageType(std::uint16_t rawType) {
   return rawType >= static_cast<std::uint16_t>(MessageType::kRegister) &&
-         rawType <= static_cast<std::uint16_t>(MessageType::kAgentSync);
+         rawType <= static_cast<std::uint16_t>(MessageType::kStatsReply);
 }
 
 namespace {
@@ -340,6 +342,40 @@ AgentSyncMsg decodeAgentSync(const Bytes& payload) {
   m.chunkIndex = r.u32();
   m.chunkCount = r.u32();
   m.snapshotChunk = r.bytes();
+  return m;
+}
+
+Bytes encode(const StatsRequestMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.format);
+  return out;
+}
+
+StatsRequestMsg decodeStatsRequest(const Bytes& payload) {
+  Reader r(payload);
+  StatsRequestMsg m;
+  m.format = r.str();
+  return m;
+}
+
+Bytes encode(const StatsReplyMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  w.f64(m.sampleTime);
+  w.str(m.format);
+  w.str(m.body);
+  return out;
+}
+
+StatsReplyMsg decodeStatsReply(const Bytes& payload) {
+  Reader r(payload);
+  StatsReplyMsg m;
+  m.agentName = r.str();
+  m.sampleTime = r.f64();
+  m.format = r.str();
+  m.body = r.str();
   return m;
 }
 

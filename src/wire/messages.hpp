@@ -34,6 +34,8 @@ enum class MessageType : std::uint16_t {
   kHeartbeat = 12,     ///< server -> agent: liveness beacon between reports
   kAgentHello = 13,    ///< agent -> agent: peer registration (name, mode, owned servers)
   kAgentSync = 14,     ///< agent -> agent: load digests + HTM snapshot chunk
+  kStatsRequest = 15,  ///< operator -> agent: metrics snapshot, please
+  kStatsReply = 16,    ///< agent -> operator: rendered metrics snapshot
 };
 
 std::string messageTypeName(MessageType type);
@@ -162,6 +164,23 @@ struct AgentSyncMsg {
   Bytes snapshotChunk;
 };
 
+/// Operator request for the agent's metrics registry; additive to protocol
+/// v3 (older peers never send it, and the agent ignores unknown senders'
+/// other traffic as usual). `format` is "prometheus" or "json".
+struct StatsRequestMsg {
+  std::string format = "prometheus";
+};
+
+struct StatsReplyMsg {
+  std::string agentName;
+  /// Agent's simulation clock when the snapshot was taken.
+  double sampleTime = 0.0;
+  /// "prometheus" | "json" - the format actually rendered.
+  std::string format;
+  /// The rendered registry snapshot.
+  std::string body;
+};
+
 // Encoding: each message encodes its payload; the framing layer prepends
 // (length, version, type).
 Bytes encode(const RegisterMsg& m);
@@ -178,6 +197,8 @@ Bytes encode(const ShutdownMsg& m);
 Bytes encode(const HeartbeatMsg& m);
 Bytes encode(const AgentHelloMsg& m);
 Bytes encode(const AgentSyncMsg& m);
+Bytes encode(const StatsRequestMsg& m);
+Bytes encode(const StatsReplyMsg& m);
 
 RegisterMsg decodeRegister(const Bytes& payload);
 RegisterAckMsg decodeRegisterAck(const Bytes& payload);
@@ -193,5 +214,7 @@ ShutdownMsg decodeShutdown(const Bytes& payload);
 HeartbeatMsg decodeHeartbeat(const Bytes& payload);
 AgentHelloMsg decodeAgentHello(const Bytes& payload);
 AgentSyncMsg decodeAgentSync(const Bytes& payload);
+StatsRequestMsg decodeStatsRequest(const Bytes& payload);
+StatsReplyMsg decodeStatsReply(const Bytes& payload);
 
 }  // namespace casched::wire

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace casched::wire {
@@ -18,6 +19,30 @@ namespace {
 [[noreturn]] void throwErrno(const std::string& what) {
   throw util::IoError(what + ": " + std::strerror(errno));
 }
+
+/// Process-wide wire traffic instruments: every TcpTransport (agent, server,
+/// client, peer links) funnels through send/poll, so counting here covers
+/// the whole daemon with five counters.
+struct WireInstruments {
+  obs::Counter& framesOut;
+  obs::Counter& bytesOut;
+  obs::Counter& framesIn;
+  obs::Counter& bytesIn;
+  obs::Counter& decodeErrors;
+
+  static WireInstruments& get() {
+    auto& reg = obs::Registry::global();
+    static WireInstruments* instruments = new WireInstruments{
+        reg.counter("casched_net_frames_out_total", "Wire frames sent over TCP"),
+        reg.counter("casched_net_bytes_out_total", "Bytes sent over TCP (framing included)"),
+        reg.counter("casched_net_frames_in_total", "Wire frames decoded from TCP"),
+        reg.counter("casched_net_bytes_in_total", "Bytes received over TCP"),
+        reg.counter("casched_net_decode_errors_total",
+                    "Frames rejected by the decoder (bad version/length)"),
+    };
+    return *instruments;
+  }
+};
 }  // namespace
 
 std::shared_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
@@ -45,6 +70,9 @@ TcpTransport::~TcpTransport() { close(); }
 void TcpTransport::send(MessageType type, const Bytes& payload) {
   if (closed_) return;
   const Bytes frame = buildFrame(type, payload);
+  WireInstruments& ins = WireInstruments::get();
+  ins.framesOut.inc();
+  ins.bytesOut.inc(frame.size());
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
@@ -59,6 +87,7 @@ void TcpTransport::send(MessageType type, const Bytes& payload) {
 
 std::size_t TcpTransport::poll(const FrameFn& fn) {
   if (closed_) return 0;
+  WireInstruments& ins = WireInstruments::get();
   std::size_t delivered = 0;
   std::uint8_t buf[4096];
   while (true) {
@@ -77,11 +106,18 @@ std::size_t TcpTransport::poll(const FrameFn& fn) {
       closed_ = true;
       break;
     }
+    ins.bytesIn.inc(static_cast<std::uint64_t>(n));
     decoder_.feed(buf, static_cast<std::size_t>(n));
   }
-  while (auto frame = decoder_.next()) {
-    ++delivered;
-    if (fn) fn(std::move(*frame));
+  try {
+    while (auto frame = decoder_.next()) {
+      ++delivered;
+      ins.framesIn.inc();
+      if (fn) fn(std::move(*frame));
+    }
+  } catch (const util::DecodeError&) {
+    ins.decodeErrors.inc();
+    throw;  // the daemon's poll loop closes the link on bad frames
   }
   return delivered;
 }

@@ -16,6 +16,7 @@
 #include "net/client_driver.hpp"
 #include "net/loopback.hpp"
 #include "net/server_daemon.hpp"
+#include "obs/trace.hpp"
 #include "scenario/generate.hpp"
 #include "scenario/registry.hpp"
 #include "simcore/engine.hpp"
@@ -72,6 +73,54 @@ TEST(NetRuntime, RegistrationOverTcp) {
   EXPECT_TRUE(agent.serverKnown("alpha"));
   EXPECT_TRUE(agent.agent().htm().hasServer("alpha"));
   EXPECT_FALSE(agent.serverRetired("alpha"));
+}
+
+TEST(NetRuntime, StatsRequestReturnsTheMetricsRegistryOverTheWire) {
+  const PacedClock clock(1000.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  agentConfig.agentName = "agent-stats";
+  AgentDaemon agent(agentConfig, clock);
+
+  auto operatorLink = wire::TcpTransport::connect("127.0.0.1", agent.port());
+  wire::StatsRequestMsg request;
+  request.format = "prometheus";
+  operatorLink->send(wire::MessageType::kStatsRequest, wire::encode(request));
+
+  wire::StatsReplyMsg reply;
+  bool got = false;
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); },
+                         [&] {
+                           operatorLink->poll([&](wire::Frame frame) {
+                             if (frame.type != wire::MessageType::kStatsReply) return;
+                             reply = wire::decodeStatsReply(frame.payload);
+                             got = true;
+                           });
+                         }},
+                        [&] { return got; }, 5.0));
+  EXPECT_EQ(reply.agentName, "agent-stats");
+  EXPECT_EQ(reply.format, "prometheus");
+  // The wire counters instrument this very exchange, so the body is never
+  // empty and always carries them.
+  EXPECT_NE(reply.body.find("casched_net_frames_in_total"), std::string::npos);
+
+  // An unknown format comes back as a typed error naming the valid ones,
+  // without dropping the connection.
+  request.format = "xml";
+  operatorLink->send(wire::MessageType::kStatsRequest, wire::encode(request));
+  got = false;
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); },
+                         [&] {
+                           operatorLink->poll([&](wire::Frame frame) {
+                             if (frame.type != wire::MessageType::kStatsReply) return;
+                             reply = wire::decodeStatsReply(frame.payload);
+                             got = true;
+                           });
+                         }},
+                        [&] { return got; }, 5.0));
+  EXPECT_EQ(reply.format, "error");
+  EXPECT_NE(reply.body.find("unknown stats format 'xml'"), std::string::npos);
+  EXPECT_FALSE(operatorLink->closed());
 }
 
 TEST(NetRuntime, LiveNameCollisionIsRejected) {
@@ -423,6 +472,44 @@ TEST(NetRuntime, LiveLoopbackScenarioMatchesSimulatorCounts) {
   const std::string json = liveRunJson(live);
   EXPECT_NE(json.find("\"completed\": 24"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": \"live-loopback\""), std::string::npos);
+}
+
+TEST(NetRuntime, SimAndLiveProduceTheSamePerTaskSpanChains) {
+  // The observability acceptance bar: because every lifecycle span except
+  // kStart is recorded inside the shared cas::Agent core (and kStart by the
+  // machine-side submit hook on both sides), the live TCP deployment and the
+  // simulator emit the SAME per-task phase chain for the same scenario seed.
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 30.0;
+
+  trace.enable(1 << 16);
+  const LiveRunReport live = runLoopbackScenario("live-loopback", options);
+  const auto liveChains = obs::taskPhaseChains(trace.snapshot());
+  const std::uint64_t liveDropped = trace.dropped();
+
+  trace.enable(1 << 16);  // reset the ring for the simulator's spans
+  const scenario::CompiledScenario compiled =
+      scenario::compileScenario(scenario::findScenario("live-loopback"), options.seed);
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  const auto simChains = obs::taskPhaseChains(trace.snapshot());
+  trace.disable();
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(liveDropped, 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  ASSERT_EQ(liveChains.size(), compiled.metatask.size());
+  ASSERT_EQ(simChains.size(), compiled.metatask.size());
+  for (const auto& [taskId, chain] : simChains) {
+    ASSERT_TRUE(liveChains.count(taskId) != 0) << "task " << taskId;
+    EXPECT_EQ(liveChains.at(taskId), chain) << "task " << taskId;
+  }
+  // Spot-check the canonical happy-path chain shape.
+  EXPECT_EQ(simChains.begin()->second, "submit>predict>decide>dispatch>start>complete");
+  (void)sim;
 }
 
 TEST(NetRuntime, GeneratedChurnReplaysIdenticallyLiveAndSimulated) {

@@ -9,6 +9,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -284,6 +285,38 @@ TEST(Cli, BoolFalseValue) {
   const char* argv[] = {"prog", "--x=false"};
   ASSERT_TRUE(p.parse(2, argv));
   EXPECT_FALSE(p.getBool("x"));
+}
+
+TEST(Log, LineFormatIsLocked) {
+  // Epoch + a known offset, so the ISO-8601 stamp is fully deterministic.
+  const auto when = std::chrono::system_clock::time_point{} +
+                    std::chrono::milliseconds(1234);
+  EXPECT_EQ(formatLogLine(LogLevel::kInfo, "test", "hello", when),
+            "1970-01-01T00:00:01.234Z [INFO ] [test] hello");
+  EXPECT_EQ(formatLogLine(LogLevel::kWarn, "net.agent", "x", when),
+            "1970-01-01T00:00:01.234Z [WARN ] [net.agent] x");
+}
+
+TEST(Log, ParseLogLevelAcceptsEveryName) {
+  EXPECT_EQ(parseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("off"), LogLevel::kOff);
+}
+
+TEST(Log, ParseLogLevelRejectsUnknownNamesWithTheValidList) {
+  try {
+    parseLogLevel("verbose");
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown log level 'verbose'"), std::string::npos) << what;
+    for (const char* name : {"trace", "debug", "info", "warn", "error", "off"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
 }
 
 TEST(Error, CheckMacroThrowsWithLocation) {

@@ -150,15 +150,32 @@ TEST(Messages, ServerUpDownShutdownRoundTrip) {
 
 TEST(Messages, TypeNamesAreUnique) {
   std::set<std::string> names;
-  for (int t = 1; t <= 14; ++t) {
+  for (int t = 1; t <= 16; ++t) {
     EXPECT_TRUE(isKnownMessageType(static_cast<std::uint16_t>(t)));
     names.insert(messageTypeName(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.size(), 16u);
   EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
   EXPECT_FALSE(isKnownMessageType(0));
-  EXPECT_FALSE(isKnownMessageType(15));
+  EXPECT_FALSE(isKnownMessageType(17));
   EXPECT_FALSE(isKnownMessageType(999));
+}
+
+TEST(Messages, StatsRoundTrip) {
+  StatsRequestMsg req;
+  req.format = "json";
+  EXPECT_EQ(decodeStatsRequest(encode(req)).format, "json");
+
+  StatsReplyMsg reply;
+  reply.agentName = "agent-0";
+  reply.sampleTime = 77.25;
+  reply.format = "prometheus";
+  reply.body = "casched_tasks_completed_total 42\n";
+  const StatsReplyMsg back = decodeStatsReply(encode(reply));
+  EXPECT_EQ(back.agentName, "agent-0");
+  EXPECT_DOUBLE_EQ(back.sampleTime, 77.25);
+  EXPECT_EQ(back.format, "prometheus");
+  EXPECT_EQ(back.body, reply.body);
 }
 
 TEST(Messages, AgentHelloRoundTrip) {

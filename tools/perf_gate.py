@@ -14,8 +14,15 @@ When $GITHUB_STEP_SUMMARY is set (any GitHub Actions step), the comparison is
 also appended there as a Markdown table (scenario, baseline, current, delta %)
 so every CI leg shows its perf picture without digging through logs.
 
+The gate can additionally check the observability layer's compiled-in cost:
+--overhead takes a google-benchmark JSON file containing the
+BM_ObsOverheadBare / BM_ObsOverheadInstrumented pair (bench/micro_scheduler)
+and fails when the instrumented decision loop is more than --max-overhead
+slower than the bare one.
+
 Usage:
     perf_gate.py CURRENT_JSON BASELINE_JSON [--tolerance 0.25]
+    perf_gate.py CURRENT_JSON BASELINE_JSON --overhead micro.json
     perf_gate.py CURRENT_JSON BASELINE_JSON --update   # rewrite the baseline
 
 Only the Python standard library is used.
@@ -53,7 +60,43 @@ def normalize(scenarios):
     return {name: eps / med for name, eps in scenarios.items()}, med
 
 
-def write_step_summary(rows, unbaselined, missing, tolerance, failed):
+def load_overhead(path):
+    """Returns (bare_ns, instrumented_ns) from a google-benchmark JSON file.
+
+    Prefers the _median aggregate (present with --benchmark_repetitions);
+    falls back to the plain benchmark entry of a single run.
+    """
+    with open(path) as f:
+        record = json.load(f)
+    times = {}
+    for bench in record.get("benchmarks", []):
+        name = bench.get("name", "")
+        for base in ("BM_ObsOverheadBare", "BM_ObsOverheadInstrumented"):
+            if name == base + "_median" or (name == base and base not in times):
+                times[base] = float(bench["real_time"])
+    bare = times.get("BM_ObsOverheadBare")
+    instrumented = times.get("BM_ObsOverheadInstrumented")
+    if bare is None or instrumented is None:
+        sys.exit(f"perf gate: overhead pair missing from {path} "
+                 "(run micro_scheduler with --benchmark_filter=BM_ObsOverhead)")
+    return bare, instrumented
+
+
+def check_overhead(path, max_overhead):
+    """Returns (summary_line, failed) for the instrumentation overhead pair."""
+    bare, instrumented = load_overhead(path)
+    overhead = instrumented / bare - 1.0
+    failed = overhead > max_overhead
+    line = ("instrumentation overhead: bare {:.1f}ns, instrumented {:.1f}ns, "
+            "+{:.2%} (budget {:.0%}){}".format(
+                bare, instrumented, overhead, max_overhead,
+                " << FAIL" if failed else ""))
+    print(f"perf gate: {line}")
+    return overhead, failed
+
+
+def write_step_summary(rows, unbaselined, missing, tolerance, failed,
+                       overhead=None, overhead_failed=False, max_overhead=0.0):
     """Appends a Markdown comparison table to $GITHUB_STEP_SUMMARY, if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -73,6 +116,9 @@ def write_step_summary(rows, unbaselined, missing, tolerance, failed):
         lines.append(f"| {name} | - | NEW | - | :x: |")
     for name in missing:
         lines.append(f"| {name} | MISSING | - | - | :x: |")
+    if overhead is not None:
+        lines.append("| obs instrumentation overhead | ≤{:.0%} | {:+.2%} | | {} |".format(
+            max_overhead, overhead, ":x:" if overhead_failed else ""))
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n\n")
 
@@ -85,6 +131,10 @@ def main():
                         help="allowed relative drift of normalized throughput")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current record and exit")
+    parser.add_argument("--overhead",
+                        help="google-benchmark JSON with the BM_ObsOverhead pair")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed instrumented/bare slowdown (default 5%%)")
     args = parser.parse_args()
 
     current = load_scenarios(args.current)
@@ -142,13 +192,19 @@ def main():
     for name in missing:
         print(f"{name:<28}   MISSING from current record")
 
+    overhead = None
+    overhead_failed = False
+    if args.overhead:
+        overhead, overhead_failed = check_overhead(args.overhead, args.max_overhead)
+
     # Absent scenarios are a hard error in both directions, never a skip: a
     # baseline entry missing from the run means coverage silently shrank
     # (e.g. a registry entry was dropped or renamed without touching the
     # baseline), and an unbaselined scenario means the gate is not guarding
     # the new entry yet.
-    failed = bool(unbaselined or missing or failures)
-    write_step_summary(summary_rows, unbaselined, missing, args.tolerance, failed)
+    failed = bool(unbaselined or missing or failures or overhead_failed)
+    write_step_summary(summary_rows, unbaselined, missing, args.tolerance, failed,
+                       overhead, overhead_failed, args.max_overhead)
     if unbaselined:
         print(f"perf gate: FAIL - scenario(s) not in the baseline: "
               f"{', '.join(unbaselined)}; regenerate it with --update")
@@ -160,6 +216,10 @@ def main():
     if failures:
         drifts = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
         print(f"perf gate: FAIL - normalized throughput drifted: {drifts}")
+        return 1
+    if overhead_failed:
+        print(f"perf gate: FAIL - instrumentation overhead {overhead:+.2%} "
+              f"exceeds the {args.max_overhead:.0%} budget")
         return 1
     print(f"perf gate: PASS ({len(shared)} scenarios within the band)")
     return 0
