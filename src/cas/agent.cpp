@@ -49,6 +49,12 @@ struct AgentInstruments {
   }
 };
 
+/// inFlight vectors are sorted by taskId (the historical std::map order).
+bool flightBefore(const std::pair<std::uint64_t, simcore::SimTime>& e,
+                  std::uint64_t taskId) {
+  return e.first < taskId;
+}
+
 }  // namespace
 
 Agent::Agent(simcore::Simulator& sim, std::unique_ptr<core::Scheduler> scheduler,
@@ -66,28 +72,31 @@ void Agent::registerServer(TaskDispatch* dispatch, const core::ServerModel& mode
                            std::vector<std::string> problems, double memSoftMB,
                            double memCapacityMB) {
   CASCHED_CHECK(dispatch != nullptr, "null dispatch registration");
-  auto it = servers_.find(model.name);
-  CASCHED_CHECK(it == servers_.end() || it->second.removed,
+  const core::ServerId id = htm_.intern(model.name);
+  if (id >= servers_.size()) servers_.resize(id + 1);
+  ServerState& slot = servers_[id];
+  CASCHED_CHECK(!slot.registered || slot.removed,
                 "server '" + model.name + "' registered twice");
+  // Revival: the previous incarnation was deregistered (its HTM row is
+  // gone); replace it wholesale, keeping the same id and candidate-order
+  // position. Late notices for the old incarnation's in-flight tasks are
+  // accepted like any other stale notice.
+  const bool revival = slot.registered;
   ServerState state;
   state.dispatch = dispatch;
   state.model = model;
   state.problems = std::move(problems);
+  state.solvesAll = std::any_of(state.problems.begin(), state.problems.end(),
+                                [](const std::string& p) { return p == "*"; });
+  state.registered = true;
   state.memSoftMB = memSoftMB;
   state.memCapacityMB = memCapacityMB;
-  if (it == servers_.end()) {
-    servers_.emplace(model.name, std::move(state));
-    serverOrder_.push_back(model.name);
-  } else {
-    // Revival: the previous incarnation was deregistered (its HTM row is
-    // gone); replace it wholesale. Late notices for the old incarnation's
-    // in-flight tasks are accepted like any other stale notice.
-    it->second = std::move(state);
-  }
+  slot = std::move(state);
+  if (!revival) serverOrder_.push_back(id);
   // A pre-warmed row (warmStartHtm adopted it from a snapshot before this
   // server dialed in) survives the registration: its learned speed correction
   // and in-flight trace are exactly what the warm start is for.
-  if (!htm_.hasServer(model.name)) htm_.addServer(model);
+  if (!htm_.hasServer(id)) htm_.addServer(model);
 }
 
 void Agent::deregisterServer(const std::string& server) {
@@ -102,13 +111,31 @@ void Agent::deregisterServer(const std::string& server) {
 
 void Agent::setServerSpeedIndex(const std::string& server, double index) {
   costs_.setSpeedIndex(server, index);
+  // The per-server cost cache memoizes computeCost results, which depend on
+  // the speed index fallback.
+  const core::ServerId id = htm_.findId(server);
+  if (id != core::kInvalidServerId && id < servers_.size()) {
+    servers_[id].costCache.clear();
+  }
 }
 
 bool Agent::canSolve(const ServerState& s, const std::string& typeName) const {
+  if (s.solvesAll) return true;
   for (const std::string& p : s.problems) {
     if (p == "*" || p == typeName) return true;
   }
   return false;
+}
+
+double Agent::computeCostCached(ServerState& s, const workload::TaskType& type) {
+  for (const auto& [name, cost] : s.costCache) {
+    if (name == type.name) return cost;
+  }
+  // First sight of this (server, type) pair: one string-keyed database lookup,
+  // memoized so the decision path never touches it again.
+  const double cost = costs_.computeCost(s.model.name, type.name, type.refSeconds);
+  s.costCache.emplace_back(type.name, cost);
+  return cost;
 }
 
 double Agent::loadEstimate(const ServerState& s) const {
@@ -127,21 +154,55 @@ double Agent::loadEstimate(const std::string& server) const {
   return loadEstimate(serverState(server));
 }
 
-Agent::ServerState& Agent::serverState(const std::string& name) {
-  auto it = servers_.find(name);
-  CASCHED_CHECK(it != servers_.end(), "unknown server '" + name + "'");
-  return it->second;
+core::ServerId Agent::requireServerId(const std::string& name) const {
+  const core::ServerId id = htm_.findId(name);
+  CASCHED_CHECK(id != core::kInvalidServerId && id < servers_.size() &&
+                    servers_[id].registered,
+                "unknown server '" + name + "'");
+  return id;
 }
 
-const Agent::ServerState& Agent::serverState(const std::string& name) const {
-  auto it = servers_.find(name);
-  CASCHED_CHECK(it != servers_.end(), "unknown server '" + name + "'");
-  return it->second;
+Agent::TaskState& Agent::taskStateFor(std::uint64_t taskId, bool* inserted) {
+  if (std::uint32_t* slot = taskIndex_.find(taskId)) {
+    *inserted = false;
+    return taskSlots_[*slot];
+  }
+  taskIndex_.insert(taskId, static_cast<std::uint32_t>(taskSlots_.size()));
+  taskSlots_.emplace_back();
+  *inserted = true;
+  return taskSlots_.back();
+}
+
+Agent::TaskState* Agent::findTask(std::uint64_t taskId) {
+  std::uint32_t* slot = taskIndex_.find(taskId);
+  return slot == nullptr ? nullptr : &taskSlots_[*slot];
+}
+
+void Agent::setExpectedTasks(std::size_t n) {
+  expected_ = n;
+  // Pre-size the task tables: steady-state scheduling then never grows them.
+  if (n > taskSlots_.capacity()) taskSlots_.reserve(n);
+  taskIndex_.reserve(n);
 }
 
 void Agent::requestSchedule(const workload::TaskInstance& task) {
-  auto [it, inserted] = tasks_.try_emplace(task.index);
-  TaskState& state = it->second;
+  scheduleBatch({&task, 1});
+}
+
+void Agent::scheduleBatch(std::span<const workload::TaskInstance> tasks) {
+  if (tasks.empty()) return;
+  // One trace refresh amortized over the whole batch: every preview's
+  // copy-advance then starts from an already-advanced trace and becomes a
+  // plain copy. advanceTo is idempotent at a fixed timestamp, so placing the
+  // batch is bit-identical to sequential requestSchedule calls at the same
+  // instant (each placement still sees the commits of the previous ones).
+  if (scheduler_->usesHtm()) htm_.advanceAll(sim_.now());
+  for (const workload::TaskInstance& task : tasks) scheduleOne(task);
+}
+
+void Agent::scheduleOne(const workload::TaskInstance& task) {
+  bool inserted = false;
+  TaskState& state = taskStateFor(task.index, &inserted);
   if (inserted) state.instance = task;
   ++state.attempts;
 
@@ -157,22 +218,22 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
     ins.resubmissions.inc();
   }
 
-  // Build the candidate list in registration order (deterministic ties).
-  core::ScheduleQuery query;
-  query.taskId = task.index;
-  query.now = sim_.now();
+  // Build the candidate list in registration order (deterministic ties) into
+  // the reusable scratch query: a warm decision allocates nothing.
+  query_.taskId = task.index;
+  query_.now = sim_.now();
   // Reply to the client + client's submission to the server.
-  query.startDelay = 2.0 * config_.controlLatency;
-  query.htm = scheduler_->usesHtm() ? &htm_ : nullptr;
-  std::vector<std::string> candidateNames;
-  for (const std::string& name : serverOrder_) {
-    const ServerState& s = servers_.at(name);
+  query_.startDelay = 2.0 * config_.controlLatency;
+  query_.htm = scheduler_->usesHtm() ? &htm_ : nullptr;
+  query_.candidates.clear();
+  for (const core::ServerId id : serverOrder_) {
+    ServerState& s = servers_[id];
     if (!s.up || !canSolve(s, task.type.name)) continue;
     core::CandidateServer c;
-    c.name = name;
+    c.id = id;
     c.dims.inMB = task.type.inMB;
     c.dims.outMB = task.type.outMB;
-    c.dims.cpuSeconds = costs_.computeCost(name, task.type.name, task.type.refSeconds);
+    c.dims.cpuSeconds = computeCostCached(s, task.type);
     c.reportedLoad = loadEstimate(s);
     double unloaded = c.dims.cpuSeconds;
     if (c.dims.inMB > 0) unloaded += s.model.latencyIn + c.dims.inMB / s.model.bwInMBps;
@@ -184,11 +245,10 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
     c.memSoftMB = s.memSoftMB;
     c.memCapacityMB = s.memCapacityMB;
     c.taskMemMB = task.type.memMB;
-    query.candidates.push_back(std::move(c));
-    candidateNames.push_back(name);
+    query_.candidates.push_back(c);
   }
 
-  if (query.candidates.empty()) {
+  if (query_.candidates.empty()) {
     // Nothing can run this task right now (every capable server is down).
     // Same retry budget as the failure path: at most 1 + maxRetries attempts.
     if (config_.faultTolerance && state.attempts <= config_.maxRetries) {
@@ -203,15 +263,15 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
     return;
   }
 
-  const core::ScheduleDecision decision = scheduler_->choose(query);
+  scheduler_->chooseInto(query_, decision_);
   ++decisions_;
   ins.decisions.inc();
-  CASCHED_CHECK(decision.chosen.has_value(), "scheduler returned no choice");
-  const std::size_t chosen = *decision.chosen;
-  const core::CandidateServer& target = query.candidates[chosen];
-  ServerState& server = serverState(target.name);
+  CASCHED_CHECK(decision_.chosen.has_value(), "scheduler returned no choice");
+  const std::size_t chosen = *decision_.chosen;
+  const core::CandidateServer& target = query_.candidates[chosen];
+  ServerState& server = servers_[target.id];
 
-  state.server = target.name;
+  state.server = target.id;
   state.scheduledAt = sim_.now();
   state.unloadedDuration = target.unloadedDuration;
 
@@ -219,38 +279,42 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   // for every heuristic so prediction-accuracy statistics are always
   // available; non-HTM schedulers simply never read it when deciding.
   state.htmPredicted =
-      htm_.commit(target.name, task.index, target.dims, sim_.now(), query.startDelay);
+      htm_.commit(target.id, task.index, target.dims, sim_.now(), query_.startDelay);
 
   if (trace.enabled()) {
     trace.push({task.index, obs::TaskPhase::kPredict, sim_.now(), 0.0, state.attempts,
                 "agent", util::strformat("sigma'=%.6g", state.htmPredicted)});
     trace.push({task.index, obs::TaskPhase::kDecide, sim_.now(), 0.0, state.attempts,
-                "agent", target.name});
+                "agent", htm_.serverName(target.id)});
   }
 
   obs::DecisionLog& decisionLog = obs::DecisionLog::global();
   if (decisionLog.enabled()) {
     obs::DecisionRecord record;
     record.taskId = task.index;
-    record.time = query.now;
+    record.time = query_.now;
     record.attempt = state.attempts;
     record.heuristic = scheduler_->name();
-    record.chosen = target.name;
-    record.candidates.reserve(query.candidates.size());
-    for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+    record.chosen = htm_.serverName(target.id);
+    record.candidates.reserve(query_.candidates.size());
+    for (std::size_t i = 0; i < query_.candidates.size(); ++i) {
       obs::DecisionCandidate c;
-      c.server = query.candidates[i].name;
-      if (i < decision.scores.size()) c.score = decision.scores[i];
-      if (i < decision.previews.size()) c.predictedCompletion = decision.previews[i].completionNew;
-      c.reportedLoad = query.candidates[i].reportedLoad;
-      const ServerState& cs = servers_.at(query.candidates[i].name);
-      c.loadStaleness = cs.lastReportTime < 0.0 ? -1.0 : query.now - cs.lastReportTime;
+      c.server = htm_.serverName(query_.candidates[i].id);
+      if (i < decision_.scores.size()) c.score = decision_.scores[i];
+      if (i < decision_.previews.size()) {
+        c.predictedCompletion = decision_.previews[i].completionNew;
+      }
+      c.reportedLoad = query_.candidates[i].reportedLoad;
+      const ServerState& cs = servers_[query_.candidates[i].id];
+      c.loadStaleness = cs.lastReportTime < 0.0 ? -1.0 : query_.now - cs.lastReportTime;
       record.candidates.push_back(std::move(c));
     }
     decisionLog.push(std::move(record));
   }
 
-  server.inFlight.emplace(task.index, sim_.now());
+  auto flight = std::lower_bound(server.inFlight.begin(), server.inFlight.end(),
+                                 task.index, flightBefore);
+  server.inFlight.insert(flight, {task.index, sim_.now()});
   server.projectedResidentMB += task.type.memMB;
 
   psched::ExecRequest request;
@@ -261,12 +325,12 @@ void Agent::requestSchedule(const workload::TaskInstance& task) {
   request.memMB = task.type.memMB;
   if (trace.enabled()) {
     // The dispatch span covers the reply + submit latency to the server.
-    trace.push({task.index, obs::TaskPhase::kDispatch, sim_.now(), query.startDelay,
-                state.attempts, "agent", target.name});
+    trace.push({task.index, obs::TaskPhase::kDispatch, sim_.now(), query_.startDelay,
+                state.attempts, "agent", htm_.serverName(target.id)});
   }
 
   TaskDispatch* dispatch = server.dispatch;
-  sim_.scheduleAfter(query.startDelay,
+  sim_.scheduleAfter(query_.startDelay,
                      [dispatch, request] { dispatch->submitTask(request.taskId, request); });
 }
 
@@ -281,17 +345,19 @@ void Agent::onLoadReport(const std::string& server, double load,
 
 void Agent::onTaskCompleted(const std::string& server, std::uint64_t taskId,
                             simcore::SimTime completionTime, double unloadedDuration) {
-  ServerState& s = serverState(server);
-  auto itFlight = s.inFlight.find(taskId);
-  if (itFlight != s.inFlight.end()) {
+  const core::ServerId sid = requireServerId(server);
+  ServerState& s = servers_[sid];
+  auto itFlight = std::lower_bound(s.inFlight.begin(), s.inFlight.end(), taskId,
+                                   flightBefore);
+  if (itFlight != s.inFlight.end() && itFlight->first == taskId) {
     if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
     s.inFlight.erase(itFlight);
   }
-  if (!s.removed) htm_.onTaskCompleted(server, taskId, completionTime);
+  if (!s.removed) htm_.onTaskCompleted(sid, taskId, completionTime);
 
-  auto it = tasks_.find(taskId);
-  CASCHED_CHECK(it != tasks_.end(), "completion notice for unknown task");
-  TaskState& task = it->second;
+  TaskState* found = findTask(taskId);
+  CASCHED_CHECK(found != nullptr, "completion notice for unknown task");
+  TaskState& task = *found;
   if (task.terminal) return;  // late duplicate (possible after retries)
   s.projectedResidentMB = std::max(0.0, s.projectedResidentMB - task.instance.type.memMB);
   task.completion = completionTime;
@@ -300,17 +366,19 @@ void Agent::onTaskCompleted(const std::string& server, std::uint64_t taskId,
 }
 
 void Agent::onTaskFailed(const std::string& server, std::uint64_t taskId) {
-  ServerState& s = serverState(server);
-  auto itFlight = s.inFlight.find(taskId);
-  if (itFlight != s.inFlight.end()) {
+  const core::ServerId sid = requireServerId(server);
+  ServerState& s = servers_[sid];
+  auto itFlight = std::lower_bound(s.inFlight.begin(), s.inFlight.end(), taskId,
+                                   flightBefore);
+  if (itFlight != s.inFlight.end() && itFlight->first == taskId) {
     if (itFlight->second <= s.lastReportTime) ++s.completedOldSinceReport;
     s.inFlight.erase(itFlight);
   }
-  if (!s.removed) htm_.onTaskFailed(server, taskId, sim_.now());
+  if (!s.removed) htm_.onTaskFailed(sid, taskId, sim_.now());
 
-  auto it = tasks_.find(taskId);
-  CASCHED_CHECK(it != tasks_.end(), "failure notice for unknown task");
-  TaskState& task = it->second;
+  TaskState* found = findTask(taskId);
+  CASCHED_CHECK(found != nullptr, "failure notice for unknown task");
+  TaskState& task = *found;
   if (task.terminal) return;
   s.projectedResidentMB = std::max(0.0, s.projectedResidentMB - task.instance.type.memMB);
 
@@ -324,12 +392,13 @@ void Agent::onTaskFailed(const std::string& server, std::uint64_t taskId) {
 }
 
 void Agent::onServerDown(const std::string& server) {
-  ServerState& s = serverState(server);
+  const core::ServerId sid = requireServerId(server);
+  ServerState& s = servers_[sid];
   s.up = false;
   s.projectedResidentMB = 0.0;
   s.inFlight.clear();
   s.reportedLoad = 0.0;
-  if (!s.removed) htm_.onServerCollapsed(server, sim_.now());
+  if (!s.removed) htm_.onServerCollapsed(sid, sim_.now());
 }
 
 void Agent::onServerUp(const std::string& server) {
@@ -338,6 +407,11 @@ void Agent::onServerUp(const std::string& server) {
   s.up = true;
   s.lastReportTime = -1.0;
   s.completedOldSinceReport = 0;
+}
+
+std::string Agent::serverNameOf(const TaskState& task) const {
+  return task.server == core::kInvalidServerId ? std::string()
+                                               : htm_.serverName(task.server);
 }
 
 void Agent::finishTask(TaskState& task, metrics::TaskStatus status) {
@@ -351,13 +425,13 @@ void Agent::finishTask(TaskState& task, metrics::TaskStatus status) {
     ins.flow.observe(task.completion - task.instance.arrival);
     if (trace.enabled()) {
       trace.push({task.instance.index, obs::TaskPhase::kComplete, task.completion, 0.0,
-                  task.attempts, task.server, ""});
+                  task.attempts, serverNameOf(task), ""});
     }
   } else {
     ins.lost.inc();
     if (trace.enabled()) {
       trace.push({task.instance.index, obs::TaskPhase::kLost, sim_.now(), 0.0,
-                  task.attempts, task.server, ""});
+                  task.attempts, serverNameOf(task), ""});
     }
   }
   ++terminal_;
@@ -369,7 +443,7 @@ metrics::TaskOutcome Agent::makeOutcome(std::uint64_t taskId, const TaskState& s
   metrics::TaskOutcome o;
   o.index = taskId;
   o.typeName = state.instance.type.name;
-  o.server = state.server;
+  o.server = serverNameOf(state);
   o.arrival = state.instance.arrival;
   o.scheduledAt = state.scheduledAt;
   o.completion = state.completion;
@@ -382,15 +456,20 @@ metrics::TaskOutcome Agent::makeOutcome(std::uint64_t taskId, const TaskState& s
 
 std::vector<metrics::TaskOutcome> Agent::collectOutcomes() const {
   std::vector<metrics::TaskOutcome> out;
-  out.reserve(tasks_.size());
-  for (const auto& [taskId, state] : tasks_) {
-    out.push_back(makeOutcome(taskId, state));
+  out.reserve(taskSlots_.size());
+  for (const TaskState& state : taskSlots_) {
+    out.push_back(makeOutcome(state.instance.index, state));
   }
+  // Slots are in first-request order; callers expect ascending task index.
+  std::sort(out.begin(), out.end(),
+            [](const metrics::TaskOutcome& a, const metrics::TaskOutcome& b) {
+              return a.index < b.index;
+            });
   return out;
 }
 
 std::size_t Agent::warmStartHtm(const core::HtmSnapshot& snapshot) {
-  if (servers_.empty()) {
+  if (serverOrder_.empty()) {
     // Cold boot: adopt everything, stats and sync policy included (the
     // restarted agent resumes where the snapshotted one stopped).
     htm_.restore(snapshot);
@@ -402,8 +481,10 @@ std::size_t Agent::warmStartHtm(const core::HtmSnapshot& snapshot) {
 std::vector<std::string> Agent::adoptHtmRows(const core::HtmSnapshot& snapshot) {
   std::vector<std::string> adopted;
   for (const core::HtmServerSnapshot& row : snapshot.servers) {
-    auto it = servers_.find(row.model.name);
-    if (it != servers_.end() && !it->second.removed) continue;  // live row: local truth
+    const core::ServerId id = htm_.findId(row.model.name);
+    const bool live = id != core::kInvalidServerId && id < servers_.size() &&
+                      servers_[id].registered && !servers_[id].removed;
+    if (live) continue;  // live row: local truth
     htm_.restoreServer(row);
     adopted.push_back(row.model.name);
   }
@@ -415,11 +496,14 @@ double Agent::peakReportedLoad(const std::string& server) const {
 }
 
 std::vector<std::uint64_t> Agent::inFlightTasks(const std::string& server) const {
-  auto it = servers_.find(server);
-  if (it == servers_.end()) return {};
+  const core::ServerId id = htm_.findId(server);
+  if (id == core::kInvalidServerId || id >= servers_.size() || !servers_[id].registered) {
+    return {};
+  }
+  const ServerState& s = servers_[id];
   std::vector<std::uint64_t> ids;
-  ids.reserve(it->second.inFlight.size());
-  for (const auto& [taskId, assignedAt] : it->second.inFlight) ids.push_back(taskId);
+  ids.reserve(s.inFlight.size());
+  for (const auto& [taskId, assignedAt] : s.inFlight) ids.push_back(taskId);
   return ids;
 }
 

@@ -5,22 +5,33 @@
 /// NetSolve's two correction mechanisms (paper section 5.3), the Historical
 /// Trace Manager, per-server memory bookkeeping, and the fault-tolerant
 /// re-submission path that NetSolve's MCT has (paper section 5.1).
+///
+/// The scheduling core is built for throughput: server identity is an
+/// interned dense ServerId (the HTM owns the intern table; strings exist only
+/// at the edges), per-server and per-task state live in contiguous tables,
+/// and every decision runs on reusable scratch buffers - steady-state
+/// scheduling performs zero heap allocations. Requests can be placed one at a
+/// time or as a batch; both run the same scheduleBatch path, so batched and
+/// sequential placement are identical by construction.
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cas/dispatch.hpp"
 #include "core/htm.hpp"
 #include "core/htm_snapshot.hpp"
 #include "core/schedulers.hpp"
+#include "core/server_id.hpp"
 #include "metrics/record.hpp"
 #include "platform/calibration.hpp"
 #include "simcore/engine.hpp"
+#include "util/flat_hash.hpp"
 #include "workload/metatask.hpp"
 
 namespace casched::cas {
@@ -47,8 +58,9 @@ class Agent {
   /// the single entry "*" means "solves everything". `memSoftMB` is physical
   /// RAM, `memCapacityMB` is RAM+swap (used by memory-aware admission).
   /// Re-registering a name whose previous incarnation was deregistered
-  /// revives it with a fresh HTM row (the distributed runtime's
-  /// reconnect-after-retirement path); re-registering a live name is an error.
+  /// revives it (same ServerId) with a fresh HTM row (the distributed
+  /// runtime's reconnect-after-retirement path); re-registering a live name
+  /// is an error.
   void registerServer(TaskDispatch* dispatch, const core::ServerModel& model,
                       std::vector<std::string> problems, double memSoftMB,
                       double memCapacityMB);
@@ -64,8 +76,16 @@ class Agent {
 
   /// Client request for one task, already delayed by the client->agent
   /// latency. Picks a server, updates the HTM and bookkeeping, and forwards
-  /// the submission (after the reply + submit latencies).
+  /// the submission (after the reply + submit latencies). Equivalent to a
+  /// scheduleBatch of one.
   void requestSchedule(const workload::TaskInstance& task);
+
+  /// Places a batch of requests that arrived in the same poll cycle /
+  /// simulation instant. One HTM refresh is amortized across the whole
+  /// batch; tasks are then placed in order, each decision seeing the
+  /// commits of the previous ones - exactly what sequential requestSchedule
+  /// calls at the same timestamp produce (locked by test).
+  void scheduleBatch(std::span<const workload::TaskInstance> tasks);
 
   // --- notifications from server daemons (already latency-delayed) ---
   void onLoadReport(const std::string& server, double load,
@@ -77,7 +97,9 @@ class Agent {
   void onServerUp(const std::string& server);
 
   // --- experiment wiring ---
-  void setExpectedTasks(std::size_t n) { expected_ = n; }
+  /// Also pre-sizes the task tables so steady-state scheduling never grows
+  /// them mid-run.
+  void setExpectedTasks(std::size_t n);
   void setAllDoneCallback(std::function<void()> fn) { allDone_ = std::move(fn); }
   /// Fires once per task when it reaches a terminal state (completed or
   /// lost), with the finished outcome. The distributed runtime relays these
@@ -91,12 +113,12 @@ class Agent {
 
   /// True when a task with this id was ever requested (terminal or not).
   /// The distributed runtime uses it to reject client-chosen id reuse.
-  bool knowsTask(std::uint64_t taskId) const { return tasks_.count(taskId) != 0; }
+  bool knowsTask(std::uint64_t taskId) const { return taskIndex_.contains(taskId); }
 
-  /// Ids currently assigned to `server` and not yet completed/failed. The
-  /// distributed runtime captures these before declaring a server dead (a
-  /// vanished process reports no victims itself, unlike a simulated
-  /// collapse) so fault tolerance can re-submit them.
+  /// Ids currently assigned to `server` and not yet completed/failed, in
+  /// ascending id order. The distributed runtime captures these before
+  /// declaring a server dead (a vanished process reports no victims itself,
+  /// unlike a simulated collapse) so fault tolerance can re-submit them.
   std::vector<std::uint64_t> inFlightTasks(const std::string& server) const;
 
   /// Serialized HTM state (snapshot/persistence; see core/htm_snapshot.hpp).
@@ -133,22 +155,30 @@ class Agent {
     TaskDispatch* dispatch = nullptr;
     core::ServerModel model;
     std::vector<std::string> problems;
+    bool solvesAll = false;    ///< cached `problems == {"*"}` membership
+    bool registered = false;   ///< slot holds a real registration (the table
+                               ///< may have holes for HTM-only adopted ids)
     bool up = true;
     bool removed = false;  ///< left the grid; never a candidate again
     double reportedLoad = 0.0;
     simcore::SimTime lastReportTime = -1.0;  ///< -1: never reported
     double peakReportedLoad = 0.0;
-    std::map<std::uint64_t, simcore::SimTime> inFlight;  ///< taskId -> assign time
+    /// taskId -> assign time, sorted by taskId (matches the historical
+    /// std::map iteration order, which failure drains depend on).
+    std::vector<std::pair<std::uint64_t, simcore::SimTime>> inFlight;
     std::uint64_t completedOldSinceReport = 0;
     double projectedResidentMB = 0.0;
     double memSoftMB = 1e18;
     double memCapacityMB = 1e18;
+    /// Per-type unloaded compute seconds, resolved once per (server, type):
+    /// the cost database is string-keyed and must stay off the decision path.
+    std::vector<std::pair<std::string, double>> costCache;
   };
 
   struct TaskState {
     workload::TaskInstance instance;
     int attempts = 0;
-    std::string server;
+    core::ServerId server = core::kInvalidServerId;
     simcore::SimTime scheduledAt = -1.0;
     simcore::SimTime completion = -1.0;
     double unloadedDuration = 0.0;
@@ -157,27 +187,48 @@ class Agent {
     metrics::TaskStatus status = metrics::TaskStatus::kLost;
   };
 
+  /// The single-task placement step of scheduleBatch (decision + commit +
+  /// dispatch). Assumes the HTM was already advanced to now() when the
+  /// scheduler uses it.
+  void scheduleOne(const workload::TaskInstance& task);
+
   bool canSolve(const ServerState& s, const std::string& typeName) const;
+  double computeCostCached(ServerState& s, const workload::TaskType& type);
   double loadEstimate(const ServerState& s) const;
   void finishTask(TaskState& task, metrics::TaskStatus status);
   metrics::TaskOutcome makeOutcome(std::uint64_t taskId, const TaskState& state) const;
-  ServerState& serverState(const std::string& name);
-  const ServerState& serverState(const std::string& name) const;
+  std::string serverNameOf(const TaskState& task) const;
+
+  /// Id of a registered server; throws on unknown/never-registered names.
+  core::ServerId requireServerId(const std::string& name) const;
+  ServerState& serverState(const std::string& name) {
+    return servers_[requireServerId(name)];
+  }
+  const ServerState& serverState(const std::string& name) const {
+    return servers_[requireServerId(name)];
+  }
+
+  /// Existing task state, or a fresh slot (insert == true).
+  TaskState& taskStateFor(std::uint64_t taskId, bool* inserted);
+  TaskState* findTask(std::uint64_t taskId);
 
   simcore::Simulator& sim_;
   std::unique_ptr<core::Scheduler> scheduler_;
   platform::CostModel costs_;
   AgentConfig config_;
   core::HistoricalTraceManager htm_;
-  std::map<std::string, ServerState> servers_;  // registration order not
-                                                // needed; name order is stable
-  std::vector<std::string> serverOrder_;        // registration order (determinism)
-  std::map<std::uint64_t, TaskState> tasks_;
+  std::vector<ServerState> servers_;        ///< indexed by ServerId
+  std::vector<core::ServerId> serverOrder_; ///< registration order (determinism)
+  std::vector<TaskState> taskSlots_;        ///< slot per task, never freed
+  util::FlatMap64<std::uint32_t> taskIndex_;  ///< taskId -> slot
   std::size_t expected_ = 0;
   std::size_t terminal_ = 0;
   std::uint64_t decisions_ = 0;
   std::function<void()> allDone_;
   std::function<void(const metrics::TaskOutcome&)> onTerminal_;
+  // Decision scratch, reused across every placement (zero-alloc steady state).
+  core::ScheduleQuery query_;
+  core::ScheduleDecision decision_;
 };
 
 }  // namespace casched::cas

@@ -1,8 +1,9 @@
 #pragma once
 /// \file client.hpp
-/// The client: submits a metatask to the agent, one request per task at its
-/// arrival date (paper section 5: "an experiment is the submission of a
-/// metatask composed of independent tasks to the agent").
+/// The client: submits a metatask to the agent at each task's arrival date
+/// (paper section 5: "an experiment is the submission of a metatask composed
+/// of independent tasks to the agent"). Tasks sharing an arrival date are
+/// handed over as one Agent::scheduleBatch call.
 
 #include "cas/agent.hpp"
 #include "simcore/engine.hpp"

@@ -12,6 +12,12 @@ namespace {
 constexpr double kPerturbEps = 1e-9;
 /// EWMA gain for the kRescale speed correction.
 constexpr double kRescaleAlpha = 0.2;
+/// The preview's "what if" task; never collides with real (client-chosen) ids.
+constexpr std::uint64_t kHypotheticalId = ~0ULL;
+
+bool byTaskId(const PredictedEntry& a, const PredictedEntry& b) {
+  return a.taskId < b.taskId;
+}
 }  // namespace
 
 SyncPolicy parseSyncPolicy(const std::string& name) {
@@ -34,40 +40,50 @@ std::string syncPolicyName(SyncPolicy policy) {
 HistoricalTraceManager::HistoricalTraceManager(SyncPolicy policy) : policy_(policy) {}
 
 void HistoricalTraceManager::addServer(const ServerModel& model) {
-  CASCHED_CHECK(servers_.find(model.name) == servers_.end(),
+  const ServerId id = interner_.intern(model.name);
+  if (id >= rows_.size()) rows_.resize(id + 1);
+  CASCHED_CHECK(!rows_[id].has_value(),
                 "server '" + model.name + "' already registered with the HTM");
-  servers_.emplace(model.name, Entry{ServerTrace(model), 1.0, {}});
+  rows_[id].emplace(Entry{ServerTrace(model), 1.0, {}, {}});
+}
+
+ServerId HistoricalTraceManager::requireId(const std::string& server) const {
+  const ServerId id = interner_.find(server);
+  CASCHED_CHECK(hasServer(id), "unknown server '" + server + "'");
+  return id;
+}
+
+void HistoricalTraceManager::removeServer(ServerId id) {
+  CASCHED_CHECK(hasServer(id), "server id " + std::to_string(id) +
+                                   " is not registered with the HTM");
+  rows_[id].reset();
 }
 
 void HistoricalTraceManager::removeServer(const std::string& server) {
-  auto it = servers_.find(server);
-  CASCHED_CHECK(it != servers_.end(),
+  const ServerId id = interner_.find(server);
+  CASCHED_CHECK(hasServer(id),
                 "server '" + server + "' is not registered with the HTM");
-  servers_.erase(it);
-}
-
-bool HistoricalTraceManager::hasServer(const std::string& server) const {
-  return servers_.find(server) != servers_.end();
+  rows_[id].reset();
 }
 
 std::vector<std::string> HistoricalTraceManager::serverNames() const {
   std::vector<std::string> names;
-  names.reserve(servers_.size());
-  for (const auto& [name, entry] : servers_) names.push_back(name);
+  for (ServerId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].has_value()) names.push_back(interner_.name(id));
+  }
   return names;
 }
 
-HistoricalTraceManager::Entry& HistoricalTraceManager::entryFor(const std::string& server) {
-  auto it = servers_.find(server);
-  CASCHED_CHECK(it != servers_.end(), "unknown server '" + server + "'");
-  return it->second;
+HistoricalTraceManager::Entry& HistoricalTraceManager::row(ServerId id) {
+  CASCHED_CHECK(hasServer(id),
+                "unknown server id " + std::to_string(id));
+  return *rows_[id];
 }
 
-const HistoricalTraceManager::Entry& HistoricalTraceManager::entryFor(
-    const std::string& server) const {
-  auto it = servers_.find(server);
-  CASCHED_CHECK(it != servers_.end(), "unknown server '" + server + "'");
-  return it->second;
+const HistoricalTraceManager::Entry& HistoricalTraceManager::row(ServerId id) const {
+  CASCHED_CHECK(hasServer(id),
+                "unknown server id " + std::to_string(id));
+  return *rows_[id];
 }
 
 TaskDims HistoricalTraceManager::adjustedDims(const Entry& entry,
@@ -78,71 +94,163 @@ TaskDims HistoricalTraceManager::adjustedDims(const Entry& entry,
   return adjusted;
 }
 
-Preview HistoricalTraceManager::preview(const std::string& server, const TaskDims& dims,
-                                        simcore::SimTime now, double startDelay) const {
-  const Entry& entry = entryFor(server);
+void HistoricalTraceManager::previewInto(ServerId id, const TaskDims& dims,
+                                         simcore::SimTime now, double startDelay,
+                                         Preview& out, bool perturbations) const {
+  const Entry& entry = row(id);
   ++stats_.previews;
 
-  // Work on a copy advanced to `now`; the committed trace stays untouched
-  // (it is advanced lazily on commits/notices).
-  ServerTrace base = entry.trace;
-  base.advanceTo(now);
-  const std::map<std::uint64_t, simcore::SimTime> before = base.predictCompletions();
-
-  ServerTrace with = base;
-  constexpr std::uint64_t kHypotheticalId = ~0ULL;
-  with.admit(kHypotheticalId, adjustedDims(entry, dims), now, startDelay);
-  const std::map<std::uint64_t, simcore::SimTime> after = with.predictCompletions();
-
-  Preview p;
-  p.server = server;
-  auto itNew = after.find(kHypotheticalId);
-  CASCHED_CHECK(itNew != after.end(), "hypothetical task vanished from trace");
-  p.completionNew = itNew->second;
-  for (const auto& [taskId, sigma] : before) {
-    auto itAfter = after.find(taskId);
-    CASCHED_CHECK(itAfter != after.end(), "existing task vanished from trace");
-    const double delta = itAfter->second - sigma;
-    p.perTask.push_back(Perturbation{taskId, delta});
-    p.sumPerturbation += delta;
-    if (delta > kPerturbEps) ++p.perturbedCount;
+  if (!perturbations) {
+    // completionNew only: one simulation pass, stopped at the hypothetical
+    // task's completion (its prefix matches the full pass bit for bit).
+    // A preview is a pure function of (trace state, now, dims, startDelay),
+    // so an unchanged server answers straight from its memo - the common
+    // case inside a placement batch, where each decision mutates one trace.
+    out.server = id;
+    out.sumPerturbation = 0.0;
+    out.perturbedCount = 0;
+    out.perTask.clear();
+    const TaskDims adjusted = adjustedDims(entry, dims);
+    PreviewMemo& memo = entry.memo;
+    if (memo.valid && memo.traceVersion == entry.trace.version() &&
+        memo.now == now && memo.startDelay == startDelay &&
+        memo.dims.inMB == adjusted.inMB &&
+        memo.dims.cpuSeconds == adjusted.cpuSeconds &&
+        memo.dims.outMB == adjusted.outMB) {
+      out.completionNew = memo.completionNew;
+      return;
+    }
+    simcore::SimTime t;
+    entry.trace.copyAdvanced(scratch_.base, &t, now);
+    TraceTask hyp;
+    const bool admitted =
+        entry.trace.buildAdmitted(kHypotheticalId, adjusted, now, startDelay, &hyp);
+    CASCHED_CHECK(admitted, "hypothetical task vanished from trace");
+    scratch_.base.push_back(hyp);
+    out.completionNew = entry.trace.completeOne(scratch_.base, t, kHypotheticalId);
+    CASCHED_CHECK(out.completionNew != simcore::kTimeInfinity,
+                  "hypothetical task vanished from trace");
+    memo.valid = true;
+    memo.traceVersion = entry.trace.version();
+    memo.now = now;
+    memo.startDelay = startDelay;
+    memo.dims = adjusted;
+    memo.completionNew = out.completionNew;
+    return;
   }
+
+  // Work on a copy advanced to `now`; the committed trace stays untouched
+  // (it is advanced lazily on commits/notices). All buffers are reused - the
+  // arithmetic is the same, in the same order, as the historical
+  // copy-the-ServerTrace path, so results are bit-identical.
+  simcore::SimTime t;
+  entry.trace.copyAdvanced(scratch_.base, &t, now);
+
+  scratch_.work = scratch_.base;
+  scratch_.before.clear();
+  entry.trace.completeInto(scratch_.work, t, scratch_.before);
+
+  TraceTask hyp;
+  if (entry.trace.buildAdmitted(kHypotheticalId, adjustedDims(entry, dims), now,
+                                startDelay, &hyp)) {
+    scratch_.base.push_back(hyp);
+  }
+  scratch_.work = scratch_.base;
+  scratch_.after.clear();
+  entry.trace.completeInto(scratch_.work, t, scratch_.after);
+
+  // Merge in ascending task-id order (kHypotheticalId sorts last).
+  std::sort(scratch_.before.begin(), scratch_.before.end(), byTaskId);
+  std::sort(scratch_.after.begin(), scratch_.after.end(), byTaskId);
+
+  out.server = id;
+  out.sumPerturbation = 0.0;
+  out.perturbedCount = 0;
+  out.perTask.clear();
+  CASCHED_CHECK(!scratch_.after.empty() &&
+                    scratch_.after.back().taskId == kHypotheticalId,
+                "hypothetical task vanished from trace");
+  out.completionNew = scratch_.after.back().completion;
+  std::size_t ai = 0;
+  for (const PredictedEntry& b : scratch_.before) {
+    while (ai < scratch_.after.size() && scratch_.after[ai].taskId < b.taskId) ++ai;
+    CASCHED_CHECK(ai < scratch_.after.size() &&
+                      scratch_.after[ai].taskId == b.taskId,
+                  "existing task vanished from trace");
+    const double delta = scratch_.after[ai].completion - b.completion;
+    out.perTask.push_back(Perturbation{b.taskId, delta});
+    out.sumPerturbation += delta;
+    if (delta > kPerturbEps) ++out.perturbedCount;
+  }
+}
+
+Preview HistoricalTraceManager::preview(ServerId id, const TaskDims& dims,
+                                        simcore::SimTime now, double startDelay) const {
+  Preview p;
+  previewInto(id, dims, now, startDelay, p);
   return p;
 }
 
-simcore::SimTime HistoricalTraceManager::commit(const std::string& server,
-                                                std::uint64_t taskId, const TaskDims& dims,
+Preview HistoricalTraceManager::preview(const std::string& server, const TaskDims& dims,
+                                        simcore::SimTime now, double startDelay) const {
+  return preview(requireId(server), dims, now, startDelay);
+}
+
+simcore::SimTime HistoricalTraceManager::commit(ServerId id, std::uint64_t taskId,
+                                                const TaskDims& dims,
                                                 simcore::SimTime now, double startDelay) {
-  Entry& entry = entryFor(server);
+  Entry& entry = row(id);
   entry.trace.admit(taskId, adjustedDims(entry, dims), now, startDelay);
   // Refresh the prediction of EVERY task on this server: the paper's Table 1
   // compares real completion dates against the HTM's final simulation, which
   // accounts for all tasks mapped before each completion (the new task
   // perturbs its neighbours' dates).
-  const auto all = entry.trace.predictCompletions();
+  scratch_.work = entry.trace.tasks();
+  scratch_.after.clear();
+  entry.trace.completeInto(scratch_.work, entry.trace.now(), scratch_.after);
+  std::sort(scratch_.after.begin(), scratch_.after.end(), byTaskId);
+
   simcore::SimTime predictedNew = simcore::kTimeInfinity;
-  for (const auto& [id, sigma] : all) {
-    auto it = entry.predicted.find(id);
-    if (it != entry.predicted.end()) {
-      it->second.first = sigma;
+  std::vector<PredictedRow>& pred = entry.predicted;
+  std::size_t pi = 0;
+  for (const PredictedEntry& e : scratch_.after) {
+    while (pi < pred.size() && pred[pi].taskId < e.taskId) ++pi;
+    if (pi < pred.size() && pred[pi].taskId == e.taskId) {
+      pred[pi].predicted = e.completion;
     } else {
-      entry.predicted[id] = {sigma, now + startDelay};
+      pred.insert(pred.begin() + static_cast<std::ptrdiff_t>(pi),
+                  PredictedRow{e.taskId, e.completion, now + startDelay});
     }
-    if (id == taskId) predictedNew = sigma;
+    if (e.taskId == taskId) predictedNew = e.completion;
   }
   ++stats_.commits;
   return predictedNew;
 }
 
-void HistoricalTraceManager::onTaskCompleted(const std::string& server,
-                                             std::uint64_t taskId,
+simcore::SimTime HistoricalTraceManager::commit(const std::string& server,
+                                                std::uint64_t taskId, const TaskDims& dims,
+                                                simcore::SimTime now, double startDelay) {
+  return commit(requireId(server), taskId, dims, now, startDelay);
+}
+
+void HistoricalTraceManager::advanceAll(simcore::SimTime now) {
+  for (std::optional<Entry>& entry : rows_) {
+    if (entry.has_value()) entry->trace.advanceTo(now);
+  }
+}
+
+void HistoricalTraceManager::onTaskCompleted(ServerId id, std::uint64_t taskId,
                                              simcore::SimTime actualCompletion) {
-  Entry& entry = entryFor(server);
+  Entry& entry = row(id);
   ++stats_.completionNotices;
 
-  auto itPred = entry.predicted.find(taskId);
-  if (itPred != entry.predicted.end()) {
-    const auto [predicted, admitted] = itPred->second;
+  std::vector<PredictedRow>& pred = entry.predicted;
+  auto itPred = std::lower_bound(
+      pred.begin(), pred.end(), taskId,
+      [](const PredictedRow& r, std::uint64_t tid) { return r.taskId < tid; });
+  if (itPred != pred.end() && itPred->taskId == taskId) {
+    const double predicted = itPred->predicted;
+    const double admitted = itPred->admitted;
     const double err = std::abs(actualCompletion - predicted);
     const double actualDuration = std::max(1e-9, actualCompletion - admitted);
     stats_.absErrorSum += err;
@@ -154,7 +262,7 @@ void HistoricalTraceManager::onTaskCompleted(const std::string& server,
       entry.speedRatio = (1.0 - kRescaleAlpha) * entry.speedRatio + kRescaleAlpha * ratio;
       entry.speedRatio = std::clamp(entry.speedRatio, 0.2, 5.0);
     }
-    entry.predicted.erase(itPred);
+    pred.erase(itPred);
   }
 
   if (policy_ == SyncPolicy::kPredictOnly) return;
@@ -162,46 +270,65 @@ void HistoricalTraceManager::onTaskCompleted(const std::string& server,
   entry.trace.remove(taskId);  // no-op when the simulation already retired it
 }
 
-void HistoricalTraceManager::onTaskFailed(const std::string& server, std::uint64_t taskId,
+void HistoricalTraceManager::onTaskCompleted(const std::string& server,
+                                             std::uint64_t taskId,
+                                             simcore::SimTime actualCompletion) {
+  onTaskCompleted(requireId(server), taskId, actualCompletion);
+}
+
+void HistoricalTraceManager::onTaskFailed(ServerId id, std::uint64_t taskId,
                                           simcore::SimTime now) {
-  Entry& entry = entryFor(server);
+  Entry& entry = row(id);
   ++stats_.failureNotices;
   entry.trace.advanceTo(now);
   entry.trace.remove(taskId);
-  entry.predicted.erase(taskId);
+  std::vector<PredictedRow>& pred = entry.predicted;
+  auto it = std::lower_bound(
+      pred.begin(), pred.end(), taskId,
+      [](const PredictedRow& r, std::uint64_t tid) { return r.taskId < tid; });
+  if (it != pred.end() && it->taskId == taskId) pred.erase(it);
 }
 
-void HistoricalTraceManager::onServerCollapsed(const std::string& server,
-                                               simcore::SimTime now) {
-  Entry& entry = entryFor(server);
+void HistoricalTraceManager::onTaskFailed(const std::string& server,
+                                          std::uint64_t taskId, simcore::SimTime now) {
+  onTaskFailed(requireId(server), taskId, now);
+}
+
+void HistoricalTraceManager::onServerCollapsed(ServerId id, simcore::SimTime now) {
+  Entry& entry = row(id);
   entry.trace.advanceTo(now);
   entry.trace.clear();
   entry.predicted.clear();
 }
 
+void HistoricalTraceManager::onServerCollapsed(const std::string& server,
+                                               simcore::SimTime now) {
+  onServerCollapsed(requireId(server), now);
+}
+
 std::map<std::uint64_t, simcore::SimTime> HistoricalTraceManager::predictedCompletions(
     const std::string& server, simcore::SimTime now) {
-  Entry& entry = entryFor(server);
+  Entry& entry = row(requireId(server));
   entry.trace.advanceTo(now);
   return entry.trace.predictCompletions();
 }
 
 GanttChart HistoricalTraceManager::gantt(const std::string& server, simcore::SimTime now) {
-  Entry& entry = entryFor(server);
+  Entry& entry = row(requireId(server));
   entry.trace.advanceTo(now);
   return entry.trace.simulateGantt();
 }
 
 std::size_t HistoricalTraceManager::activeTasks(const std::string& server) const {
-  return entryFor(server).trace.activeTasks();
+  return row(requireId(server)).trace.activeTasks();
 }
 
 double HistoricalTraceManager::speedCorrection(const std::string& server) const {
-  return entryFor(server).speedRatio;
+  return row(requireId(server)).speedRatio;
 }
 
 const ServerTrace& HistoricalTraceManager::trace(const std::string& server) const {
-  return entryFor(server).trace;
+  return row(requireId(server)).trace;
 }
 
 }  // namespace casched::core

@@ -6,6 +6,12 @@
 /// perturbations pi_j = sigma'_j - sigma_j, and their sum - the quantities
 /// driving HMCT, MP, MSF and MNI (paper figures 2-4).
 ///
+/// Server rows live in a contiguous vector indexed by interned ServerId (the
+/// HTM owns the name<->id table; the agent shares its id space through it),
+/// and the preview/commit hot path runs entirely on reusable scratch buffers -
+/// steady-state decisions never allocate. String-keyed overloads remain for
+/// the edges (registry, CLI, examples, wire decode).
+///
 /// Synchronization with reality (paper section 7's future work) is pluggable:
 /// completion notices can be ignored, used to drop tasks from the trace, or
 /// additionally used to learn a per-server speed correction.
@@ -16,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/server_id.hpp"
 #include "core/server_trace.hpp"
 #include "simcore/time.hpp"
 
@@ -46,11 +53,11 @@ struct Perturbation {
 
 /// Result of previewing a hypothetical mapping.
 struct Preview {
-  std::string server;
+  ServerId server = kInvalidServerId;
   simcore::SimTime completionNew = 0.0;  ///< sigma'_{n+1}: new task's completion
   double sumPerturbation = 0.0;          ///< sum_j pi_j
   std::size_t perturbedCount = 0;        ///< |{j : pi_j > eps}| (for MNI)
-  std::vector<Perturbation> perTask;     ///< individual pi_j, task order
+  std::vector<Perturbation> perTask;     ///< individual pi_j, task-id order
 };
 
 /// Prediction bookkeeping for accuracy statistics and the rescale policy.
@@ -81,33 +88,68 @@ class HistoricalTraceManager {
  public:
   explicit HistoricalTraceManager(SyncPolicy policy = SyncPolicy::kDropOnNotice);
 
+  // --- identity ---
+  /// Id for `name`, interning it on first sight. Interning alone does NOT
+  /// create a trace row (addServer does); ids are dense, append-only and
+  /// never reused, so a departed server that re-registers gets its old id.
+  ServerId intern(const std::string& name) { return interner_.intern(name); }
+  /// Id for `name`, or kInvalidServerId when never interned.
+  ServerId findId(const std::string& name) const { return interner_.find(name); }
+  const std::string& serverName(ServerId id) const { return interner_.name(id); }
+
   void addServer(const ServerModel& model);
   /// Retires a server's trace row (dynamic membership: the server left the
   /// grid). Pending predictions for its tasks are discarded.
+  void removeServer(ServerId id);
   void removeServer(const std::string& server);
-  bool hasServer(const std::string& server) const;
+  bool hasServer(ServerId id) const {
+    return id < rows_.size() && rows_[id].has_value();
+  }
+  bool hasServer(const std::string& server) const { return hasServer(findId(server)); }
+  /// Names of live rows, in id (registration) order.
   std::vector<std::string> serverNames() const;
 
-  /// Simulates mapping a task of `dims` on `server`: the task is admitted at
-  /// `now + startDelay` (submission path latency). Does not mutate the trace.
+  /// Simulates mapping a task of `dims` on the server: the task is admitted
+  /// at `now + startDelay` (submission path latency). Does not mutate the
+  /// trace. The Into form reuses `out`'s buffers and the HTM's own scratch,
+  /// so a warm call performs no heap allocation. With `perturbations` false
+  /// only completionNew is computed (sumPerturbation/perturbedCount/perTask
+  /// come back zeroed) and the simulation stops as soon as the hypothetical
+  /// task finishes - the fast path for HMCT, whose score ignores pi_j.
+  /// completionNew is bit-identical either way.
+  void previewInto(ServerId id, const TaskDims& dims, simcore::SimTime now,
+                   double startDelay, Preview& out, bool perturbations = true) const;
+  Preview preview(ServerId id, const TaskDims& dims, simcore::SimTime now,
+                  double startDelay = 0.0) const;
   Preview preview(const std::string& server, const TaskDims& dims,
                   simcore::SimTime now, double startDelay = 0.0) const;
 
-  /// Records that `taskId` was mapped on `server` (paper's "tell the HTM").
+  /// Records that `taskId` was mapped on the server (paper's "tell the HTM").
   /// Returns the predicted completion date of the new task.
+  simcore::SimTime commit(ServerId id, std::uint64_t taskId, const TaskDims& dims,
+                          simcore::SimTime now, double startDelay = 0.0);
   simcore::SimTime commit(const std::string& server, std::uint64_t taskId,
                           const TaskDims& dims, simcore::SimTime now,
                           double startDelay = 0.0);
 
+  /// Advances every live trace to `now`. Called once per scheduling batch so
+  /// the per-candidate previews start from already-advanced traces (their
+  /// copy-advance becomes a no-op).
+  void advanceAll(simcore::SimTime now);
+
   /// Completion notice from the real system; behaviour depends on SyncPolicy.
+  void onTaskCompleted(ServerId id, std::uint64_t taskId,
+                       simcore::SimTime actualCompletion);
   void onTaskCompleted(const std::string& server, std::uint64_t taskId,
                        simcore::SimTime actualCompletion);
 
   /// Failure notice: the task is gone from the server (always honoured).
+  void onTaskFailed(ServerId id, std::uint64_t taskId, simcore::SimTime now);
   void onTaskFailed(const std::string& server, std::uint64_t taskId,
                     simcore::SimTime now);
 
   /// Collapse notice: the server lost every running task.
+  void onServerCollapsed(ServerId id, simcore::SimTime now);
   void onServerCollapsed(const std::string& server, simcore::SimTime now);
 
   /// Current predicted completion dates on a server (advances the trace).
@@ -117,39 +159,77 @@ class HistoricalTraceManager {
   /// Gantt chart of the committed trace of a server at `now` (figure 1).
   GanttChart gantt(const std::string& server, simcore::SimTime now);
 
+  std::size_t activeTasks(ServerId id) const { return row(id).trace.activeTasks(); }
   std::size_t activeTasks(const std::string& server) const;
+  double speedCorrection(ServerId id) const { return row(id).speedRatio; }
   double speedCorrection(const std::string& server) const;
   SyncPolicy policy() const { return policy_; }
   const HtmStats& stats() const { return stats_; }
 
   /// Read access for diagnostics/tests.
+  const ServerTrace& trace(ServerId id) const { return row(id).trace; }
   const ServerTrace& trace(const std::string& server) const;
 
   // --- snapshot/persistence (src/core/htm_snapshot.hpp) ---
-  /// Full serializable state: policy, stats, and every server row.
+  /// Full serializable state: policy, stats, and every server row (rows
+  /// ordered by name, matching the historical on-disk order).
   HtmSnapshot snapshot() const;
   /// Replaces ALL state (policy, stats, rows) from a snapshot - the restarted
-  /// agent's warm start. Existing rows are discarded.
+  /// agent's warm start. Existing rows are discarded; the id table persists
+  /// (ids are never reused).
   void restore(const HtmSnapshot& snapshot);
   /// Replaces or creates one server row from a snapshot - how a replica
   /// adopts a peer's learned trace for a server it does not serve (yet).
   void restoreServer(const HtmServerSnapshot& snapshot);
 
  private:
+  /// Last committed prediction of one task, kept sorted by taskId.
+  struct PredictedRow {
+    std::uint64_t taskId = 0;
+    simcore::SimTime predicted = 0.0;
+    simcore::SimTime admitted = 0.0;
+  };
+
+  /// Memo for the perturbation-free preview path. A preview is a pure
+  /// function of (trace state, now, adjusted dims, startDelay); the trace
+  /// version stands in for its state, so repeated previews of an unchanged
+  /// server - the common case inside a placement batch, where each decision
+  /// mutates exactly one trace - are answered without re-simulating.
+  struct PreviewMemo {
+    bool valid = false;
+    std::uint64_t traceVersion = 0;
+    simcore::SimTime now = 0.0;
+    double startDelay = 0.0;
+    TaskDims dims;  ///< adjusted dims (captures speedRatio changes)
+    simcore::SimTime completionNew = 0.0;
+  };
+
   struct Entry {
     ServerTrace trace;
     /// EWMA of actual/predicted duration ratio (kRescale).
     double speedRatio = 1.0;
-    /// Last committed prediction per task: completion date and admit date.
-    std::map<std::uint64_t, std::pair<simcore::SimTime, simcore::SimTime>> predicted;
+    std::vector<PredictedRow> predicted;  ///< sorted by taskId
+    mutable PreviewMemo memo;             ///< previewInto is logically const
   };
 
-  Entry& entryFor(const std::string& server);
-  const Entry& entryFor(const std::string& server) const;
+  /// Reusable buffers for the preview/commit scratch path; capacity is
+  /// retained across calls. Single-threaded by design, like the engine.
+  struct Scratch {
+    std::vector<TraceTask> base;
+    std::vector<TraceTask> work;
+    std::vector<PredictedEntry> before;
+    std::vector<PredictedEntry> after;
+  };
+
+  Entry& row(ServerId id);
+  const Entry& row(ServerId id) const;
+  ServerId requireId(const std::string& server) const;
   TaskDims adjustedDims(const Entry& entry, const TaskDims& dims) const;
 
   SyncPolicy policy_;
-  std::map<std::string, Entry> servers_;
+  ServerInterner interner_;
+  std::vector<std::optional<Entry>> rows_;  ///< indexed by ServerId
+  mutable Scratch scratch_;
   mutable HtmStats stats_;  // preview() is logically const but counted
 };
 

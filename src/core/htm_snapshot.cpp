@@ -164,16 +164,28 @@ HtmSnapshot HistoricalTraceManager::snapshot() const {
   HtmSnapshot snap;
   snap.policy = policy_;
   snap.stats = stats_;
-  snap.servers.reserve(servers_.size());
-  for (const auto& [name, entry] : servers_) {
+  // Rows ordered by name, matching the historical (name-keyed) on-disk
+  // order, so snapshots stay byte-comparable across agent incarnations
+  // whose registration order differed.
+  std::vector<ServerId> live;
+  for (ServerId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].has_value()) live.push_back(id);
+  }
+  std::sort(live.begin(), live.end(), [this](ServerId a, ServerId b) {
+    return interner_.name(a) < interner_.name(b);
+  });
+  snap.servers.reserve(live.size());
+  for (const ServerId id : live) {
+    const Entry& entry = *rows_[id];
     HtmServerSnapshot s;
     s.model = entry.trace.model();
     s.speedRatio = entry.speedRatio;
     s.traceNow = entry.trace.now();
     s.tasks = entry.trace.tasks();
     s.predictions.reserve(entry.predicted.size());
-    for (const auto& [taskId, pred] : entry.predicted) {
-      s.predictions.push_back(HtmPredictionSnapshot{taskId, pred.first, pred.second});
+    for (const PredictedRow& pred : entry.predicted) {
+      s.predictions.push_back(
+          HtmPredictionSnapshot{pred.taskId, pred.predicted, pred.admitted});
     }
     snap.servers.push_back(std::move(s));
   }
@@ -183,17 +195,26 @@ HtmSnapshot HistoricalTraceManager::snapshot() const {
 void HistoricalTraceManager::restore(const HtmSnapshot& snapshot) {
   policy_ = snapshot.policy;
   stats_ = snapshot.stats;
-  servers_.clear();
+  // Drop every row but keep the id table: ids are append-only and never
+  // reused, and the agent may already hold ids from this interner.
+  for (std::optional<Entry>& entry : rows_) entry.reset();
   for (const HtmServerSnapshot& s : snapshot.servers) restoreServer(s);
 }
 
 void HistoricalTraceManager::restoreServer(const HtmServerSnapshot& snapshot) {
-  Entry entry{ServerTrace(snapshot.model), snapshot.speedRatio, {}};
+  Entry entry{ServerTrace(snapshot.model), snapshot.speedRatio, {}, {}};
   entry.trace.restore(snapshot.tasks, snapshot.traceNow);
+  entry.predicted.reserve(snapshot.predictions.size());
   for (const HtmPredictionSnapshot& p : snapshot.predictions) {
-    entry.predicted[p.taskId] = {p.predictedCompletion, p.admitted};
+    entry.predicted.push_back(PredictedRow{p.taskId, p.predictedCompletion, p.admitted});
   }
-  servers_.insert_or_assign(snapshot.model.name, std::move(entry));
+  std::sort(entry.predicted.begin(), entry.predicted.end(),
+            [](const PredictedRow& a, const PredictedRow& b) {
+              return a.taskId < b.taskId;
+            });
+  const ServerId id = interner_.intern(snapshot.model.name);
+  if (id >= rows_.size()) rows_.resize(id + 1);
+  rows_[id] = std::move(entry);
 }
 
 std::vector<std::uint8_t> encodeHtmSnapshot(const HtmSnapshot& snapshot) {

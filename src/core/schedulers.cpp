@@ -33,20 +33,31 @@ std::optional<std::size_t> argmin(const std::vector<double>& primary,
   return best;
 }
 
-/// Runs the HTM preview for every candidate.
-std::vector<Preview> previewAll(const ScheduleQuery& query) {
+/// Resets a decision's choice and score list for reuse (previews are managed
+/// by the HTM heuristics, which resize them in place).
+void resetDecision(ScheduleDecision& d) {
+  d.chosen.reset();
+  d.scores.clear();
+}
+
+/// Runs the HTM preview for every candidate into d.previews, reusing each
+/// element's buffers. Heuristics whose score ignores pi_j pass
+/// `perturbations = false` for the early-exit preview.
+void previewAll(const ScheduleQuery& query, ScheduleDecision& d,
+                bool perturbations = true) {
   CASCHED_CHECK(query.htm != nullptr, "HTM heuristic invoked without an HTM");
-  std::vector<Preview> previews;
-  previews.reserve(query.candidates.size());
-  for (const CandidateServer& c : query.candidates) {
-    previews.push_back(query.htm->preview(c.name, c.dims, query.now, query.startDelay));
+  d.previews.resize(query.candidates.size());
+  for (std::size_t i = 0; i < query.candidates.size(); ++i) {
+    const CandidateServer& c = query.candidates[i];
+    query.htm->previewInto(c.id, c.dims, query.now, query.startDelay, d.previews[i],
+                           perturbations);
   }
-  return previews;
 }
 }  // namespace
 
-ScheduleDecision MctScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
+void MctScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
   for (const CandidateServer& c : query.candidates) {
     // NetSolve's estimate (paper section 2.2): communication time = size /
     // bandwidth + latency, computation time = cost / available CPU fraction,
@@ -56,34 +67,31 @@ ScheduleDecision MctScheduler::choose(const ScheduleQuery& query) {
     d.scores.push_back(comm + c.dims.cpuSeconds * (load + 1.0));
   }
   d.chosen = argmin(d.scores);
-  return d;
 }
 
-ScheduleDecision HmctScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  d.previews = previewAll(query);
+void HmctScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  previewAll(query, d, /*perturbations=*/false);
   for (const Preview& p : d.previews) d.scores.push_back(p.completionNew);
   d.chosen = argmin(d.scores);
-  return d;
 }
 
-ScheduleDecision MpScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  d.previews = previewAll(query);
-  std::vector<double> completion;
+void MpScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  previewAll(query, d);
+  completionScratch_.clear();
   for (const Preview& p : d.previews) {
     d.scores.push_back(p.sumPerturbation);
-    completion.push_back(p.completionNew);
+    completionScratch_.push_back(p.completionNew);
   }
   // Paper fig. 3: minimum sum of perturbations; when sums tie (e.g. all zero
   // on an idle platform), minimize the new task's completion date.
-  d.chosen = argmin(d.scores, &completion);
-  return d;
+  d.chosen = argmin(d.scores, &completionScratch_);
 }
 
-ScheduleDecision MsfScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  d.previews = previewAll(query);
+void MsfScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  previewAll(query, d);
   for (const Preview& p : d.previews) {
     // Increase of the system sum-flow = sum of perturbations + flow of the
     // new task (paper fig. 4). The arrival date is a per-task constant, so
@@ -91,42 +99,40 @@ ScheduleDecision MsfScheduler::choose(const ScheduleQuery& query) {
     d.scores.push_back(p.sumPerturbation + (p.completionNew - query.now));
   }
   d.chosen = argmin(d.scores);
-  return d;
 }
 
-ScheduleDecision MniScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  d.previews = previewAll(query);
-  std::vector<double> completion;
+void MniScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  previewAll(query, d);
+  completionScratch_.clear();
   for (const Preview& p : d.previews) {
     d.scores.push_back(static_cast<double>(p.perturbedCount));
-    completion.push_back(p.completionNew);
+    completionScratch_.push_back(p.completionNew);
   }
-  d.chosen = argmin(d.scores, &completion);
-  return d;
+  d.chosen = argmin(d.scores, &completionScratch_);
 }
 
-ScheduleDecision MetScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
+void MetScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
   for (const CandidateServer& c : query.candidates) d.scores.push_back(c.unloadedDuration);
   d.chosen = argmin(d.scores);
-  return d;
 }
 
-ScheduleDecision RandomScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  if (query.candidates.empty()) return d;
+void RandomScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
+  if (query.candidates.empty()) return;
   d.chosen = static_cast<std::size_t>(rng_.uniformInt(
       0, static_cast<std::int64_t>(query.candidates.size()) - 1));
-  return d;
 }
 
-ScheduleDecision RoundRobinScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  if (query.candidates.empty()) return d;
+void RoundRobinScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
+  if (query.candidates.empty()) return;
   d.chosen = next_ % query.candidates.size();
   next_ = (next_ + 1) % std::max<std::size_t>(1, query.candidates.size());
-  return d;
 }
 
 MemoryAwareScheduler::MemoryAwareScheduler(std::unique_ptr<Scheduler> inner)
@@ -134,25 +140,26 @@ MemoryAwareScheduler::MemoryAwareScheduler(std::unique_ptr<Scheduler> inner)
   CASCHED_CHECK(inner_ != nullptr, "memory-aware decorator needs an inner scheduler");
 }
 
-ScheduleDecision MemoryAwareScheduler::choose(const ScheduleQuery& query) {
-  ScheduleDecision d;
-  if (query.candidates.empty()) return d;
+void MemoryAwareScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
+  if (query.candidates.empty()) return;
 
   // Tier 1: no thrashing (fits in physical RAM). Tier 2: no collapse (fits
   // in RAM+swap).
-  std::vector<std::size_t> keep;
+  keep_.clear();
   for (std::size_t i = 0; i < query.candidates.size(); ++i) {
     const CandidateServer& c = query.candidates[i];
     const double soft = std::min(c.memSoftMB, c.memCapacityMB);
-    if (c.projectedResidentMB + c.taskMemMB <= soft) keep.push_back(i);
+    if (c.projectedResidentMB + c.taskMemMB <= soft) keep_.push_back(i);
   }
-  if (keep.empty()) {
+  if (keep_.empty()) {
     for (std::size_t i = 0; i < query.candidates.size(); ++i) {
       const CandidateServer& c = query.candidates[i];
-      if (c.projectedResidentMB + c.taskMemMB <= c.memCapacityMB) keep.push_back(i);
+      if (c.projectedResidentMB + c.taskMemMB <= c.memCapacityMB) keep_.push_back(i);
     }
   }
-  if (keep.empty()) {
+  if (keep_.empty()) {
     // Nowhere fits: degrade gracefully to the roomiest server.
     std::size_t best = 0;
     double bestFree = -std::numeric_limits<double>::infinity();
@@ -165,17 +172,17 @@ ScheduleDecision MemoryAwareScheduler::choose(const ScheduleQuery& query) {
       }
     }
     d.chosen = best;
-    return d;
+    return;
   }
 
-  ScheduleQuery filtered = query;
-  filtered.candidates.clear();
-  for (std::size_t i : keep) filtered.candidates.push_back(query.candidates[i]);
-  ScheduleDecision inner = inner_->choose(filtered);
-  if (inner.chosen) d.chosen = keep[*inner.chosen];
-  d.scores = std::move(inner.scores);
-  d.previews = std::move(inner.previews);
-  return d;
+  filtered_.taskId = query.taskId;
+  filtered_.now = query.now;
+  filtered_.startDelay = query.startDelay;
+  filtered_.htm = query.htm;
+  filtered_.candidates.clear();
+  for (std::size_t i : keep_) filtered_.candidates.push_back(query.candidates[i]);
+  inner_->chooseInto(filtered_, d);
+  if (d.chosen) d.chosen = keep_[*d.chosen];
 }
 
 std::unique_ptr<Scheduler> makeScheduler(const std::string& name, std::uint64_t seed) {

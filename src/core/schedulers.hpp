@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/htm.hpp"
+#include "core/server_id.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/time.hpp"
 
@@ -21,9 +22,10 @@ namespace casched::core {
 /// Everything a heuristic may know about one candidate server at decision
 /// time. The agent fills this from registration data, the cost database, load
 /// reports (+ the two NetSolve correction mechanisms) and its own memory
-/// bookkeeping; HTM-based heuristics additionally query the HTM.
+/// bookkeeping; HTM-based heuristics additionally query the HTM. Identity is
+/// the interned ServerId - no strings on the decision path.
 struct CandidateServer {
-  std::string name;
+  ServerId id = kInvalidServerId;
   TaskDims dims;                   ///< this task's dimensions on this server
   double reportedLoad = 0.0;       ///< corrected load estimate (MCT's view)
   double unloadedDuration = 0.0;   ///< latencies + transfers + compute, unloaded
@@ -54,9 +56,17 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
   virtual bool usesHtm() const { return false; }
-  /// Picks a candidate; nullopt when the candidate list is empty (the agent
-  /// then queues/loses the task depending on fault-tolerance policy).
-  virtual ScheduleDecision choose(const ScheduleQuery& query) = 0;
+  /// Picks a candidate into `out`, reusing out's buffers (a warm call on the
+  /// decision path performs no heap allocation). out.chosen is nullopt when
+  /// the candidate list is empty (the agent then queues/loses the task
+  /// depending on fault-tolerance policy).
+  virtual void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) = 0;
+  /// Convenience wrapper (tests, tools, benches).
+  ScheduleDecision choose(const ScheduleQuery& query) {
+    ScheduleDecision d;
+    chooseInto(query, d);
+    return d;
+  }
 };
 
 /// NetSolve's Minimum Completion Time on (stale) load reports: estimated
@@ -64,7 +74,7 @@ class Scheduler {
 class MctScheduler final : public Scheduler {
  public:
   std::string name() const override { return "mct"; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 };
 
 /// Historical MCT (paper fig. 2): minimum sigma'_{n+1} from the HTM.
@@ -72,7 +82,7 @@ class HmctScheduler final : public Scheduler {
  public:
   std::string name() const override { return "hmct"; }
   bool usesHtm() const override { return true; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 };
 
 /// Minimum Perturbation (paper fig. 3): minimum sum of pi_j; equal sums are
@@ -81,7 +91,10 @@ class MpScheduler final : public Scheduler {
  public:
   std::string name() const override { return "mp"; }
   bool usesHtm() const override { return true; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
+
+ private:
+  std::vector<double> completionScratch_;
 };
 
 /// Minimum Sum Flow (paper fig. 4, equivalent to Weissman's MTI): minimum
@@ -91,7 +104,7 @@ class MsfScheduler final : public Scheduler {
  public:
   std::string name() const override { return "msf"; }
   bool usesHtm() const override { return true; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 };
 
 /// Weissman's MNI: minimize the number of tasks that experience interference;
@@ -100,14 +113,17 @@ class MniScheduler final : public Scheduler {
  public:
   std::string name() const override { return "mni"; }
   bool usesHtm() const override { return true; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
+
+ private:
+  std::vector<double> completionScratch_;
 };
 
 /// Minimum Execution Time: fastest unloaded server, ignoring load entirely.
 class MetScheduler final : public Scheduler {
  public:
   std::string name() const override { return "met"; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 };
 
 /// Uniform random candidate (sanity baseline).
@@ -115,7 +131,7 @@ class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
   std::string name() const override { return "random"; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   simcore::RandomStream rng_;
@@ -125,7 +141,7 @@ class RandomScheduler final : public Scheduler {
 class RoundRobinScheduler final : public Scheduler {
  public:
   std::string name() const override { return "round-robin"; }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   std::size_t next_ = 0;
@@ -141,10 +157,13 @@ class MemoryAwareScheduler final : public Scheduler {
   explicit MemoryAwareScheduler(std::unique_ptr<Scheduler> inner);
   std::string name() const override { return "ma-" + inner_->name(); }
   bool usesHtm() const override { return inner_->usesHtm(); }
-  ScheduleDecision choose(const ScheduleQuery& query) override;
+  void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   std::unique_ptr<Scheduler> inner_;
+  // Reused across calls: the filtered sub-query and the surviving indices.
+  ScheduleQuery filtered_;
+  std::vector<std::size_t> keep_;
 };
 
 /// Factory: "mct", "hmct", "mp", "msf", "mni", "met", "random",

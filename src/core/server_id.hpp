@@ -1,0 +1,56 @@
+#pragma once
+/// \file server_id.hpp
+/// Dense interned server identity.
+///
+/// Server names are strings at the edges of the system (wire messages, the
+/// scenario registry, CLI flags, metrics labels) but the scheduling hot path
+/// must never hash or compare them. Each name is interned exactly once - at
+/// registration / first HTM contact - into a dense uint32 ServerId, and every
+/// per-server table (agent server state, HTM rows, in-flight bookkeeping)
+/// becomes a contiguous vector indexed by that id. Ids are append-only and
+/// never reused: a server that departs and later re-registers gets its old id
+/// (and with it any pre-warmed HTM row) back.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace casched::core {
+
+using ServerId = std::uint32_t;
+inline constexpr ServerId kInvalidServerId = 0xffffffffu;
+
+/// The name <-> id table. One instance per agent/HTM pair (the HTM owns it;
+/// the agent shares the id space through it).
+class ServerInterner {
+ public:
+  /// Id for `name`, interning it when unseen.
+  ServerId intern(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name, static_cast<ServerId>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  /// Id for `name`, or kInvalidServerId when it was never interned.
+  ServerId find(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kInvalidServerId : it->second;
+  }
+
+  const std::string& name(ServerId id) const { return names_[id]; }
+
+  /// Number of interned names == smallest id not yet assigned.
+  std::size_t size() const { return names_.size(); }
+
+  void clear() {
+    names_.clear();
+    ids_.clear();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ServerId> ids_;
+};
+
+}  // namespace casched::core

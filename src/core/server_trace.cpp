@@ -1,7 +1,9 @@
 #include "core/server_trace.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <type_traits>
 
 #include "util/error.hpp"
 
@@ -60,21 +62,49 @@ double ServerTrace::phaseRate(TracePhase phase, std::size_t inCount,
   return 0.0;
 }
 
-void ServerTrace::step(std::vector<TraceTask>& tasks, simcore::SimTime* t,
-                       simcore::SimTime bound, const DoneFn& onDone,
-                       const SegmentFn& onSegment) const {
+template <class DoneF, class SegF>
+void ServerTrace::stepCore(std::vector<TraceTask>& tasks, simcore::SimTime* t,
+                           simcore::SimTime bound, DoneF&& onDone, SegF&& onSegment,
+                           const std::uint64_t* stopTaskId,
+                           simcore::SimTime* stopCompletion) const {
+  constexpr bool kHasDone = !std::is_null_pointer_v<std::decay_t<DoneF>>;
+  constexpr bool kHasSegment = !std::is_null_pointer_v<std::decay_t<SegF>>;
+  // Sharer counts per shared resource, maintained incrementally: they only
+  // change at phase transitions, which the loop below already visits. The
+  // counts are integers, so the arithmetic (and its results) is identical to
+  // recounting from scratch every round.
+  std::size_t inCount = 0, cpuCount = 0, outCount = 0;
+  auto adjust = [&](TracePhase phase, std::ptrdiff_t delta) {
+    if (phase == TracePhase::kTransferIn) inCount += static_cast<std::size_t>(delta);
+    else if (phase == TracePhase::kCompute) cpuCount += static_cast<std::size_t>(delta);
+    else if (phase == TracePhase::kTransferOut) outCount += static_cast<std::size_t>(delta);
+  };
+  for (const TraceTask& task : tasks) adjust(task.phase, +1);
+
   while (!tasks.empty() && *t < bound) {
-    // Count sharers per shared resource.
-    std::size_t inCount = 0, cpuCount = 0, outCount = 0;
-    for (const TraceTask& task : tasks) {
-      if (task.phase == TracePhase::kTransferIn) ++inCount;
-      else if (task.phase == TracePhase::kCompute) ++cpuCount;
-      else if (task.phase == TracePhase::kTransferOut) ++outCount;
-    }
+    // Per-phase progress rates, computed once per round (same divisions
+    // phaseRate performs, so the values are bit-identical - just hoisted out
+    // of the per-task loops).
+    const double rateIn =
+        inCount == 0 ? 0.0 : model_.bwInMBps / static_cast<double>(inCount);
+    const double rateCpu = cpuCount == 0 ? 0.0 : 1.0 / static_cast<double>(cpuCount);
+    const double rateOut =
+        outCount == 0 ? 0.0 : model_.bwOutMBps / static_cast<double>(outCount);
+    auto rateOf = [&](TracePhase phase) {
+      switch (phase) {
+        case TracePhase::kLatencyIn:
+        case TracePhase::kLatencyOut: return 1.0;
+        case TracePhase::kTransferIn: return rateIn;
+        case TracePhase::kCompute: return rateCpu;
+        case TracePhase::kTransferOut: return rateOut;
+        case TracePhase::kDone: return 0.0;
+      }
+      return 0.0;
+    };
     // Time to the next phase completion at current rates.
     double dt = std::numeric_limits<double>::infinity();
     for (const TraceTask& task : tasks) {
-      const double rate = phaseRate(task.phase, inCount, cpuCount, outCount);
+      const double rate = rateOf(task.phase);
       CASCHED_CHECK(rate > 0.0, "trace task with zero progress rate");
       dt = std::min(dt, task.remaining / rate);
     }
@@ -84,13 +114,15 @@ void ServerTrace::step(std::vector<TraceTask>& tasks, simcore::SimTime* t,
     const simcore::SimTime t1 = t0 + dt;
     // Integrate and emit segments.
     for (TraceTask& task : tasks) {
-      const double rate = phaseRate(task.phase, inCount, cpuCount, outCount);
-      if (onSegment && dt > kEps) {
-        double share = 1.0;
-        if (task.phase == TracePhase::kTransferIn) share = 1.0 / static_cast<double>(inCount);
-        else if (task.phase == TracePhase::kCompute) share = 1.0 / static_cast<double>(cpuCount);
-        else if (task.phase == TracePhase::kTransferOut) share = 1.0 / static_cast<double>(outCount);
-        onSegment(task, t0, t1, share);
+      const double rate = rateOf(task.phase);
+      if constexpr (kHasSegment) {
+        if (dt > kEps) {
+          double share = 1.0;
+          if (task.phase == TracePhase::kTransferIn) share = 1.0 / static_cast<double>(inCount);
+          else if (task.phase == TracePhase::kCompute) share = 1.0 / static_cast<double>(cpuCount);
+          else if (task.phase == TracePhase::kTransferOut) share = 1.0 / static_cast<double>(outCount);
+          onSegment(task, t0, t1, share);
+        }
       }
       task.remaining = std::max(0.0, task.remaining - rate * dt);
     }
@@ -98,12 +130,20 @@ void ServerTrace::step(std::vector<TraceTask>& tasks, simcore::SimTime* t,
     // Phase transitions and completions.
     for (auto it = tasks.begin(); it != tasks.end();) {
       if (it->remaining <= kEps) {
+        const TracePhase from = it->phase;
         enterNextPhase(*it);
+        adjust(from, -1);
         if (it->phase == TracePhase::kDone) {
-          if (onDone) onDone(*it, *t);
+          if constexpr (kHasDone) onDone(*it, *t);
+          const bool stop = stopTaskId != nullptr && it->taskId == *stopTaskId;
           it = tasks.erase(it);
+          if (stop) {
+            if (stopCompletion != nullptr) *stopCompletion = *t;
+            return;
+          }
           continue;
         }
+        adjust(it->phase, +1);
       }
       ++it;
     }
@@ -114,7 +154,8 @@ void ServerTrace::step(std::vector<TraceTask>& tasks, simcore::SimTime* t,
 
 void ServerTrace::advanceTo(simcore::SimTime to) {
   if (to <= now_) return;
-  step(tasks_, &now_, to, nullptr, nullptr);
+  ++version_;
+  stepCore(tasks_, &now_, to, nullptr, nullptr, nullptr, nullptr);
 }
 
 void ServerTrace::admit(std::uint64_t taskId, const TaskDims& dims,
@@ -122,6 +163,7 @@ void ServerTrace::admit(std::uint64_t taskId, const TaskDims& dims,
   CASCHED_CHECK(startDelay >= 0.0, "startDelay must be non-negative");
   CASCHED_CHECK(!hasTask(taskId), "task already in trace");
   advanceTo(at);
+  ++version_;
   TraceTask task;
   task.taskId = taskId;
   task.dims = dims;
@@ -138,19 +180,63 @@ bool ServerTrace::remove(std::uint64_t taskId) {
                          [taskId](const TraceTask& t) { return t.taskId == taskId; });
   if (it == tasks_.end()) return false;
   tasks_.erase(it);
+  ++version_;
   return true;
 }
 
-void ServerTrace::clear() { tasks_.clear(); }
+void ServerTrace::clear() {
+  tasks_.clear();
+  ++version_;
+}
 
 std::map<std::uint64_t, simcore::SimTime> ServerTrace::predictCompletions() const {
   std::map<std::uint64_t, simcore::SimTime> out;
   std::vector<TraceTask> copy = tasks_;
   simcore::SimTime t = now_;
-  step(copy, &t, simcore::kTimeInfinity,
-       [&out](const TraceTask& task, simcore::SimTime when) { out[task.taskId] = when; },
-       nullptr);
+  stepCore(copy, &t, simcore::kTimeInfinity,
+           [&out](const TraceTask& task, simcore::SimTime when) { out[task.taskId] = when; },
+           nullptr, nullptr, nullptr);
   return out;
+}
+
+void ServerTrace::copyAdvanced(std::vector<TraceTask>& tasks, simcore::SimTime* t,
+                               simcore::SimTime to) const {
+  tasks = tasks_;  // assignment reuses the destination's capacity
+  *t = now_;
+  if (to > *t) stepCore(tasks, t, to, nullptr, nullptr, nullptr, nullptr);
+}
+
+void ServerTrace::completeInto(std::vector<TraceTask>& tasks, simcore::SimTime t,
+                               std::vector<PredictedEntry>& out) const {
+  stepCore(tasks, &t, simcore::kTimeInfinity,
+           [&out](const TraceTask& task, simcore::SimTime when) {
+             out.push_back(PredictedEntry{task.taskId, when});
+           },
+           nullptr, nullptr, nullptr);
+}
+
+simcore::SimTime ServerTrace::completeOne(std::vector<TraceTask>& tasks,
+                                          simcore::SimTime t,
+                                          std::uint64_t taskId) const {
+  simcore::SimTime completion = simcore::kTimeInfinity;
+  stepCore(tasks, &t, simcore::kTimeInfinity, nullptr, nullptr, &taskId, &completion);
+  return completion;
+}
+
+bool ServerTrace::buildAdmitted(std::uint64_t taskId, const TaskDims& dims,
+                                simcore::SimTime at, double startDelay,
+                                TraceTask* out) const {
+  CASCHED_CHECK(startDelay >= 0.0, "startDelay must be non-negative");
+  TraceTask task;
+  task.taskId = taskId;
+  task.dims = dims;
+  task.admitted = at;
+  task.phase = TracePhase::kLatencyIn;
+  task.remaining = startDelay + model_.latencyIn;
+  if (task.remaining <= kEps) enterNextPhase(task);
+  if (task.phase == TracePhase::kDone) return false;  // degenerate empty task
+  *out = task;
+  return true;
 }
 
 simcore::SimTime ServerTrace::predictCompletion(std::uint64_t taskId) const {
@@ -166,15 +252,16 @@ GanttChart ServerTrace::simulateGantt() const {
   chart.horizon = now_;
   std::vector<TraceTask> copy = tasks_;
   simcore::SimTime t = now_;
-  step(copy, &t, simcore::kTimeInfinity,
-       [&chart](const TraceTask&, simcore::SimTime when) {
-         chart.horizon = std::max(chart.horizon, when);
-       },
-       [&chart](const TraceTask& task, simcore::SimTime t0, simcore::SimTime t1,
-                double share) {
-         chart.segments.push_back(GanttSegment{
-             task.taskId, static_cast<std::uint8_t>(task.phase), t0, t1, share});
-       });
+  stepCore(copy, &t, simcore::kTimeInfinity,
+           [&chart](const TraceTask&, simcore::SimTime when) {
+             chart.horizon = std::max(chart.horizon, when);
+           },
+           [&chart](const TraceTask& task, simcore::SimTime t0, simcore::SimTime t1,
+                    double share) {
+             chart.segments.push_back(GanttSegment{
+                 task.taskId, static_cast<std::uint8_t>(task.phase), t0, t1, share});
+           },
+           nullptr, nullptr);
   chart.horizon = std::max(chart.horizon, t);
   return chart;
 }
@@ -202,6 +289,7 @@ void ServerTrace::restore(std::vector<TraceTask> tasks, simcore::SimTime now) {
                               [](const TraceTask& t) { return t.phase == TracePhase::kDone; }),
                tasks_.end());
   now_ = now;
+  ++version_;
 }
 
 std::string tracePhaseName(TracePhase phase) {

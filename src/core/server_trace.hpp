@@ -8,7 +8,6 @@
 /// the ground-truth simulator to floating point (property-tested).
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,6 +54,12 @@ struct TraceTask {
   simcore::SimTime admitted = 0.0;
 };
 
+/// One predicted completion, collected by the scratch-based prediction path.
+struct PredictedEntry {
+  std::uint64_t taskId = 0;
+  simcore::SimTime completion = 0.0;
+};
+
 /// Copyable per-server trace; copies are how hypothetical mappings are
 /// evaluated without disturbing the committed state.
 class ServerTrace {
@@ -65,6 +70,11 @@ class ServerTrace {
   simcore::SimTime now() const { return now_; }
   std::size_t activeTasks() const { return tasks_.size(); }
   bool hasTask(std::uint64_t taskId) const;
+
+  /// Bumped on every state mutation (advance that moves the clock, admit,
+  /// remove, clear, restore). Lets callers memoize derived results - the
+  /// HTM's preview cache keys on it.
+  std::uint64_t version() const { return version_; }
 
   /// Integrates the equal-share execution up to `to`; tasks reaching kDone
   /// are dropped from the trace (their completion date is the simulated one).
@@ -88,6 +98,36 @@ class ServerTrace {
   /// mutating state.
   std::map<std::uint64_t, simcore::SimTime> predictCompletions() const;
 
+  // --- scratch-based prediction (the zero-allocation hot path) ---
+  // These operate on caller-owned vectors whose capacity is retained across
+  // calls, so a warm caller predicts without touching the heap. They perform
+  // exactly the arithmetic of the copy + advanceTo + predictCompletions path
+  // above, in the same order, so results are bit-identical.
+
+  /// Copies the live task list into `tasks` (capacity reused) and advances
+  /// the copy to `to`; `*t` receives the copy's clock (max(now(), to)).
+  void copyAdvanced(std::vector<TraceTask>& tasks, simcore::SimTime* t,
+                    simcore::SimTime to) const;
+
+  /// Steps `tasks` (consumed) from `t` to completion, appending one
+  /// {taskId, completion} per task to `out` in completion order.
+  void completeInto(std::vector<TraceTask>& tasks, simcore::SimTime t,
+                    std::vector<PredictedEntry>& out) const;
+
+  /// Steps `tasks` (consumed) from `t` only until `taskId` completes and
+  /// returns its completion date (infinity when the task is absent). The
+  /// simulation prefix is identical to completeInto's, so the returned date
+  /// is bit-identical - this is the fast path for heuristics that need the
+  /// new task's completion but no perturbations (HMCT).
+  simcore::SimTime completeOne(std::vector<TraceTask>& tasks, simcore::SimTime t,
+                               std::uint64_t taskId) const;
+
+  /// Builds the TraceTask admit() would append for these parameters when the
+  /// trace clock already sits at the admit instant. Returns false for the
+  /// degenerate all-empty task that completes instantly (admit() drops it).
+  bool buildAdmitted(std::uint64_t taskId, const TaskDims& dims, simcore::SimTime at,
+                     double startDelay, TraceTask* out) const;
+
   /// Completion date the trace would assign to `taskId`; infinity when the
   /// task is not present.
   simcore::SimTime predictCompletion(std::uint64_t taskId) const;
@@ -108,13 +148,17 @@ class ServerTrace {
 
  private:
   /// Advances `tasks` in place from `*t` until `bound` (or until drained),
-  /// invoking `onDone(task, when)` at completions and `onSegment` for every
-  /// constant-rate interval when non-null.
-  using DoneFn = std::function<void(const TraceTask&, simcore::SimTime)>;
-  using SegmentFn = std::function<void(const TraceTask&, simcore::SimTime,
-                                       simcore::SimTime, double)>;
-  void step(std::vector<TraceTask>& tasks, simcore::SimTime* t, simcore::SimTime bound,
-            const DoneFn& onDone, const SegmentFn& onSegment) const;
+  /// invoking `onDone(task, when)` at completions and `onSegment(task, t0,
+  /// t1, share)` for every constant-rate interval. Callbacks are passed as
+  /// concrete lambdas or nullptr so every call site inlines fully (the
+  /// preview path runs this thousands of times per scheduling decision).
+  /// When `stopTaskId` is non-null the loop returns right after that task
+  /// completes, with its completion date in `*stopCompletion`.
+  template <class DoneF, class SegF>
+  void stepCore(std::vector<TraceTask>& tasks, simcore::SimTime* t,
+                simcore::SimTime bound, DoneF&& onDone, SegF&& onSegment,
+                const std::uint64_t* stopTaskId,
+                simcore::SimTime* stopCompletion) const;
 
   double phaseAmount(const TraceTask& task, TracePhase phase) const;
   void enterNextPhase(TraceTask& task) const;
@@ -124,6 +168,7 @@ class ServerTrace {
   ServerModel model_;
   std::vector<TraceTask> tasks_;  // admission order (stable, deterministic)
   simcore::SimTime now_ = 0.0;
+  std::uint64_t version_ = 0;
 };
 
 /// Phase name for rendering ("latency-in", "transfer-in", ...).

@@ -113,6 +113,7 @@ void AgentDaemon::runOnce() {
   sim_.advanceTo(clock_.simNow());
   acceptPending();
   pollTransports();
+  flushScheduleBatch();
   pollPeers();
   applyDeadlines();
   maybeSync();
@@ -710,8 +711,12 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
 
   // Task ids are client-chosen; reusing one (another client, or a replayed
   // metatask against a long-lived agent) would corrupt or shadow the first
-  // task's state, so reject instead.
-  if (agent_.knowsTask(msg.taskId)) {
+  // task's state, so reject instead. The guard must also cover ids queued in
+  // this cycle's batch, which the scheduling core has not seen yet.
+  const bool queued =
+      std::any_of(scheduleBatch_.begin(), scheduleBatch_.end(),
+                  [&](const workload::TaskInstance& t) { return t.index == msg.taskId; });
+  if (agent_.knowsTask(msg.taskId) || queued) {
     auto known = taskClients_.find(msg.taskId);
     if (known != taskClients_.end() && known->second.lock() == transport) {
       return;  // duplicate send from the same client, ignore
@@ -731,7 +736,7 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
     task.type = workload::makeSyntheticType(msg.problem, msg.inMB, msg.refSeconds,
                                             msg.outMB, msg.memMB);
     taskClients_[msg.taskId] = transport;
-    agent_.requestSchedule(task);
+    scheduleBatch_.push_back(std::move(task));
   } catch (const util::Error& e) {
     // One malformed request fails that task; the connection (and every
     // other task of this client) stays up.
@@ -742,6 +747,12 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
     failed.reason = e.what();
     transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
   }
+}
+
+void AgentDaemon::flushScheduleBatch() {
+  if (scheduleBatch_.empty()) return;
+  agent_.scheduleBatch(scheduleBatch_);
+  scheduleBatch_.clear();
 }
 
 void AgentDaemon::markServerDown(const std::string& name) {

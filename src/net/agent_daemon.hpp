@@ -4,10 +4,13 @@
 /// connections onto the existing cas::Agent scheduling core. Servers connect
 /// and register (kRegister), stream load reports and heartbeats, and notify
 /// completions/failures; clients connect and submit kScheduleRequest per
-/// task. The agent forwards each accepted task to the chosen server as a
-/// kTaskSubmit over the agent->server connection (agent-mediated submission,
-/// exactly the simulated submission path) and relays terminal outcomes back
-/// to the requesting client.
+/// task. All requests that arrive within one poll cycle are drained into a
+/// single Agent::scheduleBatch call - one HTM refresh amortized over the
+/// whole burst, with placements identical to scheduling them one at a time
+/// (locked by the batch equivalence test). The agent forwards each accepted
+/// task to the chosen server as a kTaskSubmit over the agent->server
+/// connection (agent-mediated submission, exactly the simulated submission
+/// path) and relays terminal outcomes back to the requesting client.
 ///
 /// Liveness: any frame from a server refreshes its deadline; a server silent
 /// for `heartbeatTimeout` simulated seconds is retired through the agent's
@@ -205,6 +208,7 @@ class AgentDaemon {
                   const wire::RegisterMsg& msg);
   void onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& transport,
                          const wire::ScheduleRequestMsg& msg);
+  void flushScheduleBatch();
   void markServerDown(const std::string& name);
   void failAbandonedTasks(const std::string& name);
   void sendSubmit(const std::string& server, std::uint64_t taskId,
@@ -225,6 +229,9 @@ class AgentDaemon {
   std::vector<std::shared_ptr<wire::TcpTransport>> clients_;
   /// Which client asked for which task (terminal outcomes go back there).
   std::map<std::uint64_t, std::weak_ptr<wire::TcpTransport>> taskClients_;
+  /// Requests validated this poll cycle, awaiting the cycle's single
+  /// scheduleBatch call (capacity reused across cycles).
+  std::vector<workload::TaskInstance> scheduleBatch_;
   bool shutdownRequested_ = false;
 
   // --- replication state ---

@@ -1,5 +1,6 @@
 #include "simcore/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -16,10 +17,23 @@ EventHandle Simulator::scheduleAt(SimTime at, Callback cb) {
                   util::strformat("scheduleAt: time %.9f is before now %.9f", at, now_));
     at = now_;
   }
-  const std::uint64_t id = nextId_++;
-  queue_.push(Entry{at, nextSeq_++, id, std::move(cb)});
-  pending_.insert(id);
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Event& ev = pool_[slot];
+  ev.time = at;
+  ev.seq = nextSeq_++;
+  ev.cb = std::move(cb);
+  const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  ev.heapPos = pos;
+  siftUp(pos);
+  return EventHandle{packHandle(slot, ev.gen)};
 }
 
 EventHandle Simulator::scheduleAfter(SimTime delay, Callback cb) {
@@ -29,36 +43,78 @@ EventHandle Simulator::scheduleAfter(SimTime delay, Callback cb) {
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  if (pending_.erase(handle.id) == 0) return false;  // already fired/cancelled
-  cancelled_.insert(handle.id);
+  const std::uint32_t slot = static_cast<std::uint32_t>((handle.id >> 32) - 1);
+  const std::uint32_t gen = static_cast<std::uint32_t>(handle.id);
+  if (slot >= pool_.size()) return false;
+  Event& ev = pool_[slot];
+  if (ev.gen != gen || ev.heapPos == kNotInHeap) return false;  // fired/cancelled
+  heapRemove(ev.heapPos);
+  release(slot);
   return true;
 }
 
-void Simulator::purgeCancelledHead() const {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
+void Simulator::siftUp(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(slot, heap_[parent])) break;
+    heapPlace(pos, heap_[parent]);
+    pos = parent;
   }
+  heapPlace(pos, slot);
 }
 
-SimTime Simulator::nextEventTime() const {
-  purgeCancelledHead();
-  return queue_.empty() ? kTimeInfinity : queue_.top().time;
+void Simulator::siftDown(std::uint32_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t first = pos * 4 + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t last = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], slot)) break;
+    heapPlace(pos, heap_[best]);
+    pos = best;
+  }
+  heapPlace(pos, slot);
+}
+
+void Simulator::heapRemove(std::uint32_t pos) {
+  pool_[heap_[pos]].heapPos = kNotInHeap;
+  const std::uint32_t lastSlot = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  heapPlace(pos, lastSlot);
+  // The moved slot may need to go either way relative to its new neighbors.
+  siftUp(pos);
+  siftDown(pool_[lastSlot].heapPos);
+}
+
+void Simulator::release(std::uint32_t slot) {
+  Event& ev = pool_[slot];
+  ++ev.gen;
+  ev.heapPos = kNotInHeap;
+  ev.cb.reset();
+  free_.push_back(slot);
 }
 
 bool Simulator::step(SimTime until) {
-  purgeCancelledHead();
-  if (queue_.empty() || queue_.top().time > until) return false;
-  // Move the callback out before popping so self-rescheduling callbacks work.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  CASCHED_CHECK(entry.time >= now_, "event queue went backwards in time");
-  now_ = entry.time;
-  pending_.erase(entry.id);
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0];
+  Event& ev = pool_[slot];
+  if (ev.time > until) return false;
+  CASCHED_CHECK(ev.time >= now_, "event queue went backwards in time");
+  now_ = ev.time;
+  // Move the callback out and free the slot BEFORE invoking: the callback may
+  // schedule new events (reusing this slot) or re-enter the engine.
+  Callback cb = std::move(ev.cb);
+  heapRemove(0);
+  release(slot);
   ++executed_;
-  entry.cb();
+  cb();
   return true;
 }
 

@@ -3,21 +3,26 @@
 /// Deterministic discrete-event simulation engine.
 ///
 /// Events are (time, sequence) ordered; the sequence number makes simultaneous
-/// events fire in scheduling order, so runs are bit-reproducible. Events can
-/// be cancelled through handles; cancellation is O(1) (lazy deletion).
+/// events fire in scheduling order, so runs are bit-reproducible.
+///
+/// Storage is a pooled arena: each event lives in a recycled slot, callbacks
+/// are held in a SmallFn (captures up to ~120 bytes stay inline in the slot),
+/// and the ready order is an indexed 4-ary min-heap of slot numbers. Steady
+/// state schedules, cancels and fires events without touching the heap
+/// allocator, and cancellation is a true O(log n) removal through
+/// generation-tagged handles - no lazy-deletion sets to purge.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "simcore/time.hpp"
+#include "util/small_fn.hpp"
 
 namespace casched::simcore {
 
 /// Opaque handle to a scheduled event; valid until the event fires or is
-/// cancelled.
+/// cancelled. Encodes (slot, generation): a recycled slot bumps its
+/// generation, so stale handles can never cancel an unrelated later event.
 struct EventHandle {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
@@ -27,7 +32,7 @@ struct EventHandle {
 /// engine; the experiment layer parallelizes across engines.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::SmallFn<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -64,34 +69,56 @@ class Simulator {
   /// Requests run() to return after the current event completes.
   void requestStop() { stopRequested_ = true; }
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t pendingEvents() const { return pending_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pendingEvents() const { return heap_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
 
   /// Time of the earliest pending event, or kTimeInfinity.
-  SimTime nextEventTime() const;
+  SimTime nextEventTime() const {
+    return heap_.empty() ? kTimeInfinity : pool_[heap_[0]].time;
+  }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;    // tie-break: FIFO among simultaneous events
-    std::uint64_t id;     // handle identity for cancellation
-    Callback cb;
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  struct Event {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among simultaneous events
+    std::uint32_t gen = 0;  // bumped on release; invalidates old handles
+    std::uint32_t heapPos = kNotInHeap;
+    Callback cb;
   };
 
-  void purgeCancelledHead() const;
+  /// Fires-before order: earlier time, then earlier sequence number.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Event& ea = pool_[a];
+    const Event& eb = pool_[b];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    return ea.seq < eb.seq;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_;             // ids not yet fired/cancelled
-  mutable std::unordered_set<std::uint64_t> cancelled_;   // lazy deletion set
+  void siftUp(std::uint32_t pos);
+  void siftDown(std::uint32_t pos);
+  void heapPlace(std::uint32_t pos, std::uint32_t slot) {
+    heap_[pos] = slot;
+    pool_[slot].heapPos = pos;
+  }
+  /// Detaches the slot at heap position `pos` and restores the heap order.
+  void heapRemove(std::uint32_t pos);
+  /// Returns the slot to the free list and invalidates outstanding handles.
+  void release(std::uint32_t slot);
+
+  /// Handle layout: (slot + 1) in the high 32 bits (so id 0 stays the
+  /// explicit "no event" value), generation in the low 32.
+  static std::uint64_t packHandle(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  std::vector<Event> pool_;
+  std::vector<std::uint32_t> free_;  // recycled pool slots
+  std::vector<std::uint32_t> heap_;  // 4-ary min-heap of pending slots
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 1;
-  std::uint64_t nextId_ = 1;
   std::uint64_t executed_ = 0;
   bool stopRequested_ = false;
 };

@@ -1,0 +1,131 @@
+#pragma once
+/// \file flat_hash.hpp
+/// Open-addressing hash map from uint64 keys to small values.
+///
+/// The agent's task table is looked up on every completion/failure notice;
+/// std::map pays a node allocation per insert and pointer-chasing per lookup.
+/// FlatMap64 keeps keys and values in two flat arrays with linear probing
+/// (splitmix64-mixed hash, backshift deletion, power-of-two capacity), so
+/// steady-state insert/find/erase never allocate once the table is warm.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace casched::util {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    std::fill(full_.begin(), full_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 3 / 4 < n) cap *= 2;
+    if (cap > slots()) rehash(cap);
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  V* find(std::uint64_t key) {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = probe(key);; i = next(i)) {
+      if (!full_[i]) return nullptr;
+      if (keys_[i] == key) return &vals_[i];
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Inserts {key, value}; overwrites an existing entry.
+  void insert(std::uint64_t key, V value) {
+    if ((size_ + 1) * 4 > slots() * 3) rehash(slots() == 0 ? 16 : slots() * 2);
+    for (std::size_t i = probe(key);; i = next(i)) {
+      if (!full_[i]) {
+        full_[i] = 1;
+        keys_[i] = key;
+        vals_[i] = std::move(value);
+        ++size_;
+        return;
+      }
+      if (keys_[i] == key) {
+        vals_[i] = std::move(value);
+        return;
+      }
+    }
+  }
+
+  /// Removes `key`; returns true when an entry was removed. Backshift
+  /// deletion keeps probe chains intact without tombstones.
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    std::size_t i = probe(key);
+    for (;; i = next(i)) {
+      if (!full_[i]) return false;
+      if (keys_[i] == key) break;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = next(hole);; j = next(j)) {
+      if (!full_[j]) break;
+      const std::size_t home = probe(keys_[j]);
+      // Shift j into the hole when its home position does not lie in the
+      // (cyclic) interval (hole, j] - i.e. probing for it would have passed
+      // through the hole.
+      const bool shift = hole <= j ? (home <= hole || home > j)
+                                   : (home <= hole && home > j);
+      if (shift) {
+        keys_[hole] = keys_[j];
+        vals_[hole] = std::move(vals_[j]);
+        hole = j;
+      }
+    }
+    full_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+ private:
+  std::size_t slots() const { return full_.size(); }
+  std::size_t next(std::size_t i) const { return (i + 1) & (slots() - 1); }
+
+  std::size_t probe(std::uint64_t key) const {
+    // splitmix64 finalizer: full-avalanche mix so sequential task ids spread.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (slots() - 1);
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<std::uint64_t> oldKeys = std::move(keys_);
+    std::vector<V> oldVals = std::move(vals_);
+    std::vector<std::uint8_t> oldFull = std::move(full_);
+    keys_.assign(cap, 0);
+    vals_.assign(cap, V{});
+    full_.assign(cap, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < oldFull.size(); ++i) {
+      if (oldFull[i]) insert(oldKeys[i], std::move(oldVals[i]));
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> vals_;
+  std::vector<std::uint8_t> full_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace casched::util

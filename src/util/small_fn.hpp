@@ -1,0 +1,132 @@
+#pragma once
+/// \file small_fn.hpp
+/// Move-only callable wrapper with a large inline buffer.
+///
+/// libstdc++'s std::function only stores captures up to two pointers inline;
+/// anything bigger (e.g. a lambda capturing a TaskInstance by value, ~100
+/// bytes) heap-allocates on every construction. The simulator schedules one
+/// callback per event, so that allocation is pure hot-path churn. SmallFn
+/// trades object size for allocation-free storage: captures up to
+/// kInlineBytes live in the event arena itself, larger ones (rare: churn
+/// timeline events carrying strings) fall back to the heap.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace casched::util {
+
+template <typename Signature>
+class SmallFn;
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
+ public:
+  /// Sized so the agent's dispatch lambda (this + a TaskInstance copy) and
+  /// the client's submission lambda fit inline.
+  static constexpr std::size_t kInlineBytes = 120;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  SmallFn(SmallFn&& other) noexcept { moveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) { return f.ops_ == nullptr; }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) { return f.ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the stored callable into `dst` from `src`, then
+    /// destroys the `src` copy (one-shot relocation for SmallFn's own move).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p, Args&&... args) -> R {
+        return (*std::launder(static_cast<Fn*>(p)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { std::launder(static_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p, Args&&... args) -> R {
+        return (**std::launder(static_cast<Fn**>(p)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        Fn** from = std::launder(static_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);
+        *from = nullptr;
+      },
+      [](void* p) { delete *std::launder(static_cast<Fn**>(p)); },
+  };
+
+  void moveFrom(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace casched::util

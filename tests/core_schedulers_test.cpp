@@ -16,10 +16,11 @@ ServerModel model(const std::string& name) {
   return ServerModel{name, 10.0, 10.0, 0.0, 0.0};
 }
 
-CandidateServer candidate(const std::string& name, double cpuSeconds,
+// The name is only documentation at the call sites: non-HTM heuristics never
+// look at identity, and the HTM fixture resolves real ids via cand().
+CandidateServer candidate(const std::string& /*name*/, double cpuSeconds,
                           double load = 0.0) {
   CandidateServer c;
-  c.name = name;
   c.dims = TaskDims{0.0, cpuSeconds, 0.0};
   c.reportedLoad = load;
   c.unloadedDuration = cpuSeconds;
@@ -77,11 +78,19 @@ class HtmFixture : public ::testing::Test {
     htm.addServer(model("s2"));
   }
 
+  /// Candidate with its interned id resolved (HTM heuristics preview by id).
+  CandidateServer cand(const std::string& name, double cpuSeconds,
+                       double load = 0.0) {
+    CandidateServer c = candidate(name, cpuSeconds, load);
+    c.id = htm.findId(name);
+    return c;
+  }
+
   ScheduleQuery query(double cpuSeconds, double now = 0.0) {
     ScheduleQuery q;
     q.now = now;
     q.htm = &htm;
-    q.candidates = {candidate("s1", cpuSeconds), candidate("s2", cpuSeconds)};
+    q.candidates = {cand("s1", cpuSeconds), cand("s2", cpuSeconds)};
     return q;
   }
 
@@ -114,7 +123,7 @@ TEST_F(HtmFixture, MpAvoidsPerturbingWhenIdleServerExists) {
   MpScheduler s;
   ScheduleQuery q;
   q.htm = &htm;
-  q.candidates = {candidate("s1", 10.0), candidate("s2", 40.0)};
+  q.candidates = {cand("s1", 10.0), cand("s2", 40.0)};
   const auto d = s.choose(q);
   EXPECT_EQ(*d.chosen, 1u);
   EXPECT_NEAR(d.scores[1], 0.0, 1e-9);
@@ -127,7 +136,7 @@ TEST_F(HtmFixture, MpTieBreaksByCompletionDate) {
   MpScheduler s;
   ScheduleQuery q;
   q.htm = &htm;
-  q.candidates = {candidate("s1", 40.0), candidate("s2", 10.0)};
+  q.candidates = {cand("s1", 40.0), cand("s2", 10.0)};
   const auto d = s.choose(q);
   EXPECT_EQ(*d.chosen, 1u);
 }
@@ -142,7 +151,7 @@ TEST_F(HtmFixture, MsfBalancesPerturbationAndOwnFlow) {
   // On s1: new task (10s) shares: finishes at 20, perturbs task1 by 10
   //   -> score 10 + 20 = 30.
   // On s2: idle but 45s there -> score 0 + 45 = 45.
-  q.candidates = {candidate("s1", 10.0), candidate("s2", 45.0)};
+  q.candidates = {cand("s1", 10.0), cand("s2", 45.0)};
   const auto d = s.choose(q);
   EXPECT_EQ(*d.chosen, 0u);
   EXPECT_NEAR(d.scores[0], 30.0, 1e-6);

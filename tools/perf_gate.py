@@ -20,9 +20,20 @@ BM_ObsOverheadBare / BM_ObsOverheadInstrumented pair (bench/micro_scheduler)
 and fails when the instrumented decision loop is more than --max-overhead
 slower than the bare one.
 
+--min-speedup guards the scheduling-core rebuild against backsliding: the
+baseline's "pre_rebuild" section archives the pre-rebuild decision latency
+and per-scenario throughput, and the gate fails unless the current
+BM_ScheduleDecision median (from --micro) is at least --min-speedup times
+faster AND every archived scenario's events/sec still beats its pre-rebuild
+value. Both comparisons are corrected for machine speed through the
+BM_CalibrationAnchor pair (a fixed arithmetic kernel timed on both sides),
+so a slower CI box is not mistaken for a regression. --update rewrites the
+per-scenario shape but always carries the pre_rebuild archive forward.
+
 Usage:
     perf_gate.py CURRENT_JSON BASELINE_JSON [--tolerance 0.25]
     perf_gate.py CURRENT_JSON BASELINE_JSON --overhead micro.json
+    perf_gate.py CURRENT_JSON BASELINE_JSON --micro micro.json --min-speedup 5
     perf_gate.py CURRENT_JSON BASELINE_JSON --update   # rewrite the baseline
 
 Only the Python standard library is used.
@@ -60,8 +71,8 @@ def normalize(scenarios):
     return {name: eps / med for name, eps in scenarios.items()}, med
 
 
-def load_overhead(path):
-    """Returns (bare_ns, instrumented_ns) from a google-benchmark JSON file.
+def load_micro(path, names):
+    """Returns {name: real_time_ns} for the named micro benchmarks.
 
     Prefers the _median aggregate (present with --benchmark_repetitions);
     falls back to the plain benchmark entry of a single run.
@@ -71,9 +82,15 @@ def load_overhead(path):
     times = {}
     for bench in record.get("benchmarks", []):
         name = bench.get("name", "")
-        for base in ("BM_ObsOverheadBare", "BM_ObsOverheadInstrumented"):
+        for base in names:
             if name == base + "_median" or (name == base and base not in times):
                 times[base] = float(bench["real_time"])
+    return times
+
+
+def load_overhead(path):
+    """Returns (bare_ns, instrumented_ns) from a google-benchmark JSON file."""
+    times = load_micro(path, ("BM_ObsOverheadBare", "BM_ObsOverheadInstrumented"))
     bare = times.get("BM_ObsOverheadBare")
     instrumented = times.get("BM_ObsOverheadInstrumented")
     if bare is None or instrumented is None:
@@ -95,8 +112,71 @@ def check_overhead(path, max_overhead):
     return overhead, failed
 
 
+def load_baseline_doc(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_speedup(baseline_doc, micro_path, min_speedup, current, baseline_path):
+    """Compares the current run against the archived pre-rebuild record.
+
+    Returns (speedup_rows, failed). Each row is
+    (label, pre_value, current_value, speedup, over_budget) with times for the
+    micro row and events/sec for scenario rows; every comparison is scaled by
+    the calibration-anchor ratio so it holds across machines of different
+    speeds.
+    """
+    pre = baseline_doc.get("pre_rebuild")
+    if pre is None:
+        sys.exit(f"perf gate: {baseline_path} has no pre_rebuild section; "
+                 "--min-speedup needs the archived pre-rebuild record")
+    times = load_micro(micro_path, ("BM_ScheduleDecision", "BM_CalibrationAnchor"))
+    decision = times.get("BM_ScheduleDecision")
+    anchor = times.get("BM_CalibrationAnchor")
+    if decision is None or anchor is None:
+        sys.exit(f"perf gate: {micro_path} lacks BM_ScheduleDecision / "
+                 "BM_CalibrationAnchor (run micro_scheduler with "
+                 "--benchmark_filter='BM_ScheduleDecision|BM_CalibrationAnchor')")
+
+    # machine > 1 means this box is slower than the one that recorded the
+    # archive; pre-rebuild times are scaled up (and throughputs down) to what
+    # they would have measured here.
+    machine = anchor / float(pre["anchor_ns"])
+    rows = []
+    failed = False
+
+    pre_decision_here = float(pre["decision_ns"]) * machine
+    speedup = pre_decision_here / decision
+    over = speedup < min_speedup
+    failed = failed or over
+    rows.append(("BM_ScheduleDecision (ns)", pre_decision_here, decision,
+                 speedup, over))
+    print("perf gate: decision latency {:.0f}ns vs pre-rebuild {:.0f}ns "
+          "(anchor-corrected) = {:.2f}x speedup (need >= {:.2f}x){}".format(
+              decision, pre_decision_here, speedup, min_speedup,
+              "  << FAIL" if over else ""))
+
+    for name in sorted(pre.get("scenarios", {})):
+        pre_eps_here = float(pre["scenarios"][name]) / machine
+        cur_eps = current.get(name)
+        if cur_eps is None:
+            print(f"perf gate: pre_rebuild scenario '{name}' missing from "
+                  "current record  << FAIL")
+            rows.append((name, pre_eps_here, 0.0, 0.0, True))
+            failed = True
+            continue
+        ratio = cur_eps / pre_eps_here
+        over = ratio < 1.0
+        failed = failed or over
+        rows.append((name, pre_eps_here, cur_eps, ratio, over))
+        print("{:<28} {:>12,.0f} ev/s vs pre {:>12,.0f} = {:.2f}x{}".format(
+            name, cur_eps, pre_eps_here, ratio, "  << FAIL" if over else ""))
+    return rows, failed
+
+
 def write_step_summary(rows, unbaselined, missing, tolerance, failed,
-                       overhead=None, overhead_failed=False, max_overhead=0.0):
+                       overhead=None, overhead_failed=False, max_overhead=0.0,
+                       speedup_rows=None, min_speedup=0.0):
     """Appends a Markdown comparison table to $GITHUB_STEP_SUMMARY, if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -119,6 +199,18 @@ def write_step_summary(rows, unbaselined, missing, tolerance, failed,
     if overhead is not None:
         lines.append("| obs instrumentation overhead | ≤{:.0%} | {:+.2%} | | {} |".format(
             max_overhead, overhead, ":x:" if overhead_failed else ""))
+    if speedup_rows:
+        lines += [
+            "",
+            "### Scheduling-core speedup vs pre-rebuild "
+            "(anchor-corrected, decision needs ≥{:.1f}×)".format(min_speedup),
+            "",
+            "| benchmark | pre-rebuild | current | speedup | |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for name, pre_val, cur_val, speedup, over in speedup_rows:
+            lines.append("| {} | {:,.0f} | {:,.0f} | {:.2f}× | {} |".format(
+                name, pre_val, cur_val, speedup, ":x:" if over else ""))
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n\n")
 
@@ -135,6 +227,12 @@ def main():
                         help="google-benchmark JSON with the BM_ObsOverhead pair")
     parser.add_argument("--max-overhead", type=float, default=0.05,
                         help="allowed instrumented/bare slowdown (default 5%%)")
+    parser.add_argument("--micro",
+                        help="google-benchmark JSON with BM_ScheduleDecision and "
+                             "BM_CalibrationAnchor (for --min-speedup)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="required BM_ScheduleDecision speedup over the "
+                             "baseline's pre_rebuild archive (0 disables)")
     args = parser.parse_args()
 
     current = load_scenarios(args.current)
@@ -152,10 +250,19 @@ def main():
                 for name in sorted(current)
             ],
         }
+        # The pre_rebuild archive is a historical record (the scheduling core
+        # before the zero-alloc rebuild); --update must never erase it.
+        try:
+            previous = load_baseline_doc(args.baseline)
+        except (OSError, ValueError):
+            previous = {}
+        if "pre_rebuild" in previous:
+            doc["pre_rebuild"] = previous["pre_rebuild"]
         with open(args.baseline, "w") as f:
             json.dump(doc, f, indent=2)
             f.write("\n")
-        print(f"perf gate: baseline rewritten with {len(current)} scenarios")
+        print(f"perf gate: baseline rewritten with {len(current)} scenarios"
+              + (" (pre_rebuild archive preserved)" if "pre_rebuild" in doc else ""))
         return 0
 
     baseline = load_scenarios(args.baseline)
@@ -197,14 +304,26 @@ def main():
     if args.overhead:
         overhead, overhead_failed = check_overhead(args.overhead, args.max_overhead)
 
+    speedup_rows = None
+    speedup_failed = False
+    if args.min_speedup > 0.0:
+        if not args.micro:
+            sys.exit("perf gate: --min-speedup needs --micro (google-benchmark "
+                     "JSON with BM_ScheduleDecision and BM_CalibrationAnchor)")
+        speedup_rows, speedup_failed = check_speedup(
+            load_baseline_doc(args.baseline), args.micro, args.min_speedup,
+            current, args.baseline)
+
     # Absent scenarios are a hard error in both directions, never a skip: a
     # baseline entry missing from the run means coverage silently shrank
     # (e.g. a registry entry was dropped or renamed without touching the
     # baseline), and an unbaselined scenario means the gate is not guarding
     # the new entry yet.
-    failed = bool(unbaselined or missing or failures or overhead_failed)
+    failed = bool(unbaselined or missing or failures or overhead_failed
+                  or speedup_failed)
     write_step_summary(summary_rows, unbaselined, missing, args.tolerance, failed,
-                       overhead, overhead_failed, args.max_overhead)
+                       overhead, overhead_failed, args.max_overhead,
+                       speedup_rows, args.min_speedup)
     if unbaselined:
         print(f"perf gate: FAIL - scenario(s) not in the baseline: "
               f"{', '.join(unbaselined)}; regenerate it with --update")
@@ -220,6 +339,10 @@ def main():
     if overhead_failed:
         print(f"perf gate: FAIL - instrumentation overhead {overhead:+.2%} "
               f"exceeds the {args.max_overhead:.0%} budget")
+        return 1
+    if speedup_failed:
+        print("perf gate: FAIL - scheduling core lost ground against the "
+              "pre-rebuild archive (see rows above)")
         return 1
     print(f"perf gate: PASS ({len(shared)} scenarios within the band)")
     return 0
