@@ -183,6 +183,13 @@ int runClient(int argc, const char* const* argv) {
   args.addInt("seed", 1, "metatask generation seed");
   args.addDouble("scale", 1.0, "simulated seconds per wall second");
   args.addDouble("timeout", 120.0, "wall-clock budget, seconds");
+  args.addBool("resolver", false,
+               "probe agents, learn peers from gossip, re-rank endpoints by "
+               "RTT + advertised load");
+  args.addDouble("probe-period", 5.0,
+                 "sim seconds between resolver probe rounds");
+  args.addDouble("load-weight", 1.0,
+                 "resolver rank weight of advertised load vs probe RTT");
   if (!args.parse(argc, argv)) return 0;
   const auto port = static_cast<std::uint16_t>(args.getInt("agent-port"));
   if (port == 0) throw util::ConfigError("client needs --agent-port");
@@ -194,6 +201,9 @@ int runClient(int argc, const char* const* argv) {
   net::ClientConfig config;
   config.agentHost = args.getString("agent-host");
   config.agentPort = port;
+  config.resolver = args.getBool("resolver");
+  config.probePeriod = args.getDouble("probe-period");
+  config.loadWeight = args.getDouble("load-weight");
   net::ClientDriver client(std::move(config), net::PacedClock(args.getDouble("scale")));
   client.connect();
   std::cout << "client: replaying " << compiled.metatask.size() << " tasks of '"
@@ -202,6 +212,15 @@ int runClient(int argc, const char* const* argv) {
   std::cout << util::strformat("client: %zu completed, %zu failed of %zu\n",
                                client.completedCount(), client.failedCount(),
                                compiled.metatask.size());
+  if (config.resolver) {
+    const net::ClientDriver::ResolverStats& rs = client.resolverStats();
+    std::cout << util::strformat(
+        "resolver: %llu probes, %llu replies, %llu reranks, %llu learned peers\n",
+        static_cast<unsigned long long>(rs.probes),
+        static_cast<unsigned long long>(rs.infos),
+        static_cast<unsigned long long>(rs.reranks),
+        static_cast<unsigned long long>(rs.learnedPeers));
+  }
   return ok ? 0 : 1;
 }
 
@@ -274,6 +293,17 @@ int runDemo(int argc, const char* const* argv) {
           "  %-10s %zu tasks, %zu completed, %zu lost, %llu resubmissions\n",
           share.name.c_str(), share.tasks, share.completed, share.lost,
           static_cast<unsigned long long>(share.resubmissions));
+    }
+    if (report.meshForwards + report.meshSteals + report.meshParked +
+            report.meshDenies + report.clientDenies > 0) {
+      std::cout << util::strformat(
+          "mesh: %llu forwarded, %llu parked, %llu stolen, %llu denied, "
+          "%llu client denies\n",
+          static_cast<unsigned long long>(report.meshForwards),
+          static_cast<unsigned long long>(report.meshParked),
+          static_cast<unsigned long long>(report.meshSteals),
+          static_cast<unsigned long long>(report.meshDenies),
+          static_cast<unsigned long long>(report.clientDenies));
     }
   }
 

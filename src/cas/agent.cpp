@@ -200,24 +200,7 @@ void Agent::scheduleBatch(std::span<const workload::TaskInstance> tasks) {
   for (const workload::TaskInstance& task : tasks) scheduleOne(task);
 }
 
-void Agent::scheduleOne(const workload::TaskInstance& task) {
-  bool inserted = false;
-  TaskState& state = taskStateFor(task.index, &inserted);
-  if (inserted) state.instance = task;
-  ++state.attempts;
-
-  AgentInstruments& ins = AgentInstruments::get();
-  obs::TraceBuffer& trace = obs::TraceBuffer::global();
-  if (state.attempts == 1) {
-    ins.submitted.inc();
-    if (trace.enabled()) {
-      trace.push({task.index, obs::TaskPhase::kSubmit, sim_.now(), 0.0, state.attempts,
-                  "agent", task.type.name});
-    }
-  } else {
-    ins.resubmissions.inc();
-  }
-
+void Agent::buildCandidates(const workload::TaskInstance& task) {
   // Build the candidate list in registration order (deterministic ties) into
   // the reusable scratch query: a warm decision allocates nothing.
   query_.taskId = task.index;
@@ -247,6 +230,78 @@ void Agent::scheduleOne(const workload::TaskInstance& task) {
     c.taskMemMB = task.type.memMB;
     query_.candidates.push_back(c);
   }
+}
+
+double Agent::meanLoadEstimate() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const core::ServerId id : serverOrder_) {
+    const ServerState& s = servers_[id];
+    if (!s.up || s.removed) continue;
+    sum += loadEstimate(s);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t Agent::liveServerCount() const {
+  std::size_t n = 0;
+  for (const core::ServerId id : serverOrder_) {
+    const ServerState& s = servers_[id];
+    if (s.up && !s.removed) ++n;
+  }
+  return n;
+}
+
+bool Agent::hasFeasibleServer(const std::string& typeName) {
+  for (const core::ServerId id : serverOrder_) {
+    ServerState& s = servers_[id];
+    if (s.up && !s.removed && canSolve(s, typeName)) return true;
+  }
+  return false;
+}
+
+std::optional<double> Agent::previewBestCompletion(const workload::TaskInstance& task) {
+  // Dry-run of the scheduler on the current state: no HTM commit, no dispatch,
+  // no counters. Mesh routers use the answer as "predicted local completion".
+  if (scheduler_->usesHtm()) htm_.advanceAll(sim_.now());
+  buildCandidates(task);
+  if (query_.candidates.empty()) return std::nullopt;
+  scheduler_->chooseInto(query_, previewDecision_);
+  if (!previewDecision_.chosen.has_value()) return std::nullopt;
+  const std::size_t chosen = *previewDecision_.chosen;
+  if (chosen < previewDecision_.previews.size() &&
+      previewDecision_.previews[chosen].completionNew > 0.0) {
+    return previewDecision_.previews[chosen].completionNew;
+  }
+  // Load-based heuristics fill scores, not previews; the MCT-style score is
+  // itself an estimated duration, so now + dispatch delay + score is the best
+  // completion estimate available without an HTM.
+  if (chosen < previewDecision_.scores.size()) {
+    return query_.now + query_.startDelay + previewDecision_.scores[chosen];
+  }
+  return std::nullopt;
+}
+
+void Agent::scheduleOne(const workload::TaskInstance& task) {
+  bool inserted = false;
+  TaskState& state = taskStateFor(task.index, &inserted);
+  if (inserted) state.instance = task;
+  ++state.attempts;
+
+  AgentInstruments& ins = AgentInstruments::get();
+  obs::TraceBuffer& trace = obs::TraceBuffer::global();
+  if (state.attempts == 1) {
+    ins.submitted.inc();
+    if (trace.enabled()) {
+      trace.push({task.index, obs::TaskPhase::kSubmit, sim_.now(), 0.0, state.attempts,
+                  "agent", task.type.name});
+    }
+  } else {
+    ins.resubmissions.inc();
+  }
+
+  buildCandidates(task);
 
   if (query_.candidates.empty()) {
     // Nothing can run this task right now (every capable server is down).
@@ -294,6 +349,7 @@ void Agent::scheduleOne(const workload::TaskInstance& task) {
     record.taskId = task.index;
     record.time = query_.now;
     record.attempt = state.attempts;
+    record.agent = decisionLabel_;
     record.heuristic = scheduler_->name();
     record.chosen = htm_.serverName(target.id);
     record.candidates.reserve(query_.candidates.size());
@@ -309,6 +365,7 @@ void Agent::scheduleOne(const workload::TaskInstance& task) {
       c.loadStaleness = cs.lastReportTime < 0.0 ? -1.0 : query_.now - cs.lastReportTime;
       record.candidates.push_back(std::move(c));
     }
+    if (decisionAnnotator_) decisionAnnotator_(task.index, record);
     decisionLog.push(std::move(record));
   }
 

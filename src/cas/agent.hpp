@@ -34,6 +34,10 @@
 #include "util/flat_hash.hpp"
 #include "workload/metatask.hpp"
 
+namespace casched::obs {
+struct DecisionRecord;
+}  // namespace casched::obs
+
 namespace casched::cas {
 
 struct AgentConfig {
@@ -150,6 +154,33 @@ class Agent {
   /// tests of the two NetSolve correction mechanisms).
   double loadEstimate(const std::string& server) const;
 
+  /// Mean corrected load estimate across live registered servers (the mesh's
+  /// advertised-load signal), and how many servers that mean covers.
+  double meanLoadEstimate() const;
+  std::size_t liveServerCount() const;
+
+  // --- mesh probes (pure: no HTM commit, no dispatch, no task state) ---
+  /// True when at least one live registered server can solve `typeName`.
+  bool hasFeasibleServer(const std::string& typeName);
+  /// Absolute predicted completion time of `task` on the best candidate the
+  /// scheduler would pick right now - the mesh router's overload signal.
+  /// Empty when no live server can run the task. HTM heuristics answer with
+  /// the preview's completion date; load-based heuristics with
+  /// now + startDelay + their duration score.
+  std::optional<double> previewBestCompletion(const workload::TaskInstance& task);
+
+  // --- decision attribution (mesh observability) ---
+  /// Label stamped into every DecisionRecord this agent emits (the agent's
+  /// deployment name; empty for the paper's anonymous single agent).
+  void setDecisionLabel(std::string label) { decisionLabel_ = std::move(label); }
+  /// Invoked (only while the DecisionLog is enabled) on every record before
+  /// it is pushed; the mesh layers use it to tag forwarded/stolen tasks with
+  /// their origin agent.
+  void setDecisionAnnotator(
+      std::function<void(std::uint64_t, obs::DecisionRecord&)> fn) {
+    decisionAnnotator_ = std::move(fn);
+  }
+
  private:
   struct ServerState {
     TaskDispatch* dispatch = nullptr;
@@ -192,6 +223,10 @@ class Agent {
   /// scheduler uses it.
   void scheduleOne(const workload::TaskInstance& task);
 
+  /// Fills query_'s candidate list for `task` (registration order, live and
+  /// capable servers only). Shared by scheduleOne and the mesh probes.
+  void buildCandidates(const workload::TaskInstance& task);
+
   bool canSolve(const ServerState& s, const std::string& typeName) const;
   double computeCostCached(ServerState& s, const workload::TaskType& type);
   double loadEstimate(const ServerState& s) const;
@@ -226,9 +261,12 @@ class Agent {
   std::uint64_t decisions_ = 0;
   std::function<void()> allDone_;
   std::function<void(const metrics::TaskOutcome&)> onTerminal_;
+  std::string decisionLabel_;
+  std::function<void(std::uint64_t, obs::DecisionRecord&)> decisionAnnotator_;
   // Decision scratch, reused across every placement (zero-alloc steady state).
   core::ScheduleQuery query_;
   core::ScheduleDecision decision_;
+  core::ScheduleDecision previewDecision_;  ///< previewBestCompletion scratch
 };
 
 }  // namespace casched::cas

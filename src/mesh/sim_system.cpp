@@ -1,0 +1,330 @@
+#include "mesh/sim_system.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cas/server_daemon.hpp"
+#include "mesh/router.hpp"
+#include "obs/decision.hpp"
+#include "simcore/rng.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+#undef CASCHED_LOG_COMPONENT
+#define CASCHED_LOG_COMPONENT "mesh.sim"
+
+namespace casched::mesh {
+
+namespace {
+
+/// One agent + its rack of server daemons + the mesh bookkeeping around it.
+struct Node {
+  std::string name;
+  std::unique_ptr<cas::Agent> agent;
+  std::vector<std::unique_ptr<cas::ServerDaemon>> daemons;
+  /// Queued-but-undispatched tasks awaiting a steal (arrival order).
+  std::deque<workload::TaskInstance> parked;
+  /// taskId -> "forward:<agent>" / "steal:<agent>" for decision attribution.
+  std::unordered_map<std::uint64_t, std::string> origin;
+};
+
+class MeshSimSystem {
+ public:
+  MeshSimSystem(const platform::Testbed& testbed, const workload::Metatask& metatask,
+                const std::string& schedulerName, const cas::SystemConfig& config,
+                const scenario::MeshSpec& mesh, const scenario::AgentsSpec& agents)
+      : metatask_(metatask),
+        schedulerName_(schedulerName),
+        config_(config),
+        mesh_(mesh),
+        router_(routerConfigFrom(mesh)) {
+    CASCHED_CHECK(!testbed.servers.empty(), "testbed has no servers");
+    CASCHED_CHECK(!metatask_.tasks.empty(), "metatask is empty");
+    CASCHED_CHECK(agents.count >= 2, "mesh needs at least two agents");
+    if (config_.controlLatency < 0.0) config_.controlLatency = testbed.controlLatency;
+
+    cas::AgentConfig agentConfig;
+    agentConfig.controlLatency = config_.controlLatency;
+    agentConfig.faultTolerance = config_.faultTolerance;
+    agentConfig.maxRetries = config_.maxRetries;
+    agentConfig.htmSync = config_.htmSync;
+
+    nodes_.resize(agents.count);
+    for (std::size_t i = 0; i < agents.count; ++i) {
+      Node& node = nodes_[i];
+      node.name = util::strformat("agent%zu", i);
+      node.agent = std::make_unique<cas::Agent>(
+          sim_, core::makeScheduler(schedulerName, config_.schedulerSeed),
+          testbed.costs, agentConfig);
+      node.agent->setExpectedTasks(metatask_.size());
+      node.agent->setDecisionLabel(node.name);
+      node.agent->setDecisionAnnotator(
+          [&node](std::uint64_t taskId, obs::DecisionRecord& record) {
+            auto it = node.origin.find(taskId);
+            record.origin = it == node.origin.end() ? "local" : it->second;
+          });
+      node.agent->setTaskTerminalObserver(
+          [this](const metrics::TaskOutcome&) { onTerminal(); });
+    }
+
+    // Home each server on its rack owner (compileScenario validated total
+    // disjoint coverage, so every server lands exactly once).
+    for (const scenario::RackSpec& rack : mesh.racks) {
+      for (const std::size_t serverIndex : rack.servers) {
+        addServer(nodes_[rack.agentIndex], testbed.servers.at(serverIndex));
+      }
+    }
+  }
+
+  metrics::RunResult run() {
+    for (const workload::TaskInstance& task : metatask_.tasks) {
+      const std::size_t target = mesh_.topology == "tree"
+                                     ? mesh_.root
+                                     : task.index % nodes_.size();
+      // Client -> agent control latency, exactly like cas::Client.
+      sim_.scheduleAt(task.arrival + config_.controlLatency, [this, target, &task] {
+        onRequest(target, task, /*hops=*/0, /*origin=*/std::string());
+      });
+    }
+    if (router_.stealing) {
+      sim_.scheduleAt(mesh_.stealPeriod, [this] { stealTick(); });
+    }
+    sim_.run(config_.horizon);
+
+    if (terminal_ < metatask_.size()) {
+      LOG_WARN("mesh run hit the horizon with " << metatask_.size() - terminal_
+                                                << " unfinished tasks");
+    }
+    for (Node& node : nodes_) {
+      for (auto& d : node.daemons) d->quiesce();
+    }
+    return buildResult();
+  }
+
+ private:
+  void addServer(Node& node, const psched::MachineSpec& spec) {
+    cas::ServerDaemonConfig daemonConfig;
+    daemonConfig.reportPeriod = config_.reportPeriod;
+    daemonConfig.controlLatency = config_.controlLatency;
+    daemonConfig.cpuNoise = config_.cpuNoise;
+    daemonConfig.linkNoise = config_.linkNoise;
+    daemonConfig.noiseSeed = simcore::deriveSeed(config_.noiseSeed, nextNoiseStream_++);
+    auto daemon = std::make_unique<cas::ServerDaemon>(
+        sim_, spec, std::vector<std::string>{"*"}, daemonConfig);
+
+    core::ServerModel model;
+    model.name = spec.name;
+    model.bwInMBps = spec.bwInMBps;
+    model.bwOutMBps = spec.bwOutMBps;
+    model.latencyIn = spec.latencyIn;
+    model.latencyOut = spec.latencyOut;
+    node.agent->registerServer(daemon.get(), model, {"*"}, spec.ramMB,
+                               spec.ramMB + spec.swapMB);
+    daemon->connectAgent(node.agent.get());
+    node.daemons.push_back(std::move(daemon));
+  }
+
+  /// Peer digests for a decision at `self`, excluding the agent the request
+  /// came from (a forward never bounces straight back). The simulator reads
+  /// peers directly - the live mesh sees the same numbers one sync period
+  /// stale, which can shift individual placements but not completion counts.
+  std::vector<PeerDigest> peerDigests(std::size_t self, std::size_t exclude) {
+    std::vector<PeerDigest> digests;
+    digests.reserve(nodes_.size());
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      if (j == self || j == exclude) continue;
+      const Node& peer = nodes_[j];
+      PeerDigest d;
+      d.index = j;
+      d.meanLoad = peer.agent->meanLoadEstimate();
+      d.liveServers = static_cast<std::uint32_t>(peer.agent->liveServerCount());
+      d.queuedTasks = static_cast<std::uint32_t>(peer.parked.size());
+      digests.push_back(d);
+    }
+    return digests;
+  }
+
+  void onRequest(std::size_t self, const workload::TaskInstance& task,
+                 std::uint32_t hops, const std::string& origin) {
+    Node& node = nodes_[self];
+    LocalView local;
+    local.feasible = node.agent->hasFeasibleServer(task.type.name);
+    if (local.feasible && router_.overloadThreshold > 0.0) {
+      local.predictedCompletion = node.agent->previewBestCompletion(task);
+    }
+    local.now = sim_.now();
+    local.meanLoad = node.agent->meanLoadEstimate();
+    local.hops = hops;
+
+    const std::size_t from = origin.empty() ? self : originIndex_.at(task.index);
+    const std::vector<PeerDigest> peers = peerDigests(self, from);
+    const RouteDecision decision = decideRoute(router_, local, peers);
+
+    switch (decision.kind) {
+      case RouteKind::kLocal:
+        if (!origin.empty()) node.origin[task.index] = origin;
+        node.agent->requestSchedule(task);
+        return;
+      case RouteKind::kForward: {
+        ++meshStats_.forwards;
+        originIndex_[task.index] = self;
+        const std::size_t target = decision.peer;
+        const std::string forwardOrigin = "forward:" + node.name;
+        LOG_DEBUG("task " << task.index << " forwarded " << node.name << " -> "
+                          << nodes_[target].name << " (" << decision.reason << ")");
+        sim_.scheduleAfter(config_.controlLatency, [this, target, task, forwardOrigin] {
+          onRequest(target, task, /*hops=*/1, forwardOrigin);
+        });
+        return;
+      }
+      case RouteKind::kPark:
+        ++meshStats_.parked;
+        node.parked.push_back(task);
+        return;
+      case RouteKind::kDeny:
+        ++meshStats_.forwardDenies;
+        LOG_DEBUG("task " << task.index << " denied at " << node.name << " ("
+                          << decision.reason << ")");
+        loseTask(task);
+        return;
+    }
+  }
+
+  /// One global steal round: idle agents (live servers, nothing parked) pull
+  /// up to stealBatch tasks off the most-loaded parked queue. A single
+  /// ordered sweep keeps the round deterministic.
+  void stealTick() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& thief = nodes_[i];
+      if (thief.agent->liveServerCount() == 0 || !thief.parked.empty()) continue;
+      std::size_t victimIndex = nodes_.size();
+      for (std::size_t j = 0; j < nodes_.size(); ++j) {
+        if (j == i || nodes_[j].parked.empty()) continue;
+        if (victimIndex == nodes_.size() ||
+            nodes_[j].parked.size() > nodes_[victimIndex].parked.size()) {
+          victimIndex = j;
+        }
+      }
+      if (victimIndex == nodes_.size()) continue;
+      Node& victim = nodes_[victimIndex];
+      const std::size_t grant = std::min(mesh_.stealBatch, victim.parked.size());
+      const std::string stealOrigin = "steal:" + victim.name;
+      for (std::size_t k = 0; k < grant; ++k) {
+        workload::TaskInstance task = victim.parked.front();
+        victim.parked.pop_front();
+        ++meshStats_.steals;
+        thief.origin[task.index] = stealOrigin;
+        // Steal request + grant round trip before the task can be placed.
+        cas::Agent* agent = thief.agent.get();
+        sim_.scheduleAfter(2.0 * config_.controlLatency,
+                           [agent, task] { agent->requestSchedule(task); });
+      }
+    }
+    if (terminal_ < metatask_.size()) {
+      sim_.scheduleAfter(mesh_.stealPeriod, [this] { stealTick(); });
+    }
+  }
+
+  void loseTask(const workload::TaskInstance& task) {
+    metrics::TaskOutcome o;
+    o.index = task.index;
+    o.typeName = task.type.name;
+    o.arrival = task.arrival;
+    o.status = metrics::TaskStatus::kLost;
+    extraLost_.push_back(std::move(o));
+    onTerminal();
+  }
+
+  void onTerminal() {
+    ++terminal_;
+    if (terminal_ == metatask_.size()) sim_.requestStop();
+  }
+
+  metrics::RunResult buildResult() {
+    metrics::RunResult result;
+    result.heuristic = schedulerName_;
+    result.metataskName = metatask_.name;
+    result.endTime = sim_.now();
+    result.simulatedEvents = sim_.executedEvents();
+    result.mesh = meshStats_;
+
+    result.tasks.reserve(metatask_.size());
+    for (const Node& node : nodes_) {
+      for (metrics::TaskOutcome& o : node.agent->collectOutcomes()) {
+        result.tasks.push_back(std::move(o));
+      }
+    }
+    for (const metrics::TaskOutcome& o : extraLost_) result.tasks.push_back(o);
+    // Tasks still parked when the horizon hit never reached any agent.
+    for (const Node& node : nodes_) {
+      for (const workload::TaskInstance& task : node.parked) {
+        metrics::TaskOutcome o;
+        o.index = task.index;
+        o.typeName = task.type.name;
+        o.arrival = task.arrival;
+        o.status = metrics::TaskStatus::kLost;
+        result.tasks.push_back(std::move(o));
+      }
+    }
+    std::sort(result.tasks.begin(), result.tasks.end(),
+              [](const metrics::TaskOutcome& a, const metrics::TaskOutcome& b) {
+                return a.index < b.index;
+              });
+
+    double errorWeight = 0.0;
+    double errorSum = 0.0;
+    for (const Node& node : nodes_) {
+      const double decisions = static_cast<double>(node.agent->scheduleDecisions());
+      if (decisions > 0.0) {
+        errorSum += node.agent->htm().stats().meanRelErrorPercent() * decisions;
+        errorWeight += decisions;
+      }
+      for (const auto& d : node.daemons) {
+        const psched::MachineStats& ms = d->machine().stats();
+        metrics::ServerSummary s;
+        s.tasksCompleted = ms.completed;
+        s.tasksFailed = ms.failed;
+        s.collapses = ms.collapses;
+        s.peakResidentMB = ms.peakResidentMB;
+        s.busySeconds = ms.busyCpuSeconds;
+        s.peakLoadReported = node.agent->peakReportedLoad(d->name());
+        result.servers.emplace(d->name(), s);
+      }
+    }
+    result.htmMeanRelErrorPercent = errorWeight > 0.0 ? errorSum / errorWeight : 0.0;
+    return result;
+  }
+
+  simcore::Simulator sim_;
+  const workload::Metatask metatask_;
+  std::string schedulerName_;
+  cas::SystemConfig config_;
+  scenario::MeshSpec mesh_;
+  RouterConfig router_;
+  std::vector<Node> nodes_;
+  /// taskId -> forwarding agent index (so the receiver can exclude it).
+  std::unordered_map<std::uint64_t, std::size_t> originIndex_;
+  std::vector<metrics::TaskOutcome> extraLost_;
+  metrics::MeshSummary meshStats_;
+  std::size_t terminal_ = 0;
+  std::uint64_t nextNoiseStream_ = 0;
+};
+
+}  // namespace
+
+metrics::RunResult runMeshSim(const platform::Testbed& testbed,
+                              const workload::Metatask& metatask,
+                              const std::string& schedulerName,
+                              const cas::SystemConfig& config,
+                              const scenario::MeshSpec& mesh,
+                              const scenario::AgentsSpec& agents) {
+  MeshSimSystem system(testbed, metatask, schedulerName, config, mesh, agents);
+  return system.run();
+}
+
+}  // namespace casched::mesh

@@ -1,0 +1,34 @@
+#pragma once
+/// \file sim_system.hpp
+/// Multi-agent mesh simulation: N cas::Agents in one Simulator, each owning a
+/// rack of the testbed's servers, joined by the mesh router - request
+/// forwarding to the least-loaded peer, work-stealing off parked queues, and
+/// flat or tree (root routes, leaves own racks) topologies. This is what
+/// scenario::runScenario dispatches to when a scenario has an enabled [mesh]
+/// section; the live loopback harness deploys the same shape over TCP, and
+/// the two agree on completed/lost counts at the same seed (locked by test).
+
+#include <string>
+
+#include "cas/system.hpp"
+#include "metrics/record.hpp"
+#include "platform/testbed.hpp"
+#include "scenario/spec.hpp"
+#include "workload/metatask.hpp"
+
+namespace casched::mesh {
+
+/// Runs one metatask over the mesh to completion. Expects a validated spec
+/// (compileScenario's [mesh] checks: >= 2 agents, partitioned mode, total
+/// disjoint rack coverage, tree root owning no rack, no churn/agent events).
+/// The result's `mesh` summary carries the forward/steal/deny accounting and
+/// `tasks` covers every metatask entry (denied or never-stolen tasks appear
+/// as kLost outcomes).
+metrics::RunResult runMeshSim(const platform::Testbed& testbed,
+                              const workload::Metatask& metatask,
+                              const std::string& schedulerName,
+                              const cas::SystemConfig& config,
+                              const scenario::MeshSpec& mesh,
+                              const scenario::AgentsSpec& agents);
+
+}  // namespace casched::mesh

@@ -49,6 +49,17 @@ struct ChurnSummary {
   }
 };
 
+/// Mesh-routing events applied during a run (multi-agent mesh deployments;
+/// all-zero for the paper's single agent).
+struct MeshSummary {
+  std::uint64_t forwards = 0;       ///< requests transferred to a peer agent
+  std::uint64_t forwardDenies = 0;  ///< requests denied (no feasible agent anywhere)
+  std::uint64_t steals = 0;         ///< tasks pulled off a peer's parked queue
+  std::uint64_t parked = 0;         ///< tasks ever parked awaiting a steal
+
+  std::uint64_t total() const { return forwards + forwardDenies + steals + parked; }
+};
+
 /// Per-server aggregate over a run.
 struct ServerSummary {
   std::uint64_t tasksCompleted = 0;
@@ -69,6 +80,7 @@ struct RunResult {
   std::uint64_t simulatedEvents = 0;
   double htmMeanRelErrorPercent = 0.0;     ///< prediction accuracy (Table 1)
   ChurnSummary churn;                      ///< membership events applied
+  MeshSummary mesh;                        ///< mesh-routing events applied
 
   std::size_t completedCount() const;
   std::size_t lostCount() const;

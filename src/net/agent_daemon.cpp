@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/htm_snapshot.hpp"
+#include "obs/decision.hpp"
 #include "obs/http_export.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -84,6 +85,11 @@ AgentDaemon::AgentDaemon(AgentDaemonConfig config, PacedClock clock)
   CASCHED_CHECK(config_.heartbeatTimeout > 0.0, "heartbeat timeout must be positive");
   agent_.setTaskTerminalObserver(
       [this](const metrics::TaskOutcome& outcome) { relayTerminal(outcome); });
+  agent_.setDecisionLabel(config_.agentName);
+  agent_.setDecisionAnnotator([this](std::uint64_t taskId, obs::DecisionRecord& record) {
+    const auto it = taskOrigins_.find(taskId);
+    record.origin = it == taskOrigins_.end() ? "local" : it->second;
+  });
   for (const std::string& address : config_.peers) addPeer(address);
   if (config_.metricsPort >= 0) {
     metricsServer_ = std::make_unique<obs::MetricsHttpServer>(
@@ -113,10 +119,12 @@ void AgentDaemon::runOnce() {
   sim_.advanceTo(clock_.simNow());
   acceptPending();
   pollTransports();
+  retryDeferredRoutes();
   flushScheduleBatch();
   pollPeers();
   applyDeadlines();
   maybeSync();
+  maybeSteal();
   if (metricsServer_) metricsServer_->pollOnce();
 }
 
@@ -251,6 +259,7 @@ void AgentDaemon::sendHello(PeerEntry& peer) {
   for (const auto& [name, entry] : servers_) {
     if (!entry.retired) hello.ownedServers.push_back(name);
   }
+  hello.listenPort = listener_.port();
   peer.transport->send(wire::MessageType::kAgentHello, wire::encode(hello));
   peer.helloSent = true;
 }
@@ -339,6 +348,9 @@ void AgentDaemon::maybeSync() {
     digest.sampleTime = sim_.now();
     base.loads.push_back(std::move(digest));
   }
+  // v4: advertise the parked-queue depth so idle mesh peers know whom to
+  // steal from (harmlessly zero outside mesh deployments).
+  base.queuedTasks = static_cast<std::uint32_t>(parked_.size());
 
   // Snapshot travels in chunks so one sync frame never approaches the frame
   // limit, whatever the trace sizes; loopback deployments fit in one chunk.
@@ -391,6 +403,13 @@ void AgentDaemon::onAgentHello(const std::shared_ptr<wire::TcpTransport>& transp
   if (entry == nullptr) return;  // hello on a server/client link: ignore
   entry->name = msg.agentName;
   entry->mode = msg.mode;
+  // Dialable address for resolver gossip: the advertised listen port wins
+  // (inbound links carry no address of their own), else the dialed address.
+  if (msg.listenPort != 0) {
+    entry->listenAddress = "127.0.0.1:" + std::to_string(msg.listenPort);
+  } else if (!entry->address.empty()) {
+    entry->listenAddress = entry->address;
+  }
 
   // Mutually-configured peers (each dialing the other) would otherwise hold
   // two links per pair, doubling every sync. Keep exactly one - the link
@@ -438,6 +457,16 @@ void AgentDaemon::onAgentSync(const std::shared_ptr<wire::TcpTransport>& transpo
   }
   ++syncsReceived_;
   if (peer->name.empty()) peer->name = msg.agentName;
+
+  // Digest summary for the mesh router (digests ride the first chunk only).
+  if (msg.chunkIndex == 0) {
+    peer->digestSeen = true;
+    peer->liveServers = static_cast<std::uint32_t>(msg.loads.size());
+    double loadSum = 0.0;
+    for (const wire::LoadDigest& digest : msg.loads) loadSum += digest.loadAverage;
+    peer->meanLoad = msg.loads.empty() ? 0.0 : loadSum / static_cast<double>(msg.loads.size());
+    peer->queuedTasks = msg.queuedTasks;
+  }
 
   // Load digests: the peer's view of the servers it owns. Servers registered
   // here are our own partition - the local estimate is fresher - so digests
@@ -541,6 +570,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
     case MessageType::kTaskComplete: {
       const wire::TaskCompleteMsg m = wire::decodeTaskComplete(frame.payload);
       refresh(m.serverName);
+      if (relayForwardedTerminal(m.taskId, m.serverName, frame)) return;
       auto it = servers_.find(m.serverName);
       if (it != servers_.end() && agent_.knowsTask(m.taskId)) {
         it->second.draining.erase(m.taskId);
@@ -552,6 +582,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
     case MessageType::kTaskFailed: {
       const wire::TaskFailedMsg m = wire::decodeTaskFailed(frame.payload);
       refresh(m.serverName);
+      if (relayForwardedTerminal(m.taskId, m.serverName, frame)) return;
       auto it = servers_.find(m.serverName);
       if (it != servers_.end() && agent_.knowsTask(m.taskId)) {
         it->second.draining.erase(m.taskId);
@@ -614,6 +645,136 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
         reply.body = e.what();
       }
       transport->send(MessageType::kStatsReply, wire::encode(reply));
+      return;
+    }
+    case MessageType::kForwardRequest: {
+      const wire::ForwardRequestMsg m = wire::decodeForwardRequest(frame.payload);
+      if (!config_.meshEnabled) {
+        denyRequest(transport, m.task.taskId, m.originAgent, "mesh disabled");
+        return;
+      }
+      if (agent_.knowsTask(m.task.taskId) ||
+          std::any_of(scheduleBatch_.begin(), scheduleBatch_.end(),
+                      [&](const workload::TaskInstance& t) {
+                        return t.index == m.task.taskId;
+                      })) {
+        denyRequest(transport, m.task.taskId, m.originAgent, "task id already used");
+        return;
+      }
+      try {
+        workload::TaskInstance task;
+        task.index = m.task.taskId;
+        task.arrival = sim_.now();
+        task.type = workload::makeSyntheticType(m.task.problem, m.task.inMB,
+                                                m.task.refSeconds, m.task.outMB,
+                                                m.task.memMB);
+        routeRequest(transport, m.task, task, m.hops, m.originAgent, sim_.now());
+      } catch (const util::Error& e) {
+        denyRequest(transport, m.task.taskId, m.originAgent, e.what());
+      }
+      return;
+    }
+    case MessageType::kForwardDeny: {
+      const wire::ForwardDenyMsg m = wire::decodeForwardDeny(frame.payload);
+      auto it = forwardedTo_.find(m.taskId);
+      if (it == forwardedTo_.end()) return;
+      const wire::ScheduleRequestMsg original = it->second.request;
+      forwardedTo_.erase(it);
+      LOG_WARN("agent " << config_.agentName << ": task " << m.taskId
+                        << " bounced by " << m.agentName << " (" << m.reason
+                        << ")");
+      // Fall back to local scheduling when anything here can run it (fault
+      // tolerance takes over); otherwise pass the refusal on to the client.
+      try {
+        workload::TaskInstance task;
+        task.index = original.taskId;
+        task.arrival = sim_.now();
+        task.type = workload::makeSyntheticType(original.problem, original.inMB,
+                                                original.refSeconds, original.outMB,
+                                                original.memMB);
+        if (agent_.hasFeasibleServer(task.type.name)) {
+          scheduleBatch_.push_back(std::move(task));  // taskClients_ still set
+          return;
+        }
+      } catch (const util::Error&) {
+        // fall through to the client-facing deny
+      }
+      auto client = taskClients_.find(m.taskId);
+      if (client != taskClients_.end()) {
+        denyRequest(client->second.lock(), m.taskId, "", m.reason);
+      }
+      return;
+    }
+    case MessageType::kStealRequest: {
+      const wire::StealRequestMsg m = wire::decodeStealRequest(frame.payload);
+      if (!config_.meshEnabled || parked_.empty() || m.capacity == 0) return;
+      wire::StealGrantMsg grant;
+      grant.agentName = config_.agentName;
+      const std::size_t count = std::min<std::size_t>(m.capacity, parked_.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        wire::ScheduleRequestMsg task = std::move(parked_.front());
+        parked_.pop_front();
+        // The thief's terminal comes back over this peer link; the map entry
+        // relays it to the original client, exactly like a forward.
+        forwardedTo_[task.taskId] = {m.agentName, task};
+        grant.tasks.push_back(std::move(task));
+      }
+      transport->send(MessageType::kStealGrant, wire::encode(grant));
+      return;
+    }
+    case MessageType::kStealGrant: {
+      const wire::StealGrantMsg m = wire::decodeStealGrant(frame.payload);
+      if (!config_.meshEnabled) return;
+      for (const wire::ScheduleRequestMsg& req : m.tasks) {
+        if (agent_.knowsTask(req.taskId)) {
+          LOG_WARN("agent " << config_.agentName << ": dropping stolen task "
+                            << req.taskId << " (id already used)");
+          continue;
+        }
+        try {
+          workload::TaskInstance task;
+          task.index = req.taskId;
+          task.arrival = sim_.now();
+          task.type = workload::makeSyntheticType(req.problem, req.inMB,
+                                                  req.refSeconds, req.outMB,
+                                                  req.memMB);
+          ++meshSteals_;
+          taskClients_[req.taskId] = transport;
+          taskOrigins_[req.taskId] = "steal:" + m.agentName;
+          scheduleBatch_.push_back(std::move(task));
+        } catch (const util::Error& e) {
+          // Answer over the peer link; the victim's forwardedTo_ entry relays
+          // the failure to the original client.
+          wire::TaskFailedMsg failed;
+          failed.taskId = req.taskId;
+          failed.reason = e.what();
+          transport->send(MessageType::kTaskFailed, wire::encode(failed));
+        }
+      }
+      return;
+    }
+    case MessageType::kResolverProbe: {
+      // A probing connection is a client from now on.
+      auto inPending = std::find_if(pending_.begin(), pending_.end(),
+                                    [&](const auto& p) { return p.first == transport; });
+      if (inPending != pending_.end()) {
+        pending_.erase(inPending);
+        clients_.push_back(transport);
+      }
+      const wire::ResolverProbeMsg m = wire::decodeResolverProbe(frame.payload);
+      wire::ResolverInfoMsg info;
+      info.agentName = config_.agentName;
+      info.probeId = m.probeId;
+      info.echoSendTime = m.sendTime;
+      info.sampleTime = sim_.now();
+      info.meanLoad = agent_.meanLoadEstimate();
+      info.liveServers = static_cast<std::uint32_t>(agent_.liveServerCount());
+      info.queuedTasks = static_cast<std::uint32_t>(parked_.size());
+      for (const PeerEntry& peer : peers_) {
+        if (!peer.transport || peer.transport->closed()) continue;
+        if (!peer.listenAddress.empty()) info.peerAddresses.push_back(peer.listenAddress);
+      }
+      transport->send(MessageType::kResolverInfo, wire::encode(info));
       return;
     }
     case MessageType::kStatsReply:
@@ -729,12 +890,27 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
     return;
   }
 
+  if (!config_.meshEnabled && liveServerCount() == 0) {
+    // No server has ever registered (or all retired) and there is no mesh to
+    // forward into: answer with an explicit deny so the client can fail over
+    // or fail fast, instead of parking the request in the fault-tolerance
+    // retry loop until the client times out (protocol v4).
+    LOG_WARN("agent " << config_.agentName << ": denying task " << msg.taskId
+                      << " (no servers registered)");
+    denyRequest(transport, msg.taskId, "", "no servers registered");
+    return;
+  }
+
   try {
     workload::TaskInstance task;
     task.index = msg.taskId;
     task.arrival = sim_.now();
     task.type = workload::makeSyntheticType(msg.problem, msg.inMB, msg.refSeconds,
                                             msg.outMB, msg.memMB);
+    if (config_.meshEnabled) {
+      routeRequest(transport, msg, task, 0, "", sim_.now());
+      return;
+    }
     taskClients_[msg.taskId] = transport;
     scheduleBatch_.push_back(std::move(task));
   } catch (const util::Error& e) {
@@ -747,6 +923,151 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
     failed.reason = e.what();
     transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
   }
+}
+
+void AgentDaemon::routeRequest(const std::shared_ptr<wire::TcpTransport>& requester,
+                               const wire::ScheduleRequestMsg& msg,
+                               const workload::TaskInstance& task, std::uint32_t hops,
+                               const std::string& fromAgent, double firstSeen) {
+  mesh::LocalView view;
+  view.feasible = agent_.hasFeasibleServer(task.type.name);
+  view.now = sim_.now();
+  view.meanLoad = agent_.meanLoadEstimate();
+  view.hops = hops;
+  if (view.feasible && config_.meshRouter.overloadThreshold > 0.0) {
+    view.predictedCompletion = agent_.previewBestCompletion(task);
+  }
+
+  // Candidate peers: connected, identified, digest received, and never the
+  // agent that just handed us this request (no ping-pong).
+  std::vector<mesh::PeerDigest> digests;
+  std::vector<const PeerEntry*> digestPeers;
+  for (const PeerEntry& peer : peers_) {
+    if (!peer.transport || peer.transport->closed() || peer.name.empty()) continue;
+    if (peer.name == fromAgent || !peer.digestSeen) continue;
+    digests.push_back({digestPeers.size(), peer.meanLoad, peer.liveServers,
+                       peer.queuedTasks});
+    digestPeers.push_back(&peer);
+  }
+
+  const mesh::RouteDecision decision =
+      mesh::decideRoute(config_.meshRouter, view, digests);
+  switch (decision.kind) {
+    case mesh::RouteKind::kLocal:
+      taskClients_[msg.taskId] = requester;
+      if (!fromAgent.empty()) taskOrigins_[msg.taskId] = "forward:" + fromAgent;
+      scheduleBatch_.push_back(task);
+      return;
+    case mesh::RouteKind::kForward: {
+      const PeerEntry* peer = digestPeers[decision.peer];
+      ++meshForwards_;
+      forwardedTo_[msg.taskId] = {peer->name, msg};
+      taskClients_[msg.taskId] = requester;
+      wire::ForwardRequestMsg forward;
+      forward.task = msg;
+      forward.originAgent = config_.agentName;
+      forward.hops = hops + 1;
+      peer->transport->send(wire::MessageType::kForwardRequest, wire::encode(forward));
+      return;
+    }
+    case mesh::RouteKind::kPark:
+      ++meshParkedTotal_;
+      taskClients_[msg.taskId] = requester;
+      parked_.push_back(msg);
+      return;
+    case mesh::RouteKind::kDeny:
+      // Startup race: the router may see no usable peer only because the
+      // first sync round has not landed yet. Retry every poll cycle within
+      // the grace window before giving up for real.
+      if (hops < config_.meshRouter.hopLimit &&
+          sim_.now() - firstSeen < config_.heartbeatTimeout) {
+        deferred_.push_back({requester, msg, hops, fromAgent, firstSeen});
+        return;
+      }
+      denyRequest(requester, msg.taskId, fromAgent, decision.reason);
+      return;
+  }
+}
+
+void AgentDaemon::denyRequest(const std::shared_ptr<wire::TcpTransport>& requester,
+                              std::uint64_t taskId, const std::string& fromAgent,
+                              const std::string& reason) {
+  ++meshDenies_;
+  taskClients_.erase(taskId);
+  if (!requester || requester->closed()) return;
+  if (fromAgent.empty()) {
+    wire::ScheduleDenyMsg deny;
+    deny.taskId = taskId;
+    deny.agentName = config_.agentName;
+    deny.reason = reason;
+    requester->send(wire::MessageType::kScheduleDeny, wire::encode(deny));
+  } else {
+    wire::ForwardDenyMsg deny;
+    deny.taskId = taskId;
+    deny.agentName = config_.agentName;
+    deny.reason = reason;
+    requester->send(wire::MessageType::kForwardDeny, wire::encode(deny));
+  }
+}
+
+void AgentDaemon::retryDeferredRoutes() {
+  if (deferred_.empty()) return;
+  std::vector<DeferredRoute> retry;
+  retry.swap(deferred_);  // routeRequest may re-defer into deferred_
+  for (DeferredRoute& route : retry) {
+    auto requester = route.requester.lock();
+    if (!requester || requester->closed()) continue;  // nobody left to answer
+    try {
+      workload::TaskInstance task;
+      task.index = route.msg.taskId;
+      task.arrival = sim_.now();
+      task.type = workload::makeSyntheticType(route.msg.problem, route.msg.inMB,
+                                              route.msg.refSeconds, route.msg.outMB,
+                                              route.msg.memMB);
+      routeRequest(requester, route.msg, task, route.hops, route.fromAgent,
+                   route.firstSeen);
+    } catch (const util::Error& e) {
+      denyRequest(requester, route.msg.taskId, route.fromAgent, e.what());
+    }
+  }
+}
+
+void AgentDaemon::maybeSteal() {
+  if (!config_.meshEnabled || config_.meshStealPeriod <= 0.0) return;
+  if (sim_.now() < nextStealAt_) return;
+  nextStealAt_ = sim_.now() + config_.meshStealPeriod;
+  // Only a genuinely idle agent steals: live servers to run the work, and
+  // nothing parked of its own.
+  if (!parked_.empty() || agent_.liveServerCount() == 0) return;
+  PeerEntry* victim = nullptr;
+  for (PeerEntry& peer : peers_) {
+    if (!peer.transport || peer.transport->closed() || !peer.digestSeen) continue;
+    if (peer.queuedTasks == 0) continue;
+    if (victim == nullptr || peer.queuedTasks > victim->queuedTasks) victim = &peer;
+  }
+  if (victim == nullptr) return;
+  wire::StealRequestMsg request;
+  request.agentName = config_.agentName;
+  request.capacity = static_cast<std::uint32_t>(config_.meshStealBatch);
+  victim->transport->send(wire::MessageType::kStealRequest, wire::encode(request));
+}
+
+bool AgentDaemon::relayForwardedTerminal(std::uint64_t taskId,
+                                         const std::string& serverName,
+                                         const wire::Frame& frame) {
+  if (!config_.meshEnabled) return false;
+  if (servers_.find(serverName) != servers_.end()) return false;
+  const auto fwd = forwardedTo_.find(taskId);
+  if (fwd == forwardedTo_.end()) return false;
+  forwardedTo_.erase(fwd);
+  auto it = taskClients_.find(taskId);
+  if (it == taskClients_.end()) return true;
+  auto client = it->second.lock();
+  taskClients_.erase(it);
+  // Relay the peer's terminal verbatim: the payload already carries the
+  // executing server's name and timings.
+  if (client && !client->closed()) client->send(frame.type, frame.payload);
+  return true;
 }
 
 void AgentDaemon::flushScheduleBatch() {
@@ -801,6 +1122,7 @@ void AgentDaemon::sendSubmit(const std::string& server, std::uint64_t taskId,
 }
 
 void AgentDaemon::relayTerminal(const metrics::TaskOutcome& outcome) {
+  taskOrigins_.erase(outcome.index);
   auto it = taskClients_.find(outcome.index);
   if (it == taskClients_.end()) return;
   auto transport = it->second.lock();

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -38,6 +39,7 @@
 
 #include "cas/agent.hpp"
 #include "core/htm.hpp"
+#include "mesh/router.hpp"
 #include "net/clock.hpp"
 #include "platform/calibration.hpp"
 #include "simcore/engine.hpp"
@@ -99,6 +101,17 @@ struct AgentDaemonConfig {
   /// start, rewritten every sync period. Empty disables persistence.
   std::string snapshotPath;
 
+  // --- mesh (protocol v4: request forwarding / work stealing) ---
+  /// Enables the mesh layer: schedule requests are routed (local / forward /
+  /// park / deny) before the scheduling core sees them, kForwardRequest and
+  /// kSteal* frames are honoured, and syncs advertise the parked-queue depth.
+  bool meshEnabled = false;
+  mesh::RouterConfig meshRouter;
+  /// Simulated seconds between steal attempts when idle; <= 0 disables.
+  double meshStealPeriod = 0.0;
+  /// Max parked tasks handed over per steal grant.
+  std::size_t meshStealBatch = 4;
+
   // --- observability ---
   /// Loopback HTTP port serving the metrics registry (GET / for Prometheus
   /// text, any path containing "json" for JSON). Negative disables the
@@ -159,6 +172,16 @@ class AgentDaemon {
   /// in partitioned mode).
   std::size_t knownPeerServerCount() const { return peerLoads_.size(); }
 
+  // --- mesh surface ---
+  /// Requests this agent handed to a peer (kForwardRequest sent).
+  std::uint64_t meshForwards() const { return meshForwards_; }
+  /// Requests this agent denied (kScheduleDeny / kForwardDeny sent).
+  std::uint64_t meshDenies() const { return meshDenies_; }
+  /// Tasks this agent pulled off a peer's parked queue (kStealGrant received).
+  std::uint64_t meshSteals() const { return meshSteals_; }
+  /// Requests ever parked awaiting a steal (cumulative, not current depth).
+  std::uint64_t meshParked() const { return meshParkedTotal_; }
+
  private:
   struct WireLink;
   struct ServerEntry {
@@ -184,6 +207,14 @@ class AgentDaemon {
     std::shared_ptr<wire::TcpTransport> transport;
     bool helloSent = false;
     double nextDialAt = 0.0;
+    /// "host:port" the peer listens on (from its hello) - what the resolver
+    /// gossips to clients; empty until the hello arrives or when unknown.
+    std::string listenAddress;
+    /// Last kAgentSync digest, summarized for the mesh router.
+    bool digestSeen = false;
+    double meanLoad = 0.0;
+    std::uint32_t liveServers = 0;
+    std::uint32_t queuedTasks = 0;
     /// Snapshot chunk reassembly state.
     std::uint64_t snapshotSeq = 0;
     std::uint32_t chunkCount = 0;
@@ -208,6 +239,25 @@ class AgentDaemon {
                   const wire::RegisterMsg& msg);
   void onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& transport,
                          const wire::ScheduleRequestMsg& msg);
+  /// Mesh routing for a validated request: place locally, forward to the
+  /// least-loaded capable peer, park for a steal, defer (no digests yet), or
+  /// deny. `fromAgent` is empty for client submissions and names the peer for
+  /// kForwardRequest arrivals (it is excluded from forwarding candidates and
+  /// receives kForwardDeny instead of kScheduleDeny).
+  void routeRequest(const std::shared_ptr<wire::TcpTransport>& requester,
+                    const wire::ScheduleRequestMsg& msg,
+                    const workload::TaskInstance& task, std::uint32_t hops,
+                    const std::string& fromAgent, double firstSeen);
+  void denyRequest(const std::shared_ptr<wire::TcpTransport>& requester,
+                   std::uint64_t taskId, const std::string& fromAgent,
+                   const std::string& reason);
+  void retryDeferredRoutes();
+  void maybeSteal();
+  /// Terminal frame for a task this agent routed to a peer (the server is not
+  /// registered here): relay it verbatim to the original client and return
+  /// true. False means normal server-terminal handling applies.
+  bool relayForwardedTerminal(std::uint64_t taskId, const std::string& serverName,
+                              const wire::Frame& frame);
   void flushScheduleBatch();
   void markServerDown(const std::string& name);
   void failAbandonedTasks(const std::string& name);
@@ -244,6 +294,39 @@ class AgentDaemon {
   std::set<std::string> peerAdoptedRows_;
   std::size_t warmStartedRows_ = 0;
   std::uint64_t syncsReceived_ = 0;
+
+  // --- mesh state ---
+  /// Requests routed off this agent, by task id: the peer now responsible
+  /// (forward target, or the thief that took a parked task) plus the original
+  /// request, kept so a kForwardDeny can fall back to local scheduling.
+  /// Terminal frames arriving over a peer link consult this map first - the
+  /// server is not in servers_ here - and relay to the original client.
+  struct ForwardedTask {
+    std::string peer;
+    wire::ScheduleRequestMsg request;
+  };
+  std::map<std::uint64_t, ForwardedTask> forwardedTo_;
+  /// Requests parked awaiting a kStealRequest (stealing topologies).
+  std::deque<wire::ScheduleRequestMsg> parked_;
+  /// Requests that could not be routed yet (no peer digest seen, typically
+  /// the startup race before the first sync round); retried every poll cycle
+  /// until the heartbeat timeout, then denied.
+  struct DeferredRoute {
+    std::weak_ptr<wire::TcpTransport> requester;
+    wire::ScheduleRequestMsg msg;
+    std::uint32_t hops = 0;
+    std::string fromAgent;
+    double firstSeen = 0.0;
+  };
+  std::vector<DeferredRoute> deferred_;
+  /// DecisionLog origin tag per task ("forward:<agent>" / "steal:<agent>"),
+  /// consumed by the decision annotator and erased at the terminal relay.
+  std::map<std::uint64_t, std::string> taskOrigins_;
+  double nextStealAt_ = 0.0;
+  std::uint64_t meshForwards_ = 0;
+  std::uint64_t meshDenies_ = 0;
+  std::uint64_t meshSteals_ = 0;
+  std::uint64_t meshParkedTotal_ = 0;
 
   /// Non-null when config_.metricsPort >= 0; polled once per runOnce() turn.
   std::unique_ptr<obs::MetricsHttpServer> metricsServer_;

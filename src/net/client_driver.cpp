@@ -64,13 +64,54 @@ void ClientDriver::start(const workload::Metatask& metatask) {
   inFlightLink_.clear();
   resend_.clear();
   terminal_.clear();
+  denies_ = 0;
+  resolverStats_ = {};
+  nextProbeAt_ = 0.0;
+  probeLinks_.clear();
+  lastBest_ = kNoBest;
+}
+
+std::size_t ClientDriver::bestRankedLink() const {
+  // Two tiers: an agent advertising zero live servers cannot run anything, so
+  // it only wins when no live link has servers at all.
+  std::size_t best = links_.size();
+  double bestScore = 0.0;
+  bool bestHasServers = false;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const AgentLink& link = links_[i];
+    if (!link.transport || link.transport->closed()) continue;
+    if (link.infosReceived == 0) continue;
+    const bool hasServers = link.liveServers > 0;
+    const double score = link.rttSeconds + config_.loadWeight * link.meanLoad;
+    const bool better = best == links_.size() ||
+                        (hasServers && !bestHasServers) ||
+                        (hasServers == bestHasServers && score < bestScore);
+    if (better) {
+      best = i;
+      bestScore = score;
+      bestHasServers = hasServers;
+    }
+  }
+  return best;
 }
 
 bool ClientDriver::sendTask(std::size_t pos, std::uint64_t wireId) {
-  // Pick the carrying link: round-robin over live links (partitioned mode)
-  // or the first live one (replicated mode - everything to the primary).
+  // Pick the carrying link: the resolver's current best-ranked agent, else
+  // round-robin over live links (partitioned mode) or the first live one
+  // (replicated mode - everything to the primary).
   std::size_t chosen = links_.size();
-  if (config_.roundRobin) {
+  if (config_.resolver) {
+    chosen = bestRankedLink();
+    if (chosen == links_.size()) {
+      // No probe reply yet: fall back to the first live link.
+      for (std::size_t i = 0; i < links_.size(); ++i) {
+        if (links_[i].transport && !links_[i].transport->closed()) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+  } else if (config_.roundRobin) {
     for (std::size_t step = 0; step < links_.size(); ++step) {
       const std::size_t i = (rrNext_ + step) % links_.size();
       if (links_[i].transport && !links_[i].transport->closed()) {
@@ -143,6 +184,8 @@ void ClientDriver::runOnce() {
     }
   }
 
+  maybeProbe(now);
+
   // Send every arrival now due; stop (and retry next turn) when no agent is
   // currently reachable.
   while (nextToSend_ < metatask_.tasks.size() &&
@@ -175,6 +218,66 @@ void ClientDriver::runOnce() {
   }
 }
 
+void ClientDriver::maybeProbe(double now) {
+  if (!config_.resolver || now < nextProbeAt_) return;
+  nextProbeAt_ = now + config_.probePeriod;
+  probeLinks_.clear();  // replies to a previous round are stale by now
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    AgentLink& link = links_[i];
+    if (!link.transport || link.transport->closed()) continue;
+    wire::ResolverProbeMsg probe;
+    probe.probeId = nextProbeId_++;
+    probe.sendTime = now;
+    probeLinks_[probe.probeId] = i;
+    link.transport->send(wire::MessageType::kResolverProbe, wire::encode(probe));
+    ++resolverStats_.probes;
+  }
+}
+
+void ClientDriver::onResolverInfo(const wire::ResolverInfoMsg& msg) {
+  const auto probe = probeLinks_.find(msg.probeId);
+  if (probe == probeLinks_.end()) return;  // stale round
+  AgentLink& link = links_[probe->second];
+  probeLinks_.erase(probe);
+  link.rttSeconds = std::max(0.0, clock_.simNow() - msg.echoSendTime);
+  link.meanLoad = msg.meanLoad;
+  link.liveServers = msg.liveServers;
+  ++link.infosReceived;
+  ++resolverStats_.infos;
+
+  // Gossip: dial agents this client was never configured with.
+  for (const std::string& address : msg.peerAddresses) {
+    const auto colon = address.rfind(':');
+    if (colon == std::string::npos) continue;
+    int port = 0;
+    try {
+      port = std::stoi(address.substr(colon + 1));
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (port <= 0 || port > 0xFFFF) continue;
+    const auto asPort = static_cast<std::uint16_t>(port);
+    const bool known = std::any_of(links_.begin(), links_.end(),
+                                   [&](const AgentLink& l) { return l.port == asPort; });
+    if (known) continue;
+    AgentLink learned;
+    learned.port = asPort;
+    links_.push_back(std::move(learned));
+    dialLink(links_.back());
+    ++resolverStats_.learnedPeers;
+    LOG_INFO("client: learned agent at " << address << " from resolver gossip");
+  }
+
+  // Re-rank against the last best we ever picked, not a value recomputed a
+  // moment ago: a link that died between two probe rounds changes the answer
+  // without any info arriving, and that switch must count too.
+  const std::size_t best = bestRankedLink();
+  if (best != links_.size() && best != lastBest_) {
+    if (lastBest_ != kNoBest) ++resolverStats_.reranks;
+    lastBest_ = best;
+  }
+}
+
 void ClientDriver::handleFrame(const wire::Frame& frame) {
   using wire::MessageType;
   const auto settle = [&](std::uint64_t wireId) -> std::uint64_t {
@@ -200,6 +303,38 @@ void ClientDriver::handleFrame(const wire::Frame& frame) {
     if (!inserted) return;
     it->second.completed = false;
     it->second.server = m.serverName;
+    return;
+  }
+  if (frame.type == MessageType::kScheduleDeny) {
+    const wire::ScheduleDenyMsg m = wire::decodeScheduleDeny(frame.payload);
+    auto it = wireToPos_.find(m.taskId);
+    if (it == wireToPos_.end()) return;
+    const std::size_t pos = it->second;
+    const std::uint64_t index = metatask_.tasks[pos].index;
+    inFlightLink_.erase(m.taskId);
+    if (terminal_.count(index) != 0) return;
+    ++denies_;
+    if (links_.size() > 1) {
+      // Another agent may have the servers: steer the sticky primary past
+      // the denier and fail the task over (round-robin advanced already).
+      LOG_WARN("client: task " << index << " denied by " << m.agentName << " ("
+                               << m.reason << "), failing over");
+      if (!config_.roundRobin && !config_.resolver) {
+        primary_ = (primary_ + 1) % links_.size();
+      }
+      resend_.push_back(pos);
+    } else {
+      // Nowhere else to go: the deny is this task's terminal answer. This is
+      // what replaces the old silent client-side timeout when an agent has
+      // no servers at all.
+      LOG_WARN("client: task " << index << " denied by " << m.agentName << " ("
+                               << m.reason << ")");
+      terminal_[index].completed = false;
+    }
+    return;
+  }
+  if (frame.type == MessageType::kResolverInfo) {
+    onResolverInfo(wire::decodeResolverInfo(frame.payload));
     return;
   }
   LOG_WARN("client: ignoring unexpected " << wire::messageTypeName(frame.type)

@@ -42,6 +42,18 @@ struct ClientConfig {
   bool roundRobin = false;
   /// Simulated seconds between re-dial attempts of a dead connection.
   double redialPeriod = 5.0;
+
+  // --- dynamic resolver (protocol v4, opt-in) ---
+  /// Probe every live agent each `probePeriod`, learn agents it was never
+  /// configured with from gossip (kResolverInfo peerAddresses), and send each
+  /// task to the best-ranked live agent - rank = RTT + loadWeight * advertised
+  /// mean load - instead of the static round-robin / sticky-primary policy.
+  bool resolver = false;
+  /// Simulated seconds between probe rounds.
+  double probePeriod = 5.0;
+  /// Weight of the advertised mean load against the probe RTT (in simulated
+  /// seconds) when ranking endpoints.
+  double loadWeight = 1.0;
 };
 
 /// What the client learned about one task from the agents' relays.
@@ -83,16 +95,37 @@ class ClientDriver {
   const std::map<std::uint64_t, ClientOutcome>& outcomes() const { return terminal_; }
   /// Tasks re-submitted to another agent after their connection died.
   std::uint64_t failoverResubmissions() const { return failovers_; }
+  /// kScheduleDeny notices received (agent had no servers / no mesh rescue).
+  std::uint64_t scheduleDenies() const { return denies_; }
   std::size_t liveAgentCount() const;
+
+  /// What the dynamic resolver has done so far (all zero when disabled).
+  struct ResolverStats {
+    std::uint64_t probes = 0;   ///< kResolverProbe frames sent
+    std::uint64_t infos = 0;    ///< kResolverInfo replies digested
+    std::uint64_t reranks = 0;  ///< times the best-ranked agent changed
+    std::uint64_t learnedPeers = 0;  ///< links added from gossip addresses
+  };
+  const ResolverStats& resolverStats() const { return resolverStats_; }
+  /// Index into the configured+learned link list of the currently best-ranked
+  /// live agent, or the link count when no probe reply has arrived yet.
+  std::size_t bestRankedLink() const;
 
  private:
   struct AgentLink {
     std::uint16_t port = 0;
     std::shared_ptr<wire::TcpTransport> transport;
     double nextRedialAt = 0.0;
+    // --- resolver state (latest probe reply) ---
+    double rttSeconds = 0.0;
+    double meanLoad = 0.0;
+    std::uint32_t liveServers = 0;
+    std::uint64_t infosReceived = 0;
   };
 
   void handleFrame(const wire::Frame& frame);
+  void maybeProbe(double now);
+  void onResolverInfo(const wire::ResolverInfoMsg& msg);
   bool dialLink(AgentLink& link);
   /// Sends metatask position `pos` under `wireId` on some live link; false
   /// when no link is live.
@@ -119,6 +152,16 @@ class ClientDriver {
   /// a fresh wire id) as soon as a live link exists.
   std::vector<std::size_t> resend_;
   std::map<std::uint64_t, ClientOutcome> terminal_;  ///< by metatask index
+  std::uint64_t denies_ = 0;
+
+  // --- resolver state ---
+  ResolverStats resolverStats_;
+  double nextProbeAt_ = 0.0;
+  std::uint64_t nextProbeId_ = 1;
+  /// probe id -> link index for the round in flight (cleared each round).
+  std::map<std::uint64_t, std::size_t> probeLinks_;
+  static constexpr std::size_t kNoBest = static_cast<std::size_t>(-1);
+  std::size_t lastBest_ = kNoBest;  ///< rerank detection cursor
 };
 
 }  // namespace casched::net

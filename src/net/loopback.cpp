@@ -10,6 +10,7 @@
 #include <memory>
 #include <thread>
 
+#include "mesh/router.hpp"
 #include "net/agent_daemon.hpp"
 #include "net/client_driver.hpp"
 #include "net/server_daemon.hpp"
@@ -204,6 +205,12 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
     slot.config.syncPeriod = spec.syncPeriod;
     slot.config.snapshotPath =
         (snapshotDir / (slot.config.agentName + ".htmsnap")).string();
+    if (compiled.mesh.enabled) {
+      slot.config.meshEnabled = true;
+      slot.config.meshRouter = mesh::routerConfigFrom(compiled.mesh);
+      slot.config.meshStealPeriod = compiled.mesh.stealPeriod;
+      slot.config.meshStealBatch = compiled.mesh.stealBatch;
+    }
     slot.daemon = std::make_unique<AgentDaemon>(slot.config, clock);
     slot.port = slot.daemon->port();
     slot.config.port = slot.port;  // a restart rebinds the same port
@@ -220,9 +227,20 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
   }
 
   const bool partitioned = parseAgentMode(spec.mode) == AgentMode::kPartitioned;
+  // Mesh deployments home each server on its rack's owner (the simulator uses
+  // the same assignment); otherwise partitioned mode round-robins by index.
+  std::vector<std::size_t> rackOwner;
+  if (compiled.mesh.enabled) {
+    rackOwner.assign(compiled.testbed.servers.size(), 0);
+    for (const scenario::RackSpec& rack : compiled.mesh.racks) {
+      for (const std::size_t s : rack.servers) rackOwner[s] = rack.agentIndex;
+    }
+  }
   const auto portsFor = [&](std::size_t serverIdx) {
     std::vector<std::uint16_t> ports;
-    const std::size_t home = partitioned ? serverIdx % slots.size() : 0;
+    const std::size_t home = serverIdx < rackOwner.size()
+                                 ? rackOwner[serverIdx]
+                                 : (partitioned ? serverIdx % slots.size() : 0);
     for (std::size_t k = 0; k < slots.size(); ++k) {
       ports.push_back(slots[(home + k) % slots.size()].port);
     }
@@ -282,7 +300,13 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
   }
 
   ClientConfig clientConfig;
-  for (const AgentSlot& slot : slots) clientConfig.agentPorts.push_back(slot.port);
+  if (compiled.mesh.enabled && compiled.mesh.topology == "tree") {
+    // Hierarchical topology: the client talks to the root only; the root
+    // owns no rack and routes (forward or steal) into the leaves.
+    clientConfig.agentPorts.push_back(slots[compiled.mesh.root].port);
+  } else {
+    for (const AgentSlot& slot : slots) clientConfig.agentPorts.push_back(slot.port);
+  }
   clientConfig.roundRobin = partitioned;
   ClientDriver client(clientConfig, clock);
   client.connect();
@@ -356,6 +380,7 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
   report.completed = client.completedCount();
   report.lost = report.tasks - std::min(report.tasks, report.completed);
   report.clientFailovers = client.failoverResubmissions();
+  report.clientDenies = client.scheduleDenies();
 
   for (AgentSlot& slot : slots) {
     AgentShare share;
@@ -373,6 +398,10 @@ LiveRunReport runMultiAgent(const scenario::CompiledScenario& compiled,
       report.peerSyncs += slot.daemon->syncsReceived();
       report.peerRowsAdopted += slot.daemon->peerRowsAdopted();
       report.serversRetired += slot.daemon->retiredServerCount();
+      report.meshForwards += slot.daemon->meshForwards();
+      report.meshDenies += slot.daemon->meshDenies();
+      report.meshSteals += slot.daemon->meshSteals();
+      report.meshParked += slot.daemon->meshParked();
     }
     report.resubmissions += share.resubmissions;
     report.perAgent.push_back(std::move(share));
@@ -566,6 +595,14 @@ std::string liveRunJson(const LiveRunReport& report) {
     json.endObject();
   }
   json.endArray();
+  json.endObject();
+  json.key("mesh");
+  json.beginObject();
+  json.key("forwards").value(report.meshForwards);
+  json.key("denies").value(report.meshDenies);
+  json.key("steals").value(report.meshSteals);
+  json.key("parked").value(report.meshParked);
+  json.key("client_denies").value(report.clientDenies);
   json.endObject();
   json.key("wall_seconds").value(report.wallSeconds);
   json.key("sim_end_time").value(report.simEndTime);

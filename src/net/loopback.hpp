@@ -112,6 +112,18 @@ struct LiveRunReport {
   /// Tasks the client re-submitted to another agent after a link died.
   std::uint64_t clientFailovers = 0;
   std::vector<AgentShare> perAgent;
+
+  // --- mesh deployments ([mesh] section) ---
+  /// Requests handed to a peer agent (kForwardRequest), summed over agents.
+  std::uint64_t meshForwards = 0;
+  /// Client- or peer-facing denies (kScheduleDeny / kForwardDeny) sent.
+  std::uint64_t meshDenies = 0;
+  /// Tasks pulled off a peer's parked queue (kStealGrant), summed.
+  std::uint64_t meshSteals = 0;
+  /// Requests ever parked awaiting a steal, summed.
+  std::uint64_t meshParked = 0;
+  /// kScheduleDeny notices the client received.
+  std::uint64_t clientDenies = 0;
 };
 
 /// Extra attempts past the first across a run's outcomes - the common

@@ -21,6 +21,8 @@ std::string DecisionLog::json() const {
     w.key("attempt").value(d.attempt);
     w.key("heuristic").value(d.heuristic);
     w.key("chosen").value(d.chosen);
+    if (!d.agent.empty()) w.key("agent").value(d.agent);
+    if (!d.origin.empty()) w.key("origin").value(d.origin);
     w.key("candidates").beginArray();
     for (const DecisionCandidate& c : d.candidates) {
       w.beginObject();

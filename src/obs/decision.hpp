@@ -28,6 +28,12 @@ struct DecisionRecord {
   int attempt = 0;
   std::string heuristic;
   std::string chosen;
+  /// Placing agent's deployment name; empty for the single-agent model.
+  std::string agent;
+  /// How the task reached this agent: empty/"local" for a direct client
+  /// request, "forward:<agent>" when rescued from a saturated peer,
+  /// "steal:<agent>" when pulled off a peer's parked queue.
+  std::string origin;
   std::vector<DecisionCandidate> candidates;
 };
 

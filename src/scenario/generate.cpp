@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "core/htm.hpp"
+#include "mesh/sim_system.hpp"
 #include "platform/calibration.hpp"
 #include "platform/machine_catalog.hpp"
 #include "scenario/faults.hpp"
@@ -255,11 +256,55 @@ CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                   util::strformat("agent event targets agent %zu of %zu",
                                   e.agentIndex, out.agents.count));
   }
+  out.mesh = spec.mesh;
+  if (out.mesh.enabled) {
+    CASCHED_CHECK(out.agents.count > 1, "[mesh] needs an [agents] count of at least 2");
+    CASCHED_CHECK(out.agents.mode == "partitioned",
+                  "[mesh] needs [agents] mode = partitioned");
+    CASCHED_CHECK(out.mesh.overloadThreshold >= 0.0,
+                  "mesh overload-threshold must be >= 0");
+    CASCHED_CHECK(out.mesh.stealPeriod >= 0.0, "mesh steal-period must be >= 0");
+    CASCHED_CHECK(out.churn.empty() && out.agents.events.empty(),
+                  "[mesh] scenarios do not support churn or agent events yet");
+    const bool tree = out.mesh.topology == "tree";
+    if (tree) {
+      CASCHED_CHECK(out.mesh.root < out.agents.count,
+                    util::strformat("mesh root %zu targets agent %zu of %zu",
+                                    out.mesh.root, out.mesh.root, out.agents.count));
+    }
+    // Rack coverage must be total and disjoint: every platform server named
+    // exactly once, so sim and live derive one identical ownership map.
+    std::vector<bool> owned(out.testbed.servers.size(), false);
+    for (const RackSpec& rack : out.mesh.racks) {
+      CASCHED_CHECK(rack.agentIndex < out.agents.count,
+                    util::strformat("mesh rack targets agent %zu of %zu",
+                                    rack.agentIndex, out.agents.count));
+      CASCHED_CHECK(!tree || rack.agentIndex != out.mesh.root,
+                    "the mesh root routes between racks; it cannot own one");
+      for (const std::size_t s : rack.servers) {
+        CASCHED_CHECK(s < out.testbed.servers.size(),
+                      util::strformat("mesh rack names server %zu of %zu", s,
+                                      out.testbed.servers.size()));
+        CASCHED_CHECK(!owned[s],
+                      util::strformat("server %zu appears in two mesh racks", s));
+        owned[s] = true;
+      }
+    }
+    for (std::size_t s = 0; s < owned.size(); ++s) {
+      CASCHED_CHECK(owned[s], util::strformat(
+                                  "server %zu is in no mesh rack (coverage "
+                                  "must be total)", s));
+    }
+  }
   return out;
 }
 
 metrics::RunResult runScenario(const CompiledScenario& compiled,
                                const std::string& heuristic) {
+  if (compiled.mesh.enabled) {
+    return mesh::runMeshSim(compiled.testbed, compiled.metatask, heuristic,
+                            compiled.system, compiled.mesh, compiled.agents);
+  }
   return cas::runExperimentSystem(compiled.testbed, compiled.metatask, heuristic,
                                   compiled.system, compiled.churn);
 }

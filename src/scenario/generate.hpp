@@ -38,6 +38,11 @@ struct CompiledScenario {
   /// harness deploys `agents.count` daemons and applies the agent-crash
   /// events.
   AgentsSpec agents;
+  /// Agent-mesh shape ([mesh] section, validated): rack ownership, request
+  /// forwarding, work-stealing and topology. When enabled, runScenario runs
+  /// the multi-agent mesh simulator instead of the paper's single agent, and
+  /// the live harness deploys the same mesh over loopback TCP.
+  MeshSpec mesh;
 };
 
 /// Resolves a paper-family type name: "matmul-<size>" or "waste-cpu-<param>".

@@ -357,6 +357,45 @@ void setAgentsKey(AgentsSpec& a, std::size_t line, const std::string& key,
   }
 }
 
+void setMeshKey(MeshSpec& m, std::size_t line, const std::string& key,
+                std::string_view value) {
+  m.enabled = true;
+  if (key == "forwarding") {
+    m.forwarding = parseBool(line, value);
+  } else if (key == "hop-limit") {
+    m.hopLimit = static_cast<std::uint32_t>(parseCount(line, value));
+    if (m.hopLimit == 0) fail(line, "hop-limit must be positive");
+  } else if (key == "overload-threshold") {
+    m.overloadThreshold = parseDouble(line, value);
+  } else if (key == "steal-period") {
+    m.stealPeriod = parseDouble(line, value);
+  } else if (key == "steal-batch") {
+    m.stealBatch = parseCount(line, value);
+    if (m.stealBatch == 0) fail(line, "steal-batch must be positive");
+  } else if (key == "topology") {
+    const std::string v = util::toLower(value);
+    if (v != "flat" && v != "tree") fail(line, "topology must be flat | tree");
+    m.topology = v;
+  } else if (key == "root") {
+    m.root = parseCount(line, value);
+  } else if (key == "rack") {
+    // rack = <agent-index> : <server-index>[, <server-index>...]
+    const std::size_t colon = value.find(':');
+    if (colon == std::string_view::npos) {
+      fail(line, "rack wants '<agent-index> : <server-index>, ...'");
+    }
+    RackSpec rack;
+    rack.agentIndex = parseCount(line, util::trim(value.substr(0, colon)));
+    for (const std::string& field : commaFields(value.substr(colon + 1))) {
+      rack.servers.push_back(parseCount(line, field));
+    }
+    if (rack.servers.empty()) fail(line, "rack needs at least one server index");
+    m.racks.push_back(std::move(rack));
+  } else {
+    fail(line, "unknown [mesh] key '" + key + "'");
+  }
+}
+
 }  // namespace
 
 ScenarioSpec parseScenario(const std::string& text) {
@@ -378,8 +417,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       section = util::toLower(lineView.substr(1, lineView.size() - 2));
       if (section != "scenario" && section != "arrival" && section != "workload" &&
           section != "platform" && section != "system" && section != "churn" &&
-          section != "faults" && section != "agents" && section != "campaign" &&
-          section != "sweep") {
+          section != "faults" && section != "agents" && section != "mesh" &&
+          section != "campaign" && section != "sweep") {
         fail(lineNo, "unknown section [" + section + "]");
       }
       continue;
@@ -408,6 +447,8 @@ ScenarioSpec parseScenario(const std::string& text) {
       setFaultsKey(spec.faults, lineNo, key, value);
     } else if (section == "agents") {
       setAgentsKey(spec.agents, lineNo, key, value);
+    } else if (section == "mesh") {
+      setMeshKey(spec.mesh, lineNo, key, value);
     } else if (section == "campaign") {
       setCampaignKey(spec.campaign, lineNo, key, value);
     } else if (section == "sweep") {
@@ -565,6 +606,28 @@ std::string renderScenario(const ScenarioSpec& spec) {
     for (const AgentEventSpec& e : ag.events) {
       out << "event = " << util::strformat("%g", e.time) << ", crash, " << e.agentIndex
           << ", " << util::strformat("%g", e.restartAfter) << "\n";
+    }
+  }
+
+  const MeshSpec& mesh = spec.mesh;
+  if (mesh.enabled) {
+    out << "\n[mesh]\n"
+        << "forwarding = " << (mesh.forwarding ? "true" : "false") << "\n"
+        << "hop-limit = " << mesh.hopLimit << "\n"
+        << "overload-threshold = " << util::strformat("%g", mesh.overloadThreshold)
+        << "\n";
+    if (mesh.stealPeriod > 0.0) {
+      out << "steal-period = " << util::strformat("%g", mesh.stealPeriod) << "\n"
+          << "steal-batch = " << mesh.stealBatch << "\n";
+    }
+    out << "topology = " << mesh.topology << "\n";
+    if (mesh.topology == "tree") out << "root = " << mesh.root << "\n";
+    for (const RackSpec& rack : mesh.racks) {
+      out << "rack = " << rack.agentIndex << " : ";
+      for (std::size_t i = 0; i < rack.servers.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << rack.servers[i];
+      }
+      out << "\n";
     }
   }
   return out.str();

@@ -622,6 +622,118 @@ link-min = 0.3
 link-max = 0.8
 link-duration = 150
 )"},
+    {"mesh/saturated_rescue", R"(
+[scenario]
+name = mesh/saturated_rescue
+description = Two-partition mesh: agent 0 owns one server and saturates, forwarding rescues its overflow onto agent 1's three-server rack with zero lost tasks
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+# Heavy enough (~34 s reference) that agent 0's single server falls behind
+# its ~10 s interarrival share - the rescue path is the point.
+mix = waste-cpu-400 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+report-period = 10
+
+[agents]
+count = 2
+mode = partitioned
+sync-period = 5
+
+[mesh]
+forwarding = true
+hop-limit = 1
+overload-threshold = 60
+topology = flat
+rack = 0 : 0
+rack = 1 : 1, 2, 3
+)"},
+    {"mesh/hierarchy_4agent", R"(
+[scenario]
+name = mesh/hierarchy_4agent
+description = Hierarchical mesh: a serverless root agent routes every request to the least-loaded of three leaf agents, each owning a two-server rack
+
+[arrival]
+process = poisson
+mean = 4
+
+[workload]
+count = 24
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 6
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+report-period = 10
+
+[agents]
+count = 4
+mode = partitioned
+sync-period = 5
+
+[mesh]
+forwarding = true
+hop-limit = 1
+topology = tree
+root = 0
+rack = 1 : 0, 1
+rack = 2 : 2, 3
+rack = 3 : 4, 5
+)"},
+    {"mesh/steal_tree", R"(
+[scenario]
+name = mesh/steal_tree
+description = Work-stealing mesh: forwarding off, so the serverless root parks every request and the two leaf agents pull them off its queue via steal grants
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 20
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.4
+
+[system]
+fault-tolerance = true
+report-period = 10
+
+[agents]
+count = 3
+mode = partitioned
+sync-period = 5
+
+[mesh]
+forwarding = false
+steal-period = 5
+steal-batch = 2
+topology = tree
+root = 0
+rack = 1 : 0, 1
+rack = 2 : 2, 3
+)"},
     {"mega-cluster", R"(
 [scenario]
 name = mega-cluster

@@ -166,6 +166,45 @@ struct AgentsSpec {
   std::vector<AgentEventSpec> events;
 };
 
+/// One `rack = <agent-index> : <server-index>[, <server-index>...]` line of
+/// the [mesh] section: the platform servers (by testbed order) owned by that
+/// agent. Servers not named in any rack line keep the deployment's default
+/// round-robin homing.
+struct RackSpec {
+  std::size_t agentIndex = 0;
+  std::vector<std::size_t> servers;
+};
+
+/// [mesh] section: the agent mesh layered on a partitioned multi-agent
+/// deployment - request forwarding between peers, work-stealing, and
+/// hierarchical (tree) topologies. Compiled into both the simulator's mesh
+/// system and the live loopback deployment, so mesh scenarios keep the
+/// sim/live count-agreement invariant.
+struct MeshSpec {
+  bool enabled = false;  ///< set by the presence of a [mesh] section
+  /// Forward a request to the least-loaded peer when the local partition is
+  /// saturated (no feasible server, or the overload threshold trips).
+  bool forwarding = true;
+  /// Max agent-to-agent transfers per task; 1 means a forwarded task cannot
+  /// be forwarded again (no ping-pong).
+  std::uint32_t hopLimit = 1;
+  /// Forward when the best local predicted completion exceeds
+  /// now + overloadThreshold simulated seconds; <= 0 disables the overload
+  /// trigger (only no-feasible-server requests forward).
+  double overloadThreshold = 0.0;
+  /// Work-stealing: idle agents pull parked tasks from the most-loaded peer
+  /// every stealPeriod simulated seconds; <= 0 disables stealing.
+  double stealPeriod = 0.0;
+  /// Max parked tasks handed over per steal.
+  std::size_t stealBatch = 4;
+  /// "flat": clients spread tasks over every agent. "tree": clients talk to
+  /// the root agent only; the root owns no rack and routes to the leaves.
+  std::string topology = "flat";
+  /// Tree topology: index of the routing (root) agent.
+  std::size_t root = 0;
+  std::vector<RackSpec> racks;
+};
+
 /// [campaign] section: how the suite driver replicates and tabulates the
 /// scenario. Absent sections keep these defaults, so every plain scenario is
 /// already a one-metatask campaign.
@@ -202,6 +241,7 @@ struct ScenarioSpec {
   std::vector<ChurnSpec> churn;
   FaultsSpec faults;
   AgentsSpec agents;
+  MeshSpec mesh;
   CampaignSpec campaign;
   std::vector<SweepAxis> sweep;
 };

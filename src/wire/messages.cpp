@@ -24,13 +24,20 @@ std::string messageTypeName(MessageType type) {
     case MessageType::kAgentSync: return "agent-sync";
     case MessageType::kStatsRequest: return "stats-request";
     case MessageType::kStatsReply: return "stats-reply";
+    case MessageType::kForwardRequest: return "forward-request";
+    case MessageType::kForwardDeny: return "forward-deny";
+    case MessageType::kScheduleDeny: return "schedule-deny";
+    case MessageType::kStealRequest: return "steal-request";
+    case MessageType::kStealGrant: return "steal-grant";
+    case MessageType::kResolverProbe: return "resolver-probe";
+    case MessageType::kResolverInfo: return "resolver-info";
   }
   return "unknown";
 }
 
 bool isKnownMessageType(std::uint16_t rawType) {
   return rawType >= static_cast<std::uint16_t>(MessageType::kRegister) &&
-         rawType <= static_cast<std::uint16_t>(MessageType::kStatsReply);
+         rawType <= static_cast<std::uint16_t>(MessageType::kResolverInfo);
 }
 
 namespace {
@@ -292,6 +299,7 @@ Bytes encode(const AgentHelloMsg& m) {
   w.str(m.mode);
   w.f64(m.sampleTime);
   writeStringList(w, m.ownedServers);
+  w.u16(m.listenPort);
   return out;
 }
 
@@ -302,6 +310,7 @@ AgentHelloMsg decodeAgentHello(const Bytes& payload) {
   m.mode = r.str();
   m.sampleTime = r.f64();
   m.ownedServers = readStringList(r);
+  m.listenPort = r.u16();
   return m;
 }
 
@@ -321,6 +330,7 @@ Bytes encode(const AgentSyncMsg& m) {
   w.u32(m.chunkIndex);
   w.u32(m.chunkCount);
   w.bytes(m.snapshotChunk);
+  w.u32(m.queuedTasks);
   return out;
 }
 
@@ -342,6 +352,7 @@ AgentSyncMsg decodeAgentSync(const Bytes& payload) {
   m.chunkIndex = r.u32();
   m.chunkCount = r.u32();
   m.snapshotChunk = r.bytes();
+  m.queuedTasks = r.u32();
   return m;
 }
 
@@ -376,6 +387,162 @@ StatsReplyMsg decodeStatsReply(const Bytes& payload) {
   m.sampleTime = r.f64();
   m.format = r.str();
   m.body = r.str();
+  return m;
+}
+
+namespace {
+void writeTaskSpec(Writer& w, const ScheduleRequestMsg& t) {
+  w.u64(t.taskId);
+  w.str(t.problem);
+  w.f64(t.inMB);
+  w.f64(t.outMB);
+  w.f64(t.memMB);
+  w.f64(t.refSeconds);
+}
+
+ScheduleRequestMsg readTaskSpec(Reader& r) {
+  ScheduleRequestMsg t;
+  t.taskId = r.u64();
+  t.problem = r.str();
+  t.inMB = r.f64();
+  t.outMB = r.f64();
+  t.memMB = r.f64();
+  t.refSeconds = r.f64();
+  return t;
+}
+}  // namespace
+
+Bytes encode(const ForwardRequestMsg& m) {
+  Bytes out;
+  Writer w(out);
+  writeTaskSpec(w, m.task);
+  w.str(m.originAgent);
+  w.u32(m.hops);
+  return out;
+}
+
+ForwardRequestMsg decodeForwardRequest(const Bytes& payload) {
+  Reader r(payload);
+  ForwardRequestMsg m;
+  m.task = readTaskSpec(r);
+  m.originAgent = r.str();
+  m.hops = r.u32();
+  return m;
+}
+
+Bytes encode(const ForwardDenyMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.agentName);
+  w.str(m.reason);
+  return out;
+}
+
+ForwardDenyMsg decodeForwardDeny(const Bytes& payload) {
+  Reader r(payload);
+  ForwardDenyMsg m;
+  m.taskId = r.u64();
+  m.agentName = r.str();
+  m.reason = r.str();
+  return m;
+}
+
+Bytes encode(const ScheduleDenyMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.taskId);
+  w.str(m.agentName);
+  w.str(m.reason);
+  return out;
+}
+
+ScheduleDenyMsg decodeScheduleDeny(const Bytes& payload) {
+  Reader r(payload);
+  ScheduleDenyMsg m;
+  m.taskId = r.u64();
+  m.agentName = r.str();
+  m.reason = r.str();
+  return m;
+}
+
+Bytes encode(const StealRequestMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  w.u32(m.capacity);
+  return out;
+}
+
+StealRequestMsg decodeStealRequest(const Bytes& payload) {
+  Reader r(payload);
+  StealRequestMsg m;
+  m.agentName = r.str();
+  m.capacity = r.u32();
+  return m;
+}
+
+Bytes encode(const StealGrantMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  CASCHED_CHECK(m.tasks.size() <= 0xFFFFFFFFull, "steal grant list too long");
+  w.u32(static_cast<std::uint32_t>(m.tasks.size()));
+  for (const ScheduleRequestMsg& t : m.tasks) writeTaskSpec(w, t);
+  return out;
+}
+
+StealGrantMsg decodeStealGrant(const Bytes& payload) {
+  Reader r(payload);
+  StealGrantMsg m;
+  m.agentName = r.str();
+  const std::uint32_t n = r.u32();
+  m.tasks.reserve(clampCount(n, r, 44));  // u64 id + str prefix + four f64s
+  for (std::uint32_t i = 0; i < n; ++i) m.tasks.push_back(readTaskSpec(r));
+  return m;
+}
+
+Bytes encode(const ResolverProbeMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u64(m.probeId);
+  w.f64(m.sendTime);
+  return out;
+}
+
+ResolverProbeMsg decodeResolverProbe(const Bytes& payload) {
+  Reader r(payload);
+  ResolverProbeMsg m;
+  m.probeId = r.u64();
+  m.sendTime = r.f64();
+  return m;
+}
+
+Bytes encode(const ResolverInfoMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.str(m.agentName);
+  w.u64(m.probeId);
+  w.f64(m.echoSendTime);
+  w.f64(m.sampleTime);
+  w.f64(m.meanLoad);
+  w.u32(m.liveServers);
+  w.u32(m.queuedTasks);
+  writeStringList(w, m.peerAddresses);
+  return out;
+}
+
+ResolverInfoMsg decodeResolverInfo(const Bytes& payload) {
+  Reader r(payload);
+  ResolverInfoMsg m;
+  m.agentName = r.str();
+  m.probeId = r.u64();
+  m.echoSendTime = r.f64();
+  m.sampleTime = r.f64();
+  m.meanLoad = r.f64();
+  m.liveServers = r.u32();
+  m.queuedTasks = r.u32();
+  m.peerAddresses = readStringList(r);
   return m;
 }
 

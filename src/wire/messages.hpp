@@ -13,11 +13,16 @@
 
 namespace casched::wire {
 
-/// v2 added the heartbeat message and the registration speed index; v3 adds
+/// v2 added the heartbeat message and the registration speed index; v3 added
 /// the agent-to-agent replication messages (kAgentHello registration and
-/// kAgentSync load-digest + HTM-snapshot-chunk sync). Peers speaking an older
-/// version are rejected with a typed error naming both versions.
-constexpr std::uint16_t kProtocolVersion = 3;
+/// kAgentSync load-digest + HTM-snapshot-chunk sync); v4 adds the agent mesh:
+/// peer request forwarding (kForwardRequest/kForwardDeny), an explicit
+/// client-facing deny (kScheduleDeny), work-stealing (kStealRequest/
+/// kStealGrant) and the client-side resolver probe pair (kResolverProbe/
+/// kResolverInfo), plus the hello's listen port and the sync's parked-task
+/// count. Peers speaking an older version are rejected with a typed error
+/// naming both versions.
+constexpr std::uint16_t kProtocolVersion = 4;
 
 enum class MessageType : std::uint16_t {
   kRegister = 1,       ///< server -> agent: problems + peak performances
@@ -36,6 +41,13 @@ enum class MessageType : std::uint16_t {
   kAgentSync = 14,     ///< agent -> agent: load digests + HTM snapshot chunk
   kStatsRequest = 15,  ///< operator -> agent: metrics snapshot, please
   kStatsReply = 16,    ///< agent -> operator: rendered metrics snapshot
+  kForwardRequest = 17,///< agent -> agent: place this task on your partition
+  kForwardDeny = 18,   ///< agent -> agent: cannot place the forwarded task
+  kScheduleDeny = 19,  ///< agent -> client: request refused (no servers, no peer)
+  kStealRequest = 20,  ///< agent -> agent: idle; hand me parked tasks
+  kStealGrant = 21,    ///< agent -> agent: parked tasks handed over
+  kResolverProbe = 22, ///< client -> agent: RTT/load probe
+  kResolverInfo = 23,  ///< agent -> client: probe echo + load + peer gossip
 };
 
 std::string messageTypeName(MessageType type);
@@ -140,6 +152,9 @@ struct AgentHelloMsg {
   double sampleTime = 0.0;
   /// Servers currently registered with (owned by) the sender.
   std::vector<std::string> ownedServers;
+  /// The sender's own listening port (v4): lets the receiver of an inbound
+  /// link reconstruct a dialable address for resolver gossip.
+  std::uint16_t listenPort = 0;
 };
 
 /// One server's last load report, as the owning agent saw it.
@@ -162,6 +177,9 @@ struct AgentSyncMsg {
   std::uint32_t chunkIndex = 0;
   std::uint32_t chunkCount = 0;
   Bytes snapshotChunk;
+  /// Tasks the sender accepted but has not dispatched yet (v4): the mesh's
+  /// work-stealing target signal - idle peers steal from the deepest queue.
+  std::uint32_t queuedTasks = 0;
 };
 
 /// Operator request for the agent's metrics registry; additive to protocol
@@ -179,6 +197,72 @@ struct StatsReplyMsg {
   std::string format;
   /// The rendered registry snapshot.
   std::string body;
+};
+
+/// Agent-to-agent request forwarding (v4): a saturated agent hands a client's
+/// schedule request to a peer. `task` is the original request verbatim;
+/// `originAgent` names the first agent that accepted it (terminal outcomes
+/// travel back along the forwarding link); `hops` counts agent-to-agent
+/// transfers so far, so a hop limit can stop ping-pong.
+struct ForwardRequestMsg {
+  ScheduleRequestMsg task;
+  std::string originAgent;
+  std::uint32_t hops = 1;
+};
+
+/// Peer's refusal of a forwarded task; the origin falls back to its own
+/// no-server handling (retry or client-facing deny).
+struct ForwardDenyMsg {
+  std::uint64_t taskId = 0;
+  std::string agentName;
+  std::string reason;
+};
+
+/// Agent-to-client refusal of a schedule request (v4): sent instead of
+/// silence when the agent has no feasible server and no peer to forward to,
+/// so the client fails fast instead of timing out.
+struct ScheduleDenyMsg {
+  std::uint64_t taskId = 0;
+  std::string agentName;
+  std::string reason;
+};
+
+/// Idle agent's pull request (v4): "hand me up to `capacity` parked tasks".
+struct StealRequestMsg {
+  std::string agentName;
+  std::uint32_t capacity = 0;
+};
+
+/// The loaded peer's reply: parked tasks now owned by the thief. `tasks` may
+/// be empty (nothing was parked by the time the request arrived).
+struct StealGrantMsg {
+  std::string agentName;
+  std::vector<ScheduleRequestMsg> tasks;
+};
+
+/// Client-side resolver probe (v4): `sendTime` is the client's wall clock at
+/// emission, echoed back verbatim so the client measures RTT without shared
+/// clocks. `probeId` matches replies to probes across re-ranks.
+struct ResolverProbeMsg {
+  std::uint64_t probeId = 0;
+  double sendTime = 0.0;
+};
+
+/// Agent's answer to a resolver probe: identity, echoed timestamp, advertised
+/// load and capacity, plus gossip - dialable "host:port" addresses of the
+/// agent's own peers, so a client discovers agents it was never configured
+/// with.
+struct ResolverInfoMsg {
+  std::string agentName;
+  std::uint64_t probeId = 0;
+  double echoSendTime = 0.0;
+  /// Agent's simulation clock when the reply was built.
+  double sampleTime = 0.0;
+  /// Mean corrected load estimate across the agent's live servers.
+  double meanLoad = 0.0;
+  std::uint32_t liveServers = 0;
+  std::uint32_t queuedTasks = 0;
+  std::vector<std::string> peerAddresses;
 };
 
 // Encoding: each message encodes its payload; the framing layer prepends
@@ -199,6 +283,13 @@ Bytes encode(const AgentHelloMsg& m);
 Bytes encode(const AgentSyncMsg& m);
 Bytes encode(const StatsRequestMsg& m);
 Bytes encode(const StatsReplyMsg& m);
+Bytes encode(const ForwardRequestMsg& m);
+Bytes encode(const ForwardDenyMsg& m);
+Bytes encode(const ScheduleDenyMsg& m);
+Bytes encode(const StealRequestMsg& m);
+Bytes encode(const StealGrantMsg& m);
+Bytes encode(const ResolverProbeMsg& m);
+Bytes encode(const ResolverInfoMsg& m);
 
 RegisterMsg decodeRegister(const Bytes& payload);
 RegisterAckMsg decodeRegisterAck(const Bytes& payload);
@@ -216,5 +307,12 @@ AgentHelloMsg decodeAgentHello(const Bytes& payload);
 AgentSyncMsg decodeAgentSync(const Bytes& payload);
 StatsRequestMsg decodeStatsRequest(const Bytes& payload);
 StatsReplyMsg decodeStatsReply(const Bytes& payload);
+ForwardRequestMsg decodeForwardRequest(const Bytes& payload);
+ForwardDenyMsg decodeForwardDeny(const Bytes& payload);
+ScheduleDenyMsg decodeScheduleDeny(const Bytes& payload);
+StealRequestMsg decodeStealRequest(const Bytes& payload);
+StealGrantMsg decodeStealGrant(const Bytes& payload);
+ResolverProbeMsg decodeResolverProbe(const Bytes& payload);
+ResolverInfoMsg decodeResolverInfo(const Bytes& payload);
 
 }  // namespace casched::wire

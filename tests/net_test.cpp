@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <functional>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -694,6 +695,214 @@ TEST(MultiAgent, PartitionedDeploymentSpreadsTasksAcrossAgents) {
   EXPECT_GT(live.perAgent[0].tasks, 0u);
   EXPECT_GT(live.perAgent[1].tasks, 0u);
   EXPECT_EQ(live.perAgent[0].tasks + live.perAgent[1].tasks, 24u);
+}
+
+// --- agent mesh over live sockets ----------------------------------------
+
+TEST(MeshLive, SaturatedRescueAgreesWithSimulatorCounts) {
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 7;
+  options.wallTimeoutSeconds = 90.0;
+  const LiveRunReport live = runLoopbackScenario("mesh/saturated_rescue", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.lost, 0u);
+  EXPECT_GT(live.meshForwards, 0u);
+  EXPECT_EQ(live.clientDenies, 0u);
+
+  // The acceptance bar: zero lost tasks on both sides at the same seed, which
+  // makes the completed counts equal by construction - and locks them.
+  const scenario::CompiledScenario compiled = scenario::compileScenario(
+      scenario::findScenario("mesh/saturated_rescue"), options.seed);
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(sim.lostCount(), 0u);
+  EXPECT_EQ(live.completed, sim.completedCount());
+  EXPECT_EQ(live.tasks, compiled.metatask.size());
+
+  // Rescue really happened over the wire too: some of the saturated
+  // partition's tasks ran on the other rack's servers. (agent-0 owns server
+  // 0 only; the flat client round-robins, so even metatask indices land on
+  // agent-0 first.)
+  std::set<std::string> rackB;
+  for (const scenario::RackSpec& rack : compiled.mesh.racks) {
+    if (rack.agentIndex != 1) continue;
+    for (const std::size_t s : rack.servers) {
+      rackB.insert(compiled.testbed.servers.at(s).name);
+    }
+  }
+  std::size_t rescued = 0;
+  for (const metrics::TaskOutcome& o : live.outcomes) {
+    if (o.index % 2 != 0) continue;
+    if (o.status == metrics::TaskStatus::kCompleted && rackB.count(o.server) != 0) {
+      ++rescued;
+    }
+  }
+  EXPECT_GT(rescued, 0u) << "no task of the saturated partition was rescued";
+}
+
+TEST(MeshLive, HierarchyRootRoutesEverythingToTheLeaves) {
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 11;
+  options.wallTimeoutSeconds = 60.0;
+  const LiveRunReport live = runLoopbackScenario("mesh/hierarchy_4agent", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.lost, 0u);
+  // The root owns no rack: every request takes exactly one hop to a leaf.
+  EXPECT_EQ(live.meshForwards, live.tasks);
+  EXPECT_EQ(live.clientDenies, 0u);
+
+  const scenario::CompiledScenario compiled = scenario::compileScenario(
+      scenario::findScenario("mesh/hierarchy_4agent"), options.seed);
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(sim.lostCount(), 0u);
+  EXPECT_EQ(live.completed, sim.completedCount());
+
+  const std::string json = liveRunJson(live);
+  EXPECT_NE(json.find("\"mesh\""), std::string::npos);
+  EXPECT_NE(json.find("\"forwards\": 24"), std::string::npos);
+}
+
+TEST(MeshLive, WorkStealingDrainsTheRootQueueOverTheWire) {
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 3;
+  options.wallTimeoutSeconds = 60.0;
+  const LiveRunReport live = runLoopbackScenario("mesh/steal_tree", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_EQ(live.lost, 0u);
+  // Forwarding is off: the serverless root parks everything; the leaves pull
+  // every task off its queue over kStealRequest/kStealGrant.
+  EXPECT_EQ(live.meshForwards, 0u);
+  EXPECT_EQ(live.meshParked, live.tasks);
+  EXPECT_EQ(live.meshSteals, live.tasks);
+  EXPECT_EQ(live.completed, live.tasks);
+}
+
+// --- explicit deny instead of a silent client timeout --------------------
+
+TEST(NetRuntime, AgentWithNoServersDeniesInsteadOfTimingOut) {
+  const PacedClock clock(500.0);
+  AgentDaemonConfig agentConfig;
+  agentConfig.heuristic = "mct";
+  // Fault tolerance was the silent path: the request sat in the no-server
+  // retry loop until the client gave up. Now the daemon answers immediately.
+  agentConfig.faultTolerance = true;
+  AgentDaemon agent(agentConfig, clock);
+
+  workload::Metatask metatask;
+  metatask.name = "denied";
+  workload::TaskInstance task;
+  task.index = 0;
+  task.arrival = 0.0;
+  task.type = workload::makeSyntheticType("orphan", 0.0, 1.0, 0.0, 0.0);
+  metatask.tasks.push_back(task);
+
+  ClientConfig clientConfig;
+  clientConfig.agentPort = agent.port();
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+  client.start(metatask);
+
+  // The deny must settle the task promptly - seconds of wall budget, not the
+  // fault-tolerance retry horizon.
+  ASSERT_TRUE(pumpUntil({[&] { agent.runOnce(); }, [&] { client.runOnce(); }},
+                        [&] { return client.done(); }, 5.0));
+  EXPECT_EQ(client.completedCount(), 0u);
+  EXPECT_EQ(client.failedCount(), 1u);
+  EXPECT_EQ(client.scheduleDenies(), 1u);
+}
+
+// --- dynamic resolver ----------------------------------------------------
+
+TEST(NetRuntime, ResolverLearnsPeersAndReranksPastADeadAgent) {
+  const PacedClock clock(200.0);
+
+  // Agent B first (its port seeds A's peer list); A dials B, so A's probe
+  // replies gossip B's dialable address to the client.
+  AgentDaemonConfig configB;
+  configB.heuristic = "mct";
+  configB.faultTolerance = true;
+  configB.agentName = "agent-b";
+  auto agentB = std::make_unique<AgentDaemon>(configB, clock);
+
+  AgentDaemonConfig configA;
+  configA.heuristic = "mct";
+  configA.faultTolerance = true;
+  configA.agentName = "agent-a";
+  configA.peers.push_back("127.0.0.1:" + std::to_string(agentB->port()));
+  auto agentA = std::make_unique<AgentDaemon>(configA, clock);
+
+  NetServerConfig serverConfigA;
+  serverConfigA.agentPort = agentA->port();
+  serverConfigA.machine.name = "alpha";
+  NetServerDaemon serverA(serverConfigA, clock);
+  serverA.connect();
+  NetServerConfig serverConfigB;
+  serverConfigB.agentPort = agentB->port();
+  serverConfigB.machine.name = "bravo";
+  NetServerDaemon serverB(serverConfigB, clock);
+  serverB.connect();
+
+  const auto pumpAll = [&](ClientDriver* client) {
+    return std::vector<std::function<void()>>{
+        [&] {
+          if (agentA) agentA->runOnce();
+          if (agentB) agentB->runOnce();
+        },
+        [&] { serverA.runOnce(); },
+        [&] { serverB.runOnce(); },
+        [&, client] {
+          if (client != nullptr) client->runOnce();
+        }};
+  };
+  ASSERT_TRUE(pumpUntil(pumpAll(nullptr),
+                        [&] {
+                          return agentA->liveServerCount() == 1 &&
+                                 agentB->liveServerCount() == 1 &&
+                                 agentA->connectedPeerCount() == 1;
+                        },
+                        5.0));
+
+  // The client knows only agent A; gossip must teach it agent B.
+  ClientConfig clientConfig;
+  clientConfig.agentPorts.push_back(agentA->port());
+  clientConfig.resolver = true;
+  clientConfig.probePeriod = 2.0;
+  ClientDriver client(clientConfig, clock);
+  client.connect();
+
+  workload::Metatask metatask;
+  metatask.name = "resolver-churn";
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    workload::TaskInstance task;
+    task.index = i;
+    task.arrival = static_cast<double>(i) * 8.0;
+    task.type = workload::makeSyntheticType("probe-work", 0.0, 2.0, 0.0, 0.0);
+    metatask.tasks.push_back(task);
+  }
+  client.start(metatask);
+
+  auto pumps = pumpAll(&client);
+  ASSERT_TRUE(pumpUntil(pumps, [&] { return client.completedCount() >= 2; }, 10.0));
+  EXPECT_GT(client.resolverStats().probes, 0u);
+  ASSERT_EQ(client.resolverStats().learnedPeers, 1u)
+      << "gossip never taught the client about agent B";
+
+  // Kill the configured agent mid-run: the resolver must converge on the
+  // learned one without losing a single task.
+  agentA.reset();
+  ASSERT_TRUE(pumpUntil(pumps, [&] { return client.done(); }, 15.0));
+  EXPECT_EQ(client.completedCount(), 6u);
+  EXPECT_EQ(client.failedCount(), 0u);
+  EXPECT_GE(client.resolverStats().reranks, 1u);
+  EXPECT_EQ(client.bestRankedLink(), 1u);  // the learned agent-b link
 }
 
 }  // namespace

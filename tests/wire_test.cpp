@@ -150,14 +150,14 @@ TEST(Messages, ServerUpDownShutdownRoundTrip) {
 
 TEST(Messages, TypeNamesAreUnique) {
   std::set<std::string> names;
-  for (int t = 1; t <= 16; ++t) {
+  for (int t = 1; t <= 23; ++t) {
     EXPECT_TRUE(isKnownMessageType(static_cast<std::uint16_t>(t)));
     names.insert(messageTypeName(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(names.size(), 23u);
   EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
   EXPECT_FALSE(isKnownMessageType(0));
-  EXPECT_FALSE(isKnownMessageType(17));
+  EXPECT_FALSE(isKnownMessageType(24));
   EXPECT_FALSE(isKnownMessageType(999));
 }
 
@@ -299,7 +299,7 @@ TEST(Framing, RejectsWrongVersionNamingTheValue) {
 }
 
 TEST(Framing, RejectsV2PeersNamingBothVersions) {
-  // A v2 build frames the same payloads under version 2; a v3 decoder must
+  // A v2 build frames the same payloads under version 2; a v4 decoder must
   // reject the frame with an error naming the offending and expected version
   // instead of misreading v3-only fields.
   Bytes frame = buildFrame(MessageType::kHeartbeat, encode(HeartbeatMsg{"old", 1.0}));
@@ -313,7 +313,7 @@ TEST(Framing, RejectsV2PeersNamingBothVersions) {
   } catch (const util::DecodeError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("got 2"), std::string::npos) << what;
-    EXPECT_NE(what.find("want 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("want 4"), std::string::npos) << what;
   }
 }
 
