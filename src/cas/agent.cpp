@@ -267,7 +267,7 @@ std::optional<double> Agent::previewBestCompletion(const workload::TaskInstance&
   if (scheduler_->usesHtm()) htm_.advanceAll(sim_.now());
   buildCandidates(task);
   if (query_.candidates.empty()) return std::nullopt;
-  scheduler_->chooseInto(query_, previewDecision_);
+  scheduler_->previewInto(query_, previewDecision_);
   if (!previewDecision_.chosen.has_value()) return std::nullopt;
   const std::size_t chosen = *previewDecision_.chosen;
   if (chosen < previewDecision_.previews.size() &&

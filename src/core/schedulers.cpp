@@ -127,6 +127,17 @@ void RandomScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d
       0, static_cast<std::int64_t>(query.candidates.size()) - 1));
 }
 
+void RandomScheduler::previewInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  // Draw from a copy so the preview reports what the next real placement
+  // would pick without consuming that draw.
+  resetDecision(d);
+  d.previews.clear();
+  if (query.candidates.empty()) return;
+  simcore::RandomStream scratch = rng_;
+  d.chosen = static_cast<std::size_t>(scratch.uniformInt(
+      0, static_cast<std::int64_t>(query.candidates.size()) - 1));
+}
+
 void RoundRobinScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
   resetDecision(d);
   d.previews.clear();
@@ -135,12 +146,28 @@ void RoundRobinScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecisio
   next_ = (next_ + 1) % std::max<std::size_t>(1, query.candidates.size());
 }
 
+void RoundRobinScheduler::previewInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  resetDecision(d);
+  d.previews.clear();
+  if (query.candidates.empty()) return;
+  d.chosen = next_ % query.candidates.size();
+}
+
 MemoryAwareScheduler::MemoryAwareScheduler(std::unique_ptr<Scheduler> inner)
     : inner_(std::move(inner)) {
   CASCHED_CHECK(inner_ != nullptr, "memory-aware decorator needs an inner scheduler");
 }
 
 void MemoryAwareScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  filterAndDelegate(query, d, /*preview=*/false);
+}
+
+void MemoryAwareScheduler::previewInto(const ScheduleQuery& query, ScheduleDecision& d) {
+  filterAndDelegate(query, d, /*preview=*/true);
+}
+
+void MemoryAwareScheduler::filterAndDelegate(const ScheduleQuery& query,
+                                             ScheduleDecision& d, bool preview) {
   resetDecision(d);
   d.previews.clear();
   if (query.candidates.empty()) return;
@@ -181,7 +208,8 @@ void MemoryAwareScheduler::chooseInto(const ScheduleQuery& query, ScheduleDecisi
   filtered_.htm = query.htm;
   filtered_.candidates.clear();
   for (std::size_t i : keep_) filtered_.candidates.push_back(query.candidates[i]);
-  inner_->chooseInto(filtered_, d);
+  if (preview) inner_->previewInto(filtered_, d);
+  else inner_->chooseInto(filtered_, d);
   if (d.chosen) d.chosen = keep_[*d.chosen];
 }
 

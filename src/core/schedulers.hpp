@@ -61,6 +61,13 @@ class Scheduler {
   /// the candidate list is empty (the agent then queues/loses the task
   /// depending on fault-tolerance policy).
   virtual void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) = 0;
+  /// Side-effect-free dry run of chooseInto (mesh overload previews call this
+  /// repeatedly without placing anything). Stateless heuristics share the
+  /// chooseInto implementation; stateful ones (random, round-robin) override
+  /// so a preview never advances the state a real placement would consume.
+  virtual void previewInto(const ScheduleQuery& query, ScheduleDecision& out) {
+    chooseInto(query, out);
+  }
   /// Convenience wrapper (tests, tools, benches).
   ScheduleDecision choose(const ScheduleQuery& query) {
     ScheduleDecision d;
@@ -132,6 +139,7 @@ class RandomScheduler final : public Scheduler {
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
   std::string name() const override { return "random"; }
   void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
+  void previewInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   simcore::RandomStream rng_;
@@ -142,6 +150,7 @@ class RoundRobinScheduler final : public Scheduler {
  public:
   std::string name() const override { return "round-robin"; }
   void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
+  void previewInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   std::size_t next_ = 0;
@@ -158,9 +167,11 @@ class MemoryAwareScheduler final : public Scheduler {
   std::string name() const override { return "ma-" + inner_->name(); }
   bool usesHtm() const override { return inner_->usesHtm(); }
   void chooseInto(const ScheduleQuery& query, ScheduleDecision& out) override;
+  void previewInto(const ScheduleQuery& query, ScheduleDecision& out) override;
 
  private:
   std::unique_ptr<Scheduler> inner_;
+  void filterAndDelegate(const ScheduleQuery& query, ScheduleDecision& out, bool preview);
   // Reused across calls: the filtered sub-query and the surviving indices.
   ScheduleQuery filtered_;
   std::vector<std::size_t> keep_;

@@ -177,9 +177,10 @@ class MeshSimSystem {
         const std::string forwardOrigin = "forward:" + node.name;
         LOG_DEBUG("task " << task.index << " forwarded " << node.name << " -> "
                           << nodes_[target].name << " (" << decision.reason << ")");
-        sim_.scheduleAfter(config_.controlLatency, [this, target, task, forwardOrigin] {
-          onRequest(target, task, /*hops=*/1, forwardOrigin);
-        });
+        sim_.scheduleAfter(config_.controlLatency,
+                           [this, target, task, hops, forwardOrigin] {
+                             onRequest(target, task, hops + 1, forwardOrigin);
+                           });
         return;
       }
       case RouteKind::kPark:

@@ -266,6 +266,14 @@ void AgentDaemon::sendHello(PeerEntry& peer) {
 
 void AgentDaemon::pollPeers() {
   for (PeerEntry& peer : peers_) {
+    if (peer.transport && peer.transport->closed()) {
+      // The link died. Unless another live link to the same peer remains,
+      // tasks handed over it have lost their terminal path - reclaim them
+      // before the redial/prune logic forgets the closure ever happened.
+      if (!otherLiveLinkTo(peer)) reclaimForwarded(peer.name);
+      peer.transport.reset();
+      peer.digestSeen = false;
+    }
     if ((!peer.transport || peer.transport->closed()) && !peer.address.empty() &&
         sim_.now() >= peer.nextDialAt && !otherLiveLinkTo(peer)) {
       peer.nextDialAt = sim_.now() + config_.peerRedialPeriod;
@@ -653,11 +661,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
         denyRequest(transport, m.task.taskId, m.originAgent, "mesh disabled");
         return;
       }
-      if (agent_.knowsTask(m.task.taskId) ||
-          std::any_of(scheduleBatch_.begin(), scheduleBatch_.end(),
-                      [&](const workload::TaskInstance& t) {
-                        return t.index == m.task.taskId;
-                      })) {
+      if (agent_.knowsTask(m.task.taskId) || taskIdInFlight(m.task.taskId)) {
         denyRequest(transport, m.task.taskId, m.originAgent, "task id already used");
         return;
       }
@@ -679,6 +683,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
       auto it = forwardedTo_.find(m.taskId);
       if (it == forwardedTo_.end()) return;
       const wire::ScheduleRequestMsg original = it->second.request;
+      const std::string originalFrom = it->second.fromAgent;
       forwardedTo_.erase(it);
       LOG_WARN("agent " << config_.agentName << ": task " << m.taskId
                         << " bounced by " << m.agentName << " (" << m.reason
@@ -701,7 +706,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
       }
       auto client = taskClients_.find(m.taskId);
       if (client != taskClients_.end()) {
-        denyRequest(client->second.lock(), m.taskId, "", m.reason);
+        denyRequest(client->second.lock(), m.taskId, originalFrom, m.reason);
       }
       return;
     }
@@ -716,7 +721,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
         parked_.pop_front();
         // The thief's terminal comes back over this peer link; the map entry
         // relays it to the original client, exactly like a forward.
-        forwardedTo_[task.taskId] = {m.agentName, task};
+        forwardedTo_[task.taskId] = {m.agentName, task, std::string()};
         grant.tasks.push_back(std::move(task));
       }
       transport->send(MessageType::kStealGrant, wire::encode(grant));
@@ -726,7 +731,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
       const wire::StealGrantMsg m = wire::decodeStealGrant(frame.payload);
       if (!config_.meshEnabled) return;
       for (const wire::ScheduleRequestMsg& req : m.tasks) {
-        if (agent_.knowsTask(req.taskId)) {
+        if (agent_.knowsTask(req.taskId) || taskIdInFlight(req.taskId)) {
           LOG_WARN("agent " << config_.agentName << ": dropping stolen task "
                             << req.taskId << " (id already used)");
           continue;
@@ -874,10 +879,7 @@ void AgentDaemon::onScheduleRequest(const std::shared_ptr<wire::TcpTransport>& t
   // metatask against a long-lived agent) would corrupt or shadow the first
   // task's state, so reject instead. The guard must also cover ids queued in
   // this cycle's batch, which the scheduling core has not seen yet.
-  const bool queued =
-      std::any_of(scheduleBatch_.begin(), scheduleBatch_.end(),
-                  [&](const workload::TaskInstance& t) { return t.index == msg.taskId; });
-  if (agent_.knowsTask(msg.taskId) || queued) {
+  if (agent_.knowsTask(msg.taskId) || taskIdInFlight(msg.taskId)) {
     auto known = taskClients_.find(msg.taskId);
     if (known != taskClients_.end() && known->second.lock() == transport) {
       return;  // duplicate send from the same client, ignore
@@ -961,7 +963,7 @@ void AgentDaemon::routeRequest(const std::shared_ptr<wire::TcpTransport>& reques
     case mesh::RouteKind::kForward: {
       const PeerEntry* peer = digestPeers[decision.peer];
       ++meshForwards_;
-      forwardedTo_[msg.taskId] = {peer->name, msg};
+      forwardedTo_[msg.taskId] = {peer->name, msg, fromAgent};
       taskClients_[msg.taskId] = requester;
       wire::ForwardRequestMsg forward;
       forward.task = msg;
@@ -981,6 +983,9 @@ void AgentDaemon::routeRequest(const std::shared_ptr<wire::TcpTransport>& reques
       // the grace window before giving up for real.
       if (hops < config_.meshRouter.hopLimit &&
           sim_.now() - firstSeen < config_.heartbeatTimeout) {
+        // Registering the requester here makes a duplicate resend of a
+        // deferred id recognizable as same-client (ignored, not failed).
+        taskClients_[msg.taskId] = requester;
         deferred_.push_back({requester, msg, hops, fromAgent, firstSeen});
         return;
       }
@@ -1010,13 +1015,31 @@ void AgentDaemon::denyRequest(const std::shared_ptr<wire::TcpTransport>& request
   }
 }
 
+bool AgentDaemon::taskIdInFlight(std::uint64_t taskId) const {
+  if (forwardedTo_.find(taskId) != forwardedTo_.end()) return true;
+  if (std::any_of(scheduleBatch_.begin(), scheduleBatch_.end(),
+                  [&](const workload::TaskInstance& t) { return t.index == taskId; })) {
+    return true;
+  }
+  if (std::any_of(parked_.begin(), parked_.end(),
+                  [&](const wire::ScheduleRequestMsg& p) { return p.taskId == taskId; })) {
+    return true;
+  }
+  return std::any_of(deferred_.begin(), deferred_.end(), [&](const DeferredRoute& d) {
+    return d.msg.taskId == taskId;
+  });
+}
+
 void AgentDaemon::retryDeferredRoutes() {
   if (deferred_.empty()) return;
   std::vector<DeferredRoute> retry;
   retry.swap(deferred_);  // routeRequest may re-defer into deferred_
   for (DeferredRoute& route : retry) {
     auto requester = route.requester.lock();
-    if (!requester || requester->closed()) continue;  // nobody left to answer
+    if (!requester || requester->closed()) {
+      taskClients_.erase(route.msg.taskId);  // nobody left to answer
+      continue;
+    }
     try {
       workload::TaskInstance task;
       task.index = route.msg.taskId;
@@ -1028,6 +1051,38 @@ void AgentDaemon::retryDeferredRoutes() {
                    route.firstSeen);
     } catch (const util::Error& e) {
       denyRequest(requester, route.msg.taskId, route.fromAgent, e.what());
+    }
+  }
+}
+
+void AgentDaemon::reclaimForwarded(const std::string& peerName) {
+  if (peerName.empty() || forwardedTo_.empty()) return;
+  // Collect first: routeRequest may insert fresh forwardedTo_ entries.
+  std::vector<ForwardedTask> orphans;
+  for (auto it = forwardedTo_.begin(); it != forwardedTo_.end();) {
+    if (it->second.peer == peerName) {
+      orphans.push_back(std::move(it->second));
+      it = forwardedTo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ForwardedTask& orphan : orphans) {
+    const wire::ScheduleRequestMsg& msg = orphan.request;
+    LOG_WARN("agent " << config_.agentName << ": peer " << peerName
+                      << " died holding task " << msg.taskId << ", re-routing");
+    std::shared_ptr<wire::TcpTransport> requester;
+    auto client = taskClients_.find(msg.taskId);
+    if (client != taskClients_.end()) requester = client->second.lock();
+    try {
+      workload::TaskInstance task;
+      task.index = msg.taskId;
+      task.arrival = sim_.now();
+      task.type = workload::makeSyntheticType(msg.problem, msg.inMB, msg.refSeconds,
+                                              msg.outMB, msg.memMB);
+      routeRequest(requester, msg, task, 0, orphan.fromAgent, sim_.now());
+    } catch (const util::Error& e) {
+      denyRequest(requester, msg.taskId, orphan.fromAgent, e.what());
     }
   }
 }

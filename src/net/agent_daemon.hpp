@@ -251,7 +251,17 @@ class AgentDaemon {
   void denyRequest(const std::shared_ptr<wire::TcpTransport>& requester,
                    std::uint64_t taskId, const std::string& fromAgent,
                    const std::string& reason);
+  /// True when `taskId` is already held somewhere in this daemon outside the
+  /// scheduling core: this cycle's batch, parked awaiting a steal, deferred
+  /// routing, or handed to a peer. Accepting a second copy would overwrite
+  /// the first task's client entry and race the terminal relays.
+  bool taskIdInFlight(std::uint64_t taskId) const;
   void retryDeferredRoutes();
+  /// A peer link died with no replacement: every task handed to that peer
+  /// (forwarded or steal-granted) has lost its terminal path, so re-route the
+  /// retained requests - locally, to another peer, or as a deny to the
+  /// original requester - instead of leaving clients to hang until timeout.
+  void reclaimForwarded(const std::string& peerName);
   void maybeSteal();
   /// Terminal frame for a task this agent routed to a peer (the server is not
   /// registered here): relay it verbatim to the original client and return
@@ -304,6 +314,9 @@ class AgentDaemon {
   struct ForwardedTask {
     std::string peer;
     wire::ScheduleRequestMsg request;
+    /// Agent the request arrived from (multi-hop forwards answer with
+    /// kForwardDeny there); empty when the requester is a client.
+    std::string fromAgent;
   };
   std::map<std::uint64_t, ForwardedTask> forwardedTo_;
   /// Requests parked awaiting a kStealRequest (stealing topologies).

@@ -65,6 +65,8 @@ void ClientDriver::start(const workload::Metatask& metatask) {
   resend_.clear();
   terminal_.clear();
   denies_ = 0;
+  denyFirstAt_.clear();
+  deniedRetry_.clear();
   resolverStats_ = {};
   nextProbeAt_ = 0.0;
   probeLinks_.clear();
@@ -194,6 +196,16 @@ void ClientDriver::runOnce() {
     ++nextToSend_;
   }
 
+  // Denied tasks whose backoff elapsed rejoin the resend queue.
+  for (auto it = deniedRetry_.begin(); it != deniedRetry_.end();) {
+    if (now >= it->second) {
+      resend_.push_back(it->first);
+      it = deniedRetry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   // Failover re-submissions, under fresh wire ids.
   while (!resend_.empty()) {
     const std::size_t pos = resend_.back();
@@ -314,22 +326,26 @@ void ClientDriver::handleFrame(const wire::Frame& frame) {
     inFlightLink_.erase(m.taskId);
     if (terminal_.count(index) != 0) return;
     ++denies_;
-    if (links_.size() > 1) {
-      // Another agent may have the servers: steer the sticky primary past
-      // the denier and fail the task over (round-robin advanced already).
+    const double now = clock_.simNow();
+    const double firstDeny = denyFirstAt_.try_emplace(index, now).first->second;
+    if (links_.size() > 1 && now - firstDeny < config_.denyGraceSeconds) {
+      // Another agent may have the servers (or the denier's registry is
+      // still migrating): steer the sticky primary past the denier and
+      // retry after the backoff.
       LOG_WARN("client: task " << index << " denied by " << m.agentName << " ("
                                << m.reason << "), failing over");
       if (!config_.roundRobin && !config_.resolver) {
         primary_ = (primary_ + 1) % links_.size();
       }
-      resend_.push_back(pos);
+      deniedRetry_.emplace_back(pos, now + config_.denyRetryDelay);
     } else {
-      // Nowhere else to go: the deny is this task's terminal answer. This is
-      // what replaces the old silent client-side timeout when an agent has
-      // no servers at all.
+      // One agent total, or every retry within the grace window came back
+      // denied: the deny is this task's terminal answer. This replaces the
+      // old silent client-side timeout when no agent has servers at all.
       LOG_WARN("client: task " << index << " denied by " << m.agentName << " ("
-                               << m.reason << ")");
+                               << m.reason << "), giving up");
       terminal_[index].completed = false;
+      denyFirstAt_.erase(index);
     }
     return;
   }

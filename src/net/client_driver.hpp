@@ -42,6 +42,15 @@ struct ClientConfig {
   bool roundRobin = false;
   /// Simulated seconds between re-dial attempts of a dead connection.
   double redialPeriod = 5.0;
+  /// Simulated seconds before a denied task is retried on another agent
+  /// (backoff - an immediate resend would spin deny/resend at wire speed).
+  double denyRetryDelay = 1.0;
+  /// Simulated seconds after a task's first deny before the client stops
+  /// retrying and fails the task. Sized to outlast a registry migration
+  /// (agents deny while a crashed peer's servers re-register with them);
+  /// when no agent ever has servers, this bounds the run instead of the
+  /// wall timeout.
+  double denyGraceSeconds = 120.0;
 
   // --- dynamic resolver (protocol v4, opt-in) ---
   /// Probe every live agent each `probePeriod`, learn agents it was never
@@ -153,6 +162,11 @@ class ClientDriver {
   std::vector<std::size_t> resend_;
   std::map<std::uint64_t, ClientOutcome> terminal_;  ///< by metatask index
   std::uint64_t denies_ = 0;
+  /// Metatask index -> sim time of the task's first deny: the retry budget
+  /// anchor for denyGraceSeconds.
+  std::map<std::uint64_t, double> denyFirstAt_;
+  /// Denied tasks waiting out the retry backoff: {position, earliest resend}.
+  std::vector<std::pair<std::size_t, double>> deniedRetry_;
 
   // --- resolver state ---
   ResolverStats resolverStats_;

@@ -197,6 +197,30 @@ TEST(MeshSim, TreeRootForwardsEveryRequestToTheLeaves) {
   }
 }
 
+TEST(MeshSim, HopCountAccumulatesAcrossForwards) {
+  // hop-limit 2 plus a tight overload threshold under a hard arrival burst:
+  // the serverless root spends hop 1 on every request, and leaves - whose
+  // loads keep shifting inside the forwarding-latency window - spend hop 2
+  // on a less-loaded sibling. No request may take a third hop, so forwards
+  // is bounded by tasks * hop-limit. A re-forward that resets the hop count
+  // instead of accumulating it circulates requests past that bound (at this
+  // burst rate the broken accounting overshoots it by a comfortable margin).
+  scenario::ScenarioSpec spec = scenario::findScenario("mesh/hierarchy_4agent");
+  spec.mesh.hopLimit = 2;
+  spec.mesh.overloadThreshold = 1.0;
+  spec.workload.count = 200;
+  spec.arrival.meanInterarrival = 0.005;
+  const CompiledScenario compiled = compileScenario(spec, 5);
+  const metrics::RunResult result = runScenario(compiled, "msf");
+
+  EXPECT_EQ(result.lostCount(), 0u);
+  EXPECT_EQ(result.completedCount(), compiled.metatask.size());
+  // Every request leaves the root once, and the burst forces second hops...
+  EXPECT_GT(result.mesh.forwards, compiled.metatask.size());
+  // ...but none may hop more than hop-limit times in total.
+  EXPECT_LE(result.mesh.forwards, compiled.metatask.size() * spec.mesh.hopLimit);
+}
+
 TEST(MeshSim, WorkStealingDrainsTheParkedRootQueue) {
   const CompiledScenario compiled =
       compileScenario(scenario::findScenario("mesh/steal_tree"), 3);
