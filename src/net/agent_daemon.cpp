@@ -125,7 +125,26 @@ void AgentDaemon::runOnce() {
   applyDeadlines();
   maybeSync();
   maybeSteal();
+  flushAllQueued();
   if (metricsServer_) metricsServer_->pollOnce();
+}
+
+void AgentDaemon::flushAllQueued() {
+  // One flush per poll cycle per link: everything queued above (terminal
+  // relays, submits, heartbeat echoes, sync chunks) leaves as coalesced
+  // frames wherever consecutive messages share a type.
+  for (auto& [conn, since] : pending_) {
+    if (conn && !conn->closed()) conn->flushQueued();
+  }
+  for (auto& [name, entry] : servers_) {
+    if (entry.transport && !entry.transport->closed()) entry.transport->flushQueued();
+  }
+  for (auto& client : clients_) {
+    if (client && !client->closed()) client->flushQueued();
+  }
+  for (auto& peer : peers_) {
+    if (peer.transport && !peer.transport->closed()) peer.transport->flushQueued();
+  }
 }
 
 std::uint16_t AgentDaemon::metricsHttpPort() const {
@@ -382,7 +401,7 @@ void AgentDaemon::maybeSync() {
         msg.snapshotChunk.assign(blob.begin() + static_cast<std::ptrdiff_t>(begin),
                                  blob.begin() + static_cast<std::ptrdiff_t>(end));
       }
-      peer.transport->send(wire::MessageType::kAgentSync, wire::encode(msg));
+      peer.transport->queue(wire::MessageType::kAgentSync, wire::encode(msg));
     }
   }
 }
@@ -564,7 +583,7 @@ void AgentDaemon::handleFrame(const std::shared_ptr<wire::TcpTransport>& transpo
       refresh(m.serverName);
       // Echo the beacon back unchanged: the server measures a genuine round
       // trip from its own two clock readings (no cross-process skew).
-      transport->send(MessageType::kHeartbeat, frame.payload);
+      transport->queue(MessageType::kHeartbeat, frame.payload);
       return;
     }
     case MessageType::kLoadReport: {
@@ -1121,7 +1140,7 @@ bool AgentDaemon::relayForwardedTerminal(std::uint64_t taskId,
   taskClients_.erase(it);
   // Relay the peer's terminal verbatim: the payload already carries the
   // executing server's name and timings.
-  if (client && !client->closed()) client->send(frame.type, frame.payload);
+  if (client && !client->closed()) client->queue(frame.type, frame.payload);
   return true;
 }
 
@@ -1173,7 +1192,7 @@ void AgentDaemon::sendSubmit(const std::string& server, std::uint64_t taskId,
   submit.cpuSeconds = request.cpuSeconds;
   submit.outMB = request.outMB;
   submit.memMB = request.memMB;
-  it->second.transport->send(wire::MessageType::kTaskSubmit, wire::encode(submit));
+  it->second.transport->queue(wire::MessageType::kTaskSubmit, wire::encode(submit));
 }
 
 void AgentDaemon::relayTerminal(const metrics::TaskOutcome& outcome) {
@@ -1191,13 +1210,13 @@ void AgentDaemon::relayTerminal(const metrics::TaskOutcome& outcome) {
     done.serverName = outcome.server;
     done.completionTime = outcome.completion;
     done.unloadedDuration = outcome.unloadedDuration;
-    transport->send(wire::MessageType::kTaskComplete, wire::encode(done));
+    transport->queue(wire::MessageType::kTaskComplete, wire::encode(done));
   } else {
     wire::TaskFailedMsg failed;
     failed.taskId = outcome.index;
     failed.serverName = outcome.server;
     failed.reason = "lost";
-    transport->send(wire::MessageType::kTaskFailed, wire::encode(failed));
+    transport->queue(wire::MessageType::kTaskFailed, wire::encode(failed));
   }
 }
 

@@ -228,6 +228,9 @@ class AgentDaemon {
   bool otherLiveLinkTo(const PeerEntry& peer) const;
   void pollPeers();
   void maybeSync();
+  /// Flushes every link's queued outbound traffic (end of each poll cycle);
+  /// consecutive same-type messages leave in coalesced frames.
+  void flushAllQueued();
   void sendHello(PeerEntry& peer);
   void onAgentHello(const std::shared_ptr<wire::TcpTransport>& transport,
                     const wire::AgentHelloMsg& msg);

@@ -146,8 +146,10 @@ bool ClientDriver::sendTask(std::size_t pos, std::uint64_t wireId) {
   request.outMB = task.type.outMB;
   request.memMB = task.type.memMB;
   request.refSeconds = task.type.refSeconds;
-  links_[chosen].transport->send(wire::MessageType::kScheduleRequest,
-                                 wire::encode(request));
+  // Queued, not sent: a burst of due arrivals (and failover re-submissions)
+  // leaves as one coalesced frame when runOnce flushes below.
+  links_[chosen].transport->queue(wire::MessageType::kScheduleRequest,
+                                  wire::encode(request));
   wireToPos_[wireId] = pos;
   inFlightLink_[wireId] = chosen;
   return true;
@@ -222,6 +224,7 @@ void ClientDriver::runOnce() {
   for (AgentLink& link : links_) {
     if (link.transport == nullptr) continue;
     try {
+      link.transport->flushQueued();
       link.transport->poll([&](wire::Frame frame) { handleFrame(frame); });
     } catch (const util::Error& e) {
       LOG_WARN("client: closing link on bad frame: " << e.what());

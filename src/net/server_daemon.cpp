@@ -119,10 +119,17 @@ void NetServerDaemon::runOnce() {
     } else if (leaveIdleSince_ < 0.0) {
       leaveIdleSince_ = sim_.now();
     } else if (sim_.now() - leaveIdleSince_ >= config_.leaveLingerSeconds) {
-      if (transport_) transport_->close();
+      if (transport_) {
+        transport_->flushQueued();
+        transport_->close();
+      }
       left_ = true;
     }
   }
+  // Everything queued this cycle (timer-driven reports/heartbeats, terminal
+  // notices from advanceTo, replies from handleFrame) leaves as one batch, so
+  // consecutive same-type messages share a coalesced frame.
+  if (transport_ != nullptr && !transport_->closed()) transport_->flushQueued();
 }
 
 void NetServerDaemon::run(const std::atomic<bool>& stop) {
@@ -256,7 +263,9 @@ void NetServerDaemon::sendTaskFailed(std::uint64_t taskId, const std::string& re
 
 void NetServerDaemon::send(wire::MessageType type, const wire::Bytes& payload) {
   if (transport_ == nullptr || transport_->closed()) return;
-  transport_->send(type, payload);
+  // Deferred to the end of the current runOnce cycle; flushQueued() there
+  // coalesces consecutive same-type runs into one frame.
+  transport_->queue(type, payload);
 }
 
 void NetServerDaemon::leave() {

@@ -1,0 +1,30 @@
+#include "wire/crc32.hpp"
+
+#include <array>
+
+namespace casched::wire {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace casched::wire

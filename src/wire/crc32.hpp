@@ -1,0 +1,23 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) used as the frame
+/// integrity trailer (protocol v5). Table-driven, one byte per step - the
+/// frames here are small (hundreds of bytes) so portability beats hardware
+/// CRC instructions.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wire/buffer.hpp"
+
+namespace casched::wire {
+
+/// CRC of `size` bytes starting at `data`. `seed` chains partial computations:
+/// crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const Bytes& data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace casched::wire

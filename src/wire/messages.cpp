@@ -31,13 +31,31 @@ std::string messageTypeName(MessageType type) {
     case MessageType::kStealGrant: return "steal-grant";
     case MessageType::kResolverProbe: return "resolver-probe";
     case MessageType::kResolverInfo: return "resolver-info";
+    case MessageType::kSchemaHello: return "schema-hello";
+    case MessageType::kCoalesced: return "coalesced";
   }
   return "unknown";
 }
 
 bool isKnownMessageType(std::uint16_t rawType) {
   return rawType >= static_cast<std::uint16_t>(MessageType::kRegister) &&
-         rawType <= static_cast<std::uint16_t>(MessageType::kResolverInfo);
+         rawType <= static_cast<std::uint16_t>(MessageType::kCoalesced);
+}
+
+bool isCoalescableType(MessageType type) {
+  switch (type) {
+    case MessageType::kScheduleRequest:
+    case MessageType::kScheduleReply:
+    case MessageType::kTaskSubmit:
+    case MessageType::kTaskComplete:
+    case MessageType::kTaskFailed:
+    case MessageType::kLoadReport:
+    case MessageType::kHeartbeat:
+    case MessageType::kAgentSync:
+      return true;
+    default:
+      return false;
+  }
 }
 
 namespace {
@@ -543,6 +561,24 @@ ResolverInfoMsg decodeResolverInfo(const Bytes& payload) {
   m.liveServers = r.u32();
   m.queuedTasks = r.u32();
   m.peerAddresses = readStringList(r);
+  return m;
+}
+
+Bytes encode(const SchemaHelloMsg& m) {
+  Bytes out;
+  Writer w(out);
+  w.u32(m.magic);
+  w.u64(m.schemaHash);
+  w.u16(m.protocolVersion);
+  return out;
+}
+
+SchemaHelloMsg decodeSchemaHello(const Bytes& payload) {
+  Reader r(payload);
+  SchemaHelloMsg m;
+  m.magic = r.u32();
+  m.schemaHash = r.u64();
+  m.protocolVersion = r.u16();
   return m;
 }
 

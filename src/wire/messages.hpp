@@ -20,9 +20,11 @@ namespace casched::wire {
 /// client-facing deny (kScheduleDeny), work-stealing (kStealRequest/
 /// kStealGrant) and the client-side resolver probe pair (kResolverProbe/
 /// kResolverInfo), plus the hello's listen port and the sync's parked-task
-/// count. Peers speaking an older version are rejected with a typed error
-/// naming both versions.
-constexpr std::uint16_t kProtocolVersion = 4;
+/// count; v5 adds the integrity layer: a CRC32 trailer on every frame, the
+/// magic + schema-hash connect handshake (kSchemaHello), and multi-message
+/// coalesced frames (kCoalesced). Peers speaking an older version are
+/// rejected with a typed error naming both versions.
+constexpr std::uint16_t kProtocolVersion = 5;
 
 enum class MessageType : std::uint16_t {
   kRegister = 1,       ///< server -> agent: problems + peak performances
@@ -48,6 +50,8 @@ enum class MessageType : std::uint16_t {
   kStealGrant = 21,    ///< agent -> agent: parked tasks handed over
   kResolverProbe = 22, ///< client -> agent: RTT/load probe
   kResolverInfo = 23,  ///< agent -> client: probe echo + load + peer gossip
+  kSchemaHello = 24,   ///< both directions: first frame; magic + schema hash
+  kCoalesced = 25,     ///< envelope: N same-type messages behind one header
 };
 
 std::string messageTypeName(MessageType type);
@@ -55,6 +59,58 @@ std::string messageTypeName(MessageType type);
 /// True when `rawType` names a MessageType this build understands. The frame
 /// decoder rejects everything else with the offending value.
 bool isKnownMessageType(std::uint16_t rawType);
+
+/// True for the high-volume types that may ride inside a kCoalesced frame
+/// (load reports, heartbeats, schedule/submit bursts, terminal acks, sync
+/// chunks, replies). Control traffic - registration, hellos, stats,
+/// forwarding/stealing negotiation, shutdown - always travels as singleton
+/// frames so each step of a handshake stays individually observable.
+bool isCoalescableType(MessageType type);
+
+/// Magic constant opening every kSchemaHello payload: rejects non-protocol
+/// peers (or misrouted byte streams) by name instead of by decode garbage.
+constexpr std::uint32_t kWireMagic = 0x43415335;  // "CAS5"
+
+/// Compile-time FNV-1a 64-bit hash.
+constexpr std::uint64_t fnv1a64(const char* s) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The message schemas, spelled out as one flat definition string. Any change
+/// to a message's fields (or their order/width) must be reflected here, which
+/// changes kSchemaHash and makes mismatched builds reject each other at
+/// connect time instead of mis-decoding each other's frames.
+constexpr char kSchemaDefinition[] =
+    "v5;"
+    "register{str server;f64 bwIn,bwOut,latIn,latOut,ram,swap,speed;str[] problems};"
+    "registerAck{str server;u8 accepted;f64 agentTime};"
+    "scheduleRequest{u64 task;str problem;f64 in,out,mem,ref};"
+    "scheduleReply{u64 task;str[] servers};"
+    "taskSubmit{u64 task;str problem;f64 in,cpu,out,mem};"
+    "taskComplete{u64 task;str server;f64 completion,unloaded};"
+    "taskFailed{u64 task;str server,reason};"
+    "loadReport{str server;f64 load,sample,resident};"
+    "serverDown{str server};serverUp{str server};shutdown{str reason};"
+    "heartbeat{str server;f64 sample};"
+    "agentHello{str agent,mode;f64 sample;str[] owned;u16 port};"
+    "agentSync{str agent;f64 sample;digest[]{str server;f64 load,sample};"
+    "u64 seq;u32 chunkIndex,chunkCount;bytes chunk;u32 queued};"
+    "statsRequest{str format};statsReply{str agent;f64 sample;str format,body};"
+    "forwardRequest{scheduleRequest task;str origin;u32 hops};"
+    "forwardDeny{u64 task;str agent,reason};scheduleDeny{u64 task;str agent,reason};"
+    "stealRequest{str agent;u32 capacity};stealGrant{str agent;scheduleRequest[] tasks};"
+    "resolverProbe{u64 probe;f64 send};"
+    "resolverInfo{str agent;u64 probe;f64 echo,sample,load;u32 live,queued;str[] peers};"
+    "schemaHello{u32 magic;u64 hash;u16 version};"
+    "coalesced{u16 inner;u32 count;(u32 len;bytes)[]};";
+
+/// What each peer asserts about its build in the connect handshake.
+constexpr std::uint64_t kSchemaHash = fnv1a64(kSchemaDefinition);
 
 struct RegisterMsg {
   std::string serverName;
@@ -265,8 +321,19 @@ struct ResolverInfoMsg {
   std::vector<std::string> peerAddresses;
 };
 
+/// First frame on every connection, both directions (v5): the transport layer
+/// sends it automatically on connect/accept, verifies the peer's copy, and
+/// swallows it - daemons never see handshake frames. A wrong magic or hash is
+/// rejected with a named schema-mismatch error before any other frame is
+/// decoded.
+struct SchemaHelloMsg {
+  std::uint32_t magic = kWireMagic;
+  std::uint64_t schemaHash = kSchemaHash;
+  std::uint16_t protocolVersion = kProtocolVersion;
+};
+
 // Encoding: each message encodes its payload; the framing layer prepends
-// (length, version, type).
+// (length, version, type) and appends the CRC32 trailer.
 Bytes encode(const RegisterMsg& m);
 Bytes encode(const RegisterAckMsg& m);
 Bytes encode(const ScheduleRequestMsg& m);
@@ -290,6 +357,7 @@ Bytes encode(const StealRequestMsg& m);
 Bytes encode(const StealGrantMsg& m);
 Bytes encode(const ResolverProbeMsg& m);
 Bytes encode(const ResolverInfoMsg& m);
+Bytes encode(const SchemaHelloMsg& m);
 
 RegisterMsg decodeRegister(const Bytes& payload);
 RegisterAckMsg decodeRegisterAck(const Bytes& payload);
@@ -314,5 +382,6 @@ StealRequestMsg decodeStealRequest(const Bytes& payload);
 StealGrantMsg decodeStealGrant(const Bytes& payload);
 ResolverProbeMsg decodeResolverProbe(const Bytes& payload);
 ResolverInfoMsg decodeResolverInfo(const Bytes& payload);
+SchemaHelloMsg decodeSchemaHello(const Bytes& payload);
 
 }  // namespace casched::wire

@@ -22,13 +22,17 @@ namespace {
 
 /// Process-wide wire traffic instruments: every TcpTransport (agent, server,
 /// client, peer links) funnels through send/poll, so counting here covers
-/// the whole daemon with five counters.
+/// the whole daemon. messagesOut counts logical messages (each inner message
+/// of a coalesced frame counts), so messagesOut - framesOut is the traffic
+/// coalescing saved.
 struct WireInstruments {
   obs::Counter& framesOut;
   obs::Counter& bytesOut;
   obs::Counter& framesIn;
   obs::Counter& bytesIn;
   obs::Counter& decodeErrors;
+  obs::Counter& messagesOut;
+  obs::Counter& coalescedFramesOut;
 
   static WireInstruments& get() {
     auto& reg = obs::Registry::global();
@@ -38,11 +42,30 @@ struct WireInstruments {
         reg.counter("casched_net_frames_in_total", "Wire frames decoded from TCP"),
         reg.counter("casched_net_bytes_in_total", "Bytes received over TCP"),
         reg.counter("casched_net_decode_errors_total",
-                    "Frames rejected by the decoder (bad version/length)"),
+                    "Frames rejected by the decoder (any kind)"),
+        reg.counter("casched_net_messages_out_total",
+                    "Logical messages sent over TCP (coalesced frames count "
+                    "every inner message)"),
+        reg.counter("casched_net_coalesced_frames_out_total",
+                    "Frames that carried more than one message"),
     };
     return *instruments;
   }
 };
+
+/// Per-kind rejection counters ("checksum", "version", "schema", ...); the
+/// plain total above stays for dashboards that predate the kinds.
+void countDecodeError(const util::DecodeError& e) {
+  WireInstruments::get().decodeErrors.inc();
+  const char* kind = "message";
+  if (const auto* framed = dynamic_cast<const FrameDecodeError*>(&e)) {
+    kind = frameErrorName(framed->kind());
+  }
+  obs::Registry::global()
+      .counter("casched_net_decode_errors_total",
+               "Frames rejected by the decoder (any kind)", {{"kind", kind}})
+      .inc();
+}
 }  // namespace
 
 std::shared_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
@@ -62,7 +85,9 @@ std::shared_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::shared_ptr<TcpTransport>(new TcpTransport(fd));
+  auto transport = std::shared_ptr<TcpTransport>(new TcpTransport(fd));
+  transport->sendSchemaHello();
+  return transport;
 }
 
 TcpTransport::~TcpTransport() { close(); }
@@ -73,6 +98,17 @@ void TcpTransport::send(MessageType type, const Bytes& payload) {
   WireInstruments& ins = WireInstruments::get();
   ins.framesOut.inc();
   ins.bytesOut.inc(frame.size());
+  if (type == MessageType::kCoalesced && payload.size() >= 6) {
+    // Envelope body is [u16 inner][u32 count]...; count the inner messages.
+    std::uint32_t count = 0;
+    for (int i = 0; i < 4; ++i) {
+      count |= static_cast<std::uint32_t>(payload[2 + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    ins.messagesOut.inc(count);
+    ins.coalescedFramesOut.inc();
+  } else {
+    ins.messagesOut.inc();
+  }
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
@@ -111,12 +147,13 @@ std::size_t TcpTransport::poll(const FrameFn& fn) {
   }
   try {
     while (auto frame = decoder_.next()) {
+      if (consumeHandshake(*frame)) continue;
       ++delivered;
       ins.framesIn.inc();
       if (fn) fn(std::move(*frame));
     }
-  } catch (const util::DecodeError&) {
-    ins.decodeErrors.inc();
+  } catch (const util::DecodeError& e) {
+    countDecodeError(e);
     throw;  // the daemon's poll loop closes the link on bad frames
   }
   return delivered;
@@ -169,7 +206,9 @@ std::shared_ptr<TcpTransport> TcpListener::accept(int timeoutMs) {
   if (client < 0) return nullptr;
   int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::shared_ptr<TcpTransport>(new TcpTransport(client));
+  auto transport = std::shared_ptr<TcpTransport>(new TcpTransport(client));
+  transport->sendSchemaHello();
+  return transport;
 }
 
 }  // namespace casched::wire

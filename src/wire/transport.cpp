@@ -1,12 +1,99 @@
 #include "wire/transport.hpp"
 
+#include "util/strings.hpp"
+
 namespace casched::wire {
 
+void Transport::queue(MessageType type, Bytes payload) {
+  queued_.emplace_back(type, std::move(payload));
+}
+
+std::size_t Transport::flushQueued() {
+  if (queued_.empty()) return 0;
+  std::vector<std::pair<MessageType, Bytes>> batch;
+  batch.swap(queued_);
+  if (closed()) return 0;
+
+  std::size_t frames = 0;
+  std::vector<Bytes> run;
+  MessageType runType = MessageType::kSchemaHello;
+  std::size_t runBytes = 0;
+  auto emitRun = [&] {
+    if (run.empty()) return;
+    if (run.size() == 1) {
+      send(runType, run.front());
+    } else {
+      send(MessageType::kCoalesced, buildCoalescedPayload(runType, run));
+    }
+    ++frames;
+    run.clear();
+    runBytes = 0;
+  };
+
+  for (auto& [type, payload] : batch) {
+    if (!isCoalescableType(type)) {
+      emitRun();
+      send(type, payload);
+      ++frames;
+      continue;
+    }
+    const bool runFull = runBytes + payload.size() > kMaxCoalescedBatchBytes ||
+                         run.size() >= kMaxCoalescedBatchCount;
+    if (!run.empty() && (type != runType || runFull)) emitRun();
+    runType = type;
+    runBytes += payload.size();
+    run.push_back(std::move(payload));
+  }
+  emitRun();
+  return frames;
+}
+
+bool Transport::consumeHandshake(const Frame& frame) {
+  if (frame.type != MessageType::kSchemaHello) {
+    if (!peerVerified_) {
+      throw FrameDecodeError(FrameError::kSchemaMismatch,
+                             "peer sent " + messageTypeName(frame.type) +
+                                 " before the schema handshake");
+    }
+    return false;
+  }
+  SchemaHelloMsg hello;
+  try {
+    hello = decodeSchemaHello(frame.payload);
+  } catch (const util::DecodeError& e) {
+    throw FrameDecodeError(FrameError::kSchemaMismatch,
+                           std::string("malformed schema hello: ") + e.what());
+  }
+  if (hello.magic != kWireMagic) {
+    throw FrameDecodeError(
+        FrameError::kSchemaMismatch,
+        util::strformat("bad handshake magic %08x (want %08x)", hello.magic,
+                        kWireMagic));
+  }
+  if (hello.schemaHash != kSchemaHash) {
+    throw FrameDecodeError(
+        FrameError::kSchemaMismatch,
+        util::strformat("schema hash mismatch: peer %016llx, ours %016llx "
+                        "(peer protocol v%u, ours v%u)",
+                        static_cast<unsigned long long>(hello.schemaHash),
+                        static_cast<unsigned long long>(kSchemaHash),
+                        static_cast<unsigned>(hello.protocolVersion),
+                        static_cast<unsigned>(kProtocolVersion)));
+  }
+  peerVerified_ = true;
+  return true;
+}
+
 std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
-LoopbackTransport::createPair() {
+LoopbackTransport::createPair(bool withHandshake) {
   auto shared = std::make_shared<Shared>();
   auto a = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, true));
   auto b = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, false));
+  if (withHandshake) {
+    const Bytes hello = buildFrame(MessageType::kSchemaHello, encode(SchemaHelloMsg{}));
+    shared->aToB.push_back(hello);
+    shared->bToA.push_back(hello);
+  }
   return {a, b};
 }
 
@@ -26,6 +113,7 @@ std::size_t LoopbackTransport::poll(const FrameFn& fn) {
   std::size_t delivered = 0;
   for (const Bytes& chunk : incoming) decoder_.feed(chunk);
   while (auto frame = decoder_.next()) {
+    if (consumeHandshake(*frame)) continue;
     ++delivered;
     if (fn) fn(std::move(*frame));
   }

@@ -3,12 +3,16 @@
 /// Message transports. LoopbackTransport is a thread-safe in-process pipe
 /// used by the protocol tests and as a stand-in for sockets; TcpTransport
 /// (tcp_transport.hpp) carries the same frames over real sockets for the
-/// grid_rpc_demo example.
+/// grid_rpc_demo example. Both speak the v5 handshake: the first frame in
+/// each direction is a kSchemaHello, verified and swallowed here so daemons
+/// only ever see application frames.
 
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "wire/framing.hpp"
 
@@ -19,17 +23,50 @@ class Transport {
  public:
   using FrameFn = std::function<void(Frame)>;
 
+  /// Coalescing caps per envelope: a run is split when it would exceed either.
+  static constexpr std::size_t kMaxCoalescedBatchBytes = 1u * 1024u * 1024u;
+  static constexpr std::size_t kMaxCoalescedBatchCount = 1024;
+
   virtual ~Transport() = default;
 
-  /// Sends one typed message (encoded + framed).
+  /// Sends one typed message (encoded + framed) immediately.
   virtual void send(MessageType type, const Bytes& payload) = 0;
 
   /// Receives all frames queued so far, invoking `fn` per frame, in order.
-  /// Returns the number of frames delivered.
+  /// Returns the number of frames delivered (handshake frames are consumed
+  /// here and not counted). Throws FrameDecodeError(kSchemaMismatch) when the
+  /// peer's hello is wrong or application traffic precedes it.
   virtual std::size_t poll(const FrameFn& fn) = 0;
 
   virtual bool closed() const = 0;
   virtual void close() = 0;
+
+  /// Defers one typed message to the next flushQueued() call. Daemons queue
+  /// their per-poll-cycle outbound traffic and flush once per cycle, letting
+  /// consecutive same-type messages share one kCoalesced frame. Order across
+  /// types is preserved exactly (only consecutive runs coalesce). Not
+  /// thread-safe: queue/flush belong to the daemon's poll thread.
+  void queue(MessageType type, Bytes payload);
+
+  /// Encodes and sends everything queued, coalescing consecutive runs of
+  /// coalescable types; returns the number of wire frames emitted. Queued
+  /// messages are dropped if the transport closed in the meantime (the link
+  /// is dying; the daemons' retry paths own recovery).
+  std::size_t flushQueued();
+
+ protected:
+  /// Sends this side's schema hello; transports call it once at connect time.
+  void sendSchemaHello() { send(MessageType::kSchemaHello, encode(SchemaHelloMsg{})); }
+
+  /// Consumes handshake bookkeeping: returns true when `frame` was a valid
+  /// kSchemaHello (now verified and swallowed). Throws
+  /// FrameDecodeError(kSchemaMismatch) on a bad magic/hash, or when an
+  /// application frame arrives before the peer introduced itself.
+  bool consumeHandshake(const Frame& frame);
+
+ private:
+  std::vector<std::pair<MessageType, Bytes>> queued_;
+  bool peerVerified_ = false;
 };
 
 /// One end of an in-process pipe. Frames written to A are readable from B
@@ -37,9 +74,11 @@ class Transport {
 /// and re-decoded so the codec path is exercised).
 class LoopbackTransport final : public Transport {
  public:
-  /// Creates a connected pair.
+  /// Creates a connected pair. `withHandshake` pre-loads both directions with
+  /// a valid schema hello (the default, matching TCP behavior); tests pass
+  /// false to probe the handshake enforcement itself.
   static std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
-  createPair();
+  createPair(bool withHandshake = true);
 
   void send(MessageType type, const Bytes& payload) override;
   std::size_t poll(const FrameFn& fn) override;

@@ -150,14 +150,14 @@ TEST(Messages, ServerUpDownShutdownRoundTrip) {
 
 TEST(Messages, TypeNamesAreUnique) {
   std::set<std::string> names;
-  for (int t = 1; t <= 23; ++t) {
+  for (int t = 1; t <= 25; ++t) {
     EXPECT_TRUE(isKnownMessageType(static_cast<std::uint16_t>(t)));
     names.insert(messageTypeName(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 23u);
+  EXPECT_EQ(names.size(), 25u);
   EXPECT_EQ(messageTypeName(static_cast<MessageType>(999)), "unknown");
   EXPECT_FALSE(isKnownMessageType(0));
-  EXPECT_FALSE(isKnownMessageType(24));
+  EXPECT_FALSE(isKnownMessageType(26));
   EXPECT_FALSE(isKnownMessageType(999));
 }
 
@@ -299,9 +299,10 @@ TEST(Framing, RejectsWrongVersionNamingTheValue) {
 }
 
 TEST(Framing, RejectsV2PeersNamingBothVersions) {
-  // A v2 build frames the same payloads under version 2; a v4 decoder must
+  // A v2 build frames the same payloads under version 2; a v5 decoder must
   // reject the frame with an error naming the offending and expected version
-  // instead of misreading v3-only fields.
+  // instead of misreading newer fields (or drowning the mismatch in checksum
+  // noise - the version check runs before the CRC check on purpose).
   Bytes frame = buildFrame(MessageType::kHeartbeat, encode(HeartbeatMsg{"old", 1.0}));
   frame[4] = 2;  // little-endian version word, first byte after the length
   frame[5] = 0;
@@ -313,7 +314,7 @@ TEST(Framing, RejectsV2PeersNamingBothVersions) {
   } catch (const util::DecodeError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("got 2"), std::string::npos) << what;
-    EXPECT_NE(what.find("want 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("want 5"), std::string::npos) << what;
   }
 }
 
@@ -329,13 +330,21 @@ TEST(Framing, RejectsUnknownMessageTypeNamingTheValue) {
   }
 }
 
-TEST(Framing, RejectsOversizedLength) {
+TEST(Framing, RejectsOversizedLengthBeforeAllocationNamingTheKind) {
+  // A hostile length prefix must be rejected from the 4 header bytes alone -
+  // before the decoder materializes (allocates) any frame body.
   Bytes bogus;
   Writer w(bogus);
   w.u32(FrameDecoder::kMaxFrameBytes + 1);
   FrameDecoder dec;
   dec.feed(bogus);
-  EXPECT_THROW(dec.next(), util::DecodeError);
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kOversized);
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Framing, RejectsTooSmallLength) {
@@ -344,7 +353,125 @@ TEST(Framing, RejectsTooSmallLength) {
   w.u32(2);
   FrameDecoder dec;
   dec.feed(bogus);
-  EXPECT_THROW(dec.next(), util::DecodeError);
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadLength);
+  }
+}
+
+TEST(Framing, CrcTrailerRejectsCorruptedPayload) {
+  // Flip one payload byte: the CRC check must name the mismatch before any
+  // message decode sees the corrupt bytes.
+  Bytes frame = buildFrame(MessageType::kLoadReport,
+                           encode(LoadReportMsg{"grid-3", 2.5, 60.0, 512.0}));
+  frame[12] ^= 0x01;
+  FrameDecoder dec;
+  dec.feed(frame);
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadChecksum);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Framing, CrcTrailerRejectsCorruptedTrailer) {
+  Bytes frame = buildFrame(MessageType::kHeartbeat, encode(HeartbeatMsg{"s", 1.0}));
+  frame[frame.size() - 1] ^= 0x80;
+  FrameDecoder dec;
+  dec.feed(frame);
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadChecksum);
+  }
+}
+
+TEST(Framing, CoalescedFrameExpandsToInnerFramesInOrder) {
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 5; ++i) {
+    payloads.push_back(encode(LoadReportMsg{"s", 1.0 * i, 0, 0}));
+  }
+  FrameDecoder dec;
+  dec.feed(buildCoalescedFrame(MessageType::kLoadReport, payloads));
+  for (int i = 0; i < 5; ++i) {
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, MessageType::kLoadReport);
+    EXPECT_DOUBLE_EQ(decodeLoadReport(f->payload).loadAverage, 1.0 * i);
+  }
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Framing, CoalescedRejectsNonCoalescableInnerType) {
+  // Control traffic (registration, hellos, ...) must not hide inside an
+  // envelope; nor may envelopes nest.
+  Bytes body;
+  Writer w(body);
+  w.u16(static_cast<std::uint16_t>(MessageType::kRegister));
+  w.u32(1);
+  w.bytes(encode(RegisterMsg{}));
+  FrameDecoder dec;
+  dec.feed(buildFrame(MessageType::kCoalesced, body));
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadCoalesce);
+  }
+}
+
+TEST(Framing, CoalescedRejectsHostileCountBeforeAllocation) {
+  // count claims 4 billion messages in a 10-byte payload; the decoder must
+  // bound it against what the payload could physically hold before reserving.
+  Bytes body;
+  Writer w(body);
+  w.u16(static_cast<std::uint16_t>(MessageType::kHeartbeat));
+  w.u32(0xFFFFFFFFu);
+  w.u32(0);
+  FrameDecoder dec;
+  dec.feed(buildFrame(MessageType::kCoalesced, body));
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadCoalesce);
+    EXPECT_NE(std::string(e.what()).find("count"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Framing, CoalescedRejectsTruncatedInnerMessage) {
+  Bytes body;
+  Writer w(body);
+  w.u16(static_cast<std::uint16_t>(MessageType::kHeartbeat));
+  w.u32(2);
+  w.bytes(encode(HeartbeatMsg{"s", 1.0}));
+  // Second entry's length prefix promises more bytes than remain.
+  w.u32(4096);
+  FrameDecoder dec;
+  dec.feed(buildFrame(MessageType::kCoalesced, body));
+  EXPECT_THROW(dec.next(), FrameDecodeError);
+}
+
+TEST(Framing, CoalescedRejectsTrailingGarbage) {
+  Bytes body;
+  Writer w(body);
+  w.u16(static_cast<std::uint16_t>(MessageType::kHeartbeat));
+  w.u32(1);
+  w.bytes(encode(HeartbeatMsg{"s", 1.0}));
+  w.u8(0xEE);  // one byte past the declared messages
+  FrameDecoder dec;
+  dec.feed(buildFrame(MessageType::kCoalesced, body));
+  try {
+    dec.next();
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kBadCoalesce);
+  }
 }
 
 // Property: random message payloads survive framing across random chunk
@@ -417,6 +544,113 @@ TEST(Loopback, CloseStopsDelivery) {
   EXPECT_TRUE(b->closed());
   a->send(MessageType::kShutdown, {});
   EXPECT_EQ(b->poll(nullptr), 0u);
+}
+
+TEST(Handshake, SchemaHelloIsSwallowedBeforeApplicationTraffic) {
+  // The pair exchanges valid hellos at creation; polling delivers zero
+  // application frames until real traffic arrives.
+  auto [a, b] = LoopbackTransport::createPair();
+  EXPECT_EQ(b->poll(nullptr), 0u);
+  a->send(MessageType::kServerUp, encode(ServerUpMsg{"artimon"}));
+  int got = 0;
+  b->poll([&](Frame f) {
+    EXPECT_EQ(f.type, MessageType::kServerUp);
+    ++got;
+  });
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Handshake, SchemaHashMismatchIsRejectedWithANamedError) {
+  auto [a, b] = LoopbackTransport::createPair(/*withHandshake=*/false);
+  SchemaHelloMsg hello;
+  hello.schemaHash = 0xDEADBEEFDEADBEEFull;  // a build with different schemas
+  a->send(MessageType::kSchemaHello, encode(hello));
+  try {
+    b->poll(nullptr);
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kSchemaMismatch);
+    EXPECT_NE(std::string(e.what()).find("schema hash mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Handshake, BadMagicIsRejectedWithANamedError) {
+  auto [a, b] = LoopbackTransport::createPair(/*withHandshake=*/false);
+  SchemaHelloMsg hello;
+  hello.magic = 0x0BADF00D;
+  a->send(MessageType::kSchemaHello, encode(hello));
+  try {
+    b->poll(nullptr);
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kSchemaMismatch);
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Handshake, TrafficBeforeHelloIsRejected) {
+  // A peer that skips the handshake (or a misrouted byte stream that happens
+  // to frame correctly) is refused at its first application frame.
+  auto [a, b] = LoopbackTransport::createPair(/*withHandshake=*/false);
+  a->send(MessageType::kHeartbeat, encode(HeartbeatMsg{"s", 1.0}));
+  try {
+    b->poll(nullptr);
+    FAIL() << "expected FrameDecodeError";
+  } catch (const FrameDecodeError& e) {
+    EXPECT_EQ(e.kind(), FrameError::kSchemaMismatch);
+    EXPECT_NE(std::string(e.what()).find("before the schema handshake"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Queue, FlushCoalescesConsecutiveSameTypeRuns) {
+  auto [a, b] = LoopbackTransport::createPair();
+  for (int i = 0; i < 3; ++i) {
+    a->queue(MessageType::kLoadReport, encode(LoadReportMsg{"s", 1.0 * i, 0, 0}));
+  }
+  a->queue(MessageType::kRegister, encode(RegisterMsg{}));  // not coalescable
+  for (int i = 0; i < 2; ++i) {
+    a->queue(MessageType::kHeartbeat, encode(HeartbeatMsg{"s", 1.0 * i}));
+  }
+  // 3 load reports -> 1 frame, register -> 1 frame, 2 heartbeats -> 1 frame.
+  EXPECT_EQ(a->flushQueued(), 3u);
+  std::vector<MessageType> types;
+  b->poll([&](Frame f) { types.push_back(f.type); });
+  const std::vector<MessageType> want = {
+      MessageType::kLoadReport, MessageType::kLoadReport, MessageType::kLoadReport,
+      MessageType::kRegister,   MessageType::kHeartbeat,  MessageType::kHeartbeat};
+  EXPECT_EQ(types, want);
+}
+
+TEST(Queue, SingletonRunsSkipTheEnvelope) {
+  auto [a, b] = LoopbackTransport::createPair();
+  a->queue(MessageType::kLoadReport, encode(LoadReportMsg{"s", 1.0, 0, 0}));
+  EXPECT_EQ(a->flushQueued(), 1u);
+  int got = 0;
+  b->poll([&](Frame f) {
+    EXPECT_EQ(f.type, MessageType::kLoadReport);
+    ++got;
+  });
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(a->flushQueued(), 0u);  // queue drained
+}
+
+TEST(Queue, OrderAcrossTypesIsPreserved) {
+  auto [a, b] = LoopbackTransport::createPair();
+  // Interleaved types: every run has length 1, so nothing coalesces, and the
+  // arrival order must match the queue order exactly.
+  a->queue(MessageType::kLoadReport, encode(LoadReportMsg{"s", 1.0, 0, 0}));
+  a->queue(MessageType::kHeartbeat, encode(HeartbeatMsg{"s", 1.0}));
+  a->queue(MessageType::kLoadReport, encode(LoadReportMsg{"s", 2.0, 0, 0}));
+  EXPECT_EQ(a->flushQueued(), 3u);
+  std::vector<MessageType> types;
+  b->poll([&](Frame f) { types.push_back(f.type); });
+  const std::vector<MessageType> want = {MessageType::kLoadReport,
+                                         MessageType::kHeartbeat,
+                                         MessageType::kLoadReport};
+  EXPECT_EQ(types, want);
 }
 
 TEST(Tcp, LoopbackConnectionCarriesFrames) {
