@@ -8,24 +8,55 @@
 ///   ./bench_suite --suite paper
 ///   ./bench_suite --suite ablations --replications 1
 ///   ./bench_suite --scenarios paper/table5_matmul_low,mega-cluster --tasks 120
+///   ./bench_suite --compare bench_out/run_a.json,bench_out/run_b.json
+///   ./bench_suite --scenarios live-loopback --compare-seeds 1,2
 ///
 /// Groups: all | paper | ablations | churn | traffic, or an explicit comma
-/// list.
+/// list. The two --compare modes produce a re-planning study (per-scenario
+/// deltas, regressions flagged past --compare-threshold) written to
+/// <out>/compare.md and echoed to stdout - an instrument, not a gate, so
+/// both exit 0 regardless of what they find.
 
 #include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "exp/report.hpp"
+#include "exp/tables.hpp"
 #include "obs/decision.hpp"
 #include "obs/trace.hpp"
+#include "util/strings.hpp"
 
 namespace {
+
 void writeFileOrDie(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   if (!out) throw casched::util::IoError("cannot write '" + path + "'");
   out << text << "\n";
   std::cout << "[wrote " << path << "]\n";
 }
+
+std::vector<std::string> commaList(const std::string& value) {
+  std::vector<std::string> out;
+  for (const std::string& field : casched::util::split(value, ',')) {
+    const std::string trimmed(casched::util::trim(field));
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+void emitComparison(const casched::exp::ReportSuite& a,
+                    const casched::exp::ReportSuite& b, double thresholdPct,
+                    const std::string& outDir) {
+  casched::exp::CompareOptions options;
+  options.thresholdPct = thresholdPct;
+  const casched::exp::CompareOutcome outcome =
+      casched::exp::compareSuites(a, b, options);
+  casched::exp::emitText(outcome.markdown, outDir, "compare.md");
+  std::cout << outcome.markdown;
+  std::cout << "[wrote " << outDir << "/compare.md]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,14 +72,77 @@ int main(int argc, char** argv) {
                  "forces --threads 1 so the spans form one coherent timeline)");
   args.addString("decisions", "",
                  "write heuristic decision records here (JSON; forces --threads 1)");
+  args.addString("compare", "",
+                 "compare two existing suite records 'a.json,b.json' as a "
+                 "re-planning study and exit (writes <out>/compare.md)");
+  args.addString("compare-seeds", "",
+                 "run the scenario list at two seeds 's1,s2' and emit a "
+                 "seed-vs-seed re-planning comparison beside both records");
+  args.addDouble("compare-threshold", 10.0,
+                 "direction-aware regression flag threshold for comparisons, "
+                 "in percent");
   bench::addSuiteFlags(args);
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    // Pure post-processing mode: diff two records somebody already ran.
+    const std::vector<std::string> compareFiles =
+        commaList(args.getString("compare"));
+    if (!compareFiles.empty()) {
+      if (compareFiles.size() != 2) {
+        throw util::ConfigError("--compare wants exactly two record files");
+      }
+      emitComparison(exp::loadSuiteRecord(compareFiles[0]),
+                     exp::loadSuiteRecord(compareFiles[1]),
+                     args.getDouble("compare-threshold"),
+                     args.getString("out"));
+      return 0;
+    }
+
     const std::vector<std::string> names =
         bench::resolveScenarioList(args.getString("scenarios").empty()
                                        ? args.getString("suite")
                                        : args.getString("scenarios"));
     exp::SuiteOptions options = bench::suiteOptionsFromFlags(args);
+
+    // Seed-vs-seed re-planning study: the same campaign twice, only the
+    // master seed differs, so every delta is replication noise or a genuine
+    // seed-sensitive regime change.
+    const std::vector<std::string> compareSeeds =
+        commaList(args.getString("compare-seeds"));
+    if (!compareSeeds.empty()) {
+      if (compareSeeds.size() != 2) {
+        throw util::ConfigError("--compare-seeds wants exactly two seeds");
+      }
+      std::vector<exp::ReportSuite> parsed;
+      for (const std::string& seedText : compareSeeds) {
+        exp::SuiteOptions seeded = options;
+        try {
+          seeded.seed = std::stoull(seedText);
+        } catch (const std::exception&) {
+          throw util::ConfigError("--compare-seeds wants integers, got '" +
+                                  seedText + "'");
+        }
+        exp::SuiteResult suite;
+        suite.seed = seeded.seed;
+        for (const std::string& name : names) {
+          std::cout << "=== " << name << " (seed " << seedText << ") ===\n"
+                    << std::flush;
+          suite.scenarios.push_back(
+              exp::runSuiteScenario(scenario::findScenario(name), seeded));
+          bench::printSuiteScenario(suite.scenarios.back());
+          std::cout << "\n";
+        }
+        const std::string base = args.getString("json") + "_seed" + seedText;
+        exp::emitSuite(suite, args.getString("out"), base);
+        parsed.push_back(exp::parseSuiteRecord(
+            util::JsonValue::parse(exp::suiteJson(suite)), "seed " + seedText));
+      }
+      emitComparison(parsed[0], parsed[1], args.getDouble("compare-threshold"),
+                     args.getString("out"));
+      return 0;
+    }
+
     const bool tracing = !args.getString("trace").empty();
     const bool introspecting = !args.getString("decisions").empty();
     if (tracing || introspecting) {

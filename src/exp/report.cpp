@@ -1,0 +1,511 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casched::exp {
+
+namespace {
+
+/// Mean/sd rendering for report tables: enough digits to read the paper's
+/// tables, few enough that a sub-ulp cross-toolchain wobble cannot flip the
+/// rounding of the generated doc sections.
+std::string fmtValue(double v) {
+  const double a = std::abs(v);
+  if (a >= 1000.0) return util::strformat("%.0f", v);
+  if (a >= 10.0) return util::strformat("%.1f", v);
+  return util::strformat("%.3f", v);
+}
+
+std::string fmtStat(const ReportStat& s) {
+  return fmtValue(s.mean) + " ± " + fmtValue(s.sd);
+}
+
+/// Markdown cell text must not open/close columns.
+std::string mdEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+std::string headingMark(int level) {
+  return std::string(static_cast<std::size_t>(std::clamp(level, 1, 6)), '#');
+}
+
+/// The eight-step block ramp used for inline sparkline bars.
+const char* const kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+
+std::string sparkBar(double v, double lo, double hi) {
+  if (!(hi > lo)) return kBlocks[3];
+  const double t = (v - lo) / (hi - lo);
+  const int idx = std::clamp(static_cast<int>(std::lround(t * 7.0)), 0, 7);
+  return kBlocks[idx];
+}
+
+std::string joinCoordinateNames(const ReportVariant& v) {
+  std::vector<std::string> names;
+  names.reserve(v.coordinates.size());
+  for (const auto& [param, value] : v.coordinates) names.push_back(param);
+  return util::join(names, ", ");
+}
+
+std::string joinCoordinateValues(const ReportVariant& v) {
+  std::vector<std::string> values;
+  values.reserve(v.coordinates.size());
+  for (const auto& [param, value] : v.coordinates) values.push_back(value);
+  return util::join(values, ", ");
+}
+
+/// The metric stat of a heuristic's first metatask cell at one sweep point;
+/// nullptr when the record lacks the heuristic or the metric.
+const ReportStat* firstCellStat(const ReportVariant& variant,
+                                const std::string& heuristic,
+                                const std::string& metric) {
+  const std::vector<ReportCell>* cells = variant.cells(heuristic);
+  if (cells == nullptr || cells->empty()) return nullptr;
+  return cells->front().find(metric);
+}
+
+/// Best heuristic at one sweep point under the metric's orientation;
+/// empty when no heuristic carries the metric.
+std::string bestHeuristic(const ReportScenario& scenario,
+                          const ReportVariant& variant,
+                          const std::string& metric) {
+  const bool lower = metricLowerIsBetter(metric);
+  std::string best;
+  double bestMean = 0.0;
+  for (const std::string& h : scenario.heuristics) {
+    const ReportStat* stat = firstCellStat(variant, h, metric);
+    if (stat == nullptr) continue;
+    if (best.empty() || (lower ? stat->mean < bestMean : stat->mean > bestMean)) {
+      best = h;
+      bestMean = stat->mean;
+    }
+  }
+  return best;
+}
+
+/// How many standard errors apart two heuristics are at one sweep point.
+double separationAt(const ReportVariant& variant, const std::string& a,
+                    const std::string& b, const std::string& metric,
+                    std::uint64_t replications) {
+  const ReportStat* sa = firstCellStat(variant, a, metric);
+  const ReportStat* sb = firstCellStat(variant, b, metric);
+  if (sa == nullptr || sb == nullptr) return 0.0;
+  const double n = static_cast<double>(std::max<std::uint64_t>(replications, 1));
+  const double seA = sa->sd / std::sqrt(n);
+  const double seB = sb->sd / std::sqrt(n);
+  const double denom = std::sqrt(seA * seA + seB * seB);
+  const double gap = std::abs(sa->mean - sb->mean);
+  if (denom <= 0.0) return gap > 0.0 ? 99.0 : 0.0;
+  return std::min(99.0, gap / denom);
+}
+
+}  // namespace
+
+const ReportStat* ReportCell::find(const std::string& metric) const {
+  for (const auto& [name, stat] : metrics) {
+    if (name == metric) return &stat;
+  }
+  return nullptr;
+}
+
+const std::vector<ReportCell>* ReportVariant::cells(
+    const std::string& heuristic) const {
+  for (const auto& [name, cs] : heuristics) {
+    if (name == heuristic) return &cs;
+  }
+  return nullptr;
+}
+
+const ReportScenario* ReportSuite::find(const std::string& name) const {
+  for (const ReportScenario& s : scenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ReportSuite parseSuiteRecord(const util::JsonValue& root, std::string label) {
+  ReportSuite suite;
+  suite.label = std::move(label);
+  suite.seed = root.at("seed").asUint();
+  for (const util::JsonValue& sc : root.at("scenarios").items()) {
+    ReportScenario s;
+    s.name = sc.at("name").asString();
+    s.description = sc.at("description").asString();
+    s.title = sc.at("title").asString();
+    s.servers = sc.at("servers").asUint();
+    s.churnEvents = sc.at("churn_events").asUint();
+    if (const util::JsonValue* generated = sc.find("generated_churn")) {
+      s.generatedChurn = generated->asUint();
+      s.churnDigest = sc.at("churn_digest").asUint();
+    }
+    s.metatasks = sc.at("metatasks").asUint();
+    s.replications = sc.at("replications").asUint();
+    s.baseline = sc.at("baseline").asString();
+    s.ftPolicy = sc.at("ft_policy").asString();
+    for (const util::JsonValue& h : sc.at("heuristics").items()) {
+      s.heuristics.push_back(h.asString());
+    }
+    for (const util::JsonValue& v : sc.at("variants").items()) {
+      ReportVariant variant;
+      for (const auto& [param, value] : v.at("coordinates").members()) {
+        variant.coordinates.emplace_back(param, value.asString());
+      }
+      for (const auto& [heuristic, cells] : v.at("heuristics").members()) {
+        std::vector<ReportCell> parsed;
+        for (const util::JsonValue& cell : cells.items()) {
+          ReportCell c;
+          c.metatask = cell.at("metatask").asUint();
+          for (const auto& [metric, stat] : cell.members()) {
+            if (!stat.isObject() || !stat.has("mean")) continue;
+            c.metrics.emplace_back(
+                metric,
+                ReportStat{stat.at("mean").asDouble(), stat.at("sd").asDouble()});
+          }
+          parsed.push_back(std::move(c));
+        }
+        variant.heuristics.emplace_back(heuristic, std::move(parsed));
+      }
+      s.variants.push_back(std::move(variant));
+    }
+    suite.scenarios.push_back(std::move(s));
+  }
+  return suite;
+}
+
+ReportSuite loadSuiteRecord(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw util::IoError("cannot open suite record '" + path + "'");
+  std::ostringstream text;
+  text << is.rdbuf();
+  std::string label = path;
+  const std::size_t slash = label.find_last_of('/');
+  if (slash != std::string::npos) label = label.substr(slash + 1);
+  const std::size_t dot = label.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) label = label.substr(0, dot);
+  try {
+    return parseSuiteRecord(util::JsonValue::parse(text.str()), label);
+  } catch (const util::ConfigError& e) {
+    throw util::ConfigError(std::string(e.what()) + " (in '" + path + "')");
+  }
+}
+
+bool metricLowerIsBetter(const std::string& metric) {
+  return metric != "completed" && metric != "sooner_vs_baseline";
+}
+
+std::vector<Crossover> detectCrossovers(const ReportScenario& scenario,
+                                        const std::string& metric) {
+  std::vector<Crossover> out;
+  if (!scenario.swept() || scenario.variants.size() < 2) return out;
+  const std::string axis = joinCoordinateNames(scenario.variants.front());
+  for (std::size_t i = 0; i + 1 < scenario.variants.size(); ++i) {
+    const ReportVariant& before = scenario.variants[i];
+    const ReportVariant& after = scenario.variants[i + 1];
+    const std::string w1 = bestHeuristic(scenario, before, metric);
+    const std::string w2 = bestHeuristic(scenario, after, metric);
+    if (w1.empty() || w2.empty() || w1 == w2) continue;
+    Crossover c;
+    c.axis = axis;
+    c.metric = metric;
+    c.fromValue = joinCoordinateValues(before);
+    c.toValue = joinCoordinateValues(after);
+    c.winnerBefore = w1;
+    c.winnerAfter = w2;
+    // The flip is only as trustworthy as its weaker endpoint: the two
+    // contenders must be separated on both sides of the boundary.
+    c.separationSigma =
+        std::min(separationAt(before, w1, w2, metric, scenario.replications),
+                 separationAt(after, w2, w1, metric, scenario.replications));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+namespace {
+
+void appendScenarioHeader(std::ostringstream& out, const ReportScenario& s,
+                          int level) {
+  out << headingMark(level) << " " << s.name << "\n\n";
+  if (!s.description.empty()) out << s.description << "\n\n";
+  out << "- campaign: `" << util::join(s.heuristics, ", ") << "` vs baseline `"
+      << s.baseline << "`, " << s.replications << " replication(s), "
+      << s.metatasks << " metatask(s), ft-policy `" << s.ftPolicy << "`\n";
+  out << "- platform: " << s.servers << " server(s), " << s.churnEvents
+      << " churn event(s)";
+  if (s.generatedChurn > 0) {
+    out << " (" << s.generatedChurn << " generated, digest `"
+        << util::strformat("%016llx",
+                           static_cast<unsigned long long>(s.churnDigest))
+        << "`)";
+  }
+  out << "\n\n";
+}
+
+void appendUnsweptTables(std::ostringstream& out, const ReportScenario& s,
+                         const ReportOptions& options) {
+  const ReportVariant& variant = s.variants.front();
+  for (std::uint64_t m = 0; m < s.metatasks; ++m) {
+    if (s.metatasks > 1) {
+      out << headingMark(options.headingLevel + 1) << " Metatask " << (m + 1)
+          << "\n\n";
+    }
+    out << "| heuristic |";
+    for (const std::string& metric : options.metrics) out << " " << metric << " |";
+    out << "\n|---|";
+    for (std::size_t i = 0; i < options.metrics.size(); ++i) out << "---:|";
+    out << "\n";
+    for (const std::string& h : s.heuristics) {
+      const std::vector<ReportCell>* cells = variant.cells(h);
+      out << "| " << h << " |";
+      for (const std::string& metric : options.metrics) {
+        const ReportStat* stat =
+            (cells != nullptr && m < cells->size()) ? (*cells)[m].find(metric)
+                                                    : nullptr;
+        out << " " << (stat != nullptr ? fmtStat(*stat) : "—") << " |";
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
+}
+
+void appendSweepSeries(std::ostringstream& out, const ReportScenario& s,
+                       const ReportOptions& options) {
+  const std::string axis = joinCoordinateNames(s.variants.front());
+  for (const std::string& metric : options.metrics) {
+    out << headingMark(options.headingLevel + 1) << " " << metric << " by "
+        << axis << " (mean over " << s.replications << " replication(s))\n\n";
+    // Bars scale per heuristic column across the series, so each column
+    // reads as that heuristic's own trajectory.
+    std::vector<double> lo(s.heuristics.size(), 0.0);
+    std::vector<double> hi(s.heuristics.size(), 0.0);
+    std::vector<bool> seen(s.heuristics.size(), false);
+    for (const ReportVariant& v : s.variants) {
+      for (std::size_t h = 0; h < s.heuristics.size(); ++h) {
+        const ReportStat* stat = firstCellStat(v, s.heuristics[h], metric);
+        if (stat == nullptr) continue;
+        if (!seen[h]) {
+          lo[h] = hi[h] = stat->mean;
+          seen[h] = true;
+        } else {
+          lo[h] = std::min(lo[h], stat->mean);
+          hi[h] = std::max(hi[h], stat->mean);
+        }
+      }
+    }
+    out << "| " << axis << " |";
+    for (const std::string& h : s.heuristics) out << " " << h << " |";
+    out << "\n|---:|";
+    for (std::size_t h = 0; h < s.heuristics.size(); ++h) out << "---:|";
+    out << "\n";
+    for (const ReportVariant& v : s.variants) {
+      out << "| " << joinCoordinateValues(v) << " |";
+      for (std::size_t h = 0; h < s.heuristics.size(); ++h) {
+        const ReportStat* stat = firstCellStat(v, s.heuristics[h], metric);
+        if (stat == nullptr) {
+          out << " — |";
+        } else {
+          out << " " << fmtValue(stat->mean) << " "
+              << sparkBar(stat->mean, lo[h], hi[h]) << " |";
+        }
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
+}
+
+void appendCrossovers(std::ostringstream& out, const ReportScenario& s,
+                      const ReportOptions& options) {
+  out << headingMark(options.headingLevel + 1) << " Crossovers\n\n";
+  bool any = false;
+  for (const std::string& metric : options.metrics) {
+    for (const Crossover& c : detectCrossovers(s, metric)) {
+      any = true;
+      out << "- `" << c.metric << "`: best heuristic flips from `"
+          << c.winnerBefore << "` to `" << c.winnerAfter << "` between "
+          << c.axis << " = " << c.fromValue << " and " << c.axis << " = "
+          << c.toValue << " (separation "
+          << util::strformat("%.1f", c.separationSigma) << "σ, "
+          << (c.confident() ? "confident" : "within noise") << ")\n";
+    }
+  }
+  if (!any) {
+    out << "- none: the best-heuristic ranking is stable across the sweep on "
+           "every scanned metric\n";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string scenarioReportMarkdown(const ReportScenario& scenario,
+                                   const ReportOptions& options) {
+  std::ostringstream out;
+  appendScenarioHeader(out, scenario, options.headingLevel);
+  if (scenario.variants.empty()) return out.str();
+  if (!scenario.swept()) {
+    appendUnsweptTables(out, scenario, options);
+  } else {
+    appendSweepSeries(out, scenario, options);
+    appendCrossovers(out, scenario, options);
+  }
+  return out.str();
+}
+
+std::string suiteReportMarkdown(const ReportSuite& suite,
+                                const ReportOptions& options) {
+  std::ostringstream out;
+  out << headingMark(std::max(1, options.headingLevel - 1))
+      << " Campaign report: " << suite.label << "\n\n";
+  out << "- seed: " << suite.seed << "\n- scenarios: " << suite.scenarios.size()
+      << "\n\n";
+  for (const ReportScenario& s : suite.scenarios) {
+    out << scenarioReportMarkdown(s, options);
+  }
+  return out.str();
+}
+
+CompareOutcome compareSuites(const ReportSuite& a, const ReportSuite& b,
+                             const CompareOptions& options) {
+  CompareOutcome outcome;
+  std::ostringstream out;
+  out << "## Re-planning comparison: " << a.label << " vs " << b.label << "\n\n";
+  out << "Flag threshold: ±" << util::strformat("%g", options.thresholdPct)
+      << "% (direction-aware: toward-worse past the threshold is a "
+         "regression).\n\n";
+
+  std::vector<std::string> unmatched;
+  bool anyRows = false;
+  std::ostringstream table;
+  table << "| scenario | variant | heuristic | metric | " << a.label << " | "
+        << b.label << " | Δ% | flag |\n";
+  table << "|---|---|---|---|---:|---:|---:|---|\n";
+  for (const ReportScenario& sa : a.scenarios) {
+    const ReportScenario* sb = b.find(sa.name);
+    if (sb == nullptr) {
+      unmatched.push_back(sa.name + " (only in " + a.label + ")");
+      continue;
+    }
+    for (const ReportVariant& va : sa.variants) {
+      const ReportVariant* vb = nullptr;
+      for (const ReportVariant& candidate : sb->variants) {
+        if (candidate.coordinates == va.coordinates) {
+          vb = &candidate;
+          break;
+        }
+      }
+      if (vb == nullptr) continue;
+      const std::string variantLabel =
+          va.coordinates.empty()
+              ? "—"
+              : joinCoordinateNames(va) + " = " + joinCoordinateValues(va);
+      for (const std::string& h : sa.heuristics) {
+        for (const std::string& metric : options.metrics) {
+          const ReportStat* statA = firstCellStat(va, h, metric);
+          const ReportStat* statB = firstCellStat(*vb, h, metric);
+          if (statA == nullptr || statB == nullptr) continue;
+          ++outcome.comparisons;
+          std::string delta = "n/a";
+          std::string flag;
+          if (statA->mean != 0.0) {
+            const double pct =
+                (statB->mean - statA->mean) / std::abs(statA->mean) * 100.0;
+            delta = util::strformat("%+.1f%%", pct);
+            const bool lower = metricLowerIsBetter(metric);
+            const double worse = lower ? pct : -pct;
+            if (worse > options.thresholdPct) {
+              flag = "**regression**";
+              ++outcome.regressions;
+            } else if (worse < -options.thresholdPct) {
+              flag = "improvement";
+              ++outcome.improvements;
+            }
+          } else if (statB->mean != 0.0) {
+            delta = "from 0";
+          }
+          anyRows = true;
+          table << "| " << sa.name << " | " << mdEscape(variantLabel) << " | "
+                << h << " | " << metric << " | " << fmtStat(*statA) << " | "
+                << fmtStat(*statB) << " | " << delta << " | " << flag
+                << " |\n";
+        }
+      }
+    }
+  }
+  for (const ReportScenario& sb : b.scenarios) {
+    if (a.find(sb.name) == nullptr) {
+      unmatched.push_back(sb.name + " (only in " + b.label + ")");
+    }
+  }
+
+  if (anyRows) {
+    out << table.str() << "\n";
+  } else {
+    out << "No comparable (scenario, variant, heuristic, metric) cells.\n\n";
+  }
+  out << "Summary: " << outcome.regressions << " regression(s), "
+      << outcome.improvements << " improvement(s) past the threshold across "
+      << outcome.comparisons << " comparison(s).\n";
+  if (!unmatched.empty()) {
+    out << "\nUnmatched scenarios: " << util::join(unmatched, "; ") << ".\n";
+  }
+  outcome.markdown = out.str();
+  return outcome;
+}
+
+std::string registryCatalogMarkdown() {
+  std::ostringstream out;
+  out << "| scenario | heuristics | repl | sweep | description |\n";
+  out << "|---|---|---:|---|---|\n";
+  for (const std::string& name : scenario::scenarioNames()) {
+    const scenario::ScenarioSpec spec =
+        scenario::parseScenario(scenario::scenarioText(name));
+    std::vector<std::string> axes;
+    for (const scenario::SweepAxis& axis : spec.sweep) {
+      axes.push_back(axis.parameter + " × " +
+                     std::to_string(axis.values.size()));
+    }
+    out << "| `" << name << "` | `"
+        << util::join(spec.campaign.heuristics, ", ") << "` | "
+        << spec.campaign.replications << " | "
+        << (axes.empty() ? "—" : util::join(axes, "; ")) << " | "
+        << mdEscape(spec.description) << " |\n";
+  }
+  return out.str();
+}
+
+std::string replaceGeneratedRegion(const std::string& document,
+                                   const std::string& name,
+                                   const std::string& generated) {
+  const std::string begin = "<!-- BEGIN GENERATED: " + name + " -->";
+  const std::string end = "<!-- END GENERATED: " + name + " -->";
+  const std::size_t beginAt = document.find(begin);
+  if (beginAt == std::string::npos) {
+    throw util::ConfigError("document has no '" + begin + "' sentinel");
+  }
+  const std::size_t bodyAt = beginAt + begin.size();
+  const std::size_t endAt = document.find(end, bodyAt);
+  if (endAt == std::string::npos) {
+    throw util::ConfigError("document has no '" + end + "' sentinel after the "
+                            "begin sentinel");
+  }
+  std::string body = generated;
+  if (!body.empty() && body.back() != '\n') body += "\n";
+  return document.substr(0, bodyAt) + "\n" + body + document.substr(endAt);
+}
+
+}  // namespace casched::exp

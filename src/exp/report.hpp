@@ -1,0 +1,167 @@
+#pragma once
+/// \file report.hpp
+/// Campaign intelligence: turns the suite's machine-readable JSON records
+/// into paper-style Markdown reports - per-scenario mean ± sd tables,
+/// per-axis sweep series with inline sparkline bars, automatic crossover
+/// detection (where the best-heuristic ranking flips between adjacent sweep
+/// points, with a confidence separation derived from the replication sd),
+/// and re-planning comparisons between two records (seed-vs-seed or
+/// run-vs-run) with direction-aware regression flagging.
+///
+/// Everything here consumes the parsed record, never live state, and never
+/// touches wall-clock fields (wall_seconds, events_per_second): report
+/// output for a fixed (scenario, seed) is deterministic, which is what lets
+/// EXPERIMENTS.md carry generated sections checked for drift in CI.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace casched::exp {
+
+/// One aggregated metric cell: mean ± sd over a campaign's replications.
+struct ReportStat {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+/// One (heuristic, metatask) cell of a variant: the named metric stats in
+/// record order.
+struct ReportCell {
+  std::uint64_t metatask = 1;
+  std::vector<std::pair<std::string, ReportStat>> metrics;
+
+  /// nullptr when the record has no such metric.
+  const ReportStat* find(const std::string& metric) const;
+};
+
+/// One sweep point (or the single point of an unswept campaign).
+struct ReportVariant {
+  /// Sweep coordinates, e.g. {{"rate", "30"}}; empty when unswept.
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  /// Per-heuristic cells, one per metatask, in record order.
+  std::vector<std::pair<std::string, std::vector<ReportCell>>> heuristics;
+
+  const std::vector<ReportCell>* cells(const std::string& heuristic) const;
+};
+
+/// One scenario's slice of a suite record.
+struct ReportScenario {
+  std::string name;
+  std::string description;
+  std::string title;
+  std::uint64_t servers = 0;
+  std::uint64_t churnEvents = 0;
+  std::uint64_t generatedChurn = 0;
+  std::uint64_t churnDigest = 0;  ///< valid when generatedChurn > 0
+  std::uint64_t metatasks = 1;
+  std::uint64_t replications = 1;
+  std::string baseline;
+  std::string ftPolicy;
+  std::vector<std::string> heuristics;
+  std::vector<ReportVariant> variants;
+
+  bool swept() const {
+    return !variants.empty() && !variants.front().coordinates.empty();
+  }
+};
+
+/// A parsed suite record (one `bench_suite --json` artifact).
+struct ReportSuite {
+  std::string label;  ///< file base name (or caller-supplied), used in headings
+  std::uint64_t seed = 0;
+  std::vector<ReportScenario> scenarios;
+
+  const ReportScenario* find(const std::string& name) const;
+};
+
+/// Parses the JSON document a `suiteJson()` record produces. Throws
+/// util::ConfigError naming the missing/mistyped key on schema mismatch.
+ReportSuite parseSuiteRecord(const util::JsonValue& root, std::string label);
+
+/// Reads + parses a record file; the label is the file's base name.
+ReportSuite loadSuiteRecord(const std::string& path);
+
+/// Orientation of a metric: completed counts up, every flow/stretch/loss
+/// metric counts down. Unknown metrics default to lower-is-better.
+bool metricLowerIsBetter(const std::string& metric);
+
+/// One detected ranking flip on a sweep axis: between the adjacent points
+/// `fromValue` and `toValue` the best heuristic under `metric` changes from
+/// `winnerBefore` to `winnerAfter`. `separationSigma` is the weaker of the
+/// two endpoint separations, each |Δmean| / sqrt(seA² + seB²) with
+/// se = sd / sqrt(replications) - how many standard errors apart the
+/// contenders are on the side where they are closest.
+struct Crossover {
+  std::string axis;
+  std::string metric;
+  std::string fromValue;
+  std::string toValue;
+  std::string winnerBefore;
+  std::string winnerAfter;
+  double separationSigma = 0.0;
+
+  bool confident() const { return separationSigma >= 2.0; }
+};
+
+/// Scans a swept scenario's adjacent variant pairs for best-heuristic flips
+/// under `metric` (first metatask). Empty for unswept scenarios and when the
+/// winner never changes.
+std::vector<Crossover> detectCrossovers(const ReportScenario& scenario,
+                                        const std::string& metric);
+
+/// Report shaping: which metrics the tables, sweep series and crossover
+/// scan cover, and the heading depth reports are emitted at.
+struct ReportOptions {
+  std::vector<std::string> metrics = {"completed", "sumflow", "maxflow",
+                                      "maxstretch"};
+  int headingLevel = 2;  ///< scenario headings: 2 = "##"
+};
+
+/// Markdown for one scenario: the campaign header, mean ± sd tables
+/// (unswept) or per-axis series tables with sparkline bars plus the
+/// crossover scan (swept). Deterministic per (scenario, seed).
+std::string scenarioReportMarkdown(const ReportScenario& scenario,
+                                   const ReportOptions& options = {});
+
+/// Markdown for a whole record: a header plus every scenario's report.
+std::string suiteReportMarkdown(const ReportSuite& suite,
+                                const ReportOptions& options = {});
+
+struct CompareOptions {
+  /// Direction-aware flag threshold: a metric that moved past this many
+  /// percent toward "worse" is a regression, toward "better" an improvement.
+  double thresholdPct = 10.0;
+  std::vector<std::string> metrics = {"completed", "sumflow", "maxstretch"};
+};
+
+struct CompareOutcome {
+  std::string markdown;
+  std::size_t comparisons = 0;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+};
+
+/// Re-planning study: matches scenarios by name and variants by sweep
+/// coordinates across two records, tabulates per-heuristic metric deltas,
+/// and flags direction-aware regressions past the threshold. The Markdown
+/// section is what the nightly soak uploads to $GITHUB_STEP_SUMMARY.
+CompareOutcome compareSuites(const ReportSuite& a, const ReportSuite& b,
+                             const CompareOptions& options = {});
+
+/// Deterministic catalog of every registry entry (name, campaign shape,
+/// sweep axes, description) derived purely from the scenario specs - no
+/// simulation, so it can never drift except when the registry itself does.
+std::string registryCatalogMarkdown();
+
+/// Replaces the body between `<!-- BEGIN GENERATED: name -->` and
+/// `<!-- END GENERATED: name -->` in `document`, keeping the sentinels.
+/// Throws util::ConfigError when the sentinels are missing or out of order.
+std::string replaceGeneratedRegion(const std::string& document,
+                                   const std::string& name,
+                                   const std::string& generated);
+
+}  // namespace casched::exp

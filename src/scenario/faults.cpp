@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <numbers>
 #include <set>
+#include <sstream>
 
 #include "simcore/rng.hpp"
 #include "util/error.hpp"
@@ -31,6 +35,19 @@ std::uint64_t processStream(std::uint64_t seed, std::uint64_t process,
 /// Downtimes and episode lengths stay strictly positive: a drawn 0 would
 /// read as "machine default" (crash) or "persistent" (slowdown/link).
 constexpr double kMinEpisode = 0.1;
+
+/// Diurnal intensity modulation: a gap drawn at simulated time t is divided
+/// by the instantaneous intensity 1 + A * sin(2*pi * t / P + phase), so
+/// failures bunch where the modulation peaks and thin out in the trough.
+/// Deterministic scaling of an already-drawn value - the RNG stream
+/// consumption is unchanged, so enabling diurnal modulation never perturbs
+/// which numbers the underlying processes draw.
+double modulateGap(const FaultsSpec& spec, double t, double gap) {
+  if (spec.diurnalAmplitude <= 0.0) return gap;
+  const double angle =
+      2.0 * std::numbers::pi * t / spec.diurnalPeriod + spec.diurnalPhase;
+  return gap / (1.0 + spec.diurnalAmplitude * std::sin(angle));
+}
 
 double weibull(simcore::RandomStream& rng, double mean, double shape) {
   // Scale so the distribution's mean is `mean`: E = scale * Gamma(1 + 1/k).
@@ -66,11 +83,12 @@ cas::ChurnEvent factorEvent(cas::ChurnAction action, double time,
 void generateCrashRepair(const FaultsSpec& spec, const std::string& server,
                          std::uint64_t seed, std::vector<cas::ChurnEvent>& out) {
   simcore::RandomStream rng(seed);
-  double t = weibull(rng, spec.crashMtbf, spec.crashShape);
+  double t = modulateGap(spec, 0.0, weibull(rng, spec.crashMtbf, spec.crashShape));
   while (t < spec.horizon) {
     const double repair = std::max(kMinEpisode, rng.exponentialMean(spec.crashMttr));
     out.push_back(crashEvent(t, server, repair));
-    t += repair + weibull(rng, spec.crashMtbf, spec.crashShape);
+    const double up = t + repair;
+    t = up + modulateGap(spec, up, weibull(rng, spec.crashMtbf, spec.crashShape));
   }
 }
 
@@ -101,29 +119,31 @@ void generateFlapping(const FaultsSpec& spec, const std::string& server,
 void generateOutages(const FaultsSpec& spec, const FaultDomainSpec& domain,
                      std::uint64_t seed, std::vector<cas::ChurnEvent>& out) {
   simcore::RandomStream rng(seed);
-  double t = rng.exponentialMean(spec.outageMtbf);
+  double t = modulateGap(spec, 0.0, rng.exponentialMean(spec.outageMtbf));
   while (t < spec.horizon) {
     const double repair = std::max(kMinEpisode, rng.exponentialMean(spec.outageMttr));
     for (const std::string& server : domain.servers) {
       out.push_back(crashEvent(t, server, repair));
     }
-    t += repair + rng.exponentialMean(spec.outageMtbf);
+    const double up = t + repair;
+    t = up + modulateGap(spec, up, rng.exponentialMean(spec.outageMtbf));
   }
 }
 
 /// Capacity churn (CPU or link): exponential gaps between episodes, uniform
 /// factor, exponential episode length; the factor restores on its own.
-void generateCapacityChurn(cas::ChurnAction action, const std::string& server,
-                           double mtbf, double lo, double hi, double meanDuration,
-                           double horizon, std::uint64_t seed,
+void generateCapacityChurn(const FaultsSpec& spec, cas::ChurnAction action,
+                           const std::string& server, double mtbf, double lo,
+                           double hi, double meanDuration, std::uint64_t seed,
                            std::vector<cas::ChurnEvent>& out) {
   simcore::RandomStream rng(seed);
-  double t = rng.exponentialMean(mtbf);
-  while (t < horizon) {
+  double t = modulateGap(spec, 0.0, rng.exponentialMean(mtbf));
+  while (t < spec.horizon) {
     const double factor = rng.uniform(lo, hi);
     const double duration = std::max(kMinEpisode, rng.exponentialMean(meanDuration));
     out.push_back(factorEvent(action, t, server, factor, duration));
-    t += duration + rng.exponentialMean(mtbf);
+    const double end = t + duration;
+    t = end + modulateGap(spec, end, rng.exponentialMean(mtbf));
   }
 }
 
@@ -149,16 +169,38 @@ void validateFaultsSpec(const FaultsSpec& spec) {
       spec.outageMtbf < 0.0 || spec.slowMtbf < 0.0 || spec.linkMtbf < 0.0) {
     throw util::ConfigError("[faults] rates, ticks and horizon must be non-negative");
   }
+  if (spec.diurnalAmplitude < 0.0 || spec.diurnalAmplitude >= 1.0) {
+    throw util::ConfigError("[faults] diurnal-amplitude must be in [0, 1)");
+  }
   if (!spec.enabled()) {
     if (!spec.domains.empty() || spec.autoDomains > 0) {
       throw util::ConfigError(
           "[faults] declares failure domains but no outage process (set "
           "outage-mtbf)");
     }
+    if (spec.diurnalAmplitude > 0.0) {
+      throw util::ConfigError(
+          "[faults] diurnal modulation needs a stochastic process to modulate");
+    }
     return;
   }
-  if (spec.horizon <= 0.0) {
+  if (spec.stochastic() && spec.horizon <= 0.0) {
     throw util::ConfigError("[faults] needs a positive horizon");
+  }
+  if (spec.diurnalAmplitude > 0.0) {
+    if (spec.diurnalPeriod <= 0.0) {
+      throw util::ConfigError(
+          "[faults] diurnal-amplitude needs a positive diurnal-period");
+    }
+    if (!spec.stochastic()) {
+      throw util::ConfigError(
+          "[faults] diurnal modulation needs a stochastic process to modulate");
+    }
+  }
+  for (const FaultTraceEventSpec& e : spec.traceEvents) {
+    if (e.time < 0.0) {
+      throw util::ConfigError("[faults] trace-event timestamps must be non-negative");
+    }
   }
   if (spec.crashMtbf > 0.0 && spec.crashMttr <= 0.0) {
     throw util::ConfigError("[faults] crash-mttr must be positive");
@@ -243,14 +285,15 @@ std::vector<cas::ChurnEvent> generateFaultTimeline(
       generateFlapping(spec, servers[i], processStream(seed, kFlapProcess, i), out);
     }
     if (spec.slowMtbf > 0.0) {
-      generateCapacityChurn(cas::ChurnAction::kSlowdown, servers[i], spec.slowMtbf,
-                            spec.slowMin, spec.slowMax, spec.slowDuration,
-                            spec.horizon, processStream(seed, kSlowProcess, i), out);
+      generateCapacityChurn(spec, cas::ChurnAction::kSlowdown, servers[i],
+                            spec.slowMtbf, spec.slowMin, spec.slowMax,
+                            spec.slowDuration, processStream(seed, kSlowProcess, i),
+                            out);
     }
     if (spec.linkMtbf > 0.0) {
-      generateCapacityChurn(cas::ChurnAction::kLink, servers[i], spec.linkMtbf,
+      generateCapacityChurn(spec, cas::ChurnAction::kLink, servers[i], spec.linkMtbf,
                             spec.linkMin, spec.linkMax, spec.linkDuration,
-                            spec.horizon, processStream(seed, kLinkProcess, i), out);
+                            processStream(seed, kLinkProcess, i), out);
     }
   }
   if (spec.outageMtbf > 0.0) {
@@ -262,6 +305,118 @@ std::vector<cas::ChurnEvent> generateFaultTimeline(
                    [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
                      return a.time < b.time;
                    });
+  return out;
+}
+
+std::vector<FaultTraceEventSpec> parseFaultTrace(const std::string& text,
+                                                 const std::string& source) {
+  std::vector<FaultTraceEventSpec> out;
+  const std::vector<std::string> lines = util::split(text, '\n');
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = util::trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& what) {
+      throw util::ConfigError("[faults] trace '" + source + "' row " +
+                              std::to_string(i + 1) + ": " + what);
+    };
+    const std::vector<std::string> fields = util::split(line, ',');
+    if (fields.size() != 3) fail("wants 'time, down | up, server'");
+    FaultTraceEventSpec e;
+    try {
+      std::size_t consumed = 0;
+      const std::string token(util::trim(fields[0]));
+      e.time = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("bad timestamp '" + token + "'");
+    } catch (const util::ConfigError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad timestamp '" + std::string(util::trim(fields[0])) + "'");
+    }
+    const std::string action = util::toLower(util::trim(fields[1]));
+    if (action == "down") {
+      e.down = true;
+    } else if (action == "up") {
+      e.down = false;
+    } else {
+      fail("action must be down | up, got '" + action + "'");
+    }
+    e.server = std::string(util::trim(fields[2]));
+    if (e.server.empty()) fail("wants a server name");
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<cas::ChurnEvent> compileFaultTrace(
+    const FaultsSpec& spec, const std::vector<std::string>& servers) {
+  std::vector<FaultTraceEventSpec> events = spec.traceEvents;
+  if (!spec.traceFile.empty()) {
+    std::ifstream is(spec.traceFile);
+    if (!is) {
+      throw util::ConfigError("[faults] cannot open trace file '" +
+                              spec.traceFile + "'");
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    std::vector<FaultTraceEventSpec> fromFile =
+        parseFaultTrace(text.str(), spec.traceFile);
+    events.insert(events.end(), std::make_move_iterator(fromFile.begin()),
+                  std::make_move_iterator(fromFile.end()));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultTraceEventSpec& a, const FaultTraceEventSpec& b) {
+                     return a.time < b.time;
+                   });
+
+  const std::set<std::string> known(servers.begin(), servers.end());
+  std::map<std::string, double> openDown;  // server -> time it went down
+  std::map<std::string, double> lastTime;  // server -> last transition time
+  std::vector<cas::ChurnEvent> out;
+  for (const FaultTraceEventSpec& e : events) {
+    if (e.time < 0.0) {
+      throw util::ConfigError("[faults] trace timestamps must be non-negative");
+    }
+    if (known.count(e.server) == 0) {
+      throw util::ConfigError("[faults] trace names unknown server '" +
+                              e.server + "'");
+    }
+    const auto [it, inserted] = lastTime.try_emplace(e.server, e.time);
+    if (!inserted) {
+      if (e.time <= it->second) {
+        throw util::ConfigError(
+            "[faults] trace timestamps for server '" + e.server +
+            "' must be strictly increasing (saw " +
+            util::strformat("%g after %g", e.time, it->second) + ")");
+      }
+      it->second = e.time;
+    }
+    if (e.down) {
+      if (openDown.count(e.server) != 0) {
+        throw util::ConfigError("[faults] trace server '" + e.server +
+                                "' goes down twice with no up in between");
+      }
+      openDown.emplace(e.server, e.time);
+    } else {
+      const auto down = openDown.find(e.server);
+      if (down == openDown.end()) {
+        throw util::ConfigError("[faults] trace server '" + e.server +
+                                "' comes up without going down first");
+      }
+      out.push_back(crashEvent(down->second, e.server, e.time - down->second));
+      openDown.erase(down);
+    }
+  }
+  // A down with no matching up replays as "down for the rest of the run":
+  // the horizon closes it, exactly as it truncates the stochastic processes.
+  for (const auto& [server, downTime] : openDown) {
+    if (spec.horizon <= downTime) {
+      throw util::ConfigError(
+          "[faults] trace leaves server '" + server +
+          "' down with no up event; set a horizon past " +
+          util::strformat("%g", downTime) + " to close it");
+    }
+    out.push_back(crashEvent(downTime, server, spec.horizon - downTime));
+  }
   return out;
 }
 

@@ -17,6 +17,16 @@
 ///
 /// Every server and every domain owns an independent derived RNG stream, so
 /// adding a process (or a server) never perturbs another stream's draws.
+///
+/// Two extensions beyond the stochastic processes:
+///  - trace-driven replay: a recorded down/up timeline (`trace = file.csv`
+///    and/or inline `trace-event =` lines) compiled into the same crash
+///    events, validated at compile time (unknown servers, non-monotone
+///    timestamps, unpaired transitions all rejected with named errors);
+///  - diurnal intensity: when `diurnal-amplitude` is set, every stochastic
+///    gap draw at simulated time t is divided by
+///    1 + amplitude * sin(2*pi * t / period + phase), bunching failures at
+///    the modulation peak — still fully deterministic per seed.
 
 #include <cstdint>
 #include <string>
@@ -47,6 +57,26 @@ std::vector<FaultDomainSpec> resolveFaultDomains(
 std::vector<cas::ChurnEvent> generateFaultTimeline(
     const FaultsSpec& spec, const std::vector<std::string>& servers,
     const std::vector<FaultDomainSpec>& domains, std::uint64_t seed);
+
+/// Parses a recorded failure trace: one `time, down | up, server` row per
+/// line, blank lines and `#` comments skipped. `source` names the trace in
+/// error messages (the file path, or "trace-event" for inline lines). Throws
+/// util::ConfigError naming the offending row.
+std::vector<FaultTraceEventSpec> parseFaultTrace(const std::string& text,
+                                                 const std::string& source);
+
+/// Compiles the spec's trace timeline (the `trace =` file plus inline
+/// `trace-event =` lines) against the concrete server list into crash
+/// ChurnEvents: each server's down is paired with its next up (duration =
+/// up - down); a down left open runs to the horizon. Throws
+/// util::ConfigError on unknown servers, negative or per-server
+/// non-increasing timestamps, an up without a preceding down, a second down
+/// while already down, or an open down with no horizon to close against.
+/// Deterministic (no RNG involvement), so sim and live replay stay
+/// digest-identical. The result is unsorted; callers merge it into the
+/// generated timeline and sort once.
+std::vector<cas::ChurnEvent> compileFaultTrace(
+    const FaultsSpec& spec, const std::vector<std::string>& servers);
 
 /// Per-seed summary of a (generated or hand-written) churn timeline; the
 /// run JSON records carry it so campaign and live records can be compared.

@@ -235,6 +235,19 @@ CompiledScenario compileScenario(const ScenarioSpec& spec, std::uint64_t seed) {
     std::vector<cas::ChurnEvent> generated =
         generateFaultTimeline(spec.faults, serverNames, out.faultDomains,
                               simcore::deriveSeed(seed, kFaultsStream));
+    if (spec.faults.hasTrace()) {
+      // The replayed trace joins the same generated stream: it is part of
+      // the [faults] compilation, so it counts toward generatedChurn and
+      // folds into the same churn digest sim and live both replay.
+      std::vector<cas::ChurnEvent> traced =
+          compileFaultTrace(spec.faults, serverNames);
+      generated.insert(generated.end(), std::make_move_iterator(traced.begin()),
+                       std::make_move_iterator(traced.end()));
+      std::stable_sort(generated.begin(), generated.end(),
+                       [](const cas::ChurnEvent& a, const cas::ChurnEvent& b) {
+                         return a.time < b.time;
+                       });
+    }
     out.generatedChurn = generated.size();
     out.churn.insert(out.churn.end(), std::make_move_iterator(generated.begin()),
                      std::make_move_iterator(generated.end()));

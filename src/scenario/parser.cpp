@@ -319,6 +319,35 @@ void setFaultsKey(FaultsSpec& f, std::size_t line, const std::string& key,
     f.linkMax = parseDouble(line, value);
   } else if (key == "link-duration") {
     f.linkDuration = parseDouble(line, value);
+  } else if (key == "trace") {
+    f.traceFile = std::string(util::trim(value));
+    if (f.traceFile.empty()) fail(line, "trace wants a file path");
+  } else if (key == "trace-event") {
+    // time, down | up, server
+    const std::vector<std::string> fields = commaFields(value);
+    if (fields.size() != 3) {
+      fail(line, "trace-event wants 'time, down | up, server'");
+    }
+    FaultTraceEventSpec e;
+    e.time = parseDouble(line, fields[0]);
+    if (e.time < 0.0) fail(line, "trace-event time must be non-negative");
+    const std::string action = util::toLower(fields[1]);
+    if (action == "down") {
+      e.down = true;
+    } else if (action == "up") {
+      e.down = false;
+    } else {
+      fail(line, "trace-event action must be down | up, got '" + action + "'");
+    }
+    e.server = fields[2];
+    if (e.server.empty()) fail(line, "trace-event wants a server name");
+    f.traceEvents.push_back(std::move(e));
+  } else if (key == "diurnal-period") {
+    f.diurnalPeriod = parseDouble(line, value);
+  } else if (key == "diurnal-amplitude") {
+    f.diurnalAmplitude = parseDouble(line, value);
+  } else if (key == "diurnal-phase") {
+    f.diurnalPhase = parseDouble(line, value);
   } else {
     fail(line, "unknown [faults] key '" + key + "'");
   }
@@ -594,6 +623,17 @@ std::string renderScenario(const ScenarioSpec& spec) {
           << "link-min = " << util::strformat("%g", f.linkMin) << "\n"
           << "link-max = " << util::strformat("%g", f.linkMax) << "\n"
           << "link-duration = " << util::strformat("%g", f.linkDuration) << "\n";
+    }
+    if (!f.traceFile.empty()) out << "trace = " << f.traceFile << "\n";
+    for (const FaultTraceEventSpec& e : f.traceEvents) {
+      out << "trace-event = " << util::strformat("%g", e.time) << ", "
+          << (e.down ? "down" : "up") << ", " << e.server << "\n";
+    }
+    if (f.diurnalAmplitude > 0.0) {
+      out << "diurnal-period = " << util::strformat("%g", f.diurnalPeriod) << "\n"
+          << "diurnal-amplitude = " << util::strformat("%g", f.diurnalAmplitude)
+          << "\n"
+          << "diurnal-phase = " << util::strformat("%g", f.diurnalPhase) << "\n";
     }
   }
 

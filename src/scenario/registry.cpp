@@ -622,6 +622,49 @@ link-min = 0.3
 link-max = 0.8
 link-duration = 150
 )"},
+    {"churn/trace_replay", R"(
+[scenario]
+name = churn/trace_replay
+description = Trace-driven replay: a recorded down/up timeline plus a diurnally-modulated crash process on 4 servers, replayed digest-identically in sim and live
+
+[arrival]
+process = poisson
+mean = 5
+
+[workload]
+count = 24
+mix = waste-cpu-60 : 1
+
+[platform]
+kind = template
+servers = 4
+catalog = uniform
+heterogeneity = 0.3
+
+[system]
+fault-tolerance = true
+max-retries = 8
+report-period = 10
+
+[campaign]
+heuristics = mct, hmct, msf
+baseline = mct
+replications = 3
+
+[faults]
+horizon = 150
+crash-mtbf = 120
+crash-mttr = 15
+crash-shape = 1
+trace-event = 10, down, grid-1
+trace-event = 28, up, grid-1
+trace-event = 45, down, grid-3
+trace-event = 60, up, grid-3
+trace-event = 95, down, grid-1
+diurnal-period = 120
+diurnal-amplitude = 0.6
+diurnal-phase = 0
+)"},
     {"mesh/saturated_rescue", R"(
 [scenario]
 name = mesh/saturated_rescue

@@ -97,6 +97,16 @@ struct FaultDomainSpec {
   std::vector<std::string> servers;
 };
 
+/// One timestamped down/up observation from a recorded failure trace:
+/// either an inline `trace-event = time, down | up, server` line or one CSV
+/// row of a `trace = file.csv` import. Compiled by pairing each server's
+/// down with the matching up into a crash ChurnEvent of that duration.
+struct FaultTraceEventSpec {
+  double time = 0.0;
+  bool down = true;
+  std::string server;
+};
+
 /// [faults] section: seeded generative fault processes, compiled into the
 /// same churn timeline hand-written [churn] events produce. All processes
 /// are disabled by default; enabling any requires a positive horizon. Times
@@ -136,11 +146,30 @@ struct FaultsSpec {
   double linkMin = 0.3;
   double linkMax = 0.8;
   double linkDuration = 120.0;
+  /// Trace-driven replay: a recorded down/up timeline imported from
+  /// `trace = file.csv` (rows `time, down | up, server`; `#` comments) and/or
+  /// inline `trace-event =` lines, validated at compile (timestamps
+  /// monotone per server, servers must exist, downs must close or run to the
+  /// horizon) and merged into the same churn timeline the stochastic
+  /// processes feed.
+  std::string traceFile;
+  std::vector<FaultTraceEventSpec> traceEvents;
+  /// Diurnal (time-varying) failure intensity: when `diurnalAmplitude` > 0,
+  /// every stochastic gap draw at simulated time t is scaled by
+  /// 1 / (1 + amplitude * sin(2*pi * t / period + phase)) — failures bunch
+  /// when the modulation peaks and thin out in the trough, deterministically
+  /// per seed, so sim and live replay stay digest-identical.
+  double diurnalPeriod = 0.0;  ///< seconds per cycle; 0 disables
+  double diurnalAmplitude = 0.0;
+  double diurnalPhase = 0.0;  ///< radians
 
-  bool enabled() const {
+  /// True when any stochastic process is armed (these require a horizon).
+  bool stochastic() const {
     return crashMtbf > 0.0 || flapTick > 0.0 || outageMtbf > 0.0 ||
            slowMtbf > 0.0 || linkMtbf > 0.0;
   }
+  bool hasTrace() const { return !traceFile.empty() || !traceEvents.empty(); }
+  bool enabled() const { return stochastic() || hasTrace(); }
 };
 
 /// One `event = time, crash, <agent-index>[, restart-after]` line of the

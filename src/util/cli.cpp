@@ -11,14 +11,26 @@ namespace casched::util {
 ArgParser::ArgParser(std::string programName, std::string description)
     : programName_(std::move(programName)), description_(std::move(description)) {}
 
+namespace {
+
+/// Every flag ships documented: an empty help string is a programming error
+/// caught the moment the tool declares the flag, not in a --help audit.
+void requireHelp(const std::string& name, const std::string& help) {
+  CASCHED_CHECK(!help.empty(), "flag --" + name + " declared without help text");
+}
+
+}  // namespace
+
 void ArgParser::addString(const std::string& name, const std::string& defaultValue,
                           const std::string& help) {
+  requireHelp(name, help);
   flags_[name] = Flag{Type::kString, defaultValue, defaultValue, help};
   order_.push_back(name);
 }
 
 void ArgParser::addInt(const std::string& name, std::int64_t defaultValue,
                        const std::string& help) {
+  requireHelp(name, help);
   const std::string d = std::to_string(defaultValue);
   flags_[name] = Flag{Type::kInt, d, d, help};
   order_.push_back(name);
@@ -26,12 +38,14 @@ void ArgParser::addInt(const std::string& name, std::int64_t defaultValue,
 
 void ArgParser::addDouble(const std::string& name, double defaultValue,
                           const std::string& help) {
+  requireHelp(name, help);
   const std::string d = strformat("%g", defaultValue);
   flags_[name] = Flag{Type::kDouble, d, d, help};
   order_.push_back(name);
 }
 
 void ArgParser::addBool(const std::string& name, bool defaultValue, const std::string& help) {
+  requireHelp(name, help);
   const std::string d = defaultValue ? "true" : "false";
   flags_[name] = Flag{Type::kBool, d, d, help};
   order_.push_back(name);
@@ -57,7 +71,17 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       haveValue = true;
     }
     auto it = flags_.find(arg);
-    if (it == flags_.end()) throw ConfigError("unknown flag --" + arg);
+    if (it == flags_.end()) {
+      // Enumerate what WOULD have worked: a typo'd flag should not force a
+      // second run with --help to find the real name.
+      std::string valid;
+      for (const std::string& name : order_) {
+        if (!valid.empty()) valid += ", ";
+        valid += "--" + name;
+      }
+      throw ConfigError("unknown flag --" + arg + " (valid flags: " +
+                        (valid.empty() ? "none" : valid) + ", --help)");
+    }
     Flag& flag = it->second;
     if (!haveValue) {
       if (flag.type == Type::kBool) {

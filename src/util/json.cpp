@@ -118,6 +118,335 @@ std::string JsonWriter::str() const {
   return out_.str() + "\n";
 }
 
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Recursive-descent parser over the raw document text. Kept out of the
+/// header so JsonValue's interface stays allocation-shape agnostic.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ConfigError("json parse error at line " + std::to_string(line) +
+                      ", column " + std::to_string(column) + ": " + what);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parseString();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        if (consumeLiteral("true")) {
+          v.bool_ = true;
+        } else if (consumeLiteral("false")) {
+          v.bool_ = false;
+        } else {
+          fail("invalid literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consumeLiteral("null")) fail("invalid literal");
+        return JsonValue();
+      }
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWhitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string name = parseString();
+      skipWhitespace();
+      expect(':');
+      v.members_.emplace_back(std::move(name), parseValue());
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return v;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(parseValue());
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return v;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parseUnicodeEscape(); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  /// \uXXXX escapes, encoded back to UTF-8. Surrogate pairs are accepted;
+  /// the writer only ever emits \u00XX control escapes.
+  std::string parseUnicodeEscape() {
+    std::uint32_t code = parseHex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!consumeLiteral("\\u")) fail("unpaired UTF-16 surrogate");
+      const std::uint32_t low = parseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  std::uint32_t parseHex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      fail("invalid number '" + token + "'");
+    }
+    if (consumed != token.size()) fail("invalid number '" + token + "'");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = parsed;
+    // Keep the raw token: integral values wider than double's 53-bit
+    // mantissa (e.g. the 64-bit churn digests) stay exact through asUint.
+    v.string_ = token;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parseDocument();
+}
+
+namespace {
+
+const char* kindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "unknown";
+}
+
+[[noreturn]] void wrongKind(const char* wanted, JsonValue::Kind got) {
+  throw ConfigError(std::string("json: expected ") + wanted + ", found " +
+                    kindName(got));
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (kind_ != Kind::kBool) wrongKind("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::asDouble() const {
+  if (kind_ != Kind::kNumber) wrongKind("number", kind_);
+  return number_;
+}
+
+std::uint64_t JsonValue::asUint() const {
+  const double d = asDouble();
+  // Plain decimal tokens are converted exactly: a 64-bit digest round-trips
+  // even though its double approximation would not.
+  if (!string_.empty() &&
+      string_.find_first_not_of("0123456789") == std::string::npos) {
+    try {
+      return std::stoull(string_);
+    } catch (const std::exception&) {
+      throw ConfigError("json: integer '" + string_ + "' out of range");
+    }
+  }
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    throw ConfigError("json: expected non-negative integer, found " +
+                      strformat("%.17g", d));
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::kString) wrongKind("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) wrongKind("array", kind_);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) wrongKind("object", kind_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind_ != Kind::kObject) wrongKind("object", kind_);
+  for (const auto& [key, value] : members_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& name) const {
+  const JsonValue* v = find(name);
+  if (v == nullptr) throw ConfigError("json: missing key \"" + name + "\"");
+  return *v;
+}
+
 std::string JsonWriter::escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

@@ -1,12 +1,16 @@
 #pragma once
 /// \file json.hpp
-/// Minimal streaming JSON writer (objects, arrays, scalars) for the suite's
-/// machine-readable records. No parsing, no dependencies; emits 2-space
-/// indented UTF-8 with escaped strings and %.17g doubles (round-trip exact).
+/// Minimal JSON support for the suite's machine-readable records: a
+/// streaming writer (2-space indented UTF-8, escaped strings, %.17g doubles,
+/// round-trip exact) and a recursive-descent reader (`JsonValue::parse`)
+/// that consumes what the writer emits — and any other standard JSON — with
+/// order-preserving objects. No dependencies.
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace casched::util {
@@ -51,6 +55,51 @@ class JsonWriter {
   /// Whether the current container already holds a member.
   std::vector<bool> hasMember_;
   bool pendingKey_ = false;
+};
+
+/// A parsed JSON document node. Objects preserve member order (the suite
+/// records rely on insertion order for stable report output), numbers are
+/// stored as double (exact for the writer's %.17g output and every integral
+/// count the suite emits), and all parse/lookup failures throw ConfigError
+/// with a position- or path-qualified message.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parse a complete JSON document; trailing non-whitespace is an error.
+  static JsonValue parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw ConfigError naming the expected kind.
+  bool asBool() const;
+  double asDouble() const;
+  /// asDouble narrowed to a checked non-negative integer.
+  std::uint64_t asUint() const;
+  const std::string& asString() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup. `find` returns nullptr when absent; `at` throws
+  /// ConfigError naming the missing key.
+  bool has(const std::string& name) const { return find(name) != nullptr; }
+  const JsonValue* find(const std::string& name) const;
+  const JsonValue& at(const std::string& name) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace casched::util

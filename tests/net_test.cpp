@@ -584,6 +584,46 @@ TEST(NetRuntime, GeneratedChurnReplaysIdenticallyLiveAndSimulated) {
   EXPECT_NE(json.find("\"mean_downtime\""), std::string::npos);
 }
 
+TEST(NetRuntime, TraceDrivenFaultsReplayIdenticallyLiveAndSimulated) {
+  // The trace-driven [faults] extension holds the same invariant as the
+  // stochastic engine: a recorded down/up timeline (plus the scenario's
+  // diurnally-modulated crash process) compiles into ONE timeline both sides
+  // replay - equal FNV digests, equal counts, zero lost under fault
+  // tolerance.
+  LiveRunOptions options;
+  options.heuristic = "msf";
+  options.timeScale = 300.0;
+  options.seed = 11;
+  options.wallTimeoutSeconds = 45.0;
+  const LiveRunReport live = runLoopbackScenario("churn/trace_replay", options);
+
+  ASSERT_FALSE(live.timedOut);
+  EXPECT_GT(live.generatedChurn, 0u);
+  EXPECT_EQ(live.churnSkipped, 0u);
+  EXPECT_GE(live.churnPlanned.crashes, 3u);  // at least the replayed trace
+
+  const scenario::CompiledScenario compiled = scenario::compileScenario(
+      scenario::findScenario("churn/trace_replay"), options.seed);
+  EXPECT_EQ(compiled.generatedChurn, live.generatedChurn);
+  EXPECT_EQ(scenario::churnTimelineDigest(compiled.churn), live.churnDigest);
+
+  // The trace rows themselves are in the compiled timeline: grid-1 down at
+  // t=10 for 18 s is the first recorded event of the scenario's trace.
+  bool sawTraceCrash = false;
+  for (const cas::ChurnEvent& e : compiled.churn) {
+    if (e.server == "grid-1" && e.time == 10.0 && e.duration == 18.0) {
+      sawTraceCrash = true;
+    }
+  }
+  EXPECT_TRUE(sawTraceCrash);
+
+  const metrics::RunResult sim = scenario::runScenario(compiled, options.heuristic);
+  EXPECT_EQ(live.completed, sim.completedCount());
+  EXPECT_EQ(live.lost, sim.lostCount());
+  EXPECT_EQ(live.lost, 0u);
+  EXPECT_EQ(live.completed, compiled.metatask.size());
+}
+
 TEST(MultiAgent, MutualPeerConfigurationKeepsOneLinkPerPair) {
   // Operators naturally configure both agents with each other's address; the
   // hello exchange must collapse the resulting double link to the one dialed

@@ -1,0 +1,399 @@
+/// Locks the report layer: the JSON reader round-trips what JsonWriter
+/// emits (including 64-bit digests past 2^53), suite records parse into the
+/// report model, crossover detection finds a known ranking flip with the
+/// right confidence, compare deltas and direction-aware flags are exact,
+/// and the generated-region splice used by the EXPERIMENTS.md drift gate
+/// behaves. All inputs here are synthetic so the expectations are exact.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "scenario/registry.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using casched::exp::CompareOptions;
+using casched::exp::CompareOutcome;
+using casched::exp::Crossover;
+using casched::exp::ReportOptions;
+using casched::exp::ReportScenario;
+using casched::exp::ReportStat;
+using casched::exp::ReportSuite;
+using casched::util::ConfigError;
+using casched::util::JsonValue;
+using casched::util::JsonWriter;
+
+// ---------------------------------------------------------------------------
+// JsonValue reader vs JsonWriter
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("line1\nline2 \"quoted\"");
+  w.key("pi").value(3.141592653589793);
+  w.key("negative").value(-7);
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.key("list").beginArray().value(1).value(2).value(3).endArray();
+  w.key("nested").beginObject().key("inner").value("x").endObject();
+  w.endObject();
+
+  const JsonValue v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.at("name").asString(), "line1\nline2 \"quoted\"");
+  EXPECT_DOUBLE_EQ(v.at("pi").asDouble(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(v.at("negative").asDouble(), -7.0);
+  EXPECT_TRUE(v.at("flag").asBool());
+  EXPECT_TRUE(v.at("nothing").isNull());
+  ASSERT_EQ(v.at("list").items().size(), 3u);
+  EXPECT_EQ(v.at("list").items()[2].asUint(), 3u);
+  EXPECT_EQ(v.at("nested").at("inner").asString(), "x");
+  // Member order is preserved - reports depend on record order.
+  ASSERT_GE(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "name");
+  EXPECT_EQ(v.members()[1].first, "pi");
+}
+
+TEST(JsonReader, Uint64DigestsSurviveExactly) {
+  // Churn digests are full 64-bit FNV values; a double-only reader would
+  // round anything past 2^53 and the sim/live digest gate would lie.
+  const std::uint64_t digest = 0xfeedfacecafebeefULL;  // > 2^53
+  JsonWriter w;
+  w.beginObject().key("churn_digest").value(digest).endObject();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("churn_digest").asUint(), digest);
+}
+
+TEST(JsonReader, LookupAndKindErrorsAreNamed) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1, "b": "text"})");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  try {
+    v.at("missing");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+  EXPECT_THROW(v.at("b").asDouble(), ConfigError);
+  EXPECT_THROW(v.at("a").asString(), ConfigError);
+}
+
+TEST(JsonReader, ParseErrorsCarryPosition) {
+  try {
+    JsonValue::parse("{\n  \"a\": 1,\n  \"b\": }\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  EXPECT_THROW(JsonValue::parse(""), ConfigError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"), ConfigError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": tru}"), ConfigError);
+}
+
+TEST(JsonReader, UnicodeEscapesDecodeToUtf8) {
+  // \u00e9 is e-acute; \ud83d\ude00 is the surrogate pair for U+1F600.
+  const JsonValue v =
+      JsonValue::parse(R"({"s": "\u00e9A", "pair": "\ud83d\ude00"})");
+  EXPECT_EQ(v.at("s").asString(), "\xc3\xa9""A");
+  EXPECT_EQ(v.at("pair").asString(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW(JsonValue::parse(R"({"s": "\ud83d"})"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic suite records
+
+/// One swept scenario, two heuristics, one metatask, metric "sumflow".
+/// Per-variant means are (fast, slow) pairs; sd applies to every cell.
+std::string syntheticSweepJson(
+    const std::vector<std::pair<double, double>>& points, double sd,
+    std::uint64_t replications) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("seed").value(7);
+  w.key("scenario_count").value(1);
+  w.key("scenarios").beginArray();
+  w.beginObject();
+  w.key("name").value("synthetic/sweep");
+  w.key("description").value("synthetic sweep for crossover tests");
+  w.key("title").value("Synthetic sweep");
+  w.key("servers").value(4);
+  w.key("churn_events").value(0);
+  w.key("metatasks").value(1);
+  w.key("replications").value(replications);
+  w.key("baseline").value("alpha");
+  w.key("ft_policy").value("none");
+  w.key("heuristics").beginArray().value("alpha").value("beta").endArray();
+  w.key("variants").beginArray();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    w.beginObject();
+    w.key("coordinates").beginObject();
+    w.key("rate").value(std::to_string(30 - 3 * i));
+    w.endObject();
+    w.key("wall_seconds").value(0.01);
+    w.key("simulated_events").value(1000);
+    w.key("events_per_second").value(100000.0);
+    w.key("heuristics").beginObject();
+    const char* names[2] = {"alpha", "beta"};
+    const double means[2] = {points[i].first, points[i].second};
+    for (int h = 0; h < 2; ++h) {
+      w.key(names[h]).beginArray().beginObject();
+      w.key("metatask").value(1);
+      w.key("completed").beginObject().key("mean").value(500.0).key("sd").value(0.0).endObject();
+      w.key("sumflow").beginObject().key("mean").value(means[h]).key("sd").value(sd).endObject();
+      w.key("maxstretch").beginObject().key("mean").value(2.0 + h).key("sd").value(sd).endObject();
+      w.endObject().endArray();
+    }
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("metrics").beginObject().endObject();
+  w.key("wall_seconds").value(0.1);
+  w.key("simulated_events").value(1000);
+  w.key("events_per_second").value(10000.0);
+  w.endObject();  // scenario
+  w.endArray();   // scenarios
+  w.key("wall_seconds").value(0.1);
+  w.key("simulated_events").value(1000);
+  w.key("events_per_second").value(10000.0);
+  w.endObject();  // root
+  return w.str();
+}
+
+ReportSuite parseSynthetic(const std::string& json, const std::string& label) {
+  return casched::exp::parseSuiteRecord(JsonValue::parse(json), label);
+}
+
+TEST(SuiteRecord, ParsesIntoReportModel) {
+  const ReportSuite suite =
+      parseSynthetic(syntheticSweepJson({{100, 200}, {300, 250}}, 5.0, 3), "t");
+  EXPECT_EQ(suite.label, "t");
+  EXPECT_EQ(suite.seed, 7u);
+  ASSERT_EQ(suite.scenarios.size(), 1u);
+  const ReportScenario& s = suite.scenarios.front();
+  EXPECT_EQ(s.name, "synthetic/sweep");
+  EXPECT_EQ(s.replications, 3u);
+  EXPECT_TRUE(s.swept());
+  ASSERT_EQ(s.variants.size(), 2u);
+  EXPECT_EQ(s.variants[0].coordinates.front().first, "rate");
+  EXPECT_EQ(s.variants[0].coordinates.front().second, "30");
+  const auto* cells = s.variants[0].cells("beta");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_FALSE(cells->empty());
+  const ReportStat* stat = cells->front().find("sumflow");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_DOUBLE_EQ(stat->mean, 200.0);
+  EXPECT_DOUBLE_EQ(stat->sd, 5.0);
+  EXPECT_EQ(cells->front().find("no_such_metric"), nullptr);
+}
+
+TEST(SuiteRecord, SchemaErrorsNameTheKey) {
+  try {
+    casched::exp::parseSuiteRecord(JsonValue::parse(R"({"seed": 1})"), "x");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("scenarios"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crossover detection
+
+TEST(Crossovers, DetectsAKnownFlipWithConfidence) {
+  // sumflow is lower-is-better: alpha wins at rate=30, beta wins at rate=27.
+  // sd 1.0 over 4 replications -> se 0.5, per-endpoint separation
+  // |gap| / sqrt(0.5^2 + 0.5^2); the weaker endpoint (gap 10) gives
+  // 10 / 0.7071 = 14.14 sigma.
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 120}, {140, 130}}, 1.0, 4), "flip");
+  const std::vector<Crossover> found =
+      casched::exp::detectCrossovers(suite.scenarios.front(), "sumflow");
+  ASSERT_EQ(found.size(), 1u);
+  const Crossover& c = found.front();
+  EXPECT_EQ(c.axis, "rate");
+  EXPECT_EQ(c.metric, "sumflow");
+  EXPECT_EQ(c.fromValue, "30");
+  EXPECT_EQ(c.toValue, "27");
+  EXPECT_EQ(c.winnerBefore, "alpha");
+  EXPECT_EQ(c.winnerAfter, "beta");
+  EXPECT_NEAR(c.separationSigma, 14.14, 0.05);
+  EXPECT_TRUE(c.confident());
+}
+
+TEST(Crossovers, ZeroSdDistinctMeansIsCertain) {
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 120}, {140, 130}}, 0.0, 3), "exact");
+  const std::vector<Crossover> found =
+      casched::exp::detectCrossovers(suite.scenarios.front(), "sumflow");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_DOUBLE_EQ(found.front().separationSigma, 99.0);
+  EXPECT_TRUE(found.front().confident());
+}
+
+TEST(Crossovers, StableRankingReportsNothing) {
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 120}, {110, 130}, {120, 140}}, 1.0, 3),
+      "stable");
+  EXPECT_TRUE(
+      casched::exp::detectCrossovers(suite.scenarios.front(), "sumflow")
+          .empty());
+}
+
+TEST(Crossovers, NoisyFlipIsReportedButNotConfident) {
+  // Gap 10 with sd 40 over 4 replications -> se 20, separation
+  // 10 / sqrt(800) = 0.35 sigma: a flip inside the noise floor.
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 110}, {140, 130}}, 40.0, 4), "noisy");
+  const std::vector<Crossover> found =
+      casched::exp::detectCrossovers(suite.scenarios.front(), "sumflow");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_FALSE(found.front().confident());
+  EXPECT_LT(found.front().separationSigma, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Compare
+
+TEST(Compare, DeltaMathAndDirectionAwareFlags) {
+  // Same shape, different values: beta's sumflow at rate=30 moves 100 -> 150
+  // (+50%, lower-is-better -> regression); alpha's moves 100 -> 80 (-20%,
+  // improvement). Threshold 10%.
+  const ReportSuite a = parseSynthetic(
+      syntheticSweepJson({{100, 100}}, 0.0, 3), "runA");
+  const ReportSuite b = parseSynthetic(
+      syntheticSweepJson({{80, 150}}, 0.0, 3), "runB");
+  CompareOptions options;
+  options.thresholdPct = 10.0;
+  options.metrics = {"sumflow"};
+  const CompareOutcome outcome = casched::exp::compareSuites(a, b, options);
+  EXPECT_EQ(outcome.comparisons, 2u);
+  EXPECT_EQ(outcome.regressions, 1u);
+  EXPECT_EQ(outcome.improvements, 1u);
+  EXPECT_NE(outcome.markdown.find("+50.0%"), std::string::npos)
+      << outcome.markdown;
+  EXPECT_NE(outcome.markdown.find("-20.0%"), std::string::npos)
+      << outcome.markdown;
+  EXPECT_NE(outcome.markdown.find("**regression**"), std::string::npos);
+  EXPECT_NE(outcome.markdown.find("improvement"), std::string::npos);
+}
+
+TEST(Compare, HigherIsBetterMetricFlipsTheFlag) {
+  // completed dropping is the regression direction even though the delta is
+  // negative.
+  const ReportSuite a = parseSynthetic(
+      syntheticSweepJson({{100, 100}}, 0.0, 3), "runA");
+  std::string shrunk = syntheticSweepJson({{100, 100}}, 0.0, 3);
+  // Rewrite every completed mean 500 -> 400 (20% drop) in the raw record.
+  const std::string from = "\"mean\": 500";
+  for (std::size_t pos = shrunk.find(from); pos != std::string::npos;
+       pos = shrunk.find(from, pos)) {
+    shrunk.replace(pos, from.size(), "\"mean\": 400");
+  }
+  const ReportSuite b = parseSynthetic(shrunk, "runB");
+  CompareOptions options;
+  options.metrics = {"completed"};
+  const CompareOutcome outcome = casched::exp::compareSuites(a, b, options);
+  EXPECT_EQ(outcome.comparisons, 2u);
+  EXPECT_EQ(outcome.regressions, 2u);
+  EXPECT_EQ(outcome.improvements, 0u);
+}
+
+TEST(Compare, UnmatchedScenariosAreListedNotCompared) {
+  const ReportSuite a = parseSynthetic(
+      syntheticSweepJson({{100, 100}}, 0.0, 3), "runA");
+  ReportSuite b = a;
+  b.scenarios.front().name = "somewhere/else";
+  const CompareOutcome outcome = casched::exp::compareSuites(a, b, {});
+  EXPECT_EQ(outcome.comparisons, 0u);
+  EXPECT_NE(outcome.markdown.find("synthetic/sweep"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Markdown rendering
+
+TEST(ReportMarkdown, SweepReportHasSeriesBarsAndCrossoverScan) {
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 120}, {140, 130}, {180, 140}}, 1.0, 3),
+      "render");
+  ReportOptions options;
+  options.metrics = {"sumflow"};
+  const std::string md =
+      casched::exp::scenarioReportMarkdown(suite.scenarios.front(), options);
+  EXPECT_NE(md.find("synthetic/sweep"), std::string::npos);
+  EXPECT_NE(md.find("`sumflow`"), std::string::npos);
+  // Sparkline bars use the Unicode block ramp.
+  EXPECT_TRUE(md.find("\xe2\x96\x81") != std::string::npos ||
+              md.find("\xe2\x96\x88") != std::string::npos)
+      << md;
+  EXPECT_NE(md.find("flips from"), std::string::npos) << md;
+}
+
+TEST(ReportMarkdown, UnsweptReportShowsMeanPlusMinusSd) {
+  std::string json = syntheticSweepJson({{100, 120}}, 2.5, 3);
+  // Strip the sweep coordinate so the scenario renders as an unswept table.
+  const std::string coords = "\"rate\": \"30\"";
+  const std::size_t pos = json.find(coords);
+  ASSERT_NE(pos, std::string::npos);
+  json.erase(pos, coords.size());
+  const ReportSuite suite = parseSynthetic(json, "plain");
+  EXPECT_FALSE(suite.scenarios.front().swept());
+  const std::string md =
+      casched::exp::scenarioReportMarkdown(suite.scenarios.front());
+  EXPECT_NE(md.find("\xc2\xb1"), std::string::npos) << md;  // "±"
+  EXPECT_NE(md.find("| alpha |"), std::string::npos) << md;
+}
+
+TEST(ReportMarkdown, WallClockFieldsNeverLeakIntoReports) {
+  const ReportSuite suite = parseSynthetic(
+      syntheticSweepJson({{100, 120}, {140, 130}}, 1.0, 3), "det");
+  const std::string md = casched::exp::suiteReportMarkdown(suite);
+  EXPECT_EQ(md.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(md.find("events_per_second"), std::string::npos);
+}
+
+TEST(RegistryCatalog, ListsEveryRegistryEntry) {
+  const std::string md = casched::exp::registryCatalogMarkdown();
+  for (const std::string& name : casched::scenario::scenarioNames()) {
+    EXPECT_NE(md.find("`" + name + "`"), std::string::npos)
+        << "catalog is missing " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generated-region splice
+
+TEST(GeneratedRegions, ReplacesBodyAndKeepsSentinels) {
+  const std::string doc =
+      "# Title\n"
+      "<!-- BEGIN GENERATED: demo -->\n"
+      "old body\n"
+      "<!-- END GENERATED: demo -->\n"
+      "tail\n";
+  const std::string out =
+      casched::exp::replaceGeneratedRegion(doc, "demo", "new body\n");
+  EXPECT_NE(out.find("<!-- BEGIN GENERATED: demo -->"), std::string::npos);
+  EXPECT_NE(out.find("<!-- END GENERATED: demo -->"), std::string::npos);
+  EXPECT_NE(out.find("new body"), std::string::npos);
+  EXPECT_EQ(out.find("old body"), std::string::npos);
+  EXPECT_NE(out.find("tail"), std::string::npos);
+  // Idempotent: splicing the same body again changes nothing.
+  EXPECT_EQ(casched::exp::replaceGeneratedRegion(out, "demo", "new body\n"),
+            out);
+}
+
+TEST(GeneratedRegions, MissingOrReversedSentinelsThrow) {
+  EXPECT_THROW(
+      casched::exp::replaceGeneratedRegion("no sentinels here", "demo", "x\n"),
+      ConfigError);
+  const std::string reversed =
+      "<!-- END GENERATED: demo -->\n<!-- BEGIN GENERATED: demo -->\n";
+  EXPECT_THROW(casched::exp::replaceGeneratedRegion(reversed, "demo", "x\n"),
+               ConfigError);
+}
+
+}  // namespace

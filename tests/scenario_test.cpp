@@ -143,7 +143,7 @@ TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
         "ablation/memory_aware", "burst-storm", "diurnal-day", "heavy-tail",
         "flash-crowd", "churny-grid", "mega-cluster", "live-loopback",
         "multi-agent-loopback", "multi-agent-failover", "churn/flapping",
-        "churn/zone_outage", "churn/soak"}) {
+        "churn/zone_outage", "churn/soak", "churn/trace_replay"}) {
     EXPECT_TRUE(hasScenario(expected)) << expected;
   }
   EXPECT_FALSE(hasScenario("no-such-scenario"));
@@ -160,7 +160,7 @@ TEST(ScenarioRegistry, HasTheAdvertisedEntriesAndTheyCompile) {
 TEST(ScenarioRegistry, PrefixGroupsAndEnumeratingErrors) {
   EXPECT_EQ(scenarioNamesWithPrefix("paper/").size(), 4u);
   EXPECT_EQ(scenarioNamesWithPrefix("ablation/").size(), 4u);
-  EXPECT_EQ(scenarioNamesWithPrefix("churn/").size(), 3u);
+  EXPECT_EQ(scenarioNamesWithPrefix("churn/").size(), 4u);
   EXPECT_TRUE(scenarioNamesWithPrefix("no-such-prefix/").empty());
   // Unknown-scenario errors enumerate the registry.
   try {
@@ -425,6 +425,124 @@ TEST(ScenarioParser, RejectsMalformedFaultsAndChurn) {
                util::ConfigError);  // leave takes no value
   EXPECT_THROW(parseScenario(wrap("[churn]\nevent = 5, slowdown, s, 0.5, -1\n")),
                util::ConfigError);
+}
+
+TEST(ScenarioFaults, TraceReplayCompilesDownUpPairsIntoCrashes) {
+  const std::string text =
+      "[scenario]\nname = trace\n"
+      "[workload]\nmix = waste-cpu-200\n"
+      "[platform]\nkind = template\nservers = 2\ncatalog = uniform\n"
+      "[faults]\n"
+      "horizon = 100\n"
+      "trace-event = 10, down, grid-0\n"
+      "trace-event = 25, up, grid-0\n"
+      "trace-event = 40, down, grid-1\n";
+  const CompiledScenario compiled = compileScenario(parseScenario(text), 5);
+  // Two crashes: grid-0 down for 15 s, grid-1 closed by the horizon (60 s).
+  ASSERT_EQ(compiled.churn.size(), 2u);
+  EXPECT_EQ(compiled.generatedChurn, 2u);
+  EXPECT_EQ(compiled.churn[0].server, "grid-0");
+  EXPECT_EQ(compiled.churn[0].action, cas::ChurnAction::kCrash);
+  EXPECT_DOUBLE_EQ(compiled.churn[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(compiled.churn[0].duration, 15.0);
+  EXPECT_EQ(compiled.churn[1].server, "grid-1");
+  EXPECT_DOUBLE_EQ(compiled.churn[1].time, 40.0);
+  EXPECT_DOUBLE_EQ(compiled.churn[1].duration, 60.0);
+  // Pure replay: the same spec compiles identically at any seed.
+  const CompiledScenario other = compileScenario(parseScenario(text), 77);
+  EXPECT_EQ(churnTimelineDigest(compiled.churn), churnTimelineDigest(other.churn));
+}
+
+TEST(ScenarioFaults, TraceReplayRejectsMalformedTimelines) {
+  const auto wrap = [](const std::string& faults) {
+    return "[scenario]\nname = trace\n"
+           "[workload]\nmix = waste-cpu-200\n"
+           "[platform]\nkind = template\nservers = 2\ncatalog = uniform\n"
+           "[faults]\n" +
+           faults;
+  };
+  const auto expectCompileError = [&](const std::string& faults,
+                                      const std::string& needle) {
+    try {
+      compileScenario(parseScenario(wrap(faults)), 5);
+      FAIL() << "expected ConfigError for: " << faults;
+    } catch (const util::ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  // Parse-time grammar errors.
+  EXPECT_THROW(parseScenario(wrap("trace-event = 10, sideways, grid-0\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("trace-event = -3, down, grid-0\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("trace-event = 10, down\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("trace = \n")), util::ConfigError);
+  // Compile-time timeline errors, each with a named cause.
+  expectCompileError("trace-event = 10, down, grid-9\n", "unknown server");
+  expectCompileError(
+      "trace-event = 10, down, grid-0\ntrace-event = 10, up, grid-0\n",
+      "strictly increasing");
+  expectCompileError("trace-event = 10, up, grid-0\n", "without going down");
+  expectCompileError(
+      "trace-event = 10, down, grid-0\ntrace-event = 20, down, grid-0\n",
+      "goes down twice");
+  expectCompileError("trace-event = 10, down, grid-0\n", "set a horizon");
+  // A trace file that does not exist is a compile error, not a silent no-op.
+  expectCompileError("trace = /no/such/trace.csv\n", "cannot open trace file");
+}
+
+TEST(ScenarioFaults, ParseFaultTraceReadsCsvRows) {
+  const std::string csv =
+      "# recorded outage timeline\n"
+      "\n"
+      "10.5, down, grid-0\n"
+      "12, UP, grid-0\n";
+  const auto events = parseFaultTrace(csv, "test.csv");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 10.5);
+  EXPECT_TRUE(events[0].down);
+  EXPECT_EQ(events[0].server, "grid-0");
+  EXPECT_FALSE(events[1].down);
+  // Malformed rows name the source and row.
+  try {
+    parseFaultTrace("10, wobbly, grid-0\n", "bad.csv");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.csv"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+  }
+  EXPECT_THROW(parseFaultTrace("nonsense\n", "bad.csv"), util::ConfigError);
+  EXPECT_THROW(parseFaultTrace("x, down, grid-0\n", "bad.csv"),
+               util::ConfigError);
+}
+
+TEST(ScenarioFaults, DiurnalModulationReshapesButStaysDeterministic) {
+  const auto wrap = [](const std::string& extra) {
+    return "[scenario]\nname = diurnal\n"
+           "[workload]\nmix = waste-cpu-200\n"
+           "[platform]\nkind = template\nservers = 8\ncatalog = uniform\n"
+           "[faults]\nhorizon = 2000\ncrash-mtbf = 300\ncrash-mttr = 30\n" +
+           extra;
+  };
+  const ScenarioSpec flat = parseScenario(wrap(""));
+  const ScenarioSpec wavy = parseScenario(
+      wrap("diurnal-period = 500\ndiurnal-amplitude = 0.8\ndiurnal-phase = 0\n"));
+  std::vector<std::string> servers;
+  for (std::size_t i = 0; i < 8; ++i) servers.push_back("grid-" + std::to_string(i));
+  const auto a = generateFaultTimeline(wavy.faults, servers, {}, 11);
+  const auto b = generateFaultTimeline(wavy.faults, servers, {}, 11);
+  EXPECT_EQ(churnTimelineDigest(a), churnTimelineDigest(b));
+  // Modulation changes the timeline relative to the unmodulated process.
+  const auto plain = generateFaultTimeline(flat.faults, servers, {}, 11);
+  EXPECT_NE(churnTimelineDigest(a), churnTimelineDigest(plain));
+  // Structural validation of the diurnal keys themselves.
+  EXPECT_THROW(parseScenario(wrap("diurnal-amplitude = 1.5\n"
+                                  "diurnal-period = 500\n")),
+               util::ConfigError);
+  EXPECT_THROW(parseScenario(wrap("diurnal-amplitude = 0.5\n")),
+               util::ConfigError);  // amplitude without period
 }
 
 TEST(ScenarioFaults, SameSeedIsByteIdenticalDifferentSeedsDiffer) {

@@ -264,6 +264,33 @@ TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(p.parse(2, argv), ConfigError);
 }
 
+TEST(Cli, UnknownFlagEnumeratesValidOnes) {
+  ArgParser p("prog", "test");
+  p.addInt("n", 10, "count");
+  p.addString("name", "x", "name");
+  const char* argv[] = {"prog", "--nmae=y"};
+  try {
+    p.parse(2, argv);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag --nmae"), std::string::npos) << what;
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("--name"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, FlagsMustShipHelpText) {
+  // The --help audit is enforced at declaration: an undocumented flag is a
+  // programming error, not something a doc review has to catch.
+  ArgParser p("prog", "test");
+  EXPECT_THROW(p.addInt("n", 10, ""), Error);
+  EXPECT_THROW(p.addString("s", "", ""), Error);
+  EXPECT_THROW(p.addBool("b", false, ""), Error);
+  EXPECT_THROW(p.addDouble("d", 0.0, ""), Error);
+}
+
 TEST(Cli, BadIntValueThrows) {
   ArgParser p("prog", "test");
   p.addInt("n", 1, "count");

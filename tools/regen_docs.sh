@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Regenerates the sentinel-delimited generated sections of EXPERIMENTS.md:
+# the registry catalog (straight from the scenario specs) and the rate-sweep
+# crossover study (a real ablation/rate_sweep campaign at the pinned seed).
+# The CI doc-drift gate runs this and fails on any diff, so the committed
+# document is always byte-identical to what the tools produce.
+#
+#   tools/regen_docs.sh [build-dir] [out-dir]
+#
+# Defaults: build-dir = build, out-dir = bench_out.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$REPO_ROOT"
+
+if [ ! -x "$BUILD_DIR/bench_suite" ] || [ ! -x "$BUILD_DIR/casched_report" ]; then
+  echo "error: $BUILD_DIR/bench_suite or $BUILD_DIR/casched_report missing; build first" >&2
+  exit 1
+fi
+
+# Seed 42 is the pinned study seed: the record (and therefore the generated
+# section) is deterministic for it, which is what makes the drift gate exact.
+"$BUILD_DIR/bench_suite" --scenarios ablation/rate_sweep --seed 42 \
+    --json rate_sweep_study --out "$OUT_DIR" > /dev/null
+
+"$BUILD_DIR/casched_report" --json "$OUT_DIR/rate_sweep_study.json" \
+    --update-docs EXPERIMENTS.md
